@@ -1,0 +1,69 @@
+"""A4 — NIC interrupt-coalescing ablation.
+
+Per-frame completion interrupts are the LVMM's single biggest cost
+(every one takes a world switch plus PIC emulation plus reflection).
+Coalescing N completions per interrupt divides that cost by ~N — a
+mitigation the paper-era monitor could have adopted, which this bench
+quantifies as the 'future work' exploration DESIGN.md calls out.
+"""
+
+import pytest
+
+from repro.perf.costmodel import DEFAULT_COST_MODEL
+from repro.workloads import run_data_transfer
+
+COALESCE = (1, 2, 4, 8, 16)
+RATE = 150e6
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    out = {}
+    for factor in COALESCE:
+        cost = DEFAULT_COST_MODEL.with_overrides(nic_coalesce=factor)
+        out[factor] = run_data_transfer("lvmm", RATE, cost=cost)
+    return out
+
+
+class TestCoalescingAblation:
+    def test_sweep_table(self, sweep_results, benchmark, capsys):
+        def render():
+            lines = [f"A4: LVMM at {RATE / 1e6:.0f} Mbps vs NIC "
+                     "interrupt coalescing",
+                     f"{'frames/irq':>11} {'load %':>8} {'interrupts':>11}"]
+            for factor, sample in sweep_results.items():
+                lines.append(f"{factor:>11} "
+                             f"{sample.demanded_load * 100:>8.1f} "
+                             f"{sample.interrupts:>11}")
+            return "\n".join(lines)
+
+        text = benchmark.pedantic(render, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(text)
+
+    def test_coalescing_cuts_load(self, sweep_results, benchmark):
+        def check():
+            loads = [sweep_results[f].demanded_load for f in COALESCE]
+            assert loads == sorted(loads, reverse=True)
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_interrupt_counts_scale_inversely(self, sweep_results,
+                                              benchmark):
+        def check():
+            per_frame = sweep_results[1].interrupts
+            coalesced = sweep_results[8].interrupts
+            assert coalesced < per_frame / 4
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_coalescing_rescues_the_lvmm(self, sweep_results, benchmark):
+        """At 150 Mbps the per-frame LVMM is near its knee; coalescing
+        by 8 pulls it far below saturation."""
+        sample = benchmark.pedantic(lambda: sweep_results[8],
+                                    rounds=1, iterations=1)
+        assert sample.demanded_load \
+            < 0.7 * sweep_results[1].demanded_load

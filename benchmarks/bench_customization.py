@@ -1,0 +1,91 @@
+"""E5 — customisability: new devices cost the monitor nothing.
+
+Quantifies the paper's second claim two ways:
+
+1. the monitor's interception footprint is a fixed, tiny set of ports
+   (PIC + PIT + UART) no matter how many devices the machine carries;
+2. a guest access to a passthrough device under the LVMM costs the same
+   cycles as on bare metal, while the full VMM pays the hosted round
+   trip — measured in *modelled* cycles and in wall-clock time of the
+   access path.
+"""
+
+import pytest
+
+from repro.hw.bus import PortDevice
+from repro.hw.machine import Machine, MachineConfig
+from repro.perf.costmodel import DEFAULT_COST_MODEL
+from repro.perf.stacks import make_stack
+from repro.vmm.intercept import LVMM_INTERCEPTED_PORTS
+
+NEW_DEVICE_BASE = 0x6000
+
+
+class _Scratch(PortDevice):
+    def __init__(self):
+        self.value = 0
+
+    def port_read(self, offset, size):
+        return self.value
+
+    def port_write(self, offset, value, size):
+        self.value = value
+
+
+def _machine_with_new_device(stack_name):
+    machine = Machine(MachineConfig())
+    machine.bus.register_ports(NEW_DEVICE_BASE, 8, _Scratch(), "newdev")
+    machine.program_pic_defaults()
+    stack = make_stack(stack_name, machine)
+    return machine, stack
+
+
+class TestInterceptionFootprint:
+    def test_footprint_is_constant(self, benchmark):
+        """Adding a device does not grow the monitor's claim set."""
+        def footprint():
+            machine, _ = _machine_with_new_device("lvmm")
+            claimed = [port for port in range(0x10000)
+                       if machine.bus.intercept.intercepts_port(port)]
+            return claimed
+
+        claimed = benchmark.pedantic(footprint, rounds=1, iterations=1)
+        assert set(claimed) == LVMM_INTERCEPTED_PORTS
+        assert len(claimed) <= 16
+        assert NEW_DEVICE_BASE not in claimed
+
+    def test_fullvmm_claims_everything(self, benchmark):
+        machine, _ = _machine_with_new_device("fullvmm")
+        claims = benchmark.pedantic(
+            machine.bus.intercept.intercepts_port,
+            args=(NEW_DEVICE_BASE,), rounds=1, iterations=1)
+        assert claims
+
+
+class TestPassthroughAccessCost:
+    def _access_cycles(self, stack_name):
+        machine, _ = _machine_with_new_device(stack_name)
+        before = machine.budget.total
+        machine.bus.port_write(NEW_DEVICE_BASE, 0x42, 4)
+        return machine.budget.total - before
+
+    def test_lvmm_same_as_bare(self, benchmark):
+        cycles = benchmark.pedantic(self._access_cycles, args=("lvmm",),
+                                    rounds=1, iterations=1)
+        assert cycles == self._access_cycles("bare")
+        assert cycles == DEFAULT_COST_MODEL.device_access_cycles
+
+    def test_fullvmm_pays_hosted_round_trip(self, benchmark):
+        cycles = benchmark.pedantic(self._access_cycles,
+                                    args=("fullvmm",),
+                                    rounds=1, iterations=1)
+        assert cycles >= DEFAULT_COST_MODEL.host_switch_cycles
+
+    def test_wallclock_access_lvmm(self, benchmark):
+        """Wall-clock time of the passthrough access path."""
+        machine, _ = _machine_with_new_device("lvmm")
+        benchmark(machine.bus.port_write, NEW_DEVICE_BASE, 1, 4)
+
+    def test_wallclock_access_fullvmm(self, benchmark):
+        machine, _ = _machine_with_new_device("fullvmm")
+        benchmark(machine.bus.port_write, NEW_DEVICE_BASE, 1, 4)

@@ -1,0 +1,70 @@
+"""E1 — Figure 3.1: measured CPU load vs transfer rate, three stacks.
+
+Regenerates the paper's only figure.  The printed table is the
+deliverable; the benchmark times one representative load measurement
+per stack, and the assertions pin the curve *shape* the paper shows:
+real hardware lowest, LVMM in the middle, the full VMM saturating
+almost immediately.
+"""
+
+import pytest
+
+from repro.perf.load import measure_load
+from repro.perf.sweep import render_figure
+
+
+class TestFigure31:
+    @pytest.mark.parametrize("stack", ["bare", "lvmm", "fullvmm"])
+    def test_measure_one_point(self, benchmark, stack):
+        """Time one CPU-load measurement (100 Mbps, 0.2 s window)."""
+        sample = benchmark.pedantic(
+            measure_load, args=(stack, 100e6, 0.2), rounds=1, iterations=1)
+        assert sample.demanded_load > 0
+
+    def test_render_full_figure(self, benchmark, figure_3_1, capsys):
+        text = benchmark.pedantic(render_figure, args=(figure_3_1,),
+                                  rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(text)
+
+    def test_curve_ordering_everywhere(self, figure_3_1, benchmark):
+        def check():
+            for index in range(len(figure_3_1["bare"].samples)):
+                bare = figure_3_1["bare"].samples[index].demanded_load
+                lvmm = figure_3_1["lvmm"].samples[index].demanded_load
+                full = figure_3_1["fullvmm"].samples[index].demanded_load
+                assert bare < lvmm < full
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_real_hardware_stays_sustainable_past_600(self, figure_3_1,
+                                                      benchmark):
+        def check():
+            for sample in figure_3_1["bare"].samples:
+                if sample.target_mbps <= 600:
+                    assert sample.sustainable
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_fullvmm_saturates_by_50(self, figure_3_1, benchmark):
+        def check():
+            first = figure_3_1["fullvmm"].samples[0]
+            assert first.target_mbps == 50
+            assert not first.sustainable
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_lvmm_knee_between_150_and_250(self, figure_3_1, benchmark):
+        """The LVMM curve crosses 100% just after its ~182 Mbps max."""
+        def knee():
+            sustainable = [s.target_mbps
+                           for s in figure_3_1["lvmm"].samples
+                           if s.sustainable]
+            return max(sustainable)
+
+        value = benchmark.pedantic(knee, rounds=1, iterations=1)
+        assert 100 <= value <= 250

@@ -1,0 +1,77 @@
+"""E4 — debugger service latency while the guest misbehaves.
+
+The paper's stability claim, quantified: the time for one full debugger
+round trip (read all registers over RSP) must be the same order whether
+the guest is healthy, crashed into the monitor's protection boundary,
+or wedged with interrupts off.  The conventional embedded-stub design
+has *infinite* latency in the crashed cases (it never answers); here we
+measure the LVMM's.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import DebugSession
+from repro.hw import firmware
+
+
+def _session(body: str) -> DebugSession:
+    session = DebugSession(monitor="lvmm")
+    program = assemble(f".org {firmware.GUEST_KERNEL_BASE}\n{body}\n")
+    session.load_and_boot(program)
+    session.attach()
+    return session
+
+
+def _crash(session: DebugSession, limit=30_000) -> None:
+    session.monitor.resume_guest(step=False)
+    session.monitor.run(limit)
+
+
+class TestStubLatency:
+    def test_roundtrip_healthy_guest(self, benchmark):
+        session = _session("spin: NOP\nJMP spin\n")
+        regs = benchmark(session.client.read_registers)
+        assert len(regs) == 10
+
+    def test_roundtrip_after_wild_write_crash(self, benchmark):
+        session = _session("""
+            MOVI R1, 0xF00000
+            MOVI R0, 0xDEAD
+            ST   [R1+0], R0
+            HLT
+        """)
+        _crash(session)
+        assert session.monitor.guest_dead
+        regs = benchmark(session.client.read_registers)
+        assert len(regs) == 10
+
+    def test_roundtrip_after_triple_fault(self, benchmark):
+        session = _session("INT 0x21\nHLT\n")
+        _crash(session)
+        assert session.monitor.guest_dead
+        regs = benchmark(session.client.read_registers)
+        assert len(regs) == 10
+
+    def test_memory_read_throughput_on_dead_guest(self, benchmark):
+        session = _session("INT 0x21\nHLT\n")
+        _crash(session)
+        data = benchmark(session.client.read_memory,
+                         firmware.GUEST_KERNEL_BASE, 256)
+        assert len(data) == 256
+
+    def test_latency_parity_healthy_vs_crashed(self, benchmark):
+        """Explicit parity check: packet counts are identical, so the
+        service path does not degrade when the guest dies."""
+        def check():
+            healthy = _session("spin: NOP\nJMP spin\n")
+            crashed = _session("INT 0x21\nHLT\n")
+            _crash(crashed)
+            for session in (healthy, crashed):
+                before = session.monitor.stub.packets_handled
+                for _ in range(10):
+                    session.client.read_registers()
+                assert session.monitor.stub.packets_handled == before + 10
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+"""E2/E3 — the paper's headline numbers.
+
+Section 3/4 of the paper states two ratios: the LVMM transfers data
+"about 5.4 times as fast as" VMware Workstation 4, and at "about one
+fourth (26%)" of real hardware.  This bench derives all three maximum
+sustainable rates from the rate sweep and prints the paper-vs-measured
+table recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.perf.analytic import predict_max_rate
+from repro.perf.sweep import max_rate
+
+PAPER_RATIO_VS_FULLVMM = 5.4
+PAPER_FRACTION_OF_BARE = 0.26
+TOLERANCE = 0.15
+
+
+class TestHeadlineRatios:
+    def test_table(self, ratios, benchmark, capsys):
+        def render():
+            rows = [
+                ("max rate, real hardware",
+                 "~700 Mbps (x-axis edge)",
+                 f"{ratios.bare_max_bps / 1e6:.0f} Mbps"),
+                ("max rate, lightweight VMM",
+                 "~182 Mbps (26% of real)",
+                 f"{ratios.lvmm_max_bps / 1e6:.0f} Mbps"),
+                ("max rate, VMware WS4 model",
+                 "~34 Mbps (182 / 5.4)",
+                 f"{ratios.fullvmm_max_bps / 1e6:.1f} Mbps"),
+                ("LVMM vs full VMM", "5.4x",
+                 f"{ratios.lvmm_vs_fullvmm:.2f}x"),
+                ("LVMM vs real hardware", "26%",
+                 f"{ratios.lvmm_vs_bare * 100:.1f}%"),
+            ]
+            width = max(len(r[0]) for r in rows)
+            lines = [f"{'metric':<{width}}  {'paper':<24} measured"]
+            lines += [f"{name:<{width}}  {paper:<24} {measured}"
+                      for name, paper, measured in rows]
+            return "\n".join(lines)
+
+        text = benchmark.pedantic(render, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(text)
+
+    def test_e2_ratio_5_4(self, ratios, benchmark):
+        value = benchmark.pedantic(lambda: ratios.lvmm_vs_fullvmm,
+                                   rounds=1, iterations=1)
+        assert value == pytest.approx(PAPER_RATIO_VS_FULLVMM,
+                                      rel=TOLERANCE)
+
+    def test_e3_fraction_26_percent(self, ratios, benchmark):
+        value = benchmark.pedantic(lambda: ratios.lvmm_vs_bare,
+                                   rounds=1, iterations=1)
+        assert value == pytest.approx(PAPER_FRACTION_OF_BARE,
+                                      rel=TOLERANCE)
+
+    def test_max_rate_measurement_cost(self, benchmark):
+        """Time one max-rate fit (two windowed DES runs)."""
+        value = benchmark.pedantic(
+            max_rate, args=("lvmm",), kwargs={"sim_seconds": 0.2},
+            rounds=1, iterations=1)
+        assert value == pytest.approx(182e6, rel=TOLERANCE)
+
+    def test_analytic_agrees(self, ratios, benchmark):
+        """The closed-form model reproduces the same three maxima."""
+        def check():
+            for stack, measured in (("bare", ratios.bare_max_bps),
+                                    ("lvmm", ratios.lvmm_max_bps),
+                                    ("fullvmm", ratios.fullvmm_max_bps)):
+                assert predict_max_rate(stack) == pytest.approx(
+                    measured, rel=0.08)
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)

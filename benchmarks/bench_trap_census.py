@@ -1,0 +1,135 @@
+"""E9 — trap census: what actually traps under the lightweight VMM.
+
+The classic VMM-paper table: for each guest, how many privileged
+operations the monitor emulated, broken down by instruction, plus
+interrupts fielded/reflected.  The numbers substantiate the design
+argument quantitatively — traps cluster at boot (table loads, PIC
+programming) and on the interrupt-management path, never on the data
+path.
+"""
+
+import pytest
+
+from repro.guest.asmio import NIC_MMIO_HOLE, build_io_demo, read_flags
+from repro.guest.asmkernel import KernelConfig, build_kernel, read_state
+from repro.guest.asmthreads import build_threaded_kernel
+from repro.hw.machine import Machine, MachineConfig
+from repro.vmm import LightweightVmm
+
+
+def run_guest(name):
+    if name == "mini-kernel":
+        machine = Machine()
+        program = build_kernel(KernelConfig(ticks_to_run=5))
+        until = lambda: read_state(machine.memory) != 0
+    elif name == "paging-kernel":
+        machine = Machine()
+        program = build_kernel(KernelConfig(ticks_to_run=5,
+                                            with_paging=True))
+        until = lambda: read_state(machine.memory) != 0
+    elif name == "threaded-kernel":
+        machine = Machine()
+        program = build_threaded_kernel(threads=3, iterations=5)
+        until = None
+    elif name == "preemptive-kernel":
+        from repro.asm import assemble
+        from repro.guest.asmthreads import threaded_kernel_source
+        machine = Machine()
+        program = assemble(threaded_kernel_source(
+            3, 5, preemptive=True, timer_hz=160000, busy_loops=5000))
+        from repro.guest.asmthreads import (STATE_EXITED,
+                                            read_task_states)
+        until = lambda: read_task_states(machine.memory, 3) \
+            == [STATE_EXITED] * 3
+    elif name == "io-demo":
+        machine = Machine(MachineConfig(nic_mmio_base=NIC_MMIO_HOLE))
+        program = build_io_demo()
+        until = lambda: read_flags(machine.memory)[2] == 1
+    else:
+        raise ValueError(name)
+    program.load_into(machine.memory)
+    monitor = LightweightVmm(machine)
+    monitor.install()
+    monitor.boot_guest(program.origin)
+    monitor.run(600_000, until=until)
+    return machine, monitor
+
+
+GUESTS = ("mini-kernel", "paging-kernel", "threaded-kernel",
+          "preemptive-kernel", "io-demo")
+
+
+@pytest.fixture(scope="module")
+def census():
+    return {name: run_guest(name) for name in GUESTS}
+
+
+class TestTrapCensus:
+    def test_census_table(self, census, benchmark, capsys):
+        def render():
+            lines = ["E9: LVMM trap census per guest boot+run"]
+            for name, (machine, monitor) in census.items():
+                stats = monitor.stats
+                traps = ", ".join(
+                    f"{mnemonic}={count}" for mnemonic, count in
+                    sorted(stats.traps_by_mnemonic.items()))
+                lines.append(
+                    f"{name:16s} traps={stats.traps_emulated:<5d} "
+                    f"irq={stats.interrupts_fielded}/"
+                    f"{stats.interrupts_reflected:<4d} "
+                    f"insns={machine.cpu.instret}")
+                lines.append(f"{'':16s} {traps}")
+            return "\n".join(lines)
+
+        text = benchmark.pedantic(render, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(text)
+
+    def test_every_guest_completed(self, census, benchmark):
+        def check():
+            for name, (machine, monitor) in census.items():
+                assert not monitor.guest_dead, name
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_boot_traps_are_a_fixed_handful(self, census, benchmark):
+        """Table loads happen exactly once per guest, regardless of
+        what the guest then does."""
+        def check():
+            for name, (_, monitor) in census.items():
+                by = monitor.stats.traps_by_mnemonic
+                assert by.get("LGDT", 0) == 1, name
+                assert by.get("LIDT", 0) == 1, name
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_data_path_never_traps(self, census, benchmark):
+        """The io-demo moves kilobytes through SCSI+NIC: zero IN/OUT
+        traps beyond the PIC programming OUTBs."""
+        def check():
+            _, monitor = census["io-demo"]
+            by = monitor.stats.traps_by_mnemonic
+            assert "INW" not in by and "OUTW" not in by
+            assert "INB" not in by
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_trap_rate_is_boot_dominated(self, census, benchmark):
+        """Per retired instruction, traps are rare for every guest —
+        the lightweight in 'lightweight VMM'."""
+        def rates():
+            out = {}
+            for name, (machine, monitor) in census.items():
+                busy = [t for m, t in
+                        monitor.stats.traps_by_mnemonic.items()
+                        if m != "HLT"]
+                out[name] = sum(busy) / max(machine.cpu.instret, 1)
+            return out
+
+        values = benchmark.pedantic(rates, rounds=1, iterations=1)
+        for name, rate in values.items():
+            assert rate < 0.15, (name, rate)

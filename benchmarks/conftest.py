@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy sweeps run once per session and are shared between the benchmark
+that times them and the assertions that check the paper's shape.
+"""
+
+import pytest
+
+from repro.perf.sweep import headline_ratios, sweep_figure_3_1
+
+#: A reduced x-axis that keeps the full-figure benchmark under a minute
+#: while covering the paper's 0-700 Mbps range.
+FIGURE_RATES = (50, 100, 150, 200, 300, 400, 500, 600, 700)
+
+
+@pytest.fixture(scope="session")
+def figure_3_1():
+    return sweep_figure_3_1(rates_mbps=FIGURE_RATES, sim_seconds=0.25)
+
+
+@pytest.fixture(scope="session")
+def ratios():
+    return headline_ratios(sim_seconds=0.25)

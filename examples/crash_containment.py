@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Stability demo (the paper's first claim, experiment E4).
+
+A guest OS with a wild-pointer bug sprays writes toward the monitor's
+memory.  Two runs:
+
+1. **Conventional approach** — the debug stub is embedded in the guest
+   OS (serviced from its idle loop).  When the guest wedges, the
+   debugger goes silent: there is nothing left to answer it.
+2. **Lightweight VMM** — the stub lives in the monitor under the guest.
+   The same rampage is contained by the three-level protection; the
+   host debugger keeps full register/memory access to the corpse.
+"""
+
+from repro.asm import assemble
+from repro.baremetal import BareMetalRunner
+from repro.core import DebugSession
+from repro.errors import ProtocolError
+from repro.hw import firmware
+from repro.hw.machine import Machine
+from repro.hw.uart import HostSerialPort
+from repro.rsp.client import RspClient
+
+BUGGY_GUEST = f"""
+.org {firmware.GUEST_KERNEL_BASE}
+start:
+    MOVI R1, 0xF00000       ; "oops": pointer into the monitor region
+    MOVI R0, 0xDEADBEEF
+rampage:
+    ST   [R1+0], R0
+    ADDI R1, 4
+    JMP  rampage
+"""
+
+
+def conventional() -> None:
+    print("=" * 64)
+    print("1) conventional: stub embedded in the guest OS (bare metal)")
+    machine = Machine()
+    runner = BareMetalRunner(machine, with_embedded_stub=True)
+    program = assemble(BUGGY_GUEST)
+    program.load_into(machine.memory)
+    runner.boot_guest(program.origin)
+
+    # The rampage scribbles over everything below it... including where
+    # the stub's state would live; worse, the guest never polls again.
+    machine.run(20_000)
+    print(f"   guest ran away; memory at 0xF00000 = "
+          f"{machine.memory.read_u32(0xF00000):#010x} (trashed)")
+
+    host = HostSerialPort(machine.serial_link)
+    client = RspClient(send=host.send, recv=host.recv,
+                       pump=lambda: None, max_pumps=25)
+    try:
+        client.query_halt_reason()
+        print("   unexpected: the embedded stub answered")
+    except ProtocolError:
+        print("   debugger: NO RESPONSE — the stub died with the guest")
+
+
+def with_lvmm() -> None:
+    print("=" * 64)
+    print("2) lightweight VMM: stub in the monitor, guest deprivileged")
+    session = DebugSession(monitor="lvmm")
+    program = assemble(BUGGY_GUEST)
+    session.load_and_boot(program)
+    session.attach()
+    session.monitor.resume_guest(step=False)
+    session.monitor.run(20_000)
+
+    monitor = session.monitor
+    print(f"   guest dead: {monitor.guest_dead} "
+          f"({monitor.guest_dead_reason})")
+    print(f"   monitor memory at {monitor.monitor_base:#x} intact: "
+          f"{session.machine.memory.read_u32(monitor.monitor_base):#010x}")
+
+    regs = session.client.read_registers()
+    print(f"   debugger still works: PC={regs[8]:#010x} "
+          f"R1={regs[1]:#010x} (the wild pointer, caught at the "
+          f"protection boundary)")
+    image = session.client.read_memory(program.origin, 8)
+    print(f"   post-mortem memory read: {image.hex()}")
+
+
+def main() -> None:
+    conventional()
+    with_lvmm()
+    print("=" * 64)
+    print("same bug, same machine: only the LVMM keeps the debugger alive.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's evaluation workload (Section 3), end to end.
+
+Reads 2 MB blocks from three Ultra160-class SCSI disks at a constant
+rate, splits them into 1024 KB segments and transmits them over gigabit
+Ethernet as UDP — on all three execution stacks — then reports the
+CPU-load curve of Fig. 3.1 and the paper's two headline ratios.
+
+Run with no arguments for a quick three-point comparison, or
+``--full`` for the whole 50-700 Mbps sweep.
+"""
+
+import argparse
+
+from repro.perf.sweep import (
+    headline_ratios,
+    render_figure,
+    sweep_figure_3_1,
+)
+from repro.workloads import compare_stacks
+
+
+def quick_comparison() -> None:
+    rate = 100e6
+    print(f"-- one vertical slice of Fig. 3.1 at {rate / 1e6:.0f} Mbps --")
+    samples = compare_stacks(rate)
+    for name, sample in samples.items():
+        status = "ok" if sample.sustainable else "SATURATED"
+        print(f"{name:8s}  CPU load {sample.load * 100:5.1f}%  "
+              f"achieved {sample.achieved_mbps:6.1f} Mbps  "
+              f"segments {sample.segments_sent:4d}  [{status}]")
+        busiest = sorted(sample.breakdown.items(), key=lambda kv: -kv[1])
+        top = ", ".join(f"{k}={v / 1e6:.0f}M" for k, v in busiest[:3])
+        print(f"          cycle breakdown: {top}")
+
+
+def full_figure() -> None:
+    print("-- Fig. 3.1: CPU load vs transfer rate --")
+    series = sweep_figure_3_1()
+    print(render_figure(series))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="sweep the whole 50-700 Mbps x-axis")
+    args = parser.parse_args()
+
+    if args.full:
+        full_figure()
+    else:
+        quick_comparison()
+
+    print("\n-- headline ratios (paper Section 3) --")
+    ratios = headline_ratios()
+    print(f"max sustainable transfer rates:")
+    print(f"  real hardware : {ratios.bare_max_bps / 1e6:6.1f} Mbps")
+    print(f"  lightweight VMM: {ratios.lvmm_max_bps / 1e6:6.1f} Mbps")
+    print(f"  full VMM model : {ratios.fullvmm_max_bps / 1e6:6.1f} Mbps")
+    print(f"LVMM vs full VMM : {ratios.lvmm_vs_fullvmm:.2f}x  "
+          f"(paper: 5.4x)")
+    print(f"LVMM vs real HW  : {ratios.lvmm_vs_bare * 100:.0f}%   "
+          f"(paper: 26%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Passthrough I/O at machine-code level (efficiency claim, close up).
+
+The guest in this demo is ~150 instructions of assembly that set up the
+machine, DMA 8 KB off a SCSI disk, and transmit the first KB over the
+gigabit NIC — the inner loop of the paper's streaming workload.  It
+runs twice:
+
+* on **bare metal**, where its device programming obviously reaches the
+  hardware directly;
+* under the **lightweight VMM**, deprivileged to ring 1 — where it
+  still reaches the SCSI HBA and the NIC directly (I/O permission
+  bitmap + uninterposed MMIO).  The trap log shows exactly what the
+  monitor *did* see: GDT/IDT loads, PIC programming, STI/HLT — and not
+  one byte of the data path.
+"""
+
+from repro.baremetal import BareMetalRunner
+from repro.guest.asmio import NIC_MMIO_HOLE, build_io_demo, read_flags
+from repro.hw.machine import Machine, MachineConfig
+from repro.vmm import LightweightVmm
+
+
+def build_machine():
+    machine = Machine(MachineConfig(nic_mmio_base=NIC_MMIO_HOLE))
+    frames = []
+    machine.nic.wire = frames.append
+    return machine, frames
+
+
+def main() -> None:
+    program = build_io_demo(read_blocks=16, frame_len=1024)
+    print(f"guest image: {len(program.image)} bytes at "
+          f"{program.origin:#x}, symbols: "
+          f"{', '.join(sorted(program.symbols)[:6])}, ...")
+
+    print("\n== run 1: bare metal ==")
+    machine, frames = build_machine()
+    program.load_into(machine.memory)
+    BareMetalRunner(machine).boot_guest(program.origin)
+    machine.run(400_000, until=lambda: read_flags(machine.memory)[2] == 1)
+    expected = machine.disks[0].read_blocks(0, 2)[:1024]
+    print(f"flags (scsi, nic, done): {read_flags(machine.memory)}")
+    print(f"frame on the wire matches disk bytes: "
+          f"{frames[0] == expected}")
+
+    print("\n== run 2: same image under the lightweight VMM ==")
+    machine, frames = build_machine()
+    program.load_into(machine.memory)
+    monitor = LightweightVmm(machine)
+    monitor.install()
+    monitor.boot_guest(program.origin)
+    monitor.run(600_000, until=lambda: read_flags(machine.memory)[2] == 1)
+    expected = machine.disks[0].read_blocks(0, 2)[:1024]
+    print(f"flags (scsi, nic, done): {read_flags(machine.memory)}")
+    print(f"frame on the wire matches disk bytes: "
+          f"{frames[0] == expected}")
+    print(f"guest console: {bytes(monitor.console)!r}")
+    print(f"what trapped: {monitor.stats.traps_by_mnemonic}")
+    print(f"interrupts reflected into the guest: "
+          f"{monitor.stats.interrupts_reflected}")
+    print(f"SCSI/NIC data-path accesses intercepted: "
+          f"{machine.bus.intercepted_accesses - monitor.intercept.pic_accesses}")
+    print("\nthe data path never touched the monitor — that is the "
+          "paper's efficiency argument in one run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: debug an OS kernel through the lightweight VMM.
+
+Boots the HiTactix-like mini-kernel (an unmodified "ring-0" image)
+under the lightweight virtual machine monitor, attaches the host-side
+remote debugger over the simulated serial link, and walks the classic
+loop: breakpoint -> continue -> inspect -> single-step -> resume.
+"""
+
+from repro.core import DebugSession
+from repro.debugger import Debugger, SymbolTable
+from repro.guest import KernelConfig, build_kernel, read_state, read_ticks
+
+
+def main() -> None:
+    # -- target machine: CPU + PIC + PIT + UART + SCSI + NIC, with the
+    #    lightweight VMM installed underneath the guest.
+    session = DebugSession(monitor="lvmm")
+    kernel = build_kernel(KernelConfig(ticks_to_run=10))
+    session.load_and_boot(kernel)
+
+    # -- host side: RSP client + symbolic debugger.
+    signal = session.attach()
+    print(f"attached; target stopped with signal {signal} (SIGTRAP)")
+
+    symbols = SymbolTable()
+    symbols.add_program(kernel)
+    debugger = Debugger(session, symbols)
+
+    print("\n-- break inside the timer interrupt handler --")
+    print(debugger.execute("break timer_isr"))
+    print(debugger.execute("continue"))
+
+    print("\n-- the guest is frozen mid-ISR; inspect it --")
+    print(debugger.execute("regs"))
+    print(debugger.execute("disas timer_isr 5"))
+
+    print("\n-- watch the tick counter change across two hits --")
+    print(debugger.execute("x 0x5000 4"))
+    print(debugger.execute("continue"))
+    print(debugger.execute("x 0x5000 4"))
+
+    print("\n-- single-step three instructions --")
+    print(debugger.execute("delete timer_isr"))
+    for _ in range(3):
+        print(debugger.execute("step"))
+
+    print("\n-- detach and let the guest run to completion --")
+    session.client.detach()
+    session.run_guest(800_000,
+                      until=lambda: read_state(session.machine.memory) != 0)
+    print(f"guest finished after {read_ticks(session.machine.memory)} "
+          f"ticks; console output: {session.console_output!r}")
+    stats = session.monitor.stats
+    print(f"monitor stats: {stats.traps_emulated} privileged ops "
+          f"emulated, {stats.interrupts_reflected} interrupts reflected")
+
+
+if __name__ == "__main__":
+    main()

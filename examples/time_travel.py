@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Time-travel debugging: checkpoint, crash, rewind, fix.
+
+A simulated target makes one classic debugging technique cheap:
+stop-the-world snapshots.  This demo drives the scenario every kernel
+developer knows — the bug destroys the evidence — and shows the
+workflow the monitor's checkpoint/restore enables:
+
+1. break before the suspicious code and checkpoint;
+2. let the guest run into its crash; do the post-mortem;
+3. rewind to the checkpoint — the guest is alive again, pre-bug;
+4. patch the bug from the debugger and continue to a clean finish.
+"""
+
+from repro.asm import assemble
+from repro.core import DebugSession
+from repro.debugger import Debugger, SymbolTable
+from repro.hw import firmware
+
+# A guest with a latent bug: it computes a table index, but an
+# off-by-one walks the pointer into the monitor region.
+GUEST = f"""
+.org {firmware.GUEST_KERNEL_BASE}
+start:
+    MOVI R1, table
+    MOVI R2, 0            ; sum
+    MOVI R3, 0            ; index
+loop:
+    BKPT                  ; 'suspicious code starts here'
+    LD   R0, [R1+0]
+    ADD  R2, R0
+    ADDI R1, 4
+    ADDI R3, 1
+    CMPI R3, 4
+    JNZ  loop
+    ; BUG: scale factor applied to the POINTER, not the sum
+    MOVI R0, 0x400000
+    ADD  R1, R0           ; R1 now points at garbage...
+    LD   R0, [R1+0]       ; ...read it anyway
+    ADD  R2, R0
+    MOVI R1, 0xF80000     ; and then clobber 'the log buffer'
+    ST   [R1+0], R2       ; (monitor region: instant death)
+    HLT
+table:
+    .word 10, 20, 30, 40
+"""
+
+
+def main() -> None:
+    session = DebugSession(monitor="lvmm")
+    program = assemble(GUEST)
+    session.load_and_boot(program)
+    session.attach()
+    symbols = SymbolTable()
+    symbols.add_program(program)
+    debugger = Debugger(session, symbols)
+
+    print("== 1. run to the suspicious loop and checkpoint ==")
+    print(debugger.execute("continue"))          # first BKPT
+    print(debugger.execute("checkpoint pre-bug"))
+
+    print("\n== 2. let it run into the crash ==")
+    for _ in range(3):                           # remaining BKPT hits
+        debugger.execute("continue")
+    session.monitor.resume_guest(step=False)
+    session.monitor.run(200)
+    print(f"guest dead: {session.monitor.guest_dead} "
+          f"({session.monitor.guest_dead_reason})")
+    print("post-mortem registers:")
+    print(debugger.execute("regs"))
+    print("monitor timeline of the death:")
+    print("\n".join(
+        session.client.monitor_command("trace 4").splitlines()))
+
+    print("\n== 3. rewind to before the bug ==")
+    print(debugger.execute("restore pre-bug"))
+    print(f"guest alive again: {session.guest_alive}")
+
+    print("\n== 4. patch the bad scale-add out and finish cleanly ==")
+    # Find 'MOVI R0, 0x400000' and turn it into a harmless 0.
+    from repro.asm import disassemble
+    code = session.client.read_memory(program.origin, len(program.image))
+    target = next(insn for insn in
+                  disassemble(code, program.origin, strict=False)
+                  if insn.text == "MOVI R0, 0x400000")
+    debugger.execute(f"write {target.address + 2:#x} 00000000")
+    # Also neuter the wild store's address: aim it at scratch space.
+    wild = next(insn for insn in
+                disassemble(code, program.origin, strict=False)
+                if insn.text == "MOVI R1, 0xf80000")
+    debugger.execute(f"write {wild.address + 2:#x} 00900000")  # 0x9000
+    for _ in range(4):
+        debugger.execute("continue")             # through the BKPTs
+    session.monitor.resume_guest(step=False)
+    session.monitor.run(500)
+    regs = session.client.read_registers()
+    print(f"guest halted cleanly: "
+          f"{session.machine.cpu.halted and session.guest_alive}; "
+          f"sum in R2 = {regs[2]} (10+20+30+40 + patched read)")
+
+
+if __name__ == "__main__":
+    main()

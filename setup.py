@@ -1,0 +1,19 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of 'OS Debugging Method Using a Lightweight "
+                 "Virtual Machine Monitor' (Takeuchi, DATE 2005)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-debugger=repro.debugger.cli:main",
+            "repro-sweep=repro.perf.sweep:main",
+            "repro-asm=repro.asm.cli:main",
+            "repro-gdbserver=repro.debugger.gdbserver:main",
+        ]
+    },
+)

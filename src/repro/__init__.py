@@ -1,0 +1,9 @@
+"""Reproduction of Takeuchi, "OS Debugging Method Using a Lightweight
+Virtual Machine Monitor" (DATE 2005).
+
+The public API lives in :mod:`repro.core`; the subpackages are the
+substrates (hardware models, assembler, protocol stack, monitors, guest
+OS, performance harness) described in DESIGN.md.
+"""
+
+__version__ = "1.0.0"

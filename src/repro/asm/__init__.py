@@ -1,0 +1,14 @@
+"""Assembler and disassembler for the HX32 ISA."""
+
+from repro.asm.assembler import Assembler, Program, assemble
+from repro.asm.disasm import DecodedInsn, decode_one, disassemble, iter_listing
+
+__all__ = [
+    "Assembler",
+    "Program",
+    "assemble",
+    "DecodedInsn",
+    "decode_one",
+    "disassemble",
+    "iter_listing",
+]

@@ -1,0 +1,95 @@
+"""Command-line assembler / disassembler.
+
+    repro-asm build  kernel.s -o kernel.bin [--org 0x200000] [--symbols]
+    repro-asm dump   kernel.bin [--org 0x200000] [--count N]
+    repro-asm listing kernel.s [--org 0x200000]
+
+``build`` writes the flat image; ``dump`` disassembles an image;
+``listing`` shows address/bytes/source for an assembly file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.asm.assembler import assemble
+from repro.asm.disasm import iter_listing
+from repro.errors import ReproError
+
+
+def _cmd_build(args) -> int:
+    source = Path(args.source).read_text()
+    program = assemble(source, origin=args.org)
+    output = Path(args.output) if args.output \
+        else Path(args.source).with_suffix(".bin")
+    output.write_bytes(program.image)
+    print(f"{output}: {len(program.image)} bytes at "
+          f"{program.origin:#x}..{program.end:#x}")
+    if args.symbols:
+        for name in sorted(program.symbols):
+            print(f"{program.symbols[name]:08x}  {name}")
+    return 0
+
+
+def _cmd_dump(args) -> int:
+    image = Path(args.image).read_bytes()
+    count = 0
+    for line in iter_listing(image, origin=args.org):
+        print(line)
+        count += 1
+        if args.count and count >= args.count:
+            break
+    return 0
+
+
+def _cmd_listing(args) -> int:
+    source = Path(args.source).read_text()
+    program = assemble(source, origin=args.org)
+    lines = source.splitlines()
+    for address, line_number, text in program.listing:
+        source_text = lines[line_number - 1].strip() \
+            if line_number <= len(lines) else text
+        print(f"{address:08x}  {source_text}")
+    return 0
+
+
+def _org(text: str) -> int:
+    return int(text, 0)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-asm",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="assemble a source file")
+    build.add_argument("source")
+    build.add_argument("-o", "--output")
+    build.add_argument("--org", type=_org, default=0)
+    build.add_argument("--symbols", action="store_true")
+    build.set_defaults(func=_cmd_build)
+
+    dump = sub.add_parser("dump", help="disassemble a flat image")
+    dump.add_argument("image")
+    dump.add_argument("--org", type=_org, default=0)
+    dump.add_argument("--count", type=int, default=0)
+    dump.set_defaults(func=_cmd_dump)
+
+    listing = sub.add_parser("listing", help="address-annotated source")
+    listing.add_argument("source")
+    listing.add_argument("--org", type=_org, default=0)
+    listing.set_defaults(func=_cmd_listing)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"repro-asm: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Disassembler for HX32 machine code.
+
+Produces text the assembler accepts back, so
+``assemble(disassemble(assemble(src))).image == assemble(src).image``
+— a property the test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import DisassemblerError
+from repro.hw import isa
+
+
+@dataclass(frozen=True)
+class DecodedInsn:
+    address: int
+    opcode: int
+    mnemonic: str
+    length: int
+    text: str
+    raw: bytes
+
+
+def _reg(number: int) -> str:
+    return f"R{number & 0x7}"
+
+
+def decode_one(code: bytes, offset: int, address: int) -> DecodedInsn:
+    """Decode a single instruction at ``code[offset:]``."""
+    if offset >= len(code):
+        raise DisassemblerError(f"decode past end of buffer at {offset}")
+    opcode = code[offset]
+    spec = isa.SPECS.get(opcode)
+    if spec is None:
+        raise DisassemblerError(
+            f"invalid opcode 0x{opcode:02x} at address {address:#x}")
+    if offset + spec.length > len(code):
+        raise DisassemblerError(
+            f"truncated {spec.mnemonic} at address {address:#x}")
+    raw = bytes(code[offset:offset + spec.length])
+    body = raw[1:]
+    text = _render(spec, body, address)
+    return DecodedInsn(address=address, opcode=opcode,
+                       mnemonic=spec.mnemonic, length=spec.length,
+                       text=text, raw=raw)
+
+
+def _render(spec: isa.InsnSpec, body: bytes, address: int) -> str:
+    name = spec.mnemonic
+    fmt = spec.fmt
+    if fmt == isa.FMT_NONE:
+        return name
+    if fmt == isa.FMT_R:
+        return f"{name} {_reg(body[0])}"
+    if fmt == isa.FMT_RR:
+        ra = (body[0] >> 4) & 0x7
+        rb = body[0] & 0x7
+        return f"{name} {_reg(ra)}, {_reg(rb)}"
+    if fmt == isa.FMT_RI:
+        value = int.from_bytes(body[1:5], "little")
+        return f"{name} {_reg(body[0])}, {value:#x}"
+    if fmt == isa.FMT_RRI:
+        ra = (body[0] >> 4) & 0x7
+        rb = body[0] & 0x7
+        disp = isa.signed32(int.from_bytes(body[1:5], "little"))
+        sign = "+" if disp >= 0 else "-"
+        mem = f"[{_reg(rb)}{sign}{abs(disp):#x}]"
+        if name.startswith("ST"):
+            return f"{name} {mem}, {_reg(ra)}"
+        return f"{name} {_reg(ra)}, {mem}"
+    if fmt == isa.FMT_I32:
+        value = int.from_bytes(body[0:4], "little")
+        return f"{name} {value:#x}"
+    if fmt == isa.FMT_I8:
+        return f"{name} {body[0]:#x}"
+    if fmt == isa.FMT_REL:
+        rel = isa.signed32(int.from_bytes(body[0:4], "little"))
+        target = isa.mask32(address + spec.length + rel)
+        return f"{name} {target:#x}"
+    if fmt == isa.FMT_CR:
+        crn = (body[0] >> 4) & 0x3
+        reg = body[0] & 0x7
+        if name == "MOVCR":
+            return f"{name} {isa.CR_NAMES[crn]}, {_reg(reg)}"
+        return f"{name} {_reg(reg)}, {isa.CR_NAMES[crn]}"
+    if fmt == isa.FMT_SEG:
+        segn = (body[0] >> 4) & 0x3
+        reg = body[0] & 0x7
+        if segn >= len(isa.SEG_NAMES):
+            raise DisassemblerError(f"bad segment number {segn}")
+        if name == "MOVSEG":
+            return f"{name} {isa.SEG_NAMES[segn]}, {_reg(reg)}"
+        return f"{name} {_reg(reg)}, {isa.SEG_NAMES[segn]}"
+    raise DisassemblerError(f"unhandled format {fmt!r}")
+
+
+def disassemble(code: bytes, origin: int = 0,
+                count: Optional[int] = None,
+                strict: bool = True) -> List[DecodedInsn]:
+    """Decode instructions until the buffer ends (or ``count`` decoded).
+
+    With ``strict=False``, decoding stops quietly at the first invalid
+    or truncated instruction — the right behaviour when decoding an
+    arbitrary memory window whose tail cuts an instruction in half.
+    """
+    out: List[DecodedInsn] = []
+    offset = 0
+    while offset < len(code):
+        if count is not None and len(out) >= count:
+            break
+        try:
+            insn = decode_one(code, offset, origin + offset)
+        except DisassemblerError:
+            if strict:
+                raise
+            break
+        out.append(insn)
+        offset += insn.length
+    return out
+
+
+def iter_listing(code: bytes, origin: int = 0) -> Iterator[str]:
+    """Yield ``address:  bytes   text`` lines for a code buffer."""
+    for insn in disassemble(code, origin):
+        raw = insn.raw.hex()
+        yield f"{insn.address:08x}:  {raw:<12}  {insn.text}"

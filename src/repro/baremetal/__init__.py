@@ -1,0 +1,5 @@
+"""Bare-metal execution: the 'real hardware' baseline."""
+
+from repro.baremetal.runner import BareMetalRunner, EmbeddedStub
+
+__all__ = ["BareMetalRunner", "EmbeddedStub"]

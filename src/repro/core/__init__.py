@@ -1,0 +1,21 @@
+"""Public API: the debugging environment and the evaluation harness.
+
+Typical use::
+
+    from repro.core import DebugSession
+    from repro.guest import build_kernel, KernelConfig
+
+    session = DebugSession(monitor="lvmm")
+    session.load_and_boot(build_kernel(KernelConfig()))
+    session.attach()
+    session.client.set_breakpoint(...)
+
+and for the paper's evaluation::
+
+    from repro.workloads import run_data_transfer
+    sample = run_data_transfer("lvmm", rate_bps=100e6)
+"""
+
+from repro.core.session import MONITORS, DebugSession
+
+__all__ = ["DebugSession", "MONITORS"]

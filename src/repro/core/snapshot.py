@@ -1,0 +1,185 @@
+"""Guest checkpoint/restore — a simulator-enabled debugging extension.
+
+A classic pain of OS debugging is that the bug destroys the state you
+needed to see.  Because this target is simulated, the debug session can
+checkpoint the *whole guest* (CPU, memory, PIC, monitor shadow state,
+disk write overlays) while it is stopped, let it run into the weeds,
+and wind it back.
+
+Scope: snapshots are taken at **quiescent stop points** — the guest is
+stopped and no device operation is in flight.  In-flight DMA or pending
+wire events are deliberately not captured (the capture refuses, rather
+than recording a half-truth); this matches the stop-the-world
+checkpoint discipline of record/replay debuggers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MonitorError
+from repro.hw.seg import SegmentDescriptor
+
+
+@dataclass
+class _PicChipState:
+    irr: int
+    isr: int
+    imr: int
+    vector_base: int
+
+
+@dataclass
+class MachineSnapshot:
+    """Everything needed to put a stopped guest back exactly here."""
+
+    label: str
+    cycle: int
+    # CPU
+    regs: List[int] = field(default_factory=list)
+    pc: int = 0
+    flags: int = 0
+    crs: List[int] = field(default_factory=list)
+    segments: List[Tuple[int, bytes]] = field(default_factory=list)
+    gdtr: Tuple[int, int] = (0, 0)
+    idtr: Tuple[int, int] = (0, 0)
+    tss_base: int = 0
+    halted: bool = False
+    # Memory + device state
+    memory: bytes = b""
+    pic: List[_PicChipState] = field(default_factory=list)
+    disk_overlays: List[Dict[int, bytes]] = field(default_factory=list)
+    # Monitor shadow state (None when captured on bare metal)
+    shadow: Optional[dict] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.memory)
+
+
+def _quiesce_check(machine) -> None:
+    if machine.hba._in_flight:
+        raise MonitorError(
+            "cannot snapshot: SCSI requests in flight — let the guest "
+            "reach a quiescent stop first")
+    next_event = machine.queue.peek_time()
+    if next_event is not None and machine.nic is not None \
+            and machine.nic._tx_busy_until > machine.queue.now:
+        raise MonitorError(
+            "cannot snapshot: NIC transmission in flight")
+
+
+def capture(machine, monitor=None, label: str = "") -> MachineSnapshot:
+    """Snapshot a stopped guest."""
+    _quiesce_check(machine)
+    cpu = machine.cpu
+    snapshot = MachineSnapshot(
+        label=label or f"cycle-{cpu.cycle_count}",
+        cycle=cpu.cycle_count,
+        regs=list(cpu.regs),
+        pc=cpu.pc,
+        flags=cpu.flags,
+        crs=list(cpu.crs),
+        segments=[(cache.selector, cache.descriptor.pack())
+                  for cache in cpu.segments],
+        gdtr=(cpu.gdt.base, cpu.gdt.limit),
+        idtr=(cpu.idtr_base, cpu.idtr_limit),
+        tss_base=cpu.tss_base,
+        halted=cpu.halted,
+        memory=machine.memory.read(0, machine.memory.size),
+        pic=[_PicChipState(chip.irr, chip.isr, chip.imr,
+                           chip.vector_base)
+             for chip in (machine.pic.master, machine.pic.slave)],
+        disk_overlays=[dict(disk._overlay) for disk in machine.disks],
+    )
+    if monitor is not None:
+        shadow = monitor.shadow
+        snapshot.shadow = {
+            "vif": shadow.vif,
+            "vif_before_reflect": shadow.vif_before_reflect,
+            "idtr": (shadow.idtr.base, shadow.idtr.limit),
+            "gdtr": (shadow.gdtr.base, shadow.gdtr.limit),
+            "tss_base": shadow.tss_base,
+            "cr0": shadow.cr0,
+            "cr3": shadow.cr3,
+            "halted": shadow.halted,
+            "vpic": [(chip.irr, chip.isr, chip.imr, chip.vector_base)
+                     for chip in (shadow.virtual_pic.master,
+                                  shadow.virtual_pic.slave)],
+            "guest_dead": monitor.guest_dead,
+            "guest_dead_reason": monitor.guest_dead_reason,
+        }
+    return snapshot
+
+
+def restore(machine, snapshot: MachineSnapshot, monitor=None) -> None:
+    """Rewind a machine to a snapshot taken on it (or a twin of it)."""
+    if len(snapshot.memory) != machine.memory.size:
+        raise MonitorError(
+            f"snapshot is for a {len(snapshot.memory):#x}-byte machine, "
+            f"this one has {machine.memory.size:#x}")
+    cpu = machine.cpu
+    machine.memory.write(0, snapshot.memory)
+    cpu.regs[:] = snapshot.regs
+    cpu.pc = snapshot.pc
+    cpu.flags = snapshot.flags
+    cpu.crs[:] = snapshot.crs
+    for index, (selector, raw) in enumerate(snapshot.segments):
+        cpu.force_segment(index, selector,
+                          SegmentDescriptor.unpack(raw))
+    cpu.gdt.load(*snapshot.gdtr)
+    cpu.idtr_base, cpu.idtr_limit = snapshot.idtr
+    cpu.tss_base = snapshot.tss_base
+    cpu.halted = snapshot.halted
+    cpu.mmu.set_cr3(cpu.crs[3])  # also flushes the TLB
+
+    for chip, state in zip((machine.pic.master, machine.pic.slave),
+                           snapshot.pic):
+        chip.irr, chip.isr = state.irr, state.isr
+        chip.imr, chip.vector_base = state.imr, state.vector_base
+
+    for disk, overlay in zip(machine.disks, snapshot.disk_overlays):
+        disk._overlay = dict(overlay)
+
+    if monitor is not None and snapshot.shadow is not None:
+        shadow = monitor.shadow
+        data = snapshot.shadow
+        shadow.vif = data["vif"]
+        shadow.vif_before_reflect = data["vif_before_reflect"]
+        shadow.idtr.base, shadow.idtr.limit = data["idtr"]
+        shadow.gdtr.base, shadow.gdtr.limit = data["gdtr"]
+        shadow.tss_base = data["tss_base"]
+        shadow.cr0 = data["cr0"]
+        shadow.cr3 = data["cr3"]
+        shadow.halted = data["halted"]
+        for chip, state in zip((shadow.virtual_pic.master,
+                                shadow.virtual_pic.slave),
+                               data["vpic"]):
+            chip.irr, chip.isr, chip.imr, chip.vector_base = state
+        monitor.guest_dead = data["guest_dead"]
+        monitor.guest_dead_reason = data["guest_dead_reason"]
+        # The guest is back from the dead at a stop point.
+        monitor.stopped = True
+
+
+class CheckpointStore:
+    """Named snapshots for a debug session."""
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[str, MachineSnapshot] = {}
+
+    def save(self, name: str, snapshot: MachineSnapshot) -> None:
+        self._snapshots[name] = snapshot
+
+    def get(self, name: str) -> MachineSnapshot:
+        try:
+            return self._snapshots[name]
+        except KeyError:
+            raise MonitorError(f"no checkpoint named {name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._snapshots)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)

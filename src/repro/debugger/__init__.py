@@ -1,0 +1,6 @@
+"""Host-side remote debugger (CLI + symbol tables)."""
+
+from repro.debugger.cli import Debugger
+from repro.debugger.symbols import SymbolTable
+
+__all__ = ["Debugger", "SymbolTable"]

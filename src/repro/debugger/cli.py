@@ -1,0 +1,303 @@
+"""The host-side software remote debugger (Fig. 2.1, left box).
+
+A small GDB-flavoured command-line front end over the RSP client:
+
+    break <addr|symbol>        set a breakpoint
+    delete <addr|symbol>       clear a breakpoint
+    watch <addr|symbol> [len]  write watchpoint
+    continue / c               run until the next stop
+    step / s                   single-step one instruction
+    interrupt                  ^C the running guest
+    regs                       dump registers
+    set <reg> <value>          write a register (r0..r7, pc, flags)
+    x <addr|symbol> [len]      hex-dump guest memory
+    write <addr> <hexbytes>    patch guest memory
+    disas [addr] [count]       disassemble guest code
+    symbols                    list known symbols
+    console                    show the guest's monitor console
+    monitor <cmd>              monitor commands (stats/console/trace/shadow)
+    checkpoint [name]          snapshot the stopped guest
+    restore [name]             rewind to a snapshot
+    threads                    list guest tasks (needs a task table)
+    thread <id|0>              select the thread 'regs' shows
+    quit                       leave
+
+Usable interactively (``repro-debugger``) or scripted
+(:meth:`Debugger.execute` returns the textual output), which is how the
+test suite drives it.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, List, Optional
+
+from repro.asm.disasm import disassemble
+from repro.core.session import DebugSession
+from repro.debugger.symbols import SymbolTable
+from repro.errors import ProtocolError, ReproError
+
+REG_NAMES = [f"r{i}" for i in range(8)] + ["pc", "flags"]
+
+
+class Debugger:
+    """Command interpreter bound to one debug session."""
+
+    def __init__(self, session: DebugSession,
+                 symbols: Optional[SymbolTable] = None) -> None:
+        self.session = session
+        self.symbols = symbols or SymbolTable()
+        self.done = False
+
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns its output text."""
+        parts = line.split()
+        if not parts:
+            return ""
+        command, args = parts[0].lower(), parts[1:]
+        handler = self._handlers().get(command)
+        if handler is None:
+            return f"unknown command {command!r} (try 'help')"
+        try:
+            return handler(args)
+        except ProtocolError as exc:
+            return f"protocol error: {exc}"
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    def _handlers(self) -> dict:
+        return {
+            "break": self._cmd_break, "b": self._cmd_break,
+            "delete": self._cmd_delete,
+            "watch": self._cmd_watch,
+            "continue": self._cmd_continue, "c": self._cmd_continue,
+            "step": self._cmd_step, "s": self._cmd_step,
+            "interrupt": self._cmd_interrupt,
+            "regs": self._cmd_regs,
+            "set": self._cmd_set,
+            "x": self._cmd_examine,
+            "write": self._cmd_write,
+            "disas": self._cmd_disas,
+            "symbols": self._cmd_symbols,
+            "console": self._cmd_console,
+            "monitor": self._cmd_monitor,
+            "checkpoint": self._cmd_checkpoint,
+            "restore": self._cmd_restore,
+            "threads": self._cmd_threads,
+            "thread": self._cmd_thread,
+            "help": self._cmd_help,
+            "quit": self._cmd_quit, "q": self._cmd_quit,
+        }
+
+    # -- address helpers ------------------------------------------------------
+
+    def _addr(self, text: str) -> int:
+        address = self.symbols.resolve(text)
+        if address is None:
+            raise ReproError(f"cannot resolve {text!r}")
+        return address
+
+    # -- commands ------------------------------------------------------------
+
+    def _cmd_break(self, args: List[str]) -> str:
+        if len(args) != 1:
+            return "usage: break <addr|symbol>"
+        address = self._addr(args[0])
+        self.session.client.set_breakpoint(address)
+        return f"breakpoint at {self.symbols.format_address(address)}"
+
+    def _cmd_delete(self, args: List[str]) -> str:
+        if len(args) != 1:
+            return "usage: delete <addr|symbol>"
+        address = self._addr(args[0])
+        self.session.client.clear_breakpoint(address)
+        return f"deleted breakpoint at {address:#x}"
+
+    def _cmd_watch(self, args: List[str]) -> str:
+        if not 1 <= len(args) <= 2:
+            return "usage: watch <addr|symbol> [length]"
+        address = self._addr(args[0])
+        length = int(args[1], 0) if len(args) == 2 else 4
+        self.session.client.set_watchpoint(address, length)
+        return f"watchpoint at {address:#x} ({length} bytes)"
+
+    def _stop_text(self, reply: bytes) -> str:
+        signal = int(reply[1:3], 16) if len(reply) >= 3 else 0
+        pc = self.session.client.read_registers()[8]
+        names = {5: "SIGTRAP", 2: "SIGINT", 11: "SIGSEGV", 4: "SIGILL"}
+        return (f"stopped ({names.get(signal, signal)}) at "
+                f"{self.symbols.format_address(pc)}")
+
+    def _cmd_continue(self, args: List[str]) -> str:
+        reply = self.session.client.cont()
+        return self._stop_text(reply)
+
+    def _cmd_step(self, args: List[str]) -> str:
+        reply = self.session.client.step()
+        return self._stop_text(reply)
+
+    def _cmd_interrupt(self, args: List[str]) -> str:
+        self.session.client.send_interrupt()
+        reply = self.session.client.wait_for_stop()
+        return self._stop_text(reply)
+
+    def _cmd_regs(self, args: List[str]) -> str:
+        values = self.session.client.read_registers()
+        lines = []
+        for index in range(0, 8, 4):
+            lines.append("  ".join(
+                f"R{i}={values[i]:08x}" for i in range(index, index + 4)))
+        lines.append(f"PC={values[8]:08x}  FLAGS={values[9]:08x}   "
+                     f"({self.symbols.format_address(values[8])})")
+        return "\n".join(lines)
+
+    def _cmd_set(self, args: List[str]) -> str:
+        if len(args) != 2:
+            return "usage: set <reg> <value>"
+        name = args[0].lower()
+        if name not in REG_NAMES:
+            return f"unknown register {args[0]!r}"
+        value = int(args[1], 0)
+        self.session.client.write_register(REG_NAMES.index(name), value)
+        return f"{name} = {value:#x}"
+
+    def _cmd_examine(self, args: List[str]) -> str:
+        if not 1 <= len(args) <= 2:
+            return "usage: x <addr|symbol> [length]"
+        address = self._addr(args[0])
+        length = int(args[1], 0) if len(args) == 2 else 64
+        data = self.session.client.read_memory(address, length)
+        lines = []
+        for offset in range(0, len(data), 16):
+            chunk = data[offset:offset + 16]
+            hex_part = " ".join(f"{b:02x}" for b in chunk)
+            ascii_part = "".join(
+                chr(b) if 32 <= b < 127 else "." for b in chunk)
+            lines.append(f"{address + offset:08x}:  {hex_part:<47}  "
+                         f"{ascii_part}")
+        return "\n".join(lines)
+
+    def _cmd_write(self, args: List[str]) -> str:
+        if len(args) != 2:
+            return "usage: write <addr> <hexbytes>"
+        address = self._addr(args[0])
+        data = bytes.fromhex(args[1])
+        self.session.client.write_memory(address, data)
+        return f"wrote {len(data)} bytes at {address:#x}"
+
+    def _cmd_disas(self, args: List[str]) -> str:
+        if args:
+            address = self._addr(args[0])
+        else:
+            address = self.session.client.read_registers()[8]
+        count = int(args[1], 0) if len(args) > 1 else 8
+        code = self.session.client.read_memory(address, count * 6)
+        lines = []
+        for insn in disassemble(code, origin=address, count=count,
+                                strict=False):
+            lines.append(f"{self.symbols.format_address(insn.address)}"
+                         f":  {insn.text}")
+        if not lines:
+            lines.append("<no decodable instructions here>")
+        return "\n".join(lines)
+
+    def _cmd_symbols(self, args: List[str]) -> str:
+        rows = sorted(self.symbols.names())
+        if not rows:
+            return "no symbols loaded"
+        return "\n".join(
+            f"{self.symbols.resolve(name):08x}  {name}" for name in rows)
+
+    def _cmd_monitor(self, args: List[str]) -> str:
+        text = " ".join(args) if args else "help"
+        return self.session.client.monitor_command(text).rstrip("\n")
+
+    def _cmd_threads(self, args: List[str]) -> str:
+        client = self.session.client
+        ids = client.thread_ids()
+        if not ids:
+            return "target reports no threads"
+        current = client.current_thread()
+        lines = []
+        for thread_id in ids:
+            marker = "*" if thread_id == current else " "
+            info = client.thread_extra_info(thread_id)
+            regs = None
+            client.select_thread(thread_id)
+            try:
+                regs = client.read_registers()
+            finally:
+                client.select_thread(0)
+            where = self.symbols.format_address(regs[8]) if regs else "?"
+            lines.append(f"{marker} {thread_id:2d}  {info:<24s} {where}")
+        return "\n".join(lines)
+
+    def _cmd_thread(self, args: List[str]) -> str:
+        if len(args) != 1:
+            return "usage: thread <id|0>"
+        thread_id = int(args[0], 0)
+        self.session.client.select_thread(thread_id)
+        if thread_id == 0:
+            return "register view: current thread"
+        return f"register view: thread {thread_id}"
+
+    def _cmd_checkpoint(self, args: List[str]) -> str:
+        name = args[0] if args else "default"
+        self.session.checkpoint(name)
+        return f"checkpoint {name!r} saved " \
+               f"({len(self.session.checkpoints)} total)"
+
+    def _cmd_restore(self, args: List[str]) -> str:
+        name = args[0] if args else "default"
+        self.session.restore(name)
+        pc = self.session.client.read_registers()[8]
+        return (f"restored {name!r}; guest back at "
+                f"{self.symbols.format_address(pc)}")
+
+    def _cmd_console(self, args: List[str]) -> str:
+        return self.session.console_output.decode("latin-1",
+                                                  errors="replace")
+
+    def _cmd_help(self, args: List[str]) -> str:
+        # The command table lives in the module docstring's third block.
+        return __doc__.split("\n\n")[2]
+
+    def _cmd_quit(self, args: List[str]) -> str:
+        self.done = True
+        return "bye"
+
+    # ------------------------------------------------------------------
+
+    def repl(self, input_fn: Callable[[str], str] = input,
+             output_fn: Callable[[str], None] = print) -> None:
+        """Interactive loop."""
+        while not self.done:
+            try:
+                line = input_fn("(repro-dbg) ")
+            except EOFError:
+                break
+            text = self.execute(line)
+            if text:
+                output_fn(text)
+
+
+def main() -> int:
+    """Entry point: boot the demo kernel under the LVMM and debug it."""
+    from repro.guest.asmkernel import KernelConfig, build_kernel
+
+    session = DebugSession(monitor="lvmm")
+    kernel = build_kernel(KernelConfig(ticks_to_run=50))
+    session.load_and_boot(kernel)
+    session.attach()
+    symbols = SymbolTable()
+    symbols.add_program(kernel)
+    print("attached to HiTactix mini-kernel under the lightweight VMM")
+    print("type 'help' for commands")
+    Debugger(session, symbols).repl()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

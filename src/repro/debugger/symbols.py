@@ -1,0 +1,65 @@
+"""Symbol tables for the host debugger.
+
+The assembler records every label; the debugger uses them both ways —
+resolving names in user commands and annotating addresses in output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.asm.assembler import Program
+
+
+class SymbolTable:
+    """Name <-> address mapping merged from one or more programs."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, int] = {}
+        self._sorted: List[Tuple[int, str]] = []
+
+    def add_program(self, program: Program) -> None:
+        for name, address in program.symbols.items():
+            self._by_name[name] = address
+        self._resort()
+
+    def add(self, name: str, address: int) -> None:
+        self._by_name[name] = address
+        self._resort()
+
+    def _resort(self) -> None:
+        self._sorted = sorted(
+            (address, name) for name, address in self._by_name.items())
+
+    def resolve(self, text: str) -> Optional[int]:
+        """Resolve a name, hex literal or decimal literal to an address."""
+        if text in self._by_name:
+            return self._by_name[text]
+        try:
+            return int(text, 0)
+        except ValueError:
+            return None
+
+    def nearest(self, address: int) -> Optional[Tuple[str, int]]:
+        """(symbol, offset) of the closest symbol at or below address."""
+        best: Optional[Tuple[str, int]] = None
+        for sym_address, name in self._sorted:
+            if sym_address > address:
+                break
+            best = (name, address - sym_address)
+        return best
+
+    def format_address(self, address: int) -> str:
+        near = self.nearest(address)
+        if near is None:
+            return f"{address:#010x}"
+        name, offset = near
+        if offset == 0:
+            return f"{address:#010x} <{name}>"
+        return f"{address:#010x} <{name}+{offset:#x}>"
+
+    def names(self) -> Iterable[str]:
+        return self._by_name.keys()
+
+    def __len__(self) -> int:
+        return len(self._by_name)

@@ -1,0 +1,5 @@
+"""The full (hosted) VMM baseline — the reproduction's VMware WS4."""
+
+from repro.fullvmm.monitor import FullVmm, FullVmmIntercept
+
+__all__ = ["FullVmm", "FullVmmIntercept"]

@@ -1,0 +1,22 @@
+"""Guest operating systems: the assembly mini-kernel (functional layer)
+and the HiTactix driver-level model (performance layer)."""
+
+from repro.guest.asmkernel import (
+    KernelConfig,
+    build_kernel,
+    build_user_task,
+    read_state,
+    read_ticks,
+)
+from repro.guest.asmthreads import build_threaded_kernel
+from repro.guest.os import HiTactix
+
+__all__ = [
+    "KernelConfig",
+    "build_kernel",
+    "build_user_task",
+    "read_ticks",
+    "read_state",
+    "HiTactix",
+    "build_threaded_kernel",
+]

@@ -1,0 +1,384 @@
+"""The HiTactix-like mini-kernel, written in HX32 assembly.
+
+This is the functional-layer guest: a small real-time kernel image that
+
+* builds its own GDT (flat ring-0/ring-3 descriptors) and loads it,
+* installs IDT gates (timer IRQ, spurious vectors, a ring-3 syscall
+  gate) and loads the IDT,
+* sets up the TSS ring stacks,
+* programs the 8259 PIC pair and the 8254 timer through port I/O,
+* enables interrupts and either idles (HLT loop) or launches a ring-3
+  user task that talks to the kernel through ``INT 0x30``.
+
+The image is privilege-faithful: it is written as if it owns ring 0.
+On bare metal it does.  Under a monitor it actually runs at ring 1 and
+every privileged step of the list above traps and is emulated — the
+same binary, which is the paper's "works with any OS on PC/AT
+interfaces" claim in miniature.
+
+The module generates assembly source (parameterised) and assembles it;
+tests and examples use :func:`build_kernel` /
+:func:`kernel_layout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm import Program, assemble
+from repro.hw import firmware
+
+#: Syscall numbers for INT 0x30 (R0 = number, R1 = argument).
+SYS_PUTC = 1
+SYS_GET_TICKS = 2
+SYS_EXIT = 3
+
+SYSCALL_VECTOR = 0x30
+TIMER_VECTOR = 32
+
+#: Kernel data page (physical, below everything interesting).
+DATA_BASE = 0x5000
+OFF_TICKS = 0       # u32 tick counter
+OFF_STATE = 4       # u32: 0 running, 1 target reached, 2 user exited
+OFF_SCRATCH = 16    # pseudo-descriptor scratch area
+
+#: Selector values the kernel uses (firmware GDT layout, RPL omitted).
+SEL_CODE0 = firmware.IDX_CODE0 << 2
+SEL_DATA0 = firmware.IDX_DATA0 << 2
+SEL_CODE3 = (firmware.IDX_CODE3 << 2) | 3
+SEL_DATA3 = (firmware.IDX_DATA3 << 2) | 3
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    memory_limit: int = 16 << 20
+    timer_hz: int = 100
+    ticks_to_run: int = 5
+    with_user_task: bool = False
+    user_iterations: int = 3
+    #: Build identity page tables and run with CR0.PG set — exercises
+    #: the monitor's CR3/CR0 virtualisation on the real MMU.
+    with_paging: bool = False
+
+
+#: Page-table area used by the paging variant (below everything hot).
+PAGE_DIR_BASE = 0x60000
+PAGE_TABLES_BASE = 0x61000
+
+
+def _gdt_descriptor_stmts(index: int, base: int, limit: int,
+                          flags: int) -> str:
+    offset = index * 12
+    return f"""
+    MOVI R0, {base}
+    ST   [R1+{offset}], R0
+    MOVI R0, {limit}
+    ST   [R1+{offset + 4}], R0
+    MOVI R0, {flags}
+    ST   [R1+{offset + 8}], R0"""
+
+
+def _idt_gate_stmts(vector: int, handler_label: str, selector: int,
+                    flags: int) -> str:
+    offset = vector * 8
+    return f"""
+    MOVI R0, {handler_label}
+    ST   [R1+{offset}], R0
+    MOVI R0, {selector}
+    ST16 [R1+{offset + 4}], R0
+    MOVI R0, {flags}
+    ST16 [R1+{offset + 6}], R0"""
+
+
+def kernel_source(config: KernelConfig = KernelConfig()) -> str:
+    """Generate the kernel's assembly source."""
+    divisor = max(1, min(0xFFFF, round(1_193_182 / config.timer_hz)))
+    flags_code0 = 0x07                      # present | code | writable
+    flags_data0 = 0x05                      # present | writable
+    flags_code3 = 0x07 | (3 << 4)
+    flags_data3 = 0x05 | (3 << 4)
+    gate_ring0 = 0x01                       # present, dpl 0, interrupt
+    gate_user = 0x01 | (3 << 1)             # present, dpl 3, interrupt
+
+    pages = config.memory_limit // 4096
+    tables = (pages + 1023) // 1024
+    paging_setup = ""
+    if config.with_paging:
+        paging_setup = f"""
+    ; ---- identity page tables: {tables} tables over {pages} pages ----
+    ; Every page is mapped present|writable|user; the three-level
+    ; protection story rides on segmentation, paging provides the
+    ; kernel/application split on real deployments (simplified here).
+    MOVI R1, {PAGE_DIR_BASE}
+    MOVI R2, {PAGE_TABLES_BASE}
+    MOVI R3, {tables}
+pd_loop:
+    MOV  R0, R2
+    ORI  R0, 7
+    ST   [R1+0], R0
+    ADDI R1, 4
+    ADDI R2, 0x1000
+    SUBI R3, 1
+    JNZ  pd_loop
+    MOVI R1, {PAGE_TABLES_BASE}
+    MOVI R2, 0
+    MOVI R3, {pages}
+pt_loop:
+    MOV  R0, R2
+    ORI  R0, 7
+    ST   [R1+0], R0
+    ADDI R1, 4
+    ADDI R2, 0x1000
+    SUBI R3, 1
+    JNZ  pt_loop
+    MOVI R0, {PAGE_DIR_BASE}
+    MOVCR CR3, R0
+    MOVRC R0, CR0
+    MOVI R4, 0x80000000
+    OR   R0, R4
+    MOVCR CR0, R0                 ; paging on
+"""
+
+    user_launch = ""
+    if config.with_user_task:
+        user_launch = f"""
+    ; ---- launch the ring-3 task: build an IRET frame and drop ----
+    MOVI R0, {SEL_DATA3}
+    PUSH R0                       ; user SS
+    MOVI R0, {firmware.RING3_STACK_TOP}
+    PUSH R0                       ; user SP
+    MOVI R0, 0x200                ; user FLAGS (IF set)
+    PUSH R0
+    MOVI R0, {SEL_CODE3}
+    PUSH R0                       ; user CS
+    MOVI R0, {firmware.GUEST_APP_BASE}
+    PUSH R0                       ; user PC
+    MOVI R0, {SEL_DATA3}
+    MOVSEG DS, R0                 ; user data view
+    IRET"""
+    else:
+        user_launch = """
+    JMP idle"""
+
+    return f"""
+; ------------------------------------------------------------------
+; HiTactix-like mini-kernel (generated by repro.guest.asmkernel)
+; ------------------------------------------------------------------
+.org {firmware.GUEST_KERNEL_BASE}
+.equ GDT,  {firmware.GDT_BASE}
+.equ IDT,  {firmware.IDT_BASE}
+.equ TSS,  {firmware.TSS_BASE}
+.equ DATA, {DATA_BASE}
+
+start:
+    ; ---- build the GDT ----
+    MOVI R1, GDT{_gdt_descriptor_stmts(0, 0, 0, 0)}{_gdt_descriptor_stmts(firmware.IDX_CODE0, 0, config.memory_limit, flags_code0)}{_gdt_descriptor_stmts(firmware.IDX_DATA0, 0, config.memory_limit, flags_data0)}{_gdt_descriptor_stmts(firmware.IDX_CODE1, 0, config.memory_limit, flags_code0 | (1 << 4))}{_gdt_descriptor_stmts(firmware.IDX_DATA1, 0, config.memory_limit, flags_data0 | (1 << 4))}{_gdt_descriptor_stmts(firmware.IDX_CODE3, 0, config.memory_limit, flags_code3)}{_gdt_descriptor_stmts(firmware.IDX_DATA3, 0, config.memory_limit, flags_data3)}
+
+    ; ---- load GDTR and reload the flat data segments ----
+    MOVI R2, DATA+{OFF_SCRATCH}
+    MOVI R0, {firmware.GDT_DESCRIPTORS * 12}
+    ST   [R2+0], R0
+    MOVI R0, GDT
+    ST   [R2+4], R0
+    MOV  R0, R2
+    LGDT R0
+    MOVI R0, {SEL_DATA0}
+    MOVSEG DS, R0
+    MOVSEG SS, R0
+    MOVI SP, {firmware.RING0_STACK_TOP}
+{paging_setup}
+    ; ---- install IDT gates ----
+    MOVI R1, IDT{_idt_gate_stmts(TIMER_VECTOR, "timer_isr", SEL_CODE0, gate_ring0)}{_idt_gate_stmts(SYSCALL_VECTOR, "syscall_entry", SEL_CODE0, gate_user)}{_idt_gate_stmts(13, "fault_isr", SEL_CODE0, gate_ring0)}{_idt_gate_stmts(14, "fault_isr", SEL_CODE0, gate_ring0)}{_idt_gate_stmts(15, "vmcall_noop", SEL_CODE0, gate_ring0)}
+    MOVI R2, DATA+{OFF_SCRATCH}
+    MOVI R0, {256 * 8}
+    ST   [R2+0], R0
+    MOVI R0, IDT
+    ST   [R2+4], R0
+    MOV  R0, R2
+    LIDT R0
+
+    ; ---- TSS ring stacks ----
+    MOVI R1, TSS
+    MOVI R0, {firmware.RING0_STACK_TOP}
+    ST   [R1+0], R0
+    MOVI R0, {SEL_DATA0}
+    ST   [R1+4], R0
+    MOVI R0, TSS
+    LTSS R0
+
+    ; ---- zero the counters ----
+    MOVI R1, DATA
+    MOVI R0, 0
+    ST   [R1+{OFF_TICKS}], R0
+    ST   [R1+{OFF_STATE}], R0
+
+    ; ---- program the PIC pair (ICW1..4, unmask) ----
+    MOVI R2, 0x20                 ; master command port
+    MOVI R0, 0x11
+    OUTB R0, R2
+    MOVI R2, 0x21
+    MOVI R0, 32
+    OUTB R0, R2                   ; ICW2: base vector 32
+    MOVI R0, 0x04
+    OUTB R0, R2
+    MOVI R0, 0x01
+    OUTB R0, R2
+    MOVI R0, 0x00
+    OUTB R0, R2                   ; OCW1: unmask all
+    MOVI R2, 0xA0
+    MOVI R0, 0x11
+    OUTB R0, R2
+    MOVI R2, 0xA1
+    MOVI R0, 40
+    OUTB R0, R2
+    MOVI R0, 0x02
+    OUTB R0, R2
+    MOVI R0, 0x01
+    OUTB R0, R2
+    MOVI R0, 0x00
+    OUTB R0, R2
+
+    ; ---- program the PIT: channel 0, mode 2, rate {config.timer_hz} Hz ----
+    MOVI R2, 0x43
+    MOVI R0, 0x34
+    OUTB R0, R2
+    MOVI R2, 0x40
+    MOVI R0, {divisor & 0xFF}
+    OUTB R0, R2
+    MOVI R0, {(divisor >> 8) & 0xFF}
+    OUTB R0, R2
+
+    STI
+{user_launch}
+
+idle:
+    MOVI R1, DATA
+    LD   R0, [R1+{OFF_STATE}]
+    CMPI R0, 0
+    JNZ  done
+    HLT
+    JMP  idle
+
+done:
+    MOVI R0, 0                    ; VMCALL putc: announce completion
+    MOVI R1, 'D'
+    VMCALL
+    CLI
+park:
+    HLT
+    JMP  park
+
+; ---- timer interrupt: count ticks, flag the target, EOI ----
+timer_isr:
+    PUSH R0
+    PUSH R1
+    PUSH R2
+    MOVSGR R2, DS
+    PUSH R2
+    MOVI R2, {SEL_DATA0}
+    MOVSEG DS, R2
+    MOVI R1, DATA
+    LD   R0, [R1+{OFF_TICKS}]
+    ADDI R0, 1
+    ST   [R1+{OFF_TICKS}], R0
+    CMPI R0, {config.ticks_to_run}
+    JL   timer_eoi
+    MOVI R0, 1
+    ST   [R1+{OFF_STATE}], R0
+timer_eoi:
+    MOVI R2, 0x20
+    MOVI R0, 0x20
+    OUTB R0, R2                   ; EOI to (virtual) master PIC
+    POP  R2
+    MOVSEG DS, R2
+    POP  R2
+    POP  R1
+    POP  R0
+    IRET
+
+; ---- ring-3 syscall gate: R0 = number, R1 = argument ----
+syscall_entry:
+    PUSH R2
+    MOVSGR R2, DS
+    PUSH R2
+    MOVI R2, {SEL_DATA0}
+    MOVSEG DS, R2
+    CMPI R0, {SYS_PUTC}
+    JZ   sys_putc
+    CMPI R0, {SYS_GET_TICKS}
+    JZ   sys_ticks
+    CMPI R0, {SYS_EXIT}
+    JZ   sys_exit
+    JMP  sys_out
+sys_putc:
+    MOVI R0, 0                    ; monitor console (VMCALL putc)
+    VMCALL
+    JMP  sys_out
+sys_ticks:
+    MOVI R2, DATA
+    LD   R1, [R2+{OFF_TICKS}]
+    JMP  sys_out
+sys_exit:
+    MOVI R2, DATA
+    MOVI R0, 2
+    ST   [R2+{OFF_STATE}], R0
+    MOVI SP, {firmware.RING0_STACK_TOP}
+    JMP  done                     ; task is gone: back to the kernel
+sys_out:
+    POP  R2
+    MOVSEG DS, R2
+    POP  R2
+    IRET
+
+; ---- VMCALL without a monitor (bare metal): console is a no-op ----
+vmcall_noop:
+    IRET
+
+; ---- fault handler: record and park ----
+fault_isr:
+    MOVI R2, DATA
+    MOVI R0, 0xF
+    ST   [R2+{OFF_STATE}], R0
+    CLI
+fault_park:
+    HLT
+    JMP  fault_park
+"""
+
+
+def user_task_source(iterations: int = 3) -> str:
+    """A ring-3 task: print, read ticks, then exit via syscall."""
+    return f"""
+.org {firmware.GUEST_APP_BASE}
+user_start:
+    MOVI R3, {iterations}
+user_loop:
+    MOVI R0, {SYS_PUTC}
+    MOVI R1, 'u'
+    INT  {SYSCALL_VECTOR}
+    MOVI R0, {SYS_GET_TICKS}
+    INT  {SYSCALL_VECTOR}
+    SUBI R3, 1
+    JNZ  user_loop
+    MOVI R0, {SYS_EXIT}
+    INT  {SYSCALL_VECTOR}
+user_spin:
+    JMP  user_spin
+"""
+
+
+def build_kernel(config: KernelConfig = KernelConfig()) -> Program:
+    """Assemble the kernel image at its canonical base."""
+    return assemble(kernel_source(config))
+
+
+def build_user_task(iterations: int = 3) -> Program:
+    return assemble(user_task_source(iterations))
+
+
+def read_ticks(memory) -> int:
+    return memory.read_u32(DATA_BASE + OFF_TICKS)
+
+
+def read_state(memory) -> int:
+    return memory.read_u32(DATA_BASE + OFF_STATE)

@@ -1,0 +1,377 @@
+"""A multithreaded guest kernel (cooperative scheduler in assembly).
+
+Real-time OSes are task systems, and debugging one means asking "what
+is every task doing?"  This guest gives the debugger something to ask
+about: a kernel running several kernel threads over a stack-switching
+cooperative scheduler, with a task table the monitor can read.
+
+Design (all offsets are the guest<->monitor ABI used by the
+thread-aware debug stub):
+
+* task table header at ``TASK_TABLE``::
+
+      +0  current task index (u32)
+      +4  task count         (u32)
+      +8  TCB[0], TCB[1], ...   (8 bytes each)
+
+  TCB: ``+0 state`` (0 empty, 1 ready, 2 running, 3 exited),
+  ``+4 saved_sp``.
+
+* context switch: ``INT 0x31`` (SYS_YIELD).  The handler pushes
+  R0..R6 on the current stack, parks SP in the TCB, round-robins to
+  the next ready task, restores its SP, pops R6..R0 and IRETs.  A
+  fresh task's stack is pre-fabricated to look exactly like that.
+
+* each thread increments its own counter at ``COUNTER_BASE + 4*id``
+  and prints ``'A' + id`` to the monitor console per iteration, so
+  interleaving is observable from outside.
+
+* the kernel registers the task table with the monitor via VMCALL
+  function 3 — that is what turns on thread-aware debugging.
+"""
+
+from __future__ import annotations
+
+from repro.asm import Program, assemble
+from repro.hw import firmware
+
+TASK_TABLE = 0x5800
+COUNTER_BASE = 0x5900
+TASK_STACK_BASE = 0x2_0000
+TASK_STACK_SIZE = 0x1000
+
+YIELD_VECTOR = 0x31
+
+STATE_EMPTY = 0
+STATE_READY = 1
+STATE_RUNNING = 2
+STATE_EXITED = 3
+
+#: Saved-frame layout below a parked task's SP (words, ascending):
+#: R6 R5 R4 R3 R2 R1 R0 PC CS FLAGS
+FRAME_WORDS = 10
+
+SEL_CODE0 = firmware.IDX_CODE0 << 2
+SEL_DATA0 = firmware.IDX_DATA0 << 2
+
+
+def _tcb(index: int) -> int:
+    return TASK_TABLE + 8 + index * 8
+
+
+def _task_stack_top(index: int) -> int:
+    return TASK_STACK_BASE + (index + 1) * TASK_STACK_SIZE
+
+
+def threaded_kernel_source(threads: int = 3,
+                           iterations: int = 5,
+                           memory_limit: int = 16 << 20,
+                           preemptive: bool = False,
+                           timer_hz: int = 200,
+                           busy_loops: int = 20000) -> str:
+    """Cooperative by default; ``preemptive=True`` drops the explicit
+    yields and lets the PIT preempt tasks instead — the timer ISR
+    shares the same stack-switching tail as the yield gate."""
+    if not 1 <= threads <= 8:
+        raise ValueError(f"1..8 threads supported, got {threads}")
+
+    flags_image = 0x200 if preemptive else 0
+    task_setup = []
+    for index in range(threads):
+        stack_top = _task_stack_top(index)
+        # Fabricate the parked frame: FLAGS, CS, PC then 7 zero regs.
+        task_setup.append(f"""
+    ; ---- task {index}: fabricate a parked context ----
+    MOVI R1, {stack_top - 4}
+    MOVI R0, {flags_image}
+    ST   [R1+0], R0               ; FLAGS image
+    MOVI R0, 0
+    MOVI R0, {SEL_CODE0}
+    ST   [R1-4], R0               ; CS image
+    MOVI R0, task_entry
+    ST   [R1-8], R0               ; PC image
+    MOVI R0, 0
+    ST   [R1-12], R0              ; R0
+    ST   [R1-16], R0              ; R1
+    ST   [R1-20], R0              ; R2
+    ST   [R1-24], R0              ; R3
+    ST   [R1-28], R0              ; R4
+    ST   [R1-36], R0              ; R6
+    MOVI R0, {index}
+    ST   [R1-32], R0              ; R5 = task id (argument register)
+    MOVI R2, {_tcb(index)}
+    MOVI R0, {STATE_READY}
+    ST   [R2+0], R0
+    MOVI R0, {stack_top - 4 - 36}
+    ST   [R2+4], R0               ; saved SP -> R6 slot""")
+
+    divisor = max(1, min(0xFFFF, round(1_193_182 / timer_hz)))
+    timer_gate = ""
+    timer_setup = ""
+    preempt_isr = ""
+    if preemptive:
+        timer_gate = f"""
+    MOVI R0, preempt_isr
+    ST   [R1+{32 * 8}], R0
+    MOVI R0, {SEL_CODE0}
+    ST16 [R1+{32 * 8 + 4}], R0
+    MOVI R0, 1
+    ST16 [R1+{32 * 8 + 6}], R0"""
+        timer_setup = f"""
+    ; ---- PIC + PIT: preemption tick at {timer_hz} Hz ----
+    MOVI R2, 0x20
+    MOVI R0, 0x11
+    OUTB R0, R2
+    MOVI R2, 0x21
+    MOVI R0, 32
+    OUTB R0, R2
+    MOVI R0, 0x04
+    OUTB R0, R2
+    MOVI R0, 0x01
+    OUTB R0, R2
+    MOVI R0, 0x00
+    OUTB R0, R2
+    MOVI R2, 0x43
+    MOVI R0, 0x34
+    OUTB R0, R2
+    MOVI R2, 0x40
+    MOVI R0, {divisor & 0xFF}
+    OUTB R0, R2
+    MOVI R0, {(divisor >> 8) & 0xFF}
+    OUTB R0, R2
+    STI"""
+        preempt_isr = """
+; ------------------------------------------------------------------
+; preemption: the timer tick enters here and reuses the switch tail
+; ------------------------------------------------------------------
+preempt_isr:
+    PUSH R0
+    PUSH R1
+    PUSH R2
+    PUSH R3
+    PUSH R4
+    PUSH R5
+    PUSH R6
+    MOVI R2, 0x20
+    MOVI R0, 0x20
+    OUTB R0, R2                   ; EOI the (virtual) PIC
+    JMP  switch_save
+"""
+        task_work = f"""
+    ; busy work: an interruptible compute burst
+    MOVI R2, {busy_loops}
+busy_loop:
+    SUBI R2, 1
+    JNZ  busy_loop"""
+    else:
+        task_work = f"""
+    INT  {YIELD_VECTOR}"""
+
+    return f"""
+; ------------------------------------------------------------------
+; {"preemptive" if preemptive else "cooperative"} multithreaded kernel (generated by repro.guest.asmthreads)
+; ------------------------------------------------------------------
+.org {firmware.GUEST_KERNEL_BASE}
+.equ GDT,   {firmware.GDT_BASE}
+.equ IDT,   {firmware.IDT_BASE}
+.equ TABLE, {TASK_TABLE}
+.equ COUNTERS, {COUNTER_BASE}
+
+start:
+    ; ---- flat GDT (null, code0, data0) ----
+    MOVI R1, GDT
+    MOVI R0, 0
+    ST   [R1+0], R0
+    ST   [R1+4], R0
+    ST   [R1+8], R0
+    ST   [R1+12], R0
+    MOVI R0, {memory_limit}
+    ST   [R1+16], R0
+    MOVI R0, 7
+    ST   [R1+20], R0
+    MOVI R0, 0
+    ST   [R1+24], R0
+    MOVI R0, {memory_limit}
+    ST   [R1+28], R0
+    MOVI R0, 5
+    ST   [R1+32], R0
+    MOVI R2, COUNTERS+0x80
+    MOVI R0, 36
+    ST   [R2+0], R0
+    MOVI R0, GDT
+    ST   [R2+4], R0
+    MOV  R0, R2
+    LGDT R0
+    MOVI R0, {SEL_DATA0}
+    MOVSEG DS, R0
+    MOVSEG SS, R0
+    MOVI SP, {firmware.RING0_STACK_TOP}
+
+    ; ---- IDT: the yield gate (+ VMCALL noop for bare metal) ----
+    MOVI R1, IDT
+    MOVI R0, yield_isr
+    ST   [R1+{YIELD_VECTOR * 8}], R0
+    MOVI R0, {SEL_CODE0}
+    ST16 [R1+{YIELD_VECTOR * 8 + 4}], R0
+    MOVI R0, 1
+    ST16 [R1+{YIELD_VECTOR * 8 + 6}], R0
+{timer_gate}
+    MOVI R0, vmcall_noop
+    ST   [R1+{15 * 8}], R0
+    MOVI R0, {SEL_CODE0}
+    ST16 [R1+{15 * 8 + 4}], R0
+    MOVI R0, 1
+    ST16 [R1+{15 * 8 + 6}], R0
+    MOVI R2, COUNTERS+0x80
+    MOVI R0, {256 * 8}
+    ST   [R2+0], R0
+    MOVI R0, IDT
+    ST   [R2+4], R0
+    MOV  R0, R2
+    LIDT R0
+
+    ; ---- task table header ----
+    MOVI R1, TABLE
+    MOVI R0, 0
+    ST   [R1+0], R0               ; current = 0
+    MOVI R0, {threads}
+    ST   [R1+4], R0               ; count
+{"".join(task_setup)}
+
+{timer_setup}
+    ; ---- tell the monitor where the tasks live (thread debugging) ----
+    MOVI R0, 3                    ; VMCALL: register task table
+    MOVI R1, TABLE
+    VMCALL
+
+    ; ---- become task 0: adopt its fabricated context ----
+    MOVI R1, TABLE
+    MOVI R0, 0
+    ST   [R1+0], R0
+    MOVI R2, {_tcb(0)}
+    MOVI R0, {STATE_RUNNING}
+    ST   [R2+0], R0
+    LD   SP, [R2+4]
+    POP  R6
+    POP  R5
+    POP  R4
+    POP  R3
+    POP  R2
+    POP  R1
+    POP  R0
+    IRET                          ; jump into task 0
+
+; ------------------------------------------------------------------
+; the thread body: R5 = task id
+; ------------------------------------------------------------------
+task_entry:
+    MOVI R4, {iterations}
+task_loop:
+    ; counters[id]++
+    MOV  R1, R5
+    SHLI R1, 2
+    ADDI R1, COUNTERS
+    LD   R0, [R1+0]
+    ADDI R0, 1
+    ST   [R1+0], R0
+    ; console: 'A' + id
+    MOVI R0, 0
+    MOV  R1, R5
+    ADDI R1, 'A'
+    VMCALL
+{task_work}
+    SUBI R4, 1
+    JNZ  task_loop
+    ; ---- exit: mark TCB and yield forever ----
+    MOV  R1, R5
+    SHLI R1, 3
+    ADDI R1, TABLE+8
+    MOVI R0, {STATE_EXITED}
+    ST   [R1+0], R0
+task_exit_spin:
+    INT  {YIELD_VECTOR}
+    JMP  task_exit_spin
+
+; ------------------------------------------------------------------
+; cooperative switch: save caller, round-robin to next ready task
+; ------------------------------------------------------------------
+yield_isr:
+    PUSH R0
+    PUSH R1
+    PUSH R2
+    PUSH R3
+    PUSH R4
+    PUSH R5
+    PUSH R6
+switch_save:
+    ; park SP in current TCB
+    MOVI R1, TABLE
+    LD   R2, [R1+0]               ; current index
+    MOV  R3, R2
+    SHLI R3, 3
+    ADDI R3, TABLE+8
+    MOV  R0, SP
+    ST   [R3+4], R0
+    LD   R0, [R3+0]
+    CMPI R0, {STATE_RUNNING}
+    JNZ  pick_next                ; exited tasks keep their state
+    MOVI R0, {STATE_READY}
+    ST   [R3+0], R0
+pick_next:
+    LD   R4, [R1+4]               ; count
+    MOV  R5, R2                   ; candidate = current
+next_candidate:
+    ADDI R5, 1
+    CMP  R5, R4
+    JL   check_candidate
+    MOVI R5, 0
+check_candidate:
+    MOV  R3, R5
+    SHLI R3, 3
+    ADDI R3, TABLE+8
+    LD   R0, [R3+0]
+    CMPI R0, {STATE_READY}
+    JZ   switch_to
+    CMP  R5, R2
+    JNZ  next_candidate
+    ; nobody else ready: all exited?  park the machine.
+    LD   R0, [R3+0]
+    CMPI R0, {STATE_READY}
+    JZ   switch_to
+    MOVI R0, 0                    ; console marker: scheduler idle
+    MOVI R1, '.'
+    VMCALL
+    CLI
+sched_park:
+    HLT
+    JMP  sched_park
+switch_to:
+    ST   [R1+0], R5               ; current = candidate
+    MOVI R0, {STATE_RUNNING}
+    ST   [R3+0], R0
+    LD   SP, [R3+4]
+    POP  R6
+    POP  R5
+    POP  R4
+    POP  R3
+    POP  R2
+    POP  R1
+    POP  R0
+    IRET
+
+vmcall_noop:
+    IRET
+{preempt_isr}"""
+
+
+def build_threaded_kernel(threads: int = 3, iterations: int = 5) -> Program:
+    return assemble(threaded_kernel_source(threads, iterations))
+
+
+def read_counters(memory, threads: int) -> list:
+    return [memory.read_u32(COUNTER_BASE + 4 * index)
+            for index in range(threads)]
+
+
+def read_task_states(memory, threads: int) -> list:
+    return [memory.read_u32(_tcb(index)) for index in range(threads)]

@@ -1,0 +1,6 @@
+"""Guest device drivers (performance-layer models)."""
+
+from repro.guest.drivers.nic import GuestNicDriver
+from repro.guest.drivers.scsi import GuestScsiDriver
+
+__all__ = ["GuestNicDriver", "GuestScsiDriver"]

@@ -1,0 +1,84 @@
+"""HiTactix's SCSI driver (performance-layer model).
+
+Programs the real HBA model through the bus, so whatever interception
+policy the current execution stack installed applies to every register
+access — that is where the three stacks start to differ.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import DeviceError
+from repro.hw.scsi import (
+    CMD_START,
+    PORT_BASE_SCSI,
+    REG_COMMAND,
+    REG_INTSTAT,
+    REG_MAILBOX,
+    cdb_read10,
+    encode_request_block,
+)
+from repro.sim.budget import CAT_DRIVER
+
+#: Request blocks live at the top of the buffer region, one per target.
+REQUEST_BLOCK_BASE = 0x7F00
+
+
+class GuestScsiDriver:
+    """One outstanding request per target, completion callbacks."""
+
+    def __init__(self, machine, stack) -> None:
+        self.machine = machine
+        self.stack = stack
+        self._pending: Dict[int, Callable[[int], None]] = {}
+        self.requests = 0
+        self.completions = 0
+
+    def _block_addr(self, target: int) -> int:
+        return REQUEST_BLOCK_BASE + target * 32
+
+    def read(self, target: int, lba: int, blocks: int, buffer: int,
+             on_complete: Callable[[int], None]) -> None:
+        """Issue READ(10); ``on_complete(status)`` fires from the ISR."""
+        if target in self._pending:
+            raise DeviceError(f"target {target} already has a request")
+        self._pending[target] = on_complete
+        self.requests += 1
+        # Driver-side work: build CDB + request block.
+        self.stack.guest_cycles(self.stack.cost.guest_disk_request_cycles)
+        block = encode_request_block(
+            target, cdb_read10(lba, blocks), buffer, blocks * 512)
+        self.machine.memory.write(self._block_addr(target), block)
+        # Two register accesses: mailbox + doorbell.
+        bus = self.machine.bus
+        bus.port_write(PORT_BASE_SCSI + REG_MAILBOX,
+                       self._block_addr(target), 4)
+        bus.port_write(PORT_BASE_SCSI + REG_COMMAND, CMD_START, 4)
+
+    def handle_interrupt(self) -> None:
+        """SCSI completion ISR."""
+        bus = self.machine.bus
+        # Critical section around the completion queue.
+        self.stack.privileged_op()
+        pending = bus.port_read(PORT_BASE_SCSI + REG_INTSTAT, 4)
+        for _ in range(pending):
+            addr = self.machine.hba.pop_completion()
+            if addr is None:
+                break
+            target = (addr - REQUEST_BLOCK_BASE) // 32
+            status = self.machine.memory.read_u32(addr + 28)
+            callback = self._pending.pop(target, None)
+            self.completions += 1
+            if callback is not None:
+                callback(status)
+        # Acknowledge the controller interrupt, then EOI the PIC (the
+        # bus routes the EOI to the real or virtual PIC per stack).
+        bus.port_write(PORT_BASE_SCSI + REG_INTSTAT, 0, 4)
+        bus.port_write(0xA0, 0x20, 1)   # slave EOI (IRQ 11)
+        bus.port_write(0x20, 0x20, 1)
+        self.stack.privileged_op()
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,247 @@
+"""The HiTactix guest-OS model (performance layer).
+
+HiTactix (Le Moal et al., ACM Multimedia'02) is a real-time OS for
+streaming appliances: rate-controlled disk reads feeding a zero-copy
+UDP send path, driven by a periodic timer.  This model reproduces that
+structure at driver granularity:
+
+* a periodic OS tick (the real PIT, programmed through the bus) runs
+  the rate controller;
+* a token-bucket rate controller releases 1024 KB segments to the NIC
+  driver at the configured transfer rate;
+* a read pipeline keeps each disk streaming 2 MB requests so segments
+  are always available (bounded buffer);
+* all device interaction goes through :mod:`repro.guest.drivers`, i.e.
+  through the bus and whatever monitor policy is installed.
+
+Scheduling simplification: HiTactix's priority scheduler is collapsed
+into event-driven callbacks (ISRs call the pipeline directly).  The
+scheduler's per-tick accounting cost is still charged
+(``guest_tick_cycles``), so CPU-load totals include it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.guest.drivers.nic import GuestNicDriver
+from repro.guest.drivers.scsi import GuestScsiDriver
+from repro.hw.pit import PIT_HZ
+from repro.perf.costmodel import CostModel
+
+SEGMENT_SIZE = 1024 * 1024        # the paper's 1024 KB segments
+READ_CHUNK = 2 * 1024 * 1024      # the paper's 2 MB reads
+BLOCK_SIZE = 512
+
+#: Guest buffer layout: one 2 MB streaming buffer per disk.
+STREAM_BUFFER_BASE = 0x40_0000
+
+
+@dataclass
+class _DiskStream:
+    target: int
+    buffer: int
+    next_lba: int = 0
+    busy: bool = False
+    #: Segments (addr, length) read and not yet transmitted.
+    ready: List[tuple] = None
+
+    def __post_init__(self) -> None:
+        self.ready = []
+
+
+class HiTactix:
+    """The guest OS model bound to one machine + execution stack."""
+
+    def __init__(self, machine, stack, target_rate_bps: float,
+                 cost: Optional[CostModel] = None,
+                 segment_size: int = SEGMENT_SIZE,
+                 read_chunk: int = READ_CHUNK,
+                 max_buffered_segments: int = 12) -> None:
+        self.machine = machine
+        self.stack = stack
+        self.cost = cost or stack.cost
+        self.target_rate_bps = target_rate_bps
+        self.segment_size = segment_size
+        self.read_chunk = read_chunk
+        self.max_buffered_segments = max_buffered_segments
+
+        self.scsi = GuestScsiDriver(machine, stack)
+        self.nic = GuestNicDriver(machine, stack,
+                                  coalesce=self.cost.nic_coalesce)
+        self.streams = [
+            _DiskStream(target=index,
+                        buffer=STREAM_BUFFER_BASE + index * read_chunk)
+            for index in range(len(machine.disks))
+        ]
+        self._rr_next = 0              # round-robin send pointer
+        self._tokens = 0.0             # byte tokens for pacing
+        self._blocked_segment = None   # segment waiting for ring space
+        self.ticks = 0
+        self.segments_sent = 0
+        self.bytes_sent = 0
+        self.reads_issued = 0
+        self.read_errors = 0
+        self.read_retries = 0
+        #: Give up on a chunk after this many CHECK CONDITIONs.
+        self.max_read_retries = 3
+
+        # Program the OS tick through the (possibly intercepted) bus.
+        divisor = max(1, min(0xFFFF, round(PIT_HZ / self.cost.timer_hz)))
+        bus = machine.bus
+        bus.port_write(0x43, 0x34, 1)
+        bus.port_write(0x40, divisor & 0xFF, 1)
+        bus.port_write(0x40, (divisor >> 8) & 0xFF, 1)
+
+    # ------------------------------------------------------------------
+    # Read pipeline
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Prime every disk stream."""
+        for stream in self.streams:
+            self._issue_read(stream)
+
+    def _buffered_segments(self) -> int:
+        return sum(len(s.ready) for s in self.streams)
+
+    def _issue_read(self, stream: _DiskStream, retry_lba: int = None,
+                    attempt: int = 0) -> None:
+        if stream.busy:
+            return
+        if retry_lba is None \
+                and self._buffered_segments() >= self.max_buffered_segments:
+            return
+        blocks = self.read_chunk // BLOCK_SIZE
+        disk = self.machine.disks[stream.target]
+        if retry_lba is not None:
+            lba = retry_lba
+        else:
+            if stream.next_lba + blocks > disk.blocks:
+                stream.next_lba = 0   # wrap: endless streaming source
+            lba = stream.next_lba
+            stream.next_lba += blocks
+        stream.busy = True
+        self.reads_issued += 1
+
+        def complete(status: int, stream=stream, lba=lba,
+                     attempt=attempt) -> None:
+            stream.busy = False
+            if status == 0:
+                # Split the 2 MB read into 1024 KB segments.
+                for offset in range(0, self.read_chunk, self.segment_size):
+                    stream.ready.append(
+                        (stream.buffer + offset, self.segment_size))
+                self._issue_read(stream)
+                return
+            # CHECK CONDITION: re-issue the same chunk like a real
+            # driver (bounded), then skip it if the medium is hopeless.
+            self.read_errors += 1
+            if attempt < self.max_read_retries:
+                self.read_retries += 1
+                self.stack.guest_cycles(
+                    self.cost.guest_disk_request_cycles)  # sense + retry
+                self._issue_read(stream, retry_lba=lba,
+                                 attempt=attempt + 1)
+            else:
+                self._issue_read(stream)  # give up on this chunk
+
+        self.scsi.read(stream.target, lba, blocks, stream.buffer, complete)
+
+    # ------------------------------------------------------------------
+    # Rate-controlled send path
+    # ------------------------------------------------------------------
+
+    def on_tick(self) -> None:
+        """Periodic OS tick: scheduler accounting + rate controller."""
+        self.ticks += 1
+        self.stack.guest_cycles(self.cost.guest_tick_cycles)
+        self._tokens += self.target_rate_bps / 8.0 / self.cost.timer_hz
+        # Cap the bucket: a stall must not produce a later burst beyond
+        # one segment's worth (constant-rate discipline).
+        self._tokens = min(self._tokens, 2.0 * self.segment_size)
+        self._pump_sender()
+        self.machine.bus.port_write(0x20, 0x20, 1)  # timer EOI
+
+    def _pump_sender(self) -> None:
+        while self._tokens >= self.segment_size:
+            segment = self._blocked_segment or self._next_segment()
+            self._blocked_segment = None
+            if segment is None:
+                return  # disks have not caught up
+            addr, length = segment
+            self.stack.guest_cycles(self.cost.guest_segment_cycles)
+            if not self.nic.send_segment(addr, length):
+                self._blocked_segment = segment
+                return  # ring full: retry next tick
+            self._tokens -= length
+            self.segments_sent += 1
+            self.bytes_sent += length
+
+    def _next_segment(self):
+        for _ in range(len(self.streams)):
+            stream = self.streams[self._rr_next]
+            self._rr_next = (self._rr_next + 1) % len(self.streams)
+            if stream.ready:
+                segment = stream.ready.pop(0)
+                if not stream.busy:
+                    self._issue_read(stream)
+                return segment
+        return None
+
+    # ------------------------------------------------------------------
+
+    # ------------------------------------------------------------------
+    # Control plane: ARP responder over the RX ring
+    # ------------------------------------------------------------------
+
+    def enable_control_plane(self, mac: bytes, ip: bytes) -> None:
+        """Answer ARP queries for our address (receivers need it before
+        UDP flows can start on a real segment)."""
+        from repro.guest.drivers.nic import GuestNicRxDriver
+        self.mac = mac
+        self.ip = ip
+        self.arp_replies = 0
+        self.rx_drops = 0
+        self.nic.rx = GuestNicRxDriver(self.machine, self.stack,
+                                       on_frame=self._control_frame)
+
+    def _control_frame(self, frame: bytes) -> None:
+        from repro.errors import ProtocolError
+        from repro.net.arp import OP_REQUEST, ArpPacket, make_reply
+        from repro.net.ethernet import (
+            ETHERTYPE_ARP,
+            EthernetFrame,
+        )
+        try:
+            eth = EthernetFrame.unpack(frame)
+            if eth.ethertype != ETHERTYPE_ARP:
+                return
+            request = ArpPacket.unpack(eth.payload)
+        except ProtocolError:
+            self.rx_drops += 1
+            return
+        if request.operation != OP_REQUEST or request.target_ip != self.ip:
+            return
+        reply = make_reply(request, self.mac)
+        out = EthernetFrame(dst=request.sender_mac, src=self.mac,
+                            ethertype=ETHERTYPE_ARP,
+                            payload=reply.pack()).pack()
+        if self.nic.send_raw_frame(out):
+            self.arp_replies += 1
+
+    # ------------------------------------------------------------------
+
+    def register_handlers(self, dispatcher) -> None:
+        from repro.hw.scsi import IRQ_SCSI
+        from repro.hw.nic import IRQ_NIC
+        dispatcher.register(0, self.on_tick)                 # PIT
+        dispatcher.register(IRQ_SCSI, self._scsi_isr)
+        dispatcher.register(IRQ_NIC, self.nic.handle_interrupt)
+
+    def _scsi_isr(self) -> None:
+        self.scsi.handle_interrupt()
+        # Completions may have refilled the pipeline; send eagerly if
+        # tokens were waiting on data.
+        self._pump_sender()

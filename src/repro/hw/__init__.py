@@ -1,0 +1,24 @@
+"""Simulated PC/AT-class target hardware."""
+
+from repro.hw.bus import IoBus, IoIntercept, MmioDevice, PortDevice
+from repro.hw.cpu import Cpu, CpuFault, IdtGate
+from repro.hw.mem import PhysicalMemory
+from repro.hw.paging import Mmu, PageFault, PageTableBuilder
+from repro.hw.seg import GdtView, SegmentDescriptor, selector
+
+__all__ = [
+    "IoBus",
+    "IoIntercept",
+    "MmioDevice",
+    "PortDevice",
+    "Cpu",
+    "CpuFault",
+    "IdtGate",
+    "PhysicalMemory",
+    "Mmu",
+    "PageFault",
+    "PageTableBuilder",
+    "GdtView",
+    "SegmentDescriptor",
+    "selector",
+]

@@ -1,0 +1,873 @@
+"""The HX32 CPU interpreter.
+
+This is the functional heart of the reproduction: a ring-aware,
+segment-checking, paging, trap-delivering interpreter.  Monitors embed
+themselves through two hooks:
+
+* :attr:`Cpu.exception_hook` — called before any exception is delivered
+  through the guest IDT.  The lightweight VMM uses this exactly the way a
+  real monitor owns the hardware IDT: privileged-instruction #GPs become
+  emulation, #DB/#BP become debugger events, and everything else is
+  *reflected* into the guest.
+* :attr:`Cpu.interrupt_hook` — called when an external interrupt is about
+  to be accepted, so a monitor can virtualise the interrupt controller.
+
+Running bare metal means leaving both hooks unset: the guest's own IDT
+(loaded with LIDT at ring 0) receives every event, as on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.errors import CpuHalted, TripleFault
+from repro.hw import isa
+from repro.hw.isa import (
+    CR0_PG,
+    FLAG_CF,
+    FLAG_IF,
+    FLAG_OF,
+    FLAG_SF,
+    FLAG_TF,
+    FLAG_ZF,
+    IOPL_SHIFT,
+    IRQ_BASE_VECTOR,
+    NUM_GPRS,
+    REG_SP,
+    SEG_CS,
+    SEG_DS,
+    SEG_SS,
+    VEC_BP,
+    VEC_DB,
+    VEC_DE,
+    VEC_DF,
+    VEC_GP,
+    VEC_PF,
+    VEC_SS,
+    VEC_UD,
+    VEC_VMCALL,
+    ERROR_CODE_VECTORS,
+    mask32,
+    signed32,
+)
+from repro.hw.paging import Mmu, PageFault, span_pages
+from repro.hw.seg import (
+    GdtView,
+    SegmentDescriptor,
+    selector_index,
+    selector_rpl,
+)
+from repro.sim.budget import CAT_GUEST, CAT_INTERRUPT, CycleBudget
+
+IDT_ENTRY_SIZE = 8
+GATE_TYPE_INTERRUPT = 0  # clears IF on entry
+GATE_TYPE_TRAP = 1       # leaves IF alone
+
+
+@dataclass(frozen=True)
+class CpuFault(Exception):
+    """An architectural exception raised mid-instruction."""
+
+    vector: int
+    error_code: int = 0
+    fault_address: Optional[int] = None  # CR2 value for #PF
+
+    def __str__(self) -> str:
+        return (f"CPU fault vector={self.vector} "
+                f"error={self.error_code:#x}")
+
+
+@dataclass(frozen=True)
+class IdtGate:
+    """A decoded IDT entry."""
+
+    offset: int
+    selector: int
+    present: bool
+    dpl: int
+    gate_type: int
+
+    def pack(self) -> bytes:
+        flags = (1 if self.present else 0) | ((self.dpl & 0b11) << 1) \
+            | ((self.gate_type & 1) << 3)
+        import struct
+        return struct.pack("<IHH", self.offset & 0xFFFFFFFF,
+                           self.selector & 0xFFFF, flags)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "IdtGate":
+        import struct
+        offset, sel, flags = struct.unpack("<IHH", raw)
+        return cls(offset=offset, selector=sel,
+                   present=bool(flags & 1),
+                   dpl=(flags >> 1) & 0b11,
+                   gate_type=(flags >> 3) & 1)
+
+
+class SegmentCache:
+    """A loaded segment register: visible selector + hidden descriptor."""
+
+    __slots__ = ("selector", "descriptor")
+
+    def __init__(self, sel: int, descriptor: SegmentDescriptor) -> None:
+        self.selector = sel
+        self.descriptor = descriptor
+
+
+class Cpu:
+    """One HX32 processor attached to memory and an I/O bus."""
+
+    def __init__(self, memory, bus, budget: Optional[CycleBudget] = None) -> None:
+        self.memory = memory
+        self.bus = bus
+        self.budget = budget or CycleBudget()
+        self.mmu = Mmu(memory)
+        self.gdt = GdtView(memory)
+
+        self.regs: List[int] = [0] * NUM_GPRS
+        self.pc = 0
+        self.flags = 0
+        self.crs = [0, 0, 0, 0]
+        self.idtr_base = 0
+        self.idtr_limit = 0
+        self.tss_base = 0
+        # Boot state: flat ring-0 segments covering all of memory, like the
+        # fiction of x86 "unreal" flat mode; real code reloads them early.
+        boot = SegmentDescriptor(base=0, limit=memory.size, dpl=0,
+                                 code=True, writable=True)
+        boot_data = SegmentDescriptor(base=0, limit=memory.size, dpl=0,
+                                      code=False, writable=True)
+        self.segments = [SegmentCache(0, boot),
+                         SegmentCache(0, boot_data),
+                         SegmentCache(0, boot_data)]
+
+        self.halted = False
+        self.instret = 0
+        self.cycle_count = 0
+        #: Set of linear addresses that trigger #DB on fetch (debug regs).
+        self.code_breakpoints: Set[int] = set()
+        #: (addr, length, on_write) watchpoints checked on data access.
+        self.watchpoints: List[Tuple[int, int, bool]] = []
+
+        #: Monitor hooks; return True to claim the event.
+        self.exception_hook: Optional[
+            Callable[["Cpu", int, int], bool]] = None
+        self.interrupt_hook: Optional[Callable[["Cpu", int], bool]] = None
+        self.vmcall_hook: Optional[Callable[["Cpu"], bool]] = None
+        #: Interrupt source (the PIC): .has_pending() / .acknowledge().
+        self.irq_source = None
+        # STI inhibits interrupts for one instruction, like x86.
+        self._interrupt_shadow = False
+        #: x86 RF-flag semantics: suppress the instruction breakpoint at
+        #: the current PC for one instruction (set when resuming from a
+        #: breakpoint so the guest makes progress).
+        self.resume_flag = False
+        #: I/O permission bitmap: ports listed here are accessible even
+        #: when CPL > IOPL (the TSS I/O-bitmap mechanism monitors use to
+        #: pass high-throughput devices straight through to the guest).
+        #: None means "no bitmap" — IN/OUT strictly gated by IOPL.
+        self.io_allowed_ports: Optional[Set[int]] = None
+
+    # ------------------------------------------------------------------
+    # Convenience state accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def cpl(self) -> int:
+        return self.segments[SEG_CS].descriptor.dpl
+
+    @property
+    def iopl(self) -> int:
+        return (self.flags >> IOPL_SHIFT) & 0b11
+
+    @property
+    def interrupts_enabled(self) -> bool:
+        return bool(self.flags & FLAG_IF)
+
+    @property
+    def sp(self) -> int:
+        return self.regs[REG_SP]
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.regs[REG_SP] = mask32(value)
+
+    @property
+    def paging_enabled(self) -> bool:
+        return bool(self.crs[0] & CR0_PG)
+
+    def _set_flag(self, flag: int, on: bool) -> None:
+        if on:
+            self.flags |= flag
+        else:
+            self.flags &= ~flag
+
+    # ------------------------------------------------------------------
+    # Address translation and memory access
+    # ------------------------------------------------------------------
+
+    def linear(self, seg: int, offset: int, length: int, write: bool) -> int:
+        """Segment-check ``offset`` and return the linear address."""
+        cache = self.segments[seg]
+        descriptor = cache.descriptor
+        if not descriptor.contains(offset, length):
+            vec = VEC_SS if seg == SEG_SS else VEC_GP
+            raise CpuFault(vec, error_code=0)
+        if write and not descriptor.writable:
+            raise CpuFault(VEC_GP, error_code=0)
+        return mask32(descriptor.base + offset)
+
+    def _physical(self, linear_addr: int, write: bool) -> int:
+        if not self.paging_enabled:
+            return linear_addr
+        user = self.cpl == 3
+        try:
+            return self.mmu.translate(linear_addr, write=write, user=user)
+        except PageFault as fault:
+            self.crs[2] = fault.address
+            raise CpuFault(VEC_PF, error_code=fault.error_code,
+                           fault_address=fault.address) from fault
+
+    def _check_watchpoints(self, linear_addr: int, length: int,
+                           write: bool) -> None:
+        for addr, wlen, on_write in self.watchpoints:
+            if write != on_write:
+                continue
+            if linear_addr < addr + wlen and addr < linear_addr + length:
+                raise CpuFault(VEC_DB, error_code=0)
+
+    def read_virtual(self, seg: int, offset: int, length: int) -> bytes:
+        """Data read through segmentation + paging (+MMIO routing)."""
+        linear_addr = self.linear(seg, offset, length, write=False)
+        self._check_watchpoints(linear_addr, length, write=False)
+        chunks = []
+        for vaddr, chunk in span_pages(linear_addr, length):
+            paddr = self._physical(vaddr, write=False)
+            if self.bus.is_mmio(paddr):
+                if chunk not in (1, 2, 4):
+                    raise CpuFault(VEC_GP, error_code=0)
+                value = self.bus.mmio_read(paddr, chunk)
+                chunks.append(value.to_bytes(chunk, "little"))
+            else:
+                chunks.append(self.memory.read(paddr, chunk))
+        return b"".join(chunks)
+
+    def write_virtual(self, seg: int, offset: int, data: bytes) -> None:
+        linear_addr = self.linear(seg, offset, len(data), write=True)
+        self._check_watchpoints(linear_addr, len(data), write=True)
+        cursor = 0
+        for vaddr, chunk in span_pages(linear_addr, len(data)):
+            paddr = self._physical(vaddr, write=True)
+            piece = data[cursor:cursor + chunk]
+            if self.bus.is_mmio(paddr):
+                if chunk not in (1, 2, 4):
+                    raise CpuFault(VEC_GP, error_code=0)
+                self.bus.mmio_write(paddr, int.from_bytes(piece, "little"),
+                                    chunk)
+            else:
+                self.memory.write(paddr, piece)
+            cursor += chunk
+
+    # -- debugger-grade access: bypasses watchpoints, never faults -----
+
+    def peek_virtual(self, seg: int, offset: int, length: int) -> Optional[bytes]:
+        """Best-effort read for the debug stub; None if unmapped."""
+        try:
+            return self.read_virtual(seg, offset, length)
+        except CpuFault:
+            return None
+
+    # ------------------------------------------------------------------
+    # Stack helpers
+    # ------------------------------------------------------------------
+
+    def push32(self, value: int) -> None:
+        new_sp = mask32(self.sp - 4)
+        self.write_virtual(SEG_SS, new_sp, mask32(value).to_bytes(4, "little"))
+        self.sp = new_sp
+
+    def pop32(self) -> int:
+        value = int.from_bytes(self.read_virtual(SEG_SS, self.sp, 4), "little")
+        self.sp = mask32(self.sp + 4)
+        return value
+
+    # ------------------------------------------------------------------
+    # Segment loading
+    # ------------------------------------------------------------------
+
+    def _descriptor_for(self, sel: int) -> SegmentDescriptor:
+        index = selector_index(sel)
+        try:
+            descriptor = self.gdt.read(index)
+        except IndexError:
+            raise CpuFault(VEC_GP, error_code=sel) from None
+        if not descriptor.present:
+            raise CpuFault(VEC_GP, error_code=sel)
+        return descriptor
+
+    def load_segment(self, seg: int, sel: int) -> None:
+        """MOVSEG semantics with x86-style privilege checks."""
+        if seg == SEG_CS:
+            # CS changes only via interrupt delivery and IRET.
+            raise CpuFault(VEC_UD)
+        descriptor = self._descriptor_for(sel)
+        rpl = selector_rpl(sel)
+        if seg == SEG_SS:
+            if descriptor.code or not descriptor.writable:
+                raise CpuFault(VEC_GP, error_code=sel)
+            if rpl != self.cpl or descriptor.dpl != self.cpl:
+                raise CpuFault(VEC_GP, error_code=sel)
+        else:
+            if descriptor.code:
+                raise CpuFault(VEC_GP, error_code=sel)
+            if descriptor.dpl < max(self.cpl, rpl):
+                raise CpuFault(VEC_GP, error_code=sel)
+        self.segments[seg] = SegmentCache(sel, descriptor)
+
+    def force_segment(self, seg: int, sel: int,
+                      descriptor: SegmentDescriptor) -> None:
+        """Monitor backdoor: install a segment without privilege checks.
+
+        Used by monitors for world switches — the hardware analogue is the
+        monitor running its own ring-0 code that is allowed to do this.
+        """
+        self.segments[seg] = SegmentCache(sel, descriptor)
+
+    # ------------------------------------------------------------------
+    # Interrupt / exception delivery
+    # ------------------------------------------------------------------
+
+    def read_idt_gate(self, vector: int, idt_base: Optional[int] = None,
+                      idt_limit: Optional[int] = None) -> IdtGate:
+        base = self.idtr_base if idt_base is None else idt_base
+        limit = self.idtr_limit if idt_limit is None else idt_limit
+        offset = vector * IDT_ENTRY_SIZE
+        if offset + IDT_ENTRY_SIZE > limit:
+            raise CpuFault(VEC_GP, error_code=vector * 8 + 2)
+        raw = self.memory.read(base + offset, IDT_ENTRY_SIZE)
+        return IdtGate.unpack(raw)
+
+    def deliver(self, vector: int, error_code: int = 0,
+                software: bool = False,
+                idt_base: Optional[int] = None,
+                idt_limit: Optional[int] = None) -> None:
+        """Deliver an interrupt/exception through an IDT.
+
+        ``software`` marks INT n, which is subject to the gate-DPL check
+        (that is how ring-3 code is prevented from invoking arbitrary
+        gates).  ``idt_base``/``idt_limit`` let a monitor deliver through
+        the guest's *virtual* IDT when reflecting events.
+        """
+        gate = self.read_idt_gate(vector, idt_base, idt_limit)
+        if not gate.present:
+            raise CpuFault(VEC_GP, error_code=vector * 8 + 2)
+        if software and gate.dpl < self.cpl:
+            raise CpuFault(VEC_GP, error_code=vector * 8 + 2)
+
+        target = self._descriptor_for(gate.selector)
+        if not target.code:
+            raise CpuFault(VEC_GP, error_code=gate.selector)
+        target_ring = target.dpl
+        if target_ring > self.cpl:
+            # Gates never transfer outward.
+            raise CpuFault(VEC_GP, error_code=gate.selector)
+
+        old_cs = self.segments[SEG_CS].selector
+        old_ss = self.segments[SEG_SS].selector
+        old_sp = self.sp
+        old_flags = self.flags
+
+        if target_ring < self.cpl:
+            new_sp, new_ss = self._ring_stack(target_ring)
+            ss_descriptor = self._descriptor_for(new_ss)
+            self.segments[SEG_SS] = SegmentCache(new_ss, ss_descriptor)
+            self.sp = new_sp
+            self.segments[SEG_CS] = SegmentCache(gate.selector, target)
+            self.push32(old_ss)
+            self.push32(old_sp)
+        else:
+            self.segments[SEG_CS] = SegmentCache(gate.selector, target)
+
+        self.push32(old_flags)
+        self.push32(old_cs)
+        self.push32(self.pc)
+        if vector in ERROR_CODE_VECTORS and not software:
+            self.push32(error_code)
+
+        self.pc = gate.offset
+        self._set_flag(FLAG_TF, False)
+        if gate.gate_type == GATE_TYPE_INTERRUPT:
+            self._set_flag(FLAG_IF, False)
+        self.halted = False
+        self.budget.charge(40, CAT_INTERRUPT)
+        self.cycle_count += 40
+
+    def _ring_stack(self, ring: int) -> Tuple[int, int]:
+        """Read the (SP, SS) pair for ``ring`` from the TSS."""
+        base = self.tss_base + ring * 8
+        sp = self.memory.read_u32(base)
+        ss = self.memory.read_u32(base + 4)
+        return sp, ss
+
+    def _stack_word(self, index: int) -> int:
+        """Read the ``index``-th word of the stack without popping."""
+        return int.from_bytes(
+            self.read_virtual(SEG_SS, mask32(self.sp + 4 * index), 4),
+            "little")
+
+    def _do_iret(self) -> None:
+        # Like hardware: validate the whole frame before committing any
+        # state, so a faulting IRET leaves SP (and the frame) intact for
+        # the fault handler / monitor to inspect and emulate.
+        new_pc = self._stack_word(0)
+        new_cs = self._stack_word(1)
+        new_flags = self._stack_word(2)
+        target_rpl = selector_rpl(new_cs)
+        if target_rpl < self.cpl:
+            raise CpuFault(VEC_GP, error_code=new_cs)
+        descriptor = self._descriptor_for(new_cs)
+        if not descriptor.code or descriptor.dpl != target_rpl:
+            raise CpuFault(VEC_GP, error_code=new_cs)
+        outward = target_rpl > self.cpl
+        new_sp = new_ss = ss_descriptor = None
+        frame_words = 3
+        if outward:
+            new_sp = self._stack_word(3)
+            new_ss = self._stack_word(4)
+            frame_words = 5
+            ss_descriptor = self._descriptor_for(new_ss)
+            if ss_descriptor.dpl != target_rpl:
+                raise CpuFault(VEC_GP, error_code=new_ss)
+
+        # All checks passed: commit atomically from here on.
+        self.sp = mask32(self.sp + 4 * frame_words)
+
+        # IF (and IOPL) are privileged: only CPL <= IOPL may change IF, and
+        # only ring 0 may change IOPL.  Silently preserved otherwise — the
+        # classic x86 virtualisation hole the LVMM works around with its
+        # shadow interrupt state.
+        preserved = 0
+        if self.cpl > self.iopl:
+            preserved |= FLAG_IF
+        if self.cpl != 0:
+            preserved |= isa.IOPL_MASK
+        new_flags = (new_flags & ~preserved) | (self.flags & preserved)
+
+        self.segments[SEG_CS] = SegmentCache(new_cs, descriptor)
+        self.flags = new_flags
+        self.pc = new_pc
+        if outward:
+            self.segments[SEG_SS] = SegmentCache(new_ss, ss_descriptor)
+            self.sp = new_sp
+
+    # ------------------------------------------------------------------
+    # Fault handling with double/triple fault semantics
+    # ------------------------------------------------------------------
+
+    def _handle_fault(self, fault: CpuFault, saved_pc: int) -> None:
+        # Faults restart the instruction: report the faulting PC.
+        if fault.vector in isa.FAULT_VECTORS:
+            self.pc = saved_pc
+        if self.exception_hook is not None:
+            if self.exception_hook(self, fault.vector, fault.error_code):
+                return
+        try:
+            self.deliver(fault.vector, fault.error_code)
+        except CpuFault:
+            try:
+                self.deliver(VEC_DF, 0)
+            except CpuFault as third:
+                raise TripleFault(
+                    f"triple fault delivering vector {fault.vector} "
+                    f"then #DF: {third}") from third
+
+    # ------------------------------------------------------------------
+    # Fetch / decode / execute
+    # ------------------------------------------------------------------
+
+    def _fetch(self, length: int) -> bytes:
+        return self.read_virtual(SEG_CS, self.pc, length)
+
+    def step(self) -> None:
+        """Execute one instruction (or accept one interrupt)."""
+        if self._maybe_take_interrupt():
+            return
+        if self.halted:
+            if not self.interrupts_enabled and self.irq_source is None \
+                    and self.exception_hook is None:
+                raise CpuHalted("HLT with interrupts disabled and no "
+                                "interrupt source: machine is dead")
+            self.cycle_count += 1
+            return
+
+        saved_pc = self.pc
+        take_tf = bool(self.flags & FLAG_TF)
+        self._interrupt_shadow = False
+        suppress_bp = self.resume_flag
+        self.resume_flag = False
+        try:
+            linear_pc = self.linear(SEG_CS, self.pc, 1, write=False)
+            if linear_pc in self.code_breakpoints and not suppress_bp:
+                raise CpuFault(VEC_DB, error_code=0)
+            opcode = self._fetch(1)[0]
+            spec = isa.SPECS.get(opcode)
+            if spec is None:
+                raise CpuFault(VEC_UD)
+            self._check_privilege(spec)
+            body = self._fetch(spec.length)[1:]
+            self.pc = mask32(self.pc + spec.length)
+            self._execute(spec, body)
+            self.instret += 1
+            self.budget.charge(spec.cycles, CAT_GUEST)
+            self.cycle_count += spec.cycles
+        except CpuFault as fault:
+            self._handle_fault(fault, saved_pc)
+            return
+        if take_tf and (self.flags & FLAG_TF):
+            # Single-step trap fires after the instruction completes.
+            try:
+                raise CpuFault(VEC_DB, error_code=0)
+            except CpuFault as fault:
+                self._handle_fault(fault, self.pc)
+
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        """Step until HLT-with-no-wakeup or the instruction cap."""
+        executed = 0
+        while executed < max_instructions:
+            if self.halted and self.irq_source is None \
+                    and self.exception_hook is None:
+                break
+            before = self.instret
+            self.step()
+            if self.instret == before and self.halted:
+                break
+            executed += 1
+        return executed
+
+    def _maybe_take_interrupt(self) -> bool:
+        if self._interrupt_shadow:
+            self._interrupt_shadow = False
+            return False
+        if self.irq_source is None:
+            return False
+        if not self.irq_source.has_pending():
+            return False
+        if self.interrupt_hook is not None:
+            # A monitor owns interrupt acceptance outright: it decides
+            # whether/when to reflect regardless of the guest's IF, since
+            # the guest's IF is virtualised.
+            vector = self.irq_source.acknowledge()
+            self.halted = False
+            if self.interrupt_hook(self, vector):
+                return True
+            self.deliver(vector)
+            return True
+        if not self.interrupts_enabled:
+            return False
+        vector = self.irq_source.acknowledge()
+        self.halted = False
+        self.deliver(vector)
+        return True
+
+    #: IN/OUT defer their privilege check to execution time, when the
+    #: port number is known and the I/O bitmap can be consulted.
+    _IO_MNEMONICS = frozenset({"INB", "OUTB", "INW", "OUTW"})
+
+    def _check_privilege(self, spec: isa.InsnSpec) -> None:
+        if spec.privilege == isa.PRIV_RING0 and self.cpl != 0:
+            raise CpuFault(VEC_GP, error_code=0)
+        if spec.privilege == isa.PRIV_IOPL and self.cpl > self.iopl \
+                and spec.mnemonic not in self._IO_MNEMONICS:
+            raise CpuFault(VEC_GP, error_code=0)
+
+    def _check_io_permission(self, port: int) -> None:
+        if self.cpl <= self.iopl:
+            return
+        if self.io_allowed_ports is not None \
+                and port in self.io_allowed_ports:
+            return
+        raise CpuFault(VEC_GP, error_code=0)
+
+    # -- ALU flag helpers ------------------------------------------------
+
+    def _set_zsf(self, result: int) -> None:
+        self._set_flag(FLAG_ZF, result == 0)
+        self._set_flag(FLAG_SF, bool(result & 0x80000000))
+
+    def _alu_add(self, a: int, b: int) -> int:
+        result = a + b
+        masked = mask32(result)
+        self._set_flag(FLAG_CF, result > 0xFFFFFFFF)
+        self._set_flag(
+            FLAG_OF,
+            (signed32(a) >= 0) == (signed32(b) >= 0)
+            and (signed32(masked) >= 0) != (signed32(a) >= 0))
+        self._set_zsf(masked)
+        return masked
+
+    def _alu_sub(self, a: int, b: int) -> int:
+        result = a - b
+        masked = mask32(result)
+        self._set_flag(FLAG_CF, a < b)
+        self._set_flag(
+            FLAG_OF,
+            (signed32(a) >= 0) != (signed32(b) >= 0)
+            and (signed32(masked) >= 0) != (signed32(a) >= 0))
+        self._set_zsf(masked)
+        return masked
+
+    def _alu_logic(self, result: int) -> int:
+        masked = mask32(result)
+        self._set_flag(FLAG_CF, False)
+        self._set_flag(FLAG_OF, False)
+        self._set_zsf(masked)
+        return masked
+
+    # -- decode helpers -----------------------------------------------------
+
+    @staticmethod
+    def _rr(body: bytes) -> Tuple[int, int]:
+        return (body[0] >> 4) & 0x7, body[0] & 0x7
+
+    @staticmethod
+    def _imm32(body: bytes, offset: int = 0) -> int:
+        return int.from_bytes(body[offset:offset + 4], "little")
+
+    # -- the big dispatch ------------------------------------------------------
+
+    def _execute(self, spec: isa.InsnSpec, body: bytes) -> None:
+        name = spec.mnemonic
+        regs = self.regs
+
+        if name == "NOP":
+            return
+        if name == "HLT":
+            self.halted = True
+            return
+        if name == "CLI":
+            self._set_flag(FLAG_IF, False)
+            return
+        if name == "STI":
+            self._set_flag(FLAG_IF, True)
+            self._interrupt_shadow = True
+            return
+        if name == "IRET":
+            self._do_iret()
+            return
+        if name == "RET":
+            self.pc = self.pop32()
+            return
+        if name == "BKPT":
+            raise CpuFault(VEC_BP)
+        if name == "VMCALL":
+            if self.vmcall_hook is not None and self.vmcall_hook(self):
+                return
+            raise CpuFault(VEC_VMCALL)
+
+        if name == "MOVI":
+            regs[body[0] & 0x7] = self._imm32(body, 1)
+            return
+        if name == "MOV":
+            ra, rb = self._rr(body)
+            regs[ra] = regs[rb]
+            return
+        if name in ("LD", "LD8", "LD16"):
+            ra, rb = self._rr(body)
+            offset = mask32(regs[rb] + self._imm32(body, 1))
+            size = {"LD": 4, "LD8": 1, "LD16": 2}[name]
+            data = self.read_virtual(SEG_DS, offset, size)
+            regs[ra] = int.from_bytes(data, "little")
+            return
+        if name in ("ST", "ST8", "ST16"):
+            ra, rb = self._rr(body)
+            offset = mask32(regs[rb] + self._imm32(body, 1))
+            size = {"ST": 4, "ST8": 1, "ST16": 2}[name]
+            self.write_virtual(SEG_DS, offset,
+                               (regs[ra] & ((1 << (8 * size)) - 1))
+                               .to_bytes(size, "little"))
+            return
+        if name == "LEA":
+            ra, rb = self._rr(body)
+            regs[ra] = mask32(regs[rb] + self._imm32(body, 1))
+            return
+        if name == "PUSH":
+            self.push32(regs[body[0] & 0x7])
+            return
+        if name == "PUSHI":
+            self.push32(self._imm32(body))
+            return
+        if name == "POP":
+            regs[body[0] & 0x7] = self.pop32()
+            return
+        if name == "PUSHF":
+            self.push32(self.flags)
+            return
+        if name == "POPF":
+            new_flags = self.pop32()
+            # IA-32 semantics: IF only changes when CPL <= IOPL, IOPL
+            # only at ring 0 — silently preserved otherwise.  This is
+            # the famous virtualisation hole: deprivileged kernels
+            # *think* they toggled IF.  Monitors here survive it because
+            # all interrupt delivery is virtualised through them anyway.
+            preserved = 0
+            if self.cpl > self.iopl:
+                preserved |= FLAG_IF
+            if self.cpl != 0:
+                preserved |= isa.IOPL_MASK
+            self.flags = (new_flags & ~preserved) | (self.flags & preserved)
+            return
+        if name == "XCHG":
+            ra, rb = self._rr(body)
+            regs[ra], regs[rb] = regs[rb], regs[ra]
+            return
+
+        if name in ("ADD", "ADDI", "SUB", "SUBI", "AND", "ANDI", "OR", "ORI",
+                    "XOR", "XORI", "SHL", "SHLI", "SHR", "SHRI", "MUL",
+                    "MULI", "DIV", "DIVI", "CMP", "CMPI", "TEST"):
+            self._execute_alu(name, body)
+            return
+        if name == "NOT":
+            reg = body[0] & 0x7
+            regs[reg] = self._alu_logic(~regs[reg])
+            return
+        if name == "NEG":
+            reg = body[0] & 0x7
+            regs[reg] = self._alu_sub(0, regs[reg])
+            return
+
+        if name in ("JMP", "JZ", "JNZ", "JC", "JNC", "JG", "JGE", "JL",
+                    "JLE", "JS", "JNS", "CALL"):
+            self._execute_branch(name, body)
+            return
+        if name == "JMPR":
+            self.pc = regs[body[0] & 0x7]
+            return
+        if name == "CALLR":
+            self.push32(self.pc)
+            self.pc = regs[body[0] & 0x7]
+            return
+
+        if name == "INT":
+            self.deliver(body[0], software=True)
+            return
+        if name in ("INB", "INW"):
+            ra, rb = self._rr(body)
+            port = regs[rb] & 0xFFFF
+            self._check_io_permission(port)
+            size = 1 if name == "INB" else 4
+            regs[ra] = self.bus.port_read(port, size)
+            return
+        if name in ("OUTB", "OUTW"):
+            ra, rb = self._rr(body)
+            port = regs[rb] & 0xFFFF
+            self._check_io_permission(port)
+            size = 1 if name == "OUTB" else 4
+            self.bus.port_write(port, regs[ra], size)
+            return
+
+        if name == "MOVCR":
+            crn, reg = self._rr(body)
+            value = regs[reg]
+            self.crs[crn] = value
+            if crn == 3:
+                self.mmu.set_cr3(value)
+            return
+        if name == "MOVRC":
+            crn, reg = self._rr(body)
+            regs[reg] = self.crs[crn]
+            return
+        if name == "LGDT":
+            pseudo = regs[body[0] & 0x7]
+            limit = int.from_bytes(self.read_virtual(SEG_DS, pseudo, 4),
+                                   "little")
+            base = int.from_bytes(self.read_virtual(SEG_DS, pseudo + 4, 4),
+                                  "little")
+            self.gdt.load(base, limit)
+            return
+        if name == "LIDT":
+            pseudo = regs[body[0] & 0x7]
+            self.idtr_limit = int.from_bytes(
+                self.read_virtual(SEG_DS, pseudo, 4), "little")
+            self.idtr_base = int.from_bytes(
+                self.read_virtual(SEG_DS, pseudo + 4, 4), "little")
+            return
+        if name == "LTSS":
+            self.tss_base = regs[body[0] & 0x7]
+            return
+        if name == "MOVSEG":
+            segn, reg = self._rr(body)
+            self.load_segment(segn, regs[reg] & 0xFFFF)
+            return
+        if name == "MOVSGR":
+            segn, reg = self._rr(body)
+            regs[reg] = self.segments[segn].selector
+            return
+
+        raise CpuFault(VEC_UD)  # pragma: no cover - table is exhaustive
+
+    def _execute_alu(self, name: str, body: bytes) -> None:
+        regs = self.regs
+        immediate = name.endswith("I") and name not in ("DIV",)
+        if name in ("CMPI", "ADDI", "SUBI", "ANDI", "ORI", "XORI", "SHLI",
+                    "SHRI", "MULI", "DIVI"):
+            ra = body[0] & 0x7
+            operand = self._imm32(body, 1)
+        else:
+            ra, rb = self._rr(body)
+            operand = regs[rb]
+        a = regs[ra]
+        base = name[:-1] if name.endswith("I") and name != "DIV" else name
+        if base == "ADD":
+            regs[ra] = self._alu_add(a, operand)
+        elif base == "SUB":
+            regs[ra] = self._alu_sub(a, operand)
+        elif base == "AND":
+            regs[ra] = self._alu_logic(a & operand)
+        elif base == "OR":
+            regs[ra] = self._alu_logic(a | operand)
+        elif base == "XOR":
+            regs[ra] = self._alu_logic(a ^ operand)
+        elif base == "SHL":
+            regs[ra] = self._alu_logic(a << (operand & 31))
+        elif base == "SHR":
+            regs[ra] = self._alu_logic(a >> (operand & 31))
+        elif base == "MUL":
+            regs[ra] = self._alu_logic(a * operand)
+        elif base == "DIV":
+            if operand == 0:
+                raise CpuFault(VEC_DE)
+            regs[ra] = self._alu_logic(a // operand)
+        elif base == "CMP":
+            self._alu_sub(a, operand)
+        elif base == "TEST":
+            self._alu_logic(a & operand)
+        else:  # pragma: no cover
+            raise CpuFault(VEC_UD)
+
+    def _execute_branch(self, name: str, body: bytes) -> None:
+        rel = signed32(self._imm32(body))
+        target = mask32(self.pc + rel)
+        flags = self.flags
+        zf = bool(flags & FLAG_ZF)
+        cf = bool(flags & FLAG_CF)
+        sf = bool(flags & FLAG_SF)
+        of = bool(flags & FLAG_OF)
+        take = {
+            "JMP": True,
+            "JZ": zf,
+            "JNZ": not zf,
+            "JC": cf,
+            "JNC": not cf,
+            "JG": not zf and sf == of,
+            "JGE": sf == of,
+            "JL": sf != of,
+            "JLE": zf or sf != of,
+            "JS": sf,
+            "JNS": not sf,
+            "CALL": True,
+        }[name]
+        if name == "CALL":
+            self.push32(self.pc)
+        if take:
+            self.pc = target

@@ -1,0 +1,157 @@
+"""Boot-firmware helpers: canonical GDT / IDT / TSS layouts.
+
+Everything that brings up an HX32 machine — the bare-metal runner, the
+monitors, the guest kernel builder and dozens of tests — needs the same
+boilerplate: a GDT with flat code/data descriptors for rings 0, 1 and 3,
+an IDT full of gates, and a TSS holding the inner-ring stack pointers.
+This module is that firmware.
+
+Canonical physical memory map used throughout the reproduction::
+
+    0x0000_1000  GDT
+    0x0000_2000  IDT (256 gates)
+    0x0000_3000  TSS (ring-stack table)
+    0x0000_8000  ring-0 stack top (grows down)
+    0x0000_C000  ring-1 stack top
+    0x0000_F000  ring-3 stack top
+    0x0020_0000  guest kernel image
+    0x0030_0000  guest application image
+    0x0040_0000  I/O buffers
+    top - 1 MiB  monitor region (shadow GDT/IDT, stub state)
+
+The monitor lives in the **last** megabyte of RAM so that truncating the
+guest's segment limits to ``monitor_base`` hides it — the classic
+segment-truncation protection trick the paper's "lightweight memory
+protection mechanism" corresponds to.  Everything the guest may touch
+sits below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hw.cpu import IDT_ENTRY_SIZE, GATE_TYPE_INTERRUPT, IdtGate
+from repro.hw.seg import DESCRIPTOR_SIZE, SegmentDescriptor, selector
+
+GDT_BASE = 0x1000
+IDT_BASE = 0x2000
+TSS_BASE = 0x3000
+RING0_STACK_TOP = 0x8000
+RING1_STACK_TOP = 0xC000
+RING3_STACK_TOP = 0xF000
+GUEST_KERNEL_BASE = 0x20_0000
+GUEST_APP_BASE = 0x30_0000
+BUFFER_BASE = 0x40_0000
+MONITOR_SIZE = 0x10_0000
+
+
+def monitor_base(memory_size: int) -> int:
+    """Physical base of the monitor's private region (the top 1 MiB)."""
+    return memory_size - MONITOR_SIZE
+
+IDT_ENTRIES = 256
+
+# GDT indices of the flat descriptors.
+IDX_NULL = 0
+IDX_CODE0 = 1
+IDX_DATA0 = 2
+IDX_CODE1 = 3
+IDX_DATA1 = 4
+IDX_CODE3 = 5
+IDX_DATA3 = 6
+GDT_DESCRIPTORS = 7
+
+
+@dataclass(frozen=True)
+class Selectors:
+    """The canonical selector set for a flat three-ring layout."""
+
+    code0: int
+    data0: int
+    code1: int
+    data1: int
+    code3: int
+    data3: int
+
+    def code_for_ring(self, ring: int) -> int:
+        return {0: self.code0, 1: self.code1, 3: self.code3}[ring]
+
+    def data_for_ring(self, ring: int) -> int:
+        return {0: self.data0, 1: self.data1, 3: self.data3}[ring]
+
+
+def build_gdt(memory, limit: int, gdt_base: int = GDT_BASE) -> Selectors:
+    """Write the flat descriptor set and return its selectors.
+
+    ``limit`` is the highest linear address + 1 the segments may reach;
+    firmware uses installed-RAM size, the monitor later truncates the
+    guest's copies to protect itself.
+    """
+    def write(index: int, descriptor: SegmentDescriptor) -> None:
+        memory.write(gdt_base + index * DESCRIPTOR_SIZE, descriptor.pack())
+
+    write(IDX_NULL, SegmentDescriptor(0, 0, 0, present=False))
+    write(IDX_CODE0, SegmentDescriptor(0, limit, 0, code=True))
+    write(IDX_DATA0, SegmentDescriptor(0, limit, 0))
+    write(IDX_CODE1, SegmentDescriptor(0, limit, 1, code=True))
+    write(IDX_DATA1, SegmentDescriptor(0, limit, 1))
+    write(IDX_CODE3, SegmentDescriptor(0, limit, 3, code=True))
+    write(IDX_DATA3, SegmentDescriptor(0, limit, 3))
+    return Selectors(
+        code0=selector(IDX_CODE0, 0), data0=selector(IDX_DATA0, 0),
+        code1=selector(IDX_CODE1, 1), data1=selector(IDX_DATA1, 1),
+        code3=selector(IDX_CODE3, 3), data3=selector(IDX_DATA3, 3))
+
+
+def write_idt_gate(memory, vector: int, offset: int, code_selector: int,
+                   dpl: int = 0, gate_type: int = GATE_TYPE_INTERRUPT,
+                   idt_base: int = IDT_BASE) -> None:
+    """Install one IDT gate."""
+    gate = IdtGate(offset=offset, selector=code_selector, present=True,
+                   dpl=dpl, gate_type=gate_type)
+    memory.write(idt_base + vector * IDT_ENTRY_SIZE, gate.pack())
+
+
+def clear_idt(memory, idt_base: int = IDT_BASE) -> None:
+    """Fill the IDT with not-present gates."""
+    memory.fill(idt_base, IDT_ENTRIES * IDT_ENTRY_SIZE, 0)
+
+
+def write_tss(memory, ring_stacks: Dict[int, tuple],
+              tss_base: int = TSS_BASE) -> None:
+    """Write the ring-stack table: ``{ring: (sp, ss_selector)}``."""
+    for ring, (sp, ss) in ring_stacks.items():
+        memory.write_u32(tss_base + ring * 8, sp)
+        memory.write_u32(tss_base + ring * 8 + 4, ss)
+
+
+def install_flat_firmware(cpu, memory_limit: int = None) -> Selectors:
+    """Full firmware bring-up directly on a CPU (host-side shortcut).
+
+    Builds GDT/TSS/empty IDT in memory, points GDTR/IDTR/TR at them, and
+    loads flat ring-0 segments.  Equivalent to what the boot assembly
+    does, exposed for tests and monitors that construct machines in
+    Python.
+    """
+    memory = cpu.memory
+    limit = memory_limit if memory_limit is not None else memory.size
+    selectors = build_gdt(memory, limit)
+    clear_idt(memory)
+    write_tss(memory, {
+        0: (RING0_STACK_TOP, selectors.data0),
+        1: (RING1_STACK_TOP, selectors.data1),
+    })
+    cpu.gdt.load(GDT_BASE, GDT_DESCRIPTORS * DESCRIPTOR_SIZE)
+    cpu.idtr_base = IDT_BASE
+    cpu.idtr_limit = IDT_ENTRIES * IDT_ENTRY_SIZE
+    cpu.tss_base = TSS_BASE
+
+    from repro.hw.seg import SegmentDescriptor as _SD
+    code = _SD(0, limit, 0, code=True)
+    data = _SD(0, limit, 0)
+    cpu.force_segment(0, selectors.code0, code)
+    cpu.force_segment(1, selectors.data0, data)
+    cpu.force_segment(2, selectors.data0, data)
+    cpu.sp = RING0_STACK_TOP
+    return selectors

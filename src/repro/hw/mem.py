@@ -1,0 +1,67 @@
+"""Physical memory for the simulated target machine."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import MemoryError_
+
+
+class PhysicalMemory:
+    """A flat byte-addressable RAM with bounds checking.
+
+    All CPU, DMA and monitor accesses ultimately land here.  Accessors are
+    little-endian, matching the PC/AT heritage of the modelled platform.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise MemoryError_(f"memory size must be positive, got {size}")
+        self.size = size
+        self._data = bytearray(size)
+
+    def _check(self, addr: int, length: int) -> None:
+        if addr < 0 or length < 0 or addr + length > self.size:
+            raise MemoryError_(
+                f"physical access [{addr:#x}, {addr + length:#x}) outside "
+                f"installed RAM of {self.size:#x} bytes")
+
+    # -- bulk accessors ------------------------------------------------------
+
+    def read(self, addr: int, length: int) -> bytes:
+        self._check(addr, length)
+        return bytes(self._data[addr:addr + length])
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self._data[addr:addr + len(data)] = data
+
+    def fill(self, addr: int, length: int, value: int = 0) -> None:
+        self._check(addr, length)
+        self._data[addr:addr + length] = bytes([value & 0xFF]) * length
+
+    # -- scalar accessors ------------------------------------------------------
+
+    def read_u8(self, addr: int) -> int:
+        self._check(addr, 1)
+        return self._data[addr]
+
+    def write_u8(self, addr: int, value: int) -> None:
+        self._check(addr, 1)
+        self._data[addr] = value & 0xFF
+
+    def read_u16(self, addr: int) -> int:
+        self._check(addr, 2)
+        return struct.unpack_from("<H", self._data, addr)[0]
+
+    def write_u16(self, addr: int, value: int) -> None:
+        self._check(addr, 2)
+        struct.pack_into("<H", self._data, addr, value & 0xFFFF)
+
+    def read_u32(self, addr: int) -> int:
+        self._check(addr, 4)
+        return struct.unpack_from("<I", self._data, addr)[0]
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        struct.pack_into("<I", self._data, addr, value & 0xFFFFFFFF)

@@ -1,0 +1,259 @@
+"""Descriptor-ring gigabit Ethernet NIC (e1000-style, reduced).
+
+The second passthrough device.  The guest driver builds Ethernet frames
+in guest memory, points TX descriptors at them and bumps the tail
+register; the NIC DMA-reads the frames, paces them at line rate onto the
+"wire" (a Python callback standing in for the lab network), and raises a
+— optionally coalesced — completion interrupt.
+
+MMIO register map (32-bit registers, byte offsets):
+
+    0x000  CTRL     bit0: reset
+    0x008  STATUS   bit0: link up (always set)
+    0x0C0  ICR      interrupt cause read; reading clears and deasserts
+    0x0D0  IMS      interrupt mask (bit0: TX done, bit1: RX)
+    0x100  TCTL     bit1: transmit enable
+    0x380  TDBA     TX descriptor ring base (guest-physical)
+    0x384  TDLEN    ring length in descriptors
+    0x388  TDH      head (device-owned)
+    0x38C  TDT      tail (driver-owned; writing kicks transmission)
+    0x3A0  COALESCE interrupt per N completed frames (0/1 = every frame)
+    0x400  RDBA     RX ring base
+    0x404  RDLEN    RX ring length in descriptors
+    0x408  RDH      RX head (device-owned)
+    0x40C  RDT      RX tail (driver-owned)
+
+TX/RX descriptor (16 bytes)::
+
+    +0   buffer address (u32, guest-physical)
+    +4   length         (u32)
+    +8   flags          (u32; bit0 EOP — always set by our drivers)
+    +12  status         (u32; bit0 DD "descriptor done", device-written)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional
+
+from repro.errors import DeviceError
+from repro.hw.bus import MmioDevice
+from repro.sim.events import EventQueue
+
+MMIO_BASE_NIC = 0xFEB0_0000
+MMIO_SPAN = 0x1000
+IRQ_NIC = 10
+
+LINE_RATE_BPS = 1_000_000_000  # gigabit
+DESCRIPTOR_SIZE = 16
+
+REG_CTRL = 0x000
+REG_STATUS = 0x008
+REG_ICR = 0x0C0
+REG_IMS = 0x0D0
+REG_TCTL = 0x100
+REG_TDBA = 0x380
+REG_TDLEN = 0x384
+REG_TDH = 0x388
+REG_TDT = 0x38C
+REG_COALESCE = 0x3A0
+REG_RDBA = 0x400
+REG_RDLEN = 0x404
+REG_RDH = 0x408
+REG_RDT = 0x40C
+
+ICR_TXDW = 1 << 0   # transmit descriptor written back
+ICR_RXDW = 1 << 1   # receive descriptor written back
+
+DESC_FLAG_EOP = 1 << 0
+DESC_STATUS_DD = 1 << 0
+
+#: Ethernet framing overhead per frame on the wire: preamble (8) +
+#: FCS (4) + inter-frame gap (12).
+WIRE_OVERHEAD_BYTES = 24
+
+
+class Nic(MmioDevice):
+    """The NIC model."""
+
+    def __init__(self, queue: EventQueue, memory, cpu_hz: float,
+                 raise_irq: Callable[[], None],
+                 lower_irq: Callable[[], None],
+                 wire: Optional[Callable[[bytes], None]] = None) -> None:
+        self._queue = queue
+        self._memory = memory
+        self._cpu_hz = cpu_hz
+        self._raise_irq = raise_irq
+        self._lower_irq = lower_irq
+        self.wire = wire or (lambda frame: None)
+
+        self.tdba = 0
+        self.tdlen = 0
+        self.tdh = 0
+        self.tdt = 0
+        self.rdba = 0
+        self.rdlen = 0
+        self.rdh = 0
+        self.rdt = 0
+        self.tctl = 0
+        self.icr = 0
+        self.ims = 0
+        self.coalesce = 1
+        self._tx_busy_until = 0  # wire-time pacing
+        self._uncoalesced = 0
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.frames_received = 0
+        self.frames_dropped = 0
+        self.interrupts_raised = 0
+
+    # -- MMIO interface ------------------------------------------------------
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == REG_STATUS:
+            return 1  # link up
+        if offset == REG_ICR:
+            value = self.icr
+            self.icr = 0
+            self._lower_irq()
+            return value
+        mapping = {
+            REG_CTRL: 0, REG_IMS: self.ims, REG_TCTL: self.tctl,
+            REG_TDBA: self.tdba, REG_TDLEN: self.tdlen, REG_TDH: self.tdh,
+            REG_TDT: self.tdt, REG_COALESCE: self.coalesce,
+            REG_RDBA: self.rdba, REG_RDLEN: self.rdlen, REG_RDH: self.rdh,
+            REG_RDT: self.rdt,
+        }
+        return mapping.get(offset, 0)
+
+    def mmio_write(self, offset: int, value: int, size: int) -> None:
+        value &= 0xFFFFFFFF
+        if offset == REG_CTRL:
+            if value & 1:
+                self._reset()
+            return
+        if offset == REG_IMS:
+            self.ims = value
+            return
+        if offset == REG_TCTL:
+            self.tctl = value
+            return
+        if offset == REG_TDBA:
+            self.tdba = value
+            return
+        if offset == REG_TDLEN:
+            self.tdlen = value
+            return
+        if offset == REG_TDT:
+            if value >= max(self.tdlen, 1):
+                raise DeviceError(f"TDT {value} beyond ring of {self.tdlen}")
+            self.tdt = value
+            self._transmit_pending()
+            return
+        if offset == REG_COALESCE:
+            self.coalesce = max(1, value)
+            return
+        if offset == REG_RDBA:
+            self.rdba = value
+            return
+        if offset == REG_RDLEN:
+            self.rdlen = value
+            return
+        if offset == REG_RDT:
+            self.rdt = value
+            return
+        if offset in (REG_TDH, REG_RDH):
+            raise DeviceError("head registers are device-owned")
+        # Unknown registers are write-ignored, like real hardware scratch.
+
+    def _reset(self) -> None:
+        self.tdh = self.tdt = 0
+        self.rdh = self.rdt = 0
+        self.icr = 0
+        self._uncoalesced = 0
+        self._tx_busy_until = 0
+        self._lower_irq()
+
+    # -- transmit path ------------------------------------------------------
+
+    def _descriptor(self, base: int, index: int):
+        raw = self._memory.read(base + index * DESCRIPTOR_SIZE,
+                                DESCRIPTOR_SIZE)
+        return struct.unpack("<IIII", raw)
+
+    def _write_status(self, base: int, index: int, status: int) -> None:
+        self._memory.write_u32(base + index * DESCRIPTOR_SIZE + 12, status)
+
+    def _transmit_pending(self) -> None:
+        if not self.tctl & 0x2:
+            return
+        while self.tdh != self.tdt:
+            index = self.tdh
+            addr, length, flags, _status = self._descriptor(self.tdba, index)
+            frame = self._memory.read(addr, length)
+            self._send_frame(frame, index)
+            self.tdh = (self.tdh + 1) % max(self.tdlen, 1)
+
+    def _send_frame(self, frame: bytes, index: int) -> None:
+        wire_bytes = len(frame) + WIRE_OVERHEAD_BYTES
+        wire_cycles = int(wire_bytes * 8 / LINE_RATE_BPS * self._cpu_hz)
+        start = max(self._queue.now, self._tx_busy_until)
+        finish = start + wire_cycles
+        self._tx_busy_until = finish
+
+        def complete() -> None:
+            self.frames_sent += 1
+            self.bytes_sent += len(frame)
+            self.wire(frame)
+            self._write_status(self.tdba, index, DESC_STATUS_DD)
+            self._uncoalesced += 1
+            if self._uncoalesced >= self.coalesce:
+                self._uncoalesced = 0
+                self._assert(ICR_TXDW)
+
+        self._queue.schedule_at(finish, complete, name="nic-tx")
+
+    def _assert(self, cause: int) -> None:
+        self.icr |= cause
+        if self.icr & self.ims:
+            self.interrupts_raised += 1
+            self._raise_irq()
+
+    # -- receive path ------------------------------------------------------------
+
+    def receive_frame(self, frame: bytes) -> bool:
+        """Deliver a frame from the wire into the RX ring.
+
+        Returns False (and counts a drop) when the ring is full or
+        receive is not set up — the NIC has nowhere to put the frame.
+        """
+        if self.rdlen == 0:
+            self.frames_dropped += 1
+            return False
+        next_head = (self.rdh + 1) % self.rdlen
+        if self.rdh == self.rdt:
+            # Ring empty of free descriptors (driver owns none).
+            self.frames_dropped += 1
+            return False
+        addr, length, _flags, _status = self._descriptor(self.rdba, self.rdh)
+        if len(frame) > length:
+            self.frames_dropped += 1
+            return False
+        self._memory.write(addr, frame)
+        self._memory.write_u32(self.rdba + self.rdh * DESCRIPTOR_SIZE + 4,
+                               len(frame))
+        self._write_status(self.rdba, self.rdh, DESC_STATUS_DD)
+        self.rdh = next_head
+        self.frames_received += 1
+        self._assert(ICR_RXDW)
+        return True
+
+
+def make_tx_descriptor(addr: int, length: int) -> bytes:
+    """Encode one TX descriptor for the driver."""
+    return struct.pack("<IIII", addr, length, DESC_FLAG_EOP, 0)
+
+
+def make_rx_descriptor(addr: int, length: int) -> bytes:
+    """Encode one free RX descriptor."""
+    return struct.pack("<IIII", addr, length, 0, 0)

@@ -1,0 +1,250 @@
+"""8259A programmable interrupt controller (master/slave pair).
+
+The PIC is the most important device in this reproduction: it is exactly
+the resource the paper's lightweight VMM *must* emulate, because the
+remote-debugging stub depends on interrupts (serial, timer) continuing to
+work while the guest OS misbehaves.  The model implements the programming
+interface the LVMM and the guest both use:
+
+* the ICW1..ICW4 initialisation sequence on ports 0x20/0x21 (master) and
+  0xA0/0xA1 (slave), with the vector base taken from ICW2;
+* OCW1 (interrupt mask register) reads/writes on the data port;
+* OCW2 EOI handling (non-specific and specific);
+* OCW3 IRR/ISR read-back selection;
+* fixed-priority resolution (IRQ0 highest), slave cascaded on IRQ2;
+* level/edge behaviour reduced to edge-triggered latching into the IRR,
+  which is how the PC/AT wires the devices we model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hw.bus import PortDevice
+
+MASTER_CMD, MASTER_DATA = 0x20, 0x21
+SLAVE_CMD, SLAVE_DATA = 0xA0, 0xA1
+CASCADE_IRQ = 2
+
+_OCW2_EOI = 0x20
+_OCW2_SPECIFIC = 0x40
+_OCW3_MARKER = 0x08
+_ICW1_MARKER = 0x10
+_ICW1_NEED_ICW4 = 0x01
+
+
+class _Pic8259:
+    """One 8259A chip."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.irr = 0          # interrupt request register (latched requests)
+        self.isr = 0          # in-service register
+        self.imr = 0xFF       # interrupt mask register (all masked at reset)
+        self.vector_base = 0
+        self._init_state = 0  # how many ICWs still expected
+        self._need_icw4 = False
+        self._read_isr = False
+
+    # -- device side ------------------------------------------------------
+
+    def raise_irq(self, line: int) -> None:
+        self.irr |= 1 << line
+
+    def lower_irq(self, line: int) -> None:
+        self.irr &= ~(1 << line)
+
+    # -- priority logic ------------------------------------------------------
+
+    def highest_pending(self) -> Optional[int]:
+        """Highest-priority unmasked request not blocked by in-service."""
+        pending = self.irr & ~self.imr
+        if not pending:
+            return None
+        for line in range(8):  # IRQ0 has highest priority
+            bit = 1 << line
+            if self.isr & bit:
+                # A higher- or equal-priority interrupt is in service.
+                return None
+            if pending & bit:
+                return line
+        return None
+
+    def acknowledge(self, line: int) -> None:
+        self.irr &= ~(1 << line)
+        self.isr |= 1 << line
+
+    def eoi(self, command: int) -> None:
+        if command & _OCW2_SPECIFIC:
+            line = command & 0x07
+            self.isr &= ~(1 << line)
+            return
+        # Non-specific: clear the highest-priority in-service bit.
+        for bit_index in range(8):
+            bit = 1 << bit_index
+            if self.isr & bit:
+                self.isr &= ~bit
+                return
+
+    # -- register interface ------------------------------------------------------
+
+    def write_command(self, value: int) -> None:
+        if value & _ICW1_MARKER:  # ICW1: begin initialisation
+            self._init_state = 1
+            self._need_icw4 = bool(value & _ICW1_NEED_ICW4)
+            self.imr = 0
+            self.isr = 0
+            self.irr = 0
+            self._read_isr = False
+            return
+        if value & _OCW3_MARKER:  # OCW3
+            select = value & 0x03
+            if select == 0x03:
+                self._read_isr = True
+            elif select == 0x02:
+                self._read_isr = False
+            return
+        if value & _OCW2_EOI:  # OCW2
+            self.eoi(value)
+
+    def write_data(self, value: int) -> None:
+        if self._init_state == 1:  # ICW2: vector base
+            self.vector_base = value & 0xF8
+            self._init_state = 2
+            return
+        if self._init_state == 2:  # ICW3: cascade wiring (recorded, unused)
+            self._init_state = 3 if self._need_icw4 else 0
+            return
+        if self._init_state == 3:  # ICW4: mode bits (recorded, unused)
+            self._init_state = 0
+            return
+        self.imr = value & 0xFF  # OCW1
+
+    def read_command(self) -> int:
+        return self.isr if self._read_isr else self.irr
+
+    def read_data(self) -> int:
+        return self.imr
+
+
+class PicPair(PortDevice):
+    """The PC/AT master+slave 8259A pair, presented as one bus device.
+
+    Registered twice on the bus (ports 0x20-0x21 and 0xA0-0xA1); IRQ
+    lines 0-7 go to the master, 8-15 to the slave via the cascade.
+    """
+
+    def __init__(self) -> None:
+        self.master = _Pic8259("master")
+        self.slave = _Pic8259("slave")
+        #: Total interrupts delivered through :meth:`acknowledge` (stats).
+        self.delivered = 0
+
+    # -- IRQ line interface (device side) -----------------------------------
+
+    def raise_irq(self, irq: int) -> None:
+        if irq < 8:
+            self.master.raise_irq(irq)
+        else:
+            self.slave.raise_irq(irq - 8)
+            self.master.raise_irq(CASCADE_IRQ)
+
+    def lower_irq(self, irq: int) -> None:
+        if irq < 8:
+            self.master.lower_irq(irq)
+        else:
+            self.slave.lower_irq(irq - 8)
+            if not self.slave.irr:
+                self.master.lower_irq(CASCADE_IRQ)
+
+    # -- CPU interface -----------------------------------------------------------
+
+    def has_pending(self) -> bool:
+        return self.pending_vector() is not None
+
+    def pending_vector(self) -> Optional[int]:
+        line = self.master.highest_pending()
+        if line is None:
+            return None
+        if line == CASCADE_IRQ:
+            slave_line = self.slave.highest_pending()
+            if slave_line is None:
+                return None
+            return self.slave.vector_base + slave_line
+        return self.master.vector_base + line
+
+    def acknowledge(self) -> int:
+        """INTA cycle: commit the pending interrupt and return its vector."""
+        line = self.master.highest_pending()
+        if line is None:
+            raise RuntimeError("spurious acknowledge: no pending interrupt")
+        if line == CASCADE_IRQ:
+            slave_line = self.slave.highest_pending()
+            if slave_line is None:
+                raise RuntimeError("cascade raised with idle slave")
+            self.master.acknowledge(CASCADE_IRQ)
+            self.slave.acknowledge(slave_line)
+            self.delivered += 1
+            return self.slave.vector_base + slave_line
+        self.master.acknowledge(line)
+        self.delivered += 1
+        return self.master.vector_base + line
+
+    # -- port interface ------------------------------------------------------------
+    # The bus registers this device at base 0x20 (master, offsets 0-1) and
+    # base 0xA0 (slave); we disambiguate with two thin adapters below.
+
+    def port_read(self, offset: int, size: int) -> int:  # pragma: no cover
+        raise NotImplementedError("register via master_port()/slave_port()")
+
+    def port_write(self, offset: int, value: int, size: int) -> None:  # pragma: no cover
+        raise NotImplementedError("register via master_port()/slave_port()")
+
+    def master_port(self) -> PortDevice:
+        return _PicPort(self.master)
+
+    def slave_port(self) -> PortDevice:
+        return _PicPort(self.slave)
+
+    # -- snapshots for the monitor's shadow state ---------------------------------
+
+    def state(self) -> dict:
+        return {
+            "master": {"irr": self.master.irr, "isr": self.master.isr,
+                       "imr": self.master.imr,
+                       "base": self.master.vector_base},
+            "slave": {"irr": self.slave.irr, "isr": self.slave.isr,
+                      "imr": self.slave.imr,
+                      "base": self.slave.vector_base},
+        }
+
+
+class _PicPort(PortDevice):
+    """Adapter exposing one 8259 at bus offsets 0 (command) / 1 (data)."""
+
+    def __init__(self, chip: _Pic8259) -> None:
+        self._chip = chip
+
+    def port_read(self, offset: int, size: int) -> int:
+        if offset == 0:
+            return self._chip.read_command()
+        return self._chip.read_data()
+
+    def port_write(self, offset: int, value: int, size: int) -> None:
+        if offset == 0:
+            self._chip.write_command(value & 0xFF)
+        else:
+            self._chip.write_data(value & 0xFF)
+
+
+def standard_setup(pic: PicPair, master_base: int = 32,
+                   slave_base: int = 40) -> None:
+    """Program the pair the way PC/AT firmware does (vectors 32..47)."""
+    master = pic.master_port()
+    slave = pic.slave_port()
+    for port, base in ((master, master_base), (slave, slave_base)):
+        port.port_write(0, 0x11, 1)        # ICW1: edge, cascade, need ICW4
+        port.port_write(1, base, 1)        # ICW2: vector base
+        port.port_write(1, 0x04, 1)        # ICW3
+        port.port_write(1, 0x01, 1)        # ICW4: 8086 mode
+        port.port_write(1, 0x00, 1)        # OCW1: unmask everything

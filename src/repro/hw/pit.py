@@ -1,0 +1,150 @@
+"""8254 programmable interval timer.
+
+Channel 0 drives IRQ0 — the OS scheduler tick, and one of the two
+hardware resources (with the interrupt controller) that the paper's
+lightweight VMM emulates so the debug stub keeps a time base of its own.
+
+The model implements the command/data protocol on ports 0x40-0x43:
+lo/hi byte count loading, mode 0 (one-shot), mode 2 (rate generator) and
+mode 3 (square wave, delivered as periodic interrupts like mode 2), and
+latched count read-back.  Expiry is driven by the discrete-event queue in
+units of CPU cycles: the PC/AT PIT input clock is 1.193182 MHz, so one
+PIT tick is ``cpu_hz / 1_193_182`` cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import DeviceError
+from repro.hw.bus import PortDevice
+from repro.sim.events import Event, EventQueue
+
+PIT_HZ = 1_193_182.0
+PORT_BASE = 0x40  # channels 0-2 at 0x40-0x42, command at 0x43
+
+MODE_ONESHOT = 0
+MODE_RATE = 2
+MODE_SQUARE = 3
+
+
+class _Channel:
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.mode = MODE_RATE
+        self.reload = 0
+        self.latched: Optional[int] = None
+        self._load_state = 0       # 0 = expect low byte, 1 = expect high
+        self._partial = 0
+        self.running = False
+
+
+class Pit8254(PortDevice):
+    """The PIT, wired to the event queue and an IRQ-raising callback."""
+
+    def __init__(self, queue: EventQueue, cpu_hz: float,
+                 raise_irq: Callable[[], None]) -> None:
+        self._queue = queue
+        self._cycles_per_tick = cpu_hz / PIT_HZ
+        self._raise_irq = raise_irq
+        self._channels = [_Channel(i) for i in range(3)]
+        self._pending: Optional[Event] = None
+        #: Number of channel-0 expirations (stats / tests).
+        self.fired = 0
+
+    # -- port interface ------------------------------------------------------
+
+    def port_write(self, offset: int, value: int, size: int) -> None:
+        value &= 0xFF
+        if offset == 3:  # command register
+            self._command(value)
+            return
+        if offset > 2:
+            raise DeviceError(f"PIT has no register at offset {offset}")
+        channel = self._channels[offset]
+        if channel._load_state == 0:
+            channel._partial = value
+            channel._load_state = 1
+            return
+        channel.reload = channel._partial | (value << 8)
+        channel._load_state = 0
+        channel.running = True
+        if offset == 0:
+            self._arm_channel0()
+
+    def port_read(self, offset: int, size: int) -> int:
+        if offset > 2:
+            return 0
+        channel = self._channels[offset]
+        count = channel.latched if channel.latched is not None \
+            else self._current_count(channel)
+        if channel._load_state == 0:
+            channel._load_state = 1
+            channel._partial = count  # reuse as the latched value holder
+            return count & 0xFF
+        channel._load_state = 0
+        value = (channel._partial >> 8) & 0xFF
+        channel.latched = None
+        return value
+
+    def _command(self, value: int) -> None:
+        channel_index = (value >> 6) & 0x03
+        if channel_index == 3:
+            return  # read-back command: unsupported, ignored
+        channel = self._channels[channel_index]
+        access = (value >> 4) & 0x03
+        if access == 0:  # counter latch
+            channel.latched = self._current_count(channel)
+            return
+        if access != 3:
+            raise DeviceError("only lo/hi access mode is modelled")
+        channel.mode = (value >> 1) & 0x07
+        channel._load_state = 0
+        channel.running = False
+        if channel_index == 0 and self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    # -- timing ------------------------------------------------------------
+
+    def _effective_reload(self, channel: _Channel) -> int:
+        return channel.reload if channel.reload else 0x10000
+
+    def _period_cycles(self, channel: _Channel) -> int:
+        return max(1, int(self._effective_reload(channel)
+                          * self._cycles_per_tick))
+
+    def _current_count(self, channel: _Channel) -> int:
+        # Approximation: report the reload value; fine-grained countdown
+        # is not observable by the software we run.
+        return self._effective_reload(channel) & 0xFFFF
+
+    def _arm_channel0(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+        channel = self._channels[0]
+        self._pending = self._queue.schedule_in(
+            self._period_cycles(channel), self._expire, name="pit0")
+
+    def _expire(self) -> None:
+        channel = self._channels[0]
+        self.fired += 1
+        self._raise_irq()
+        if channel.mode in (MODE_RATE, MODE_SQUARE) and channel.running:
+            self._pending = self._queue.schedule_in(
+                self._period_cycles(channel), self._expire, name="pit0")
+        else:
+            self._pending = None
+
+    # -- helpers used by firmware/monitor code ---------------------------------
+
+    def program_periodic(self, hz: float) -> None:
+        """Program channel 0 for a periodic interrupt at ``hz``."""
+        if hz <= 0:
+            raise DeviceError(f"PIT frequency must be positive, got {hz}")
+        divisor = int(round(PIT_HZ / hz))
+        if not 1 <= divisor <= 0x10000:
+            raise DeviceError(f"PIT divisor {divisor} out of range")
+        self.port_write(3, 0x34, 1)            # channel 0, lo/hi, mode 2
+        self.port_write(0, divisor & 0xFF, 1)
+        self.port_write(0, (divisor >> 8) & 0xFF, 1)

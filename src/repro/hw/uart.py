@@ -1,0 +1,222 @@
+"""16550-style UART — the debug communication device.
+
+The host-side remote debugger talks GDB remote-serial-protocol bytes to
+the target through this device (Fig. 2.1's "communication device").  The
+model covers what stub and drivers need:
+
+* THR/RBR data registers with 16-byte RX and TX FIFOs,
+* IER/IIR interrupt generation (RX data available, THR empty),
+* LSR status bits (data ready, THR empty, overrun),
+* LCR/MCR accepted and stored (baud divisor latch included),
+* a :class:`SerialLink` transport so two endpoints (target UART, host
+  debugger) exchange bytes in process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.hw.bus import PortDevice
+
+PORT_BASE_COM1 = 0x3F8
+IRQ_COM1 = 4
+FIFO_DEPTH = 16
+
+# Register offsets.
+REG_DATA = 0      # RBR (read) / THR (write); DLL when DLAB set
+REG_IER = 1       # interrupt enable; DLM when DLAB set
+REG_IIR_FCR = 2   # IIR (read) / FCR (write)
+REG_LCR = 3
+REG_MCR = 4
+REG_LSR = 5
+REG_MSR = 6
+REG_SCRATCH = 7
+
+# LSR bits.
+LSR_DATA_READY = 1 << 0
+LSR_OVERRUN = 1 << 1
+LSR_THR_EMPTY = 1 << 5
+LSR_IDLE = 1 << 6
+
+# IER bits.
+IER_RX = 1 << 0
+IER_TX = 1 << 1
+
+# IIR values (priority-encoded).
+IIR_NONE = 0x01
+IIR_RX = 0x04
+IIR_TX = 0x02
+
+LCR_DLAB = 1 << 7
+
+
+class SerialLink:
+    """A bidirectional in-process byte pipe between target and host.
+
+    ``a_to_b``/``b_to_a`` are unbounded; pacing is the responsibility of
+    the performance layer, which charges cycles per byte instead.
+    """
+
+    def __init__(self) -> None:
+        self.a_to_b: Deque[int] = deque()
+        self.b_to_a: Deque[int] = deque()
+        self._listeners = []
+
+    def notify(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired whenever bytes move."""
+        self._listeners.append(callback)
+
+    def _kick(self) -> None:
+        for listener in self._listeners:
+            listener()
+
+
+class Uart16550(PortDevice):
+    """Target-side UART endpoint (side "A" of the link)."""
+
+    def __init__(self, link: SerialLink,
+                 raise_irq: Optional[Callable[[], None]] = None,
+                 lower_irq: Optional[Callable[[], None]] = None,
+                 flow_control: bool = True) -> None:
+        self._link = link
+        self._raise_irq = raise_irq or (lambda: None)
+        self._lower_irq = lower_irq or (lambda: None)
+        #: RTS/CTS modelling: with flow control the link holds bytes
+        #: back while the FIFO is full; without it they are dropped and
+        #: the overrun bit is set (for failure-injection tests).
+        self.flow_control = flow_control
+        self.ier = 0
+        self.lcr = 0
+        self.mcr = 0
+        self.scratch = 0
+        self.divisor = 1
+        self.overrun = False
+        self._rx: Deque[int] = deque()
+        self.tx_count = 0
+        self.rx_count = 0
+        link.notify(self._pump)
+
+    # -- link side ------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Move link bytes into the RX FIFO.
+
+        When the FIFO is full: with flow control the rest waits on the
+        link (RTS deasserted); without it the bytes are lost and the
+        overrun bit latches.
+        """
+        moved = False
+        while self._link.b_to_a:
+            if len(self._rx) >= FIFO_DEPTH:
+                if self.flow_control:
+                    break
+                self.overrun = True
+                self._link.b_to_a.popleft()
+                continue
+            self._rx.append(self._link.b_to_a.popleft())
+            self.rx_count += 1
+            moved = True
+        if moved:
+            self._update_irq()
+
+    def _update_irq(self) -> None:
+        if (self.ier & IER_RX) and self._rx:
+            self._raise_irq()
+        elif self.ier & IER_TX:
+            # THR is always empty in this model (infinite host drain).
+            self._raise_irq()
+        else:
+            self._lower_irq()
+
+    # -- port interface ------------------------------------------------------
+
+    def port_read(self, offset: int, size: int) -> int:
+        if offset == REG_DATA:
+            if self.lcr & LCR_DLAB:
+                return self.divisor & 0xFF
+            if not self._rx:
+                return 0
+            value = self._rx.popleft()
+            self._pump()  # room freed: RTS reasserted, pull more in
+            self._update_irq()
+            return value
+        if offset == REG_IER:
+            if self.lcr & LCR_DLAB:
+                return (self.divisor >> 8) & 0xFF
+            return self.ier
+        if offset == REG_IIR_FCR:
+            if (self.ier & IER_RX) and self._rx:
+                return IIR_RX
+            if self.ier & IER_TX:
+                return IIR_TX
+            return IIR_NONE
+        if offset == REG_LCR:
+            return self.lcr
+        if offset == REG_MCR:
+            return self.mcr
+        if offset == REG_LSR:
+            status = LSR_THR_EMPTY | LSR_IDLE
+            if self._rx:
+                status |= LSR_DATA_READY
+            if self.overrun:
+                status |= LSR_OVERRUN
+                self.overrun = False
+            return status
+        if offset == REG_MSR:
+            return 0
+        if offset == REG_SCRATCH:
+            return self.scratch
+        return 0
+
+    def port_write(self, offset: int, value: int, size: int) -> None:
+        value &= 0xFF
+        if offset == REG_DATA:
+            if self.lcr & LCR_DLAB:
+                self.divisor = (self.divisor & 0xFF00) | value
+                return
+            self._link.a_to_b.append(value)
+            self.tx_count += 1
+            self._link._kick()
+            self._update_irq()
+            return
+        if offset == REG_IER:
+            if self.lcr & LCR_DLAB:
+                self.divisor = (self.divisor & 0x00FF) | (value << 8)
+                return
+            self.ier = value & 0x0F
+            self._update_irq()
+            return
+        if offset == REG_IIR_FCR:
+            if value & 0x02:  # FCR: clear RX FIFO
+                self._rx.clear()
+                self._update_irq()
+            return
+        if offset == REG_LCR:
+            self.lcr = value
+            return
+        if offset == REG_MCR:
+            self.mcr = value
+            return
+        if offset == REG_SCRATCH:
+            self.scratch = value
+
+
+class HostSerialPort:
+    """Host-debugger endpoint (side "B" of the link): a file-like pipe."""
+
+    def __init__(self, link: SerialLink) -> None:
+        self._link = link
+
+    def send(self, data: bytes) -> None:
+        self._link.b_to_a.extend(data)
+        self._link._kick()
+
+    def recv(self, max_bytes: int = 4096) -> bytes:
+        out = bytearray()
+        while self._link.a_to_b and len(out) < max_bytes:
+            out.append(self._link.a_to_b.popleft())
+        return bytes(out)
+
+    def recv_available(self) -> int:
+        return len(self._link.a_to_b)

@@ -1,0 +1,43 @@
+"""Ethernet / ARP / IPv4 / UDP protocol stack."""
+
+from repro.net.arp import ArpCache, ArpPacket, make_reply, make_request
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.ethernet import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    format_mac,
+    parse_mac,
+)
+from repro.net.ipv4 import (
+    Ipv4Packet,
+    Reassembler,
+    format_ipv4,
+    fragment,
+    parse_ipv4,
+)
+from repro.net.stack import ReceivedDatagram, UdpReceiver, UdpStack
+from repro.net.udp import UdpDatagram
+
+__all__ = [
+    "ArpCache",
+    "ArpPacket",
+    "make_reply",
+    "make_request",
+    "internet_checksum",
+    "verify_checksum",
+    "EthernetFrame",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "format_mac",
+    "parse_mac",
+    "Ipv4Packet",
+    "Reassembler",
+    "fragment",
+    "parse_ipv4",
+    "format_ipv4",
+    "UdpDatagram",
+    "UdpStack",
+    "UdpReceiver",
+    "ReceivedDatagram",
+]

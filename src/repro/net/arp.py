@@ -1,0 +1,75 @@
+"""ARP (RFC 826), IPv4-over-Ethernet flavour only."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ProtocolError
+
+OP_REQUEST = 1
+OP_REPLY = 2
+PACKET_LEN = 28
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    operation: int
+    sender_mac: bytes
+    sender_ip: bytes
+    target_mac: bytes
+    target_ip: bytes
+
+    def pack(self) -> bytes:
+        return struct.pack(">HHBBH6s4s6s4s",
+                           1,            # hardware: Ethernet
+                           0x0800,       # protocol: IPv4
+                           6, 4,
+                           self.operation,
+                           self.sender_mac, self.sender_ip,
+                           self.target_mac, self.target_ip)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "ArpPacket":
+        if len(raw) < PACKET_LEN:
+            raise ProtocolError(f"ARP packet of {len(raw)} bytes too short")
+        (hw, proto, hw_len, proto_len, operation, sender_mac, sender_ip,
+         target_mac, target_ip) = struct.unpack(">HHBBH6s4s6s4s",
+                                                raw[:PACKET_LEN])
+        if hw != 1 or proto != 0x0800 or hw_len != 6 or proto_len != 4:
+            raise ProtocolError("not an IPv4-over-Ethernet ARP packet")
+        return cls(operation=operation, sender_mac=sender_mac,
+                   sender_ip=sender_ip, target_mac=target_mac,
+                   target_ip=target_ip)
+
+
+def make_request(sender_mac: bytes, sender_ip: bytes,
+                 target_ip: bytes) -> ArpPacket:
+    return ArpPacket(OP_REQUEST, sender_mac, sender_ip, b"\x00" * 6,
+                     target_ip)
+
+
+def make_reply(request: ArpPacket, my_mac: bytes) -> ArpPacket:
+    return ArpPacket(OP_REPLY, my_mac, request.target_ip,
+                     request.sender_mac, request.sender_ip)
+
+
+class ArpCache:
+    """IP -> MAC cache with learn-on-reply semantics."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[bytes, bytes] = {}
+
+    def learn(self, ip: bytes, mac: bytes) -> None:
+        self._entries[ip] = mac
+
+    def lookup(self, ip: bytes) -> Optional[bytes]:
+        return self._entries.get(ip)
+
+    def handle(self, packet: ArpPacket) -> None:
+        """Learn the sender mapping from any ARP packet we see."""
+        self.learn(packet.sender_ip, packet.sender_mac)
+
+    def __len__(self) -> int:
+        return len(self._entries)

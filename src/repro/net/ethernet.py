@@ -1,0 +1,63 @@
+"""Ethernet II framing."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+HEADER_LEN = 14
+MIN_PAYLOAD = 46
+MAX_PAYLOAD = 1500  # standard MTU
+BROADCAST = b"\xff" * 6
+
+
+def parse_mac(text: str) -> bytes:
+    """``"00:11:22:33:44:55"`` -> 6 bytes."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ProtocolError(f"bad MAC address {text!r}")
+    try:
+        raw = bytes(int(p, 16) for p in parts)
+    except ValueError as exc:
+        raise ProtocolError(f"bad MAC address {text!r}") from exc
+    return raw
+
+
+def format_mac(mac: bytes) -> str:
+    return ":".join(f"{b:02x}" for b in mac)
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    dst: bytes
+    src: bytes
+    ethertype: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.dst) != 6 or len(self.src) != 6:
+            raise ProtocolError("MAC addresses must be 6 bytes")
+        if len(self.payload) > MAX_PAYLOAD:
+            raise ProtocolError(
+                f"payload of {len(self.payload)} exceeds MTU {MAX_PAYLOAD}")
+
+    def pack(self) -> bytes:
+        payload = self.payload
+        if len(payload) < MIN_PAYLOAD:
+            payload = payload + b"\x00" * (MIN_PAYLOAD - len(payload))
+        return (self.dst + self.src
+                + struct.pack(">H", self.ethertype) + payload)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "EthernetFrame":
+        if len(raw) < HEADER_LEN + MIN_PAYLOAD:
+            raise ProtocolError(f"runt frame of {len(raw)} bytes")
+        dst, src = raw[0:6], raw[6:12]
+        ethertype = struct.unpack(">H", raw[12:14])[0]
+        return cls(dst=dst, src=src, ethertype=ethertype,
+                   payload=raw[HEADER_LEN:])

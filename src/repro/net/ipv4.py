@@ -1,0 +1,161 @@
+"""IPv4: header packing, header checksum, fragmentation and reassembly."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.net.checksum import internet_checksum, verify_checksum
+
+PROTO_UDP = 17
+HEADER_LEN = 20
+FLAG_DF = 0x2
+FLAG_MF = 0x1
+
+
+def parse_ipv4(text: str) -> bytes:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ProtocolError(f"bad IPv4 address {text!r}")
+    try:
+        raw = bytes(int(p) for p in parts)
+    except ValueError as exc:
+        raise ProtocolError(f"bad IPv4 address {text!r}") from exc
+    return raw
+
+
+def format_ipv4(addr: bytes) -> str:
+    return ".".join(str(b) for b in addr)
+
+
+@dataclass(frozen=True)
+class Ipv4Packet:
+    src: bytes
+    dst: bytes
+    protocol: int
+    payload: bytes
+    identification: int = 0
+    ttl: int = 64
+    flags: int = 0
+    fragment_offset: int = 0  # in 8-byte units
+
+    def __post_init__(self) -> None:
+        if len(self.src) != 4 or len(self.dst) != 4:
+            raise ProtocolError("IPv4 addresses must be 4 bytes")
+
+    def pack(self) -> bytes:
+        total_length = HEADER_LEN + len(self.payload)
+        flags_frag = (self.flags << 13) | (self.fragment_offset & 0x1FFF)
+        header = struct.pack(
+            ">BBHHHBBH4s4s",
+            (4 << 4) | 5,            # version 4, IHL 5
+            0,                       # DSCP/ECN
+            total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            0,                       # checksum placeholder
+            self.src,
+            self.dst)
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack(">H", checksum) + header[12:] \
+            + self.payload
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Ipv4Packet":
+        if len(raw) < HEADER_LEN:
+            raise ProtocolError(f"IPv4 packet of {len(raw)} bytes too short")
+        version_ihl = raw[0]
+        if version_ihl >> 4 != 4:
+            raise ProtocolError(f"not IPv4: version {version_ihl >> 4}")
+        ihl = (version_ihl & 0xF) * 4
+        if ihl < HEADER_LEN or len(raw) < ihl:
+            raise ProtocolError(f"bad IHL {ihl}")
+        if not verify_checksum(raw[:ihl]):
+            raise ProtocolError("IPv4 header checksum mismatch")
+        (_, _, total_length, identification, flags_frag, ttl, protocol,
+         _, src, dst) = struct.unpack(">BBHHHBBH4s4s", raw[:HEADER_LEN])
+        if total_length > len(raw):
+            raise ProtocolError(
+                f"total length {total_length} exceeds frame {len(raw)}")
+        return cls(src=src, dst=dst, protocol=protocol,
+                   payload=raw[ihl:total_length],
+                   identification=identification, ttl=ttl,
+                   flags=flags_frag >> 13,
+                   fragment_offset=flags_frag & 0x1FFF)
+
+
+def fragment(packet: Ipv4Packet, mtu: int) -> List[Ipv4Packet]:
+    """Split a packet so every fragment fits in ``mtu`` bytes on the wire."""
+    max_payload = (mtu - HEADER_LEN) & ~7  # offsets count 8-byte units
+    if max_payload <= 0:
+        raise ProtocolError(f"MTU {mtu} cannot carry IPv4")
+    if HEADER_LEN + len(packet.payload) <= mtu:
+        return [packet]
+    if packet.flags & FLAG_DF:
+        raise ProtocolError("fragmentation needed but DF set")
+    fragments = []
+    offset = 0
+    while offset < len(packet.payload):
+        chunk = packet.payload[offset:offset + max_payload]
+        last = offset + len(chunk) >= len(packet.payload)
+        fragments.append(Ipv4Packet(
+            src=packet.src, dst=packet.dst, protocol=packet.protocol,
+            payload=chunk, identification=packet.identification,
+            ttl=packet.ttl,
+            flags=packet.flags | (0 if last else FLAG_MF),
+            fragment_offset=(packet.fragment_offset * 8 + offset) // 8))
+        offset += len(chunk)
+    return fragments
+
+
+@dataclass
+class _ReassemblyState:
+    chunks: Dict[int, bytes] = field(default_factory=dict)
+    total_length: Optional[int] = None
+
+
+class Reassembler:
+    """Collects fragments keyed by (src, dst, protocol, identification)."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[Tuple[bytes, bytes, int, int],
+                          _ReassemblyState] = {}
+
+    def push(self, packet: Ipv4Packet) -> Optional[Ipv4Packet]:
+        """Feed one fragment; returns the whole packet when complete."""
+        if packet.fragment_offset == 0 and not packet.flags & FLAG_MF:
+            return packet  # unfragmented
+        key = (packet.src, packet.dst, packet.protocol,
+               packet.identification)
+        state = self._flows.setdefault(key, _ReassemblyState())
+        byte_offset = packet.fragment_offset * 8
+        state.chunks[byte_offset] = packet.payload
+        if not packet.flags & FLAG_MF:
+            state.total_length = byte_offset + len(packet.payload)
+        if state.total_length is None:
+            return None
+        have = sum(len(c) for c in state.chunks.values())
+        if have < state.total_length:
+            return None
+        payload = bytearray(state.total_length)
+        cursor = 0
+        for offset in sorted(state.chunks):
+            chunk = state.chunks[offset]
+            if offset != cursor:
+                return None  # hole or overlap: keep waiting
+            payload[offset:offset + len(chunk)] = chunk
+            cursor = offset + len(chunk)
+        del self._flows[key]
+        return Ipv4Packet(src=packet.src, dst=packet.dst,
+                          protocol=packet.protocol,
+                          payload=bytes(payload),
+                          identification=packet.identification,
+                          ttl=packet.ttl)
+
+    @property
+    def pending_flows(self) -> int:
+        return len(self._flows)

@@ -1,0 +1,116 @@
+"""A small UDP/IP stack bound to an Ethernet endpoint.
+
+The guest OS driver uses :class:`UdpStack.build_udp_frames` to turn an
+application payload into wire frames (with IP fragmentation when the
+payload exceeds the MTU), and the host-side measurement sink uses
+:class:`UdpReceiver` to parse, reassemble and validate what arrives —
+that validation is what the throughput benchmarks count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.net.arp import ArpCache
+from repro.net.ethernet import (
+    ETHERTYPE_IPV4,
+    MAX_PAYLOAD,
+    EthernetFrame,
+)
+from repro.net.ipv4 import (
+    PROTO_UDP,
+    Ipv4Packet,
+    Reassembler,
+    fragment,
+)
+from repro.net.udp import UdpDatagram
+
+
+@dataclass
+class UdpStack:
+    """Sender-side stack state: addresses plus an IP identification seq."""
+
+    mac: bytes
+    ip: bytes
+    mtu: int = MAX_PAYLOAD
+    _next_id: int = 0
+    arp: ArpCache = field(default_factory=ArpCache)
+
+    def next_identification(self) -> int:
+        value = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFF
+        return value
+
+    def build_udp_frames(self, payload: bytes, src_port: int,
+                         dst_mac: bytes, dst_ip: bytes,
+                         dst_port: int) -> List[bytes]:
+        """Application payload -> list of packed Ethernet frames."""
+        datagram = UdpDatagram(src_port, dst_port, payload)
+        packet = Ipv4Packet(src=self.ip, dst=dst_ip, protocol=PROTO_UDP,
+                            payload=datagram.pack(self.ip, dst_ip),
+                            identification=self.next_identification())
+        frames = []
+        for piece in fragment(packet, self.mtu):
+            frames.append(EthernetFrame(dst=dst_mac, src=self.mac,
+                                        ethertype=ETHERTYPE_IPV4,
+                                        payload=piece.pack()).pack())
+        return frames
+
+    def frames_for_payload(self, payload_len: int) -> int:
+        """How many wire frames a payload of this size produces."""
+        udp_len = 8 + payload_len
+        max_fragment = (self.mtu - 20) & ~7
+        if udp_len + 20 <= self.mtu:
+            return 1
+        return (udp_len + max_fragment - 1) // max_fragment
+
+
+@dataclass
+class ReceivedDatagram:
+    src_ip: bytes
+    dst_ip: bytes
+    datagram: UdpDatagram
+
+
+class UdpReceiver:
+    """Host-side sink: frames in, validated UDP datagrams out."""
+
+    def __init__(self, ip: Optional[bytes] = None) -> None:
+        self.ip = ip
+        self._reassembler = Reassembler()
+        self.datagrams: List[ReceivedDatagram] = []
+        self.bytes_received = 0
+        self.frames_seen = 0
+        self.errors = 0
+        #: Optional callback per delivered datagram.
+        self.on_datagram: Optional[Callable[[ReceivedDatagram], None]] = None
+
+    def receive_frame(self, raw: bytes) -> Optional[ReceivedDatagram]:
+        self.frames_seen += 1
+        try:
+            frame = EthernetFrame.unpack(raw)
+            if frame.ethertype != ETHERTYPE_IPV4:
+                return None
+            packet = Ipv4Packet.unpack(frame.payload)
+        except ProtocolError:
+            self.errors += 1
+            return None
+        if self.ip is not None and packet.dst != self.ip:
+            return None
+        whole = self._reassembler.push(packet)
+        if whole is None or whole.protocol != PROTO_UDP:
+            return None
+        try:
+            datagram = UdpDatagram.unpack(whole.payload, whole.src,
+                                          whole.dst)
+        except ProtocolError:
+            self.errors += 1
+            return None
+        received = ReceivedDatagram(whole.src, whole.dst, datagram)
+        self.datagrams.append(received)
+        self.bytes_received += len(datagram.payload)
+        if self.on_datagram is not None:
+            self.on_datagram(received)
+        return received

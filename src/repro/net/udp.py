@@ -1,0 +1,59 @@
+"""UDP datagrams with pseudo-header checksum (RFC 768)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.net.checksum import internet_checksum, ones_complement_sum
+from repro.net.ipv4 import PROTO_UDP
+
+HEADER_LEN = 8
+
+
+def _pseudo_header(src_ip: bytes, dst_ip: bytes, udp_length: int) -> bytes:
+    return src_ip + dst_ip + struct.pack(">BBH", 0, PROTO_UDP, udp_length)
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ProtocolError(f"bad port {port}")
+        if HEADER_LEN + len(self.payload) > 0xFFFF:
+            raise ProtocolError(f"UDP payload of {len(self.payload)} too big")
+
+    def pack(self, src_ip: bytes, dst_ip: bytes) -> bytes:
+        length = HEADER_LEN + len(self.payload)
+        header = struct.pack(">HHHH", self.src_port, self.dst_port,
+                             length, 0)
+        checksum = internet_checksum(
+            _pseudo_header(src_ip, dst_ip, length) + header + self.payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # 0 means "no checksum" on the wire
+        return struct.pack(">HHHH", self.src_port, self.dst_port, length,
+                           checksum) + self.payload
+
+    @classmethod
+    def unpack(cls, raw: bytes, src_ip: bytes = None,
+               dst_ip: bytes = None) -> "UdpDatagram":
+        """Parse; verifies the checksum when the IPs are supplied."""
+        if len(raw) < HEADER_LEN:
+            raise ProtocolError(f"UDP datagram of {len(raw)} bytes too short")
+        src_port, dst_port, length, checksum = struct.unpack(">HHHH",
+                                                             raw[:8])
+        if length < HEADER_LEN or length > len(raw):
+            raise ProtocolError(f"bad UDP length {length}")
+        if checksum and src_ip is not None and dst_ip is not None:
+            total = ones_complement_sum(
+                _pseudo_header(src_ip, dst_ip, length) + raw[:length])
+            if total != 0xFFFF:
+                raise ProtocolError("UDP checksum mismatch")
+        return cls(src_port=src_port, dst_port=dst_port,
+                   payload=raw[HEADER_LEN:length])

@@ -1,0 +1,5 @@
+"""Performance modelling: cost model, load sampling, rate sweeps."""
+
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]

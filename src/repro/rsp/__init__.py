@@ -1,0 +1,41 @@
+"""GDB Remote Serial Protocol: framing, target stub, host client."""
+
+from repro.rsp.client import RspClient
+from repro.rsp.packets import (
+    PacketDecoder,
+    checksum,
+    escape,
+    frame,
+    hex_decode,
+    hex_encode,
+    unescape_and_expand,
+)
+from repro.rsp.stub import DebugStub
+from repro.rsp.target import (
+    CpuTargetAdapter,
+    NUM_REPORTED_REGS,
+    SIGILL,
+    SIGINT,
+    SIGSEGV,
+    SIGTRAP,
+    TargetAdapter,
+)
+
+__all__ = [
+    "RspClient",
+    "DebugStub",
+    "TargetAdapter",
+    "CpuTargetAdapter",
+    "PacketDecoder",
+    "frame",
+    "checksum",
+    "escape",
+    "unescape_and_expand",
+    "hex_encode",
+    "hex_decode",
+    "NUM_REPORTED_REGS",
+    "SIGTRAP",
+    "SIGINT",
+    "SIGILL",
+    "SIGSEGV",
+]

@@ -1,0 +1,198 @@
+"""Host-side RSP client — the wire half of the "software remote debugger".
+
+The client is transport-agnostic: it writes request bytes through
+``send``, then repeatedly calls ``pump`` (which must give the target a
+chance to execute — e.g. poll the monitor's stub or run the machine) and
+reads reply bytes through ``recv`` until a complete packet arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import ProtocolError
+from repro.rsp.packets import ACK, NAK, PacketDecoder, frame, hex_decode
+from repro.rsp.target import NUM_REPORTED_REGS
+
+
+class RspClient:
+    def __init__(self, send: Callable[[bytes], None],
+                 recv: Callable[[], bytes],
+                 pump: Callable[[], None],
+                 max_pumps: int = 10_000) -> None:
+        self._send = send
+        self._recv = recv
+        self._pump = pump
+        self._max_pumps = max_pumps
+        self._decoder = PacketDecoder()
+        self.acks_seen = 0
+        self.naks_seen = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _drain(self) -> None:
+        data = self._recv()
+        if data:
+            self._decoder.feed(data)
+        self.acks_seen += sum(1 for ack in self._decoder.acks if ack)
+        self.naks_seen += sum(1 for ack in self._decoder.acks if not ack)
+        self._decoder.acks.clear()
+
+    def exchange(self, payload: bytes, retries: int = 3) -> bytes:
+        """Send one command and wait for its reply packet."""
+        for _ in range(retries):
+            self._send(frame(payload))
+            self._send(b"")  # no-op; keeps transports with flushing happy
+            for _ in range(self._max_pumps):
+                self._pump()
+                self._drain()
+                packet = self._decoder.next_packet()
+                if packet is not None:
+                    self._send(ACK)
+                    return packet
+            # No reply: retransmit.
+        raise ProtocolError(f"no reply to {payload!r}")
+
+    def send_async(self, payload: bytes) -> None:
+        """Send without waiting (used for c/s, whose reply comes later)."""
+        self._send(frame(payload))
+
+    def send_interrupt(self) -> None:
+        """Send the ^C break byte."""
+        self._send(b"\x03")
+
+    def wait_for_stop(self, max_pumps: Optional[int] = None) -> bytes:
+        """Pump until a stop reply (Sxx/Txx) arrives."""
+        budget = max_pumps if max_pumps is not None else self._max_pumps
+        for _ in range(budget):
+            self._pump()
+            self._drain()
+            packet = self._decoder.next_packet()
+            if packet is not None:
+                self._send(ACK)
+                return packet
+        raise ProtocolError("target did not stop")
+
+    # -- typed helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _check_ok(reply: bytes) -> None:
+        if reply != b"OK":
+            raise ProtocolError(f"target error reply {reply!r}")
+
+    def query_halt_reason(self) -> int:
+        reply = self.exchange(b"?")
+        if not reply.startswith(b"S"):
+            raise ProtocolError(f"unexpected halt reply {reply!r}")
+        return int(reply[1:3], 16)
+
+    def read_registers(self) -> List[int]:
+        reply = self.exchange(b"g")
+        blob = hex_decode(reply.decode("ascii"))
+        if len(blob) != 4 * NUM_REPORTED_REGS:
+            raise ProtocolError(f"short register blob: {len(blob)} bytes")
+        return [int.from_bytes(blob[i * 4:i * 4 + 4], "little")
+                for i in range(NUM_REPORTED_REGS)]
+
+    def write_registers(self, values: List[int]) -> None:
+        blob = b"".join((v & 0xFFFFFFFF).to_bytes(4, "little")
+                        for v in values)
+        self._check_ok(self.exchange(b"G" + blob.hex().encode()))
+
+    def read_register(self, index: int) -> int:
+        reply = self.exchange(f"p{index:x}".encode())
+        return int.from_bytes(hex_decode(reply.decode("ascii")), "little")
+
+    def write_register(self, index: int, value: int) -> None:
+        hex_value = (value & 0xFFFFFFFF).to_bytes(4, "little").hex()
+        self._check_ok(self.exchange(f"P{index:x}={hex_value}".encode()))
+
+    def read_memory(self, addr: int, length: int) -> bytes:
+        reply = self.exchange(f"m{addr:x},{length:x}".encode())
+        if reply.startswith(b"E"):
+            raise ProtocolError(f"memory read failed: {reply!r}")
+        return hex_decode(reply.decode("ascii"))
+
+    def write_memory(self, addr: int, data: bytes) -> None:
+        command = f"M{addr:x},{len(data):x}:".encode() + data.hex().encode()
+        self._check_ok(self.exchange(command))
+
+    def set_breakpoint(self, addr: int) -> None:
+        self._check_ok(self.exchange(f"Z0,{addr:x},1".encode()))
+
+    def clear_breakpoint(self, addr: int) -> None:
+        self._check_ok(self.exchange(f"z0,{addr:x},1".encode()))
+
+    def set_watchpoint(self, addr: int, length: int = 4,
+                       on_write: bool = True) -> None:
+        kind = 2 if on_write else 3
+        self._check_ok(self.exchange(f"Z{kind},{addr:x},{length:x}"
+                                     .encode()))
+
+    def clear_watchpoint(self, addr: int, length: int = 4,
+                         on_write: bool = True) -> None:
+        kind = 2 if on_write else 3
+        self._check_ok(self.exchange(f"z{kind},{addr:x},{length:x}"
+                                     .encode()))
+
+    def cont(self) -> bytes:
+        """Continue and wait for the next stop reply."""
+        self.send_async(b"c")
+        return self.wait_for_stop()
+
+    def step(self) -> bytes:
+        """Single-step and wait for the stop reply."""
+        self.send_async(b"s")
+        return self.wait_for_stop()
+
+    # -- threads ------------------------------------------------------------
+
+    def thread_ids(self) -> List[int]:
+        """Enumerate target threads (qfThreadInfo)."""
+        reply = self.exchange(b"qfThreadInfo")
+        if not reply.startswith(b"m"):
+            return []
+        ids = [int(part, 16) for part in
+               reply[1:].decode("ascii").split(",") if part]
+        tail = self.exchange(b"qsThreadInfo")
+        if not tail.startswith(b"l"):
+            raise ProtocolError(f"bad qsThreadInfo reply {tail!r}")
+        return ids
+
+    def current_thread(self) -> int:
+        reply = self.exchange(b"qC")
+        if not reply.startswith(b"QC"):
+            raise ProtocolError(f"bad qC reply {reply!r}")
+        return int(reply[2:], 16)
+
+    def select_thread(self, thread_id: int) -> None:
+        """Hg: point register reads at a (possibly parked) thread."""
+        self._check_ok(self.exchange(f"Hg{thread_id:x}".encode()))
+
+    def thread_extra_info(self, thread_id: int) -> str:
+        reply = self.exchange(
+            f"qThreadExtraInfo,{thread_id:x}".encode())
+        if reply.startswith(b"E"):
+            raise ProtocolError(f"thread info failed: {reply!r}")
+        return hex_decode(reply.decode("ascii")).decode(
+            "utf-8", errors="replace")
+
+    def thread_alive(self, thread_id: int) -> bool:
+        return self.exchange(f"T{thread_id:x}".encode()) == b"OK"
+
+    def monitor_command(self, text: str) -> str:
+        """``monitor <cmd>`` (qRcmd): returns the monitor's output."""
+        reply = self.exchange(b"qRcmd," + text.encode("utf-8").hex()
+                              .encode("ascii"))
+        if reply == b"OK":
+            return ""
+        if reply.startswith(b"E") and len(reply) == 3:
+            raise ProtocolError(f"monitor command failed: {reply!r}")
+        return hex_decode(reply.decode("ascii")).decode(
+            "utf-8", errors="replace")
+
+    def kill(self) -> None:
+        self.send_async(b"k")
+
+    def detach(self) -> None:
+        self.exchange(b"D")

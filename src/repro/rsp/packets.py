@@ -1,0 +1,140 @@
+"""GDB Remote Serial Protocol framing.
+
+Wire format: ``$<payload>#<2-hex-digit checksum>``, where the checksum is
+the modulo-256 sum of the payload bytes.  ``}`` escapes (byte XOR 0x20)
+and ``*`` run-length encoding are handled on receive; transmit escapes
+the metacharacters.  Every good packet is acknowledged with ``+``, a bad
+checksum with ``-``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import ProtocolError
+
+ESCAPE = 0x7D  # '}'
+RLE = 0x2A     # '*'
+PACKET_START = 0x24   # '$'
+PACKET_END = 0x23     # '#'
+ACK = b"+"
+NAK = b"-"
+
+#: Bytes that must be escaped inside a payload.
+_MUST_ESCAPE = frozenset({0x23, 0x24, 0x7D, 0x2A})
+
+
+def checksum(payload: bytes) -> int:
+    return sum(payload) & 0xFF
+
+
+def escape(payload: bytes) -> bytes:
+    out = bytearray()
+    for byte in payload:
+        if byte in _MUST_ESCAPE:
+            out.append(ESCAPE)
+            out.append(byte ^ 0x20)
+        else:
+            out.append(byte)
+    return bytes(out)
+
+
+def unescape_and_expand(payload: bytes) -> bytes:
+    """Undo ``}`` escapes and ``*`` run-length encoding."""
+    out = bytearray()
+    index = 0
+    while index < len(payload):
+        byte = payload[index]
+        if byte == ESCAPE:
+            if index + 1 >= len(payload):
+                raise ProtocolError("dangling escape at end of packet")
+            out.append(payload[index + 1] ^ 0x20)
+            index += 2
+            continue
+        if byte == RLE:
+            if not out or index + 1 >= len(payload):
+                raise ProtocolError("malformed run-length encoding")
+            repeat = payload[index + 1] - 29
+            if repeat < 3 or repeat > 97:
+                raise ProtocolError(f"run length {repeat} out of range")
+            out.extend(out[-1:] * repeat)
+            index += 2
+            continue
+        out.append(byte)
+        index += 1
+    return bytes(out)
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap a payload for the wire (escaped, checksummed)."""
+    escaped = escape(payload)
+    return b"$" + escaped + b"#" + f"{checksum(escaped):02x}".encode()
+
+
+class PacketDecoder:
+    """Incremental decoder: feed bytes, collect payloads and acks.
+
+    ``feed`` returns the bytes to send back immediately (``+``/``-``
+    acknowledgements).  Completed payloads accumulate in
+    :attr:`packets`; ``^C`` interrupt bytes (0x03) arriving outside a
+    packet accumulate in :attr:`interrupts`.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._in_packet = False
+        self.packets: List[bytes] = []
+        self.acks: List[bool] = []      # True for '+', False for '-'
+        self.interrupts = 0
+
+    def feed(self, data: bytes) -> bytes:
+        replies = bytearray()
+        for byte in data:
+            if not self._in_packet:
+                if byte == PACKET_START:
+                    self._in_packet = True
+                    self._buffer.clear()
+                elif byte == 0x03:
+                    self.interrupts += 1
+                elif byte == ACK[0]:
+                    self.acks.append(True)
+                elif byte == NAK[0]:
+                    self.acks.append(False)
+                # Anything else between packets is line noise: ignored.
+                continue
+            self._buffer.append(byte)
+            if len(self._buffer) >= 3 and self._buffer[-3] == PACKET_END:
+                raw = bytes(self._buffer)  # excludes the leading '$'
+                self._in_packet = False
+                body = raw[:-3]
+                try:
+                    expected = int(raw[-2:].decode("ascii"), 16)
+                except ValueError:
+                    replies += NAK
+                    continue
+                if checksum(body) != expected:
+                    replies += NAK
+                    continue
+                try:
+                    self.packets.append(unescape_and_expand(body))
+                except ProtocolError:
+                    replies += NAK
+                    continue
+                replies += ACK
+        return bytes(replies)
+
+    def next_packet(self) -> Optional[bytes]:
+        if self.packets:
+            return self.packets.pop(0)
+        return None
+
+
+def hex_encode(data: bytes) -> str:
+    return data.hex()
+
+
+def hex_decode(text: str) -> bytes:
+    try:
+        return bytes.fromhex(text)
+    except ValueError as exc:
+        raise ProtocolError(f"bad hex payload {text!r}") from exc

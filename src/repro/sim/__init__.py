@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel and cycle accounting."""
+
+from repro.sim.budget import (
+    CAT_COPY,
+    CAT_DRIVER,
+    CAT_EMULATION,
+    CAT_GUEST,
+    CAT_IDLE,
+    CAT_INTERRUPT,
+    CAT_WORLD_SWITCH,
+    CycleBudget,
+)
+from repro.sim.events import Event, EventQueue, cycles_for_seconds, seconds_for_cycles
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "CycleBudget",
+    "cycles_for_seconds",
+    "seconds_for_cycles",
+    "CAT_GUEST",
+    "CAT_DRIVER",
+    "CAT_COPY",
+    "CAT_WORLD_SWITCH",
+    "CAT_EMULATION",
+    "CAT_INTERRUPT",
+    "CAT_IDLE",
+]

@@ -1,0 +1,145 @@
+"""Discrete-event simulation kernel.
+
+The performance experiments (E1--E3 and the ablations) are driven by a
+classic event-queue simulation: device completions, timer ticks and
+pacing deadlines are events ordered by simulated time.  Simulated time is
+measured in **CPU cycles** of the modelled 1.26 GHz Pentium III so that
+CPU-load accounting and event scheduling share one clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: int
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are single-shot; cancelling an already-fired or already-cancelled
+    event is a silent no-op, which keeps device models simple (they can
+    unconditionally cancel a pending completion when reset).
+    """
+
+    __slots__ = ("callback", "name", "_cancelled", "_fired")
+
+    def __init__(self, callback: Callable[[], None], name: str = "") -> None:
+        self.callback = callback
+        self.name = name or getattr(callback, "__name__", "event")
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+
+class EventQueue:
+    """Priority queue of events keyed by (simulated cycle, insertion order).
+
+    Ties are broken by insertion order so the simulation is deterministic:
+    two events scheduled for the same cycle fire in the order they were
+    scheduled.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_QueueEntry] = []
+        self._counter = itertools.count()
+        self.now: int = 0
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.event.cancelled)
+
+    def schedule_at(self, time: int, callback: Callable[[], None],
+                    name: str = "") -> Event:
+        """Schedule ``callback`` at absolute cycle ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event {name!r} at cycle {time}, "
+                f"already at cycle {self.now}")
+        event = Event(callback, name)
+        heapq.heappush(self._heap, _QueueEntry(time, next(self._counter), event))
+        return event
+
+    def schedule_in(self, delay: int, callback: Callable[[], None],
+                    name: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {name!r}")
+        return self.schedule_at(self.now + delay, callback, name)
+
+    def peek_time(self) -> Optional[int]:
+        """Cycle of the next live event, or None when the queue is drained."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        entry = heapq.heappop(self._heap)
+        self.now = entry.time
+        entry.event._fired = True
+        entry.event.callback()
+        return True
+
+    def run_until(self, deadline: int) -> None:
+        """Fire events up to and including ``deadline``, then set now=deadline."""
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.step()
+        if deadline > self.now:
+            self.now = deadline
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue; returns the number of events fired.
+
+        ``max_events`` guards against runaway self-rescheduling models.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; "
+                    "a model is probably rescheduling itself unconditionally")
+        return fired
+
+
+def cycles_for_seconds(seconds: float, hz: float) -> int:
+    """Convert wall seconds of the modelled machine into cycles."""
+    if seconds < 0:
+        raise SimulationError(f"negative duration {seconds}")
+    return int(round(seconds * hz))
+
+
+def seconds_for_cycles(cycles: int, hz: float) -> float:
+    """Convert cycles back to modelled seconds."""
+    return cycles / hz

@@ -1,0 +1,79 @@
+"""Monitor event tracing.
+
+The monitor records every architectural event it handles — trapped
+instructions, fielded and reflected interrupts, VMCALLs, debug stops,
+guest death — into a bounded ring buffer.  The host debugger reads it
+back with ``monitor trace`` (a GDB ``qRcmd``), which turns "why is my
+ISR not running?" from guesswork into a timeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+KIND_TRAP = "trap"
+KIND_INTERRUPT = "irq"
+KIND_REFLECT = "reflect"
+KIND_EXCEPTION = "exc"
+KIND_VMCALL = "vmcall"
+KIND_DEBUG = "debug"
+KIND_DEATH = "death"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One monitor event."""
+
+    sequence: int
+    cycle: int
+    kind: str
+    detail: str
+    pc: int
+
+    def format(self) -> str:
+        return (f"[{self.sequence:6d}] cyc={self.cycle:<12d} "
+                f"pc={self.pc:#010x} {self.kind:<8s} {self.detail}")
+
+
+class TraceBuffer:
+    """Bounded ring of monitor events."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._sequence = 0
+        self.enabled = True
+
+    def record(self, cycle: int, kind: str, detail: str,
+               pc: int = 0) -> None:
+        if not self.enabled:
+            return
+        self._events.append(TraceEvent(self._sequence, cycle, kind,
+                                       detail, pc))
+        self._sequence += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def total_recorded(self) -> int:
+        return self._sequence
+
+    def tail(self, count: int = 32) -> List[TraceEvent]:
+        """The most recent ``count`` events, oldest first."""
+        events = list(self._events)
+        return events[-count:]
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def format_tail(self, count: int = 32) -> str:
+        events = self.tail(count)
+        if not events:
+            return "(trace empty)"
+        return "\n".join(event.format() for event in events)

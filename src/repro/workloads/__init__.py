@@ -1,0 +1,18 @@
+"""Workloads: the paper's data-transfer application and microworkloads."""
+
+from repro.workloads.datatransfer import (
+    DataTransferConfig,
+    compare_stacks,
+    run_data_transfer,
+)
+from repro.workloads.micro import MicroResult, compare, disk_only, net_only
+
+__all__ = [
+    "DataTransferConfig",
+    "run_data_transfer",
+    "compare_stacks",
+    "MicroResult",
+    "disk_only",
+    "net_only",
+    "compare",
+]

@@ -1,0 +1,169 @@
+"""Integration: the same guest kernel image boots and runs on all three
+execution stacks (real hardware / LVMM / full VMM) — the paper's
+"can work with any OSs running on PC/AT architectures" property."""
+
+import pytest
+
+from repro.baremetal import BareMetalRunner
+from repro.fullvmm import FullVmm
+from repro.guest.asmkernel import (
+    KernelConfig,
+    build_kernel,
+    build_user_task,
+    read_state,
+    read_ticks,
+)
+from repro.hw.machine import Machine
+from repro.vmm import LightweightVmm
+
+TICKS = 6
+
+
+def run_bare(config, user=None, max_instructions=600_000):
+    machine = Machine()
+    runner = BareMetalRunner(machine)
+    kernel = build_kernel(config)
+    kernel.load_into(machine.memory)
+    if user is not None:
+        user.load_into(machine.memory)
+    runner.boot_guest(kernel.origin)
+    machine.run(max_instructions,
+                until=lambda: read_state(machine.memory) != 0)
+    return machine, runner
+
+
+def run_monitored(monitor_class, config, user=None,
+                  max_instructions=800_000):
+    machine = Machine()
+    monitor = monitor_class(machine)
+    kernel = build_kernel(config)
+    kernel.load_into(machine.memory)
+    if user is not None:
+        user.load_into(machine.memory)
+    monitor.install()
+    monitor.boot_guest(kernel.origin)
+    monitor.run(max_instructions,
+                until=lambda: read_state(machine.memory) != 0)
+    return machine, monitor
+
+
+class TestSameImageEverywhere:
+    def test_bare_metal_counts_ticks(self):
+        machine, runner = run_bare(KernelConfig(ticks_to_run=TICKS))
+        assert read_ticks(machine.memory) == TICKS
+        assert not runner.guest_dead
+
+    def test_lvmm_counts_ticks(self):
+        machine, monitor = run_monitored(
+            LightweightVmm, KernelConfig(ticks_to_run=TICKS))
+        assert read_ticks(machine.memory) == TICKS
+        assert not monitor.guest_dead
+        assert machine.cpu.cpl >= 1          # never reached ring 0
+
+    def test_fullvmm_counts_ticks(self):
+        machine, monitor = run_monitored(
+            FullVmm, KernelConfig(ticks_to_run=TICKS))
+        assert read_ticks(machine.memory) == TICKS
+        assert not monitor.guest_dead
+
+    def test_user_task_output_identical_on_all_stacks(self):
+        config = KernelConfig(ticks_to_run=500, with_user_task=True)
+        user = build_user_task(4)
+
+        machine_bare, _ = run_bare(config, user)
+        machine_lvmm, monitor_lvmm = run_monitored(LightweightVmm,
+                                                   config, user)
+        machine_full, monitor_full = run_monitored(FullVmm, config, user)
+
+        assert read_state(machine_bare.memory) == 2   # user exited
+        assert read_state(machine_lvmm.memory) == 2
+        assert read_state(machine_full.memory) == 2
+        # Monitor consoles captured the user task's syscalls.
+        assert bytes(monitor_lvmm.console).startswith(b"uuuu")
+        assert bytes(monitor_full.console).startswith(b"uuuu")
+
+    def test_lvmm_overhead_exceeds_bare(self):
+        """The functional layer already shows monitor overhead: the same
+        work costs more busy cycles under the LVMM."""
+        config = KernelConfig(ticks_to_run=TICKS)
+        machine_bare, _ = run_bare(config)
+        machine_lvmm, _ = run_monitored(LightweightVmm, config)
+        assert machine_lvmm.budget.total > machine_bare.budget.total
+
+    def test_fullvmm_overhead_exceeds_lvmm(self):
+        config = KernelConfig(ticks_to_run=TICKS)
+        machine_lvmm, _ = run_monitored(LightweightVmm, config)
+        machine_full, _ = run_monitored(FullVmm, config)
+        assert machine_full.budget.total > machine_lvmm.budget.total
+
+
+class TestPassthroughCustomisability:
+    """E5: a brand-new device works under the LVMM with zero monitor
+    changes, because unclaimed ports/MMIO pass straight through."""
+
+    def test_new_port_device_needs_no_monitor_change(self):
+        from repro.hw.bus import PortDevice
+
+        class FrobDevice(PortDevice):
+            def __init__(self):
+                self.value = 0
+
+            def port_read(self, offset, size):
+                return self.value
+
+            def port_write(self, offset, value, size):
+                self.value = value
+
+        machine = Machine()
+        device = FrobDevice()
+        machine.bus.register_ports(0x5000, 4, device, "frob")
+        monitor = LightweightVmm(machine)
+        monitor.install()
+        # Grant passthrough the same way the HBA gets it: one bitmap entry.
+        machine.cpu.io_allowed_ports.update(range(0x5000, 0x5004))
+
+        from repro.asm import assemble
+        from repro.hw import firmware
+        program = assemble(f"""
+        .org {firmware.GUEST_KERNEL_BASE}
+            MOVI R2, 0x5000
+            MOVI R0, 0x77
+            OUTB R0, R2
+            INB  R3, R2
+            HLT
+        """)
+        program.load_into(machine.memory)
+        monitor.boot_guest(program.origin)
+        monitor.run(20)
+        assert device.value == 0x77
+        assert machine.cpu.regs[3] == 0x77
+        # And the monitor never saw the accesses.
+        assert machine.bus.intercepted_accesses == 0
+
+    def test_new_mmio_device_passes_through(self):
+        from repro.hw.bus import MmioDevice
+
+        class MmioScratch(MmioDevice):
+            def __init__(self):
+                self.value = 0
+
+            def mmio_read(self, offset, size):
+                return self.value
+
+            def mmio_write(self, offset, value, size):
+                self.value = value
+
+        machine = Machine()
+        device = MmioScratch()
+        machine.bus.register_mmio(0xD000_0000, 0x100, device, "scratch")
+        monitor = LightweightVmm(machine)
+        monitor.install()
+
+        # MMIO beyond physical RAM cannot be segment-limit checked the
+        # usual way; monitors map it for the guest.  For the test we
+        # touch it from monitor context (raw), proving the bus routes it
+        # and the LVMM policy does not claim it.
+        assert not monitor.intercept.intercepts_mmio(0xD000_0000)
+        machine.bus.mmio_write(0xD000_0000, 123, 4)
+        assert device.value == 123
+        assert machine.bus.intercepted_accesses == 0

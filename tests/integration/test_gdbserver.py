@@ -1,0 +1,81 @@
+"""Integration: the TCP GDB-server bridge with a real socket client."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import DebugSession
+from repro.debugger.gdbserver import GdbServer
+from repro.guest.asmkernel import KernelConfig, build_kernel
+from repro.rsp.client import RspClient
+
+
+@pytest.fixture
+def server():
+    session = DebugSession(monitor="lvmm")
+    kernel = build_kernel(KernelConfig(ticks_to_run=10_000))
+    session.load_and_boot(kernel)
+    bridge = GdbServer(session, host="127.0.0.1", port=0)
+    thread = threading.Thread(
+        target=bridge.serve_client,
+        kwargs={"max_idle_polls": 2000},
+        daemon=True)
+    thread.start()
+    yield bridge, kernel
+    bridge.shutdown_requested = True
+    thread.join(timeout=5)
+    bridge.close()
+
+
+def tcp_client(bridge) -> RspClient:
+    sock = socket.create_connection(bridge.address, timeout=5)
+    sock.setblocking(False)
+
+    def send(data: bytes) -> None:
+        if data:
+            sock.sendall(data)
+
+    def recv() -> bytes:
+        try:
+            return sock.recv(4096)
+        except BlockingIOError:
+            return b""
+
+    return RspClient(send=send, recv=recv,
+                     pump=lambda: time.sleep(0.002), max_pumps=2000)
+
+
+class TestGdbServerBridge:
+    def test_attach_over_tcp(self, server):
+        bridge, _ = server
+        client = tcp_client(bridge)
+        assert client.query_halt_reason() == 5
+        assert len(client.read_registers()) == 10
+        assert bridge.bytes_in > 0 and bridge.bytes_out > 0
+
+    def test_breakpoint_over_tcp(self, server):
+        bridge, kernel = server
+        client = tcp_client(bridge)
+        client.exchange(b"qSupported")
+        isr = kernel.symbol("timer_isr")
+        client.set_breakpoint(isr)
+        reply = client.cont()
+        assert reply == b"S05"
+        assert client.read_registers()[8] == isr
+
+    def test_memory_and_monitor_commands_over_tcp(self, server):
+        bridge, kernel = server
+        client = tcp_client(bridge)
+        data = client.read_memory(kernel.origin, 8)
+        assert data == kernel.image[:8]
+        stats = client.monitor_command("stats")
+        assert "traps emulated" in stats
+
+    def test_target_xml_over_tcp(self, server):
+        bridge, _ = server
+        client = tcp_client(bridge)
+        reply = client.exchange(
+            b"qXfer:features:read:target.xml:0,1024")
+        assert reply.startswith(b"l<?xml")

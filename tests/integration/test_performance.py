@@ -1,0 +1,121 @@
+"""Integration: the performance experiments E1-E3 hold their shape.
+
+These are the pass/fail criteria from DESIGN.md: curve ordering at every
+rate, monotonicity, the 5.4x LVMM/full-VMM ratio and the 26%
+LVMM/real-hardware ratio within +-15%, and DES/analytic agreement.
+"""
+
+import pytest
+
+from repro.perf.analytic import predict_demanded_load, predict_max_rate
+from repro.perf.load import measure_load
+from repro.perf.sweep import (
+    headline_ratios,
+    max_rate,
+    sweep_figure_3_1,
+    window_for_rate,
+)
+from repro.workloads import run_data_transfer
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return sweep_figure_3_1(rates_mbps=(50, 100, 150), sim_seconds=0.25)
+
+
+@pytest.fixture(scope="module")
+def ratios():
+    return headline_ratios(sim_seconds=0.25)
+
+
+class TestFigure31Shape:
+    def test_curve_ordering_at_every_rate(self, figure):
+        """Real hardware below LVMM below full VMM, everywhere."""
+        for index in range(len(figure["bare"].samples)):
+            bare = figure["bare"].samples[index].demanded_load
+            lvmm = figure["lvmm"].samples[index].demanded_load
+            full = figure["fullvmm"].samples[index].demanded_load
+            assert bare < lvmm < full
+
+    def test_load_monotonic_in_rate(self, figure):
+        for series in figure.values():
+            demands = [s.demanded_load for s in series.samples]
+            assert demands == sorted(demands)
+
+    def test_achieved_tracks_target_when_sustainable(self, figure):
+        for series in figure.values():
+            for sample in series.samples:
+                if sample.sustainable:
+                    assert sample.achieved_rate_bps \
+                        >= 0.85 * sample.target_rate_bps
+
+    def test_all_stacks_transfer_same_data(self, figure):
+        """At a common sustainable rate all three move the same bytes —
+        functional equivalence, different cost."""
+        segments = [figure[name].samples[0].segments_sent
+                    for name in ("bare", "lvmm")]
+        assert segments[0] == segments[1]
+
+
+class TestHeadlineRatios:
+    def test_lvmm_is_5_4x_fullvmm(self, ratios):
+        assert ratios.lvmm_vs_fullvmm == pytest.approx(5.4, rel=0.15)
+
+    def test_lvmm_is_26_percent_of_bare(self, ratios):
+        assert ratios.lvmm_vs_bare == pytest.approx(0.26, rel=0.15)
+
+    def test_bare_saturates_near_700_mbps(self, ratios):
+        assert ratios.bare_max_bps == pytest.approx(700e6, rel=0.15)
+
+    def test_fullvmm_in_vmware_ws4_territory(self, ratios):
+        # Low tens of Mbps, as hosted VMMs of the era measured.
+        assert 15e6 < ratios.fullvmm_max_bps < 60e6
+
+
+class TestAnalyticCrossCheck:
+    @pytest.mark.parametrize("stack,rate", [
+        ("bare", 100e6), ("bare", 300e6),
+        ("lvmm", 80e6), ("lvmm", 150e6),
+        ("fullvmm", 20e6),
+    ])
+    def test_des_matches_closed_form(self, stack, rate):
+        analytic = predict_demanded_load(stack, rate)
+        window = window_for_rate(rate, 0.25, 24)
+        measured = measure_load(stack, rate, window).demanded_load
+        assert measured == pytest.approx(analytic, rel=0.08)
+
+    def test_max_rates_agree(self):
+        for stack, probes in (("bare", (80.0, 160.0)),
+                              ("lvmm", (80.0, 160.0)),
+                              ("fullvmm", (10.0, 22.0))):
+            analytic = predict_max_rate(stack)
+            measured = max_rate(stack, sim_seconds=0.25,
+                                probe_mbps=probes)
+            assert measured == pytest.approx(analytic, rel=0.08)
+
+
+class TestWorkloadApi:
+    def test_run_data_transfer_returns_sample(self):
+        sample = run_data_transfer("lvmm", 100e6)
+        assert sample.stack == "lvmm"
+        assert sample.segments_sent > 0
+        assert 0 < sample.demanded_load < 2
+
+    def test_breakdown_explains_the_gap(self):
+        """Where the cycles go: passthrough means the LVMM's overhead is
+        world switches, the full VMM's is emulation + copies."""
+        lvmm = run_data_transfer("lvmm", 100e6)
+        full = run_data_transfer("fullvmm", 100e6)
+        assert lvmm.breakdown.get("world_switch", 0) > 0
+        assert lvmm.breakdown.get("copy", 0) == 0       # zero-copy kept
+        assert full.breakdown.get("copy", 0) > 0        # bounce buffers
+        assert full.breakdown.get("emulation", 0) \
+            > lvmm.breakdown.get("emulation", 0)
+
+    def test_guest_work_identical_across_stacks(self):
+        lvmm = run_data_transfer("lvmm", 100e6)
+        bare = run_data_transfer("bare", 100e6)
+        assert lvmm.breakdown["guest"] == pytest.approx(
+            bare.breakdown["guest"], rel=0.01)

@@ -1,0 +1,148 @@
+"""Integration: checkpoint/restore of a stopped guest (the simulator-
+enabled extension — wind the guest back past its own crash)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import DebugSession
+from repro.core.snapshot import capture, restore
+from repro.errors import MonitorError
+from repro.guest.asmkernel import (
+    DATA_BASE,
+    KernelConfig,
+    build_kernel,
+    read_ticks,
+)
+from repro.hw import firmware
+from repro.hw.machine import Machine
+
+
+@pytest.fixture
+def session():
+    sess = DebugSession(monitor="lvmm")
+    kernel = build_kernel(KernelConfig(ticks_to_run=50))
+    sess.load_and_boot(kernel)
+    sess.attach()
+    return sess, kernel
+
+
+class TestCheckpointRestore:
+    def test_restore_rewinds_registers_and_memory(self, session):
+        sess, kernel = session
+        isr = kernel.symbol("timer_isr")
+        sess.client.set_breakpoint(isr)
+        sess.client.cont()
+        ticks_at_checkpoint = read_ticks(sess.machine.memory)
+        regs_at_checkpoint = sess.client.read_registers()
+        sess.checkpoint("at-isr")
+
+        # Run three more interrupts past the checkpoint.
+        for _ in range(3):
+            sess.client.cont()
+        assert read_ticks(sess.machine.memory) > ticks_at_checkpoint
+
+        sess.restore("at-isr")
+        assert read_ticks(sess.machine.memory) == ticks_at_checkpoint
+        assert sess.client.read_registers() == regs_at_checkpoint
+
+    def test_rerun_from_checkpoint_is_deterministic(self, session):
+        sess, kernel = session
+        isr = kernel.symbol("timer_isr")
+        sess.client.set_breakpoint(isr)
+        sess.client.cont()
+        sess.checkpoint()
+
+        sess.client.cont()
+        regs_first = sess.client.read_registers()
+
+        sess.restore()
+        sess.client.cont()
+        regs_second = sess.client.read_registers()
+        # PC and general registers replay identically.
+        assert regs_second[:9] == regs_first[:9]
+
+    def test_restore_resurrects_crashed_guest(self):
+        sess = DebugSession(monitor="lvmm")
+        program = assemble(f"""
+        .org {firmware.GUEST_KERNEL_BASE}
+        start:
+            MOVI R3, 0x11
+            BKPT              ; checkpoint here
+            MOVI R1, 0xF80000 ; then walk into the monitor region
+            ST   [R1+0], R0
+            HLT
+        """)
+        sess.load_and_boot(program)
+        sess.attach()
+        sess.client.cont()           # stops at BKPT
+        sess.checkpoint("before-crash")
+
+        sess.monitor.resume_guest(step=False)
+        sess.monitor.run(100)
+        assert sess.monitor.guest_dead
+
+        sess.restore("before-crash")
+        assert not sess.monitor.guest_dead
+        regs = sess.client.read_registers()
+        assert regs[3] == 0x11       # back before the crash
+
+    def test_monitor_shadow_state_restored(self, session):
+        sess, kernel = session
+        sess.client.set_breakpoint(kernel.symbol("timer_isr"))
+        sess.client.cont()
+        vif_at_checkpoint = sess.monitor.shadow.vif
+        idtr_at_checkpoint = sess.monitor.shadow.idtr.base
+        sess.checkpoint()
+        sess.client.cont()
+        sess.restore()
+        assert sess.monitor.shadow.vif == vif_at_checkpoint
+        assert sess.monitor.shadow.idtr.base == idtr_at_checkpoint
+
+    def test_unknown_checkpoint_rejected(self, session):
+        sess, _ = session
+        with pytest.raises(MonitorError):
+            sess.restore("never-saved")
+
+    def test_size_mismatch_rejected(self, session):
+        sess, _ = session
+        sess.checkpoint("here")
+        from repro.hw.machine import MachineConfig
+        other = Machine(MachineConfig(memory_size=8 << 20))
+        with pytest.raises(MonitorError):
+            restore(other, sess.checkpoints.get("here"))
+
+    def test_snapshot_refuses_inflight_dma(self):
+        machine = Machine()
+        from repro.hw.scsi import (CMD_START, PORT_BASE_SCSI,
+                                   REG_COMMAND, REG_MAILBOX,
+                                   cdb_read10, encode_request_block)
+        block = encode_request_block(0, cdb_read10(0, 8), 0x8000,
+                                     8 * 512)
+        machine.memory.write(0x700, block)
+        machine.bus.port_write(PORT_BASE_SCSI + REG_MAILBOX, 0x700, 4)
+        machine.bus.port_write(PORT_BASE_SCSI + REG_COMMAND, CMD_START, 4)
+        with pytest.raises(MonitorError):
+            capture(machine)
+
+    def test_debugger_cli_commands(self, session):
+        sess, kernel = session
+        from repro.debugger import Debugger, SymbolTable
+        symbols = SymbolTable()
+        symbols.add_program(kernel)
+        debugger = Debugger(sess, symbols)
+        assert "saved" in debugger.execute("checkpoint boot")
+        debugger.execute("break timer_isr")
+        debugger.execute("continue")
+        text = debugger.execute("restore boot")
+        assert "restored" in text
+        assert read_ticks(sess.machine.memory) == 0
+
+    def test_disk_writes_rewound(self, session):
+        sess, _ = session
+        disk = sess.machine.disks[0]
+        original = disk.read_blocks(5, 1)
+        sess.checkpoint("clean")
+        disk.write_blocks(5, b"\xAB" * 512)
+        assert disk.read_blocks(5, 1) != original
+        sess.restore("clean")
+        assert disk.read_blocks(5, 1) == original

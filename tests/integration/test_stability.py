@@ -1,0 +1,171 @@
+"""Integration: experiment E4 — the debugging environment stays stable
+while the guest OS misbehaves (the paper's first claim).
+
+Contrast class: the conventional embedded stub (bare metal) dies with
+the guest; the LVMM stub keeps servicing the host debugger through every
+failure mode we inject."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.baremetal import BareMetalRunner
+from repro.core.session import DebugSession
+from repro.guest.asmkernel import KernelConfig, build_kernel
+from repro.hw import firmware
+from repro.hw.machine import Machine
+from repro.hw.uart import HostSerialPort
+from repro.rsp.client import RspClient
+
+
+def crashing_guest(body: str):
+    return assemble(f".org {firmware.GUEST_KERNEL_BASE}\n{body}\n")
+
+
+class TestLvmmSurvivesGuestCrashes:
+    def _session_with(self, body: str):
+        sess = DebugSession(monitor="lvmm")
+        sess.load_and_boot(crashing_guest(body))
+        sess.attach()
+        return sess
+
+    def _run_to_crash(self, sess, limit=50_000):
+        sess.monitor.resume_guest(step=False)
+        sess.monitor.run(limit)
+
+    def test_wild_write_into_monitor_region(self):
+        sess = self._session_with("""
+            MOVI R1, 0xF00000
+            MOVI R0, 0xDEAD
+        smash:
+            ST   [R1+0], R0
+            ADDI R1, 4
+            JMP  smash
+        """)
+        self._run_to_crash(sess)
+        assert sess.monitor.guest_dead
+        # The debugger still works: full register/memory service.
+        regs = sess.client.read_registers()
+        assert len(regs) == 10
+        assert sess.client.read_memory(firmware.GUEST_KERNEL_BASE, 4)
+
+    def test_cli_hang_can_be_interrupted(self):
+        sess = self._session_with("""
+            CLI
+        hang:
+            JMP hang
+        """)
+        sess.client.send_async(b"c")
+        for _ in range(5):
+            sess._pump()
+        sess.client.send_interrupt()
+        reply = sess.client.wait_for_stop()
+        assert reply == b"S02"
+        # We can inspect the wedged guest.
+        regs = sess.client.read_registers()
+        assert regs[8] != 0
+
+    def test_triple_fault_pattern(self):
+        # No IDT at all: the first INT is unservicable.
+        sess = self._session_with("""
+            INT 0x21
+            HLT
+        """)
+        self._run_to_crash(sess)
+        assert sess.monitor.guest_dead
+        assert "exception" in sess.monitor.guest_dead_reason
+        assert sess.client.read_registers()
+
+    def test_stack_destruction(self):
+        sess = self._session_with("""
+            MOVI SP, 0          ; demolish the stack, then fault
+            PUSH R0
+            HLT
+        """)
+        self._run_to_crash(sess)
+        assert sess.monitor.guest_dead
+        assert sess.client.read_registers()
+
+    def test_monitor_memory_intact_after_rampage(self):
+        sess = self._session_with("""
+            MOVI R1, 0xE00000   ; sweep from below the monitor up
+            MOVI R0, 0xFFFFFFFF
+        sweep:
+            ST   [R1+0], R0
+            ADDI R1, 4
+            JMP  sweep
+        """)
+        monitor_base = sess.monitor.monitor_base
+        shadow_gdt_before = sess.machine.memory.read(
+            sess.monitor.shadow_gdt.base, 64)
+        # 1 MiB of 4-byte stores at 3 instructions each: ~800k to reach
+        # the monitor boundary and fault.
+        self._run_to_crash(sess, limit=900_000)
+        shadow_gdt_after = sess.machine.memory.read(
+            sess.monitor.shadow_gdt.base, 64)
+        assert shadow_gdt_before == shadow_gdt_after
+        assert sess.monitor.guest_dead
+        # Memory *below* the monitor really was trashed (the sweep ran).
+        assert sess.machine.memory.read_u32(0xE00000) == 0xFFFFFFFF
+        assert monitor_base == 0xF00000
+
+
+class TestEmbeddedStubDiesWithGuest:
+    """The conventional-approach contrast: an in-OS stub stops being
+    serviced the moment the guest stops cooperating."""
+
+    def _bare_with_stub(self, body: str):
+        machine = Machine()
+        runner = BareMetalRunner(machine, with_embedded_stub=True)
+        program = crashing_guest(body)
+        program.load_into(machine.memory)
+        runner.boot_guest(program.origin)
+        host = HostSerialPort(machine.serial_link)
+        return machine, runner, host
+
+    def test_healthy_guest_services_stub(self):
+        machine, runner, host = self._bare_with_stub("""
+        loop:
+            NOP
+            JMP loop
+        """)
+        client = RspClient(send=host.send, recv=host.recv,
+                           pump=runner.embedded_stub.poll, max_pumps=50)
+        assert client.query_halt_reason() == 5
+
+    def test_hung_guest_never_services_stub(self):
+        machine, runner, host = self._bare_with_stub("""
+            CLI
+        hang:
+            JMP hang
+        """)
+        # The guest hangs with interrupts off; its idle loop (which
+        # would poll the stub) never runs again.
+        machine.run(10_000)
+        client = RspClient(send=host.send, recv=host.recv,
+                           pump=lambda: None, max_pumps=20)
+        from repro.errors import ProtocolError
+        with pytest.raises(ProtocolError):
+            client.query_halt_reason()
+
+    def test_triple_fault_resets_machine_and_stub(self):
+        machine, runner, host = self._bare_with_stub("""
+            INT 0x21
+            HLT
+        """)
+        runner.run(1000)
+        assert runner.guest_dead
+        assert runner.embedded_stub is None  # reset took the stub down
+
+
+class TestStubLatencyWhileGuestCrashed:
+    def test_many_exchanges_after_crash(self):
+        """Round-trip robustness: 50 debugger exchanges against a dead
+        guest all succeed (feeds the E4 bench)."""
+        sess = DebugSession(monitor="lvmm")
+        sess.load_and_boot(crashing_guest("INT 0x21\nHLT\n"))
+        sess.attach()
+        sess.monitor.resume_guest(step=False)
+        sess.monitor.run(1000)
+        assert sess.monitor.guest_dead
+        for _ in range(50):
+            assert len(sess.client.read_registers()) == 10

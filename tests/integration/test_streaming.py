@@ -1,0 +1,53 @@
+"""Integration: the multi-session streaming-server workload."""
+
+import pytest
+
+from repro.workloads.streaming import (
+    StreamingResult,
+    max_sessions,
+    run_streaming,
+)
+
+pytestmark = pytest.mark.perf
+
+RATE = 20e6
+
+
+class TestStreamingServer:
+    def test_sessions_each_get_their_rate(self):
+        result = run_streaming("lvmm", [RATE] * 4, sim_seconds=2.5)
+        assert result.sustainable
+        assert result.all_sessions_served()
+        for session in result.sessions:
+            assert session.achieved_bps == pytest.approx(RATE, rel=0.12)
+
+    def test_unequal_rates_respected(self):
+        rates = [10e6, 20e6, 40e6]
+        result = run_streaming("lvmm", rates, sim_seconds=3.0)
+        for session, target in zip(result.sessions, rates):
+            assert session.achieved_bps == pytest.approx(target, rel=0.15)
+
+    def test_oversubscription_saturates(self):
+        # 16 x 20 Mbps = 320 Mbps >> the LVMM's 182 Mbps maximum.
+        result = run_streaming("lvmm", [RATE] * 16, sim_seconds=1.0)
+        assert not result.sustainable or not result.all_sessions_served()
+
+    def test_load_scales_with_session_count(self):
+        one = run_streaming("lvmm", [RATE], sim_seconds=2.5)
+        four = run_streaming("lvmm", [RATE] * 4, sim_seconds=2.5)
+        assert four.demanded_load > 2.5 * one.demanded_load
+
+    def test_admission_counts_mirror_headline_ratios(self):
+        lvmm = max_sessions("lvmm", RATE, upper_bound=16)
+        fullvmm = max_sessions("fullvmm", RATE, upper_bound=16)
+        # 182/20 -> 8-9 sessions; 33.7/20 -> 1 session.
+        assert 7 <= lvmm <= 10
+        assert fullvmm == 1
+        assert lvmm / max(fullvmm, 1) >= 4
+
+    def test_result_accessors(self):
+        result = run_streaming("bare", [RATE] * 2, sim_seconds=2.0)
+        assert isinstance(result, StreamingResult)
+        assert result.total_achieved_bps == pytest.approx(
+            sum(s.achieved_bps for s in result.sessions))
+        assert 0 < result.load <= 1

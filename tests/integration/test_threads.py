@@ -1,0 +1,218 @@
+"""Integration: the multithreaded guest kernel and thread-aware
+debugging through the monitor's stub."""
+
+import pytest
+
+from repro.baremetal import BareMetalRunner
+from repro.core import DebugSession
+from repro.guest.asmthreads import (
+    STATE_EXITED,
+    build_threaded_kernel,
+    read_counters,
+    read_task_states,
+)
+from repro.hw.machine import Machine
+from repro.vmm import LightweightVmm
+
+THREADS = 3
+
+
+class TestThreadedKernelRuns:
+    def test_bare_metal_round_robin(self):
+        machine = Machine()
+        kernel = build_threaded_kernel(THREADS, iterations=4)
+        kernel.load_into(machine.memory)
+        BareMetalRunner(machine).boot_guest(kernel.origin)
+        machine.run(100_000)
+        assert read_counters(machine.memory, THREADS) == [4, 4, 4]
+        assert read_task_states(machine.memory, THREADS) == \
+            [STATE_EXITED] * THREADS
+
+    def test_lvmm_identical_schedule(self):
+        machine = Machine()
+        kernel = build_threaded_kernel(THREADS, iterations=4)
+        kernel.load_into(machine.memory)
+        monitor = LightweightVmm(machine)
+        monitor.install()
+        monitor.boot_guest(kernel.origin)
+        monitor.run(300_000)
+        assert read_counters(machine.memory, THREADS) == [4, 4, 4]
+        # Interleaving is observable and strictly round-robin.
+        assert bytes(monitor.console) == b"ABC" * 4 + b"."
+
+    def test_iret_emulated_once_per_fabricated_context(self):
+        machine = Machine()
+        kernel = build_threaded_kernel(THREADS, iterations=3)
+        kernel.load_into(machine.memory)
+        monitor = LightweightVmm(machine)
+        monitor.install()
+        monitor.boot_guest(kernel.origin)
+        monitor.run(300_000)
+        # One trap per guest-fabricated (RPL-0) frame; all later frames
+        # carry compressed selectors and IRET natively.
+        assert monitor.stats.traps_by_mnemonic["IRET"] == THREADS
+
+    def test_task_table_registered(self):
+        machine = Machine()
+        kernel = build_threaded_kernel(THREADS, iterations=2)
+        kernel.load_into(machine.memory)
+        monitor = LightweightVmm(machine)
+        monitor.install()
+        monitor.boot_guest(kernel.origin)
+        monitor.run(300_000)
+        from repro.guest.asmthreads import TASK_TABLE
+        assert monitor.task_table_addr == TASK_TABLE
+
+
+@pytest.fixture
+def session():
+    sess = DebugSession(monitor="lvmm")
+    kernel = build_threaded_kernel(THREADS, iterations=50)
+    sess.load_and_boot(kernel)
+    sess.attach()
+    # Run into steady state: every task alive, some switches done.
+    sess.client.set_breakpoint(kernel.symbol("task_loop"))
+    for _ in range(4):
+        sess.client.cont()
+    return sess, kernel
+
+
+class TestThreadAwareStub:
+    def test_thread_enumeration(self, session):
+        sess, _ = session
+        assert sess.client.thread_ids() == [1, 2, 3]
+        assert sess.client.current_thread() in (1, 2, 3)
+
+    def test_parked_thread_registers(self, session):
+        sess, kernel = session
+        current = sess.client.current_thread()
+        parked = next(i for i in (1, 2, 3) if i != current)
+        sess.client.select_thread(parked)
+        regs = sess.client.read_registers()
+        sess.client.select_thread(0)
+        # R5 carries the task id by construction.
+        assert regs[5] == parked - 1
+        # The parked PC is inside the task body.
+        assert kernel.symbol("task_loop") <= regs[8] \
+            <= kernel.symbol("yield_isr")
+        # Each task runs on its own stack.
+        from repro.guest.asmthreads import (TASK_STACK_BASE,
+                                            TASK_STACK_SIZE)
+        low = TASK_STACK_BASE + (parked - 1) * TASK_STACK_SIZE
+        assert low < regs[7] <= low + TASK_STACK_SIZE
+
+    def test_current_thread_registers_are_live(self, session):
+        sess, _ = session
+        current = sess.client.current_thread()
+        sess.client.select_thread(current)
+        via_thread = sess.client.read_registers()
+        sess.client.select_thread(0)
+        direct = sess.client.read_registers()
+        assert via_thread == direct
+
+    def test_extra_info_and_aliveness(self, session):
+        sess, _ = session
+        current = sess.client.current_thread()
+        info = sess.client.thread_extra_info(current)
+        assert "running" in info and "(current)" in info
+        assert sess.client.thread_alive(current)
+        assert not sess.client.thread_alive(42)
+
+    def test_bad_thread_selection_rejected(self, session):
+        sess, _ = session
+        from repro.errors import ProtocolError
+        with pytest.raises(ProtocolError):
+            sess.client.select_thread(9)
+
+    def test_debugger_cli_threads(self, session):
+        sess, kernel = session
+        from repro.debugger import Debugger, SymbolTable
+        symbols = SymbolTable()
+        symbols.add_program(kernel)
+        debugger = Debugger(sess, symbols)
+        text = debugger.execute("threads")
+        assert text.count("task ") == 3
+        assert "*" in text
+        assert "<task_loop" in text
+
+    def test_exited_threads_reported(self):
+        sess = DebugSession(monitor="lvmm")
+        kernel = build_threaded_kernel(THREADS, iterations=2)
+        sess.load_and_boot(kernel)
+        sess.attach()
+        sess.monitor.resume_guest(step=False)
+        sess.monitor.run(300_000)
+        sess.monitor.stopped = True
+        infos = [sess.client.thread_extra_info(i) for i in (1, 2, 3)]
+        assert all("exited" in info or "running" in info
+                   for info in infos)
+
+
+class TestPreemptiveScheduling:
+    def _run(self, monitored: bool, timer_hz=160000, iterations=6,
+             busy_loops=5000):
+        from repro.asm import assemble
+        from repro.guest.asmthreads import threaded_kernel_source
+        kernel = assemble(threaded_kernel_source(
+            THREADS, iterations, preemptive=True, timer_hz=timer_hz,
+            busy_loops=busy_loops))
+        machine = Machine()
+        kernel.load_into(machine.memory)
+        done = lambda: read_task_states(machine.memory, THREADS) \
+            == [STATE_EXITED] * THREADS
+        if monitored:
+            monitor = LightweightVmm(machine)
+            monitor.install()
+            monitor.boot_guest(kernel.origin)
+            monitor.run(3_000_000, until=done)
+            return machine, monitor
+        runner = BareMetalRunner(machine)
+        runner.boot_guest(kernel.origin)
+        machine.run(3_000_000, until=done)
+        return machine, runner
+
+    def test_bare_metal_preemption_completes(self):
+        machine, _ = self._run(monitored=False)
+        assert read_counters(machine.memory, THREADS) == [6] * THREADS
+        assert read_task_states(machine.memory, THREADS) == \
+            [STATE_EXITED] * THREADS
+
+    def test_lvmm_timer_preempts_tasks(self):
+        machine, monitor = self._run(monitored=True)
+        assert read_counters(machine.memory, THREADS) == [6] * THREADS
+        # Real preemptions: many reflected timer interrupts, and the
+        # console shows tasks interleaved rather than run-to-completion.
+        assert monitor.stats.interrupts_reflected > THREADS
+        console = bytes(monitor.console).rstrip(b".")
+        assert b"AB" in console and b"BC" in console
+
+    def test_slow_tick_means_run_to_completion(self):
+        """With a quantum far larger than a task's work, each task
+        finishes in one go — quantum sizing is observable."""
+        machine, monitor = self._run(monitored=True, timer_hz=1000,
+                                     iterations=3)
+        console = bytes(monitor.console).rstrip(b".")
+        assert console == b"AAA" + b"BBB" + b"CCC"
+
+    def test_thread_view_during_preemption(self):
+        """The debugger's task list stays coherent while the timer is
+        switching tasks under it."""
+        from repro.asm import assemble
+        from repro.guest.asmthreads import threaded_kernel_source
+        sess = DebugSession(monitor="lvmm")
+        kernel = assemble(threaded_kernel_source(
+            THREADS, 50, preemptive=True, timer_hz=160000,
+            busy_loops=5000))
+        sess.load_and_boot(kernel)
+        sess.attach()
+        sess.client.set_breakpoint(kernel.symbol("busy_loop"))
+        sess.client.cont()
+        ids = sess.client.thread_ids()
+        assert ids == [1, 2, 3]
+        current = sess.client.current_thread()
+        assert current in ids
+        for thread_id in ids:
+            sess.client.select_thread(thread_id)
+            regs = sess.client.read_registers()
+            assert regs[5] == thread_id - 1
+        sess.client.select_thread(0)

@@ -1,0 +1,95 @@
+"""Integration: the device models carry *real* protocol traffic.
+
+The performance layer uses zero-copy placeholder frames for speed; this
+test closes the loop by pushing genuine UDP/IP/Ethernet frames (built
+by repro.net from disk-read data) through the NIC's descriptor ring and
+validating them — checksums and all — with the host-side receiver.
+"""
+
+import pytest
+
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.nic import (
+    ICR_TXDW,
+    REG_IMS,
+    REG_TCTL,
+    REG_TDBA,
+    REG_TDLEN,
+    REG_TDT,
+    make_tx_descriptor,
+)
+from repro.net import UdpReceiver, UdpStack, parse_ipv4, parse_mac
+
+SRC_MAC = parse_mac("02:00:00:00:00:01")
+DST_MAC = parse_mac("02:00:00:00:00:02")
+SRC_IP = parse_ipv4("10.0.0.1")
+DST_IP = parse_ipv4("10.0.0.2")
+
+RING_BASE = 0x1_0000
+FRAME_BASE = 0x2_0000
+
+
+class TestRealTrafficThroughTheNic:
+    def _machine_with_receiver(self):
+        machine = Machine(MachineConfig())
+        receiver = UdpReceiver(ip=DST_IP)
+        machine.nic.wire = lambda frame: receiver.receive_frame(frame)
+        base = machine.nic_mmio_base
+        machine.bus.mmio_write(base + REG_TDBA, RING_BASE, 4)
+        machine.bus.mmio_write(base + REG_TDLEN, 256, 4)
+        machine.bus.mmio_write(base + REG_IMS, ICR_TXDW, 4)
+        machine.bus.mmio_write(base + REG_TCTL, 0x2, 4)
+        return machine, receiver
+
+    def _send_payload(self, machine, payload: bytes) -> int:
+        """Build real frames and push them through the TX ring."""
+        stack = UdpStack(mac=SRC_MAC, ip=SRC_IP)
+        frames = stack.build_udp_frames(payload, 9000, DST_MAC, DST_IP,
+                                        9001)
+        tail = machine.nic.tdt
+        cursor = FRAME_BASE
+        for frame in frames:
+            machine.memory.write(cursor, frame)
+            machine.memory.write(RING_BASE + tail * 16,
+                                 make_tx_descriptor(cursor, len(frame)))
+            cursor += 2048
+            tail = (tail + 1) % 256
+        machine.bus.mmio_write(machine.nic_mmio_base + REG_TDT, tail, 4)
+        machine.queue.run()
+        return len(frames)
+
+    def test_disk_data_survives_the_whole_path(self):
+        """disk -> (DMA image) -> UDP/IP fragmentation -> NIC ring ->
+        wire -> reassembly -> checksum-verified payload."""
+        machine, receiver = self._machine_with_receiver()
+        payload = machine.disks[0].read_blocks(0, 64)  # 32 KiB
+        frames = self._send_payload(machine, payload)
+        assert frames > 20  # genuinely fragmented
+        assert len(receiver.datagrams) == 1
+        assert receiver.datagrams[0].datagram.payload == payload
+        assert receiver.errors == 0
+
+    def test_many_datagrams_in_order(self):
+        machine, receiver = self._machine_with_receiver()
+        payloads = [machine.disks[0].read_blocks(lba, 4)
+                    for lba in range(0, 40, 4)]
+        for payload in payloads:
+            self._send_payload(machine, payload)
+        assert len(receiver.datagrams) == len(payloads)
+        for received, sent in zip(receiver.datagrams, payloads):
+            assert received.datagram.payload == sent
+
+    def test_corrupted_frame_rejected_by_receiver(self):
+        machine, receiver = self._machine_with_receiver()
+        payload = bytes(1000)
+        stack = UdpStack(mac=SRC_MAC, ip=SRC_IP)
+        frame = bytearray(stack.build_udp_frames(
+            payload, 1, DST_MAC, DST_IP, 2)[0])
+        frame[30] ^= 0xFF  # flip a header byte: checksum now wrong
+        machine.memory.write(FRAME_BASE, bytes(frame))
+        machine.memory.write(RING_BASE,
+                             make_tx_descriptor(FRAME_BASE, len(frame)))
+        machine.bus.mmio_write(machine.nic_mmio_base + REG_TDT, 1, 4)
+        machine.queue.run()
+        assert receiver.errors == 1
+        assert not receiver.datagrams

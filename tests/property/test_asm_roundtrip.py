@@ -1,0 +1,105 @@
+"""Property-based tests: assembler <-> disassembler round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble, disassemble
+from repro.hw import isa
+
+# -- strategies generating random-but-valid instruction text ----------------
+
+_regs = st.integers(min_value=0, max_value=7).map(lambda n: f"R{n}")
+_imm32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+_imm8 = st.integers(min_value=0, max_value=0xFF)
+_disp = st.integers(min_value=-0x8000, max_value=0x8000)
+
+
+def _line_for(spec: isa.InsnSpec):
+    name = spec.mnemonic
+    if spec.fmt == isa.FMT_NONE:
+        return st.just(name)
+    if spec.fmt == isa.FMT_R:
+        return _regs.map(lambda r: f"{name} {r}")
+    if spec.fmt == isa.FMT_RR:
+        return st.tuples(_regs, _regs).map(
+            lambda t: f"{name} {t[0]}, {t[1]}")
+    if spec.fmt == isa.FMT_RI:
+        return st.tuples(_regs, _imm32).map(
+            lambda t: f"{name} {t[0]}, {t[1]:#x}")
+    if spec.fmt == isa.FMT_RRI:
+        def render(t):
+            reg, base, disp = t
+            sign = "+" if disp >= 0 else "-"
+            mem = f"[{base}{sign}{abs(disp):#x}]"
+            if name.startswith("ST"):
+                return f"{name} {mem}, {reg}"
+            return f"{name} {reg}, {mem}"
+        return st.tuples(_regs, _regs, _disp).map(render)
+    if spec.fmt == isa.FMT_I32:
+        return _imm32.map(lambda v: f"{name} {v:#x}")
+    if spec.fmt == isa.FMT_I8:
+        return _imm8.map(lambda v: f"{name} {v:#x}")
+    if spec.fmt == isa.FMT_REL:
+        # Branch to an address within a plausible code window.
+        return st.integers(min_value=0, max_value=0x4000).map(
+            lambda v: f"{name} {v:#x}")
+    if spec.fmt == isa.FMT_CR:
+        crs = st.sampled_from(isa.CR_NAMES)
+        if name == "MOVCR":
+            return st.tuples(crs, _regs).map(
+                lambda t: f"{name} {t[0]}, {t[1]}")
+        return st.tuples(_regs, crs).map(
+            lambda t: f"{name} {t[0]}, {t[1]}")
+    if spec.fmt == isa.FMT_SEG:
+        segs = st.sampled_from(isa.SEG_NAMES)
+        if name == "MOVSEG":
+            return st.tuples(segs, _regs).map(
+                lambda t: f"{name} {t[0]}, {t[1]}")
+        return st.tuples(_regs, segs).map(
+            lambda t: f"{name} {t[0]}, {t[1]}")
+    raise AssertionError(spec.fmt)
+
+
+_any_line = st.sampled_from(sorted(isa.SPECS.values(),
+                                   key=lambda s: s.opcode)).flatmap(_line_for)
+_programs = st.lists(_any_line, min_size=1, max_size=30).map(
+    lambda lines: "\n".join(lines) + "\n")
+
+
+class TestRoundTrip:
+    @given(source=_programs)
+    @settings(max_examples=200, deadline=None)
+    def test_assemble_disassemble_reassemble(self, source):
+        """asm(dis(asm(src))) == asm(src), byte for byte."""
+        first = assemble(source, origin=0x1000)
+        decoded = disassemble(first.image, origin=0x1000)
+        reassembled = assemble(
+            "\n".join(insn.text for insn in decoded) + "\n", origin=0x1000)
+        assert reassembled.image == first.image
+
+    @given(source=_programs)
+    @settings(max_examples=100, deadline=None)
+    def test_decoded_lengths_tile_the_image(self, source):
+        program = assemble(source, origin=0)
+        decoded = disassemble(program.image)
+        assert sum(insn.length for insn in decoded) == len(program.image)
+        cursor = 0
+        for insn in decoded:
+            assert insn.address == cursor
+            cursor += insn.length
+
+    @given(source=_programs)
+    @settings(max_examples=100, deadline=None)
+    def test_origin_only_shifts_relative_targets(self, source):
+        """The image differs between origins only in REL operand bytes
+        (branch targets are encoded relative; everything else is
+        position-independent)."""
+        low = assemble(source, origin=0)
+        high = assemble(source, origin=0x100000)
+        assert len(low.image) == len(high.image)
+        decoded_low = disassemble(low.image, origin=0)
+        decoded_high = disassemble(high.image, origin=0x100000)
+        for a, b in zip(decoded_low, decoded_high):
+            assert a.mnemonic == b.mnemonic
+            if isa.SPECS[a.opcode].fmt != isa.FMT_REL:
+                assert a.raw == b.raw

@@ -1,0 +1,137 @@
+"""Property-based: CPU ALU semantics against a Python oracle.
+
+Each ALU instruction is executed on the interpreter with random
+operands and compared with an independently written Python model of
+32-bit two's-complement arithmetic and flag setting.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.hw import Cpu, IoBus, PhysicalMemory
+from repro.hw import firmware
+from repro.hw.isa import FLAG_CF, FLAG_OF, FLAG_SF, FLAG_ZF
+
+_u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def run_one(source: str) -> Cpu:
+    cpu = Cpu(PhysicalMemory(1 << 20), IoBus())
+    firmware.install_flat_firmware(cpu)
+    program = assemble(source, origin=0x4000)
+    program.load_into(cpu.memory)
+    cpu.pc = 0x4000
+    while not cpu.halted:
+        cpu.step()
+    return cpu
+
+
+def _signed(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class TestAluOracle:
+    @given(a=_u32, b=_u32)
+    @settings(max_examples=150, deadline=None)
+    def test_add(self, a, b):
+        cpu = run_one(f"MOVI R0, {a:#x}\nMOVI R1, {b:#x}\nADD R0, R1\nHLT")
+        expected = (a + b) & 0xFFFFFFFF
+        assert cpu.regs[0] == expected
+        assert bool(cpu.flags & FLAG_CF) == (a + b > 0xFFFFFFFF)
+        assert bool(cpu.flags & FLAG_ZF) == (expected == 0)
+        assert bool(cpu.flags & FLAG_SF) == bool(expected & 0x80000000)
+        signed_sum = _signed(a) + _signed(b)
+        assert bool(cpu.flags & FLAG_OF) == not_in_range(signed_sum)
+
+    @given(a=_u32, b=_u32)
+    @settings(max_examples=150, deadline=None)
+    def test_sub_and_cmp_flags(self, a, b):
+        cpu = run_one(f"MOVI R0, {a:#x}\nMOVI R1, {b:#x}\nSUB R0, R1\nHLT")
+        expected = (a - b) & 0xFFFFFFFF
+        assert cpu.regs[0] == expected
+        assert bool(cpu.flags & FLAG_CF) == (a < b)
+        signed_diff = _signed(a) - _signed(b)
+        assert bool(cpu.flags & FLAG_OF) == not_in_range(signed_diff)
+        # CMP sets identical flags without writing the register.
+        cpu2 = run_one(f"MOVI R0, {a:#x}\nMOVI R1, {b:#x}\nCMP R0, R1\nHLT")
+        assert cpu2.regs[0] == a
+        assert (cpu2.flags & (FLAG_CF | FLAG_ZF | FLAG_SF | FLAG_OF)) == \
+            (cpu.flags & (FLAG_CF | FLAG_ZF | FLAG_SF | FLAG_OF))
+
+    @given(a=_u32, b=_u32)
+    @settings(max_examples=100, deadline=None)
+    def test_logic_ops(self, a, b):
+        for mnemonic, oracle in (("AND", a & b), ("OR", a | b),
+                                 ("XOR", a ^ b)):
+            cpu = run_one(f"MOVI R0, {a:#x}\nMOVI R1, {b:#x}\n"
+                          f"{mnemonic} R0, R1\nHLT")
+            assert cpu.regs[0] == oracle
+            assert not cpu.flags & FLAG_CF
+            assert not cpu.flags & FLAG_OF
+
+    @given(a=_u32, shift=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=100, deadline=None)
+    def test_shifts(self, a, shift):
+        left = run_one(f"MOVI R0, {a:#x}\nSHLI R0, {shift}\nHLT")
+        assert left.regs[0] == (a << shift) & 0xFFFFFFFF
+        right = run_one(f"MOVI R0, {a:#x}\nSHRI R0, {shift}\nHLT")
+        assert right.regs[0] == a >> shift
+
+    @given(a=_u32, b=_u32)
+    @settings(max_examples=100, deadline=None)
+    def test_mul_low_32(self, a, b):
+        cpu = run_one(f"MOVI R0, {a:#x}\nMOVI R1, {b:#x}\nMUL R0, R1\nHLT")
+        assert cpu.regs[0] == (a * b) & 0xFFFFFFFF
+
+    @given(a=_u32, b=st.integers(min_value=1, max_value=0xFFFFFFFF))
+    @settings(max_examples=100, deadline=None)
+    def test_unsigned_div(self, a, b):
+        cpu = run_one(f"MOVI R0, {a:#x}\nMOVI R1, {b:#x}\nDIV R0, R1\nHLT")
+        assert cpu.regs[0] == a // b
+
+    @given(a=_u32)
+    @settings(max_examples=100, deadline=None)
+    def test_not_neg(self, a):
+        cpu = run_one(f"MOVI R0, {a:#x}\nNOT R0\nHLT")
+        assert cpu.regs[0] == a ^ 0xFFFFFFFF
+        cpu = run_one(f"MOVI R0, {a:#x}\nNEG R0\nHLT")
+        assert cpu.regs[0] == (-a) & 0xFFFFFFFF
+
+    @given(a=_u32, b=_u32)
+    @settings(max_examples=100, deadline=None)
+    def test_signed_branch_agrees_with_python(self, a, b):
+        cpu = run_one(f"""
+            MOVI R0, {a:#x}
+            MOVI R1, {b:#x}
+            CMP  R0, R1
+            JL   less
+            MOVI R2, 0
+            HLT
+        less:
+            MOVI R2, 1
+            HLT
+        """)
+        assert cpu.regs[2] == (1 if _signed(a) < _signed(b) else 0)
+
+    @given(a=_u32, b=_u32)
+    @settings(max_examples=100, deadline=None)
+    def test_unsigned_branch_agrees_with_python(self, a, b):
+        cpu = run_one(f"""
+            MOVI R0, {a:#x}
+            MOVI R1, {b:#x}
+            CMP  R0, R1
+            JC   below
+            MOVI R2, 0
+            HLT
+        below:
+            MOVI R2, 1
+            HLT
+        """)
+        assert cpu.regs[2] == (1 if a < b else 0)
+
+
+def not_in_range(signed_value: int) -> bool:
+    """True when a signed result overflows 32 bits."""
+    return not (-(1 << 31) <= signed_value <= (1 << 31) - 1)

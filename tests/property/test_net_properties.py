@@ -1,0 +1,148 @@
+"""Property-based tests for the protocol stack."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    EthernetFrame,
+    ETHERTYPE_IPV4,
+    Ipv4Packet,
+    Reassembler,
+    UdpDatagram,
+    UdpReceiver,
+    UdpStack,
+    fragment,
+    internet_checksum,
+    verify_checksum,
+)
+from repro.net.checksum import ones_complement_sum
+
+_payloads = st.binary(min_size=0, max_size=4096)
+_ips = st.binary(min_size=4, max_size=4)
+_macs = st.binary(min_size=6, max_size=6)
+_ports = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestChecksumProperties:
+    @given(data=st.binary(min_size=0, max_size=256))
+    def test_inserting_checksum_verifies(self, data):
+        """Appending the computed checksum makes verification pass —
+        the defining property of the internet checksum."""
+        checksum = internet_checksum(data)
+        # Works wherever the 16-bit field is placed on a 16-bit boundary.
+        padded = data if len(data) % 2 == 0 else data + b"\x00"
+        assert verify_checksum(padded + checksum.to_bytes(2, "big"))
+
+    @given(data=st.binary(min_size=2, max_size=256).filter(
+        lambda d: len(d) % 2 == 0))
+    def test_word_order_independent(self, data):
+        words = [data[i:i + 2] for i in range(0, len(data), 2)]
+        shuffled = b"".join(reversed(words))
+        assert ones_complement_sum(data) == ones_complement_sum(shuffled)
+
+    @given(data=st.binary(min_size=0, max_size=128))
+    def test_checksum_bounded(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestIpv4Properties:
+    @given(payload=_payloads, src=_ips, dst=_ips,
+           ident=st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=150, deadline=None)
+    def test_pack_unpack_identity(self, payload, src, dst, ident):
+        packet = Ipv4Packet(src, dst, 17, payload, identification=ident)
+        parsed = Ipv4Packet.unpack(packet.pack())
+        assert parsed.payload == payload
+        assert parsed.src == src and parsed.dst == dst
+        assert parsed.identification == ident
+
+    @given(payload=st.binary(min_size=1, max_size=20000),
+           mtu=st.integers(min_value=68, max_value=1500))
+    @settings(max_examples=100, deadline=None)
+    def test_fragment_reassemble_round_trip(self, payload, mtu):
+        packet = Ipv4Packet(b"\x0a\0\0\x01", b"\x0a\0\0\x02", 17, payload,
+                            identification=7)
+        pieces = fragment(packet, mtu)
+        assert all(20 + len(p.payload) <= mtu for p in pieces)
+        reassembler = Reassembler()
+        whole = None
+        for piece in pieces:
+            whole = reassembler.push(Ipv4Packet.unpack(piece.pack()))
+        assert whole is not None
+        assert whole.payload == payload
+
+    @given(payload=st.binary(min_size=1, max_size=20000),
+           mtu=st.integers(min_value=68, max_value=1500),
+           order=st.randoms())
+    @settings(max_examples=75, deadline=None)
+    def test_reassembly_order_independent(self, payload, mtu, order):
+        packet = Ipv4Packet(b"\x0a\0\0\x01", b"\x0a\0\0\x02", 17, payload)
+        pieces = list(fragment(packet, mtu))
+        order.shuffle(pieces)
+        reassembler = Reassembler()
+        whole = None
+        for piece in pieces:
+            result = reassembler.push(piece)
+            whole = result or whole
+        assert whole is not None and whole.payload == payload
+
+
+class TestUdpProperties:
+    @given(payload=_payloads, src_port=_ports, dst_port=_ports,
+           src=_ips, dst=_ips)
+    @settings(max_examples=150, deadline=None)
+    def test_pack_unpack_identity_with_checksum(self, payload, src_port,
+                                                dst_port, src, dst):
+        datagram = UdpDatagram(src_port, dst_port, payload)
+        parsed = UdpDatagram.unpack(datagram.pack(src, dst), src, dst)
+        assert parsed == datagram
+
+    @given(payload=st.binary(min_size=1, max_size=512), src=_ips,
+           dst=_ips,
+           flip=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=100, deadline=None)
+    def test_single_bit_corruption_detected(self, payload, src, dst,
+                                            flip):
+        from repro.errors import ProtocolError
+        raw = bytearray(UdpDatagram(1, 2, payload).pack(src, dst))
+        byte_index = 8 + (flip % len(payload))
+        raw[byte_index] ^= 1 << (flip % 8)
+        assume(bytes(raw) != UdpDatagram(1, 2, payload).pack(src, dst))
+        try:
+            UdpDatagram.unpack(bytes(raw), src, dst)
+            detected = False
+        except ProtocolError:
+            detected = True
+        assert detected
+
+
+class TestStackEndToEnd:
+    @given(payload=st.binary(min_size=1, max_size=64 * 1024 - 100),
+           src_port=_ports, dst_port=_ports)
+    @settings(max_examples=40, deadline=None)
+    def test_any_payload_survives_the_wire(self, payload, src_port,
+                                           dst_port):
+        src_mac, dst_mac = b"\x02" + b"\0" * 5, b"\x04" + b"\0" * 5
+        src_ip, dst_ip = b"\x0a\0\0\x01", b"\x0a\0\0\x02"
+        stack = UdpStack(mac=src_mac, ip=src_ip)
+        receiver = UdpReceiver(ip=dst_ip)
+        frames = stack.build_udp_frames(payload, src_port, dst_mac,
+                                        dst_ip, dst_port)
+        assert len(frames) == stack.frames_for_payload(len(payload))
+        for frame in frames:
+            receiver.receive_frame(frame)
+        assert len(receiver.datagrams) == 1
+        got = receiver.datagrams[0].datagram
+        assert got.payload == payload
+        assert got.src_port == src_port and got.dst_port == dst_port
+
+
+class TestEthernetProperties:
+    @given(payload=st.binary(min_size=0, max_size=1500), src=_macs,
+           dst=_macs)
+    def test_pack_unpack_preserves_payload_prefix(self, payload, src,
+                                                  dst):
+        frame = EthernetFrame(dst, src, ETHERTYPE_IPV4, payload)
+        parsed = EthernetFrame.unpack(frame.pack())
+        assert parsed.payload[:len(payload)] == payload
+        assert len(parsed.payload) >= 46  # minimum enforced by padding

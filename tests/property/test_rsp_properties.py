@@ -1,0 +1,127 @@
+"""Property-based tests for RSP framing and hardware invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.pic import PicPair, standard_setup
+from repro.rsp.packets import (
+    PacketDecoder,
+    checksum,
+    escape,
+    frame,
+    unescape_and_expand,
+)
+
+
+class TestRspFraming:
+    @given(payload=st.binary(min_size=0, max_size=512))
+    @settings(max_examples=200)
+    def test_escape_unescape_identity(self, payload):
+        assert unescape_and_expand(escape(payload)) == payload
+
+    @given(payload=st.binary(min_size=0, max_size=512))
+    @settings(max_examples=200)
+    def test_frame_decode_identity(self, payload):
+        decoder = PacketDecoder()
+        replies = decoder.feed(frame(payload))
+        assert replies == b"+"
+        assert decoder.next_packet() == payload
+
+    @given(payloads=st.lists(st.binary(min_size=0, max_size=64),
+                             min_size=1, max_size=10))
+    @settings(max_examples=100)
+    def test_stream_of_packets_all_decoded_in_order(self, payloads):
+        decoder = PacketDecoder()
+        wire = b"".join(frame(p) for p in payloads)
+        decoder.feed(wire)
+        for expected in payloads:
+            assert decoder.next_packet() == expected
+        assert decoder.next_packet() is None
+
+    @given(payload=st.binary(min_size=0, max_size=128),
+           chunks=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100)
+    def test_arbitrary_fragmentation_is_transparent(self, payload,
+                                                    chunks):
+        """Feeding the wire bytes in any chunking decodes identically."""
+        wire = frame(payload)
+        decoder = PacketDecoder()
+        step = max(1, len(wire) // chunks)
+        for start in range(0, len(wire), step):
+            decoder.feed(wire[start:start + step])
+        assert decoder.next_packet() == payload
+
+    @given(noise=st.binary(min_size=0, max_size=64),
+           payload=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=100)
+    def test_line_noise_before_packet_ignored(self, noise, payload):
+        # Noise must not contain packet-control bytes.
+        cleaned = bytes(b for b in noise
+                        if b not in (0x24, 0x03, 0x2B, 0x2D))
+        decoder = PacketDecoder()
+        decoder.feed(cleaned + frame(payload))
+        assert decoder.next_packet() == payload
+
+    @given(payload=st.binary(min_size=0, max_size=64))
+    def test_checksum_is_mod_256(self, payload):
+        assert 0 <= checksum(payload) <= 0xFF
+        assert checksum(payload) == sum(payload) % 256
+
+
+class TestPicInvariants:
+    @given(operations=st.lists(
+        st.one_of(
+            st.tuples(st.just("raise"),
+                      st.integers(min_value=0, max_value=15)),
+            st.tuples(st.just("ack"), st.just(0)),
+            st.tuples(st.just("eoi"), st.just(0)),
+            st.tuples(st.just("mask"),
+                      st.integers(min_value=0, max_value=255)),
+        ), min_size=1, max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_acknowledge_always_returns_highest_unmasked(self, operations):
+        """Whatever the op sequence, an INTA always hands out the
+        highest-priority pending unmasked IRQ, and IRR/ISR stay
+        consistent bitmasks."""
+        pic = PicPair()
+        standard_setup(pic)
+        for op, arg in operations:
+            if op == "raise":
+                pic.raise_irq(arg)
+            elif op == "mask":
+                pic.master_port().port_write(1, arg, 1)
+            elif op == "eoi":
+                pic.master_port().port_write(0, 0x20, 1)
+                pic.slave_port().port_write(0, 0x20, 1)
+            elif op == "ack":
+                if pic.has_pending():
+                    vector = pic.acknowledge()
+                    assert 32 <= vector < 48
+            # Invariants after every step:
+            assert 0 <= pic.master.irr <= 0xFF
+            assert 0 <= pic.master.isr <= 0xFF
+            expected = pic.pending_vector()
+            if expected is not None:
+                line = (expected - 32 if expected < 40
+                        else expected - 40 + 8)
+                master_line = line if line < 8 else 2
+                # The line must be requested and unmasked on the master.
+                assert pic.master.irr & (1 << master_line)
+                assert not pic.master.imr & (1 << master_line)
+
+    @given(lines=st.lists(
+        st.sampled_from([0, 1, 3, 4, 5, 6, 7]),  # IRQ2 is the cascade
+        min_size=1, max_size=7, unique=True))
+    @settings(max_examples=100)
+    def test_drain_order_is_priority_order(self, lines):
+        """Raising any set of master IRQs and draining with EOIs always
+        yields ascending line numbers (fixed priority)."""
+        pic = PicPair()
+        standard_setup(pic)
+        for line in lines:
+            pic.raise_irq(line)
+        drained = []
+        while pic.has_pending():
+            drained.append(pic.acknowledge() - 32)
+            pic.master_port().port_write(0, 0x20, 1)
+        assert drained == sorted(lines)

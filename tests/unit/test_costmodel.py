@@ -1,0 +1,60 @@
+"""Unit tests for the performance cost model."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        CostModel().validate()
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(CalibrationError):
+            CostModel(guest_byte_cycles=-1).validate()
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(CalibrationError):
+            CostModel(cpu_hz=0).validate()
+
+    def test_coalesce_below_one_rejected(self):
+        with pytest.raises(CalibrationError):
+            CostModel(nic_coalesce=0).validate()
+
+    def test_world_switch_cheaper_than_host_switch(self):
+        with pytest.raises(CalibrationError):
+            CostModel(world_switch_cycles=100_000,
+                      host_switch_cycles=50_000).validate()
+
+    def test_with_overrides_returns_new_validated_model(self):
+        model = DEFAULT_COST_MODEL.with_overrides(world_switch_cycles=9000)
+        assert model.world_switch_cycles == 9000
+        assert DEFAULT_COST_MODEL.world_switch_cycles != 9000
+        with pytest.raises(CalibrationError):
+            DEFAULT_COST_MODEL.with_overrides(pic_emulation_cycles=-5)
+
+
+class TestDerivedCosts:
+    def test_lvmm_trap_cost(self):
+        model = DEFAULT_COST_MODEL
+        assert model.lvmm_trap_cost() == model.world_switch_cycles
+        assert model.lvmm_trap_cost(500) == model.world_switch_cycles + 500
+
+    def test_interrupt_cost_ordering(self):
+        """The architectural hierarchy must hold: hardware delivery <
+        lightweight reflection < hosted double hop."""
+        model = DEFAULT_COST_MODEL
+        assert model.interrupt_deliver_cycles \
+            < model.lvmm_interrupt_cost() \
+            < model.fullvmm_interrupt_cost()
+
+    def test_io_cost_ordering(self):
+        model = DEFAULT_COST_MODEL
+        assert model.device_access_cycles \
+            < model.world_switch_cycles \
+            < model.fullvmm_io_cost()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COST_MODEL.cpu_hz = 1.0

@@ -1,0 +1,617 @@
+"""Unit tests for the HX32 CPU interpreter: ALU semantics, control flow,
+privilege checks, interrupt delivery and ring transitions."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import TripleFault
+from repro.hw import Cpu, CpuFault, IoBus, PhysicalMemory
+from repro.hw import firmware
+from repro.hw.cpu import GATE_TYPE_TRAP
+from repro.hw.isa import (
+    FLAG_CF,
+    FLAG_IF,
+    FLAG_OF,
+    FLAG_SF,
+    FLAG_TF,
+    FLAG_ZF,
+    IOPL_SHIFT,
+    VEC_BP,
+    VEC_DB,
+    VEC_DE,
+    VEC_GP,
+    VEC_PF,
+    VEC_UD,
+)
+from repro.hw.paging import PAGE_SIZE, PageTableBuilder
+from repro.hw.seg import SegmentDescriptor
+
+
+def make_cpu(memory_size=1 << 20):
+    memory = PhysicalMemory(memory_size)
+    cpu = Cpu(memory, IoBus())
+    return cpu
+
+
+def run_asm(source, origin=0x4000, steps=500, cpu=None, setup=None):
+    """Assemble, load at origin, run until HLT or fault; return the CPU."""
+    if cpu is None:
+        cpu = make_cpu()
+        firmware.install_flat_firmware(cpu)
+    program = assemble(source, origin=origin)
+    program.load_into(cpu.memory)
+    cpu.pc = origin
+    if setup:
+        setup(cpu, program)
+    for _ in range(steps):
+        if cpu.halted:
+            break
+        cpu.step()
+    return cpu
+
+
+class TestAlu:
+    def test_add_sets_carry_and_zero(self):
+        cpu = run_asm("""
+            MOVI R0, 0xFFFFFFFF
+            MOVI R1, 1
+            ADD  R0, R1
+            HLT
+        """)
+        assert cpu.regs[0] == 0
+        assert cpu.flags & FLAG_CF
+        assert cpu.flags & FLAG_ZF
+
+    def test_signed_overflow_flag(self):
+        cpu = run_asm("""
+            MOVI R0, 0x7FFFFFFF
+            ADDI R0, 1
+            HLT
+        """)
+        assert cpu.regs[0] == 0x80000000
+        assert cpu.flags & FLAG_OF
+        assert cpu.flags & FLAG_SF
+
+    def test_sub_borrow(self):
+        cpu = run_asm("""
+            MOVI R0, 3
+            SUBI R0, 5
+            HLT
+        """)
+        assert cpu.regs[0] == 0xFFFFFFFE
+        assert cpu.flags & FLAG_CF
+        assert cpu.flags & FLAG_SF
+
+    def test_logic_clears_carry(self):
+        cpu = run_asm("""
+            MOVI R0, 0xFFFFFFFF
+            MOVI R1, 1
+            ADD  R0, R1
+            MOVI R0, 0xF0F0
+            ANDI R0, 0x0FF0
+            HLT
+        """)
+        assert cpu.regs[0] == 0x00F0
+        assert not cpu.flags & FLAG_CF
+
+    def test_mul_div(self):
+        cpu = run_asm("""
+            MOVI R0, 7
+            MULI R0, 6
+            MOVI R1, 4
+            DIV  R0, R1
+            HLT
+        """)
+        assert cpu.regs[0] == 10
+
+    def test_shifts(self):
+        cpu = run_asm("""
+            MOVI R0, 1
+            SHLI R0, 8
+            MOVI R1, 0x100
+            SHRI R1, 4
+            HLT
+        """)
+        assert cpu.regs[0] == 0x100
+        assert cpu.regs[1] == 0x10
+
+    def test_not_neg(self):
+        cpu = run_asm("""
+            MOVI R0, 0
+            NOT  R0
+            MOVI R1, 5
+            NEG  R1
+            HLT
+        """)
+        assert cpu.regs[0] == 0xFFFFFFFF
+        assert cpu.regs[1] == 0xFFFFFFFB
+
+    def test_divide_by_zero_faults(self):
+        cpu = make_cpu()
+        firmware.install_flat_firmware(cpu)
+        seen = []
+        cpu.exception_hook = lambda c, vec, err: seen.append(vec) or True
+        program = assemble("MOVI R0, 1\nMOVI R1, 0\nDIV R0, R1\nHLT\n",
+                           origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        cpu.step()
+        cpu.step()
+        cpu.step()
+        assert seen == [VEC_DE]
+
+
+class TestControlFlow:
+    def test_conditional_branches(self):
+        cpu = run_asm("""
+            MOVI R2, 0
+            MOVI R0, 5
+            CMPI R0, 5
+            JNZ  bad
+            ADDI R2, 1
+            CMPI R0, 9
+            JGE  bad
+            ADDI R2, 2
+            CMPI R0, 1
+            JLE  bad
+            ADDI R2, 4
+            HLT
+        bad:
+            MOVI R2, 0xBAD
+            HLT
+        """)
+        assert cpu.regs[2] == 7
+
+    def test_loop_counts(self):
+        cpu = run_asm("""
+            MOVI R0, 0
+            MOVI R1, 10
+        loop:
+            ADDI R0, 3
+            SUBI R1, 1
+            JNZ  loop
+            HLT
+        """)
+        assert cpu.regs[0] == 30
+
+    def test_call_ret(self):
+        cpu = run_asm("""
+            MOVI R0, 1
+            CALL fn
+            ADDI R0, 100
+            HLT
+        fn:
+            ADDI R0, 10
+            RET
+        """)
+        assert cpu.regs[0] == 111
+
+    def test_indirect_jump_and_call(self):
+        cpu = run_asm("""
+            MOVI R1, fn
+            CALLR R1
+            MOVI R2, done
+            JMPR R2
+            MOVI R0, 0xBAD
+        done:
+            HLT
+        fn:
+            MOVI R0, 0x77
+            RET
+        """)
+        assert cpu.regs[0] == 0x77
+
+    def test_push_pop(self):
+        cpu = run_asm("""
+            MOVI R0, 0x1234
+            PUSH R0
+            PUSHI 0x5678
+            POP R1
+            POP R2
+            HLT
+        """)
+        assert cpu.regs[1] == 0x5678
+        assert cpu.regs[2] == 0x1234
+
+    def test_signed_compare_branches(self):
+        cpu = run_asm("""
+            MOVI R0, 0xFFFFFFFF   ; -1
+            CMPI R0, 1
+            JL   neg
+            MOVI R3, 0
+            HLT
+        neg:
+            MOVI R3, 1
+            HLT
+        """)
+        assert cpu.regs[3] == 1
+
+
+class TestMemoryAccess:
+    def test_byte_and_halfword(self):
+        cpu = run_asm("""
+            MOVI R1, 0x9000
+            MOVI R0, 0xA1B2C3D4
+            ST   [R1+0], R0
+            LD8  R2, [R1+0]
+            LD16 R3, [R1+2]
+            HLT
+        """)
+        assert cpu.regs[2] == 0xD4
+        assert cpu.regs[3] == 0xA1B2
+
+    def test_lea(self):
+        cpu = run_asm("""
+            MOVI R1, 0x100
+            LEA  R0, [R1+0x20]
+            HLT
+        """)
+        assert cpu.regs[0] == 0x120
+
+    def test_segment_limit_violation_faults(self):
+        cpu = make_cpu()
+        firmware.install_flat_firmware(cpu)
+        # Shrink DS so the store lands outside.
+        small = SegmentDescriptor(0, 0x1000, 0)
+        cpu.force_segment(1, cpu.segments[1].selector, small)
+        seen = []
+        cpu.exception_hook = lambda c, vec, err: seen.append(vec) or True
+        program = assemble("MOVI R1, 0x2000\nST [R1+0], R0\nHLT\n",
+                           origin=0x500)
+        # Code must stay within CS, which is still flat.
+        program.load_into(cpu.memory)
+        cpu.pc = 0x500
+        cpu.step()
+        cpu.step()
+        assert seen == [VEC_GP]
+
+
+class TestPrivilege:
+    def _ring3_cpu(self):
+        """A CPU mid-flight at ring 3 with firmware tables installed."""
+        cpu = make_cpu()
+        selectors = firmware.install_flat_firmware(cpu)
+        code3 = SegmentDescriptor(0, cpu.memory.size, 3, code=True)
+        data3 = SegmentDescriptor(0, cpu.memory.size, 3)
+        cpu.force_segment(0, selectors.code3, code3)
+        cpu.force_segment(1, selectors.data3, data3)
+        cpu.force_segment(2, selectors.data3, data3)
+        cpu.sp = firmware.RING3_STACK_TOP
+        return cpu
+
+    @pytest.mark.parametrize("insn", ["CLI", "STI", "HLT"])
+    def test_iopl_instructions_fault_at_ring3(self, insn):
+        cpu = self._ring3_cpu()
+        seen = []
+        cpu.exception_hook = lambda c, vec, err: seen.append(vec) or True
+        program = assemble(f"{insn}\nHLT\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        cpu.step()
+        assert seen == [VEC_GP]
+
+    @pytest.mark.parametrize(
+        "source",
+        ["MOVCR CR3, R0", "MOVRC R0, CR0", "LGDT R0", "LIDT R0", "LTSS R0"])
+    def test_ring0_instructions_fault_at_ring3(self, source):
+        cpu = self._ring3_cpu()
+        seen = []
+        cpu.exception_hook = lambda c, vec, err: seen.append(vec) or True
+        program = assemble(f"{source}\nHLT\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        cpu.step()
+        assert seen == [VEC_GP]
+
+    def test_iopl_raised_allows_cli_at_ring3(self):
+        cpu = self._ring3_cpu()
+        cpu.flags |= 0b11 << IOPL_SHIFT  # IOPL = 3
+        cpu.flags |= FLAG_IF
+        program = assemble("CLI\nHLT\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        cpu.step()
+        assert not cpu.flags & FLAG_IF
+
+    def test_ring0_can_use_everything(self):
+        cpu = run_asm("""
+            MOVI R0, 0
+            MOVCR CR3, R0
+            MOVRC R1, CR3
+            CLI
+            STI
+            HLT
+        """)
+        assert cpu.halted
+
+    def test_invalid_opcode_faults(self):
+        cpu = make_cpu()
+        firmware.install_flat_firmware(cpu)
+        seen = []
+        cpu.exception_hook = lambda c, vec, err: seen.append(vec) or True
+        cpu.memory.write(0x4000, b"\xEE")
+        cpu.pc = 0x4000
+        cpu.step()
+        assert seen == [VEC_UD]
+
+
+class TestInterruptDelivery:
+    def _cpu_with_handler(self, vector, handler_source, dpl=0,
+                          gate_type=None):
+        cpu = make_cpu()
+        selectors = firmware.install_flat_firmware(cpu)
+        handler = assemble(handler_source, origin=0x6000)
+        handler.load_into(cpu.memory)
+        kwargs = {}
+        if gate_type is not None:
+            kwargs["gate_type"] = gate_type
+        firmware.write_idt_gate(cpu.memory, vector, 0x6000,
+                                selectors.code0, dpl=dpl, **kwargs)
+        return cpu, selectors
+
+    def test_software_interrupt_and_iret(self):
+        cpu, _ = self._cpu_with_handler(0x21, """
+            MOVI R5, 0xCAFE
+            IRET
+        """)
+        program = assemble("INT 0x21\nMOVI R6, 1\nHLT\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        for _ in range(10):
+            if cpu.halted:
+                break
+            cpu.step()
+        assert cpu.regs[5] == 0xCAFE
+        assert cpu.regs[6] == 1
+
+    def test_interrupt_gate_clears_if_trap_gate_does_not(self):
+        cpu, _ = self._cpu_with_handler(0x21, "HLT\n")
+        cpu.flags |= FLAG_IF
+        cpu.deliver(0x21, software=True)
+        assert not cpu.flags & FLAG_IF
+
+        cpu2, _ = self._cpu_with_handler(0x22, "HLT\n",
+                                         gate_type=GATE_TYPE_TRAP)
+        cpu2.flags |= FLAG_IF
+        cpu2.deliver(0x22, software=True)
+        assert cpu2.flags & FLAG_IF
+
+    def test_gate_dpl_blocks_ring3_int(self):
+        cpu, selectors = self._cpu_with_handler(0x30, "IRET\n", dpl=0)
+        code3 = SegmentDescriptor(0, cpu.memory.size, 3, code=True)
+        data3 = SegmentDescriptor(0, cpu.memory.size, 3)
+        cpu.force_segment(0, selectors.code3, code3)
+        cpu.force_segment(1, selectors.data3, data3)
+        cpu.force_segment(2, selectors.data3, data3)
+        cpu.sp = firmware.RING3_STACK_TOP
+        seen = []
+        cpu.exception_hook = lambda c, vec, err: seen.append(vec) or True
+        program = assemble("INT 0x30\nHLT\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        cpu.step()
+        assert seen == [VEC_GP]
+
+    def test_ring3_to_ring0_switches_stack_and_back(self):
+        cpu, selectors = self._cpu_with_handler(0x40, """
+            MOVSGR R4, SS      ; observe ring-0 SS
+            IRET
+        """, dpl=3)
+        code3 = SegmentDescriptor(0, cpu.memory.size, 3, code=True)
+        data3 = SegmentDescriptor(0, cpu.memory.size, 3)
+        cpu.force_segment(0, selectors.code3, code3)
+        cpu.force_segment(1, selectors.data3, data3)
+        cpu.force_segment(2, selectors.data3, data3)
+        cpu.sp = firmware.RING3_STACK_TOP
+        program = assemble("INT 0x40\nMOVI R6, 1\nHLT\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        for _ in range(10):
+            if cpu.regs[6] == 1:
+                break
+            cpu.step()
+        assert cpu.regs[4] == selectors.data0      # was on ring-0 stack
+        assert cpu.cpl == 3                        # back at ring 3
+        assert cpu.sp == firmware.RING3_STACK_TOP  # stack restored
+
+    def test_error_code_pushed_for_gp(self):
+        cpu, _ = self._cpu_with_handler(VEC_GP, """
+            POP R3          ; error code
+            HLT
+        """)
+        # Trigger #GP from ring 0 via a bad segment load.
+        program = assemble("MOVI R0, 0x7F\nMOVSEG DS, R0\nHLT\n",
+                           origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        for _ in range(10):
+            if cpu.halted:
+                break
+            cpu.step()
+        assert cpu.regs[3] == 0x7F  # the offending selector
+
+    def test_breakpoint_instruction_traps(self):
+        cpu, _ = self._cpu_with_handler(VEC_BP, "MOVI R5, 1\nHLT\n")
+        program = assemble("BKPT\nNOP\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        cpu.step()
+        cpu.step()
+        assert cpu.regs[5] == 1
+
+    def test_single_step_traps_after_each_instruction(self):
+        cpu = make_cpu()
+        firmware.install_flat_firmware(cpu)
+        hits = []
+        cpu.exception_hook = (
+            lambda c, vec, err: hits.append((vec, c.pc)) or True)
+        program = assemble("MOVI R0, 1\nMOVI R1, 2\nHLT\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        cpu.flags |= FLAG_TF
+        cpu.step()
+        assert hits == [(VEC_DB, 0x4006)]
+
+    def test_code_breakpoint_fires_before_execution(self):
+        cpu = make_cpu()
+        firmware.install_flat_firmware(cpu)
+        hits = []
+        cpu.exception_hook = lambda c, vec, err: hits.append(vec) or True
+        program = assemble("MOVI R0, 1\nMOVI R1, 2\nHLT\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        cpu.code_breakpoints.add(0x4006)
+        cpu.step()          # MOVI R0 executes
+        cpu.step()          # breakpoint fires, MOVI R1 does NOT execute
+        assert hits == [VEC_DB]
+        assert cpu.regs[1] == 0
+        assert cpu.pc == 0x4006
+
+    def test_watchpoint_on_write(self):
+        cpu = make_cpu()
+        firmware.install_flat_firmware(cpu)
+        hits = []
+        cpu.exception_hook = lambda c, vec, err: hits.append(vec) or True
+        cpu.watchpoints.append((0x9000, 4, True))
+        program = assemble(
+            "MOVI R1, 0x9000\nLD R2, [R1+0]\nST [R1+0], R0\nHLT\n",
+            origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        cpu.step()
+        cpu.step()   # read does not trigger a write watchpoint
+        assert hits == []
+        cpu.step()   # write triggers
+        assert hits == [VEC_DB]
+
+    def test_triple_fault_raises(self):
+        cpu = make_cpu()
+        firmware.install_flat_firmware(cpu)
+        # Empty the IDT so #GP delivery faults, then #DF delivery faults.
+        cpu.idtr_limit = 0
+        program = assemble("INT 0x21\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        with pytest.raises(TripleFault):
+            cpu.step()
+
+    def test_page_fault_sets_cr2(self):
+        cpu = make_cpu()
+        selectors = firmware.install_flat_firmware(cpu)
+        builder = PageTableBuilder(cpu.memory, alloc_base=0x40000)
+        builder.identity_map(0, 0x10000)     # tables, stacks, code low
+        cpu.mmu.set_cr3(builder.directory)
+        cpu.crs[0] |= 1 << 31                # enable paging
+        seen = []
+        cpu.exception_hook = (
+            lambda c, vec, err: seen.append((vec, c.crs[2])) or True)
+        # 0x80000 is inside the flat segment but has no page mapping.
+        program = assemble("MOVI R1, 0x80000\nLD R0, [R1+4]\nHLT\n",
+                           origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        cpu.step()
+        cpu.step()
+        assert seen == [(VEC_PF, 0x80004)]
+        assert selectors is not None
+
+    def test_hlt_wakes_on_interrupt(self):
+        cpu, _ = self._cpu_with_handler(0x20 + 0, "MOVI R5, 7\nHLT\n")
+
+        class OneShot:
+            def __init__(self):
+                self.fired = False
+
+            def has_pending(self):
+                return not self.fired
+
+            def acknowledge(self):
+                self.fired = True
+                return 0x20
+
+        cpu.irq_source = OneShot()
+        cpu.flags |= FLAG_IF
+        program = assemble("HLT\nNOP\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        for _ in range(10):
+            cpu.step()
+            if cpu.regs[5] == 7:
+                break
+        assert cpu.regs[5] == 7
+
+    def test_sti_interrupt_shadow(self):
+        """The instruction right after STI runs before interrupts hit."""
+        cpu, _ = self._cpu_with_handler(0x20, "HLT\n")
+
+        class Always:
+            def has_pending(self):
+                return True
+
+            def acknowledge(self):
+                return 0x20
+
+        cpu.irq_source = Always()
+        program = assemble("CLI\nSTI\nMOVI R3, 9\nNOP\n", origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        cpu.step()  # CLI
+        cpu.step()  # STI
+        cpu.step()  # shadow: MOVI executes, not the interrupt
+        assert cpu.regs[3] == 9
+
+
+class TestIretAtomicity:
+    def test_faulting_iret_leaves_sp_and_frame_intact(self):
+        """IRET validates the whole frame before committing: a #GP'd
+        IRET must leave SP pointing at the frame so a monitor can
+        emulate the return (regression test for the ring-compression
+        IRET-emulation path)."""
+        cpu = make_cpu()
+        firmware.install_flat_firmware(cpu)
+        seen = []
+        cpu.exception_hook = lambda c, vec, err: seen.append(
+            (vec, err)) or True
+        # Build a frame whose CS selector has RPL 0 but CPL will be 1.
+        from repro.hw.seg import SegmentDescriptor
+        code1 = SegmentDescriptor(0, cpu.memory.size, 1, code=True)
+        data1 = SegmentDescriptor(0, cpu.memory.size, 1)
+        from repro.hw.seg import selector
+        cpu.force_segment(0, selector(3, 1), code1)
+        cpu.force_segment(1, selector(4, 1), data1)
+        cpu.force_segment(2, selector(4, 1), data1)
+        cpu.sp = 0xB000
+        cpu.push32(0x202)      # FLAGS
+        cpu.push32(selector(1, 0))  # CS with RPL 0: refused from ring 1
+        cpu.push32(0x4000)     # PC
+        sp_before = cpu.sp
+        program = assemble("IRET\n", origin=0x4100)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4100
+        cpu.step()
+        assert seen and seen[0][0] == VEC_GP
+        assert cpu.sp == sp_before            # nothing consumed
+        assert cpu.pc == 0x4100               # fault restarts IRET
+        # The frame is still readable exactly as built.
+        assert int.from_bytes(
+            cpu.read_virtual(2, cpu.sp, 4), "little") == 0x4000
+
+    def test_outward_iret_with_bad_ss_commits_nothing(self):
+        cpu = make_cpu()
+        selectors = firmware.install_flat_firmware(cpu)
+        # Ring 0, frame returning to ring 3 but with a garbage SS.
+        cpu.push32(0)                     # SS: null selector
+        cpu.push32(0xF000)                # SP
+        cpu.push32(0x202)                 # FLAGS
+        cpu.push32(selectors.code3)       # CS ring 3
+        cpu.push32(0x5000)                # PC
+        sp_before = cpu.sp
+        seen = []
+        cpu.exception_hook = lambda c, vec, err: seen.append(vec) or True
+        program = assemble("IRET\n", origin=0x4100)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4100
+        cpu.step()
+        assert seen == [VEC_GP]
+        assert cpu.cpl == 0                # still ring 0
+        assert cpu.sp == sp_before         # frame untouched

@@ -1,0 +1,143 @@
+"""Unit tests for the command-line debugger and symbol tables."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import DebugSession
+from repro.debugger import Debugger, SymbolTable
+from repro.guest import KernelConfig, build_kernel
+
+
+class TestSymbolTable:
+    def _table(self):
+        table = SymbolTable()
+        table.add("start", 0x1000)
+        table.add("loop", 0x1020)
+        table.add("data", 0x2000)
+        return table
+
+    def test_resolve_names_and_literals(self):
+        table = self._table()
+        assert table.resolve("loop") == 0x1020
+        assert table.resolve("0x30") == 0x30
+        assert table.resolve("48") == 48
+        assert table.resolve("nonsense") is None
+
+    def test_nearest(self):
+        table = self._table()
+        assert table.nearest(0x1000) == ("start", 0)
+        assert table.nearest(0x1025) == ("loop", 5)
+        assert table.nearest(0x0500) is None
+
+    def test_format_address(self):
+        table = self._table()
+        assert table.format_address(0x1020) == "0x00001020 <loop>"
+        assert "loop+0x4" in table.format_address(0x1024)
+        assert table.format_address(0x10) == "0x00000010"
+
+    def test_add_program_merges(self):
+        table = SymbolTable()
+        program = assemble("a:\nNOP\nb:\nNOP\n", origin=0x400)
+        table.add_program(program)
+        assert table.resolve("a") == 0x400
+        assert table.resolve("b") == 0x401
+        assert len(table) == 2
+
+
+@pytest.fixture
+def debugger():
+    session = DebugSession(monitor="lvmm")
+    kernel = build_kernel(KernelConfig(ticks_to_run=6))
+    session.load_and_boot(kernel)
+    session.attach()
+    symbols = SymbolTable()
+    symbols.add_program(kernel)
+    return Debugger(session, symbols), kernel
+
+
+class TestDebuggerCommands:
+    def test_empty_and_unknown(self, debugger):
+        dbg, _ = debugger
+        assert dbg.execute("") == ""
+        assert "unknown command" in dbg.execute("frobnicate")
+
+    def test_break_continue_cycle(self, debugger):
+        dbg, kernel = debugger
+        assert "breakpoint at" in dbg.execute("break timer_isr")
+        stop = dbg.execute("continue")
+        assert "SIGTRAP" in stop and "timer_isr" in stop
+        assert "deleted" in dbg.execute("delete timer_isr")
+
+    def test_bad_symbol_reported_not_raised(self, debugger):
+        dbg, _ = debugger
+        assert "cannot resolve" in dbg.execute("break no_such_place")
+
+    def test_regs_output_shape(self, debugger):
+        dbg, _ = debugger
+        text = dbg.execute("regs")
+        assert "R0=" in text and "PC=" in text and "FLAGS=" in text
+
+    def test_set_register(self, debugger):
+        dbg, _ = debugger
+        assert dbg.execute("set r3 0x55") == "r3 = 0x55"
+        assert "R3=00000055" in dbg.execute("regs")
+        assert "unknown register" in dbg.execute("set r9 1")
+
+    def test_examine_hexdump(self, debugger):
+        dbg, kernel = debugger
+        text = dbg.execute(f"x {kernel.origin:#x} 16")
+        assert kernel.image[:4].hex()[:2] in text.lower()
+        assert ":" in text
+
+    def test_write_memory(self, debugger):
+        dbg, _ = debugger
+        assert "wrote 4 bytes" in dbg.execute("write 0x9000 deadbeef")
+        assert "de ad be ef" in dbg.execute("x 0x9000 4")
+
+    def test_disas_with_symbols(self, debugger):
+        dbg, _ = debugger
+        text = dbg.execute("disas timer_isr 3")
+        assert "<timer_isr>" in text
+        assert "PUSH" in text
+
+    def test_step(self, debugger):
+        dbg, _ = debugger
+        assert "SIGTRAP" in dbg.execute("step")
+
+    def test_symbols_listing(self, debugger):
+        dbg, _ = debugger
+        text = dbg.execute("symbols")
+        assert "timer_isr" in text and "start" in text
+
+    def test_watch_usage_and_success(self, debugger):
+        dbg, _ = debugger
+        assert "usage" in dbg.execute("watch")
+        assert "watchpoint at" in dbg.execute("watch 0x5000 4")
+
+    def test_help_lists_commands(self, debugger):
+        dbg, _ = debugger
+        text = dbg.execute("help")
+        assert "break" in text and "checkpoint" in text
+
+    def test_quit_sets_done(self, debugger):
+        dbg, _ = debugger
+        assert dbg.execute("quit") == "bye"
+        assert dbg.done
+
+    def test_repl_drives_commands(self, debugger):
+        dbg, _ = debugger
+        script = iter(["regs", "quit"])
+        outputs = []
+        dbg.repl(input_fn=lambda prompt: next(script),
+                 output_fn=outputs.append)
+        assert any("PC=" in text for text in outputs)
+        assert outputs[-1] == "bye"
+
+    def test_repl_stops_on_eof(self, debugger):
+        dbg, _ = debugger
+
+        def raise_eof(prompt):
+            raise EOFError
+
+        dbg.repl(input_fn=raise_eof, output_fn=lambda text: None)
+        assert not dbg.done  # left by EOF, not by quit

@@ -1,0 +1,109 @@
+"""Unit tests for the assembly-guest generators themselves."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.guest.asmio import build_io_demo, io_demo_source
+from repro.guest.asmkernel import (
+    KernelConfig,
+    build_kernel,
+    build_user_task,
+    kernel_source,
+    user_task_source,
+)
+from repro.guest.asmthreads import (
+    build_threaded_kernel,
+    threaded_kernel_source,
+)
+from repro.hw import firmware
+
+
+class TestKernelGenerator:
+    def test_default_kernel_assembles(self):
+        program = build_kernel()
+        assert program.origin == firmware.GUEST_KERNEL_BASE
+        assert len(program.image) > 200
+        for symbol in ("start", "timer_isr", "syscall_entry", "idle",
+                       "done"):
+            assert symbol in program.symbols
+
+    def test_paging_variant_has_page_table_code(self):
+        source = kernel_source(KernelConfig(with_paging=True))
+        assert "MOVCR CR3" in source
+        assert "pd_loop" in source and "pt_loop" in source
+        assemble(source)  # must be valid
+
+    def test_user_task_variant_builds_iret_frame(self):
+        source = kernel_source(KernelConfig(with_user_task=True))
+        assert "IRET" in source
+        assert str(firmware.GUEST_APP_BASE) in source
+
+    def test_user_task_program(self):
+        program = build_user_task(7)
+        assert program.origin == firmware.GUEST_APP_BASE
+        assert "user_loop" in program.symbols
+
+    def test_timer_divisor_in_range(self):
+        # Very fast and very slow rates both clamp to valid divisors.
+        for hz in (1, 20, 1000, 100000):
+            assemble(kernel_source(KernelConfig(timer_hz=hz)))
+
+
+class TestThreadedGenerator:
+    def test_thread_count_validated(self):
+        with pytest.raises(ValueError):
+            threaded_kernel_source(threads=0)
+        with pytest.raises(ValueError):
+            threaded_kernel_source(threads=9)
+
+    def test_cooperative_has_yield_not_timer(self):
+        source = threaded_kernel_source(2, 3)
+        assert "INT  0x31" in source or "INT  49" in source
+        assert "preempt_isr" not in source
+
+    def test_preemptive_has_timer_not_yield_in_body(self):
+        source = threaded_kernel_source(2, 3, preemptive=True)
+        assert "preempt_isr" in source
+        assert "busy_loop" in source
+        assert "STI" in source
+
+    def test_every_thread_gets_its_own_stack(self):
+        from repro.guest.asmthreads import (TASK_STACK_BASE,
+                                            TASK_STACK_SIZE,
+                                            _task_stack_top)
+        tops = [_task_stack_top(i) for i in range(4)]
+        assert len(set(tops)) == 4
+        assert all(t <= TASK_STACK_BASE + 8 * TASK_STACK_SIZE
+                   for t in tops)
+
+    def test_builds_for_all_supported_counts(self):
+        for threads in (1, 4, 8):
+            program = build_threaded_kernel(threads, 2)
+            assert "yield_isr" in program.symbols
+
+
+class TestIoDemoGenerator:
+    def test_static_request_block_matches_encoder(self):
+        from repro.hw.scsi import cdb_read10, encode_request_block
+        from repro.guest.asmio import DMA_BUFFER
+        program = build_io_demo(read_blocks=16, frame_len=1024)
+        block_addr = program.symbols["request_block"]
+        offset = block_addr - program.origin
+        expected = encode_request_block(0, cdb_read10(0, 16),
+                                        DMA_BUFFER, 16 * 512)
+        assert program.image[offset:offset + 32] == expected
+
+    def test_static_descriptor_matches_layout(self):
+        import struct
+        from repro.guest.asmio import DMA_BUFFER
+        program = build_io_demo(frame_len=777)
+        offset = program.symbols["tx_descriptor"] - program.origin
+        addr, length, flags, status = struct.unpack(
+            "<IIII", program.image[offset:offset + 16])
+        assert (addr, length, flags, status) == (DMA_BUFFER, 777, 1, 0)
+
+    def test_source_mentions_no_monitor_ports(self):
+        source = io_demo_source()
+        # The demo's data path uses SCSI ports and the MMIO hole only.
+        from repro.guest.asmio import NIC_MMIO_HOLE
+        assert f"{NIC_MMIO_HOLE}" in source

@@ -1,0 +1,133 @@
+"""Unit tests for the CPU-level I/O permission bitmap — the mechanism
+behind the LVMM's device passthrough."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.hw import Cpu, IoBus, PhysicalMemory, firmware
+from repro.hw.bus import PortDevice
+from repro.hw.isa import IOPL_SHIFT, VEC_GP
+from repro.hw.seg import SegmentDescriptor
+
+
+class _Latch(PortDevice):
+    def __init__(self):
+        self.value = 0
+        self.reads = 0
+
+    def port_read(self, offset, size):
+        self.reads += 1
+        return self.value
+
+    def port_write(self, offset, value, size):
+        self.value = value
+
+
+def deprivileged_cpu(ring=1):
+    bus = IoBus()
+    device = _Latch()
+    bus.register_ports(0x5000, 4, device, "latch")
+    cpu = Cpu(PhysicalMemory(1 << 20), bus)
+    selectors = firmware.install_flat_firmware(cpu)
+    code = SegmentDescriptor(0, cpu.memory.size, ring, code=True)
+    data = SegmentDescriptor(0, cpu.memory.size, ring)
+    sel_code = (firmware.IDX_CODE1 << 2) | ring if ring == 1 \
+        else selectors.code3
+    sel_data = (firmware.IDX_DATA1 << 2) | ring if ring == 1 \
+        else selectors.data3
+    cpu.force_segment(0, sel_code, code)
+    cpu.force_segment(1, sel_data, data)
+    cpu.force_segment(2, sel_data, data)
+    cpu.sp = firmware.RING1_STACK_TOP
+    return cpu, device
+
+
+def run_io(cpu, source, steps=12):
+    """Run until the guest sets its done marker (R4=1) or faults.
+
+    Guests end with a marker instead of HLT because HLT itself is
+    IOPL-privileged and would fault at ring 1."""
+    program = assemble(source, origin=0x4000)
+    program.load_into(cpu.memory)
+    cpu.pc = 0x4000
+    faults = []
+    cpu.exception_hook = lambda c, vec, err: faults.append(vec) or True
+    for _ in range(steps):
+        if faults or cpu.regs[4] == 1:
+            break
+        cpu.step()
+    return faults
+
+
+OUT_PROGRAM = """
+    MOVI R2, 0x5000
+    MOVI R0, 0x42
+    OUTW R0, R2
+    MOVI R4, 1
+spin:
+    JMP spin
+"""
+
+
+class TestIoBitmap:
+    def test_unlisted_port_faults_at_ring1(self):
+        cpu, device = deprivileged_cpu()
+        faults = run_io(cpu, OUT_PROGRAM)
+        assert faults == [VEC_GP]
+        assert device.value == 0
+
+    def test_listed_port_passes_through(self):
+        cpu, device = deprivileged_cpu()
+        cpu.io_allowed_ports = set(range(0x5000, 0x5004))
+        faults = run_io(cpu, OUT_PROGRAM)
+        assert faults == []
+        assert device.value == 0x42
+
+    def test_bitmap_is_port_granular(self):
+        cpu, device = deprivileged_cpu()
+        cpu.io_allowed_ports = {0x5001}  # adjacent port only
+        faults = run_io(cpu, OUT_PROGRAM)
+        assert faults == [VEC_GP]
+
+    def test_reads_covered_too(self):
+        cpu, device = deprivileged_cpu()
+        device.value = 0x77
+        cpu.io_allowed_ports = {0x5000}
+        faults = run_io(cpu, """
+            MOVI R2, 0x5000
+            INW  R3, R2
+            MOVI R4, 1
+        spin:
+            JMP spin
+        """)
+        assert faults == []
+        assert cpu.regs[3] == 0x77
+
+    def test_iopl_bypasses_bitmap(self):
+        cpu, device = deprivileged_cpu()
+        cpu.flags |= 0b01 << IOPL_SHIFT  # IOPL 1 == CPL
+        faults = run_io(cpu, OUT_PROGRAM)
+        assert faults == []
+        assert device.value == 0x42
+
+    def test_ring3_obeys_bitmap_as_well(self):
+        cpu, device = deprivileged_cpu(ring=3)
+        cpu.io_allowed_ports = set(range(0x5000, 0x5004))
+        faults = run_io(cpu, OUT_PROGRAM)
+        assert faults == []
+        assert device.value == 0x42
+
+    def test_byte_and_word_accessors_check_the_same_port(self):
+        cpu, device = deprivileged_cpu()
+        cpu.io_allowed_ports = {0x5000}
+        faults = run_io(cpu, """
+            MOVI R2, 0x5000
+            MOVI R0, 0x11
+            OUTB R0, R2
+            INB  R3, R2
+            MOVI R4, 1
+        spin:
+            JMP spin
+        """)
+        assert faults == []
+        assert cpu.regs[3] == 0x11

@@ -1,0 +1,130 @@
+"""Unit tests for the assembled Machine and the firmware helpers."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import BusError
+from repro.hw import firmware
+from repro.hw.machine import DEFAULT_CPU_HZ, Machine, MachineConfig
+from repro.hw.seg import DESCRIPTOR_SIZE, SegmentDescriptor
+
+
+class TestMachineAssembly:
+    def test_default_board_population(self):
+        machine = Machine()
+        names = machine.bus.devices()
+        for expected in ("pic-master", "pic-slave", "pit", "uart",
+                         "scsi", "nic"):
+            assert expected in names
+        assert len(machine.disks) == 3
+        assert machine.budget.hz == DEFAULT_CPU_HZ
+
+    def test_nic_optional(self):
+        machine = Machine(MachineConfig(with_nic=False))
+        assert machine.nic is None
+        assert "nic" not in machine.bus.devices()
+
+    def test_custom_disks(self):
+        machine = Machine(MachineConfig(disks=[(1000, 42)]))
+        assert len(machine.disks) == 1
+        assert machine.disks[0].blocks == 1000
+        assert machine.disks[0].seed == 42
+
+    def test_overlapping_port_registration_rejected(self):
+        machine = Machine()
+        from repro.hw.bus import PortDevice
+
+        class Dummy(PortDevice):
+            pass
+
+        with pytest.raises(BusError):
+            machine.bus.register_ports(0x20, 2, Dummy(), "clash")
+
+    def test_load_program_sets_pc(self):
+        machine = Machine()
+        program = assemble(".org 0x3000\nNOP\nHLT\n")
+        machine.load_program(program)
+        assert machine.cpu.pc == 0x3000
+        assert machine.memory.read_u8(0x3000) == 0x00
+
+    def test_run_until_predicate(self):
+        machine = Machine()
+        firmware.install_flat_firmware(machine.cpu)
+        program = assemble("""
+        loop:
+            ADDI R0, 1
+            JMP loop
+        """, origin=0x4000)
+        program.load_into(machine.memory)
+        machine.cpu.pc = 0x4000
+        machine.run(10_000, until=lambda: machine.cpu.regs[0] >= 5)
+        assert machine.cpu.regs[0] == 5
+
+    def test_halted_machine_fast_forwards_to_events(self):
+        """HLT with a pending timer wakes at the timer's cycle, not by
+        burning instructions."""
+        machine = Machine()
+        machine.program_pic_defaults()
+        firmware.install_flat_firmware(machine.cpu)
+        machine.pit.program_periodic(1000.0)
+        handler = assemble("MOVI R5, 1\nCLI\nHLT\n", origin=0x6000)
+        handler.load_into(machine.memory)
+        selectors = firmware.build_gdt(machine.memory,
+                                       machine.memory.size)
+        firmware.write_idt_gate(machine.memory, 32, 0x6000,
+                                selectors.code0)
+        program = assemble("STI\nHLT\nJMP .-1\n", origin=0x4000)
+        program.load_into(machine.memory)
+        machine.cpu.pc = 0x4000
+        machine.run(100)
+        assert machine.cpu.regs[5] == 1
+        # Simulated time jumped to the tick (~1.26e6 cycles at 1 kHz).
+        assert machine.cpu.cycle_count > 1_000_000
+
+    def test_dead_halt_terminates_run(self):
+        machine = Machine()
+        firmware.install_flat_firmware(machine.cpu)
+        program = assemble("CLI\nHLT\n", origin=0x4000)
+        program.load_into(machine.memory)
+        machine.cpu.pc = 0x4000
+        executed = machine.run(1_000)
+        assert executed < 1_000
+        assert machine.cpu.halted
+
+
+class TestFirmwareHelpers:
+    def test_build_gdt_layout(self):
+        machine = Machine()
+        selectors = firmware.build_gdt(machine.memory, 0x100000)
+        raw = machine.memory.read(
+            firmware.GDT_BASE + firmware.IDX_CODE3 * DESCRIPTOR_SIZE,
+            DESCRIPTOR_SIZE)
+        descriptor = SegmentDescriptor.unpack(raw)
+        assert descriptor.dpl == 3 and descriptor.code
+        assert selectors.code_for_ring(3) == selectors.code3
+        assert selectors.data_for_ring(0) == selectors.data0
+
+    def test_clear_idt_makes_gates_absent(self):
+        machine = Machine()
+        firmware.clear_idt(machine.memory)
+        from repro.hw.cpu import IdtGate
+        raw = machine.memory.read(firmware.IDT_BASE + 8 * 13, 8)
+        assert not IdtGate.unpack(raw).present
+
+    def test_write_tss(self):
+        machine = Machine()
+        firmware.write_tss(machine.memory, {0: (0x8000, 8),
+                                            1: (0xC000, 0x15)})
+        assert machine.memory.read_u32(firmware.TSS_BASE) == 0x8000
+        assert machine.memory.read_u32(firmware.TSS_BASE + 12) == 0x15
+
+    def test_monitor_base_is_top_megabyte(self):
+        assert firmware.monitor_base(16 << 20) == (16 << 20) - (1 << 20)
+
+    def test_install_flat_firmware_boots_ring0(self):
+        machine = Machine()
+        selectors = firmware.install_flat_firmware(machine.cpu)
+        assert machine.cpu.cpl == 0
+        assert machine.cpu.sp == firmware.RING0_STACK_TOP
+        assert machine.cpu.gdt.base == firmware.GDT_BASE
+        assert machine.cpu.segments[0].selector == selectors.code0

@@ -1,0 +1,241 @@
+"""Unit tests for physical memory, segmentation and paging."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.hw.mem import PhysicalMemory
+from repro.hw.paging import (
+    PAGE_SIZE,
+    PF_PRESENT,
+    PF_USER,
+    PF_WRITE,
+    Mmu,
+    PageFault,
+    PageTableBuilder,
+    make_pte,
+    span_pages,
+    split_vaddr,
+)
+from repro.hw.seg import (
+    DESCRIPTOR_SIZE,
+    GdtView,
+    SegmentDescriptor,
+    selector,
+    selector_index,
+    selector_rpl,
+)
+
+
+class TestPhysicalMemory:
+    def test_read_write_round_trip(self):
+        mem = PhysicalMemory(4096)
+        mem.write(100, b"hello")
+        assert mem.read(100, 5) == b"hello"
+
+    def test_scalar_little_endian(self):
+        mem = PhysicalMemory(4096)
+        mem.write_u32(0, 0x11223344)
+        assert mem.read(0, 4) == b"\x44\x33\x22\x11"
+        assert mem.read_u16(0) == 0x3344
+        assert mem.read_u8(3) == 0x11
+
+    def test_out_of_range_rejected(self):
+        mem = PhysicalMemory(128)
+        with pytest.raises(MemoryError_):
+            mem.read(120, 16)
+        with pytest.raises(MemoryError_):
+            mem.write(-1, b"x")
+
+    def test_fill(self):
+        mem = PhysicalMemory(64)
+        mem.fill(8, 8, 0xAB)
+        assert mem.read(8, 8) == b"\xab" * 8
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(MemoryError_):
+            PhysicalMemory(0)
+
+
+class TestSegmentDescriptor:
+    def test_pack_unpack_round_trip(self):
+        descriptor = SegmentDescriptor(base=0x1000, limit=0x2000, dpl=1,
+                                       code=True, writable=False)
+        assert SegmentDescriptor.unpack(descriptor.pack()) == descriptor
+
+    def test_contains(self):
+        descriptor = SegmentDescriptor(base=0, limit=100, dpl=0)
+        assert descriptor.contains(0)
+        assert descriptor.contains(96, 4)
+        assert not descriptor.contains(97, 4)
+        assert not descriptor.contains(100)
+
+    def test_truncated_lowers_limit_only(self):
+        descriptor = SegmentDescriptor(base=5, limit=100, dpl=1, code=True)
+        cut = descriptor.truncated(40)
+        assert cut.limit == 40
+        assert cut.base == 5 and cut.dpl == 1 and cut.code
+        assert descriptor.truncated(200).limit == 100
+
+    def test_selector_helpers(self):
+        sel = selector(7, rpl=3)
+        assert selector_index(sel) == 7
+        assert selector_rpl(sel) == 3
+
+
+class TestGdtView:
+    def test_read_write_descriptor(self):
+        mem = PhysicalMemory(4096)
+        gdt = GdtView(mem, base=0x100, limit=4 * DESCRIPTOR_SIZE)
+        descriptor = SegmentDescriptor(base=0x8000, limit=0x400, dpl=2)
+        gdt.write(2, descriptor)
+        assert gdt.read(2) == descriptor
+
+    def test_index_beyond_limit_rejected(self):
+        mem = PhysicalMemory(4096)
+        gdt = GdtView(mem, base=0, limit=2 * DESCRIPTOR_SIZE)
+        with pytest.raises(IndexError):
+            gdt.read(2)
+
+
+class TestSplitVaddr:
+    def test_split(self):
+        directory, table, offset = split_vaddr(0xC0ABC123)
+        assert directory == 0xC0ABC123 >> 22
+        assert table == (0xC0ABC123 >> 12) & 0x3FF
+        assert offset == 0x123
+
+
+class TestSpanPages:
+    def test_within_page(self):
+        assert list(span_pages(100, 50)) == [(100, 50)]
+
+    def test_crossing_boundary(self):
+        chunks = list(span_pages(PAGE_SIZE - 10, 30))
+        assert chunks == [(PAGE_SIZE - 10, 10), (PAGE_SIZE, 20)]
+
+    def test_multiple_pages(self):
+        chunks = list(span_pages(0, 3 * PAGE_SIZE))
+        assert len(chunks) == 3
+        assert sum(length for _, length in chunks) == 3 * PAGE_SIZE
+
+
+def _build_mmu(user=False, writable=True):
+    mem = PhysicalMemory(1 << 20)
+    builder = PageTableBuilder(mem, alloc_base=0x10000)
+    builder.map(0x400000, 0x20000, writable=writable, user=user)
+    mmu = Mmu(mem)
+    mmu.set_cr3(builder.directory)
+    return mem, mmu
+
+
+class TestMmu:
+    def test_translate_mapped_page(self):
+        _, mmu = _build_mmu()
+        assert mmu.translate(0x400123, write=False, user=False) == 0x20123
+
+    def test_not_present_faults(self):
+        _, mmu = _build_mmu()
+        with pytest.raises(PageFault) as info:
+            mmu.translate(0x500000, write=False, user=False)
+        assert not info.value.error_code & PF_PRESENT
+
+    def test_user_cannot_touch_supervisor_page(self):
+        _, mmu = _build_mmu(user=False)
+        with pytest.raises(PageFault) as info:
+            mmu.translate(0x400000, write=False, user=True)
+        code = info.value.error_code
+        assert code & PF_PRESENT and code & PF_USER
+
+    def test_write_to_readonly_faults(self):
+        _, mmu = _build_mmu(writable=False)
+        with pytest.raises(PageFault) as info:
+            mmu.translate(0x400000, write=True, user=False)
+        assert info.value.error_code & PF_WRITE
+
+    def test_supervisor_can_read_user_page(self):
+        _, mmu = _build_mmu(user=True)
+        assert mmu.translate(0x400000, write=False, user=False) == 0x20000
+
+    def test_tlb_hit_counted(self):
+        _, mmu = _build_mmu()
+        mmu.translate(0x400000, write=False, user=False)
+        misses = mmu.tlb.misses
+        mmu.translate(0x400004, write=False, user=False)
+        assert mmu.tlb.hits >= 1
+        assert mmu.tlb.misses == misses
+
+    def test_cr3_write_flushes_tlb(self):
+        mem, mmu = _build_mmu()
+        mmu.translate(0x400000, write=False, user=False)
+        # Remap the page elsewhere and reload CR3.
+        builder = PageTableBuilder(mem, alloc_base=0x40000)
+        builder.map(0x400000, 0x30000)
+        mmu.set_cr3(builder.directory)
+        assert mmu.translate(0x400000, write=False, user=False) == 0x30000
+
+    def test_stale_tlb_without_flush(self):
+        # Documents the hazard monitors must handle: changing a PTE
+        # without a flush leaves the old translation live.
+        mem, mmu = _build_mmu()
+        assert mmu.translate(0x400000, write=False, user=False) == 0x20000
+        builder = PageTableBuilder(mem, alloc_base=0x40000)
+        builder.map(0x400000, 0x30000)
+        mem.write_u32(mmu.cr3 + (0x400000 >> 22) * 4,
+                      mem.read_u32(builder.directory + (0x400000 >> 22) * 4))
+        assert mmu.translate(0x400000, write=False, user=False) == 0x20000
+        mmu.tlb.flush()
+        assert mmu.translate(0x400000, write=False, user=False) == 0x30000
+
+    def test_accessed_and_dirty_bits_set(self):
+        mem = PhysicalMemory(1 << 20)
+        builder = PageTableBuilder(mem, alloc_base=0x10000)
+        builder.map(0x400000, 0x20000)
+        mmu = Mmu(mem)
+        mmu.set_cr3(builder.directory)
+        mmu.translate(0x400010, write=True, user=False)
+        pde = mem.read_u32(builder.directory + (0x400000 >> 22) * 4)
+        pte_base = pde & 0xFFFFF000
+        pte = mem.read_u32(pte_base + ((0x400000 >> 12) & 0x3FF) * 4)
+        assert pte & (1 << 5)  # accessed
+        assert pte & (1 << 6)  # dirty
+
+    def test_effective_rights_are_and_of_levels(self):
+        # PDE says writable, PTE says read-only -> read-only overall.
+        mem = PhysicalMemory(1 << 20)
+        builder = PageTableBuilder(mem, alloc_base=0x10000)
+        builder.map(0x400000, 0x20000, writable=False)
+        mmu = Mmu(mem)
+        mmu.set_cr3(builder.directory)
+        with pytest.raises(PageFault):
+            mmu.translate(0x400000, write=True, user=False)
+
+
+class TestPageTableBuilder:
+    def test_map_range_contiguous(self):
+        mem = PhysicalMemory(1 << 20)
+        builder = PageTableBuilder(mem, alloc_base=0x10000)
+        builder.map_range(0x0, 0x80000, 3 * PAGE_SIZE)
+        mmu = Mmu(mem)
+        mmu.set_cr3(builder.directory)
+        for page in range(3):
+            assert mmu.translate(page * PAGE_SIZE, False, False) \
+                == 0x80000 + page * PAGE_SIZE
+
+    def test_unmap(self):
+        mem = PhysicalMemory(1 << 20)
+        builder = PageTableBuilder(mem, alloc_base=0x10000)
+        builder.identity_map(0x20000, PAGE_SIZE)
+        mmu = Mmu(mem)
+        mmu.set_cr3(builder.directory)
+        assert mmu.translate(0x20000, False, False) == 0x20000
+        builder.unmap(0x20000)
+        mmu.tlb.flush()
+        with pytest.raises(PageFault):
+            mmu.translate(0x20000, False, False)
+
+    def test_make_pte_bits(self):
+        entry = make_pte(0x12345000, writable=True, user=True)
+        assert entry & 1          # present
+        assert entry & 2          # writable
+        assert entry & 4          # user
+        assert entry & 0xFFFFF000 == 0x12345000

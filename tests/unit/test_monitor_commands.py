@@ -1,0 +1,184 @@
+"""Unit tests for qRcmd / monitor commands and the trace buffer."""
+
+import pytest
+
+from repro.core import DebugSession
+from repro.guest import KernelConfig, build_kernel
+from repro.vmm.trace import (
+    KIND_REFLECT,
+    KIND_TRAP,
+    TraceBuffer,
+    TraceEvent,
+)
+
+
+class TestTraceBuffer:
+    def test_records_in_sequence(self):
+        trace = TraceBuffer()
+        trace.record(10, KIND_TRAP, "CLI", pc=0x100)
+        trace.record(20, KIND_REFLECT, "vector=32", pc=0x200)
+        events = trace.tail()
+        assert [e.sequence for e in events] == [0, 1]
+        assert events[0].kind == KIND_TRAP
+        assert events[1].cycle == 20
+
+    def test_bounded_capacity(self):
+        trace = TraceBuffer(capacity=8)
+        for index in range(20):
+            trace.record(index, KIND_TRAP, str(index))
+        assert len(trace) == 8
+        assert trace.total_recorded == 20
+        assert trace.tail(100)[0].sequence == 12  # oldest kept
+
+    def test_tail_returns_most_recent(self):
+        trace = TraceBuffer()
+        for index in range(10):
+            trace.record(index, KIND_TRAP, str(index))
+        tail = trace.tail(3)
+        assert [e.cycle for e in tail] == [7, 8, 9]
+
+    def test_by_kind_filters(self):
+        trace = TraceBuffer()
+        trace.record(1, KIND_TRAP, "a")
+        trace.record(2, KIND_REFLECT, "b")
+        trace.record(3, KIND_TRAP, "c")
+        assert len(trace.by_kind(KIND_TRAP)) == 2
+
+    def test_disable_stops_recording(self):
+        trace = TraceBuffer()
+        trace.enabled = False
+        trace.record(1, KIND_TRAP, "x")
+        assert len(trace) == 0
+
+    def test_format(self):
+        event = TraceEvent(5, 1234, KIND_TRAP, "CLI", 0x4000)
+        text = event.format()
+        assert "CLI" in text and "0x00004000" in text
+        assert TraceBuffer().format_tail() == "(trace empty)"
+
+    def test_clear(self):
+        trace = TraceBuffer()
+        trace.record(1, KIND_TRAP, "x")
+        trace.clear()
+        assert len(trace) == 0
+
+
+@pytest.fixture
+def session():
+    sess = DebugSession(monitor="lvmm")
+    kernel = build_kernel(KernelConfig(ticks_to_run=4))
+    sess.load_and_boot(kernel)
+    sess.attach()
+    return sess, kernel
+
+
+class TestMonitorCommands:
+    def test_stats_via_rsp(self, session):
+        sess, kernel = session
+        sess.client.set_breakpoint(kernel.symbol("timer_isr"))
+        sess.client.cont()
+        output = sess.client.monitor_command("stats")
+        assert "traps emulated" in output
+        assert "interrupts fielded/reflected" in output
+
+    def test_trace_via_rsp(self, session):
+        sess, kernel = session
+        sess.client.set_breakpoint(kernel.symbol("timer_isr"))
+        sess.client.cont()
+        output = sess.client.monitor_command("trace 64")
+        assert "LGDT" in output        # boot traps visible
+        assert "reflect" in output     # the timer reflection visible
+        assert "debug" in output       # and the stop itself
+
+    def test_shadow_via_rsp(self, session):
+        sess, _ = session
+        output = sess.client.monitor_command("shadow")
+        assert "vif=" in output
+        assert "idtr=" in output
+
+    def test_console_via_rsp(self, session):
+        sess, _ = session
+        sess.monitor.console.extend(b"hello")
+        assert "hello" in sess.client.monitor_command("console")
+
+    def test_help_and_unknown(self, session):
+        sess, _ = session
+        assert "monitor commands" in sess.client.monitor_command("help")
+        assert "unknown" in sess.client.monitor_command("frobnicate")
+
+    def test_trace_count_argument(self, session):
+        sess, kernel = session
+        sess.client.set_breakpoint(kernel.symbol("timer_isr"))
+        sess.client.cont()
+        short = sess.client.monitor_command("trace 2")
+        assert len(short.strip().splitlines()) == 2
+
+    def test_rcmd_unsupported_target_gets_empty(self):
+        """A stub whose target lacks monitor_command replies empty
+        (the GDB 'not supported' convention)."""
+        from repro.hw import Cpu, IoBus, PhysicalMemory
+        from repro.hw import firmware
+        from repro.rsp.packets import PacketDecoder, frame
+        from repro.rsp.stub import DebugStub
+        from repro.rsp.target import CpuTargetAdapter
+
+        cpu = Cpu(PhysicalMemory(1 << 20), IoBus())
+        firmware.install_flat_firmware(cpu)
+        sent = bytearray()
+        stub = DebugStub(CpuTargetAdapter(cpu), send_bytes=sent.extend)
+        stub.feed(frame(b"qRcmd," + b"stats".hex().encode()))
+        decoder = PacketDecoder()
+        decoder.feed(bytes(sent))
+        assert decoder.next_packet() == b""
+
+
+class TestHangDiagnosis:
+    def _session_with(self, body):
+        from repro.asm import assemble
+        from repro.hw import firmware
+        sess = DebugSession(monitor="lvmm")
+        program = assemble(f".org {firmware.GUEST_KERNEL_BASE}\n{body}\n")
+        sess.load_and_boot(program)
+        sess.attach()
+        return sess
+
+    def test_cli_spin_diagnosed(self):
+        sess = self._session_with("CLI\nspin:\nNOP\nJMP spin\n")
+        sess.monitor.resume_guest(step=False)
+        sess.monitor.run(2_000)
+        sess.monitor.stopped = True
+        report = sess.client.monitor_command("hang")
+        assert "virtual IF clear" in report
+
+    def test_dead_idle_diagnosed(self):
+        sess = self._session_with("CLI\nHLT\n")
+        sess.monitor.resume_guest(step=False)
+        sess.monitor.run(2_000)
+        report = sess.client.monitor_command("hang")
+        assert "can never wake" in report
+
+    def test_healthy_guest_diagnosed(self):
+        from repro.guest import KernelConfig, build_kernel
+        sess = DebugSession(monitor="lvmm")
+        # A large tick target keeps the guest healthily idle (HLT with
+        # virtual IF on) when we stop to ask.
+        sess.load_and_boot(build_kernel(KernelConfig(ticks_to_run=5000)))
+        sess.attach()
+        sess.monitor.resume_guest(step=False)
+        sess.monitor.run(5_000)
+        sess.monitor.stopped = True
+        report = sess.client.monitor_command("hang")
+        assert "instructions retired" in report
+        assert "dead" not in report.splitlines()[-1]
+
+    def test_progress_counter_advances(self):
+        sess = self._session_with("spin:\nNOP\nJMP spin\n")
+        first = sess.client.monitor_command("hang")
+        sess.monitor.resume_guest(step=False)
+        sess.monitor.run(500)
+        sess.monitor.stopped = True
+        second = sess.client.monitor_command("hang")
+        assert "+" in first
+        import re
+        delta = int(re.search(r"\(\+(\d+) since", second).group(1))
+        assert delta > 400  # the spin definitely made progress

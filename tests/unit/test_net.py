@@ -1,0 +1,230 @@
+"""Unit tests for the Ethernet/ARP/IPv4/UDP stack."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net import (
+    ArpCache,
+    ArpPacket,
+    EthernetFrame,
+    ETHERTYPE_IPV4,
+    Ipv4Packet,
+    Reassembler,
+    UdpDatagram,
+    UdpReceiver,
+    UdpStack,
+    format_ipv4,
+    format_mac,
+    fragment,
+    internet_checksum,
+    make_reply,
+    make_request,
+    parse_ipv4,
+    parse_mac,
+    verify_checksum,
+)
+
+MAC_A = parse_mac("02:00:00:00:00:01")
+MAC_B = parse_mac("02:00:00:00:00:02")
+IP_A = parse_ipv4("10.0.0.1")
+IP_B = parse_ipv4("10.0.0.2")
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # RFC 1071 example data.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_insert_then_verify(self):
+        data = b"\x45\x00\x00\x1c" + bytes(16)
+        checksum = internet_checksum(data)
+        patched = data[:10] + checksum.to_bytes(2, "big") + data[12:]
+        assert verify_checksum(patched)
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\xab") == internet_checksum(b"\xab\x00")
+
+
+class TestAddressParsing:
+    def test_mac_round_trip(self):
+        assert format_mac(parse_mac("aa:bb:cc:dd:ee:ff")) == \
+            "aa:bb:cc:dd:ee:ff"
+
+    def test_ip_round_trip(self):
+        assert format_ipv4(parse_ipv4("192.168.1.200")) == "192.168.1.200"
+
+    def test_bad_mac_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_mac("not-a-mac")
+
+    def test_bad_ip_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_ipv4("1.2.3")
+
+
+class TestEthernet:
+    def test_pack_unpack_round_trip(self):
+        frame = EthernetFrame(MAC_A, MAC_B, ETHERTYPE_IPV4, b"x" * 100)
+        parsed = EthernetFrame.unpack(frame.pack())
+        assert parsed.dst == MAC_A
+        assert parsed.src == MAC_B
+        assert parsed.payload[:100] == b"x" * 100
+
+    def test_short_payload_padded_to_minimum(self):
+        frame = EthernetFrame(MAC_A, MAC_B, ETHERTYPE_IPV4, b"hi")
+        assert len(frame.pack()) == 14 + 46
+
+    def test_oversize_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            EthernetFrame(MAC_A, MAC_B, ETHERTYPE_IPV4, bytes(1501))
+
+    def test_runt_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            EthernetFrame.unpack(bytes(20))
+
+
+class TestArp:
+    def test_request_reply_cycle(self):
+        request = make_request(MAC_A, IP_A, IP_B)
+        parsed = ArpPacket.unpack(request.pack())
+        assert parsed.operation == 1
+        reply = make_reply(parsed, MAC_B)
+        assert reply.operation == 2
+        assert reply.sender_mac == MAC_B
+        assert reply.target_mac == MAC_A
+        assert reply.sender_ip == IP_B
+
+    def test_cache_learns(self):
+        cache = ArpCache()
+        cache.handle(make_request(MAC_A, IP_A, IP_B))
+        assert cache.lookup(IP_A) == MAC_A
+        assert cache.lookup(IP_B) is None
+        assert len(cache) == 1
+
+
+class TestIpv4:
+    def test_pack_unpack_round_trip(self):
+        packet = Ipv4Packet(IP_A, IP_B, 17, b"payload" * 10,
+                            identification=42)
+        parsed = Ipv4Packet.unpack(packet.pack())
+        assert parsed.src == IP_A
+        assert parsed.dst == IP_B
+        assert parsed.payload == b"payload" * 10
+        assert parsed.identification == 42
+
+    def test_corrupt_header_rejected(self):
+        raw = bytearray(Ipv4Packet(IP_A, IP_B, 17, b"data" * 12).pack())
+        raw[8] ^= 0xFF  # corrupt TTL without fixing checksum
+        with pytest.raises(ProtocolError):
+            Ipv4Packet.unpack(bytes(raw))
+
+    def test_no_fragmentation_when_fits(self):
+        packet = Ipv4Packet(IP_A, IP_B, 17, bytes(100))
+        assert fragment(packet, 1500) == [packet]
+
+    def test_fragmentation_and_reassembly_round_trip(self):
+        payload = bytes(range(256)) * 20  # 5120 bytes
+        packet = Ipv4Packet(IP_A, IP_B, 17, payload, identification=7)
+        pieces = fragment(packet, 1500)
+        assert len(pieces) > 1
+        assert all(len(p.payload) + 20 <= 1500 for p in pieces)
+        reassembler = Reassembler()
+        result = None
+        for piece in pieces:
+            parsed = Ipv4Packet.unpack(piece.pack())
+            result = reassembler.push(parsed)
+        assert result is not None
+        assert result.payload == payload
+        assert reassembler.pending_flows == 0
+
+    def test_reassembly_out_of_order(self):
+        payload = bytes(3000)
+        pieces = fragment(Ipv4Packet(IP_A, IP_B, 17, payload), 1500)
+        reassembler = Reassembler()
+        result = None
+        for piece in reversed(pieces):
+            result = reassembler.push(piece) or result
+        assert result is not None
+        assert len(result.payload) == 3000
+
+    def test_df_flag_prevents_fragmentation(self):
+        packet = Ipv4Packet(IP_A, IP_B, 17, bytes(3000), flags=0x2)
+        with pytest.raises(ProtocolError):
+            fragment(packet, 1500)
+
+    def test_incomplete_reassembly_returns_none(self):
+        pieces = fragment(Ipv4Packet(IP_A, IP_B, 17, bytes(3000)), 1500)
+        reassembler = Reassembler()
+        assert reassembler.push(pieces[0]) is None
+        assert reassembler.pending_flows == 1
+
+
+class TestUdp:
+    def test_pack_unpack_with_checksum(self):
+        datagram = UdpDatagram(1234, 5678, b"hello")
+        raw = datagram.pack(IP_A, IP_B)
+        parsed = UdpDatagram.unpack(raw, IP_A, IP_B)
+        assert parsed == datagram
+
+    def test_corrupt_payload_detected(self):
+        raw = bytearray(UdpDatagram(1, 2, b"payload").pack(IP_A, IP_B))
+        raw[10] ^= 0x01
+        with pytest.raises(ProtocolError):
+            UdpDatagram.unpack(bytes(raw), IP_A, IP_B)
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ProtocolError):
+            UdpDatagram(70000, 1, b"")
+
+    def test_unpack_without_ips_skips_checksum(self):
+        raw = bytearray(UdpDatagram(1, 2, b"data123").pack(IP_A, IP_B))
+        raw[10] ^= 0x01
+        parsed = UdpDatagram.unpack(bytes(raw))
+        assert parsed.src_port == 1
+
+
+class TestUdpStack:
+    def test_small_payload_single_frame(self):
+        stack = UdpStack(mac=MAC_A, ip=IP_A)
+        frames = stack.build_udp_frames(b"x" * 100, 9000, MAC_B, IP_B, 9001)
+        assert len(frames) == 1
+
+    def test_large_payload_fragments(self):
+        stack = UdpStack(mac=MAC_A, ip=IP_A)
+        payload = bytes(64 * 1024 - 100)
+        frames = stack.build_udp_frames(payload, 9000, MAC_B, IP_B, 9001)
+        assert len(frames) == stack.frames_for_payload(len(payload))
+        assert len(frames) > 40
+
+    def test_end_to_end_through_receiver(self):
+        stack = UdpStack(mac=MAC_A, ip=IP_A)
+        receiver = UdpReceiver(ip=IP_B)
+        payload = bytes(range(256)) * 64  # 16 KiB
+        for raw in stack.build_udp_frames(payload, 9000, MAC_B, IP_B, 9001):
+            receiver.receive_frame(raw)
+        assert len(receiver.datagrams) == 1
+        received = receiver.datagrams[0]
+        assert received.datagram.payload == payload
+        assert received.datagram.dst_port == 9001
+        assert receiver.bytes_received == len(payload)
+
+    def test_receiver_filters_other_ips(self):
+        stack = UdpStack(mac=MAC_A, ip=IP_A)
+        receiver = UdpReceiver(ip=parse_ipv4("10.9.9.9"))
+        for raw in stack.build_udp_frames(b"x" * 64, 1, MAC_B, IP_B, 2):
+            receiver.receive_frame(raw)
+        assert not receiver.datagrams
+
+    def test_receiver_counts_errors(self):
+        receiver = UdpReceiver()
+        frame = EthernetFrame(MAC_A, MAC_B, ETHERTYPE_IPV4,
+                              b"garbage" * 10).pack()
+        receiver.receive_frame(frame)
+        assert receiver.errors == 1
+
+    def test_identification_increments(self):
+        stack = UdpStack(mac=MAC_A, ip=IP_A)
+        first = stack.next_identification()
+        second = stack.next_identification()
+        assert second == (first + 1) & 0xFFFF

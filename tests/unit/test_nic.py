@@ -1,0 +1,205 @@
+"""Unit tests for the descriptor-ring NIC."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hw.mem import PhysicalMemory
+from repro.hw.nic import (
+    DESC_STATUS_DD,
+    DESCRIPTOR_SIZE,
+    ICR_RXDW,
+    ICR_TXDW,
+    LINE_RATE_BPS,
+    REG_COALESCE,
+    REG_CTRL,
+    REG_ICR,
+    REG_IMS,
+    REG_RDBA,
+    REG_RDLEN,
+    REG_RDT,
+    REG_STATUS,
+    REG_TCTL,
+    REG_TDBA,
+    REG_TDH,
+    REG_TDLEN,
+    REG_TDT,
+    WIRE_OVERHEAD_BYTES,
+    Nic,
+    make_rx_descriptor,
+    make_tx_descriptor,
+)
+from repro.sim.events import EventQueue
+
+CPU_HZ = 1.26e9
+RING_BASE = 0x1000
+FRAME_BASE = 0x8000
+
+
+class NicFixture:
+    def __init__(self, ring_len=8, coalesce=1):
+        self.queue = EventQueue()
+        self.memory = PhysicalMemory(1 << 20)
+        self.frames = []
+        self.irqs = []
+        self.nic = Nic(self.queue, self.memory, CPU_HZ,
+                       raise_irq=lambda: self.irqs.append("+"),
+                       lower_irq=lambda: self.irqs.append("-"),
+                       wire=self.frames.append)
+        self.ring_len = ring_len
+        self.nic.mmio_write(REG_TDBA, RING_BASE, 4)
+        self.nic.mmio_write(REG_TDLEN, ring_len, 4)
+        self.nic.mmio_write(REG_TCTL, 0x2, 4)
+        self.nic.mmio_write(REG_IMS, ICR_TXDW | ICR_RXDW, 4)
+        self.nic.mmio_write(REG_COALESCE, coalesce, 4)
+
+    def queue_frame(self, index, payload):
+        addr = FRAME_BASE + index * 2048
+        self.memory.write(addr, payload)
+        self.memory.write(RING_BASE + index * DESCRIPTOR_SIZE,
+                          make_tx_descriptor(addr, len(payload)))
+
+    def kick(self, tail):
+        self.nic.mmio_write(REG_TDT, tail, 4)
+
+
+class TestTransmit:
+    def test_frame_reaches_wire(self):
+        fix = NicFixture()
+        fix.queue_frame(0, b"\x01" * 64)
+        fix.kick(1)
+        fix.queue.run()
+        assert fix.frames == [b"\x01" * 64]
+        assert fix.nic.frames_sent == 1
+        assert fix.nic.bytes_sent == 64
+
+    def test_descriptor_done_written_back(self):
+        fix = NicFixture()
+        fix.queue_frame(0, b"x" * 100)
+        fix.kick(1)
+        fix.queue.run()
+        status = fix.memory.read_u32(RING_BASE + 12)
+        assert status & DESC_STATUS_DD
+
+    def test_head_advances(self):
+        fix = NicFixture()
+        for i in range(3):
+            fix.queue_frame(i, bytes([i]) * 60)
+        fix.kick(3)
+        assert fix.nic.mmio_read(REG_TDH, 4) == 3
+        fix.queue.run()
+        assert [f[0] for f in fix.frames] == [0, 1, 2]
+
+    def test_line_rate_pacing(self):
+        fix = NicFixture()
+        payload = b"z" * 1500
+        for i in range(4):
+            fix.queue_frame(i, payload)
+        fix.kick(4)
+        fix.queue.run()
+        per_frame = int((1500 + WIRE_OVERHEAD_BYTES) * 8
+                        / LINE_RATE_BPS * CPU_HZ)
+        assert fix.queue.now == pytest.approx(4 * per_frame, rel=0.01)
+
+    def test_interrupt_per_frame_by_default(self):
+        fix = NicFixture()
+        for i in range(4):
+            fix.queue_frame(i, b"a" * 60)
+        fix.kick(4)
+        fix.queue.run()
+        assert fix.nic.interrupts_raised == 4
+
+    def test_coalescing_reduces_interrupts(self):
+        fix = NicFixture(ring_len=16, coalesce=4)
+        for i in range(8):
+            fix.queue_frame(i, b"a" * 60)
+        fix.kick(8)
+        fix.queue.run()
+        assert fix.nic.interrupts_raised == 2
+
+    def test_icr_read_clears_and_lowers(self):
+        fix = NicFixture()
+        fix.queue_frame(0, b"a" * 60)
+        fix.kick(1)
+        fix.queue.run()
+        assert fix.nic.mmio_read(REG_ICR, 4) & ICR_TXDW
+        assert fix.nic.mmio_read(REG_ICR, 4) == 0
+        assert fix.irqs[-1] == "-"
+
+    def test_tx_disabled_does_nothing(self):
+        fix = NicFixture()
+        fix.nic.mmio_write(REG_TCTL, 0, 4)
+        fix.queue_frame(0, b"a" * 60)
+        fix.kick(1)
+        fix.queue.run()
+        assert not fix.frames
+
+    def test_tail_beyond_ring_rejected(self):
+        fix = NicFixture(ring_len=4)
+        with pytest.raises(DeviceError):
+            fix.kick(4)
+
+    def test_head_register_is_read_only(self):
+        fix = NicFixture()
+        with pytest.raises(DeviceError):
+            fix.nic.mmio_write(REG_TDH, 3, 4)
+
+    def test_reset_clears_state(self):
+        fix = NicFixture()
+        fix.queue_frame(0, b"a" * 60)
+        fix.kick(1)
+        fix.queue.run()
+        fix.nic.mmio_write(REG_CTRL, 1, 4)
+        assert fix.nic.mmio_read(REG_TDH, 4) == 0
+        assert fix.nic.mmio_read(REG_ICR, 4) == 0
+
+    def test_status_link_up(self):
+        fix = NicFixture()
+        assert fix.nic.mmio_read(REG_STATUS, 4) & 1
+
+
+class TestReceive:
+    def _rx_setup(self, fix, count=4):
+        rx_base = 0x2000
+        fix.nic.mmio_write(REG_RDBA, rx_base, 4)
+        fix.nic.mmio_write(REG_RDLEN, count, 4)
+        for i in range(count):
+            addr = 0x20000 + i * 2048
+            fix.memory.write(rx_base + i * DESCRIPTOR_SIZE,
+                             make_rx_descriptor(addr, 2048))
+        fix.nic.mmio_write(REG_RDT, count - 1, 4)
+        return rx_base
+
+    def test_receive_into_ring(self):
+        fix = NicFixture()
+        rx_base = self._rx_setup(fix)
+        assert fix.nic.receive_frame(b"hello world" + bytes(53))
+        status = fix.memory.read_u32(rx_base + 12)
+        assert status & DESC_STATUS_DD
+        assert fix.memory.read(0x20000, 11) == b"hello world"
+        assert fix.nic.frames_received == 1
+
+    def test_receive_raises_rx_interrupt(self):
+        fix = NicFixture()
+        self._rx_setup(fix)
+        fix.nic.receive_frame(bytes(64))
+        assert fix.nic.mmio_read(REG_ICR, 4) & ICR_RXDW
+
+    def test_drop_when_no_ring(self):
+        fix = NicFixture()
+        assert not fix.nic.receive_frame(bytes(64))
+        assert fix.nic.frames_dropped == 1
+
+    def test_drop_when_ring_exhausted(self):
+        fix = NicFixture()
+        self._rx_setup(fix, count=2)
+        assert fix.nic.receive_frame(bytes(64))
+        assert not fix.nic.receive_frame(bytes(64))  # RDH == RDT now
+
+    def test_drop_oversized_frame(self):
+        fix = NicFixture()
+        rx_base = 0x2000
+        fix.nic.mmio_write(REG_RDBA, rx_base, 4)
+        fix.nic.mmio_write(REG_RDLEN, 2, 4)
+        fix.memory.write(rx_base, make_rx_descriptor(0x20000, 100))
+        fix.nic.mmio_write(REG_RDT, 1, 4)
+        assert not fix.nic.receive_frame(bytes(500))

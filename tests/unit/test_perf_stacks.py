@@ -1,0 +1,131 @@
+"""Unit tests for the perf-layer execution stacks and dispatcher."""
+
+import pytest
+
+from repro.hw.machine import Machine, MachineConfig
+from repro.perf.costmodel import DEFAULT_COST_MODEL
+from repro.perf.stacks import (
+    FullVmmPerfStack,
+    InterruptDispatcher,
+    LvmmPerfStack,
+    PerfStack,
+    make_stack,
+)
+from repro.sim.budget import CAT_DRIVER, CAT_EMULATION, CAT_WORLD_SWITCH
+
+
+def machine_with(stack_name):
+    machine = Machine(MachineConfig())
+    machine.program_pic_defaults()
+    stack = make_stack(stack_name, machine)
+    return machine, stack
+
+
+class TestStackFactory:
+    def test_all_three_stacks(self):
+        for name, cls in (("bare", PerfStack), ("lvmm", LvmmPerfStack),
+                          ("fullvmm", FullVmmPerfStack)):
+            _, stack = machine_with(name)
+            assert type(stack) is cls
+            assert stack.name == name
+
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(ValueError):
+            make_stack("xen", Machine())
+
+
+class TestAccessCharging:
+    def test_bare_charges_hardware_latency(self):
+        machine, stack = machine_with("bare")
+        machine.bus.port_read(0x20, 1)
+        assert machine.budget.by_category()[CAT_DRIVER] \
+            == DEFAULT_COST_MODEL.device_access_cycles
+
+    def test_lvmm_pic_access_traps(self):
+        machine, stack = machine_with("lvmm")
+        machine.bus.port_read(0x21, 1)  # intercepted: virtual PIC
+        by = machine.budget.by_category()
+        assert by[CAT_WORLD_SWITCH] == DEFAULT_COST_MODEL.world_switch_cycles
+        assert CAT_DRIVER not in by  # no hardware access happened
+
+    def test_lvmm_scsi_access_passes_through(self):
+        machine, stack = machine_with("lvmm")
+        from repro.hw.scsi import PORT_BASE_SCSI, REG_STATUS
+        machine.bus.port_read(PORT_BASE_SCSI + REG_STATUS, 4)
+        by = machine.budget.by_category()
+        assert by[CAT_DRIVER] == DEFAULT_COST_MODEL.device_access_cycles
+        assert CAT_WORLD_SWITCH not in by
+
+    def test_fullvmm_scsi_access_takes_hosted_path(self):
+        machine, stack = machine_with("fullvmm")
+        from repro.hw.scsi import PORT_BASE_SCSI, REG_STATUS
+        machine.bus.port_read(PORT_BASE_SCSI + REG_STATUS, 4)
+        by = machine.budget.by_category()
+        assert by[CAT_EMULATION] >= DEFAULT_COST_MODEL.host_switch_cycles
+
+    def test_fullvmm_nic_mmio_takes_hosted_path(self):
+        machine, stack = machine_with("fullvmm")
+        from repro.hw.nic import MMIO_BASE_NIC, REG_STATUS
+        machine.bus.mmio_read(MMIO_BASE_NIC + REG_STATUS, 4)
+        by = machine.budget.by_category()
+        assert by[CAT_EMULATION] >= DEFAULT_COST_MODEL.host_switch_cycles
+
+    def test_lvmm_nic_mmio_passes_through(self):
+        machine, stack = machine_with("lvmm")
+        from repro.hw.nic import MMIO_BASE_NIC, REG_STATUS
+        machine.bus.mmio_read(MMIO_BASE_NIC + REG_STATUS, 4)
+        by = machine.budget.by_category()
+        assert CAT_EMULATION not in by
+
+
+class TestInterruptDispatch:
+    def test_handler_called_with_stack_charges(self):
+        machine, stack = machine_with("lvmm")
+        dispatcher = InterruptDispatcher(machine, stack)
+        fired = []
+        dispatcher.register(4, lambda: fired.append(1))
+        machine.pic.raise_irq(4)
+        dispatcher.dispatch_pending()
+        assert fired == [1]
+        by = machine.budget.by_category()
+        assert by[CAT_WORLD_SWITCH] >= DEFAULT_COST_MODEL.world_switch_cycles
+        assert dispatcher.dispatched == 1
+
+    def test_monitored_stack_eois_real_pic(self):
+        machine, stack = machine_with("lvmm")
+        dispatcher = InterruptDispatcher(machine, stack)
+        dispatcher.register(0, lambda: None)
+        machine.pic.raise_irq(0)
+        dispatcher.dispatch_pending()
+        assert machine.pic.master.isr == 0  # monitor EOI'd
+
+    def test_bare_leaves_eoi_to_guest(self):
+        machine, stack = machine_with("bare")
+        dispatcher = InterruptDispatcher(machine, stack)
+        dispatcher.register(
+            0, lambda: machine.bus.port_write(0x20, 0x20, 1))
+        machine.pic.raise_irq(0)
+        dispatcher.dispatch_pending()
+        assert machine.pic.master.isr == 0  # guest EOI'd via bus
+
+    def test_unhandled_interrupt_still_consumed(self):
+        machine, stack = machine_with("bare")
+        dispatcher = InterruptDispatcher(machine, stack)
+        machine.pic.raise_irq(3)
+        dispatcher.dispatch_pending()
+        assert dispatcher.dispatched == 1
+        # Bare + no handler: ISR bit stays set (a stuck interrupt, as on
+        # real hardware with a missing handler).
+        assert machine.pic.master.isr == 1 << 3
+
+    def test_cost_ordering_per_interrupt(self):
+        """Interrupt cost must rank bare < lvmm < fullvmm."""
+        totals = {}
+        for name in ("bare", "lvmm", "fullvmm"):
+            machine, stack = machine_with(name)
+            dispatcher = InterruptDispatcher(machine, stack)
+            dispatcher.register(5, lambda: None)
+            machine.pic.raise_irq(5)
+            dispatcher.dispatch_pending()
+            totals[name] = machine.budget.total
+        assert totals["bare"] < totals["lvmm"] < totals["fullvmm"]

@@ -1,0 +1,199 @@
+"""Unit tests for the MC146818 RTC model."""
+
+import datetime
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hw.rtc import (
+    ALARM_ANY,
+    REG_DAY,
+    REG_HOURS,
+    REG_MINUTES,
+    REG_MINUTES_ALARM,
+    REG_MONTH,
+    REG_SECONDS,
+    REG_SECONDS_ALARM,
+    REG_STATUS_A,
+    REG_STATUS_B,
+    REG_STATUS_C,
+    REG_YEAR,
+    STATUS_B_24H,
+    STATUS_B_ALARM_IRQ,
+    STATUS_B_BINARY,
+    STATUS_B_PERIODIC_IRQ,
+    STATUS_C_ALARM,
+    STATUS_C_PERIODIC,
+    Rtc,
+)
+from repro.sim.events import EventQueue
+
+CPU_HZ = 1.26e9
+EPOCH = datetime.datetime(2005, 3, 7, 9, 30, 0)
+
+
+def make_rtc():
+    queue = EventQueue()
+    irqs = []
+    rtc = Rtc(queue, CPU_HZ, raise_irq=lambda: irqs.append(queue.now),
+              epoch=EPOCH)
+    return queue, rtc, irqs
+
+
+def read_reg(rtc, register):
+    rtc.port_write(0, register, 1)
+    return rtc.port_read(1, 1)
+
+
+def write_reg(rtc, register, value):
+    rtc.port_write(0, register, 1)
+    rtc.port_write(1, value, 1)
+
+
+class TestClockReading:
+    def test_epoch_in_bcd(self):
+        _, rtc, _ = make_rtc()
+        assert read_reg(rtc, REG_HOURS) == 0x09
+        assert read_reg(rtc, REG_MINUTES) == 0x30
+        assert read_reg(rtc, REG_SECONDS) == 0x00
+        assert read_reg(rtc, REG_DAY) == 0x07
+        assert read_reg(rtc, REG_MONTH) == 0x03
+        assert read_reg(rtc, REG_YEAR) == 0x05
+
+    def test_time_advances_with_cycles(self):
+        queue, rtc, _ = make_rtc()
+        queue.schedule_at(int(CPU_HZ * 61), lambda: None)
+        queue.run()
+        assert read_reg(rtc, REG_MINUTES) == 0x31
+        assert read_reg(rtc, REG_SECONDS) == 0x01
+
+    def test_binary_mode(self):
+        _, rtc, _ = make_rtc()
+        write_reg(rtc, REG_STATUS_B, STATUS_B_24H | STATUS_B_BINARY)
+        assert read_reg(rtc, REG_MINUTES) == 30
+
+    def test_setting_clock_registers_rejected(self):
+        _, rtc, _ = make_rtc()
+        with pytest.raises(DeviceError):
+            write_reg(rtc, REG_SECONDS, 0x15)
+
+
+class TestPeriodicInterrupt:
+    def test_default_rate_when_enabled(self):
+        queue, rtc, irqs = make_rtc()
+        write_reg(rtc, REG_STATUS_B,
+                  STATUS_B_24H | STATUS_B_PERIODIC_IRQ)
+        queue.run_until(int(CPU_HZ))  # one second: ~1024 ticks
+        assert 1000 <= rtc.periodic_fired <= 1048
+        assert len(irqs) == rtc.periodic_fired
+
+    def test_rate_select(self):
+        queue, rtc, _ = make_rtc()
+        write_reg(rtc, REG_STATUS_A, 0x0F)  # 2 Hz
+        write_reg(rtc, REG_STATUS_B,
+                  STATUS_B_24H | STATUS_B_PERIODIC_IRQ)
+        queue.run_until(int(CPU_HZ * 2))
+        assert rtc.periodic_fired == 4
+
+    def test_status_c_reports_and_clears(self):
+        queue, rtc, _ = make_rtc()
+        write_reg(rtc, REG_STATUS_A, 0x0F)
+        write_reg(rtc, REG_STATUS_B,
+                  STATUS_B_24H | STATUS_B_PERIODIC_IRQ)
+        queue.run_until(int(CPU_HZ))
+        value = read_reg(rtc, REG_STATUS_C)
+        assert value & STATUS_C_PERIODIC
+        assert read_reg(rtc, REG_STATUS_C) == 0  # cleared by the read
+
+    def test_disable_stops_ticks(self):
+        queue, rtc, _ = make_rtc()
+        write_reg(rtc, REG_STATUS_A, 0x0F)
+        write_reg(rtc, REG_STATUS_B,
+                  STATUS_B_24H | STATUS_B_PERIODIC_IRQ)
+        queue.run_until(int(CPU_HZ))
+        fired = rtc.periodic_fired
+        write_reg(rtc, REG_STATUS_B, STATUS_B_24H)
+        queue.run_until(int(CPU_HZ * 3))
+        assert rtc.periodic_fired == fired
+
+
+class TestAlarm:
+    def test_alarm_fires_at_matching_second(self):
+        queue, rtc, irqs = make_rtc()
+        write_reg(rtc, REG_SECONDS_ALARM, 0x30)  # at :30 seconds (BCD)
+        write_reg(rtc, REG_MINUTES_ALARM, ALARM_ANY)
+        write_reg(rtc, REG_STATUS_B, STATUS_B_24H | STATUS_B_ALARM_IRQ)
+        queue.run_until(int(CPU_HZ * 31))
+        assert rtc.alarms_fired == 1
+        assert read_reg(rtc, REG_STATUS_C) & STATUS_C_ALARM
+
+    def test_dont_care_alarm_fires_every_minute(self):
+        queue, rtc, _ = make_rtc()
+        write_reg(rtc, REG_SECONDS_ALARM, 0x00)  # at :00 of any minute
+        write_reg(rtc, REG_STATUS_B, STATUS_B_24H | STATUS_B_ALARM_IRQ)
+        queue.run_until(int(CPU_HZ * 121))
+        assert rtc.alarms_fired == 2
+
+    def test_alarm_disabled_never_fires(self):
+        queue, rtc, _ = make_rtc()
+        write_reg(rtc, REG_SECONDS_ALARM, 0x30)
+        queue.run_until(int(CPU_HZ * 61))
+        assert rtc.alarms_fired == 0
+
+
+class TestOnTheMachine:
+    def test_machine_has_rtc_on_irq8(self):
+        from repro.hw.machine import Machine
+        machine = Machine()
+        machine.program_pic_defaults()
+        machine.rtc.port_write(0, REG_STATUS_A, 1)
+        machine.rtc.port_write(1, 0x0F, 1)
+        machine.rtc.port_write(0, REG_STATUS_B, 1)
+        machine.rtc.port_write(1, STATUS_B_24H | STATUS_B_PERIODIC_IRQ, 1)
+        machine.queue.run_until(int(machine.config.cpu_hz))
+        # IRQ 8 pending on the slave.
+        assert machine.pic.pending_vector() == 40
+
+    def test_lvmm_leaves_rtc_to_the_guest(self):
+        from repro.vmm.intercept import LVMM_INTERCEPTED_PORTS
+        assert 0x70 not in LVMM_INTERCEPTED_PORTS
+        assert 0x71 not in LVMM_INTERCEPTED_PORTS
+
+
+class TestRtcFromGuestAssembly:
+    def test_guest_reads_wall_clock_under_lvmm(self):
+        """An assembly guest reads the RTC through port I/O while
+        deprivileged — wall-clock access as device passthrough."""
+        from repro.asm import assemble
+        from repro.hw import firmware
+        from repro.hw.machine import Machine
+        from repro.vmm import LightweightVmm
+
+        machine = Machine()
+        monitor = LightweightVmm(machine)
+        program = assemble(f"""
+        .org {firmware.GUEST_KERNEL_BASE}
+            MOVI R2, 0x70
+            MOVI R0, {REG_HOURS}
+            OUTB R0, R2
+            MOVI R2, 0x71
+            INB  R3, R2          ; hours, BCD
+            MOVI R2, 0x70
+            MOVI R0, {REG_MINUTES}
+            OUTB R0, R2
+            MOVI R2, 0x71
+            INB  R5, R2          ; minutes, BCD
+            MOVI R4, 1
+        spin:
+            JMP spin
+        """)
+        program.load_into(machine.memory)
+        monitor.install()
+        machine.cpu.io_allowed_ports.update({0x70, 0x71})
+        monitor.boot_guest(program.origin)
+        monitor.run(40, until=lambda: machine.cpu.regs[4] == 1)
+        assert machine.cpu.regs[3] == 0x09   # epoch hour, BCD
+        assert machine.cpu.regs[5] == 0x30   # epoch minutes
+        # Passthrough: the RTC accesses never trapped.
+        assert "INB" not in monitor.stats.traps_by_mnemonic
+        assert "OUTB" not in monitor.stats.traps_by_mnemonic

@@ -1,0 +1,81 @@
+"""Unit tests for DebugSession plumbing and the microworkloads."""
+
+import pytest
+
+from repro.core import MONITORS, DebugSession
+from repro.errors import MonitorError
+from repro.guest import KernelConfig, build_kernel
+from repro.workloads.micro import compare, disk_only, net_only
+
+
+class TestDebugSessionPlumbing:
+    def test_unknown_monitor_rejected(self):
+        with pytest.raises(MonitorError):
+            DebugSession(monitor="xen")
+
+    def test_monitor_registry(self):
+        assert set(MONITORS) == {"lvmm", "fullvmm"}
+
+    def test_boot_requires_program(self):
+        session = DebugSession()
+        with pytest.raises(MonitorError):
+            session.load_and_boot()
+
+    def test_run_before_boot_rejected(self):
+        session = DebugSession()
+        with pytest.raises(MonitorError):
+            session.run_guest()
+
+    def test_targets_attach_stopped(self):
+        session = DebugSession()
+        session.load_and_boot(build_kernel(KernelConfig()))
+        assert session.monitor.stopped
+        assert session.attach() == 5
+
+    def test_console_property(self):
+        session = DebugSession()
+        session.load_and_boot(build_kernel(KernelConfig()))
+        session.monitor.console.extend(b"xyz")
+        assert session.console_output == b"xyz"
+
+    def test_multiple_programs_loaded(self):
+        from repro.guest import build_user_task
+        session = DebugSession()
+        kernel = build_kernel(KernelConfig(with_user_task=True))
+        user = build_user_task(2)
+        session.load_and_boot(kernel, user)
+        # Both images are in memory; PC aims at the first.
+        assert session.machine.cpu.pc == kernel.origin
+        assert session.machine.memory.read(
+            user.origin, 4) == user.image[:4]
+
+
+class TestMicroWorkloads:
+    def test_disk_only_ordering(self):
+        results = {stack: disk_only(stack, 0.1)
+                   for stack in ("bare", "lvmm", "fullvmm")}
+        assert results["bare"].demanded_load \
+            <= results["lvmm"].demanded_load \
+            < results["fullvmm"].demanded_load
+        # Same bytes moved regardless of stack.
+        assert results["bare"].bytes_moved == results["lvmm"].bytes_moved
+
+    def test_net_only_ordering(self):
+        results = {stack: net_only(stack, 80e6, 0.15)
+                   for stack in ("bare", "lvmm", "fullvmm")}
+        assert results["bare"].demanded_load \
+            < results["lvmm"].demanded_load \
+            < results["fullvmm"].demanded_load
+        assert results["bare"].bytes_moved > 0
+
+    def test_compare_dispatch(self):
+        out = compare("disk", sim_seconds=0.05)
+        assert set(out) == {"bare", "lvmm", "fullvmm"}
+        with pytest.raises(ValueError):
+            compare("tape")
+
+    def test_disk_only_actually_streams(self):
+        result = disk_only("bare", 0.2)
+        # 3 disks x 40 MB/s for 0.2s less seek time: > 10 MB.
+        assert result.bytes_moved > 10 * 1024 * 1024
+        assert result.interrupts >= 3

@@ -1,0 +1,138 @@
+"""Unit tests for PUSHF/POPF/XCHG — including the classic x86
+virtualisation hole (POPF silently dropping IF from deprivileged code)
+and how the LVMM's interrupt virtualisation sidesteps it."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.hw import Cpu, IoBus, PhysicalMemory, firmware
+from repro.hw.isa import FLAG_CF, FLAG_IF, FLAG_ZF, IOPL_SHIFT
+from repro.vmm import LightweightVmm
+from repro.hw.machine import Machine
+
+
+def run_ring0(source, flags=0):
+    cpu = Cpu(PhysicalMemory(1 << 20), IoBus())
+    firmware.install_flat_firmware(cpu)
+    cpu.flags = flags
+    program = assemble(source, origin=0x4000)
+    program.load_into(cpu.memory)
+    cpu.pc = 0x4000
+    while not cpu.halted:
+        cpu.step()
+    return cpu
+
+
+class TestPushfPopf:
+    def test_round_trip_at_ring0(self):
+        cpu = run_ring0("""
+            MOVI R0, 1
+            CMPI R0, 1        ; ZF set
+            PUSHF
+            MOVI R1, 0
+            CMPI R1, 1        ; ZF cleared, CF set
+            POPF              ; ZF back, CF gone
+            HLT
+        """)
+        assert cpu.flags & FLAG_ZF
+        assert not cpu.flags & FLAG_CF
+
+    def test_popf_changes_if_at_ring0(self):
+        cpu = run_ring0("""
+            PUSHF
+            POP  R0
+            ORI  R0, 0x200    ; set IF in the image
+            PUSH R0
+            POPF
+            HLT
+        """)
+        assert cpu.flags & FLAG_IF
+
+    def test_xchg(self):
+        cpu = run_ring0("""
+            MOVI R0, 0x11
+            MOVI R1, 0x22
+            XCHG R0, R1
+            HLT
+        """)
+        assert cpu.regs[0] == 0x22
+        assert cpu.regs[1] == 0x11
+
+
+class TestTheVirtualisationHole:
+    def test_popf_silently_preserves_if_when_deprivileged(self):
+        """The deprivileged kernel *believes* it enabled interrupts;
+        the hardware quietly ignored it — no fault, no trap."""
+        machine = Machine()
+        vmm = LightweightVmm(machine)
+        program = assemble(f"""
+        .org 0x200000
+            PUSHF
+            POP  R0
+            ORI  R0, 0x200    ; try to set IF via POPF
+            PUSH R0
+            POPF
+            PUSHF
+            POP  R3           ; read back what actually happened
+            HLT
+        """)
+        program.load_into(machine.memory)
+        vmm.install()
+        vmm.boot_guest(program.origin)
+        vmm.run(50)
+        assert not machine.cpu.flags & FLAG_IF      # hardware IF unmoved
+        assert not machine.cpu.regs[3] & 0x200      # and readback shows it
+        # Crucially: POPF did NOT trap (the hole), yet nothing broke,
+        # because the monitor owns interrupt delivery outright.
+        assert "POPF" not in vmm.stats.traps_by_mnemonic
+
+    def test_sti_by_contrast_traps_and_is_virtualised(self):
+        machine = Machine()
+        vmm = LightweightVmm(machine)
+        program = assemble(".org 0x200000\nSTI\nHLT\n")
+        program.load_into(machine.memory)
+        vmm.install()
+        vmm.boot_guest(program.origin)
+        vmm.run(10)
+        assert vmm.stats.traps_by_mnemonic.get("STI") == 1
+        assert vmm.shadow.vif                        # virtual IF tracked
+
+    def test_popf_respects_iopl_at_ring3(self):
+        cpu = Cpu(PhysicalMemory(1 << 20), IoBus())
+        selectors = firmware.install_flat_firmware(cpu)
+        from repro.hw.seg import SegmentDescriptor
+        code3 = SegmentDescriptor(0, cpu.memory.size, 3, code=True)
+        data3 = SegmentDescriptor(0, cpu.memory.size, 3)
+        cpu.force_segment(0, selectors.code3, code3)
+        cpu.force_segment(1, selectors.data3, data3)
+        cpu.force_segment(2, selectors.data3, data3)
+        cpu.sp = firmware.RING3_STACK_TOP
+        cpu.flags = 0b11 << IOPL_SHIFT  # IOPL 3: ring 3 may toggle IF
+        program = assemble(
+            "PUSHF\nPOP R0\nORI R0, 0x200\nPUSH R0\nPOPF\nNOP\n",
+            origin=0x4000)
+        program.load_into(cpu.memory)
+        cpu.pc = 0x4000
+        for _ in range(6):
+            cpu.step()
+        assert cpu.flags & FLAG_IF  # allowed because IOPL == CPL
+
+    def test_ring3_cannot_raise_its_own_iopl(self):
+        cpu = run_ring0("NOP\nHLT")  # ring 0 reference works trivially
+        machine = Machine()
+        vmm = LightweightVmm(machine)
+        program = assemble("""
+        .org 0x200000
+            PUSHF
+            POP  R0
+            ORI  R0, 0x3000   ; try IOPL=3 via POPF
+            PUSH R0
+            POPF
+            HLT
+        """)
+        program.load_into(machine.memory)
+        vmm.install()
+        vmm.boot_guest(program.origin)
+        vmm.run(20)
+        assert machine.cpu.iopl == 0  # silently preserved at ring 1
+        assert cpu.halted

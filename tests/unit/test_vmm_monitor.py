@@ -1,0 +1,260 @@
+"""Unit tests for the lightweight VMM: trap-and-emulate, interception
+policy, interrupt virtualisation, and monitor self-protection."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.guest.asmkernel import KernelConfig, build_kernel, read_ticks
+from repro.hw import firmware
+from repro.hw.machine import Machine
+from repro.hw.pic import MASTER_CMD
+from repro.hw.scsi import PORT_BASE_SCSI
+from repro.hw.uart import PORT_BASE_COM1
+from repro.sim.budget import CAT_WORLD_SWITCH
+from repro.vmm import (
+    LVMM_INTERCEPTED_PORTS,
+    LightweightVmm,
+    MONITOR_MAGIC,
+)
+
+
+def lvmm_with(source: str, **config):
+    """Boot a small assembly snippet (prefixed at the kernel base)."""
+    machine = Machine()
+    vmm = LightweightVmm(machine)
+    program = assemble(f".org {firmware.GUEST_KERNEL_BASE}\n" + source)
+    program.load_into(machine.memory)
+    vmm.install()
+    vmm.boot_guest(program.origin)
+    return machine, vmm, program
+
+
+class TestInterceptionPolicy:
+    def test_pic_pit_uart_intercepted(self):
+        assert MASTER_CMD in LVMM_INTERCEPTED_PORTS
+        assert 0xA0 in LVMM_INTERCEPTED_PORTS
+        assert 0x40 in LVMM_INTERCEPTED_PORTS
+        assert PORT_BASE_COM1 in LVMM_INTERCEPTED_PORTS
+
+    def test_scsi_passthrough_not_intercepted(self):
+        assert PORT_BASE_SCSI not in LVMM_INTERCEPTED_PORTS
+
+    def test_intercept_set_is_small(self):
+        # The whole point of "lightweight": single-digit device claims.
+        assert len(LVMM_INTERCEPTED_PORTS) <= 16
+
+
+class TestDeprivilegedBoot:
+    def test_guest_runs_at_ring1(self):
+        machine, vmm, _ = lvmm_with("MOVI R0, 7\nHLT\n")
+        vmm.run(10)
+        assert machine.cpu.cpl == 1
+        assert machine.cpu.regs[0] == 7
+
+    def test_guest_segments_truncated(self):
+        machine, vmm, _ = lvmm_with("NOP\nHLT\n")
+        vmm.run(5)
+        for cache in machine.cpu.segments:
+            assert cache.descriptor.base + cache.descriptor.limit \
+                <= vmm.monitor_base
+
+    def test_guest_cannot_read_monitor_memory(self):
+        machine, vmm, _ = lvmm_with("""
+            MOVI R1, 0xF00000
+            LD   R0, [R1+0]
+            HLT
+        """)
+        vmm.run(10)
+        # The load faulted; with no guest IDT the guest is declared dead
+        # and the monitor survives.
+        assert vmm.guest_dead
+        assert not vmm.stopped or vmm.guest_dead
+
+    def test_guest_cannot_write_monitor_memory(self):
+        machine, vmm, _ = lvmm_with("""
+            MOVI R1, 0xF80000
+            MOVI R0, 0xDEAD
+            ST   [R1+0], R0
+            HLT
+        """)
+        before = machine.memory.read_u32(0xF80000)
+        vmm.run(10)
+        assert machine.memory.read_u32(0xF80000) == before
+        assert vmm.guest_dead
+
+    def test_double_install_rejected(self):
+        machine = Machine()
+        vmm = LightweightVmm(machine)
+        vmm.install()
+        from repro.errors import MonitorError
+        with pytest.raises(MonitorError):
+            vmm.install()
+
+    def test_boot_before_install_rejected(self):
+        from repro.errors import MonitorError
+        vmm = LightweightVmm(Machine())
+        with pytest.raises(MonitorError):
+            vmm.boot_guest(0x200000)
+
+
+class TestTrapAndEmulate:
+    def test_cli_sti_virtualised(self):
+        machine, vmm, _ = lvmm_with("CLI\nSTI\nHLT\n")
+        vmm.run(10)
+        assert vmm.stats.traps_by_mnemonic.get("CLI") == 1
+        assert vmm.stats.traps_by_mnemonic.get("STI") == 1
+        assert vmm.shadow.vif  # STI left the virtual IF on
+
+    def test_movcr_shadowed(self):
+        machine, vmm, _ = lvmm_with("""
+            MOVI R0, 0x1234
+            MOVCR CR3, R0
+            MOVRC R2, CR3
+            HLT
+        """)
+        vmm.run(10)
+        assert vmm.shadow.cr3 == 0x1234
+        assert machine.cpu.regs[2] == 0x1234
+
+    def test_lgdt_rebuilds_shadow(self):
+        machine, vmm, _ = lvmm_with("NOP\nHLT\n")
+        rebuilds_at_boot = vmm.shadow_gdt.rebuilds
+        machine2, vmm2, _ = lvmm_with("""
+            MOVI R2, 0x6000
+            MOVI R0, 84
+            ST   [R2+0], R0
+            MOVI R0, 0x1000
+            ST   [R2+4], R0
+            MOV  R0, R2
+            LGDT R0
+            HLT
+        """)
+        vmm2.run(20)
+        assert vmm2.shadow_gdt.rebuilds == rebuilds_at_boot + 1
+        assert vmm2.shadow.gdtr.base == 0x1000
+
+    def test_world_switch_cycles_charged(self):
+        machine, vmm, _ = lvmm_with("CLI\nSTI\nCLI\nHLT\n")
+        vmm.run(10)
+        charged = machine.budget.by_category().get(CAT_WORLD_SWITCH, 0)
+        # 4 traps (CLI, STI, CLI, HLT) at least.
+        assert charged >= 4 * vmm.cost.world_switch_cycles
+
+    def test_trap_statistics_accumulate(self):
+        machine, vmm, _ = lvmm_with("CLI\nCLI\nCLI\nHLT\n")
+        vmm.run(10)
+        assert vmm.stats.traps_by_mnemonic["CLI"] == 3
+
+    def test_guest_pic_access_hits_virtual_pic(self):
+        machine, vmm, _ = lvmm_with("""
+            MOVI R2, 0x21
+            MOVI R0, 0xAB
+            OUTB R0, R2       ; OCW1 to the (virtual) master PIC
+            HLT
+        """)
+        vmm.run(10)
+        assert vmm.shadow.virtual_pic.master.imr == 0xAB
+        # The REAL PIC's mask is monitor-owned and untouched.
+        assert machine.pic.master.imr == 0x00
+
+    def test_scsi_port_access_does_not_trap(self):
+        machine, vmm, _ = lvmm_with(f"""
+            MOVI R2, {PORT_BASE_SCSI + 8}
+            INW  R0, R2       ; HBA STATUS: passthrough, no trap
+            HLT
+        """)
+        vmm.run(10)
+        assert "INW" not in vmm.stats.traps_by_mnemonic
+        assert machine.bus.intercepted_accesses == 0
+
+    def test_guest_uart_access_denied_quietly(self):
+        machine, vmm, _ = lvmm_with(f"""
+            MOVI R2, {PORT_BASE_COM1}
+            MOVI R0, 0x41
+            OUTB R0, R2       ; guest writing to the debug UART
+            INB  R3, R2
+            HLT
+        """)
+        vmm.run(10)
+        assert vmm.intercept.uart_denied == 2
+        assert machine.cpu.regs[3] == 0
+        # Nothing leaked to the host side of the link.
+        assert not machine.serial_link.a_to_b
+
+
+class TestVmcall:
+    def test_putc_console(self):
+        machine, vmm, _ = lvmm_with("""
+            MOVI R0, 0
+            MOVI R1, 'h'
+            VMCALL
+            MOVI R1, 'i'
+            VMCALL
+            HLT
+        """)
+        vmm.run(20)
+        assert bytes(vmm.console) == b"hi"
+
+    def test_magic(self):
+        machine, vmm, _ = lvmm_with("""
+            MOVI R0, 1
+            VMCALL
+            HLT
+        """)
+        vmm.run(10)
+        assert machine.cpu.regs[1] == MONITOR_MAGIC
+
+    def test_panic_kills_guest_not_monitor(self):
+        machine, vmm, _ = lvmm_with("""
+            MOVI R0, 2
+            MOVI R1, 0x42
+            VMCALL
+            HLT
+        """)
+        vmm.run(10)
+        assert vmm.guest_dead
+        assert "0x42" in vmm.guest_dead_reason
+
+
+class TestInterruptVirtualisation:
+    def test_full_kernel_receives_reflected_timer(self):
+        machine = Machine()
+        vmm = LightweightVmm(machine)
+        kernel = build_kernel(KernelConfig(ticks_to_run=4, timer_hz=500))
+        kernel.load_into(machine.memory)
+        vmm.install()
+        vmm.boot_guest(kernel.origin)
+        vmm.run(400_000,
+                until=lambda: read_ticks(machine.memory) >= 4)
+        assert read_ticks(machine.memory) == 4
+        assert vmm.stats.interrupts_reflected >= 4
+
+    def test_interrupt_held_while_virtual_if_clear(self):
+        # A guest that never enables interrupts never sees the timer.
+        machine, vmm, _ = lvmm_with("""
+            MOVI R2, 0x43
+            MOVI R0, 0x34
+            OUTB R0, R2
+            MOVI R2, 0x40
+            MOVI R0, 100
+            OUTB R0, R2
+            MOVI R0, 0
+            OUTB R0, R2
+        spin:
+            NOP
+            JMP spin
+        """)
+        vmm.run(400_000)  # PIT divisor 100 fires every ~105k cycles
+        assert vmm.stats.interrupts_fielded > 0       # monitor saw them
+        assert vmm.stats.interrupts_reflected == 0    # guest (vif=0) did not
+
+    def test_monitor_eois_real_pic(self):
+        machine = Machine()
+        vmm = LightweightVmm(machine)
+        kernel = build_kernel(KernelConfig(ticks_to_run=2, timer_hz=500))
+        kernel.load_into(machine.memory)
+        vmm.install()
+        vmm.boot_guest(kernel.origin)
+        vmm.run(300_000, until=lambda: read_ticks(machine.memory) >= 2)
+        # Real PIC must have no stuck in-service bits.
+        assert machine.pic.master.isr == 0

@@ -1,0 +1,120 @@
+"""Unit tests for ring compression, segment truncation, and shadow GDT."""
+
+import pytest
+
+from repro.hw.mem import PhysicalMemory
+from repro.hw.seg import DESCRIPTOR_SIZE, SegmentDescriptor, selector
+from repro.vmm.protect import (
+    ShadowGdt,
+    compress_descriptor,
+    compress_selector,
+    guest_can_reach,
+)
+
+MONITOR_BASE = 0xF0_0000
+
+
+class TestCompressDescriptor:
+    def test_ring0_becomes_ring1(self):
+        descriptor = SegmentDescriptor(0, 0x100_0000, 0, code=True)
+        shadowed = compress_descriptor(descriptor, MONITOR_BASE)
+        assert shadowed.dpl == 1
+
+    def test_ring3_untouched(self):
+        descriptor = SegmentDescriptor(0, 0x100_0000, 3)
+        assert compress_descriptor(descriptor, MONITOR_BASE).dpl == 3
+
+    def test_limit_truncated_below_monitor(self):
+        descriptor = SegmentDescriptor(0, 0x100_0000, 0)
+        shadowed = compress_descriptor(descriptor, MONITOR_BASE)
+        assert shadowed.limit == MONITOR_BASE
+
+    def test_limit_kept_when_already_small(self):
+        descriptor = SegmentDescriptor(0, 0x1000, 0)
+        assert compress_descriptor(descriptor, MONITOR_BASE).limit == 0x1000
+
+    def test_nonzero_base_accounted(self):
+        # Segment starting at 0xE0_0000 may only span up to the monitor.
+        descriptor = SegmentDescriptor(0xE0_0000, 0x20_0000, 0)
+        shadowed = compress_descriptor(descriptor, MONITOR_BASE)
+        assert shadowed.base + shadowed.limit <= MONITOR_BASE
+
+    def test_base_beyond_monitor_collapses_to_empty(self):
+        descriptor = SegmentDescriptor(MONITOR_BASE + 0x100, 0x1000, 0)
+        assert compress_descriptor(descriptor, MONITOR_BASE).limit == 0
+
+    def test_other_attributes_preserved(self):
+        descriptor = SegmentDescriptor(0x10, 0x20, 0, code=True,
+                                       writable=False)
+        shadowed = compress_descriptor(descriptor, MONITOR_BASE)
+        assert shadowed.code and not shadowed.writable and shadowed.present
+
+
+class TestCompressSelector:
+    def test_rpl0_becomes_rpl1(self):
+        assert compress_selector(selector(2, 0)) == selector(2, 1)
+
+    def test_rpl3_unchanged(self):
+        assert compress_selector(selector(5, 3)) == selector(5, 3)
+
+    def test_index_preserved(self):
+        sel = compress_selector(selector(13, 0))
+        assert sel >> 2 == 13
+
+
+class TestShadowGdt:
+    def _build(self):
+        memory = PhysicalMemory(1 << 20)
+        shadow = ShadowGdt(memory, shadow_base=0xF0000,
+                           monitor_base=0xE0000)
+        guest_base = 0x1000
+        for index, descriptor in enumerate([
+            SegmentDescriptor(0, 0, 0, present=False),
+            SegmentDescriptor(0, 1 << 20, 0, code=True),
+            SegmentDescriptor(0, 1 << 20, 0),
+            SegmentDescriptor(0, 1 << 20, 3),
+        ]):
+            memory.write(guest_base + index * DESCRIPTOR_SIZE,
+                         descriptor.pack())
+        shadow.rebuild(guest_base, 4 * DESCRIPTOR_SIZE)
+        return memory, shadow
+
+    def test_rebuild_mirrors_indices(self):
+        _, shadow = self._build()
+        assert shadow.limit == 4 * DESCRIPTOR_SIZE
+        assert shadow.read(1).code
+        assert not shadow.read(2).code
+
+    def test_every_entry_compressed(self):
+        _, shadow = self._build()
+        assert shadow.read(1).dpl == 1
+        assert shadow.read(2).dpl == 1
+        assert shadow.read(3).dpl == 3
+        for index in range(1, 4):
+            assert shadow.read(index).limit <= 0xE0000
+
+    def test_monitor_unreachable_through_any_shadow_descriptor(self):
+        _, shadow = self._build()
+        for index in range(1, 4):
+            descriptor = shadow.read(index)
+            for offset in (0xE0000, 0xE0001, 0xFFFFF):
+                assert not guest_can_reach(descriptor, offset, 0xE0000)
+
+    def test_guest_memory_still_reachable(self):
+        _, shadow = self._build()
+        descriptor = shadow.read(2)
+        assert descriptor.contains(0x5000, 4)
+        assert descriptor.contains(0xDFFFC, 4)
+
+    def test_rebuild_counts(self):
+        _, shadow = self._build()
+        assert shadow.rebuilds == 1
+        shadow.rebuild(0x1000, 2 * DESCRIPTOR_SIZE)
+        assert shadow.rebuilds == 2
+        assert shadow.limit == 2 * DESCRIPTOR_SIZE
+
+    def test_oversized_guest_gdt_clamped(self):
+        memory = PhysicalMemory(1 << 20)
+        shadow = ShadowGdt(memory, 0xF0000, 0xE0000, max_descriptors=8)
+        shadow.rebuild(0x1000, 100 * DESCRIPTOR_SIZE)
+        assert shadow.limit == 8 * DESCRIPTOR_SIZE

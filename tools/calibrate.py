@@ -1,0 +1,53 @@
+"""Calibrate cost-model constants to the paper's Fig. 3.1 anchors:
+bare-metal max ~700 Mbps, LVMM = 26% of bare, LVMM = 5.4x full VMM.
+Secant iterations on one knob per anchor; run offline, constants are
+rounded into repro/perf/costmodel.py."""
+from repro.perf.costmodel import CostModel
+from repro.perf.sweep import max_rate
+
+
+def secant(f, x1, x2, iters=5):
+    f1, f2 = f(x1), f(x2)
+    for _ in range(iters):
+        if f2 == f1:
+            break
+        x3 = x2 - f2 * (x2 - x1) / (f2 - f1)
+        x1, f1 = x2, f2
+        x2, f2 = x3, f(x3)
+    return x2
+
+
+cost = CostModel()
+
+# 1) bare -> 700 Mbps via guest_byte_cycles
+def err_bare(gb):
+    return max_rate("bare", cost.with_overrides(guest_byte_cycles=gb)) - 700e6
+
+gb = secant(err_bare, 10.0, 13.0)
+cost = cost.with_overrides(guest_byte_cycles=round(gb, 2))
+bare = max_rate("bare", cost)
+print(f"guest_byte={cost.guest_byte_cycles} bare={bare/1e6:.1f}")
+
+# 2) lvmm -> 0.26 * bare via world_switch
+target_lvmm = 0.26 * bare
+def err_lvmm(ws):
+    return max_rate("lvmm", cost.with_overrides(world_switch_cycles=int(ws))) - target_lvmm
+
+ws = int(secant(err_lvmm, 8000, 16000))
+cost = cost.with_overrides(world_switch_cycles=ws)
+lvmm = max_rate("lvmm", cost)
+print(f"ws={ws} lvmm={lvmm/1e6:.1f} ({lvmm/bare*100:.1f}%)")
+
+# 3) fullvmm -> lvmm / 5.4 via host_switch
+target_full = lvmm / 5.4
+def err_full(hs):
+    c = cost.with_overrides(host_switch_cycles=int(max(hs, ws)))
+    return max_rate("fullvmm", c, probe_mbps=(10.0, 22.0)) - target_full
+
+hs = int(secant(err_full, 40000, 90000))
+cost = cost.with_overrides(host_switch_cycles=hs)
+full = max_rate("fullvmm", cost, probe_mbps=(10.0, 22.0))
+print(f"hs={hs} full={full/1e6:.2f} ratio={lvmm/full:.2f}")
+print("\nfinal:", dict(guest_byte_cycles=cost.guest_byte_cycles,
+                       world_switch_cycles=cost.world_switch_cycles,
+                       host_switch_cycles=cost.host_switch_cycles))
