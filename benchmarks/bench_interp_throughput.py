@@ -1,0 +1,112 @@
+"""Interpreter throughput: decoded-instruction cache on vs. off.
+
+A tight guest loop (ALU + conditional branch, the shape of every hot
+kernel path) is run twice on a bare CPU — once with the decode cache
+enabled, once with the ablation flag clearing it — and the
+instructions/second ratio is the deliverable.  The run also emits a
+``BENCH_interp.json`` artifact so future PRs have a perf trajectory to
+compare against.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.asm import assemble
+from repro.hw import Cpu, IoBus, PhysicalMemory
+from repro.hw import firmware
+from repro.perf.export import interp_stats
+
+ARTIFACT = Path("BENCH_interp.json")
+
+LOOP_ITERATIONS = 60_000
+TIGHT_LOOP = f"""
+    MOVI R0, {LOOP_ITERATIONS}
+loop:
+    ADDI R1, 3
+    XORI R2, 0x55
+    SUBI R0, 1
+    JNZ  loop
+    HLT
+"""
+
+
+def run_tight_loop(decode_cache):
+    memory = PhysicalMemory(1 << 20)
+    cpu = Cpu(memory, IoBus(), decode_cache=decode_cache)
+    firmware.install_flat_firmware(cpu)
+    program = assemble(TIGHT_LOOP, origin=0x4000)
+    program.load_into(memory)
+    cpu.pc = 0x4000
+    start = time.perf_counter()
+    executed = cpu.run(LOOP_ITERATIONS * 4 + 16)
+    elapsed = time.perf_counter() - start
+    assert cpu.halted, "benchmark guest must run to completion"
+    return cpu, executed, elapsed
+
+
+@pytest.fixture(scope="module")
+def throughput():
+    results = {}
+    for enabled in (True, False):
+        cpu, executed, elapsed = run_tight_loop(enabled)
+        results["cache_on" if enabled else "cache_off"] = {
+            "instructions": executed,
+            "seconds": round(elapsed, 6),
+            "insns_per_sec": round(executed / elapsed, 1),
+            "interp": interp_stats(cpu),
+        }
+    results["speedup"] = round(
+        results["cache_on"]["insns_per_sec"]
+        / results["cache_off"]["insns_per_sec"], 3)
+    ARTIFACT.write_text(json.dumps(
+        {"experiment": "interp-throughput", "results": results}, indent=2))
+    return results
+
+
+class TestInterpThroughput:
+    def test_throughput_table(self, throughput, benchmark, capsys):
+        def render():
+            lines = ["Interpreter throughput (tight ALU+branch loop)"]
+            for key in ("cache_on", "cache_off"):
+                row = throughput[key]
+                decode = row["interp"]["decode_cache"]
+                lines.append(
+                    f"{key:10s} {row['insns_per_sec']:>12,.0f} insns/s "
+                    f"({row['instructions']} insns, "
+                    f"hit-rate {decode['hit_rate']:.4f})")
+            lines.append(f"speedup    {throughput['speedup']:.2f}x")
+            return "\n".join(lines)
+
+        text = benchmark.pedantic(render, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(text)
+
+    def test_cache_doubles_throughput(self, throughput, benchmark):
+        """The acceptance bar: >= 2x instructions/sec with the cache."""
+        def check():
+            assert throughput["speedup"] >= 2.0, throughput["speedup"]
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_hot_loop_hit_rate_near_unity(self, throughput, benchmark):
+        def check():
+            decode = throughput["cache_on"]["interp"]["decode_cache"]
+            assert decode["hit_rate"] > 0.999
+            assert decode["entries"] <= 8
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_artifact_round_trips(self, throughput, benchmark):
+        def check():
+            document = json.loads(ARTIFACT.read_text())
+            assert document["experiment"] == "interp-throughput"
+            assert document["results"]["speedup"] == throughput["speedup"]
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -10,6 +10,7 @@ path.
 
 import pytest
 
+from repro.perf.export import interp_stats
 from repro.guest.asmio import NIC_MMIO_HOLE, build_io_demo, read_flags
 from repro.guest.asmkernel import KernelConfig, build_kernel, read_state
 from repro.guest.asmthreads import build_threaded_kernel
@@ -117,6 +118,33 @@ class TestTrapCensus:
             return True
 
         assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_interp_fast_path_table(self, census, benchmark, capsys):
+        """Decode-cache and TLB effectiveness per guest: real kernels
+        (not just synthetic loops) should run almost entirely out of
+        the decoded-instruction cache."""
+        def render():
+            lines = ["Interpreter fast path per guest"]
+            for name, (machine, _) in census.items():
+                stats = interp_stats(machine.cpu)
+                decode = stats["decode_cache"]
+                tlb = stats["tlb"]
+                lines.append(
+                    f"{name:16s} decode hit-rate={decode['hit_rate']:.4f} "
+                    f"(inval={decode['invalidations']}) "
+                    f"tlb hit-rate={tlb['hit_rate']:.4f}")
+            return "\n".join(lines)
+
+        text = benchmark.pedantic(render, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(text)
+        # Short straight-line guests (io-demo: 145 insns, data flags in
+        # the code page) legitimately miss; only loopy guests must hit.
+        for name, (machine, _) in census.items():
+            decode = machine.cpu.decode_cache_stats()
+            if machine.cpu.instret >= 1_000:
+                assert decode["hit_rate"] > 0.5, (name, decode)
 
     def test_trap_rate_is_boot_dominated(self, census, benchmark):
         """Per retired instruction, traps are rare for every guest —

@@ -18,8 +18,10 @@ Running bare metal means leaving both hooks unset: the guest's own IDT
 
 from __future__ import annotations
 
+import struct
+
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import CpuHalted, TripleFault
 from repro.hw import isa
@@ -51,7 +53,7 @@ from repro.hw.isa import (
     mask32,
     signed32,
 )
-from repro.hw.paging import Mmu, PageFault, span_pages
+from repro.hw.paging import Mmu, PAGE_SHIFT, PageFault, span_pages
 from repro.hw.seg import (
     GdtView,
     SegmentDescriptor,
@@ -91,13 +93,11 @@ class IdtGate:
     def pack(self) -> bytes:
         flags = (1 if self.present else 0) | ((self.dpl & 0b11) << 1) \
             | ((self.gate_type & 1) << 3)
-        import struct
         return struct.pack("<IHH", self.offset & 0xFFFFFFFF,
                            self.selector & 0xFFFF, flags)
 
     @classmethod
     def unpack(cls, raw: bytes) -> "IdtGate":
-        import struct
         offset, sel, flags = struct.unpack("<IHH", raw)
         return cls(offset=offset, selector=sel,
                    present=bool(flags & 1),
@@ -115,10 +115,56 @@ class SegmentCache:
         self.descriptor = descriptor
 
 
+class _ObservedSet(set):
+    """A set that notifies its owner on every mutation.
+
+    ``Cpu.code_breakpoints`` is one of these: inserting or removing a
+    breakpoint must drop decoded-instruction cache entries, the same way
+    inserting an INT3 into real code invalidates any trace cache built
+    over those bytes (cf. the virtual-breakpoint literature).
+    """
+
+    __slots__ = ("_on_change",)
+
+    def __init__(self, on_change: Callable[[], None], iterable=()) -> None:
+        super().__init__(iterable)
+        self._on_change = on_change
+
+    def add(self, element) -> None:
+        super().add(element)
+        self._on_change()
+
+    def discard(self, element) -> None:
+        super().discard(element)
+        self._on_change()
+
+    def remove(self, element) -> None:
+        super().remove(element)
+        self._on_change()
+
+    def clear(self) -> None:
+        super().clear()
+        self._on_change()
+
+    def update(self, *others) -> None:
+        super().update(*others)
+        self._on_change()
+
+    def pop(self):
+        element = super().pop()
+        self._on_change()
+        return element
+
+
 class Cpu:
     """One HX32 processor attached to memory and an I/O bus."""
 
-    def __init__(self, memory, bus, budget: Optional[CycleBudget] = None) -> None:
+    #: The decode cache is flushed wholesale (trace-cache style) rather
+    #: than evicted entry-by-entry when it grows past this bound.
+    DECODE_CACHE_CAPACITY = 1 << 16
+
+    def __init__(self, memory, bus, budget: Optional[CycleBudget] = None,
+                 decode_cache: bool = True) -> None:
         self.memory = memory
         self.bus = bus
         self.budget = budget or CycleBudget()
@@ -146,9 +192,30 @@ class Cpu:
         self.instret = 0
         self.cycle_count = 0
         #: Set of linear addresses that trigger #DB on fetch (debug regs).
-        self.code_breakpoints: Set[int] = set()
+        #: Mutations invalidate the decoded-instruction cache.
+        self.code_breakpoints: Set[int] = _ObservedSet(
+            self.invalidate_decode_cache)
         #: (addr, length, on_write) watchpoints checked on data access.
         self.watchpoints: List[Tuple[int, int, bool]] = []
+
+        # -- decoded-instruction cache + per-opcode dispatch table ------
+        # Dispatch: opcode byte -> (bound handler, operand decoder, spec),
+        # built once so execution never string-compares mnemonics.
+        self._dispatch: Dict[int, tuple] = {
+            opcode: (getattr(self, "_op_" + spec.mnemonic.lower()),
+                     isa.OPERAND_DECODERS[spec.fmt], spec)
+            for opcode, spec in isa.SPECS.items()
+        }
+        #: Ablation flag: False forces full fetch/decode on every step.
+        self.decode_cache_enabled = decode_cache
+        # linear PC -> (handler, operands, length, cycles, spec,
+        #               CS descriptor, ((phys page, generation), ...),
+        #               needs privilege check, paging enabled at fill).
+        self._decode_cache: Dict[int, tuple] = {}
+        self._decode_tlb_gen = self.mmu.tlb.generation
+        self.decode_cache_hits = 0
+        self.decode_cache_misses = 0
+        self.decode_cache_invalidations = 0
 
         #: Monitor hooks; return True to claim the event.
         self.exception_hook: Optional[
@@ -489,6 +556,52 @@ class Cpu:
     def _fetch(self, length: int) -> bytes:
         return self.read_virtual(SEG_CS, self.pc, length)
 
+    # -- decoded-instruction cache ------------------------------------
+
+    def invalidate_decode_cache(self) -> None:
+        """Drop every cached decode (breakpoint/PG-toggle safety)."""
+        if self._decode_cache:
+            self._decode_cache.clear()
+            self.decode_cache_invalidations += 1
+
+    def _fill_decode_cache(self, linear_pc: int, descriptor, spec,
+                           handler, operands) -> None:
+        """Cache one successfully fetched+decoded instruction.
+
+        Records the physical page(s) backing the instruction bytes and
+        their current write generations; a later hit revalidates those
+        generations, which is what makes self-modifying code (and DMA
+        into code pages) re-decode.  MMIO-backed code is never cached:
+        a device can change its contents without a memory write.
+        """
+        cache = self._decode_cache
+        if len(cache) >= self.DECODE_CACHE_CAPACITY:
+            self.invalidate_decode_cache()
+        pages = []
+        page_gens = self.memory.page_gens
+        for vaddr, _chunk in span_pages(linear_pc, spec.length):
+            paddr = self._physical(vaddr, write=False)
+            if self.bus.is_mmio(paddr):
+                return
+            page = paddr >> PAGE_SHIFT
+            pages.append((page, page_gens[page]))
+        cache[linear_pc] = (handler, operands, spec.length, spec.cycles,
+                           spec, descriptor, tuple(pages),
+                           spec.privilege != isa.PRIV_NONE,
+                           self.paging_enabled)
+
+    def decode_cache_stats(self) -> dict:
+        """Counter snapshot for the perf-export layer."""
+        total = self.decode_cache_hits + self.decode_cache_misses
+        return {
+            "enabled": self.decode_cache_enabled,
+            "entries": len(self._decode_cache),
+            "hits": self.decode_cache_hits,
+            "misses": self.decode_cache_misses,
+            "invalidations": self.decode_cache_invalidations,
+            "hit_rate": (self.decode_cache_hits / total) if total else 0.0,
+        }
+
     def step(self) -> None:
         """Execute one instruction (or accept one interrupt)."""
         if self._maybe_take_interrupt():
@@ -500,27 +613,89 @@ class Cpu:
                                 "interrupt source: machine is dead")
             self.cycle_count += 1
             return
+        self._step_insn()
 
+    def _step_insn(self) -> None:
+        """Fetch/decode/execute one instruction (not halted, IRQs polled).
+
+        Fast path: a decode-cache hit skips the segment check, the MMU
+        walk and all byte slicing for both the opcode and body fetch.  A
+        hit is valid only when (a) the CS descriptor equals the one at
+        fill time (same base/limit/DPL, hence same linear address and
+        privilege context; identity is tried first, value equality
+        second — interrupt delivery and IRET rebuild the descriptor
+        object from the GDT), (b) paging was in the same on/off state,
+        (c) the backing physical pages' write generations are unchanged
+        (self-modifying code, DMA), and (d) the TLB flush generation is
+        unchanged (CR3 writes, explicit flushes).  Breakpoint and
+        watchpoint checks still run on every execution, so #DB delivery
+        and `resume_flag` suppression are byte-for-byte identical to the
+        uncached interpreter.
+        """
         saved_pc = self.pc
         take_tf = bool(self.flags & FLAG_TF)
         self._interrupt_shadow = False
         suppress_bp = self.resume_flag
         self.resume_flag = False
         try:
-            linear_pc = self.linear(SEG_CS, self.pc, 1, write=False)
-            if linear_pc in self.code_breakpoints and not suppress_bp:
-                raise CpuFault(VEC_DB, error_code=0)
-            opcode = self._fetch(1)[0]
-            spec = isa.SPECS.get(opcode)
-            if spec is None:
-                raise CpuFault(VEC_UD)
-            self._check_privilege(spec)
-            body = self._fetch(spec.length)[1:]
-            self.pc = mask32(self.pc + spec.length)
-            self._execute(spec, body)
+            descriptor = self.segments[SEG_CS].descriptor
+            entry = None
+            if self.decode_cache_enabled:
+                tlb_gen = self.mmu.tlb.generation
+                if tlb_gen != self._decode_tlb_gen:
+                    self._decode_tlb_gen = tlb_gen
+                    self.invalidate_decode_cache()
+                entry = self._decode_cache.get(
+                    (descriptor.base + saved_pc) & 0xFFFFFFFF)
+            if entry is not None \
+                    and (entry[5] is descriptor or entry[5] == descriptor) \
+                    and entry[8] == self.paging_enabled:
+                page_gens = self.memory.page_gens
+                for page, generation in entry[6]:
+                    if page_gens[page] != generation:
+                        entry = None
+                        break
+            else:
+                entry = None
+            if entry is not None:
+                self.decode_cache_hits += 1
+                linear_pc = (descriptor.base + saved_pc) & 0xFFFFFFFF
+                if linear_pc in self.code_breakpoints and not suppress_bp:
+                    raise CpuFault(VEC_DB, error_code=0)
+                # Mirror the uncached check order: opcode fetch,
+                # privilege, body fetch.
+                if self.watchpoints:
+                    self._check_watchpoints(linear_pc, 1, write=False)
+                if entry[7]:
+                    self._check_privilege(entry[4])
+                if self.watchpoints:
+                    self._check_watchpoints(linear_pc, entry[2],
+                                            write=False)
+                self.pc = (saved_pc + entry[2]) & 0xFFFFFFFF
+                entry[0](entry[1])
+                cycles = entry[3]
+            else:
+                linear_pc = self.linear(SEG_CS, saved_pc, 1, write=False)
+                if linear_pc in self.code_breakpoints and not suppress_bp:
+                    raise CpuFault(VEC_DB, error_code=0)
+                opcode = self._fetch(1)[0]
+                dispatch = self._dispatch.get(opcode)
+                if dispatch is None:
+                    raise CpuFault(VEC_UD)
+                handler, decoder, spec = dispatch
+                self._check_privilege(spec)
+                body = self._fetch(spec.length)[1:]
+                operands = decoder(body) if decoder is not None else None
+                if self.decode_cache_enabled:
+                    self.decode_cache_misses += 1
+                    self._fill_decode_cache(linear_pc, descriptor, spec,
+                                            handler, operands)
+                self.pc = (saved_pc + spec.length) & 0xFFFFFFFF
+                handler(operands)
+                cycles = spec.cycles
             self.instret += 1
-            self.budget.charge(spec.cycles, CAT_GUEST)
-            self.cycle_count += spec.cycles
+            self.budget.charge(cycles, CAT_GUEST)
+            self.cycle_count += cycles
         except CpuFault as fault:
             self._handle_fault(fault, saved_pc)
             return
@@ -534,6 +709,28 @@ class Cpu:
     def run(self, max_instructions: int = 1_000_000) -> int:
         """Step until HLT-with-no-wakeup or the instruction cap."""
         executed = 0
+        if self.irq_source is None:
+            # Fast inner loop: with no interrupt source attached the
+            # per-step interrupt poll can never accept anything, so it
+            # is hoisted out (``_step_insn`` still clears the STI
+            # shadow); the halted checks collapse to one branch.
+            step_insn = self._step_insn
+            while executed < max_instructions:
+                if self.halted:
+                    if self.exception_hook is None:
+                        break
+                    before = self.instret
+                    self.step()  # halted bookkeeping (cycle tick / death)
+                    if self.instret == before and self.halted:
+                        break
+                    executed += 1
+                    continue
+                before = self.instret
+                step_insn()
+                if self.instret == before and self.halted:
+                    break
+                executed += 1
+            return executed
         while executed < max_instructions:
             if self.halted and self.irq_source is None \
                     and self.exception_hook is None:
@@ -634,240 +831,361 @@ class Cpu:
     def _imm32(body: bytes, offset: int = 0) -> int:
         return int.from_bytes(body[offset:offset + 4], "little")
 
-    # -- the big dispatch ------------------------------------------------------
+    # -- table dispatch ------------------------------------------------------
+    #
+    # One handler per opcode, bound into ``self._dispatch`` at construction
+    # and called with pre-decoded operands (see isa.OPERAND_DECODERS), so
+    # the hot loop never string-compares mnemonics and a decode-cache hit
+    # never touches the instruction bytes again.
 
     def _execute(self, spec: isa.InsnSpec, body: bytes) -> None:
-        name = spec.mnemonic
+        """Decode the operand bytes and dispatch (slow-path/compat entry)."""
+        handler, decoder, _ = self._dispatch[spec.opcode]
+        handler(decoder(body) if decoder is not None else None)
+
+    # -- control -------------------------------------------------------------
+
+    def _op_nop(self, operands) -> None:
+        pass
+
+    def _op_hlt(self, operands) -> None:
+        self.halted = True
+
+    def _op_cli(self, operands) -> None:
+        self._set_flag(FLAG_IF, False)
+
+    def _op_sti(self, operands) -> None:
+        self._set_flag(FLAG_IF, True)
+        self._interrupt_shadow = True
+
+    def _op_iret(self, operands) -> None:
+        self._do_iret()
+
+    def _op_ret(self, operands) -> None:
+        self.pc = self.pop32()
+
+    def _op_bkpt(self, operands) -> None:
+        raise CpuFault(VEC_BP)
+
+    def _op_vmcall(self, operands) -> None:
+        if self.vmcall_hook is not None and self.vmcall_hook(self):
+            return
+        raise CpuFault(VEC_VMCALL)
+
+    # -- data movement -------------------------------------------------------
+
+    def _op_movi(self, operands) -> None:
+        ra, imm = operands
+        self.regs[ra] = imm
+
+    def _op_mov(self, operands) -> None:
+        ra, rb = operands
+        self.regs[ra] = self.regs[rb]
+
+    def _load(self, operands, size: int) -> None:
+        ra, rb, imm = operands
+        offset = (self.regs[rb] + imm) & 0xFFFFFFFF
+        data = self.read_virtual(SEG_DS, offset, size)
+        self.regs[ra] = int.from_bytes(data, "little")
+
+    def _store(self, operands, size: int) -> None:
+        ra, rb, imm = operands
+        offset = (self.regs[rb] + imm) & 0xFFFFFFFF
+        self.write_virtual(SEG_DS, offset,
+                           (self.regs[ra] & ((1 << (8 * size)) - 1))
+                           .to_bytes(size, "little"))
+
+    def _op_ld(self, operands) -> None:
+        self._load(operands, 4)
+
+    def _op_ld8(self, operands) -> None:
+        self._load(operands, 1)
+
+    def _op_ld16(self, operands) -> None:
+        self._load(operands, 2)
+
+    def _op_st(self, operands) -> None:
+        self._store(operands, 4)
+
+    def _op_st8(self, operands) -> None:
+        self._store(operands, 1)
+
+    def _op_st16(self, operands) -> None:
+        self._store(operands, 2)
+
+    def _op_lea(self, operands) -> None:
+        ra, rb, imm = operands
+        self.regs[ra] = (self.regs[rb] + imm) & 0xFFFFFFFF
+
+    def _op_push(self, operands) -> None:
+        self.push32(self.regs[operands])
+
+    def _op_pushi(self, operands) -> None:
+        self.push32(operands)
+
+    def _op_pop(self, operands) -> None:
+        self.regs[operands] = self.pop32()
+
+    def _op_pushf(self, operands) -> None:
+        self.push32(self.flags)
+
+    def _op_popf(self, operands) -> None:
+        new_flags = self.pop32()
+        # IA-32 semantics: IF only changes when CPL <= IOPL, IOPL
+        # only at ring 0 — silently preserved otherwise.  This is
+        # the famous virtualisation hole: deprivileged kernels
+        # *think* they toggled IF.  Monitors here survive it because
+        # all interrupt delivery is virtualised through them anyway.
+        preserved = 0
+        if self.cpl > self.iopl:
+            preserved |= FLAG_IF
+        if self.cpl != 0:
+            preserved |= isa.IOPL_MASK
+        self.flags = (new_flags & ~preserved) | (self.flags & preserved)
+
+    def _op_xchg(self, operands) -> None:
+        ra, rb = operands
         regs = self.regs
+        regs[ra], regs[rb] = regs[rb], regs[ra]
 
-        if name == "NOP":
-            return
-        if name == "HLT":
-            self.halted = True
-            return
-        if name == "CLI":
-            self._set_flag(FLAG_IF, False)
-            return
-        if name == "STI":
-            self._set_flag(FLAG_IF, True)
-            self._interrupt_shadow = True
-            return
-        if name == "IRET":
-            self._do_iret()
-            return
-        if name == "RET":
-            self.pc = self.pop32()
-            return
-        if name == "BKPT":
-            raise CpuFault(VEC_BP)
-        if name == "VMCALL":
-            if self.vmcall_hook is not None and self.vmcall_hook(self):
-                return
-            raise CpuFault(VEC_VMCALL)
+    # -- ALU -----------------------------------------------------------------
 
-        if name == "MOVI":
-            regs[body[0] & 0x7] = self._imm32(body, 1)
-            return
-        if name == "MOV":
-            ra, rb = self._rr(body)
-            regs[ra] = regs[rb]
-            return
-        if name in ("LD", "LD8", "LD16"):
-            ra, rb = self._rr(body)
-            offset = mask32(regs[rb] + self._imm32(body, 1))
-            size = {"LD": 4, "LD8": 1, "LD16": 2}[name]
-            data = self.read_virtual(SEG_DS, offset, size)
-            regs[ra] = int.from_bytes(data, "little")
-            return
-        if name in ("ST", "ST8", "ST16"):
-            ra, rb = self._rr(body)
-            offset = mask32(regs[rb] + self._imm32(body, 1))
-            size = {"ST": 4, "ST8": 1, "ST16": 2}[name]
-            self.write_virtual(SEG_DS, offset,
-                               (regs[ra] & ((1 << (8 * size)) - 1))
-                               .to_bytes(size, "little"))
-            return
-        if name == "LEA":
-            ra, rb = self._rr(body)
-            regs[ra] = mask32(regs[rb] + self._imm32(body, 1))
-            return
-        if name == "PUSH":
-            self.push32(regs[body[0] & 0x7])
-            return
-        if name == "PUSHI":
-            self.push32(self._imm32(body))
-            return
-        if name == "POP":
-            regs[body[0] & 0x7] = self.pop32()
-            return
-        if name == "PUSHF":
-            self.push32(self.flags)
-            return
-        if name == "POPF":
-            new_flags = self.pop32()
-            # IA-32 semantics: IF only changes when CPL <= IOPL, IOPL
-            # only at ring 0 — silently preserved otherwise.  This is
-            # the famous virtualisation hole: deprivileged kernels
-            # *think* they toggled IF.  Monitors here survive it because
-            # all interrupt delivery is virtualised through them anyway.
-            preserved = 0
-            if self.cpl > self.iopl:
-                preserved |= FLAG_IF
-            if self.cpl != 0:
-                preserved |= isa.IOPL_MASK
-            self.flags = (new_flags & ~preserved) | (self.flags & preserved)
-            return
-        if name == "XCHG":
-            ra, rb = self._rr(body)
-            regs[ra], regs[rb] = regs[rb], regs[ra]
-            return
-
-        if name in ("ADD", "ADDI", "SUB", "SUBI", "AND", "ANDI", "OR", "ORI",
-                    "XOR", "XORI", "SHL", "SHLI", "SHR", "SHRI", "MUL",
-                    "MULI", "DIV", "DIVI", "CMP", "CMPI", "TEST"):
-            self._execute_alu(name, body)
-            return
-        if name == "NOT":
-            reg = body[0] & 0x7
-            regs[reg] = self._alu_logic(~regs[reg])
-            return
-        if name == "NEG":
-            reg = body[0] & 0x7
-            regs[reg] = self._alu_sub(0, regs[reg])
-            return
-
-        if name in ("JMP", "JZ", "JNZ", "JC", "JNC", "JG", "JGE", "JL",
-                    "JLE", "JS", "JNS", "CALL"):
-            self._execute_branch(name, body)
-            return
-        if name == "JMPR":
-            self.pc = regs[body[0] & 0x7]
-            return
-        if name == "CALLR":
-            self.push32(self.pc)
-            self.pc = regs[body[0] & 0x7]
-            return
-
-        if name == "INT":
-            self.deliver(body[0], software=True)
-            return
-        if name in ("INB", "INW"):
-            ra, rb = self._rr(body)
-            port = regs[rb] & 0xFFFF
-            self._check_io_permission(port)
-            size = 1 if name == "INB" else 4
-            regs[ra] = self.bus.port_read(port, size)
-            return
-        if name in ("OUTB", "OUTW"):
-            ra, rb = self._rr(body)
-            port = regs[rb] & 0xFFFF
-            self._check_io_permission(port)
-            size = 1 if name == "OUTB" else 4
-            self.bus.port_write(port, regs[ra], size)
-            return
-
-        if name == "MOVCR":
-            crn, reg = self._rr(body)
-            value = regs[reg]
-            self.crs[crn] = value
-            if crn == 3:
-                self.mmu.set_cr3(value)
-            return
-        if name == "MOVRC":
-            crn, reg = self._rr(body)
-            regs[reg] = self.crs[crn]
-            return
-        if name == "LGDT":
-            pseudo = regs[body[0] & 0x7]
-            limit = int.from_bytes(self.read_virtual(SEG_DS, pseudo, 4),
-                                   "little")
-            base = int.from_bytes(self.read_virtual(SEG_DS, pseudo + 4, 4),
-                                  "little")
-            self.gdt.load(base, limit)
-            return
-        if name == "LIDT":
-            pseudo = regs[body[0] & 0x7]
-            self.idtr_limit = int.from_bytes(
-                self.read_virtual(SEG_DS, pseudo, 4), "little")
-            self.idtr_base = int.from_bytes(
-                self.read_virtual(SEG_DS, pseudo + 4, 4), "little")
-            return
-        if name == "LTSS":
-            self.tss_base = regs[body[0] & 0x7]
-            return
-        if name == "MOVSEG":
-            segn, reg = self._rr(body)
-            self.load_segment(segn, regs[reg] & 0xFFFF)
-            return
-        if name == "MOVSGR":
-            segn, reg = self._rr(body)
-            regs[reg] = self.segments[segn].selector
-            return
-
-        raise CpuFault(VEC_UD)  # pragma: no cover - table is exhaustive
-
-    def _execute_alu(self, name: str, body: bytes) -> None:
+    def _op_add(self, operands) -> None:
+        ra, rb = operands
         regs = self.regs
-        immediate = name.endswith("I") and name not in ("DIV",)
-        if name in ("CMPI", "ADDI", "SUBI", "ANDI", "ORI", "XORI", "SHLI",
-                    "SHRI", "MULI", "DIVI"):
-            ra = body[0] & 0x7
-            operand = self._imm32(body, 1)
-        else:
-            ra, rb = self._rr(body)
-            operand = regs[rb]
-        a = regs[ra]
-        base = name[:-1] if name.endswith("I") and name != "DIV" else name
-        if base == "ADD":
-            regs[ra] = self._alu_add(a, operand)
-        elif base == "SUB":
-            regs[ra] = self._alu_sub(a, operand)
-        elif base == "AND":
-            regs[ra] = self._alu_logic(a & operand)
-        elif base == "OR":
-            regs[ra] = self._alu_logic(a | operand)
-        elif base == "XOR":
-            regs[ra] = self._alu_logic(a ^ operand)
-        elif base == "SHL":
-            regs[ra] = self._alu_logic(a << (operand & 31))
-        elif base == "SHR":
-            regs[ra] = self._alu_logic(a >> (operand & 31))
-        elif base == "MUL":
-            regs[ra] = self._alu_logic(a * operand)
-        elif base == "DIV":
-            if operand == 0:
-                raise CpuFault(VEC_DE)
-            regs[ra] = self._alu_logic(a // operand)
-        elif base == "CMP":
-            self._alu_sub(a, operand)
-        elif base == "TEST":
-            self._alu_logic(a & operand)
-        else:  # pragma: no cover
-            raise CpuFault(VEC_UD)
+        regs[ra] = self._alu_add(regs[ra], regs[rb])
 
-    def _execute_branch(self, name: str, body: bytes) -> None:
-        rel = signed32(self._imm32(body))
-        target = mask32(self.pc + rel)
+    def _op_addi(self, operands) -> None:
+        ra, imm = operands
+        self.regs[ra] = self._alu_add(self.regs[ra], imm)
+
+    def _op_sub(self, operands) -> None:
+        ra, rb = operands
+        regs = self.regs
+        regs[ra] = self._alu_sub(regs[ra], regs[rb])
+
+    def _op_subi(self, operands) -> None:
+        ra, imm = operands
+        self.regs[ra] = self._alu_sub(self.regs[ra], imm)
+
+    def _op_and(self, operands) -> None:
+        ra, rb = operands
+        regs = self.regs
+        regs[ra] = self._alu_logic(regs[ra] & regs[rb])
+
+    def _op_andi(self, operands) -> None:
+        ra, imm = operands
+        self.regs[ra] = self._alu_logic(self.regs[ra] & imm)
+
+    def _op_or(self, operands) -> None:
+        ra, rb = operands
+        regs = self.regs
+        regs[ra] = self._alu_logic(regs[ra] | regs[rb])
+
+    def _op_ori(self, operands) -> None:
+        ra, imm = operands
+        self.regs[ra] = self._alu_logic(self.regs[ra] | imm)
+
+    def _op_xor(self, operands) -> None:
+        ra, rb = operands
+        regs = self.regs
+        regs[ra] = self._alu_logic(regs[ra] ^ regs[rb])
+
+    def _op_xori(self, operands) -> None:
+        ra, imm = operands
+        self.regs[ra] = self._alu_logic(self.regs[ra] ^ imm)
+
+    def _op_shl(self, operands) -> None:
+        ra, rb = operands
+        regs = self.regs
+        regs[ra] = self._alu_logic(regs[ra] << (regs[rb] & 31))
+
+    def _op_shli(self, operands) -> None:
+        ra, imm = operands
+        self.regs[ra] = self._alu_logic(self.regs[ra] << (imm & 31))
+
+    def _op_shr(self, operands) -> None:
+        ra, rb = operands
+        regs = self.regs
+        regs[ra] = self._alu_logic(regs[ra] >> (regs[rb] & 31))
+
+    def _op_shri(self, operands) -> None:
+        ra, imm = operands
+        self.regs[ra] = self._alu_logic(self.regs[ra] >> (imm & 31))
+
+    def _op_mul(self, operands) -> None:
+        ra, rb = operands
+        regs = self.regs
+        regs[ra] = self._alu_logic(regs[ra] * regs[rb])
+
+    def _op_muli(self, operands) -> None:
+        ra, imm = operands
+        self.regs[ra] = self._alu_logic(self.regs[ra] * imm)
+
+    def _op_div(self, operands) -> None:
+        ra, rb = operands
+        regs = self.regs
+        if regs[rb] == 0:
+            raise CpuFault(VEC_DE)
+        regs[ra] = self._alu_logic(regs[ra] // regs[rb])
+
+    def _op_divi(self, operands) -> None:
+        ra, imm = operands
+        if imm == 0:
+            raise CpuFault(VEC_DE)
+        self.regs[ra] = self._alu_logic(self.regs[ra] // imm)
+
+    def _op_cmp(self, operands) -> None:
+        ra, rb = operands
+        self._alu_sub(self.regs[ra], self.regs[rb])
+
+    def _op_cmpi(self, operands) -> None:
+        ra, imm = operands
+        self._alu_sub(self.regs[ra], imm)
+
+    def _op_test(self, operands) -> None:
+        ra, rb = operands
+        self._alu_logic(self.regs[ra] & self.regs[rb])
+
+    def _op_not(self, operands) -> None:
+        self.regs[operands] = self._alu_logic(~self.regs[operands])
+
+    def _op_neg(self, operands) -> None:
+        self.regs[operands] = self._alu_sub(0, self.regs[operands])
+
+    # -- control flow --------------------------------------------------------
+    # ``operands`` is the pre-sign-extended rel32; PC has already been
+    # advanced past the instruction when a handler runs.
+
+    def _op_jmp(self, rel) -> None:
+        self.pc = (self.pc + rel) & 0xFFFFFFFF
+
+    def _op_jz(self, rel) -> None:
+        if self.flags & FLAG_ZF:
+            self.pc = (self.pc + rel) & 0xFFFFFFFF
+
+    def _op_jnz(self, rel) -> None:
+        if not self.flags & FLAG_ZF:
+            self.pc = (self.pc + rel) & 0xFFFFFFFF
+
+    def _op_jc(self, rel) -> None:
+        if self.flags & FLAG_CF:
+            self.pc = (self.pc + rel) & 0xFFFFFFFF
+
+    def _op_jnc(self, rel) -> None:
+        if not self.flags & FLAG_CF:
+            self.pc = (self.pc + rel) & 0xFFFFFFFF
+
+    def _op_jg(self, rel) -> None:
         flags = self.flags
-        zf = bool(flags & FLAG_ZF)
-        cf = bool(flags & FLAG_CF)
-        sf = bool(flags & FLAG_SF)
-        of = bool(flags & FLAG_OF)
-        take = {
-            "JMP": True,
-            "JZ": zf,
-            "JNZ": not zf,
-            "JC": cf,
-            "JNC": not cf,
-            "JG": not zf and sf == of,
-            "JGE": sf == of,
-            "JL": sf != of,
-            "JLE": zf or sf != of,
-            "JS": sf,
-            "JNS": not sf,
-            "CALL": True,
-        }[name]
-        if name == "CALL":
-            self.push32(self.pc)
-        if take:
-            self.pc = target
+        if not flags & FLAG_ZF \
+                and bool(flags & FLAG_SF) == bool(flags & FLAG_OF):
+            self.pc = (self.pc + rel) & 0xFFFFFFFF
+
+    def _op_jge(self, rel) -> None:
+        flags = self.flags
+        if bool(flags & FLAG_SF) == bool(flags & FLAG_OF):
+            self.pc = (self.pc + rel) & 0xFFFFFFFF
+
+    def _op_jl(self, rel) -> None:
+        flags = self.flags
+        if bool(flags & FLAG_SF) != bool(flags & FLAG_OF):
+            self.pc = (self.pc + rel) & 0xFFFFFFFF
+
+    def _op_jle(self, rel) -> None:
+        flags = self.flags
+        if flags & FLAG_ZF \
+                or bool(flags & FLAG_SF) != bool(flags & FLAG_OF):
+            self.pc = (self.pc + rel) & 0xFFFFFFFF
+
+    def _op_js(self, rel) -> None:
+        if self.flags & FLAG_SF:
+            self.pc = (self.pc + rel) & 0xFFFFFFFF
+
+    def _op_jns(self, rel) -> None:
+        if not self.flags & FLAG_SF:
+            self.pc = (self.pc + rel) & 0xFFFFFFFF
+
+    def _op_call(self, rel) -> None:
+        target = (self.pc + rel) & 0xFFFFFFFF
+        self.push32(self.pc)
+        self.pc = target
+
+    def _op_jmpr(self, operands) -> None:
+        self.pc = self.regs[operands]
+
+    def _op_callr(self, operands) -> None:
+        self.push32(self.pc)
+        self.pc = self.regs[operands]
+
+    # -- traps and I/O -------------------------------------------------------
+
+    def _op_int(self, operands) -> None:
+        self.deliver(operands, software=True)
+
+    def _op_inb(self, operands) -> None:
+        ra, rb = operands
+        port = self.regs[rb] & 0xFFFF
+        self._check_io_permission(port)
+        self.regs[ra] = self.bus.port_read(port, 1)
+
+    def _op_inw(self, operands) -> None:
+        ra, rb = operands
+        port = self.regs[rb] & 0xFFFF
+        self._check_io_permission(port)
+        self.regs[ra] = self.bus.port_read(port, 4)
+
+    def _op_outb(self, operands) -> None:
+        ra, rb = operands
+        port = self.regs[rb] & 0xFFFF
+        self._check_io_permission(port)
+        self.bus.port_write(port, self.regs[ra], 1)
+
+    def _op_outw(self, operands) -> None:
+        ra, rb = operands
+        port = self.regs[rb] & 0xFFFF
+        self._check_io_permission(port)
+        self.bus.port_write(port, self.regs[ra], 4)
+
+    # -- system state --------------------------------------------------------
+
+    def _op_movcr(self, operands) -> None:
+        crn, reg = operands
+        value = self.regs[reg]
+        self.crs[crn] = value
+        if crn == 3:
+            self.mmu.set_cr3(value)
+        elif crn == 0:
+            # A CR0.PG toggle changes the fetch address space without
+            # touching CR3: drop decoded code outright.
+            self.invalidate_decode_cache()
+
+    def _op_movrc(self, operands) -> None:
+        crn, reg = operands
+        self.regs[reg] = self.crs[crn]
+
+    def _op_lgdt(self, operands) -> None:
+        pseudo = self.regs[operands & 0x7]
+        limit = int.from_bytes(self.read_virtual(SEG_DS, pseudo, 4),
+                               "little")
+        base = int.from_bytes(self.read_virtual(SEG_DS, pseudo + 4, 4),
+                              "little")
+        self.gdt.load(base, limit)
+
+    def _op_lidt(self, operands) -> None:
+        pseudo = self.regs[operands & 0x7]
+        self.idtr_limit = int.from_bytes(
+            self.read_virtual(SEG_DS, pseudo, 4), "little")
+        self.idtr_base = int.from_bytes(
+            self.read_virtual(SEG_DS, pseudo + 4, 4), "little")
+
+    def _op_ltss(self, operands) -> None:
+        self.tss_base = self.regs[operands & 0x7]
+
+    def _op_movseg(self, operands) -> None:
+        segn, reg = operands
+        self.load_segment(segn, self.regs[reg] & 0xFFFF)
+
+    def _op_movsgr(self, operands) -> None:
+        segn, reg = operands
+        self.regs[reg] = self.segments[segn].selector

@@ -6,12 +6,22 @@ import struct
 
 from repro.errors import MemoryError_
 
+#: Page granularity of the write-generation bookkeeping (matches the MMU).
+GEN_PAGE_SHIFT = 12
+
 
 class PhysicalMemory:
     """A flat byte-addressable RAM with bounds checking.
 
     All CPU, DMA and monitor accesses ultimately land here.  Accessors are
     little-endian, matching the PC/AT heritage of the modelled platform.
+
+    Every write bumps a per-page generation counter (:attr:`page_gens`).
+    Translation-cache-style consumers — the CPU's decoded-instruction
+    cache — snapshot the generation of the pages an entry depends on and
+    treat a mismatch as "this code may have been overwritten", which
+    makes self-modifying code and DMA into code pages correct without
+    interposing on the read path at all.
     """
 
     def __init__(self, size: int) -> None:
@@ -19,12 +29,29 @@ class PhysicalMemory:
             raise MemoryError_(f"memory size must be positive, got {size}")
         self.size = size
         self._data = bytearray(size)
+        #: Write-generation counter per physical page, bumped on any
+        #: store that touches the page (CPU, DMA or monitor alike).
+        self.page_gens = [0] * ((size + (1 << GEN_PAGE_SHIFT) - 1)
+                                >> GEN_PAGE_SHIFT)
 
     def _check(self, addr: int, length: int) -> None:
         if addr < 0 or length < 0 or addr + length > self.size:
             raise MemoryError_(
                 f"physical access [{addr:#x}, {addr + length:#x}) outside "
                 f"installed RAM of {self.size:#x} bytes")
+
+    def _bump(self, addr: int, length: int) -> None:
+        gens = self.page_gens
+        first = addr >> GEN_PAGE_SHIFT
+        last = (addr + length - 1) >> GEN_PAGE_SHIFT if length > 1 else first
+        gens[first] += 1
+        if last != first:
+            for page in range(first + 1, last + 1):
+                gens[page] += 1
+
+    def page_generation(self, page: int) -> int:
+        """Current write generation of physical page ``page``."""
+        return self.page_gens[page]
 
     # -- bulk accessors ------------------------------------------------------
 
@@ -35,10 +62,14 @@ class PhysicalMemory:
     def write(self, addr: int, data: bytes) -> None:
         self._check(addr, len(data))
         self._data[addr:addr + len(data)] = data
+        if data:
+            self._bump(addr, len(data))
 
     def fill(self, addr: int, length: int, value: int = 0) -> None:
         self._check(addr, length)
         self._data[addr:addr + length] = bytes([value & 0xFF]) * length
+        if length:
+            self._bump(addr, length)
 
     # -- scalar accessors ------------------------------------------------------
 
@@ -49,6 +80,7 @@ class PhysicalMemory:
     def write_u8(self, addr: int, value: int) -> None:
         self._check(addr, 1)
         self._data[addr] = value & 0xFF
+        self.page_gens[addr >> GEN_PAGE_SHIFT] += 1
 
     def read_u16(self, addr: int) -> int:
         self._check(addr, 2)
@@ -57,6 +89,7 @@ class PhysicalMemory:
     def write_u16(self, addr: int, value: int) -> None:
         self._check(addr, 2)
         struct.pack_into("<H", self._data, addr, value & 0xFFFF)
+        self._bump(addr, 2)
 
     def read_u32(self, addr: int) -> int:
         self._check(addr, 4)
@@ -65,3 +98,4 @@ class PhysicalMemory:
     def write_u32(self, addr: int, value: int) -> None:
         self._check(addr, 4)
         struct.pack_into("<I", self._data, addr, value & 0xFFFFFFFF)
+        self._bump(addr, 4)

@@ -8,8 +8,9 @@ can share fault-decoding logic.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
@@ -63,18 +64,34 @@ def make_pte(frame: int, writable: bool = True, user: bool = False,
 
 
 class Tlb:
-    """A simple translation cache keyed by virtual page number.
+    """An LRU translation cache keyed by virtual page number.
 
     Real TLBs are the reason monitors must flush on CR3 writes; we model
     the flush requirement so the monitors exercise it.  Entries record the
     *effective* permissions from the combined PDE/PTE walk.
+
+    :attr:`generation` counts flushes (full or per-page).  Consumers that
+    cache anything derived from a translation — the CPU's decoded-
+    instruction cache — compare it to discover that the address space
+    may have changed underneath them, which is exactly the contract a
+    hardware TLB shoot-down gives a trace cache.
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    DEFAULT_CAPACITY = 256
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         self.capacity = capacity
-        self._entries: Dict[int, Tuple[int, bool, bool]] = {}
+        self._entries: "OrderedDict[int, Tuple[int, bool, bool]]" = \
+            OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Bumped on every flush/flush_page; never on ordinary eviction
+        #: (eviction drops a still-valid translation, a flush signals
+        #: that existing translations may now be *wrong*).
+        self.generation = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
     def lookup(self, vpn: int) -> Optional[Tuple[int, bool, bool]]:
         entry = self._entries.get(vpn)
@@ -82,19 +99,33 @@ class Tlb:
             self.misses += 1
         else:
             self.hits += 1
+            self._entries.move_to_end(vpn)
         return entry
 
     def insert(self, vpn: int, frame: int, writable: bool, user: bool) -> None:
         if len(self._entries) >= self.capacity:
-            # FIFO-ish eviction: drop the oldest inserted entry.
-            self._entries.pop(next(iter(self._entries)))
+            # True LRU: drop the least recently used translation.
+            self._entries.popitem(last=False)
         self._entries[vpn] = (frame, writable, user)
 
     def flush(self) -> None:
         self._entries.clear()
+        self.generation += 1
 
     def flush_page(self, vpn: int) -> None:
         self._entries.pop(vpn, None)
+        self.generation += 1
+
+    def stats(self) -> dict:
+        """Counter snapshot for the perf-export layer."""
+        total = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
 
 
 class Mmu:

@@ -3,6 +3,10 @@
 The benchmarks print human tables; downstream users plotting Fig. 3.1
 want machine-readable series.  ``export_figure``/``export_ratios``
 write CSV and JSON; no plotting dependency is required or assumed.
+
+``interp_stats``/``export_interp_stats`` are the single collection
+point for the interpreter fast-path counters (decoded-instruction
+cache + TLB), used by the trap-census and throughput benchmarks.
 """
 
 from __future__ import annotations
@@ -77,3 +81,31 @@ def load_figure_csv(path) -> list:
     """Read back an exported CSV (round-trip helper for tests)."""
     with open(path, newline="") as handle:
         return list(csv.DictReader(handle))
+
+
+def interp_stats(cpu) -> dict:
+    """One dict with every interpreter fast-path counter.
+
+    Combines the decoded-instruction cache (``Cpu.decode_cache_stats``)
+    and the TLB (``Tlb.stats``) so benchmarks and the monitor's
+    ``stats`` command report them from a single source.
+    """
+    return {
+        "instret": cpu.instret,
+        "decode_cache": cpu.decode_cache_stats(),
+        "tlb": cpu.mmu.tlb.stats(),
+    }
+
+
+def export_interp_stats(cpu, path, extra: Optional[dict] = None) -> Path:
+    """Write the interpreter fast-path counters as a JSON document."""
+    path = Path(path)
+    document = {
+        "experiment": "interp-fast-path",
+        "stats": interp_stats(cpu),
+    }
+    if extra:
+        document.update(extra)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+    return path

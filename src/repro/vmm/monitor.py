@@ -720,6 +720,9 @@ class LightweightVmm:
             stats = self.stats
             traps = ", ".join(f"{k}={v}" for k, v in
                               sorted(stats.traps_by_mnemonic.items()))
+            cpu = self.machine.cpu
+            decode = cpu.decode_cache_stats()
+            tlb = cpu.mmu.tlb.stats()
             return (f"traps emulated: {stats.traps_emulated} "
                     f"({traps or 'none'})\n"
                     f"interrupts fielded/reflected: "
@@ -728,6 +731,12 @@ class LightweightVmm:
                     f"exceptions reflected: {stats.exceptions_reflected}\n"
                     f"vmcalls: {stats.vmcalls}, debug stops: "
                     f"{stats.debug_stops}\n"
+                    f"decode cache: hits={decode['hits']} "
+                    f"misses={decode['misses']} "
+                    f"hit-rate={decode['hit_rate']:.3f} "
+                    f"invalidations={decode['invalidations']}\n"
+                    f"tlb: hits={tlb['hits']} misses={tlb['misses']} "
+                    f"hit-rate={tlb['hit_rate']:.3f}\n"
                     f"guest dead: {self.guest_dead} "
                     f"{self.guest_dead_reason}")
         if command == "console":

@@ -11,6 +11,7 @@ from repro.hw.paging import (
     PF_WRITE,
     Mmu,
     PageFault,
+    Tlb,
     PageTableBuilder,
     make_pte,
     span_pages,
@@ -239,3 +240,84 @@ class TestPageTableBuilder:
         assert entry & 2          # writable
         assert entry & 4          # user
         assert entry & 0xFFFFF000 == 0x12345000
+
+
+class TestTlbLru:
+    def _full_tlb(self, capacity=4):
+        tlb = Tlb(capacity=capacity)
+        for vpn in range(capacity):
+            tlb.insert(vpn, vpn << 12, True, False)
+        return tlb
+
+    def test_eviction_is_least_recently_used(self):
+        tlb = self._full_tlb()
+        # Touch vpn 0 so it becomes most-recently used; vpn 1 is now LRU.
+        assert tlb.lookup(0) is not None
+        tlb.insert(99, 0x99000, True, False)
+        assert tlb.lookup(0) is not None     # survived (recently used)
+        assert tlb.lookup(1) is None         # evicted (LRU)
+        assert tlb.lookup(99) is not None
+
+    def test_default_capacity_raised(self):
+        assert Tlb().capacity == Tlb.DEFAULT_CAPACITY >= 256
+
+    def test_flush_bumps_generation(self):
+        tlb = self._full_tlb()
+        generation = tlb.generation
+        tlb.flush()
+        assert tlb.generation == generation + 1
+        assert len(tlb) == 0
+
+    def test_flush_page_bumps_generation(self):
+        tlb = self._full_tlb()
+        generation = tlb.generation
+        tlb.flush_page(2)
+        assert tlb.generation == generation + 1
+        assert tlb.lookup(3) is not None     # others untouched
+
+    def test_capacity_eviction_does_not_bump_generation(self):
+        tlb = self._full_tlb()
+        generation = tlb.generation
+        tlb.insert(99, 0x99000, True, False)
+        assert tlb.generation == generation
+
+    def test_stats_shape(self):
+        tlb = self._full_tlb()
+        tlb.lookup(0)
+        tlb.lookup(1234)
+        stats = tlb.stats()
+        assert stats["hits"] == tlb.hits and stats["misses"] == tlb.misses
+        assert 0.0 < stats["hit_rate"] < 1.0
+        assert stats["entries"] == len(tlb)
+
+
+class TestPageGenerations:
+    def test_write_bumps_only_touched_pages(self):
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        before = list(mem.page_gens)
+        mem.write(PAGE_SIZE + 8, b"\x01\x02")
+        assert mem.page_generation(1) == before[1] + 1
+        assert mem.page_generation(0) == before[0]
+        assert mem.page_generation(2) == before[2]
+
+    def test_straddling_write_bumps_both_pages(self):
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        mem.write(PAGE_SIZE - 2, b"\xAA" * 4)
+        assert mem.page_generation(0) == 1
+        assert mem.page_generation(1) == 1
+
+    def test_scalar_writes_bump(self):
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        mem.write_u8(0, 1)
+        mem.write_u16(PAGE_SIZE, 2)
+        mem.write_u32(2 * PAGE_SIZE, 3)
+        mem.fill(3 * PAGE_SIZE, 16, 0xFF)
+        assert [mem.page_generation(page) for page in range(4)] \
+            == [1, 1, 1, 1]
+
+    def test_reads_do_not_bump(self):
+        mem = PhysicalMemory(4 * PAGE_SIZE)
+        mem.read(0, 64)
+        mem.read_u32(PAGE_SIZE)
+        assert mem.page_generation(0) == 0
+        assert mem.page_generation(1) == 0
