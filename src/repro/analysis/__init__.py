@@ -1,0 +1,38 @@
+"""Static analysis of HX32 guest images.
+
+CFG recovery (linear sweep + recursive descent), an abstract
+interpreter over a ring/stack-depth/value-set lattice, and a checker
+catalogue that flags the bug classes the paper's monitor survives
+dynamically — wild writes into the monitor region, privileged
+instructions reachable at ring 3, runaway control flow — before the
+guest ever runs.  See docs/INTERNALS.md §8.
+"""
+
+from repro.analysis.analyzer import (
+    DEFAULT_MEMORY_SIZE,
+    analyze_image,
+    analyze_program,
+)
+from repro.analysis.checks import ALL_CHECKS, Analysis, Check, run_checks
+from repro.analysis.report import (
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+    Finding,
+    Report,
+)
+
+__all__ = [
+    "DEFAULT_MEMORY_SIZE",
+    "analyze_image",
+    "analyze_program",
+    "ALL_CHECKS",
+    "Analysis",
+    "Check",
+    "run_checks",
+    "SEV_ERROR",
+    "SEV_INFO",
+    "SEV_WARNING",
+    "Finding",
+    "Report",
+]

@@ -1,0 +1,419 @@
+"""Abstract interpretation over the recovered CFG.
+
+A worklist fixpoint propagating :class:`repro.analysis.lattice.AbsState`
+(register value sets, privilege rings, stack depth, shadow stack)
+through every reachable basic block.  Alongside the flow-sensitive
+state, the interpreter accumulates flow-insensitive facts the checkers
+and the driver consume:
+
+* ``store_targets`` — per store/push instruction, the value set of
+  addresses it may write (the wild-write check's input);
+* ``store_log`` — a global (address, width) → value-set map of every
+  statically-resolved store.  Loads read it back, which is what lets
+  the analyzer follow a fabricated task frame: the saved SP stored into
+  a TCB is reloaded by ``LD SP, [tcb+4]``, the pops read the frame
+  words, and the final IRET resolves to the task entry point.  This is
+  deliberately *optimistic* for loads (an unknown store does not clobber
+  the log) — right for a bug-finder, wrong for a verifier;
+* ``lidt_sites`` — the pointer value set at every LIDT, from which the
+  driver statically discovers the guest IDT and its registered
+  handlers;
+* ``resolved`` / ``iret_drops`` — indirect control-flow targets the
+  value-set domain pinned down, fed back into CFG recovery.
+
+Calls, INT and VMCALL havoc the general registers (callee/handler
+clobbers are unknown) but preserve SP and the stack depth — the
+balanced-call assumption stated in docs/INTERNALS.md §8.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import (
+    EDGE_CALL,
+    EDGE_DYN,
+    EDGE_FALL,
+    BasicBlock,
+    Cfg,
+)
+from repro.analysis.lattice import ALL_RINGS, AbsState, ValueSet
+from repro.asm.disasm import DecodedInsn
+from repro.hw import isa
+from repro.hw.isa import REG_SP
+
+#: Store widths by mnemonic.
+_STORE_WIDTH = {"ST": 4, "ST16": 2, "ST8": 1}
+_LOAD_WIDTH = {"LD": 4, "LD16": 2, "LD8": 1}
+_WIDTH_MASK = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
+
+_ALU_RR = {
+    "ADD": lambda a, b: a + b,
+    "SUB": lambda a, b: a - b,
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "SHL": lambda a, b: a << (b & 31),
+    "SHR": lambda a, b: a >> (b & 31),
+    "MUL": lambda a, b: a * b,
+}
+_ALU_RI = {
+    "ADDI": lambda a, b: a + b,
+    "SUBI": lambda a, b: a - b,
+    "ANDI": lambda a, b: a & b,
+    "ORI": lambda a, b: a | b,
+    "XORI": lambda a, b: a ^ b,
+    "SHLI": lambda a, b: a << (b & 31),
+    "SHRI": lambda a, b: a >> (b & 31),
+    "MULI": lambda a, b: a * b,
+}
+
+#: Instructions that leave every register except SP unknown afterwards
+#: (control leaves the image or enters a handler we analyze separately).
+_HAVOC_MNEMONICS = frozenset({"INT", "VMCALL"})
+
+
+@dataclass
+class IretResolution:
+    """What an IRET statically popped, for dynamic-edge dispatch."""
+
+    targets: FrozenSet[int]
+    rings: FrozenSet[int]
+    state: AbsState            # state *after* popping the frame
+
+
+@dataclass
+class AbsResult:
+    """Everything one interpretation fixpoint learned."""
+
+    entry_states: Dict[int, AbsState] = field(default_factory=dict)
+    insn_rings: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    store_targets: Dict[int, ValueSet] = field(default_factory=dict)
+    store_log: Dict[Tuple[int, int], ValueSet] = field(default_factory=dict)
+    lidt_sites: Dict[int, ValueSet] = field(default_factory=dict)
+    #: Indirect sites (JMPR/CALLR/IRET) → in-image targets resolved.
+    resolved: Dict[int, Set[int]] = field(default_factory=dict)
+    #: Resolved indirect transfers leaving the image: (src, target).
+    resolved_out: List[Tuple[int, int]] = field(default_factory=list)
+    #: IRET privilege drops observed: (site, target, new ring).
+    iret_drops: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: JMPR/CALLR whose register never resolved.
+    unknown_indirect: Set[int] = field(default_factory=set)
+    rounds: int = 0
+
+
+class Interpreter:
+    """One abstract-interpretation run over a fixed CFG."""
+
+    def __init__(self, cfg: Cfg, entry_rings: Dict[int, int],
+                 store_log: Optional[Dict[Tuple[int, int], ValueSet]] = None,
+                 ) -> None:
+        self.cfg = cfg
+        self.entry_rings = entry_rings
+        self.result = AbsResult()
+        if store_log:
+            self.result.store_log = dict(store_log)
+        self._iret: Dict[int, IretResolution] = {}
+
+    # -- memory model ----------------------------------------------------
+
+    def _record_store(self, address: int, target: ValueSet, width: int,
+                      value: ValueSet) -> None:
+        log = self.result.store_log
+        joined = self.result.store_targets.get(address)
+        self.result.store_targets[address] = \
+            target if joined is None else joined.join(target)
+        if target.is_top:
+            return
+        masked = value.map(lambda v: v & _WIDTH_MASK[width])
+        for concrete in target.concrete():
+            key = (concrete, width)
+            old = log.get(key)
+            log[key] = masked if old is None else old.join(masked)
+
+    def _load(self, target: ValueSet, width: int) -> ValueSet:
+        if target.is_top:
+            return ValueSet.top()
+        out: Optional[ValueSet] = None
+        for concrete in target.concrete():
+            value = self.result.store_log.get((concrete, width))
+            if value is None:
+                return ValueSet.top()
+            out = value if out is None else out.join(value)
+        return out if out is not None else ValueSet.top()
+
+    # -- stack helpers ---------------------------------------------------
+
+    def _push(self, state: AbsState, value: ValueSet,
+              insn_address: Optional[int] = None) -> None:
+        sp = state.regs[REG_SP]
+        new_sp = sp.add_const(-4)
+        if insn_address is not None:
+            self._record_store(insn_address, new_sp, 4, value)
+        state.with_reg(REG_SP, new_sp)
+        if state.depth is not None:
+            state.depth += 4
+            state.shadow = state.shadow + (value,)
+
+    def _pop(self, state: AbsState) -> ValueSet:
+        sp = state.regs[REG_SP]
+        if state.shadow:
+            value = state.shadow[-1]
+            state.shadow = state.shadow[:-1]
+        else:
+            value = self._load(sp, 4)
+        state.with_reg(REG_SP, sp.add_const(4))
+        if state.depth is not None:
+            state.depth -= 4
+        return value
+
+    @staticmethod
+    def _havoc_regs(state: AbsState) -> None:
+        top = ValueSet.top()
+        state.regs = tuple(
+            state.regs[i] if i == REG_SP else top
+            for i in range(len(state.regs)))
+
+    # -- per-instruction transfer ----------------------------------------
+
+    def _set_reg(self, state: AbsState, index: int,
+                 value: ValueSet) -> None:
+        state.with_reg(index, value)
+        if index == REG_SP:
+            state.reset_stack()
+
+    def _transfer(self, state: AbsState, insn: DecodedInsn) -> None:
+        address = insn.address
+        rings = self.result.insn_rings.get(address, frozenset())
+        self.result.insn_rings[address] = rings | state.rings
+        if insn.is_pseudo:
+            return
+        spec = isa.SPECS[insn.opcode]
+        name = insn.mnemonic
+        ops = isa.decode_operands(spec.fmt, insn.raw[1:])
+
+        if name == "MOVI":
+            ra, imm = ops
+            self._set_reg(state, ra, ValueSet.const(imm))
+        elif name == "MOV":
+            ra, rb = ops
+            self._set_reg(state, ra, state.regs[rb])
+        elif name == "XCHG":
+            ra, rb = ops
+            va, vb = state.regs[ra], state.regs[rb]
+            self._set_reg(state, ra, vb)
+            self._set_reg(state, rb, va)
+        elif name == "LEA":
+            ra, rb, disp = ops
+            self._set_reg(state, ra,
+                          state.regs[rb].add_const(isa.signed32(disp)))
+        elif name in _LOAD_WIDTH:
+            ra, rb, disp = ops
+            target = state.regs[rb].add_const(isa.signed32(disp))
+            self._set_reg(state, ra, self._load(target, _LOAD_WIDTH[name]))
+        elif name in _STORE_WIDTH:
+            ra, rb, disp = ops
+            target = state.regs[rb].add_const(isa.signed32(disp))
+            self._record_store(address, target, _STORE_WIDTH[name],
+                               state.regs[ra])
+        elif name == "PUSH":
+            self._push(state, state.regs[ops], address)
+        elif name == "PUSHI":
+            self._push(state, ValueSet.const(ops), address)
+        elif name == "PUSHF":
+            self._push(state, ValueSet.top(), address)
+        elif name == "POP":
+            value = self._pop(state)
+            self._set_reg(state, ops, value)
+        elif name == "POPF":
+            self._pop(state)
+        elif name in _ALU_RR:
+            ra, rb = ops
+            fn = _ALU_RR[name]
+            result = state.regs[ra].map2(state.regs[rb], fn)
+            if ra == REG_SP:
+                self._set_reg(state, ra, result)
+            else:
+                state.with_reg(ra, result)
+        elif name in _ALU_RI:
+            ra, imm = ops
+            fn = _ALU_RI[name]
+            result = state.regs[ra].map(lambda v: fn(v, imm))
+            if ra == REG_SP:
+                # Explicit stack alloc/free keeps a tracked depth.
+                state.with_reg(REG_SP, result)
+                if state.depth is not None and name in ("ADDI", "SUBI"):
+                    delta = imm if name == "SUBI" else -imm
+                    state.depth += delta
+                    if delta < 0:
+                        drop = min(len(state.shadow), (-delta) // 4)
+                        state.shadow = state.shadow[:len(state.shadow)
+                                                   - drop]
+                else:
+                    state.forget_stack()
+            else:
+                state.with_reg(ra, result)
+        elif name in ("DIV", "DIVI"):
+            ra = ops[0]
+            self._set_reg(state, ra, ValueSet.top())
+        elif name in ("NOT", "NEG"):
+            fn = (lambda v: ~v) if name == "NOT" else (lambda v: -v)
+            self._set_reg(state, ops, state.regs[ops].map(fn))
+        elif name in ("MOVRC", "MOVSGR"):
+            _n, reg = ops  # (crn/segn, destination reg) nibble pair
+            self._set_reg(state, reg, ValueSet.top())
+        elif name in ("INB", "INW"):
+            ra, _rb = ops
+            self._set_reg(state, ra, ValueSet.top())
+        elif name == "LIDT":
+            pointer = state.regs[ops]
+            joined = self.result.lidt_sites.get(address)
+            self.result.lidt_sites[address] = \
+                pointer if joined is None else joined.join(pointer)
+        elif name in _HAVOC_MNEMONICS:
+            self._havoc_regs(state)
+        # CMP/CMPI/TEST, NOP, HLT, CLI, STI, BKPT, OUTB/OUTW, MOVCR,
+        # MOVSEG, LGDT, LTSS: no effect on the tracked domain.
+        # JMP/Jcc/CALL/CALLR/JMPR/RET/IRET are handled at block dispatch.
+
+    # -- control-flow resolution -----------------------------------------
+
+    def _resolve_indirect(self, state: AbsState,
+                          insn: DecodedInsn) -> Optional[FrozenSet[int]]:
+        """Targets of JMPR/CALLR from the register value set."""
+        reg = isa.decode_operands(isa.SPECS[insn.opcode].fmt,
+                                  insn.raw[1:])
+        value = state.regs[reg]
+        if value.is_top:
+            self.result.unknown_indirect.add(insn.address)
+            return None
+        targets: Set[int] = set()
+        for concrete in value.concrete():
+            if self.cfg.origin <= concrete < self.cfg.end:
+                targets.add(concrete)
+            else:
+                self.result.resolved_out.append((insn.address, concrete))
+        self.result.resolved.setdefault(insn.address, set()).update(targets)
+        return frozenset(targets)
+
+    def _resolve_iret(self, state: AbsState,
+                      insn: DecodedInsn) -> Optional[IretResolution]:
+        """Pop the IRET frame abstractly; resolve fabricated frames."""
+        after = state.copy()
+        pc = self._pop(after)
+        cs = self._pop(after)
+        self._pop(after)  # FLAGS image: not tracked
+        if pc.is_top or cs.is_top:
+            return None
+        new_rings = frozenset(sel & 0b11 for sel in cs.concrete())
+        current_max = max(state.rings) if state.rings else 0
+        if new_rings and min(new_rings) > current_max:
+            # Outward return: the frame also carries SP and SS.
+            new_sp = self._pop(after)
+            self._pop(after)  # SS selector
+            after.with_reg(REG_SP, new_sp)
+            after.reset_stack()
+        after.rings = new_rings if new_rings else ALL_RINGS
+        targets: Set[int] = set()
+        for concrete in pc.concrete():
+            if self.cfg.origin <= concrete < self.cfg.end:
+                targets.add(concrete)
+            else:
+                self.result.resolved_out.append((insn.address, concrete))
+            for ring in after.rings:
+                self.result.iret_drops.append(
+                    (insn.address, concrete, ring))
+        self.result.resolved.setdefault(insn.address, set()).update(targets)
+        return IretResolution(targets=frozenset(targets),
+                              rings=after.rings, state=after)
+
+    # -- block dispatch ---------------------------------------------------
+
+    def _successor_states(self, block: BasicBlock,
+                          state: AbsState) -> List[Tuple[int, AbsState]]:
+        last = block.last
+        name = last.mnemonic
+        out: List[Tuple[int, AbsState]] = []
+        iret: Optional[IretResolution] = None
+        if name == "IRET":
+            iret = self._resolve_iret(state, last)
+            if iret is not None:
+                self._iret[last.address] = iret
+        elif name in ("JMPR", "CALLR"):
+            self._resolve_indirect(state, last)
+
+        for target, kind in block.succs:
+            if kind == EDGE_CALL:
+                callee = state.copy()
+                self._push(callee,
+                           ValueSet.const(last.address + last.length))
+                out.append((target, callee))
+            elif kind == EDGE_FALL and name in ("CALL", "CALLR"):
+                fall = state.copy()
+                self._havoc_regs(fall)
+                out.append((target, fall))
+            elif kind == EDGE_DYN and name == "IRET":
+                if iret is not None and target in iret.targets:
+                    out.append((target, iret.state.copy()))
+                # An IRET edge resolved in an earlier round but opaque in
+                # this one contributes nothing new.
+            else:
+                out.append((target, state.copy()))
+        return out
+
+    # -- the fixpoint ------------------------------------------------------
+
+    def run(self) -> AbsResult:
+        states = self.result.entry_states
+        worklist = deque()
+        for entry in sorted(self.cfg.entries):
+            if entry not in self.cfg.blocks:
+                continue
+            fresh = AbsState.entry(self.entry_rings.get(entry, 0))
+            known = states.get(entry)
+            states[entry] = fresh if known is None else known.join(fresh)
+            worklist.append(entry)
+        seen_in_list = set(worklist)
+        while worklist:
+            start = worklist.popleft()
+            seen_in_list.discard(start)
+            block = self.cfg.blocks.get(start)
+            if block is None or start not in states:
+                continue
+            state = states[start].copy()
+            for insn in block.insns:
+                self._transfer(state, insn)
+            for target, succ_state in self._successor_states(block, state):
+                if target not in self.cfg.blocks:
+                    continue
+                old = states.get(target)
+                new = succ_state if old is None else old.join(succ_state)
+                if old is None or new != old:
+                    states[target] = new
+                    if target not in seen_in_list:
+                        worklist.append(target)
+                        seen_in_list.add(target)
+        return self.result
+
+
+def interpret(cfg: Cfg, entry_rings: Dict[int, int],
+              max_rounds: int = 6) -> AbsResult:
+    """Iterate interpretation until the global store log stabilises.
+
+    The store log is flow-insensitive: a state computed before a later
+    store was recorded can be stale (e.g. ``LD SP, [tcb+4]`` reading a
+    frame fabricated further down the boot path).  Re-running with the
+    accumulated log converges in two or three rounds.
+    """
+    log: Dict[Tuple[int, int], ValueSet] = {}
+    result = AbsResult()
+    for round_number in range(1, max_rounds + 1):
+        interp = Interpreter(cfg, entry_rings, store_log=log)
+        result = interp.run()
+        result.rounds = round_number
+        if result.store_log == log:
+            break
+        log = dict(result.store_log)
+    return result

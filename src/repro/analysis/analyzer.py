@@ -1,0 +1,146 @@
+"""The analysis driver: CFG recovery ⇄ abstract interpretation fixpoint.
+
+Indirect control flow and IDT handler registration are only visible to
+the abstract interpreter, but the interpreter needs a CFG to run over —
+so the driver alternates the two until the entry set and the resolved
+dynamic edges stop growing, then runs the check catalogue and packages
+the report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from repro.analysis.absint import AbsResult, interpret
+from repro.analysis.cfg import recover_cfg
+from repro.analysis.checks import ALL_CHECKS, Analysis, run_checks
+from repro.analysis.report import Report
+from repro.asm.assembler import Program
+from repro.hw import firmware
+from repro.hw.cpu import IDT_ENTRY_SIZE
+
+#: Default installed-RAM size used to derive the monitor base when the
+#: caller does not supply one (16 MiB, the canonical test machine).
+DEFAULT_MEMORY_SIZE = 16 << 20
+
+
+def _discover_idt(absres: AbsResult, origin: int,
+                  end: int) -> "tuple[int, Dict[int, FrozenSet[int]]]":
+    """Statically recover the guest IDT registrations.
+
+    The LIDT pointer value set names the pseudo-descriptor; its base
+    word (offset +4) names the IDT; the store log at ``base + 8*v``
+    holds each gate's handler offset.  A gate whose flags word (+6) was
+    stored without the present bit is ignored.
+    """
+    # A scratch pseudo-descriptor reused for both LGDT and LIDT makes
+    # the base word multi-valued; consider every candidate base — gates
+    # whose "offset" word does not land inside the image are discarded,
+    # which filters descriptor bytes read through a wrong candidate.
+    bases: Set[int] = set()
+    for pointer_vs in absres.lidt_sites.values():
+        for pointer in pointer_vs.concrete():
+            base_vs = absres.store_log.get((pointer + 4, 4))
+            if base_vs is not None:
+                bases.update(base_vs.concrete())
+    idt_base = -1
+    handlers: Dict[int, FrozenSet[int]] = {}
+    for base in sorted(bases):
+        found_any = False
+        for vector in range(firmware.IDT_ENTRIES):
+            gate = base + vector * IDT_ENTRY_SIZE
+            offset_vs = absres.store_log.get((gate, 4))
+            if offset_vs is None:
+                continue
+            flags_vs = absres.store_log.get((gate + 6, 2))
+            if flags_vs is not None and not flags_vs.is_top \
+                    and all(not flags & 1
+                            for flags in flags_vs.concrete()):
+                continue  # every stored flags word says not-present
+            targets = frozenset(t for t in offset_vs.concrete()
+                                if origin <= t < end)
+            if targets:
+                found_any = True
+                handlers[vector] = handlers.get(
+                    vector, frozenset()) | targets
+        if found_any:
+            idt_base = base
+    return idt_base, handlers
+
+
+def analyze_image(image: bytes, origin: int, *,
+                  monitor_base: Optional[int] = None,
+                  entry_ring: int = 0,
+                  extra_entries: Iterable[int] = (),
+                  max_iterations: int = 8) -> Report:
+    """Analyze a flat HX32 image loaded at ``origin``."""
+    if monitor_base is None:
+        monitor_base = firmware.monitor_base(DEFAULT_MEMORY_SIZE)
+    end = origin + len(image)
+    entries: Set[int] = {origin}
+    entries.update(a for a in extra_entries if origin <= a < end)
+    entry_rings: Dict[int, int] = {a: entry_ring for a in entries}
+    dyn_edges: Dict[int, Set[int]] = {}
+    handlers: Dict[int, FrozenSet[int]] = {}
+    idt_base = -1
+
+    iterations = 0
+    cfg = recover_cfg(image, origin, entries, dyn_edges)
+    absres = interpret(cfg, entry_rings)
+    while iterations < max_iterations:
+        iterations += 1
+        idt_base, handlers = _discover_idt(absres, origin, end)
+        new_entries = set(entries)
+        for vector_handlers in handlers.values():
+            new_entries.update(vector_handlers)
+        new_dyn: Dict[int, Set[int]] = {
+            site: set(targets)
+            for site, targets in absres.resolved.items() if targets}
+        for site, targets in dyn_edges.items():
+            new_dyn.setdefault(site, set()).update(targets)
+        if new_entries == entries and new_dyn == dyn_edges:
+            break
+        entries = new_entries
+        dyn_edges = new_dyn
+        for address in entries:
+            # Handlers run at the gate target ring: ring 0 in the
+            # guest's own view of the world.
+            entry_rings.setdefault(address, 0)
+        cfg = recover_cfg(image, origin, entries, dyn_edges)
+        absres = interpret(cfg, entry_rings)
+
+    analysis = Analysis(
+        image=image, origin=origin, end=end,
+        monitor_base=monitor_base, entry_ring=entry_ring,
+        cfg=cfg, absres=absres, handlers=handlers,
+        idt_base=idt_base, iterations=iterations)
+    findings = run_checks(analysis)
+
+    report = Report(origin=origin, end=end, entry_ring=entry_ring,
+                    monitor_base=monitor_base, findings=findings)
+    report.stats = {
+        "image_bytes": len(image),
+        "linear_insns": len(cfg.linear),
+        "walked_insns": len(cfg.insn_at),
+        "blocks": cfg.block_count(),
+        "edges": cfg.edge_count(),
+        "entries": len(entries),
+        "handlers": sum(len(h) for h in handlers.values()),
+        "handler_vectors": len(handlers),
+        "resolved_indirect_sites": len(absres.resolved),
+        "interp_rounds": absres.rounds,
+        "iterations": iterations,
+        "checks_run": len(ALL_CHECKS),
+    }
+    return report
+
+
+def analyze_program(program: Program, *,
+                    monitor_base: Optional[int] = None,
+                    entry_ring: int = 0,
+                    extra_entries: Iterable[int] = ()) -> Report:
+    """Analyze an assembled :class:`repro.asm.Program` image."""
+    return analyze_image(program.image, program.origin,
+                         monitor_base=monitor_base,
+                         entry_ring=entry_ring,
+                         extra_entries=extra_entries)

@@ -1,0 +1,418 @@
+"""The check catalogue.
+
+Each check is a class with a stable ``id``, a default ``severity`` and a
+``run`` generator producing :class:`repro.analysis.report.Finding`s from
+the shared :class:`Analysis` context.  Adding a check means subclassing
+:class:`Check` and appending to :data:`ALL_CHECKS` — docs/INTERNALS.md
+§8 documents the catalogue and the recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple, Type
+
+from repro.analysis.absint import AbsResult
+from repro.analysis.cfg import EDGE_CALL, BasicBlock, Cfg
+from repro.asm.disasm import DecodedInsn
+from repro.analysis.report import (
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+    Finding,
+)
+from repro.hw import isa
+
+
+@dataclass
+class Analysis:
+    """Everything the driver learned about one image, handed to checks."""
+
+    image: bytes
+    origin: int
+    end: int
+    monitor_base: int
+    entry_ring: int
+    cfg: Cfg
+    absres: AbsResult
+    #: Statically-discovered IDT: vector → handler addresses (in-image).
+    handlers: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    idt_base: int = -1
+    iterations: int = 0
+
+
+class Check:
+    """Base class: one bug-class detector over the analysis context."""
+
+    id: str = "AN000"
+    severity: str = SEV_ERROR
+    title: str = "abstract check"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, address: int, message: str,
+                severity: str = "") -> Finding:
+        return Finding(check=self.id, severity=severity or self.severity,
+                       address=address, message=message)
+
+
+class WildWriteCheck(Check):
+    """Stores whose resolved target reaches the monitor region."""
+
+    id = "AN001"
+    severity = SEV_ERROR
+    title = "wild write into the monitor region"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        base = analysis.monitor_base
+        for address in sorted(analysis.absres.store_targets):
+            targets = analysis.absres.store_targets[address]
+            if targets.is_top:
+                continue
+            bad = sorted(t for t in targets.concrete() if t >= base)
+            if bad:
+                insn = analysis.cfg.insn_at.get(address)
+                what = insn.text if insn else "store"
+                yield self.finding(
+                    address,
+                    f"{what} may write {bad[0]:#x} inside the monitor "
+                    f"region (monitor base {base:#x})")
+
+
+class PrivilegedRing3Check(Check):
+    """Privileged instructions on paths reachable at ring 3."""
+
+    id = "AN002"
+    severity = SEV_ERROR
+    title = "privileged instruction reachable at ring 3"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        for address in sorted(analysis.absres.insn_rings):
+            insn = analysis.cfg.insn_at.get(address)
+            if insn is None or insn.is_pseudo:
+                continue
+            spec = isa.SPECS[insn.opcode]
+            if spec.privilege == isa.PRIV_NONE:
+                continue
+            rings = analysis.absres.insn_rings[address]
+            if 3 in rings:
+                yield self.finding(
+                    address,
+                    f"{insn.mnemonic} ({spec.privilege}) executes on a "
+                    f"ring-3-reachable path — faults with #GP at CPL 3")
+
+
+class OutOfImageTargetCheck(Check):
+    """Control transfers to addresses outside the image."""
+
+    id = "AN003"
+    severity = SEV_ERROR
+    title = "branch or call target outside the image"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        seen: Set[Tuple[int, int]] = set()
+        for source, target, kind in analysis.cfg.out_of_image:
+            if (source, target) in seen:
+                continue
+            seen.add((source, target))
+            yield self.finding(
+                source,
+                f"{kind} target {target:#x} is outside the image "
+                f"({analysis.origin:#x}..{analysis.end:#x})")
+        for source, target in analysis.absres.resolved_out:
+            if (source, target) in seen:
+                continue
+            seen.add((source, target))
+            insn = analysis.cfg.insn_at.get(source)
+            if insn is not None and insn.mnemonic == "IRET":
+                # IRET leaving the image is how a kernel launches code
+                # in another image (e.g. the ring-3 task): legitimate,
+                # but worth surfacing.
+                yield self.finding(
+                    source,
+                    f"IRET transfers control to {target:#x} outside "
+                    f"the image ({analysis.origin:#x}.."
+                    f"{analysis.end:#x})",
+                    severity=SEV_INFO)
+                continue
+            yield self.finding(
+                source,
+                f"indirect target {target:#x} is outside the image "
+                f"({analysis.origin:#x}..{analysis.end:#x})")
+
+
+class MisalignedTargetCheck(Check):
+    """Branch targets that are not on a linear-sweep boundary."""
+
+    id = "AN004"
+    severity = SEV_ERROR
+    title = "branch target inside another instruction"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        boundaries = {insn.address for insn in analysis.cfg.linear}
+        seen: Set[Tuple[int, int]] = set()
+        for source, target in analysis.cfg.branch_targets:
+            if target in boundaries or (source, target) in seen:
+                continue
+            seen.add((source, target))
+            yield self.finding(
+                source,
+                f"target {target:#x} is not on an instruction boundary")
+
+
+class FallOffImageCheck(Check):
+    """Execution that can run sequentially past the image end."""
+
+    id = "AN005"
+    severity = SEV_ERROR
+    title = "fall-through past the image end"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        for address in sorted(set(analysis.cfg.fall_off)):
+            insn = analysis.cfg.insn_at[address]
+            yield self.finding(
+                address,
+                f"{insn.mnemonic} falls through past the image end "
+                f"{analysis.end:#x} into unmapped bytes")
+
+
+class UnreachableCodeCheck(Check):
+    """Linear-sweep instructions no entry point can reach."""
+
+    id = "AN006"
+    severity = SEV_WARNING
+    title = "unreachable code"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        covered: Set[int] = set()
+        for insn in analysis.cfg.insn_at.values():
+            covered.update(range(insn.address, insn.address + insn.length))
+        region_start = -1
+        region_insns = 0
+        last_end = -1
+
+        def flush() -> Iterator[Finding]:
+            if region_start >= 0:
+                yield self.finding(
+                    region_start,
+                    f"{region_insns} instruction(s) at "
+                    f"{region_start:#x}..{last_end:#x} unreachable from "
+                    f"any entry point")
+
+        for insn in analysis.cfg.linear:
+            if insn.address in covered:
+                yield from flush()
+                region_start = -1
+                region_insns = 0
+                continue
+            if region_start < 0:
+                region_start = insn.address
+                region_insns = 0
+            region_insns += 1
+            last_end = insn.address + insn.length
+        yield from flush()
+
+
+class HandlerIretCheck(Check):
+    """IDT-registered handlers must terminate in IRET."""
+
+    id = "AN007"
+    severity = SEV_ERROR
+    title = "IDT handler path ends without IRET"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        reported: Set[Tuple[int, int]] = set()
+        for vector in sorted(analysis.handlers):
+            for handler in sorted(analysis.handlers[vector]):
+                yield from self._walk(analysis, vector, handler, reported)
+
+    def _walk(self, analysis: Analysis, vector: int, handler: int,
+              reported: Set[Tuple[int, int]]) -> Iterator[Finding]:
+        blocks = analysis.cfg.blocks
+        if handler not in blocks:
+            return
+        seen = {handler}
+        stack = [handler]
+        while stack:
+            block = blocks[stack.pop()]
+            # Follow everything but the callee edge: a called helper
+            # returns to the handler; its RET is not the handler's exit.
+            onward = [t for t, kind in block.succs if kind != EDGE_CALL
+                      and t in blocks]
+            if not [t for t, _ in block.succs]:
+                tail = block.last
+                if tail.mnemonic != "IRET" \
+                        and (handler, tail.address) not in reported:
+                    reported.add((handler, tail.address))
+                    yield self.finding(
+                        tail.address,
+                        f"handler {handler:#x} (vector {vector}) path "
+                        f"ends in {tail.mnemonic} without IRET")
+            for target in onward:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+
+
+class StackGrowthLoopCheck(Check):
+    """Loops whose net stack delta is positive grow without bound."""
+
+    id = "AN008"
+    severity = SEV_ERROR
+    title = "unbounded stack growth in a loop"
+
+    _PUSHES = {"PUSH": 4, "PUSHI": 4, "PUSHF": 4}
+    _POPS = {"POP": -4, "POPF": -4}
+
+    def _block_effect(self, block: BasicBlock) -> Tuple[int, bool]:
+        """(net stack delta in bytes, block re-points SP directly)."""
+        delta = 0
+        resets = False
+        for insn in block.insns:
+            name = insn.mnemonic
+            if insn.is_pseudo:
+                continue
+            if name in self._PUSHES:
+                delta += self._PUSHES[name]
+            elif name in self._POPS:
+                delta += self._POPS[name]
+            elif name in ("ADDI", "SUBI"):
+                spec = isa.SPECS[insn.opcode]
+                ra, imm = isa.decode_operands(spec.fmt, insn.raw[1:])
+                if ra == isa.REG_SP:
+                    delta += imm if name == "SUBI" else -imm
+            elif self._writes_sp(insn):
+                resets = True
+        return delta, resets
+
+    @staticmethod
+    def _writes_sp(insn: DecodedInsn) -> bool:
+        spec = isa.SPECS[insn.opcode]
+        name = insn.mnemonic
+        ops = isa.decode_operands(spec.fmt, insn.raw[1:])
+        if name in ("MOVI", "ADDI", "SUBI", "ANDI", "ORI", "XORI",
+                    "SHLI", "SHRI", "MULI", "DIVI"):
+            return ops[0] == isa.REG_SP
+        if name in ("MOV", "ADD", "SUB", "AND", "OR", "XOR", "SHL",
+                    "SHR", "MUL", "DIV", "NEG", "NOT"):
+            return ops[0] == isa.REG_SP
+        if name == "XCHG":
+            return isa.REG_SP in ops
+        if name in ("LD", "LD16", "LD8", "LEA"):
+            return ops[0] == isa.REG_SP
+        if name in ("NOT", "NEG", "POP"):
+            return ops == isa.REG_SP
+        return False
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        blocks = analysis.cfg.blocks
+        effects = {start: self._block_effect(block)
+                   for start, block in blocks.items()}
+        color: Dict[int, int] = {}   # 0 absent/white, 1 grey, 2 black
+        depth_at: Dict[int, int] = {}
+        path: List[int] = []
+        reported: Set[int] = set()
+        findings: List[Finding] = []
+
+        def edge_delta(source: int, kind: str) -> int:
+            delta, _ = effects[source]
+            return delta + (4 if kind == EDGE_CALL else 0)
+
+        def visit(root: int) -> None:
+            stack: List[Tuple[int, Iterator[Tuple[int, str]]]] = []
+            color[root] = 1
+            depth_at[root] = 0
+            path.append(root)
+            stack.append((root, iter(blocks[root].succs)))
+            while stack:
+                node, succs = stack[-1]
+                advanced = False
+                for target, kind in succs:
+                    if target not in blocks:
+                        continue
+                    if color.get(target, 0) == 0:
+                        color[target] = 1
+                        depth_at[target] = depth_at[node] + \
+                            edge_delta(node, kind)
+                        path.append(target)
+                        stack.append((target, iter(blocks[target].succs)))
+                        advanced = True
+                        break
+                    if color.get(target) == 1:
+                        loop_delta = depth_at[node] \
+                            + edge_delta(node, kind) - depth_at[target]
+                        cycle = path[path.index(target):]
+                        has_reset = any(effects[b][1] for b in cycle)
+                        if loop_delta > 0 and not has_reset \
+                                and target not in reported:
+                            reported.add(target)
+                            findings.append(self.finding(
+                                target,
+                                f"loop at {target:#x} grows the stack by "
+                                f"{loop_delta} byte(s) per iteration"))
+                if not advanced:
+                    stack.pop()
+                    path.pop()
+                    color[node] = 2
+
+        for entry in sorted(analysis.cfg.entries):
+            if entry in blocks and color.get(entry, 0) == 0:
+                visit(entry)
+        yield from findings
+
+
+class UnknownIndirectCheck(Check):
+    """Indirect jumps/calls the value-set domain could not resolve."""
+
+    id = "AN009"
+    severity = SEV_INFO
+    title = "unresolved indirect control flow"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        for address in sorted(analysis.absres.unknown_indirect):
+            insn = analysis.cfg.insn_at.get(address)
+            name = insn.mnemonic if insn else "indirect"
+            yield self.finding(
+                address,
+                f"{name} target register never resolved statically — "
+                f"analysis is incomplete past this point")
+
+
+class ReachableInvalidCheck(Check):
+    """Execution reaches bytes that do not decode."""
+
+    id = "AN010"
+    severity = SEV_ERROR
+    title = "reachable undecodable bytes"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        for address in sorted(analysis.cfg.insn_at):
+            insn = analysis.cfg.insn_at[address]
+            if insn.is_pseudo:
+                yield self.finding(
+                    address,
+                    f"execution reaches undecodable byte "
+                    f"{insn.raw[0]:#04x} (#UD at runtime)")
+
+
+#: The shipped catalogue, in id order.
+ALL_CHECKS: List[Type[Check]] = [
+    WildWriteCheck,
+    PrivilegedRing3Check,
+    OutOfImageTargetCheck,
+    MisalignedTargetCheck,
+    FallOffImageCheck,
+    UnreachableCodeCheck,
+    HandlerIretCheck,
+    StackGrowthLoopCheck,
+    UnknownIndirectCheck,
+    ReachableInvalidCheck,
+]
+
+
+def run_checks(analysis: Analysis) -> List[Finding]:
+    findings: List[Finding] = []
+    for check_class in ALL_CHECKS:
+        findings.extend(check_class().run(analysis))
+    return findings

@@ -1,0 +1,116 @@
+"""Command-line front end for the guest-image static analyzer.
+
+    python -m repro.analysis.cli image.bin [--org 0x200000] [--json]
+    python -m repro.analysis.cli --builtin kernel --json
+    repro-analyze image.bin --monitor-base 0xF00000
+
+Exit status is 0 when no error-severity finding was produced, 1
+otherwise — which is what lets CI gate on the built-in guest corpus.
+"""
+
+from __future__ import annotations
+
+import sys
+from argparse import ArgumentParser
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.analyzer import DEFAULT_MEMORY_SIZE, analyze_image
+from repro.errors import ReproError
+from repro.hw import firmware
+
+#: Built-in guest images usable as ``--builtin`` targets.
+BUILTIN_IMAGES = ("kernel", "kernel-user", "kernel-paging", "user",
+                  "threads", "threads-preemptive")
+
+
+def _build_builtin(name: str) -> Tuple[bytes, int, int]:
+    """(image, origin, entry ring) for a built-in guest."""
+    from repro.asm.assembler import assemble
+    from repro.guest import asmkernel, asmthreads
+
+    if name == "kernel":
+        program = asmkernel.build_kernel()
+    elif name == "kernel-user":
+        program = asmkernel.build_kernel(
+            asmkernel.KernelConfig(with_user_task=True))
+    elif name == "kernel-paging":
+        program = asmkernel.build_kernel(
+            asmkernel.KernelConfig(with_paging=True))
+    elif name == "user":
+        return asmkernel.build_user_task().image, \
+            firmware.GUEST_APP_BASE, 3
+    elif name == "threads":
+        program = asmthreads.build_threaded_kernel()
+    elif name == "threads-preemptive":
+        program = assemble(
+            asmthreads.threaded_kernel_source(preemptive=True))
+    else:
+        raise ReproError(f"unknown builtin image {name!r} "
+                         f"(try one of {', '.join(BUILTIN_IMAGES)})")
+    return program.image, program.origin, 0
+
+
+def _number(text: str) -> int:
+    return int(text, 0)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = ArgumentParser(prog="repro-analyze", description=__doc__)
+    parser.add_argument("image", nargs="?",
+                        help="flat HX32 image file to analyze")
+    parser.add_argument("--builtin", choices=BUILTIN_IMAGES,
+                        help="analyze a built-in guest image instead")
+    parser.add_argument("--org", type=_number, default=None,
+                        help="load address of the image "
+                             "(default: guest kernel base)")
+    parser.add_argument("--entry-ring", type=int, default=None,
+                        choices=(0, 1, 2, 3),
+                        help="privilege ring at the entry point")
+    parser.add_argument("--monitor-base", type=_number, default=None,
+                        help="base of the protected monitor region")
+    parser.add_argument("--memory-size", type=_number,
+                        default=DEFAULT_MEMORY_SIZE,
+                        help="installed RAM used to derive the monitor "
+                             "base when --monitor-base is absent")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON on stdout")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the JSON report to a file")
+    args = parser.parse_args(argv)
+
+    if bool(args.image) == bool(args.builtin):
+        parser.error("give exactly one of IMAGE or --builtin")
+
+    monitor_base = args.monitor_base
+    if monitor_base is None:
+        monitor_base = firmware.monitor_base(args.memory_size)
+
+    try:
+        if args.builtin:
+            image, origin, default_ring = _build_builtin(args.builtin)
+            if args.org is not None:
+                origin = args.org
+        else:
+            image = Path(args.image).read_bytes()
+            origin = args.org if args.org is not None \
+                else firmware.GUEST_KERNEL_BASE
+            default_ring = 0
+        entry_ring = args.entry_ring if args.entry_ring is not None \
+            else default_ring
+        report = analyze_image(image, origin,
+                               monitor_base=monitor_base,
+                               entry_ring=entry_ring)
+    except (ReproError, OSError) as exc:
+        print(f"repro-analyze: {exc}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        from repro.perf.export import export_analysis_json
+        export_analysis_json(report, args.out)
+    print(report.to_json() if args.json else report.format_text())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

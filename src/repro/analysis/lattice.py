@@ -1,0 +1,180 @@
+"""The abstract domain the analyzer propagates over the CFG.
+
+Three small lattices, joined pointwise in :class:`AbsState`:
+
+* **value sets** (:class:`ValueSet`) — each register holds either TOP
+  (unknown) or a bounded set of concrete 32-bit values.  Sets wider
+  than :data:`MAX_VALUES` widen to TOP, which keeps the fixpoint
+  finite.  This is the value-set approximation used to resolve store
+  targets, IDT gate registrations and fabricated IRET frames.
+* **privilege rings** — the set of CPLs execution may hold at a
+  program point.  The image starts at the configured entry ring
+  (ring 0 for a kernel written to own the machine); the only in-image
+  transition is an IRET through a frame whose CS image the value-set
+  domain resolved (the classic IRET-to-ring-3 drop).
+* **stack depth** — bytes pushed relative to the last stack re-point,
+  an integer or None (unknown).  PUSH/POP/CALL/RET move it; writing SP
+  directly re-points the stack and resets the depth to zero.
+
+The abstract stack (``shadow``) mirrors the value sets of pushed words
+so IRET/POP can recover statically-built frames; it is cleared whenever
+the depth becomes unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, Optional, Tuple
+
+from repro.hw.isa import NUM_GPRS, mask32
+
+#: Widening threshold: a value set wider than this becomes TOP.
+MAX_VALUES = 16
+
+#: All rings a 2-bit CPL can express.
+ALL_RINGS: FrozenSet[int] = frozenset({0, 1, 2, 3})
+
+
+class ValueSet:
+    """A bounded set of concrete 32-bit values, or TOP (= unknown)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Optional[FrozenSet[int]]) -> None:
+        #: ``None`` means TOP; otherwise a frozenset of 32-bit ints.
+        if values is not None and len(values) > MAX_VALUES:
+            values = None
+        self.values = values
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def top(cls) -> "ValueSet":
+        return cls(None)
+
+    @classmethod
+    def const(cls, value: int) -> "ValueSet":
+        return cls(frozenset({mask32(value)}))
+
+    @classmethod
+    def of(cls, values: Iterable[int]) -> "ValueSet":
+        return cls(frozenset(mask32(v) for v in values))
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.values is None
+
+    def singleton(self) -> Optional[int]:
+        """The single concrete value, if there is exactly one."""
+        if self.values is not None and len(self.values) == 1:
+            return next(iter(self.values))
+        return None
+
+    def concrete(self) -> FrozenSet[int]:
+        """All concrete values (empty when TOP — caller checks is_top)."""
+        return self.values if self.values is not None else frozenset()
+
+    # -- lattice / arithmetic --------------------------------------------
+
+    def join(self, other: "ValueSet") -> "ValueSet":
+        if self.values is None or other.values is None:
+            return ValueSet.top()
+        return ValueSet(self.values | other.values)
+
+    def map(self, fn: Callable[[int], int]) -> "ValueSet":
+        if self.values is None:
+            return ValueSet.top()
+        return ValueSet(frozenset(mask32(fn(v)) for v in self.values))
+
+    def map2(self, other: "ValueSet",
+             fn: Callable[[int, int], int]) -> "ValueSet":
+        if self.values is None or other.values is None:
+            return ValueSet.top()
+        if len(self.values) * len(other.values) > MAX_VALUES:
+            return ValueSet.top()
+        return ValueSet(frozenset(mask32(fn(a, b))
+                                  for a in self.values
+                                  for b in other.values))
+
+    def add_const(self, disp: int) -> "ValueSet":
+        return self.map(lambda v: v + disp)
+
+    # -- dunder ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ValueSet) and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __repr__(self) -> str:
+        if self.values is None:
+            return "VS(TOP)"
+        inner = ", ".join(f"{v:#x}" for v in sorted(self.values))
+        return f"VS({{{inner}}})"
+
+
+_TOP = ValueSet.top()
+
+
+@dataclass
+class AbsState:
+    """The abstract machine state at one program point."""
+
+    regs: Tuple[ValueSet, ...]          # NUM_GPRS entries (R7 = SP)
+    rings: FrozenSet[int]               # possible CPLs
+    depth: Optional[int]                # bytes pushed; None = unknown
+    shadow: Tuple[ValueSet, ...]        # pushed words, top of stack last
+
+    @classmethod
+    def entry(cls, ring: int) -> "AbsState":
+        """The state at an image entry point: nothing known but CPL."""
+        return cls(regs=tuple(_TOP for _ in range(NUM_GPRS)),
+                   rings=frozenset({ring}),
+                   depth=0, shadow=())
+
+    def copy(self) -> "AbsState":
+        return AbsState(self.regs, self.rings, self.depth, self.shadow)
+
+    def with_reg(self, index: int, value: ValueSet) -> None:
+        regs = list(self.regs)
+        regs[index] = value
+        self.regs = tuple(regs)
+
+    def reset_stack(self) -> None:
+        """SP was written directly: re-point the stack."""
+        self.depth = 0
+        self.shadow = ()
+
+    def forget_stack(self) -> None:
+        self.depth = None
+        self.shadow = ()
+
+    def join(self, other: "AbsState") -> "AbsState":
+        regs = tuple(a.join(b) for a, b in zip(self.regs, other.regs))
+        rings = self.rings | other.rings
+        if self.depth is None or other.depth is None \
+                or self.depth != other.depth:
+            depth: Optional[int] = None
+            shadow: Tuple[ValueSet, ...] = ()
+        else:
+            depth = self.depth
+            # Align the shadow stacks at the top and join pairwise; a
+            # disagreeing prefix is dropped (sound: pops read TOP).
+            keep = min(len(self.shadow), len(other.shadow))
+            if keep:
+                mine = self.shadow[-keep:]
+                theirs = other.shadow[-keep:]
+                shadow = tuple(a.join(b) for a, b in zip(mine, theirs))
+            else:
+                shadow = ()
+        return AbsState(regs, rings, depth, shadow)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, AbsState)
+                and self.regs == other.regs
+                and self.rings == other.rings
+                and self.depth == other.depth
+                and self.shadow == other.shadow)

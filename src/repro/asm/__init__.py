@@ -1,14 +1,23 @@
 """Assembler and disassembler for the HX32 ISA."""
 
 from repro.asm.assembler import Assembler, Program, assemble
-from repro.asm.disasm import DecodedInsn, decode_one, disassemble, iter_listing
+from repro.asm.disasm import (
+    PSEUDO_BYTE,
+    DecodedInsn,
+    decode_one,
+    decode_range,
+    disassemble,
+    iter_listing,
+)
 
 __all__ = [
     "Assembler",
     "Program",
     "assemble",
+    "PSEUDO_BYTE",
     "DecodedInsn",
     "decode_one",
+    "decode_range",
     "disassemble",
     "iter_listing",
 ]

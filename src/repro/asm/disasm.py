@@ -14,6 +14,11 @@ from repro.errors import DisassemblerError
 from repro.hw import isa
 
 
+#: Mnemonic of the pseudo-instruction emitted by :func:`decode_range`
+#: for a byte that does not decode (invalid opcode or truncated tail).
+PSEUDO_BYTE = ".byte"
+
+
 @dataclass(frozen=True)
 class DecodedInsn:
     address: int
@@ -22,6 +27,11 @@ class DecodedInsn:
     length: int
     text: str
     raw: bytes
+
+    @property
+    def is_pseudo(self) -> bool:
+        """True for the ``.byte`` recovery pseudo-instruction."""
+        return self.mnemonic == PSEUDO_BYTE
 
 
 def _reg(number: int) -> str:
@@ -97,6 +107,41 @@ def _render(spec: isa.InsnSpec, body: bytes, address: int) -> str:
     raise DisassemblerError(f"unhandled format {fmt!r}")
 
 
+def _pseudo_byte(code: bytes, offset: int, address: int) -> DecodedInsn:
+    raw = bytes(code[offset:offset + 1])
+    return DecodedInsn(address=address, opcode=raw[0], mnemonic=PSEUDO_BYTE,
+                       length=1, text=f"{PSEUDO_BYTE} {raw[0]:#04x}", raw=raw)
+
+
+def decode_range(code: bytes, origin: int = 0, start: int = 0,
+                 end: Optional[int] = None) -> Iterator[DecodedInsn]:
+    """Linear-sweep decode of ``code[start:end]``.
+
+    Unlike :func:`decode_one` this never raises on bad bytes: an invalid
+    opcode, or an instruction truncated by the window, is emitted as a
+    one-byte ``.byte`` pseudo-instruction and the sweep resumes at the
+    next byte.  The yielded instructions tile the window exactly, which
+    is what both the static analyzer and the round-trip property tests
+    rely on.
+    """
+    if end is None:
+        end = len(code)
+    end = min(end, len(code))
+    offset = start
+    while offset < end:
+        address = origin + offset
+        try:
+            insn = decode_one(code, offset, address)
+        except DisassemblerError:
+            insn = _pseudo_byte(code, offset, address)
+        if offset + insn.length > end:
+            # The instruction straddles the window's end: recover
+            # byte-by-byte instead of decoding past it.
+            insn = _pseudo_byte(code, offset, address)
+        yield insn
+        offset += insn.length
+
+
 def disassemble(code: bytes, origin: int = 0,
                 count: Optional[int] = None,
                 strict: bool = True) -> List[DecodedInsn]:
@@ -107,18 +152,18 @@ def disassemble(code: bytes, origin: int = 0,
     arbitrary memory window whose tail cuts an instruction in half.
     """
     out: List[DecodedInsn] = []
-    offset = 0
-    while offset < len(code):
+    for insn in decode_range(code, origin):
         if count is not None and len(out) >= count:
             break
-        try:
-            insn = decode_one(code, offset, origin + offset)
-        except DisassemblerError:
+        if insn.is_pseudo:
             if strict:
-                raise
+                # Re-raise the original decoder diagnostic.
+                decode_one(code, insn.address - origin, insn.address)
+                raise DisassemblerError(
+                    f"undecodable byte {insn.raw[0]:#04x} "
+                    f"at address {insn.address:#x}")
             break
         out.append(insn)
-        offset += insn.length
     return out
 
 

@@ -109,3 +109,37 @@ def export_interp_stats(cpu, path, extra: Optional[dict] = None) -> Path:
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2)
     return path
+
+
+def analysis_stats(report) -> dict:
+    """One dict with the static analyzer's coverage/finding counters.
+
+    ``report`` is a :class:`repro.analysis.Report`; the result combines
+    its CFG/interpreter coverage stats with finding counts so benchmark
+    and CI tooling collect analyzer health from a single source.
+    """
+    return {
+        "image": {"origin": report.origin, "end": report.end,
+                  "entry_ring": report.entry_ring,
+                  "monitor_base": report.monitor_base},
+        "coverage": dict(report.stats),
+        "findings_by_severity": report.counts_by_severity(),
+        "findings_by_check": report.counts_by_check(),
+        "clean": report.clean,
+    }
+
+
+def export_analysis_json(report, path,
+                         extra: Optional[dict] = None) -> Path:
+    """Write a static-analysis report (stats + findings) as JSON."""
+    path = Path(path)
+    document = {
+        "experiment": "static-analysis",
+        "stats": analysis_stats(report),
+        "report": report.to_dict(),
+    }
+    if extra:
+        document.update(extra)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+    return path

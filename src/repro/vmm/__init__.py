@@ -2,13 +2,17 @@
 
 from repro.vmm.intercept import LVMM_INTERCEPTED_PORTS, LvmmIntercept
 from repro.vmm.monitor import (
+    GuestImageRejected,
+    GuestImageWarning,
     LightweightVmm,
     LvmmTargetAdapter,
     MONITOR_MAGIC,
+    Monitor,
     MonitorStats,
     VMCALL_MAGIC,
     VMCALL_PANIC,
     VMCALL_PUTC,
+    verify_image,
 )
 from repro.vmm.protect import (
     ShadowGdt,
@@ -20,6 +24,10 @@ from repro.vmm.shadow import ShadowState, TableRegister
 
 __all__ = [
     "LightweightVmm",
+    "Monitor",
+    "GuestImageRejected",
+    "GuestImageWarning",
+    "verify_image",
     "LvmmTargetAdapter",
     "LvmmIntercept",
     "LVMM_INTERCEPTED_PORTS",

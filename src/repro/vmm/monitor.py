@@ -22,8 +22,13 @@ native monitor's.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.report import Report
+    from repro.asm.assembler import Program
 
 from repro.asm.disasm import decode_one
 from repro.errors import DisassemblerError, MonitorError, TripleFault
@@ -95,6 +100,38 @@ class MonitorStats:
     vmcalls: int = 0
     uart_bytes_in: int = 0
     uart_bytes_out: int = 0
+
+
+class GuestImageRejected(MonitorError):
+    """A strict monitor refused to load a statically-flagged image."""
+
+    def __init__(self, report: "Report") -> None:
+        errors = report.errors
+        lines = "\n".join(f.format() for f in errors)
+        super().__init__(
+            f"guest image rejected: {len(errors)} error finding(s)\n"
+            f"{lines}")
+        self.report = report
+
+
+def verify_image(image: bytes, origin: int, *,
+                 monitor_base: Optional[int] = None,
+                 entry_ring: int = 0) -> "Report":
+    """Statically analyze a guest image before it is allowed to run.
+
+    Thin wrapper over :func:`repro.analysis.analyze_image` so the
+    monitor (and anything else that loads guest code) has one obvious
+    load-time gate.  Returns the full report; callers decide whether
+    error findings warn or reject.
+    """
+    from repro.analysis import analyze_image
+
+    return analyze_image(image, origin, monitor_base=monitor_base,
+                         entry_ring=entry_ring)
+
+
+class GuestImageWarning(UserWarning):
+    """Emitted when a non-strict monitor loads a flagged image."""
 
 
 #: Task states in the guest<->monitor task-table ABI
@@ -196,9 +233,15 @@ class LightweightVmm:
     name = "lvmm"
 
     def __init__(self, machine: Machine,
-                 cost_model: Optional[CostModel] = None) -> None:
+                 cost_model: Optional[CostModel] = None,
+                 strict: bool = False) -> None:
         self.machine = machine
         self.cost = cost_model or DEFAULT_COST_MODEL
+        #: When True, :meth:`load_guest` refuses statically-flagged
+        #: images instead of merely warning.
+        self.strict = strict
+        #: Report produced by the last :meth:`load_guest` gate.
+        self.last_verify_report: Optional["Report"] = None
         self.shadow = ShadowState()
         self.stats = MonitorStats()
         self.monitor_base = firmware.monitor_base(machine.memory.size)
@@ -283,6 +326,38 @@ class LightweightVmm:
             {1: (firmware.RING1_STACK_TOP,
                  compress_selector(selectors.data0))},
             tss_base=self.machine.cpu.tss_base)
+
+    def load_guest(self, program: "Program",
+                   entry_pc: Optional[int] = None,
+                   guest_memory_limit: Optional[int] = None,
+                   strict: Optional[bool] = None) -> "Report":
+        """Verify, load and boot an assembled guest image in one step.
+
+        The image is statically analyzed (:func:`verify_image`) before
+        it touches guest memory.  Error findings raise
+        :class:`GuestImageRejected` when the monitor is strict (ctor
+        ``strict=True`` or the ``strict`` override here); otherwise
+        they are reported as :class:`GuestImageWarning` warnings and
+        the guest boots anyway — the monitor survives whatever the
+        image does, that is the whole point of the paper.
+        """
+        report = verify_image(program.image, program.origin,
+                              monitor_base=self.monitor_base)
+        self.last_verify_report = report
+        effective_strict = self.strict if strict is None else strict
+        if report.errors:
+            if effective_strict:
+                raise GuestImageRejected(report)
+            for finding in report.errors:
+                warnings.warn(
+                    f"guest image: {finding.format()}",
+                    GuestImageWarning, stacklevel=2)
+        program.load_into(self.machine.memory)
+        if not self.installed:
+            self.install()
+        self.boot_guest(program.origin if entry_pc is None else entry_pc,
+                        guest_memory_limit)
+        return report
 
     # ------------------------------------------------------------------
     # Exception handling (the trap-and-emulate core)
@@ -833,3 +908,7 @@ class LightweightVmm:
                 break
             executed += 1
         return executed
+
+
+#: Short alias used throughout the docs and tests.
+Monitor = LightweightVmm

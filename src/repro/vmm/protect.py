@@ -37,15 +37,20 @@ def compress_descriptor(descriptor: SegmentDescriptor,
 
     Ring compression maps DPL 0 -> 1 (rings 1..3 keep their DPL) and the
     limit is clamped so no guest segment can reach the monitor region.
+    A descriptor whose *base* already sits at or above the monitor
+    region cannot be truncated into anything usable — it is marked not
+    present, so any guest load of it takes a clean #NP-style fault
+    instead of silently dereferencing a zero-limit segment.
     """
     new_dpl = 1 if descriptor.dpl == 0 else descriptor.dpl
+    reachable = descriptor.base < monitor_base
     return SegmentDescriptor(
         base=descriptor.base,
         limit=min(descriptor.limit, max(monitor_base - descriptor.base, 0)),
         dpl=new_dpl,
         code=descriptor.code,
         writable=descriptor.writable,
-        present=descriptor.present,
+        present=descriptor.present and reachable,
     )
 
 

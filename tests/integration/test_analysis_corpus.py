@@ -1,0 +1,160 @@
+"""The static analyzer over the real guest corpus.
+
+Shipped kernels must analyze clean (zero error findings); variants with
+deliberately seeded bugs must each be flagged by the right check; and
+the monitor's load-time gate must warn by default and refuse when
+strict.
+"""
+
+import pytest
+
+from repro.analysis import SEV_ERROR, analyze_program
+from repro.asm.assembler import assemble
+from repro.guest import asmkernel, asmthreads
+from repro.guest.asmkernel import KernelConfig, build_kernel, build_user_task
+from repro.hw import firmware
+from repro.hw.machine import Machine
+from repro.vmm import (
+    GuestImageRejected,
+    GuestImageWarning,
+    Monitor,
+    verify_image,
+)
+
+MONITOR_BASE = firmware.monitor_base(16 << 20)
+
+
+def error_checks(report):
+    return {f.check for f in report.findings if f.severity == SEV_ERROR}
+
+
+# ---------------------------------------------------------------------------
+# Shipped images analyze clean
+# ---------------------------------------------------------------------------
+
+class TestShippedImagesClean:
+    @pytest.mark.parametrize("config", [
+        KernelConfig(),
+        KernelConfig(with_user_task=True),
+        KernelConfig(with_paging=True),
+    ], ids=["plain", "user-task", "paging"])
+    def test_kernel_has_zero_errors(self, config):
+        report = analyze_program(build_kernel(config),
+                                 monitor_base=MONITOR_BASE)
+        assert report.errors == [], report.format_text()
+
+    def test_user_task_has_zero_errors(self):
+        report = analyze_program(build_user_task(),
+                                 monitor_base=MONITOR_BASE,
+                                 entry_ring=3)
+        assert report.errors == [], report.format_text()
+
+    @pytest.mark.parametrize("preemptive", [False, True],
+                             ids=["cooperative", "preemptive"])
+    def test_threaded_kernel_has_zero_errors(self, preemptive):
+        program = assemble(
+            asmthreads.threaded_kernel_source(preemptive=preemptive))
+        report = analyze_program(program, monitor_base=MONITOR_BASE)
+        assert report.errors == [], report.format_text()
+
+    def test_kernel_handlers_discovered(self):
+        report = analyze_program(build_kernel(),
+                                 monitor_base=MONITOR_BASE)
+        # timer, syscall, #GP, #PF, vmcall-noop
+        assert report.stats["handler_vectors"] == 5
+
+
+# ---------------------------------------------------------------------------
+# Seeded-bug variants are flagged
+# ---------------------------------------------------------------------------
+
+def seeded_kernel(old: str, new: str, config=KernelConfig()):
+    source = asmkernel.kernel_source(config)
+    assert source.count(old) == 1, f"seed anchor {old!r} not unique"
+    return assemble(source.replace(old, new))
+
+
+class TestSeededBugs:
+    def test_store_into_monitor_flagged(self):
+        program = seeded_kernel(
+            "start:\n",
+            "start:\n"
+            f"    MOVI R6, {MONITOR_BASE + 0x40:#x}\n"
+            "    ST   [R6+0], R0\n")
+        report = analyze_program(program, monitor_base=MONITOR_BASE)
+        assert "AN001" in error_checks(report), report.format_text()
+
+    def test_handler_missing_iret_flagged(self):
+        # The timer ISR returns with RET instead of IRET: interrupt
+        # frames leak and the handler never restores FLAGS/CS.
+        program = seeded_kernel(
+            "    POP  R1\n    POP  R0\n    IRET",
+            "    POP  R1\n    POP  R0\n    RET")
+        report = analyze_program(program, monitor_base=MONITOR_BASE)
+        assert "AN007" in error_checks(report), report.format_text()
+
+    def test_privileged_insn_in_user_task_flagged(self):
+        source = asmkernel.user_task_source()
+        anchor = "user_start:\n"
+        assert anchor in source
+        program = assemble(source.replace(anchor, anchor + "    CLI\n"))
+        report = analyze_program(program, monitor_base=MONITOR_BASE,
+                                 entry_ring=3)
+        assert "AN002" in error_checks(report), report.format_text()
+
+
+# ---------------------------------------------------------------------------
+# The monitor's load-time gate
+# ---------------------------------------------------------------------------
+
+class TestLoadTimeGate:
+    def _flagged_program(self):
+        return seeded_kernel(
+            "start:\n",
+            "start:\n"
+            f"    MOVI R6, {MONITOR_BASE + 0x40:#x}\n"
+            "    ST   [R6+0], R0\n")
+
+    def test_verify_image_reports(self):
+        program = self._flagged_program()
+        report = verify_image(program.image, program.origin,
+                              monitor_base=MONITOR_BASE)
+        assert "AN001" in error_checks(report)
+
+    def test_clean_image_loads_without_warning(self):
+        monitor = Monitor(Machine())
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", GuestImageWarning)
+            report = monitor.load_guest(build_kernel())
+        assert report.clean
+        assert monitor.last_verify_report is report
+
+    def test_default_monitor_warns_and_boots_anyway(self):
+        monitor = Monitor(Machine())
+        program = self._flagged_program()
+        with pytest.warns(GuestImageWarning, match="AN001"):
+            report = monitor.load_guest(program)
+        assert report.errors
+        # The guest is booted regardless: surviving it at runtime is
+        # the monitor's job.
+        assert monitor.machine.cpu.pc == program.origin
+
+    def test_strict_monitor_refuses(self):
+        monitor = Monitor(Machine(), strict=True)
+        with pytest.raises(GuestImageRejected) as excinfo:
+            monitor.load_guest(self._flagged_program())
+        assert "AN001" in str(excinfo.value)
+        assert excinfo.value.report.errors
+
+    def test_per_call_strict_override(self):
+        monitor = Monitor(Machine())
+        with pytest.raises(GuestImageRejected):
+            monitor.load_guest(self._flagged_program(), strict=True)
+
+    def test_loaded_guest_still_runs_to_done(self):
+        monitor = Monitor(Machine())
+        monitor.load_guest(build_kernel())
+        monitor.run(400_000, until=lambda: asmkernel.read_state(
+            monitor.machine.memory) != 0)
+        assert asmkernel.read_state(monitor.machine.memory) == 1

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.asm import assemble, disassemble
+from repro.asm import PSEUDO_BYTE, assemble, decode_range, disassemble
 from repro.hw import isa
 
 # -- strategies generating random-but-valid instruction text ----------------
@@ -103,3 +103,35 @@ class TestRoundTrip:
             assert a.mnemonic == b.mnemonic
             if isa.SPECS[a.opcode].fmt != isa.FMT_REL:
                 assert a.raw == b.raw
+
+
+class TestDecodeRange:
+    """decode_range is total: it tiles ANY byte string, valid or not."""
+
+    @given(data=st.binary(max_size=256))
+    @settings(max_examples=300, deadline=None)
+    def test_tiles_arbitrary_bytes(self, data):
+        cursor = 0
+        for insn in decode_range(data):
+            assert insn.address == cursor
+            assert insn.length >= 1
+            assert insn.raw == data[cursor:cursor + insn.length]
+            cursor += insn.length
+        assert cursor == len(data)
+
+    @given(data=st.binary(max_size=256))
+    @settings(max_examples=200, deadline=None)
+    def test_pseudo_insns_are_single_bytes(self, data):
+        for insn in decode_range(data):
+            if insn.mnemonic == PSEUDO_BYTE:
+                assert insn.is_pseudo
+                assert insn.length == 1
+
+    @given(source=_programs)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_disassemble_on_valid_code(self, source):
+        program = assemble(source, origin=0x1000)
+        swept = list(decode_range(program.image, origin=0x1000))
+        strict = disassemble(program.image, origin=0x1000)
+        assert [(i.address, i.mnemonic, i.raw) for i in swept] == \
+            [(i.address, i.mnemonic, i.raw) for i in strict]

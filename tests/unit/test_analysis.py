@@ -1,0 +1,262 @@
+"""Unit tests for the static analyzer: lattice, decode_range, checks.
+
+Each check gets a tiny hand-written guest program seeded with exactly
+the bug class it detects; the clean-kernel corpus lives in
+tests/integration/test_analysis_corpus.py.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+    analyze_program,
+)
+from repro.analysis.lattice import MAX_VALUES, AbsState, ValueSet
+from repro.asm import PSEUDO_BYTE, assemble, decode_range
+from repro.hw import firmware
+
+ORG = firmware.GUEST_KERNEL_BASE
+MONITOR_BASE = 0xF0_0000
+
+
+def run_analysis(source, entry_ring=0):
+    program = assemble(source, origin=ORG)
+    return analyze_program(program, monitor_base=MONITOR_BASE,
+                           entry_ring=entry_ring)
+
+
+def check_ids(report, severity=None):
+    return {f.check for f in report.findings
+            if severity is None or f.severity == severity}
+
+
+# ---------------------------------------------------------------------------
+# ValueSet lattice
+# ---------------------------------------------------------------------------
+
+class TestValueSet:
+    def test_const_singleton(self):
+        assert ValueSet.const(5).singleton() == 5
+
+    def test_masking(self):
+        assert ValueSet.const(-1).singleton() == 0xFFFFFFFF
+
+    def test_top_has_no_concrete(self):
+        top = ValueSet.top()
+        assert top.is_top
+        assert top.singleton() is None
+        assert top.concrete() == frozenset()
+
+    def test_join(self):
+        joined = ValueSet.const(1).join(ValueSet.const(2))
+        assert joined.concrete() == frozenset({1, 2})
+
+    def test_join_with_top_is_top(self):
+        assert ValueSet.const(1).join(ValueSet.top()).is_top
+
+    def test_widening_to_top(self):
+        wide = ValueSet.of(range(MAX_VALUES + 1))
+        assert wide.is_top
+
+    def test_map2_cross_product_widens(self):
+        a = ValueSet.of(range(8))
+        b = ValueSet.of(range(8))
+        assert a.map2(b, lambda x, y: x + y).is_top
+
+    def test_add_const(self):
+        vs = ValueSet.of({0x100, 0x200}).add_const(4)
+        assert vs.concrete() == frozenset({0x104, 0x204})
+
+    def test_equality_and_hash(self):
+        assert ValueSet.of({1, 2}) == ValueSet.of({2, 1})
+        assert hash(ValueSet.top()) == hash(ValueSet.top())
+
+
+class TestAbsState:
+    def test_entry_state(self):
+        state = AbsState.entry(3)
+        assert state.rings == frozenset({3})
+        assert state.depth == 0
+        assert all(r.is_top for r in state.regs)
+
+    def test_join_rings_union(self):
+        a = AbsState.entry(0)
+        b = AbsState.entry(3)
+        assert a.join(b).rings == frozenset({0, 3})
+
+    def test_join_unequal_depths_forgets_stack(self):
+        a = AbsState.entry(0)
+        b = AbsState.entry(0)
+        b.depth = 8
+        b.shadow = (ValueSet.const(1), ValueSet.const(2))
+        joined = a.join(b)
+        assert joined.depth is None
+        assert joined.shadow == ()
+
+    def test_join_equal_depths_joins_shadow(self):
+        a = AbsState.entry(0)
+        b = AbsState.entry(0)
+        a.depth = b.depth = 4
+        a.shadow = (ValueSet.const(1),)
+        b.shadow = (ValueSet.const(2),)
+        joined = a.join(b)
+        assert joined.depth == 4
+        assert joined.shadow[0].concrete() == frozenset({1, 2})
+
+
+# ---------------------------------------------------------------------------
+# decode_range (linear sweep)
+# ---------------------------------------------------------------------------
+
+class TestDecodeRange:
+    def test_tiles_valid_code(self):
+        program = assemble("MOVI R0, 1\nHLT", origin=ORG)
+        insns = list(decode_range(program.image, origin=ORG))
+        assert [i.mnemonic for i in insns] == ["MOVI", "HLT"]
+        assert insns[0].address == ORG
+        assert sum(i.length for i in insns) == len(program.image)
+
+    def test_invalid_byte_becomes_pseudo(self):
+        insns = list(decode_range(b"\xff", origin=ORG))
+        assert len(insns) == 1
+        assert insns[0].mnemonic == PSEUDO_BYTE
+        assert insns[0].is_pseudo
+        assert insns[0].length == 1
+
+    def test_recovers_after_invalid_byte(self):
+        good = assemble("HLT", origin=0).image
+        insns = list(decode_range(b"\xff" + good, origin=ORG))
+        assert [i.mnemonic for i in insns] == [PSEUDO_BYTE, "HLT"]
+        assert insns[1].address == ORG + 1
+
+    def test_truncated_insn_starts_with_pseudo_and_tiles(self):
+        movi = assemble("MOVI R0, 1", origin=0).image
+        truncated = movi[:-2]
+        insns = list(decode_range(truncated))
+        # The truncated MOVI cannot decode whole: its opcode byte is
+        # consumed as a .byte pseudo-insn and the sweep re-syncs.
+        assert insns[0].mnemonic == PSEUDO_BYTE
+        assert sum(i.length for i in insns) == len(truncated)
+
+    def test_window_bounds(self):
+        image = assemble("NOP\nNOP\nHLT", origin=0).image
+        insns = list(decode_range(image, origin=ORG, start=1, end=2))
+        assert len(insns) == 1
+        assert insns[0].address == ORG + 1
+
+
+# ---------------------------------------------------------------------------
+# The check catalogue, one seeded bug each
+# ---------------------------------------------------------------------------
+
+class TestChecks:
+    def test_clean_program_is_clean(self):
+        report = run_analysis("MOVI R0, 1\nhang: JMP hang")
+        assert report.clean
+        assert report.findings == []
+
+    def test_an001_wild_write_into_monitor(self):
+        report = run_analysis(
+            "MOVI R0, 0xF00010\n"
+            "ST [R0 + 0], R1\n"
+            "hang: JMP hang")
+        assert "AN001" in check_ids(report, SEV_ERROR)
+
+    def test_an001_write_below_monitor_ok(self):
+        report = run_analysis(
+            "MOVI R0, 0x400000\n"
+            "ST [R0 + 0], R1\n"
+            "hang: JMP hang")
+        assert "AN001" not in check_ids(report)
+
+    def test_an002_privileged_at_ring3(self):
+        report = run_analysis("CLI\nhang: JMP hang", entry_ring=3)
+        assert "AN002" in check_ids(report, SEV_ERROR)
+
+    def test_an002_privileged_at_ring0_ok(self):
+        report = run_analysis("CLI\nhang: JMP hang", entry_ring=0)
+        assert "AN002" not in check_ids(report)
+
+    def test_an003_jump_out_of_image(self):
+        report = run_analysis("JMP 0x210000")
+        assert "AN003" in check_ids(report, SEV_ERROR)
+
+    def test_an004_jump_into_instruction(self):
+        report = run_analysis(
+            "JMP target + 1\n"
+            "target: MOVI R0, 1\n"
+            "hang: JMP hang")
+        assert "AN004" in check_ids(report, SEV_ERROR)
+
+    def test_an005_fall_off_image_end(self):
+        report = run_analysis("MOVI R0, 1")
+        assert "AN005" in check_ids(report, SEV_ERROR)
+
+    def test_an006_unreachable_code(self):
+        report = run_analysis(
+            "JMP done\n"
+            "MOVI R0, 1\n"
+            "MOVI R1, 2\n"
+            "done: hang: JMP hang")
+        assert "AN006" in check_ids(report, SEV_WARNING)
+
+    def test_an008_unbounded_stack_growth(self):
+        report = run_analysis("loop: PUSH R0\nJMP loop")
+        assert "AN008" in check_ids(report, SEV_ERROR)
+
+    def test_an008_balanced_loop_ok(self):
+        report = run_analysis("loop: PUSH R0\nPOP R0\nJMP loop")
+        assert "AN008" not in check_ids(report)
+
+    def test_an009_unresolved_indirect(self):
+        # R3 is TOP at entry: the JMPR target cannot be resolved.
+        report = run_analysis("JMPR R3")
+        assert "AN009" in check_ids(report, SEV_INFO)
+
+    def test_resolved_indirect_not_flagged(self):
+        report = run_analysis(
+            "MOVI R3, target\n"
+            "JMPR R3\n"
+            "target: hang: JMP hang")
+        assert "AN009" not in check_ids(report)
+        assert report.clean
+
+    def test_an010_reachable_bad_bytes(self):
+        report = run_analysis("JMP bad\nbad: .byte 0xFF")
+        assert "AN010" in check_ids(report, SEV_ERROR)
+
+    def test_unreachable_data_not_an010(self):
+        # Data after the final jump is never executed: linear sweep
+        # sees it, but it must not be an error.
+        report = run_analysis("hang: JMP hang\n.byte 0xFF, 0xFE")
+        assert "AN010" not in check_ids(report)
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing
+# ---------------------------------------------------------------------------
+
+class TestReport:
+    def test_json_round_trip(self):
+        report = run_analysis("MOVI R0, 0xF00010\n"
+                              "ST [R0 + 0], R1\n"
+                              "hang: JMP hang")
+        document = json.loads(report.to_json())
+        assert document["image"]["origin"] == ORG
+        assert document["findings"]
+        assert document["findings"][0]["check"] == "AN001"
+
+    def test_counts_by_severity(self):
+        report = run_analysis("JMPR R3")
+        counts = report.counts_by_severity()
+        assert counts["info"] >= 1
+        assert counts["error"] == 0
+
+    def test_format_text_mentions_counts(self):
+        report = run_analysis("MOVI R0, 1\nhang: JMP hang")
+        text = report.format_text()
+        assert "0 error(s)" in text

@@ -43,6 +43,26 @@ class TestCompressDescriptor:
         descriptor = SegmentDescriptor(MONITOR_BASE + 0x100, 0x1000, 0)
         assert compress_descriptor(descriptor, MONITOR_BASE).limit == 0
 
+    def test_base_beyond_monitor_marked_not_present(self):
+        # A zero-limit segment would still "exist"; a base inside the
+        # monitor region must yield a not-present descriptor so loads
+        # of it fault cleanly instead of dereferencing an empty window.
+        descriptor = SegmentDescriptor(MONITOR_BASE + 0x100, 0x1000, 0)
+        assert not compress_descriptor(descriptor, MONITOR_BASE).present
+
+    def test_base_at_monitor_boundary_marked_not_present(self):
+        descriptor = SegmentDescriptor(MONITOR_BASE, 0x1000, 0)
+        assert not compress_descriptor(descriptor, MONITOR_BASE).present
+
+    def test_base_below_monitor_stays_present(self):
+        descriptor = SegmentDescriptor(MONITOR_BASE - 0x1000, 0x4000, 0)
+        shadowed = compress_descriptor(descriptor, MONITOR_BASE)
+        assert shadowed.present and shadowed.limit == 0x1000
+
+    def test_not_present_input_stays_not_present(self):
+        descriptor = SegmentDescriptor(0, 0x1000, 0, present=False)
+        assert not compress_descriptor(descriptor, MONITOR_BASE).present
+
     def test_other_attributes_preserved(self):
         descriptor = SegmentDescriptor(0x10, 0x20, 0, code=True,
                                        writable=False)
