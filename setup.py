@@ -14,6 +14,7 @@ setup(
             "repro-sweep=repro.perf.sweep:main",
             "repro-asm=repro.asm.cli:main",
             "repro-gdbserver=repro.debugger.gdbserver:main",
+            "repro-chaos=repro.faults.campaign:main",
         ]
     },
 )

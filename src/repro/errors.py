@@ -49,6 +49,15 @@ class ProtocolError(ReproError):
     """Malformed GDB Remote Serial Protocol traffic."""
 
 
+class RspTransportError(ProtocolError):
+    """The RSP transport gave up: the retry policy exhausted its
+    attempts (timeouts, NAKs, lost replies) without a usable reply."""
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan or rule was misconfigured."""
+
+
 class DeviceError(ReproError):
     """A device model was programmed inconsistently by the driver."""
 

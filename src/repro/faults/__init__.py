@@ -1,0 +1,44 @@
+"""Deterministic fault injection and resilience measurement.
+
+The paper's central robustness claim (Section 2.3 / experiment E4) is
+that the debugging environment keeps working *no matter what the buggy
+guest does*.  This package turns that claim into a first-class,
+measurable subsystem:
+
+* :class:`FaultPlan` — a seeded RNG plus a declarative schedule of
+  :class:`FaultRule` entries (probability per opportunity, one-shot at
+  the Nth opportunity, every Nth opportunity).  Identical seeds and
+  schedules reproduce byte-identical :class:`FaultTrace` logs, so any
+  chaos-campaign failure is replayable from its seed alone.
+* :mod:`repro.faults.injectors` — injectors that bind a plan to the
+  well-defined hook points on the device models (SCSI medium/transport
+  errors and DMA corruption, NIC frame drop/corrupt/duplicate/delay and
+  ring stalls, debug-UART byte noise, RSP transport faults).
+* :mod:`repro.faults.campaign` — the chaos campaign runner
+  (``python -m repro.faults.campaign`` / ``repro-chaos``): runs the
+  paper's streaming workload and guest-crash scenarios under seeded
+  fault schedules and asserts the survivability invariants after each.
+
+Counters for every injected fault and recovery action are exported via
+:func:`repro.perf.export.fault_stats`, next to ``interp_stats`` and
+``analysis_stats``.
+"""
+
+from repro.faults.plan import FaultEvent, FaultPlan, FaultRule, FaultTrace
+from repro.faults.injectors import (
+    DiskInjector,
+    NicInjector,
+    RspTransportInjector,
+    UartInjector,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRule",
+    "FaultTrace",
+    "DiskInjector",
+    "NicInjector",
+    "RspTransportInjector",
+    "UartInjector",
+]

@@ -1,0 +1,187 @@
+"""Injectors: bind a :class:`~repro.faults.plan.FaultPlan` to the
+well-defined hook points on the device models and the RSP transport.
+
+Each injector registers on a hook the device model exposes
+(``ScsiHba.fault_hook``, ``Nic.fault_hook``, ``SerialLink.fault_hook``)
+or wraps a transport callable pair (:class:`RspTransportInjector`).
+They translate the plan's fired rules into the device-level fault
+descriptors (:class:`~repro.hw.scsi.ScsiFault`,
+:class:`~repro.hw.nic.NicFault`, byte edits), drawing any fault
+*parameters* (corrupt offsets, noise bytes) deterministically from the
+plan's RNG so an identical seed reproduces identical damage.
+
+Site / kind vocabulary (what FaultRules match against):
+
+========  ===========  ==============================================
+site      kinds        meaning
+========  ===========  ==============================================
+disk<N>   medium-error   CHECK CONDITION, sense from params["sense"]
+disk<N>   transport-error  bus failure (COMP_TRANSPORT)
+disk<N>   dma-corrupt  one byte of the DMA'd payload flipped
+nic.tx    drop         frame lost on the wire
+nic.tx    corrupt      one frame byte flipped
+nic.tx    duplicate    frame sent twice
+nic.tx    delay        params["delay_cycles"] extra wire time
+nic.tx    stall        DD write-back late by params["delay_cycles"]
+uart.h2t  drop/noise   host->target debug-channel byte lost/flipped
+uart.t2h  drop/noise   target->host debug-channel byte lost/flipped
+rsp.h2t   drop/corrupt/duplicate/reorder   client->stub writes
+rsp.t2h   drop/corrupt                     stub->client reads
+========  ===========  ==============================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.hw.nic import Nic, NicFault
+from repro.hw.scsi import ScsiFault, ScsiHba
+from repro.hw.uart import SerialLink
+
+DEFAULT_SENSE_MEDIUM_ERROR = 0x03
+DEFAULT_STALL_CYCLES = 2_000_000
+
+
+class DiskInjector:
+    """SCSI medium/transport errors and DMA corruption on one HBA."""
+
+    def __init__(self, plan: FaultPlan, hba: ScsiHba) -> None:
+        self.plan = plan
+        self.hba = hba
+        hba.fault_hook = self._on_request
+        hba.dma_fault_hook = self._on_dma
+
+    def _on_request(self, request, disk) -> Optional[ScsiFault]:
+        site = f"disk{request.target}"
+        rule = self.plan.decide(site, "medium-error",
+                                detail=f"cdb={request.cdb[0]:#04x}")
+        if rule is not None:
+            return ScsiFault(kind="medium", sense=rule.params.get(
+                "sense", DEFAULT_SENSE_MEDIUM_ERROR))
+        rule = self.plan.decide(site, "transport-error",
+                                detail=f"cdb={request.cdb[0]:#04x}")
+        if rule is not None:
+            return ScsiFault(kind="transport")
+        return None
+
+    def _on_dma(self, request, payload: bytes) -> bytes:
+        if not payload:
+            return payload
+        site = f"disk{request.target}"
+        rule = self.plan.decide(site, "dma-corrupt",
+                                detail=f"len={len(payload)}")
+        if rule is None:
+            return payload
+        offset = self.plan.rand_range(len(payload))
+        mangled = bytearray(payload)
+        mangled[offset] ^= 0xFF
+        return bytes(mangled)
+
+
+class NicInjector:
+    """Frame drop/corrupt/duplicate/delay and ring stalls on one NIC."""
+
+    SITE = "nic.tx"
+
+    def __init__(self, plan: FaultPlan, nic: Nic) -> None:
+        self.plan = plan
+        self.nic = nic
+        nic.fault_hook = self._on_frame
+
+    def _on_frame(self, frame: bytes) -> Optional[NicFault]:
+        detail = f"len={len(frame)}"
+        for kind in ("drop", "corrupt", "duplicate", "delay", "stall"):
+            rule = self.plan.decide(self.SITE, kind, detail=detail)
+            if rule is None:
+                continue
+            if kind == "corrupt":
+                return NicFault(kind=kind,
+                                corrupt_offset=self.plan.rand_range(
+                                    max(len(frame), 1)))
+            if kind in ("delay", "stall"):
+                return NicFault(kind=kind, delay_cycles=rule.params.get(
+                    "delay_cycles", DEFAULT_STALL_CYCLES))
+            return NicFault(kind=kind)
+        return None
+
+
+class UartInjector:
+    """Byte noise and drops on the debug-stub serial channel."""
+
+    def __init__(self, plan: FaultPlan, link: SerialLink) -> None:
+        self.plan = plan
+        self.link = link
+        link.fault_hook = self._on_byte
+
+    def _on_byte(self, direction: str, byte: int) -> Optional[int]:
+        site = f"uart.{direction}"
+        if self.plan.decide(site, "drop") is not None:
+            return None
+        if self.plan.decide(site, "noise") is not None:
+            flip = 1 + self.plan.rand_range(255)  # never a no-op flip
+            return byte ^ flip
+        return byte
+
+
+class RspTransportInjector:
+    """Drop/corrupt/duplicate/reorder on the RSP byte transport.
+
+    Wraps the ``send``/``recv`` callables an
+    :class:`~repro.rsp.client.RspClient` is built from, so the faults
+    hit the client's retry policy exactly where a flaky serial cable
+    would.  Opportunities are counted per non-empty ``send`` call
+    (the client sends whole frames) and per non-empty ``recv`` batch.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 send: Callable[[bytes], None],
+                 recv: Callable[[], bytes]) -> None:
+        self.plan = plan
+        self._send = send
+        self._recv = recv
+        self._held: Optional[bytes] = None  # reorder buffer
+
+    def _corrupt(self, data: bytes) -> bytes:
+        offset = self.plan.rand_range(len(data))
+        mangled = bytearray(data)
+        mangled[offset] ^= 1 + self.plan.rand_range(255)
+        return bytes(mangled)
+
+    def send(self, data: bytes) -> None:
+        if not data:
+            self._send(data)
+            return
+        detail = f"len={len(data)}"
+        if self.plan.decide("rsp.h2t", "drop", detail=detail) is not None:
+            return
+        if self.plan.decide("rsp.h2t", "corrupt", detail=detail) is not None:
+            data = self._corrupt(data)
+        if self.plan.decide("rsp.h2t", "reorder", detail=detail) is not None \
+                and self._held is None:
+            self._held = data
+            return
+        self._send(data)
+        if self._held is not None:
+            held, self._held = self._held, None
+            self._send(held)
+        if self.plan.decide("rsp.h2t", "duplicate",
+                            detail=detail) is not None:
+            self._send(data)
+
+    def recv(self) -> bytes:
+        data = self._recv()
+        if not data:
+            return data
+        detail = f"len={len(data)}"
+        if self.plan.decide("rsp.t2h", "drop", detail=detail) is not None:
+            return b""
+        if self.plan.decide("rsp.t2h", "corrupt", detail=detail) is not None:
+            data = self._corrupt(data)
+        return data
+
+    def flush(self) -> None:
+        """Deliver any reorder-held frame (end of the fault window)."""
+        if self._held is not None:
+            held, self._held = self._held, None
+            self._send(held)

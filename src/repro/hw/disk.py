@@ -42,8 +42,10 @@ class Disk:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
-        #: When set, the next request completes with this sense key
-        #: (failure injection for tests).
+        #: Back-compat shim: when set, the next request completes with
+        #: this sense key.  The HBA consumes it through the same fault
+        #: path as the scheduled injectors; new code should use
+        #: :class:`repro.faults.DiskInjector` instead.
         self.inject_error: Optional[int] = None
 
     @property

@@ -34,6 +34,7 @@ TX/RX descriptor (16 bytes)::
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.errors import DeviceError
@@ -73,6 +74,22 @@ DESC_STATUS_DD = 1 << 0
 WIRE_OVERHEAD_BYTES = 24
 
 
+@dataclass
+class NicFault:
+    """What a fault hook asks the NIC to do to one TX frame.
+
+    ``kind``: ``"drop"`` (lost on the wire), ``"corrupt"`` (one byte
+    flipped at ``corrupt_offset``), ``"duplicate"`` (sent twice),
+    ``"delay"`` (extra ``delay_cycles`` of wire time) or ``"stall"``
+    (descriptor write-back — and therefore ring reclaim — postponed by
+    ``delay_cycles``).  Policy lives in :mod:`repro.faults`.
+    """
+
+    kind: str
+    delay_cycles: int = 0
+    corrupt_offset: int = 0
+
+
 class Nic(MmioDevice):
     """The NIC model."""
 
@@ -106,6 +123,11 @@ class Nic(MmioDevice):
         self.frames_received = 0
         self.frames_dropped = 0
         self.interrupts_raised = 0
+        #: Fault hook consulted once per TX frame; returns a
+        #: :class:`NicFault` to disturb it (see repro.faults.NicInjector).
+        self.fault_hook: Optional[Callable[[bytes],
+                                           Optional[NicFault]]] = None
+        self.faults_injected = 0
 
     # -- MMIO interface ------------------------------------------------------
 
@@ -195,21 +217,50 @@ class Nic(MmioDevice):
             self.tdh = (self.tdh + 1) % max(self.tdlen, 1)
 
     def _send_frame(self, frame: bytes, index: int) -> None:
+        fault = self.fault_hook(frame) if self.fault_hook else None
+        if fault is not None:
+            self.faults_injected += 1
         wire_bytes = len(frame) + WIRE_OVERHEAD_BYTES
         wire_cycles = int(wire_bytes * 8 / LINE_RATE_BPS * self._cpu_hz)
+        if fault is not None and fault.kind == "delay":
+            wire_cycles += fault.delay_cycles
         start = max(self._queue.now, self._tx_busy_until)
         finish = start + wire_cycles
         self._tx_busy_until = finish
 
-        def complete() -> None:
-            self.frames_sent += 1
-            self.bytes_sent += len(frame)
-            self.wire(frame)
+        def writeback() -> None:
             self._write_status(self.tdba, index, DESC_STATUS_DD)
             self._uncoalesced += 1
             if self._uncoalesced >= self.coalesce:
                 self._uncoalesced = 0
                 self._assert(ICR_TXDW)
+
+        def complete() -> None:
+            if fault is not None and fault.kind == "drop":
+                self.frames_dropped += 1
+            elif fault is not None and fault.kind == "corrupt":
+                mangled = bytearray(frame)
+                mangled[fault.corrupt_offset % max(len(frame), 1)] ^= 0xFF
+                self.frames_sent += 1
+                self.bytes_sent += len(frame)
+                self.wire(bytes(mangled))
+            elif fault is not None and fault.kind == "duplicate":
+                self.frames_sent += 2
+                self.bytes_sent += 2 * len(frame)
+                self.wire(frame)
+                self.wire(frame)
+            else:
+                self.frames_sent += 1
+                self.bytes_sent += len(frame)
+                self.wire(frame)
+            if fault is not None and fault.kind == "stall" \
+                    and fault.delay_cycles > 0:
+                # Ring stall: the frame is on the wire but the DD bit —
+                # and with it the driver's reclaim — arrives late.
+                self._queue.schedule_in(fault.delay_cycles, writeback,
+                                        name="nic-stall")
+            else:
+                writeback()
 
         self._queue.schedule_at(finish, complete, name="nic-tx")
 

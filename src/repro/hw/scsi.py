@@ -58,6 +58,7 @@ COMP_CHECK_CONDITION = 2
 COMP_BAD_TARGET = 0x101
 COMP_BAD_OPCODE = 0x102
 COMP_BAD_LBA = 0x103
+COMP_TRANSPORT = 0x104   # bus/transport failure: no status from the target
 
 # CDB opcodes.
 OP_TEST_UNIT_READY = 0x00
@@ -75,6 +76,21 @@ class _Request:
     buffer: int
     length: int
     block_addr: int
+
+
+@dataclass
+class ScsiFault:
+    """What a fault hook asks the HBA to do to one request.
+
+    ``kind`` is ``"medium"`` (CHECK CONDITION with ``sense``) or
+    ``"transport"`` (bus failure, :data:`COMP_TRANSPORT`, no sense
+    data).  This is the hook-point half of the fault-injection API; the
+    policy half (when to fire, with what parameters) lives in
+    :mod:`repro.faults`.
+    """
+
+    kind: str
+    sense: int = 0x03  # MEDIUM ERROR
 
 
 def encode_request_block(target: int, cdb: bytes, buffer: int,
@@ -124,6 +140,14 @@ class ScsiHba(PortDevice):
         self._sense: Dict[int, int] = {}
         self.requests_started = 0
         self.bytes_dma = 0
+        #: Fault hook consulted once per dispatched request; returns a
+        #: :class:`ScsiFault` to fail it (see repro.faults.DiskInjector).
+        self.fault_hook: Optional[
+            Callable[[_Request, Disk], Optional[ScsiFault]]] = None
+        #: DMA hook: may rewrite (corrupt) outbound DMA payloads.
+        self.dma_fault_hook: Optional[
+            Callable[[_Request, bytes], bytes]] = None
+        self.faults_injected = 0
 
     def attach(self, target: int, disk: Disk) -> None:
         if not 0 <= target < 8:
@@ -194,11 +218,20 @@ class ScsiHba(PortDevice):
 
     def _dispatch(self, request: _Request, disk: Disk) -> None:
         opcode = request.cdb[0]
-        if disk.inject_error is not None:
-            sense = disk.inject_error
+        fault = self.fault_hook(request, disk) if self.fault_hook else None
+        if fault is None and disk.inject_error is not None:
+            # Back-compat shim: the legacy one-shot attribute is just a
+            # pre-planned medium error on the same fault path.
+            fault = ScsiFault(kind="medium", sense=disk.inject_error)
             disk.inject_error = None
-            self._sense[request.target] = sense
-            self._finish(request, COMP_CHECK_CONDITION, delay_cycles=1000)
+        if fault is not None:
+            self.faults_injected += 1
+            if fault.kind == "transport":
+                self._finish(request, COMP_TRANSPORT, delay_cycles=500)
+            else:
+                self._sense[request.target] = fault.sense
+                self._finish(request, COMP_CHECK_CONDITION,
+                             delay_cycles=1000)
             return
         if opcode == OP_TEST_UNIT_READY:
             self._finish(request, COMP_GOOD, delay_cycles=200)
@@ -249,6 +282,8 @@ class ScsiHba(PortDevice):
 
     def _dma_out(self, request: _Request, payload: bytes) -> None:
         clipped = payload[:request.length]
+        if self.dma_fault_hook is not None:
+            clipped = self.dma_fault_hook(request, clipped)
         self._memory.write(request.buffer, clipped)
         self.bytes_dma += len(clipped)
 

@@ -62,6 +62,25 @@ class SerialLink:
         self.a_to_b: Deque[int] = deque()
         self.b_to_a: Deque[int] = deque()
         self._listeners = []
+        #: Fault hook applied to every byte entering the link.  Called
+        #: with (direction, byte) where direction is "t2h" (target to
+        #: host) or "h2t"; returns the byte to deliver (possibly
+        #: modified) or None to drop it.  See repro.faults.UartInjector.
+        self.fault_hook: Optional[Callable[[str, int],
+                                           Optional[int]]] = None
+        self.bytes_dropped = 0
+        self.bytes_corrupted = 0
+
+    def filter_byte(self, direction: str, byte: int) -> Optional[int]:
+        """Run one byte through the fault hook, keeping line counters."""
+        if self.fault_hook is None:
+            return byte
+        out = self.fault_hook(direction, byte)
+        if out is None:
+            self.bytes_dropped += 1
+        elif out != byte:
+            self.bytes_corrupted += 1
+        return out
 
     def notify(self, callback: Callable[[], None]) -> None:
         """Register a callback fired whenever bytes move."""
@@ -175,7 +194,9 @@ class Uart16550(PortDevice):
             if self.lcr & LCR_DLAB:
                 self.divisor = (self.divisor & 0xFF00) | value
                 return
-            self._link.a_to_b.append(value)
+            sent = self._link.filter_byte("t2h", value)
+            if sent is not None:
+                self._link.a_to_b.append(sent)
             self.tx_count += 1
             self._link._kick()
             self._update_irq()
@@ -209,7 +230,10 @@ class HostSerialPort:
         self._link = link
 
     def send(self, data: bytes) -> None:
-        self._link.b_to_a.extend(data)
+        for byte in data:
+            delivered = self._link.filter_byte("h2t", byte)
+            if delivered is not None:
+                self._link.b_to_a.append(delivered)
         self._link._kick()
 
     def recv(self, max_bytes: int = 4096) -> bytes:

@@ -111,6 +111,66 @@ def export_interp_stats(cpu, path, extra: Optional[dict] = None) -> Path:
     return path
 
 
+def fault_stats(plan, client=None, monitor=None,
+                devices: Optional[dict] = None) -> dict:
+    """One dict with every fault-injection and recovery counter.
+
+    Mirrors ``interp_stats``/``analysis_stats``: the single collection
+    point the chaos campaign and tests read.  ``plan`` is a
+    :class:`repro.faults.FaultPlan`; ``client`` an optional
+    :class:`repro.rsp.client.RspClient` (retry/backoff recoveries);
+    ``monitor`` an optional LightweightVmm (trigger + watchdog
+    counters); ``devices`` an optional ``{name: device}`` mapping whose
+    fault counters (``faults_injected``, ``frames_dropped``,
+    ``bytes_dropped``, ``bytes_corrupted``) are collected when present.
+    """
+    stats = {"plan": plan.stats()}
+    if client is not None:
+        stats["client"] = {
+            "acks_seen": client.acks_seen,
+            "naks_seen": client.naks_seen,
+            "recoveries": dict(sorted(client.recoveries.items())),
+        }
+    if monitor is not None:
+        mon = {
+            "degradation_level": monitor.degradation_level,
+            "wild_writes_injected": monitor.stats.wild_writes_injected,
+            "spurious_interrupts_injected":
+                monitor.stats.spurious_interrupts_injected,
+            "resumes_refused": monitor.stats.resumes_refused,
+            "debug_stops": monitor.stats.debug_stops,
+            "guest_dead": monitor.guest_dead,
+        }
+        if monitor.watchdog is not None:
+            mon["watchdog"] = dict(monitor.watchdog.stats)
+        stats["monitor"] = mon
+    if devices:
+        counters = ("faults_injected", "frames_dropped",
+                    "bytes_dropped", "bytes_corrupted")
+        stats["devices"] = {
+            name: {counter: getattr(device, counter)
+                   for counter in counters if hasattr(device, counter)}
+            for name, device in sorted(devices.items())}
+    return stats
+
+
+def export_fault_stats(plan, path, client=None, monitor=None,
+                       devices: Optional[dict] = None,
+                       extra: Optional[dict] = None) -> Path:
+    """Write the fault-injection counters as a JSON document."""
+    path = Path(path)
+    document = {
+        "experiment": "fault-injection",
+        "stats": fault_stats(plan, client=client, monitor=monitor,
+                             devices=devices),
+    }
+    if extra:
+        document.update(extra)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+    return path
+
+
 def analysis_stats(report) -> dict:
     """One dict with the static analyzer's coverage/finding counters.
 

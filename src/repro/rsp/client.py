@@ -8,27 +8,77 @@ reads reply bytes through ``recv`` until a complete packet arrives.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
 
-from repro.errors import ProtocolError
-from repro.rsp.packets import ACK, NAK, PacketDecoder, frame, hex_decode
+from repro.errors import ProtocolError, RspTransportError
+from repro.rsp.packets import ACK, PacketDecoder, frame, hex_decode
 from repro.rsp.target import NUM_REPORTED_REGS
+
+
+@dataclass
+class RetryPolicy:
+    """How :meth:`RspClient.exchange` survives a lossy transport.
+
+    Time is *simulated* time, measured in pump quanta (each pump gives
+    the target one scheduling slice), so the policy is deterministic and
+    independent of host wall clock:
+
+    * ``max_attempts`` transmissions per exchange;
+    * each attempt waits at most ``pumps_per_attempt`` quanta for a
+      reply (the per-exchange timeout is the product of the two);
+    * before retransmission *k* the client backs off
+      ``min(backoff_base_pumps * backoff_multiplier**(k-1),
+      backoff_max_pumps)`` quanta — bounded exponential backoff;
+    * a NAK from the stub (our frame arrived corrupted) triggers an
+      immediate retransmission instead of waiting out the timeout.
+
+    The default policy preserves the client's historical behaviour
+    (3 bare attempts, no backoff) plus NAK fast-retransmit.  Exhausted
+    attempts raise :class:`repro.errors.RspTransportError`.
+    """
+
+    max_attempts: int = 3
+    pumps_per_attempt: Optional[int] = None  # None: the client's max_pumps
+    backoff_base_pumps: int = 0
+    backoff_multiplier: float = 2.0
+    backoff_max_pumps: int = 512
+    retransmit_on_nak: bool = True
+
+    def backoff_pumps(self, attempt: int) -> int:
+        """Idle quanta before transmission ``attempt`` (0-based)."""
+        if attempt <= 0 or self.backoff_base_pumps <= 0:
+            return 0
+        pumps = self.backoff_base_pumps \
+            * self.backoff_multiplier ** (attempt - 1)
+        return int(min(pumps, self.backoff_max_pumps))
 
 
 class RspClient:
     def __init__(self, send: Callable[[bytes], None],
                  recv: Callable[[], bytes],
                  pump: Callable[[], None],
-                 max_pumps: int = 10_000) -> None:
+                 max_pumps: int = 10_000,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self._send = send
         self._recv = recv
         self._pump = pump
         self._max_pumps = max_pumps
+        self.retry_policy = retry_policy or RetryPolicy()
         self._decoder = PacketDecoder()
         self.acks_seen = 0
         self.naks_seen = 0
+        #: Recovery-action counters (exported via repro.perf.export).
+        self.recoveries: Dict[str, int] = {}
+        #: Optional observer called with each recovery action name.
+        self.on_recovery: Optional[Callable[[str], None]] = None
 
     # -- plumbing ------------------------------------------------------------
+
+    def _recover(self, action: str) -> None:
+        self.recoveries[action] = self.recoveries.get(action, 0) + 1
+        if self.on_recovery is not None:
+            self.on_recovery(action)
 
     def _drain(self) -> None:
         data = self._recv()
@@ -38,20 +88,46 @@ class RspClient:
         self.naks_seen += sum(1 for ack in self._decoder.acks if not ack)
         self._decoder.acks.clear()
 
-    def exchange(self, payload: bytes, retries: int = 3) -> bytes:
-        """Send one command and wait for its reply packet."""
-        for _ in range(retries):
+    def exchange(self, payload: bytes,
+                 retries: Optional[int] = None,
+                 policy: Optional[RetryPolicy] = None) -> bytes:
+        """Send one command and wait for its reply packet.
+
+        ``policy`` overrides the client's :class:`RetryPolicy` for this
+        exchange; the legacy ``retries`` argument maps onto
+        ``max_attempts``.  Exhausting the policy raises
+        :class:`~repro.errors.RspTransportError` — never a fabricated
+        reply.
+        """
+        policy = policy or self.retry_policy
+        attempts = retries if retries is not None else policy.max_attempts
+        budget = policy.pumps_per_attempt \
+            if policy.pumps_per_attempt is not None else self._max_pumps
+        for attempt in range(attempts):
+            for _ in range(policy.backoff_pumps(attempt)):
+                self._pump()   # back off in simulated time
+            if attempt:
+                self._recover("retransmit")
+                if policy.backoff_pumps(attempt):
+                    self._recover("backoff")
             self._send(frame(payload))
             self._send(b"")  # no-op; keeps transports with flushing happy
-            for _ in range(self._max_pumps):
+            naks_before = self.naks_seen
+            for _ in range(budget):
                 self._pump()
                 self._drain()
                 packet = self._decoder.next_packet()
                 if packet is not None:
                     self._send(ACK)
                     return packet
-            # No reply: retransmit.
-        raise ProtocolError(f"no reply to {payload!r}")
+                if policy.retransmit_on_nak \
+                        and self.naks_seen > naks_before:
+                    # The stub NAK'd our frame: retransmit immediately.
+                    self._recover("nak-retransmit")
+                    break
+            # No reply: retransmit (next attempt).
+        raise RspTransportError(
+            f"no reply to {payload!r} after {attempts} attempt(s)")
 
     def send_async(self, payload: bytes) -> None:
         """Send without waiting (used for c/s, whose reply comes later)."""
@@ -71,7 +147,7 @@ class RspClient:
             if packet is not None:
                 self._send(ACK)
                 return packet
-        raise ProtocolError("target did not stop")
+        raise RspTransportError("target did not stop")
 
     # -- typed helpers ------------------------------------------------------------
 

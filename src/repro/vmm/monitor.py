@@ -22,6 +22,7 @@ native monitor's.
 
 from __future__ import annotations
 
+import hashlib
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, TYPE_CHECKING
@@ -62,6 +63,7 @@ from repro.sim.budget import CAT_EMULATION, CAT_INTERRUPT, CAT_WORLD_SWITCH
 from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.vmm.intercept import LvmmIntercept
 from repro.vmm.protect import ShadowGdt, compress_selector
+from repro.vmm.watchdog import DEGRADE_FULL
 from repro.vmm.shadow import ShadowState
 from repro.vmm.trace import (
     KIND_DEATH,
@@ -100,6 +102,9 @@ class MonitorStats:
     vmcalls: int = 0
     uart_bytes_in: int = 0
     uart_bytes_out: int = 0
+    wild_writes_injected: int = 0
+    spurious_interrupts_injected: int = 0
+    resumes_refused: int = 0
 
 
 class GuestImageRejected(MonitorError):
@@ -258,6 +263,11 @@ class LightweightVmm:
         self.stopped = False        # guest frozen for the debugger
         self.stepping = False
         self.installed = False
+        #: Service level (see repro.vmm.watchdog): full-service lets the
+        #: guest run; stub-only / frozen-snapshot refuse resumes.
+        self.degradation_level = DEGRADE_FULL
+        #: Attached :class:`~repro.vmm.watchdog.MonitorWatchdog`, if any.
+        self.watchdog = None
         self.intercept = LvmmIntercept(
             self.shadow, machine.bus, machine.budget, self.cost,
             include_world_switch=False,
@@ -784,6 +794,49 @@ class LightweightVmm:
         self.stub.report_stop(signal)
 
     # ------------------------------------------------------------------
+    # Fault triggers (repro.faults campaign hooks)
+    # ------------------------------------------------------------------
+
+    def inject_wild_write(self, addr: int, data: bytes) -> bool:
+        """Simulate a rampaging guest writing through a stray pointer.
+
+        Bytes below the monitor region land in guest memory like any
+        guest store would.  A write reaching ``monitor_base`` is the
+        case the paper's protection mechanism exists for: the monitor
+        refuses the bytes and declares the guest dead instead of
+        letting its own code/data be corrupted.  Returns True when the
+        write stayed entirely within guest memory.
+        """
+        memory = self.machine.memory
+        self.stats.wild_writes_injected += 1
+        end = addr + len(data)
+        landed = max(0, min(end, self.monitor_base) - addr)
+        if landed:
+            memory.write(addr, data[:landed])
+        if end > self.monitor_base:
+            self._guest_died(
+                f"wild write into monitor region at {addr:#x}")
+            return False
+        return True
+
+    def inject_spurious_interrupt(self, line: int) -> None:
+        """Raise a hardware interrupt the guest never asked for."""
+        self.stats.spurious_interrupts_injected += 1
+        self.machine.pic.raise_irq(line)
+
+    def monitor_region_hash(self) -> str:
+        """sha256 over the protected monitor region.
+
+        The campaign invariant: this hash is identical before and
+        after any fault schedule — nothing the guest or the injected
+        faults do may touch the monitor's half of memory.
+        """
+        memory = self.machine.memory
+        blob = memory.read(self.monitor_base,
+                           memory.size - self.monitor_base)
+        return hashlib.sha256(blob).hexdigest()
+
+    # ------------------------------------------------------------------
     # Monitor commands (GDB "monitor ..." / qRcmd)
     # ------------------------------------------------------------------
 
@@ -829,9 +882,14 @@ class LightweightVmm:
                     f"virtual pic: {shadow.virtual_pic.state()}")
         if command == "hang":
             return self._hang_report()
+        if command == "watchdog":
+            if self.watchdog is None:
+                return (f"level: {self.degradation_level}\n"
+                        "(no watchdog attached)")
+            return self.watchdog.report()
         if command == "help":
             return ("monitor commands: stats console trace [n] shadow "
-                    "hang help")
+                    "hang watchdog help")
         return f"unknown monitor command {command!r} (try 'help')"
 
     _hang_last_instret = 0
@@ -866,6 +924,14 @@ class LightweightVmm:
                 f"vif={self.shadow.vif}\n{verdict}")
 
     def resume_guest(self, step: bool) -> None:
+        if self.degradation_level != DEGRADE_FULL:
+            # Degraded service (watchdog verdict): refuse to hand the
+            # CPU back.  The stub marked itself running before calling
+            # us, so the stop below reaches the debugger as an
+            # immediate stop reply — queries keep working, c/s bounce.
+            self.stats.resumes_refused += 1
+            self.debug_stop(SIGTRAP)
+            return
         self.stopped = False
         self.stepping = step
         # RF semantics: stepping off/over a breakpointed instruction.

@@ -1,0 +1,163 @@
+"""Monitor watchdog: detect a hung or rampaging guest and keep the
+debug stub in charge.
+
+The paper's stability claim is that the debugger keeps working no
+matter what the guest does.  The monitor already *survives* guest
+failure passively; the watchdog makes the property active: it is a
+periodic health check (driven from the host pump or a campaign loop,
+i.e. from outside the guest, which may never run another instruction)
+that recognises wedged guests and forces entry into the stub.
+
+Detection verdicts, from the same signals ``monitor hang`` reports:
+
+* **dead-idle** — parked in HLT with the virtual IF clear: no interrupt
+  can ever wake it;
+* **hard-spin** — zero retired instructions across ``spin_checks``
+  consecutive checks while supposedly running;
+* **irq-off-spin** — executing with the virtual IF clear for
+  ``spin_checks`` consecutive checks (a critical section that never
+  ends);
+* **exception-storm** — more than ``exception_burst`` reflected
+  exceptions between checks (a rampaging guest re-faulting forever);
+* **guest-dead** — the monitor already declared the guest dead.
+
+On detection the watchdog forces a debug stop (the stub reports it if a
+debugger is waiting) and ratchets the monitor's **degradation level**:
+
+    full-service  ->  stub-only  ->  frozen-snapshot
+
+``full-service``: guest runs freely, stub on demand.  ``stub-only``:
+the guest is frozen and resume requests are refused — the stub answers
+every query but ``c``/``s`` come straight back with a stop reply.
+``frozen-snapshot``: additionally, a snapshot of the machine is
+captured at the moment of degradation for post-mortem time travel; this
+is the terminal level, reached when the guest is dead.  Levels only
+ratchet upward; :meth:`MonitorWatchdog.reset` (an explicit operator
+action) returns to full service.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+DEGRADE_FULL = "full-service"
+DEGRADE_STUB_ONLY = "stub-only"
+DEGRADE_FROZEN = "frozen-snapshot"
+
+_LEVEL_ORDER = {DEGRADE_FULL: 0, DEGRADE_STUB_ONLY: 1, DEGRADE_FROZEN: 2}
+
+
+class MonitorWatchdog:
+    """Periodic guest-health check bound to one monitor."""
+
+    def __init__(self, monitor, spin_checks: int = 3,
+                 exception_burst: int = 256) -> None:
+        self.monitor = monitor
+        self.spin_checks = spin_checks
+        self.exception_burst = exception_burst
+        self._last_instret = monitor.machine.cpu.instret
+        self._last_exceptions = monitor.stats.exceptions_reflected
+        self._suspect_checks = 0
+        #: (cycle, from-level, to-level, reason) history.
+        self.transitions: List[Tuple[int, str, str, str]] = []
+        self.snapshot = None
+        self.stats = {
+            "checks": 0,
+            "hangs_detected": 0,
+            "storms_detected": 0,
+            "forced_stops": 0,
+            "degradations": 0,
+        }
+        monitor.watchdog = self
+
+    # ------------------------------------------------------------------
+
+    @property
+    def level(self) -> str:
+        return self.monitor.degradation_level
+
+    def check(self) -> str:
+        """One health check; returns the (possibly new) degradation level."""
+        self.stats["checks"] += 1
+        monitor = self.monitor
+        cpu = monitor.machine.cpu
+        progress = cpu.instret - self._last_instret
+        self._last_instret = cpu.instret
+        exceptions = monitor.stats.exceptions_reflected \
+            - self._last_exceptions
+        self._last_exceptions = monitor.stats.exceptions_reflected
+
+        if monitor.guest_dead:
+            self._degrade(DEGRADE_FROZEN,
+                          f"guest dead: {monitor.guest_dead_reason}")
+            return self.level
+        if monitor.stopped:
+            # The debugger is in control; nothing to detect.
+            self._suspect_checks = 0
+            return self.level
+        if cpu.halted and not monitor.shadow.vif:
+            self._detect("hangs_detected",
+                         "dead-idle: HLT with virtual IF clear")
+            return self.level
+        if exceptions > self.exception_burst:
+            self._detect("storms_detected",
+                         f"exception-storm: {exceptions} reflected "
+                         f"since last check")
+            return self.level
+        suspect = (progress == 0 and not cpu.halted) \
+            or (progress > 0 and not monitor.shadow.vif)
+        if suspect:
+            self._suspect_checks += 1
+            if self._suspect_checks >= self.spin_checks:
+                verdict = "hard-spin: no progress" if progress == 0 \
+                    else "irq-off-spin: executing with virtual IF clear"
+                self._detect("hangs_detected",
+                             f"{verdict} for {self._suspect_checks} checks")
+        else:
+            self._suspect_checks = 0
+        return self.level
+
+    # ------------------------------------------------------------------
+
+    def _detect(self, counter: str, reason: str) -> None:
+        self.stats[counter] += 1
+        self._suspect_checks = 0
+        self._force_stub(reason)
+        self._degrade(DEGRADE_STUB_ONLY, reason)
+
+    def _force_stub(self, reason: str) -> None:
+        from repro.rsp.target import SIGTRAP
+        if not self.monitor.stopped:
+            self.stats["forced_stops"] += 1
+            self.monitor.debug_stop(SIGTRAP)
+
+    def _degrade(self, target: str, reason: str) -> None:
+        current = self.monitor.degradation_level
+        if _LEVEL_ORDER[target] <= _LEVEL_ORDER[current]:
+            return
+        self.stats["degradations"] += 1
+        self.transitions.append(
+            (self.monitor.machine.cpu.cycle_count, current, target, reason))
+        self.monitor.degradation_level = target
+        if target == DEGRADE_FROZEN and self.snapshot is None:
+            from repro.core import snapshot as snap
+            self.snapshot = snap.capture(self.monitor.machine, self.monitor,
+                                         label="watchdog-frozen")
+
+    def reset(self) -> None:
+        """Operator action: return to full service (does not revive a
+        dead guest — the next check re-degrades in that case)."""
+        self.monitor.degradation_level = DEGRADE_FULL
+        self._suspect_checks = 0
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> str:
+        """Human-readable state (the ``monitor watchdog`` command)."""
+        lines = [f"level: {self.level}",
+                 "checks: {checks}, hangs: {hangs_detected}, storms: "
+                 "{storms_detected}, forced stops: {forced_stops}"
+                 .format(**self.stats)]
+        for cycle, src, dst, reason in self.transitions:
+            lines.append(f"  cycle {cycle}: {src} -> {dst} ({reason})")
+        return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Integration: the chaos campaign runner and its golden fault trace.
+
+The committed golden trace pins the exact fault schedule the default
+seed produces; any change to RNG consumption order, rule evaluation or
+trace formatting shows up as a diff here before it silently invalidates
+someone's recorded repro seed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.faults.campaign import (
+    DEFAULT_SEED,
+    SCENARIOS,
+    main,
+    run_campaign,
+    run_scenario,
+)
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden" \
+    / "chaos_seed1234.trace"
+
+
+class TestCampaignInvariants:
+    def test_default_campaign_upholds_every_invariant(self):
+        campaign = run_campaign(seed=DEFAULT_SEED)
+        violations = {result["scenario"]: result["violations"]
+                      for result in campaign["results"]
+                      if result["violations"]}
+        assert campaign["ok"], violations
+        assert len(campaign["results"]) == len(SCENARIOS)
+
+    def test_golden_trace_matches(self):
+        campaign = run_campaign(seed=DEFAULT_SEED)
+        assert campaign["trace"] == GOLDEN.read_text()
+
+    def test_identical_seeds_identical_campaigns(self):
+        first = run_campaign(seed=77,
+                             scenarios=["disk-errors", "guest-hang"])
+        second = run_campaign(seed=77,
+                              scenarios=["disk-errors", "guest-hang"])
+        assert first["trace"] == second["trace"]
+        assert first["trace_digest"] == second["trace_digest"]
+        for left, right in zip(first["results"], second["results"]):
+            assert left["fault_stats"] == right["fault_stats"]
+
+    def test_different_seeds_differ(self):
+        first = run_scenario("nic-loss", 1234)
+        second = run_scenario("nic-loss", 4321)
+        assert first["trace"] != second["trace"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_campaign(scenarios=["no-such-chaos"])
+
+    def test_scenario_results_carry_fault_stats(self):
+        result = run_scenario("triple-fault", DEFAULT_SEED)
+        stats = result["fault_stats"]
+        assert stats["plan"]["seed"] == DEFAULT_SEED
+        assert stats["monitor"]["guest_dead"] is True
+        assert stats["monitor"]["degradation_level"] == "frozen-snapshot"
+        assert stats["monitor"]["watchdog"]["checks"] >= 1
+
+
+class TestCampaignCli:
+    def test_list_prints_scenarios(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_cli_writes_trace_and_json(self, tmp_path, capsys):
+        trace_path = tmp_path / "chaos.trace"
+        json_path = tmp_path / "chaos.json"
+        code = main(["--seed", str(DEFAULT_SEED),
+                     "--scenario", "triple-fault",
+                     "--trace", str(trace_path),
+                     "--json", str(json_path)])
+        assert code == 0
+        assert trace_path.read_text().startswith(
+            "== scenario=triple-fault")
+        document = json.loads(json_path.read_text())
+        assert document["experiment"] == "chaos-campaign"
+        assert document["ok"] is True
+        assert "trace" not in document   # trace file is canonical
+        assert "trace digest:" in capsys.readouterr().out
+
+    def test_cli_golden_match_and_mismatch(self, tmp_path, capsys):
+        assert main(["--seed", str(DEFAULT_SEED),
+                     "--golden", str(GOLDEN)]) == 0
+        assert "golden trace matches" in capsys.readouterr().out
+        wrong = tmp_path / "wrong.trace"
+        wrong.write_text("== scenario=bogus seed=0 ==\n")
+        assert main(["--seed", str(DEFAULT_SEED),
+                     "--golden", str(wrong)]) == 1
+        assert "mismatch" in capsys.readouterr().out

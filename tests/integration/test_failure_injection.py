@@ -7,6 +7,7 @@ to let you observe.
 
 import pytest
 
+from repro.faults import DiskInjector, FaultPlan, FaultRule
 from repro.guest.drivers.nic import GuestNicDriver
 from repro.guest.os import HiTactix
 from repro.hw.machine import Machine, MachineConfig
@@ -32,36 +33,30 @@ def run_workload(machine, stack, guest, dispatcher, sim_seconds):
 
 
 class TestDiskErrorRecovery:
-    def _run_with_error(self, persistent_errors=0):
+    def _run_with_rules(self, rules, seed=7):
         machine = Machine(MachineConfig())
         machine.program_pic_defaults()
         stack = make_stack("lvmm", machine)
         dispatcher = InterruptDispatcher(machine, stack)
         guest = HiTactix(machine, stack, 100e6)
-        # First read on disk 0 fails with a medium error...
-        machine.disks[0].inject_error = 0x03
-        self._persist = persistent_errors
-        if persistent_errors:
-            original_dispatch = machine.hba._dispatch
-
-            def failing_dispatch(request, disk, _orig=original_dispatch):
-                if request.target == 0 and self._persist > 0:
-                    self._persist -= 1
-                    disk.inject_error = 0x03
-                _orig(request, disk)
-
-            machine.hba._dispatch = failing_dispatch
+        plan = FaultPlan(seed, rules=rules)
+        DiskInjector(plan, machine.hba)
         run_workload(machine, stack, guest, dispatcher, 0.4)
-        return guest
+        return guest, plan, machine
 
     def test_transient_error_retried_and_stream_continues(self):
-        guest = self._run_with_error()
+        # First read on disk 0 fails with a medium error...
+        guest, plan, _ = self._run_with_rules(
+            [FaultRule("disk0", "medium-error", at_count=1)])
         assert guest.read_errors == 1
         assert guest.read_retries == 1
         assert guest.segments_sent > 0  # the stream survived
+        assert plan.stats()["injected"] == {"disk0.medium-error": 1}
 
     def test_persistent_error_bounded_retries(self):
-        guest = self._run_with_error(persistent_errors=10)
+        # The first ten requests to disk 0 all fail.
+        guest, plan, machine = self._run_with_rules(
+            [FaultRule("disk0", "medium-error", every=1, max_fires=10)])
         # Every injected error was observed; retries are bounded per
         # chunk, so at least one chunk was abandoned (error without a
         # retry) instead of retrying forever.
@@ -69,6 +64,17 @@ class TestDiskErrorRecovery:
         assert guest.read_retries < guest.read_errors
         # And the stream itself survived the bad patch of disk.
         assert guest.segments_sent > 0
+        assert machine.hba.faults_injected == 10
+
+    def test_transport_error_also_retried(self):
+        # A wildcard site matches each disk's own opportunity counter:
+        # the first request on *every* disk fails once.
+        guest, plan, _ = self._run_with_rules(
+            [FaultRule("disk*", "transport-error", at_count=1)])
+        assert guest.read_errors == 3
+        assert guest.read_retries == 3
+        assert guest.segments_sent > 0
+        assert len(plan.trace) == 3
 
     def test_error_free_run_has_no_retries(self):
         machine = Machine(MachineConfig())
@@ -79,6 +85,21 @@ class TestDiskErrorRecovery:
         run_workload(machine, stack, guest, dispatcher, 0.3)
         assert guest.read_errors == 0
         assert guest.read_retries == 0
+
+    def test_legacy_inject_error_shim(self):
+        """``Disk.inject_error`` still works without a plan (one-shot)."""
+        machine = Machine(MachineConfig())
+        machine.program_pic_defaults()
+        stack = make_stack("lvmm", machine)
+        dispatcher = InterruptDispatcher(machine, stack)
+        guest = HiTactix(machine, stack, 100e6)
+        machine.disks[0].inject_error = 0x03
+        run_workload(machine, stack, guest, dispatcher, 0.4)
+        assert guest.read_errors == 1
+        assert guest.read_retries == 1
+        assert guest.segments_sent > 0
+        assert machine.hba.faults_injected == 1
+        assert machine.disks[0].inject_error is None  # consumed
 
 
 class TestNicRingExhaustion:

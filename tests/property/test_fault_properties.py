@@ -1,0 +1,155 @@
+"""Property: fault-injection determinism and transport-fault liveness.
+
+Two contracts the chaos campaign rests on:
+
+* a :class:`FaultPlan` is a pure function of (seed, rules, opportunity
+  stream): replaying a seed replays the exact fault trace and counters;
+* under arbitrary RSP transport faults, an exchange always terminates
+  in a well-formed reply or a *typed* error — never a hang, never an
+  untyped crash — and once the fault window closes the stub is
+  reachable again.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError, RspTransportError
+from repro.faults import FaultPlan, FaultRule, RspTransportInjector
+from repro.hw import Cpu, IoBus, PhysicalMemory, firmware
+from repro.rsp.client import RetryPolicy, RspClient
+from repro.rsp.stub import DebugStub
+from repro.rsp.target import CpuTargetAdapter
+
+SITES = ["disk0", "disk1", "nic.tx", "uart.h2t"]
+KINDS = ["alpha", "beta"]
+
+opportunity_streams = st.lists(
+    st.tuples(st.sampled_from(SITES), st.sampled_from(KINDS)),
+    min_size=0, max_size=150)
+
+
+class TestPlanDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           probability=st.floats(min_value=0.01, max_value=1.0,
+                                 allow_nan=False),
+           at_count=st.integers(min_value=1, max_value=20),
+           every=st.integers(min_value=1, max_value=10),
+           stream=opportunity_streams)
+    @settings(max_examples=150, deadline=None)
+    def test_same_seed_same_trace_and_stats(self, seed, probability,
+                                            at_count, every, stream):
+        def run():
+            plan = FaultPlan(seed, rules=[
+                FaultRule("disk*", "alpha", probability=probability),
+                FaultRule("*", "beta", at_count=at_count),
+                FaultRule("nic.tx", "alpha", every=every, max_fires=3),
+            ])
+            for index, (site, kind) in enumerate(stream):
+                rule = plan.decide(site, kind, detail=f"i={index}")
+                if rule is not None:
+                    plan.rand_range(64)   # injectors draw parameters
+            return plan
+
+        first, second = run(), run()
+        assert first.trace.format() == second.trace.format()
+        assert first.trace.digest() == second.trace.digest()
+        assert first.stats() == second.stats()
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           stream=opportunity_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_different_detail_same_fault_schedule(self, seed, stream):
+        """The trace *detail* is annotation only: which opportunities
+        fire depends on the seed and stream, never on the detail text."""
+        def fires(detail_prefix):
+            plan = FaultPlan(seed, rules=[
+                FaultRule("*", "alpha", probability=0.3),
+                FaultRule("*", "beta", every=4),
+            ])
+            return [
+                plan.decide(site, kind,
+                            detail=f"{detail_prefix}{index}") is not None
+                for index, (site, kind) in enumerate(stream)]
+
+        assert fires("x=") == fires("some-longer-annotation=")
+
+
+def make_stub_pipe():
+    cpu = Cpu(PhysicalMemory(1 << 20), IoBus())
+    firmware.install_flat_firmware(cpu)
+    from_stub = bytearray()
+    stub = DebugStub(CpuTargetAdapter(cpu), send_bytes=from_stub.extend)
+
+    def send(data):
+        if data:
+            stub.feed(data)
+
+    def recv():
+        out = bytes(from_stub)
+        from_stub.clear()
+        return out
+
+    return send, recv
+
+
+class TestTransportFaultLiveness:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           drop=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+           corrupt=st.floats(min_value=0.0, max_value=0.5,
+                             allow_nan=False),
+           duplicate=st.floats(min_value=0.0, max_value=0.3,
+                               allow_nan=False),
+           payload=st.sampled_from([b"?", b"g", b"m1000,8", b"qC"]))
+    @settings(max_examples=150, deadline=None)
+    def test_exchange_terminates_well_formed_or_typed(
+            self, seed, drop, corrupt, duplicate, payload):
+        rules = []
+        if drop:
+            rules.append(FaultRule("rsp.*", "drop", probability=drop))
+        if corrupt:
+            rules.append(FaultRule("rsp.*", "corrupt",
+                                   probability=corrupt))
+        if duplicate:
+            rules.append(FaultRule("rsp.h2t", "duplicate",
+                                   probability=duplicate))
+            rules.append(FaultRule("rsp.h2t", "reorder",
+                                   probability=duplicate))
+        plan = FaultPlan(seed, rules=rules)
+        send, recv = make_stub_pipe()
+        injector = RspTransportInjector(plan, send, recv)
+        client = RspClient(injector.send, injector.recv,
+                           pump=lambda: None, max_pumps=4,
+                           retry_policy=RetryPolicy(max_attempts=4))
+        for _ in range(3):
+            try:
+                reply = client.exchange(payload)
+                assert isinstance(reply, bytes)
+            except RspTransportError:
+                pass            # graceful give-up: the typed outcome
+            except ProtocolError:
+                pass            # stale/mismatched reply, still typed
+
+        # Fault window closes: the stub must be reachable again.
+        plan.disarm()
+        injector.flush()
+        for _ in range(8):      # drain stale packets deterministically
+            client._drain()
+        while client._decoder.next_packet() is not None:
+            pass
+        assert client.exchange(b"?") == b"S05"
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_total_drop_raises_typed_error_not_hang(self, seed):
+        plan = FaultPlan(seed, rules=[
+            FaultRule("rsp.h2t", "drop", probability=1.0)])
+        send, recv = make_stub_pipe()
+        injector = RspTransportInjector(plan, send, recv)
+        client = RspClient(injector.send, injector.recv,
+                           pump=lambda: None, max_pumps=2,
+                           retry_policy=RetryPolicy(max_attempts=3))
+        try:
+            client.exchange(b"?")
+            raise AssertionError("exchange cannot succeed: all dropped")
+        except RspTransportError as exc:
+            assert "3 attempt" in str(exc)

@@ -1,0 +1,418 @@
+"""Unit: the fault-injection subsystem — plans, rules, injectors, the
+RSP retry policy, the monitor trigger API and the watchdog."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.session import DebugSession
+from repro.errors import FaultPlanError, ProtocolError, RspTransportError
+from repro.faults import FaultPlan, FaultRule, UartInjector
+from repro.faults.injectors import RspTransportInjector
+from repro.hw import Cpu, IoBus, PhysicalMemory, firmware
+from repro.hw.uart import SerialLink
+from repro.rsp.client import RetryPolicy, RspClient
+from repro.rsp.packets import frame
+from repro.rsp.stub import DebugStub
+from repro.rsp.target import CpuTargetAdapter
+from repro.vmm.watchdog import (
+    DEGRADE_FROZEN,
+    DEGRADE_FULL,
+    DEGRADE_STUB_ONLY,
+    MonitorWatchdog,
+)
+
+
+class TestFaultRules:
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultRule("disk0", "medium-error", probability=1.5)
+
+    def test_never_firing_rule_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultRule("disk0", "medium-error")
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultRule("disk0", "x", at_count=0)
+        with pytest.raises(FaultPlanError):
+            FaultRule("disk0", "x", every=0)
+
+    def test_wildcard_site_matching(self):
+        rule = FaultRule("disk*", "medium-error", every=1)
+        assert rule.matches("disk0", "medium-error")
+        assert rule.matches("disk17", "medium-error")
+        assert not rule.matches("nic.tx", "medium-error")
+        assert not rule.matches("disk0", "transport-error")
+
+
+class TestFaultPlan:
+    def test_at_count_fires_exactly_once(self):
+        plan = FaultPlan(1, rules=[FaultRule("a", "x", at_count=3)])
+        fired = [plan.decide("a", "x") is not None for _ in range(6)]
+        assert fired == [False, False, True, False, False, False]
+
+    def test_every_nth_fires_periodically(self):
+        plan = FaultPlan(1, rules=[FaultRule("a", "x", every=2)])
+        fired = [plan.decide("a", "x") is not None for _ in range(6)]
+        assert fired == [False, True, False, True, False, True]
+
+    def test_max_fires_bounds_a_rule(self):
+        plan = FaultPlan(1, rules=[
+            FaultRule("a", "x", every=1, max_fires=2)])
+        fired = [plan.decide("a", "x") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_sites_count_opportunities_independently(self):
+        plan = FaultPlan(1, rules=[FaultRule("*", "x", at_count=2)])
+        assert plan.decide("a", "x") is None
+        assert plan.decide("b", "x") is None
+        assert plan.decide("a", "x") is not None   # a's 2nd opportunity
+        assert plan.decide("b", "x") is not None   # b's 2nd opportunity
+
+    def test_disarmed_plan_consumes_nothing(self):
+        plan = FaultPlan(1, rules=[FaultRule("a", "x", every=1)])
+        plan.disarm()
+        assert plan.decide("a", "x") is None
+        assert plan.opportunities == {}
+        plan.arm()
+        assert plan.decide("a", "x") is not None
+
+    def test_same_seed_identical_trace_and_stats(self):
+        def run():
+            plan = FaultPlan(42, rules=[
+                FaultRule("a", "x", probability=0.5),
+                FaultRule("*", "x", at_count=4),
+                FaultRule("b", "x", probability=0.3),
+            ])
+            for index in range(50):
+                plan.decide("a" if index % 3 else "b", "x",
+                            detail=f"i={index}")
+            return plan
+        first, second = run(), run()
+        assert first.trace.format() == second.trace.format()
+        assert first.stats() == second.stats()
+        assert first.trace.digest() == second.trace.digest()
+
+    def test_probability_rules_draw_even_after_a_hit(self):
+        """RNG consumption is a pure function of the opportunity
+        stream: adding an earlier always-firing rule must not shift the
+        draws of a later probability rule."""
+        stream = [("a", "x")] * 30
+
+        def fires(rules):
+            plan = FaultPlan(7, rules=rules)
+            return [plan.decide(site, kind) is not None
+                    for site, kind in stream]
+
+        probability_only = fires([FaultRule("a", "x", probability=0.4)])
+        with_shadowing_rule = fires([
+            FaultRule("a", "x", every=1),
+            FaultRule("a", "x", probability=0.4)])
+        # The shadowing rule wins every time, but the probability rule
+        # consumed the same RNG draws in both runs — so a run *without*
+        # the shadow sees the same coin flips.
+        assert all(with_shadowing_rule)
+        assert probability_only == fires(
+            [FaultRule("a", "x", probability=0.4)])
+
+    def test_trace_format_is_stable_text(self):
+        plan = FaultPlan(1, rules=[FaultRule("disk0", "medium-error",
+                                             at_count=1)])
+        plan.decide("disk0", "medium-error", detail="cdb=0x28")
+        assert plan.trace.format() == \
+            "000000 disk0 medium-error op=1 cdb=0x28\n"
+
+    def test_recovery_recorder(self):
+        plan = FaultPlan(1)
+        observer = plan.recovery_recorder("rsp")
+        observer("retransmit")
+        observer("retransmit")
+        assert plan.recoveries == {("rsp", "retransmit"): 2}
+        assert plan.stats()["recoveries"] == {"rsp.retransmit": 2}
+
+
+class TestUartInjector:
+    def test_drop_and_noise_counted_on_the_link(self):
+        link = SerialLink()
+        plan = FaultPlan(3, rules=[
+            FaultRule("uart.h2t", "drop", at_count=1),
+            FaultRule("uart.h2t", "noise", at_count=2),
+        ])
+        UartInjector(plan, link)
+        assert link.filter_byte("h2t", 0x41) is None        # dropped
+        # A dropped byte never reaches the noise decision, so noise
+        # opportunity #2 is the third byte on the wire.
+        assert link.filter_byte("h2t", 0x41) == 0x41        # clean
+        corrupted = link.filter_byte("h2t", 0x41)
+        assert corrupted is not None and corrupted != 0x41  # noisy
+        assert link.bytes_dropped == 1
+        assert link.bytes_corrupted == 1
+        # The other direction has its own opportunity stream.
+        assert link.filter_byte("t2h", 0x41) == 0x41
+
+
+# ----------------------------------------------------------------------
+# RSP retry policy against a lossy synchronous transport
+# ----------------------------------------------------------------------
+
+class LossyPipe:
+    """Client<->stub pipe with a scriptable per-frame send filter."""
+
+    def __init__(self, drop_first=0, corrupt_first=0):
+        cpu = Cpu(PhysicalMemory(1 << 20), IoBus())
+        firmware.install_flat_firmware(cpu)
+        self._from_stub = bytearray()
+        self.stub = DebugStub(CpuTargetAdapter(cpu),
+                              send_bytes=self._from_stub.extend)
+        self.drop_first = drop_first
+        self.corrupt_first = corrupt_first
+        self.frames = 0
+
+    def send(self, data):
+        if not data:
+            return
+        self.frames += 1
+        if self.frames <= self.drop_first:
+            return
+        if self.frames <= self.drop_first + self.corrupt_first:
+            # Damage the checksum so the stub NAKs (damaging the '$'
+            # would make the frame invisible line noise instead).
+            data = data[:-1] + bytes([data[-1] ^ 0x01])
+        self.stub.feed(data)
+
+    def recv(self):
+        out = bytes(self._from_stub)
+        self._from_stub.clear()
+        return out
+
+
+class TestRetryPolicy:
+    def test_backoff_is_bounded_exponential(self):
+        policy = RetryPolicy(backoff_base_pumps=4, backoff_multiplier=2.0,
+                             backoff_max_pumps=10)
+        assert [policy.backoff_pumps(a) for a in range(5)] == \
+            [0, 4, 8, 10, 10]
+
+    def test_no_backoff_by_default(self):
+        policy = RetryPolicy()
+        assert policy.backoff_pumps(2) == 0
+
+    def test_lossless_exchange_unaffected(self):
+        pipe = LossyPipe()
+        client = RspClient(pipe.send, pipe.recv, pump=lambda: None,
+                           max_pumps=4)
+        assert client.exchange(b"?") == b"S05"
+        assert client.recoveries == {}
+
+    def test_dropped_frames_retransmitted(self):
+        pipe = LossyPipe(drop_first=2)
+        client = RspClient(pipe.send, pipe.recv, pump=lambda: None,
+                           max_pumps=4,
+                           retry_policy=RetryPolicy(max_attempts=4))
+        assert client.exchange(b"?") == b"S05"
+        assert client.recoveries["retransmit"] == 2
+
+    def test_corrupted_frame_naked_and_fast_retransmitted(self):
+        pipe = LossyPipe(corrupt_first=1)
+        client = RspClient(pipe.send, pipe.recv, pump=lambda: None,
+                           max_pumps=4,
+                           retry_policy=RetryPolicy(max_attempts=4))
+        assert client.exchange(b"g")
+        assert client.naks_seen >= 1
+        assert client.recoveries.get("nak-retransmit", 0) >= 1
+
+    def test_exhausted_attempts_raise_typed_error(self):
+        pipe = LossyPipe(drop_first=99)
+        client = RspClient(pipe.send, pipe.recv, pump=lambda: None,
+                           max_pumps=2,
+                           retry_policy=RetryPolicy(max_attempts=3))
+        with pytest.raises(RspTransportError):
+            client.exchange(b"?")
+        # The typed error still satisfies legacy except clauses.
+        assert issubclass(RspTransportError, ProtocolError)
+
+    def test_legacy_retries_argument_still_works(self):
+        pipe = LossyPipe(drop_first=1)
+        client = RspClient(pipe.send, pipe.recv, pump=lambda: None,
+                           max_pumps=2)
+        assert client.exchange(b"?", retries=2) == b"S05"
+        with pytest.raises(RspTransportError):
+            RspClient(LossyPipe(drop_first=9).send,
+                      pipe.recv, pump=lambda: None,
+                      max_pumps=2).exchange(b"?", retries=1)
+
+    def test_backoff_spends_pump_quanta(self):
+        pumps = []
+        pipe = LossyPipe(drop_first=1)
+        client = RspClient(pipe.send, pipe.recv,
+                           pump=lambda: pumps.append(1), max_pumps=2,
+                           retry_policy=RetryPolicy(
+                               max_attempts=3, backoff_base_pumps=5))
+        assert client.exchange(b"?") == b"S05"
+        assert client.recoveries["backoff"] == 1
+        # 2 reply pumps for attempt 0, then 5 backoff pumps, then the
+        # successful attempt's single reply pump.
+        assert len(pumps) >= 7
+
+
+class TestRspTransportInjector:
+    def test_clean_plan_is_transparent(self):
+        pipe = LossyPipe()
+        injector = RspTransportInjector(FaultPlan(1), pipe.send,
+                                        pipe.recv)
+        injector.send(frame(b"?"))
+        assert b"S05" in injector.recv()
+
+    def test_dropped_then_recovered_by_policy(self):
+        pipe = LossyPipe()
+        plan = FaultPlan(1, rules=[
+            FaultRule("rsp.h2t", "drop", at_count=1)])
+        injector = RspTransportInjector(plan, pipe.send, pipe.recv)
+        client = RspClient(injector.send, injector.recv,
+                           pump=lambda: None, max_pumps=2,
+                           retry_policy=RetryPolicy(max_attempts=3))
+        assert client.exchange(b"?") == b"S05"
+        assert plan.stats()["injected"] == {"rsp.h2t.drop": 1}
+
+    def test_reorder_holds_then_flushes(self):
+        sent = []
+        plan = FaultPlan(1, rules=[
+            FaultRule("rsp.h2t", "reorder", at_count=1)])
+        injector = RspTransportInjector(plan, sent.append, bytes)
+        injector.send(b"AAA")
+        assert sent == []          # held
+        injector.send(b"BBB")
+        assert sent == [b"BBB", b"AAA"]   # swapped order
+        injector.flush()
+        assert sent == [b"BBB", b"AAA"]   # nothing left to flush
+
+
+# ----------------------------------------------------------------------
+# Monitor trigger API + watchdog
+# ----------------------------------------------------------------------
+
+def make_session(body):
+    sess = DebugSession(monitor="lvmm")
+    program = assemble(f".org {firmware.GUEST_KERNEL_BASE}\n{body}\n")
+    sess.load_and_boot(program)
+    sess.attach()
+    return sess
+
+
+class TestMonitorTriggers:
+    def test_wild_write_below_monitor_lands(self):
+        sess = make_session("loop:\n    NOP\n    JMP loop")
+        monitor = sess.monitor
+        addr = monitor.monitor_base - 0x100
+        assert monitor.inject_wild_write(addr, b"\xde\xad\xbe\xef")
+        assert sess.machine.memory.read(addr, 4) == b"\xde\xad\xbe\xef"
+        assert not monitor.guest_dead
+        assert monitor.stats.wild_writes_injected == 1
+
+    def test_wild_write_into_monitor_region_kills_guest_not_monitor(self):
+        sess = make_session("loop:\n    NOP\n    JMP loop")
+        monitor = sess.monitor
+        before = monitor.monitor_region_hash()
+        assert not monitor.inject_wild_write(
+            monitor.monitor_base - 2, b"\x00" * 8)
+        assert monitor.guest_dead
+        assert "wild write" in monitor.guest_dead_reason
+        # The two bytes below the boundary landed; the region did not.
+        assert monitor.monitor_region_hash() == before
+        # Debugger still served.
+        assert len(sess.client.read_registers()) == 10
+
+    def test_spurious_interrupt_counted(self):
+        sess = make_session("loop:\n    NOP\n    JMP loop")
+        sess.monitor.inject_spurious_interrupt(5)
+        assert sess.monitor.stats.spurious_interrupts_injected == 1
+
+    def test_region_hash_stable_while_guest_runs(self):
+        sess = make_session("loop:\n    NOP\n    JMP loop")
+        before = sess.monitor.monitor_region_hash()
+        sess.run_guest(5_000)
+        assert sess.monitor.monitor_region_hash() == before
+
+    def test_resume_refused_when_degraded(self):
+        sess = make_session("loop:\n    NOP\n    JMP loop")
+        monitor = sess.monitor
+        monitor.degradation_level = DEGRADE_STUB_ONLY
+        reply = sess.client.cont()    # bounces straight back
+        assert reply.startswith(b"S")
+        assert monitor.stopped
+        assert monitor.stats.resumes_refused == 1
+
+    def test_watchdog_monitor_command(self):
+        sess = make_session("loop:\n    NOP\n    JMP loop")
+        out = sess.client.monitor_command("watchdog")
+        assert "no watchdog attached" in out
+        MonitorWatchdog(sess.monitor)
+        out = sess.client.monitor_command("watchdog")
+        assert "level: full-service" in out
+        assert "watchdog" in sess.client.monitor_command("help")
+
+
+class TestWatchdog:
+    def test_healthy_guest_never_degrades(self):
+        sess = make_session("""
+            STI
+        loop:
+            NOP
+            JMP loop
+        """)
+        watchdog = MonitorWatchdog(sess.monitor)
+        for _ in range(6):
+            sess.run_guest(2_000)
+            assert watchdog.check() == DEGRADE_FULL
+        assert watchdog.stats["degradations"] == 0
+
+    def test_cli_spin_detected_and_degraded(self):
+        sess = make_session("    CLI\nhang:\n    JMP hang")
+        watchdog = MonitorWatchdog(sess.monitor, spin_checks=3)
+        sess.client.send_async(b"c")
+        level = DEGRADE_FULL
+        for _ in range(10):
+            sess._pump()
+            level = watchdog.check()
+            if level != DEGRADE_FULL:
+                break
+        assert level == DEGRADE_STUB_ONLY
+        assert watchdog.stats["hangs_detected"] == 1
+        assert watchdog.stats["forced_stops"] == 1
+        assert sess.monitor.stopped
+        # The forced stop answered the outstanding 'c'.
+        assert sess.client.wait_for_stop(max_pumps=50).startswith(b"S")
+        assert len(watchdog.transitions) == 1
+
+    def test_dead_guest_freezes_with_snapshot(self):
+        sess = make_session("    INT 0x21\n    HLT")
+        watchdog = MonitorWatchdog(sess.monitor)
+        sess.run_guest(1_000)
+        assert sess.monitor.guest_dead
+        assert watchdog.check() == DEGRADE_FROZEN
+        assert watchdog.snapshot is not None
+        assert sess.monitor.degradation_level == DEGRADE_FROZEN
+
+    def test_levels_only_ratchet_upward(self):
+        sess = make_session("    INT 0x21\n    HLT")
+        watchdog = MonitorWatchdog(sess.monitor)
+        sess.run_guest(1_000)
+        assert watchdog.check() == DEGRADE_FROZEN
+        assert watchdog.check() == DEGRADE_FROZEN   # stays frozen
+        assert watchdog.stats["degradations"] == 1
+
+    def test_reset_restores_full_service(self):
+        sess = make_session("loop:\n    NOP\n    JMP loop")
+        watchdog = MonitorWatchdog(sess.monitor)
+        sess.monitor.degradation_level = DEGRADE_STUB_ONLY
+        watchdog.reset()
+        assert sess.monitor.degradation_level == DEGRADE_FULL
+
+    def test_stopped_guest_is_not_a_hang(self):
+        sess = make_session("loop:\n    NOP\n    JMP loop")
+        watchdog = MonitorWatchdog(sess.monitor, spin_checks=1)
+        # Attached and stopped: zero progress, but the debugger owns
+        # the guest — no false positive.
+        for _ in range(5):
+            assert watchdog.check() == DEGRADE_FULL
+        assert watchdog.stats["hangs_detected"] == 0
