@@ -1,0 +1,183 @@
+"""Flight-recorder overhead.
+
+Two measurements, because the recorder has two cost classes:
+
+* **hot path** — the per-event taps (counters plus one sha256 update
+  per target-to-host byte).  Measured over a long run with periodic
+  checkpoints disabled; the acceptance bar is < 1.5x, which is what
+  justifies recording by default in the chaos campaign.
+* **digests** — whole-machine sha256 state digests at checkpoint
+  cadence and at finish.  Each one hashes all of guest memory (~tens of
+  ms), so short scenarios see a large *relative* end-to-end cost that
+  amortizes on real runs.  Reported, with a loose regression guard.
+
+Emits ``BENCH_replay.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import DebugSession
+from repro.faults.campaign import run_scenario
+from repro.hw import firmware
+from repro.replay import (FlightRecorder, load_journal, minimize_journal,
+                          replay_journal, state_digest)
+
+ARTIFACT = Path("BENCH_replay.json")
+
+SEED = 1234
+SLICES = 60
+SLICE_INSNS = 2_000
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _run_slices(record):
+    sess = DebugSession(monitor="lvmm")
+    program = assemble(f".org {firmware.GUEST_KERNEL_BASE}\n"
+                       "loop:\n    ADDI R1, 3\n    XORI R2, 0x55\n"
+                       "    JMP loop\n")
+    recorder = None
+    if record:
+        # checkpoint_every=0: hot path only, no periodic digests.
+        recorder = FlightRecorder(sess.machine, sess.monitor,
+                                  program=program, scenario="bench",
+                                  seed=SEED, checkpoint_every=0)
+    sess.load_and_boot(program)
+    sess.attach()
+
+    def run():
+        for _ in range(SLICES):
+            sess.run_guest(SLICE_INSNS)
+        return sess
+
+    _, elapsed = _timed(run)
+    return recorder, elapsed
+
+
+@pytest.fixture(scope="module")
+def overhead(tmp_path_factory):
+    _, bare_s = _run_slices(record=False)
+    recorder, hot_s = _run_slices(record=True)
+
+    journal_dir = tmp_path_factory.mktemp("bench_journals")
+    _, scen_bare_s = _timed(lambda: run_scenario("wild-writes", SEED,
+                                                 record=False))
+    recorded, scen_rec_s = _timed(lambda: run_scenario(
+        "wild-writes", SEED, strict_guest=True,
+        journal_dir=str(journal_dir)))
+    journal = load_journal(recorded["journal"])
+    replay, rep_s = _timed(lambda: replay_journal(journal, strict=True))
+    minimized, min_s = _timed(lambda: minimize_journal(journal))
+
+    sess = DebugSession(monitor="lvmm")
+    _, digest_s = _timed(lambda: state_digest(sess.machine,
+                                              sess.monitor))
+
+    results = {
+        "hot_path": {
+            "slices": SLICES,
+            "slice_insns": SLICE_INSNS,
+            "unrecorded_seconds": round(bare_s, 4),
+            "recorded_seconds": round(hot_s, 4),
+            "overhead": round(hot_s / bare_s, 3),
+            "recorder": recorder.stats(),
+        },
+        "scenario": {
+            "name": "wild-writes",
+            "seed": SEED,
+            "unrecorded_seconds": round(scen_bare_s, 4),
+            "recorded_seconds": round(scen_rec_s, 4),
+            "overhead": round(scen_rec_s / scen_bare_s, 3),
+            "state_digest_seconds": round(digest_s, 4),
+            "recorder": recorded["fault_stats"]["recorder"],
+        },
+        "replay_seconds": round(rep_s, 4),
+        "replay_ok": replay.ok,
+        "replay": replay.stats(),
+        "minimize_seconds": round(min_s, 4),
+        "minimize": minimized.stats(),
+    }
+    ARTIFACT.write_text(json.dumps(
+        {"experiment": "replay-overhead", "results": results}, indent=2))
+    return results
+
+
+class TestReplayOverhead:
+    def test_overhead_table(self, overhead, benchmark, capsys):
+        def render():
+            hot, scen = overhead["hot_path"], overhead["scenario"]
+            lines = ["Flight-recorder overhead"]
+            lines.append(
+                f"hot path   {hot['unrecorded_seconds']:>8.3f}s -> "
+                f"{hot['recorded_seconds']:>7.3f}s "
+                f"({hot['overhead']:.2f}x, "
+                f"{hot['recorder']['frames']} frames)")
+            lines.append(
+                f"scenario   {scen['unrecorded_seconds']:>8.3f}s -> "
+                f"{scen['recorded_seconds']:>7.3f}s "
+                f"({scen['overhead']:.2f}x incl. "
+                f"{scen['recorder']['checkpoints'] + 1} digests @ "
+                f"{scen['state_digest_seconds'] * 1000:.0f}ms)")
+            lines.append(
+                f"replay     {overhead['replay_seconds']:>8.3f}s "
+                f"(ok={overhead['replay_ok']})")
+            lines.append(
+                f"minimize   {overhead['minimize_seconds']:>8.3f}s "
+                f"({overhead['minimize']['original_core_frames']} -> "
+                f"{overhead['minimize']['minimized_core_frames']}"
+                f" core frames)")
+            return "\n".join(lines)
+
+        text = benchmark.pedantic(render, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(text)
+
+    def test_hot_path_cheap_enough_for_default_on(self, overhead,
+                                                  benchmark):
+        def check():
+            assert overhead["hot_path"]["overhead"] < 1.5, \
+                overhead["hot_path"]["overhead"]
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_scenario_overhead_regression_guard(self, overhead,
+                                                benchmark):
+        def check():
+            # Loose: digest costs dominate a 25 ms scenario.  Catches
+            # an accidentally quadratic recorder, not digest cost.
+            assert overhead["scenario"]["overhead"] < 10.0, \
+                overhead["scenario"]["overhead"]
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_replay_verified_and_minimizer_shrank(self, overhead,
+                                                  benchmark):
+        def check():
+            assert overhead["replay_ok"]
+            assert overhead["replay"]["checks"] == {"guest-dead": True}
+            assert overhead["minimize"]["reduced"]
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_artifact_round_trips(self, overhead, benchmark):
+        def check():
+            document = json.loads(ARTIFACT.read_text())
+            assert document["experiment"] == "replay-overhead"
+            assert document["results"]["replay_ok"] \
+                == overhead["replay_ok"]
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)

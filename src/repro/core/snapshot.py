@@ -15,6 +15,7 @@ checkpoint discipline of record/replay debuggers.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -50,6 +51,15 @@ class MachineSnapshot:
     memory: bytes = b""
     pic: List[_PicChipState] = field(default_factory=list)
     disk_overlays: List[Dict[int, bytes]] = field(default_factory=list)
+    # Timer/queue devices (None on snapshots from before these existed).
+    # Armed timers are stored as remaining delays relative to the queue
+    # clock: restore never rewinds simulated time, so ``restore`` re-arms
+    # them that far into the new future.
+    pit: Optional[dict] = None
+    rtc: Optional[dict] = None
+    uart: Optional[dict] = None
+    serial: Optional[dict] = None
+    nic: Optional[dict] = None
     # Monitor shadow state (None when captured on bare metal)
     shadow: Optional[dict] = None
 
@@ -92,6 +102,11 @@ def capture(machine, monitor=None, label: str = "") -> MachineSnapshot:
                            chip.vector_base)
              for chip in (machine.pic.master, machine.pic.slave)],
         disk_overlays=[dict(disk._overlay) for disk in machine.disks],
+        pit=machine.pit.state(),
+        rtc=machine.rtc.state(),
+        uart=machine.uart.state(),
+        serial=machine.serial_link.state(),
+        nic=machine.nic.state() if machine.nic is not None else None,
     )
     if monitor is not None:
         shadow = monitor.shadow
@@ -134,6 +149,19 @@ def restore(machine, snapshot: MachineSnapshot, monitor=None) -> None:
     cpu.halted = snapshot.halted
     cpu.mmu.set_cr3(cpu.crs[3])  # also flushes the TLB
 
+    # Devices first (the UART's load_state recomputes its IRQ line),
+    # then the PIC chips so the snapshot's latched request bits win.
+    if snapshot.serial is not None:
+        machine.serial_link.load_state(snapshot.serial)
+    if snapshot.uart is not None:
+        machine.uart.load_state(snapshot.uart)
+    if snapshot.pit is not None:
+        machine.pit.load_state(snapshot.pit)
+    if snapshot.rtc is not None:
+        machine.rtc.load_state(snapshot.rtc)
+    if snapshot.nic is not None and machine.nic is not None:
+        machine.nic.load_state(snapshot.nic)
+
     for chip, state in zip((machine.pic.master, machine.pic.slave),
                            snapshot.pic):
         chip.irr, chip.isr = state.irr, state.isr
@@ -164,22 +192,67 @@ def restore(machine, snapshot: MachineSnapshot, monitor=None) -> None:
 
 
 class CheckpointStore:
-    """Named snapshots for a debug session."""
+    """Named snapshots for a debug session, bounded by an LRU cap.
 
-    def __init__(self) -> None:
-        self._snapshots: Dict[str, MachineSnapshot] = {}
+    Each snapshot holds a full memory image, so an unbounded store is a
+    session-length memory leak.  Eviction policy: when ``save`` pushes
+    the store over ``max_snapshots`` entries or ``max_bytes`` held
+    bytes, the least-recently-used snapshots are dropped (``get`` and
+    ``save`` both refresh recency; the snapshot just saved is never the
+    victim, so one checkpoint always survives even if it alone exceeds
+    ``max_bytes``).  Pass ``max_snapshots=None``/``max_bytes=None`` to
+    lift either cap.
+    """
+
+    def __init__(self, max_snapshots: Optional[int] = 32,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_snapshots is not None and max_snapshots < 1:
+            raise MonitorError("max_snapshots must be >= 1 (or None)")
+        self.max_snapshots = max_snapshots
+        self.max_bytes = max_bytes
+        self.evictions = 0
+        self._snapshots: "OrderedDict[str, MachineSnapshot]" = OrderedDict()
 
     def save(self, name: str, snapshot: MachineSnapshot) -> None:
+        self._snapshots.pop(name, None)
         self._snapshots[name] = snapshot
+        self._evict()
 
     def get(self, name: str) -> MachineSnapshot:
         try:
-            return self._snapshots[name]
+            snapshot = self._snapshots[name]
         except KeyError:
             raise MonitorError(f"no checkpoint named {name!r}") from None
+        self._snapshots.move_to_end(name)
+        return snapshot
 
     def names(self) -> List[str]:
         return sorted(self._snapshots)
 
     def __len__(self) -> int:
         return len(self._snapshots)
+
+    @property
+    def held_bytes(self) -> int:
+        """Memory-image bytes currently held (the dominant cost)."""
+        return sum(snapshot.size_bytes
+                   for snapshot in self._snapshots.values())
+
+    def _evict(self) -> None:
+        while len(self._snapshots) > 1 and (
+                (self.max_snapshots is not None
+                 and len(self._snapshots) > self.max_snapshots)
+                or (self.max_bytes is not None
+                    and self.held_bytes > self.max_bytes)):
+            self._snapshots.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        """Occupancy counters in the ``repro.perf`` accounting shape."""
+        return {
+            "snapshots": len(self._snapshots),
+            "held_bytes": self.held_bytes,
+            "max_snapshots": self.max_snapshots,
+            "max_bytes": self.max_bytes,
+            "evictions": self.evictions,
+        }

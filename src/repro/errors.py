@@ -72,3 +72,7 @@ class MonitorError(ReproError):
 
 class CalibrationError(ReproError):
     """The performance cost model rejected its configuration."""
+
+
+class JournalError(ReproError):
+    """A record/replay journal is malformed or cannot be applied."""

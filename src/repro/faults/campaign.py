@@ -32,6 +32,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -57,6 +58,7 @@ from repro.hw.uart import (
 )
 from repro.perf.costmodel import DEFAULT_COST_MODEL
 from repro.perf.export import fault_stats
+from repro.replay import FlightRecorder, save_journal
 from repro.perf.stacks import InterruptDispatcher, make_stack
 from repro.rsp.client import RetryPolicy, RspClient
 from repro.rsp.stub import DebugStub
@@ -313,20 +315,30 @@ def _scenario_rsp_chaos(seed: int):
 # Functional scenarios (guest under the LVMM, faults via the monitor)
 # ----------------------------------------------------------------------
 
-def _functional_session(body: str) -> DebugSession:
+def _functional_session(body: str, plan=None, scenario: str = "",
+                        seed: Optional[int] = None,
+                        record: bool = False) -> DebugSession:
     sess = DebugSession(monitor="lvmm")
     program = assemble(f".org {firmware.GUEST_KERNEL_BASE}\n{body}\n")
+    if record:
+        # Attach before boot so boot-time device scheduling is part of
+        # the record; the replayer mirrors this order.  The recorder is
+        # reachable afterwards as sess.monitor.recorder.
+        FlightRecorder(sess.machine, sess.monitor, program=program,
+                       plan=plan, scenario=scenario, seed=seed)
     sess.load_and_boot(program)
     sess.attach()
     return sess
 
 
-def _scenario_wild_writes(seed: int):
+def _scenario_wild_writes(seed: int, record: bool = False):
     plan = FaultPlan(seed, rules=[
         FaultRule("guest.mem", "wild-write", every=3, max_fires=8),
         FaultRule("guest.irq", "spurious", every=4, max_fires=4),
     ])
-    sess = _functional_session("loop:\n    NOP\n    JMP loop")
+    sess = _functional_session("loop:\n    NOP\n    JMP loop",
+                               plan=plan, scenario="wild-writes",
+                               seed=seed, record=record)
     monitor = sess.monitor
     sess.run_guest(2_000)
     baseline = monitor.monitor_region_hash()
@@ -352,14 +364,17 @@ def _scenario_wild_writes(seed: int):
         violations.append("monitor region corrupted by wild writes")
     _check_stub_service(sess.client, violations,
                         firmware.GUEST_KERNEL_BASE, "wild-writes")
-    return plan, violations, {"client": sess.client, "monitor": monitor}
+    return plan, violations, {"client": sess.client, "monitor": monitor,
+                              "monitor_baseline": baseline}
 
 
-def _scenario_guest_hang(seed: int):
+def _scenario_guest_hang(seed: int, record: bool = False):
     plan = FaultPlan(seed, rules=[
         FaultRule("guest.irq", "spurious", every=2, max_fires=6),
     ])
-    sess = _functional_session("    CLI\nhang:\n    JMP hang")
+    sess = _functional_session("    CLI\nhang:\n    JMP hang",
+                               plan=plan, scenario="guest-hang",
+                               seed=seed, record=record)
     monitor = sess.monitor
     baseline = monitor.monitor_region_hash()
     watchdog = MonitorWatchdog(monitor, spin_checks=3)
@@ -391,13 +406,16 @@ def _scenario_guest_hang(seed: int):
         violations.append("resume was not refused in stub-only mode")
     if monitor.monitor_region_hash() != baseline:
         violations.append("monitor region corrupted during hang")
-    return plan, violations, {"client": sess.client, "monitor": monitor}
+    return plan, violations, {"client": sess.client, "monitor": monitor,
+                              "monitor_baseline": baseline}
 
 
-def _scenario_triple_fault(seed: int):
+def _scenario_triple_fault(seed: int, record: bool = False):
     # The fault is the guest's own: INT with no IDT — unservicable.
     plan = FaultPlan(seed)
-    sess = _functional_session("    INT 0x21\n    HLT")
+    sess = _functional_session("    INT 0x21\n    HLT",
+                               plan=plan, scenario="triple-fault",
+                               seed=seed, record=record)
     monitor = sess.monitor
     baseline = monitor.monitor_region_hash()
     watchdog = MonitorWatchdog(monitor)
@@ -422,7 +440,8 @@ def _scenario_triple_fault(seed: int):
                         firmware.GUEST_KERNEL_BASE, "triple-fault")
     if monitor.monitor_region_hash() != baseline:
         violations.append("monitor region corrupted by the crash")
-    return plan, violations, {"client": sess.client, "monitor": monitor}
+    return plan, violations, {"client": sess.client, "monitor": monitor,
+                              "monitor_baseline": baseline}
 
 
 SCENARIOS: Dict[str, Callable[[int], tuple]] = {
@@ -441,10 +460,47 @@ SCENARIOS: Dict[str, Callable[[int], tuple]] = {
 # Campaign driver
 # ----------------------------------------------------------------------
 
-def run_scenario(name: str, seed: int) -> dict:
-    """One scenario under one seed; returns its result record."""
-    plan, violations, collected = SCENARIOS[name](seed)
-    return {
+#: Scenarios that run a guest under the LVMM — the ones the flight
+#: recorder can journal (the others exercise machines with no monitor).
+RECORDABLE = ("wild-writes", "guest-hang", "triple-fault")
+
+
+def run_scenario(name: str, seed: int, record: bool = True,
+                 strict_guest: bool = False,
+                 journal_dir: Optional[str] = None,
+                 journal_all: bool = False) -> dict:
+    """One scenario under one seed; returns its result record.
+
+    Functional scenarios record a replay journal by default
+    (``record=False`` turns the flight recorder off).  With
+    ``strict_guest`` a dead guest is itself a violation — the knob that
+    turns fault-tolerant chaos runs into reproducible failure captures.
+    When the scenario ends with violations (or always, under
+    ``journal_all``) and ``journal_dir`` is set, the sealed journal is
+    written there as ``chaos_<scenario>_seed<seed>.journal``.
+    """
+    recordable = name in RECORDABLE
+    if recordable:
+        plan, violations, collected = SCENARIOS[name](seed, record=record)
+    else:
+        plan, violations, collected = SCENARIOS[name](seed)
+    baseline = collected.pop("monitor_baseline", None)
+    monitor = collected.get("monitor")
+    if strict_guest and monitor is not None and monitor.guest_dead:
+        violations.append("guest died under fault load: "
+                          f"{monitor.guest_dead_reason}")
+    journal = None
+    recorder = getattr(monitor, "recorder", None) if monitor else None
+    if recorder is not None and not recorder.finished:
+        checks = []
+        if monitor.guest_dead:
+            checks.append({"check": "guest-dead"})
+        if baseline is not None \
+                and monitor.monitor_region_hash() != baseline:
+            checks.append({"check": "monitor-corrupt",
+                           "baseline": baseline})
+        journal = recorder.finish(violations=violations, checks=checks)
+    result = {
         "scenario": name,
         "seed": seed,
         "ok": not violations,
@@ -453,6 +509,16 @@ def run_scenario(name: str, seed: int) -> dict:
         "trace": plan.trace.format(),
         "trace_digest": plan.trace.digest(),
     }
+    if recorder is not None:
+        result["fault_stats"]["recorder"] = recorder.stats()
+    if journal is not None and journal_dir \
+            and (violations or journal_all):
+        os.makedirs(journal_dir, exist_ok=True)
+        path = os.path.join(journal_dir,
+                            f"chaos_{name}_seed{seed}.journal")
+        save_journal(journal, path)
+        result["journal"] = path
+    return result
 
 
 def campaign_trace(results: List[dict]) -> str:
@@ -466,7 +532,10 @@ def campaign_trace(results: List[dict]) -> str:
 
 
 def run_campaign(seed: int = DEFAULT_SEED, runs: int = 1,
-                 scenarios: Optional[List[str]] = None) -> dict:
+                 scenarios: Optional[List[str]] = None,
+                 record: bool = True, strict_guest: bool = False,
+                 journal_dir: Optional[str] = None,
+                 journal_all: bool = False) -> dict:
     names = list(scenarios) if scenarios else list(SCENARIOS)
     for name in names:
         if name not in SCENARIOS:
@@ -475,7 +544,10 @@ def run_campaign(seed: int = DEFAULT_SEED, runs: int = 1,
     results = []
     for run_index in range(runs):
         for name in names:
-            results.append(run_scenario(name, seed + run_index))
+            results.append(run_scenario(
+                name, seed + run_index, record=record,
+                strict_guest=strict_guest, journal_dir=journal_dir,
+                journal_all=journal_all))
     trace = campaign_trace(results)
     return {
         "experiment": "chaos-campaign",
@@ -508,6 +580,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the campaign fault trace")
     parser.add_argument("--golden", metavar="PATH",
                         help="compare the trace against a golden file")
+    parser.add_argument("--strict-guest", action="store_true",
+                        help="treat a dead guest as a violation "
+                             "(capture it as a replay journal)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="disable the flight recorder")
+    parser.add_argument("--journal-dir", metavar="DIR",
+                        help="write replay journals of failing "
+                             "scenarios to this directory")
+    parser.add_argument("--journal-all", action="store_true",
+                        help="with --journal-dir, keep journals of "
+                             "passing scenarios too")
     parser.add_argument("--list", action="store_true",
                         help="list scenarios and exit")
     args = parser.parse_args(argv)
@@ -517,7 +600,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
 
-    campaign = run_campaign(args.seed, args.runs, args.scenarios)
+    campaign = run_campaign(args.seed, args.runs, args.scenarios,
+                            record=not args.no_record,
+                            strict_guest=args.strict_guest,
+                            journal_dir=args.journal_dir,
+                            journal_all=args.journal_all)
     for result in campaign["results"]:
         stats = result["fault_stats"]["plan"]
         recoveries = sum(stats["recoveries"].values())
@@ -529,6 +616,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"recoveries={recoveries}")
         for violation in result["violations"]:
             print(f"    violation: {violation}")
+        if "journal" in result:
+            print(f"    journal: {result['journal']}")
     print(f"trace digest: {campaign['trace_digest']}")
 
     if args.trace:

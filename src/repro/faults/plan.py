@@ -125,6 +125,12 @@ class FaultPlan:
         self._rng = random.Random(seed)
         self.trace = FaultTrace()
         self.armed = True
+        #: Observation hook called as ``tap(purpose, value)`` after every
+        #: RNG draw (``purpose`` is "decide", "range" or "byte").  The
+        #: flight recorder journals draws as provenance; the hook must
+        #: only observe and never consume RNG state itself, or the
+        #: determinism contract above breaks.
+        self.draw_tap = None
         #: Opportunities seen per (site, kind) — fault or not.
         self.opportunities: Dict[Tuple[str, str], int] = {}
         #: Faults fired per (site, kind).
@@ -168,7 +174,10 @@ class FaultPlan:
                 continue
             hit = False
             if rule.probability > 0.0:
-                hit = self._rng.random() < rule.probability
+                draw = self._rng.random()
+                if self.draw_tap is not None:
+                    self.draw_tap("decide", draw)
+                hit = draw < rule.probability
             if rule.at_count is not None and count == rule.at_count:
                 hit = True
             if rule.every is not None and count % rule.every == 0:
@@ -190,10 +199,16 @@ class FaultPlan:
         """Deterministic integer in [0, upper) for fault parameters."""
         if upper <= 0:
             return 0
-        return self._rng.randrange(upper)
+        value = self._rng.randrange(upper)
+        if self.draw_tap is not None:
+            self.draw_tap("range", value)
+        return value
 
     def rand_byte(self) -> int:
-        return self._rng.randrange(256)
+        value = self._rng.randrange(256)
+        if self.draw_tap is not None:
+            self.draw_tap("byte", value)
+        return value
 
     # -- recovery accounting -------------------------------------------------
 

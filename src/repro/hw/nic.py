@@ -270,6 +270,51 @@ class Nic(MmioDevice):
             self.interrupts_raised += 1
             self._raise_irq()
 
+    # -- snapshot support ----------------------------------------------------
+
+    def state(self) -> dict:
+        """Register/queue state.  Wire pacing is stored as a remaining
+        busy window relative to the queue clock; in-flight completion
+        events are *not* captured (``snapshot._quiesce_check`` refuses
+        while a transmission is pending).
+        """
+        return {
+            "tdba": self.tdba, "tdlen": self.tdlen,
+            "tdh": self.tdh, "tdt": self.tdt,
+            "rdba": self.rdba, "rdlen": self.rdlen,
+            "rdh": self.rdh, "rdt": self.rdt,
+            "tctl": self.tctl, "icr": self.icr, "ims": self.ims,
+            "coalesce": self.coalesce,
+            "tx_busy_in": max(0, self._tx_busy_until - self._queue.now),
+            "uncoalesced": self._uncoalesced,
+            "frames_sent": self.frames_sent,
+            "bytes_sent": self.bytes_sent,
+            "frames_received": self.frames_received,
+            "frames_dropped": self.frames_dropped,
+            "interrupts_raised": self.interrupts_raised,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.tdba = state["tdba"]
+        self.tdlen = state["tdlen"]
+        self.tdh = state["tdh"]
+        self.tdt = state["tdt"]
+        self.rdba = state["rdba"]
+        self.rdlen = state["rdlen"]
+        self.rdh = state["rdh"]
+        self.rdt = state["rdt"]
+        self.tctl = state["tctl"]
+        self.icr = state["icr"]
+        self.ims = state["ims"]
+        self.coalesce = state["coalesce"]
+        self._tx_busy_until = self._queue.now + state["tx_busy_in"]
+        self._uncoalesced = state["uncoalesced"]
+        self.frames_sent = state["frames_sent"]
+        self.bytes_sent = state["bytes_sent"]
+        self.frames_received = state["frames_received"]
+        self.frames_dropped = state["frames_dropped"]
+        self.interrupts_raised = state["interrupts_raised"]
+
     # -- receive path ------------------------------------------------------------
 
     def receive_frame(self, frame: bytes) -> bool:

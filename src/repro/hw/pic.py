@@ -18,7 +18,7 @@ interface the LVMM and the guest both use:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.hw.bus import PortDevice
 
@@ -139,10 +139,16 @@ class PicPair(PortDevice):
         self.slave = _Pic8259("slave")
         #: Total interrupts delivered through :meth:`acknowledge` (stats).
         self.delivered = 0
+        #: Observation hook called as ``tap(irq)`` on every device-side
+        #: :meth:`raise_irq`.  The flight recorder journals IRQ assertion
+        #: instants as cross-check evidence; the hook must only observe.
+        self.raise_tap: Optional[Callable[[int], None]] = None
 
     # -- IRQ line interface (device side) -----------------------------------
 
     def raise_irq(self, irq: int) -> None:
+        if self.raise_tap is not None:
+            self.raise_tap(irq)
         if irq < 8:
             self.master.raise_irq(irq)
         else:

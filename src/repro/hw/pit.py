@@ -136,6 +136,45 @@ class Pit8254(PortDevice):
         else:
             self._pending = None
 
+    # -- snapshot support ----------------------------------------------------
+
+    def state(self) -> dict:
+        """Channel state plus the remaining delay of the armed expiry.
+
+        The delay is relative to the queue clock (restore never rewinds
+        simulated time); :meth:`load_state` re-arms that far into the
+        new future.
+        """
+        pending_in = None
+        if self._pending is not None and not self._pending.cancelled \
+                and not self._pending.fired:
+            pending_in = max(0, self._pending.time - self._queue.now)
+        return {
+            "channels": [
+                {"mode": ch.mode, "reload": ch.reload,
+                 "latched": ch.latched, "load_state": ch._load_state,
+                 "partial": ch._partial, "running": ch.running}
+                for ch in self._channels],
+            "fired": self.fired,
+            "pending_in": pending_in,
+        }
+
+    def load_state(self, state: dict) -> None:
+        for channel, data in zip(self._channels, state["channels"]):
+            channel.mode = data["mode"]
+            channel.reload = data["reload"]
+            channel.latched = data["latched"]
+            channel._load_state = data["load_state"]
+            channel._partial = data["partial"]
+            channel.running = data["running"]
+        self.fired = state["fired"]
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        if state["pending_in"] is not None:
+            self._pending = self._queue.schedule_in(
+                state["pending_in"], self._expire, name="pit0")
+
     # -- helpers used by firmware/monitor code ---------------------------------
 
     def program_periodic(self, hz: float) -> None:

@@ -90,6 +90,12 @@ class Rtc(PortDevice):
         self.periodic_fired = 0
         self.alarms_fired = 0
         self._alarm_event: Optional[Event] = None
+        #: Observation hook called as ``tap(register, value)`` on every
+        #: data-port read.  RTC reads are a nondeterminism boundary in
+        #: general (wall time); here they derive from the cycle clock, so
+        #: the flight recorder journals them as cross-check evidence
+        #: rather than replayable input.  The hook must only observe.
+        self.read_tap: Optional[Callable[[int, int], None]] = None
 
     # -- time ------------------------------------------------------------
 
@@ -141,6 +147,12 @@ class Rtc(PortDevice):
         if offset == 0:
             return self._index
         register = self._index
+        value = self._read_register(register)
+        if self.read_tap is not None:
+            self.read_tap(register, value)
+        return value
+
+    def _read_register(self, register: int) -> int:
         current = self.now()
         if register == REG_SECONDS:
             return self._encode(current.second)
@@ -229,3 +241,53 @@ class Rtc(PortDevice):
         self._status_c |= STATUS_C_ALARM | STATUS_C_IRQF
         self._raise_irq()
         self._arm_alarm()  # MC146818 alarms repeat daily/period-ly
+
+    # -- snapshot support ----------------------------------------------------
+
+    @staticmethod
+    def _remaining(event: Optional[Event], now: int) -> Optional[int]:
+        if event is None or event.cancelled or event.fired:
+            return None
+        return max(0, event.time - now)
+
+    def state(self) -> dict:
+        """Register state plus remaining delays of the armed timers.
+
+        Delays are stored relative to the queue clock because restore
+        never rewinds simulated time; :meth:`load_state` re-arms the
+        events that distance into the new future.
+        """
+        now = self._queue.now
+        return {
+            "index": self._index,
+            "status_b": self.status_b,
+            "status_c": self._status_c,
+            "alarm": list(self._alarm),
+            "rate_select": self._rate_select,
+            "periodic_fired": self.periodic_fired,
+            "alarms_fired": self.alarms_fired,
+            "periodic_in": self._remaining(self._periodic_event, now),
+            "alarm_in": self._remaining(self._alarm_event, now),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._index = state["index"]
+        self.status_b = state["status_b"]
+        self._status_c = state["status_c"]
+        self._alarm = list(state["alarm"])
+        self._rate_select = state["rate_select"]
+        self.periodic_fired = state["periodic_fired"]
+        self.alarms_fired = state["alarms_fired"]
+        if self._periodic_event is not None:
+            self._periodic_event.cancel()
+            self._periodic_event = None
+        if state["periodic_in"] is not None:
+            self._periodic_event = self._queue.schedule_in(
+                state["periodic_in"], self._periodic_tick,
+                name="rtc-periodic")
+        if self._alarm_event is not None:
+            self._alarm_event.cancel()
+            self._alarm_event = None
+        if state["alarm_in"] is not None:
+            self._alarm_event = self._queue.schedule_in(
+                state["alarm_in"], self._alarm_fire, name="rtc-alarm")

@@ -68,6 +68,12 @@ class SerialLink:
         #: modified) or None to drop it.  See repro.faults.UartInjector.
         self.fault_hook: Optional[Callable[[str, int],
                                            Optional[int]]] = None
+        #: Observation hook called as ``tap(direction, byte)`` for every
+        #: byte actually entering the link (after the fault hook, so
+        #: faulted traffic is seen as delivered).  The flight recorder
+        #: journals "h2t" bytes as replayable input and folds "t2h"
+        #: bytes into a rolling digest; the hook must only observe.
+        self.tap: Optional[Callable[[str, int], None]] = None
         self.bytes_dropped = 0
         self.bytes_corrupted = 0
 
@@ -89,6 +95,18 @@ class SerialLink:
     def _kick(self) -> None:
         for listener in self._listeners:
             listener()
+
+    # -- snapshot support ----------------------------------------------------
+
+    def state(self) -> dict:
+        """Queue contents (counters are telemetry, not machine state)."""
+        return {"a_to_b": list(self.a_to_b), "b_to_a": list(self.b_to_a)}
+
+    def load_state(self, state: dict) -> None:
+        self.a_to_b.clear()
+        self.a_to_b.extend(state["a_to_b"])
+        self.b_to_a.clear()
+        self.b_to_a.extend(state["b_to_a"])
 
 
 class Uart16550(PortDevice):
@@ -197,6 +215,8 @@ class Uart16550(PortDevice):
             sent = self._link.filter_byte("t2h", value)
             if sent is not None:
                 self._link.a_to_b.append(sent)
+                if self._link.tap is not None:
+                    self._link.tap("t2h", sent)
             self.tx_count += 1
             self._link._kick()
             self._update_irq()
@@ -222,6 +242,29 @@ class Uart16550(PortDevice):
         if offset == REG_SCRATCH:
             self.scratch = value
 
+    # -- snapshot support ----------------------------------------------------
+
+    def state(self) -> dict:
+        return {
+            "ier": self.ier, "lcr": self.lcr, "mcr": self.mcr,
+            "scratch": self.scratch, "divisor": self.divisor,
+            "overrun": self.overrun, "rx": list(self._rx),
+            "tx_count": self.tx_count, "rx_count": self.rx_count,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.ier = state["ier"]
+        self.lcr = state["lcr"]
+        self.mcr = state["mcr"]
+        self.scratch = state["scratch"]
+        self.divisor = state["divisor"]
+        self.overrun = state["overrun"]
+        self._rx.clear()
+        self._rx.extend(state["rx"])
+        self.tx_count = state["tx_count"]
+        self.rx_count = state["rx_count"]
+        self._update_irq()
+
 
 class HostSerialPort:
     """Host-debugger endpoint (side "B" of the link): a file-like pipe."""
@@ -234,6 +277,8 @@ class HostSerialPort:
             delivered = self._link.filter_byte("h2t", byte)
             if delivered is not None:
                 self._link.b_to_a.append(delivered)
+                if self._link.tap is not None:
+                    self._link.tap("h2t", delivered)
         self._link._kick()
 
     def recv(self, max_bytes: int = 4096) -> bytes:

@@ -171,6 +171,49 @@ def export_fault_stats(plan, path, client=None, monitor=None,
     return path
 
 
+def replay_stats(recorder=None, result=None, minimize=None,
+                 store=None) -> dict:
+    """One dict with the record/replay counters.
+
+    Mirrors ``interp_stats``/``fault_stats``: the single collection
+    point for flight-recorder overhead (``recorder`` is a
+    :class:`repro.replay.FlightRecorder`), replay verification
+    (``result`` is a :class:`repro.replay.ReplayResult`), minimization
+    effectiveness (``minimize`` is a
+    :class:`repro.replay.MinimizeResult`) and checkpoint memory
+    accounting (``store`` is a
+    :class:`repro.core.snapshot.CheckpointStore` — snapshot count,
+    held bytes, evictions).
+    """
+    stats: dict = {}
+    if recorder is not None:
+        stats["recorder"] = recorder.stats()
+    if result is not None:
+        stats["replay"] = result.stats()
+    if minimize is not None:
+        stats["minimize"] = minimize.stats()
+    if store is not None:
+        stats["checkpoint_store"] = store.stats()
+    return stats
+
+
+def export_replay_stats(path, recorder=None, result=None,
+                        minimize=None, store=None,
+                        extra: Optional[dict] = None) -> Path:
+    """Write the record/replay counters as a JSON document."""
+    path = Path(path)
+    document = {
+        "experiment": "record-replay",
+        "stats": replay_stats(recorder=recorder, result=result,
+                              minimize=minimize, store=store),
+    }
+    if extra:
+        document.update(extra)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+    return path
+
+
 def analysis_stats(report) -> dict:
     """One dict with the static analyzer's coverage/finding counters.
 

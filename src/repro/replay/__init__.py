@@ -1,0 +1,31 @@
+"""Deterministic record/replay flight recorder.
+
+The chaos layer (PR 3) can provoke a failure; this package makes the
+failure *portable*.  A :class:`FlightRecorder` journals every source of
+nondeterminism that crosses the machine boundary — inbound RSP/UART
+bytes, fault-plan triggers, the host's run/service interleaving — into a
+crash-consistent, length-prefixed, sha256-framed journal, together with
+cross-check evidence (IRQ instants, RTC reads, event scheduling) and
+periodic whole-machine state digests.  A :class:`Replayer` re-drives a
+fresh machine from the journal; on mismatch, :func:`bisect_divergence`
+narrows the split to the exact event, and :func:`minimize_journal`
+delta-debugs the journal down to a minimal repro.
+"""
+
+from repro.replay.journal import (FRAME_CHECKPOINT, FRAME_END, FRAME_EVENT,
+                                  FRAME_HEADER, Frame, Journal, load_journal,
+                                  loads_journal, save_journal)
+from repro.replay.digest import state_digest
+from repro.replay.recorder import FlightRecorder
+from repro.replay.replayer import (BisectReport, Divergence, Replayer,
+                                   ReplayResult, bisect_divergence,
+                                   evaluate_checks, replay_journal)
+from repro.replay.minimize import MinimizeResult, minimize_journal
+
+__all__ = [
+    "FRAME_CHECKPOINT", "FRAME_END", "FRAME_EVENT", "FRAME_HEADER",
+    "Frame", "Journal", "load_journal", "loads_journal", "save_journal",
+    "state_digest", "FlightRecorder", "BisectReport", "Divergence",
+    "Replayer", "ReplayResult", "bisect_divergence", "evaluate_checks",
+    "replay_journal", "MinimizeResult", "minimize_journal",
+]

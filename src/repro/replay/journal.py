@@ -1,0 +1,193 @@
+"""Journal container: length-prefixed, sha256-framed, crash-consistent.
+
+A journal is a flat sequence of frames::
+
+    magic "LVMMJRNL" | u16 version
+    frame := u32 payload_len (LE) | u8 type | payload | digest[8]
+
+where ``payload`` is canonical JSON (sorted keys, compact separators,
+UTF-8) and ``digest`` is the first 8 bytes of
+``sha256(magic | version | type | payload)``.  Every frame is
+self-checking, so a journal whose tail was lost to a crash (the writer
+died mid-frame) loads cleanly up to the last intact frame instead of
+raising; the loader marks such journals ``truncated``.
+
+Frame types give tooling a structural skeleton without parsing JSON:
+
+* ``FRAME_HEADER`` — machine configuration + guest image, always first;
+* ``FRAME_EVENT`` — one recorded event (replayable input, host
+  operation, or cross-check evidence; the payload's ``kind`` says which,
+  see :mod:`repro.replay.recorder`);
+* ``FRAME_CHECKPOINT`` — a periodic whole-machine state digest;
+* ``FRAME_END`` — final digest + invariant verdict; its presence marks
+  the journal ``complete``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import JournalError
+
+from hashlib import sha256
+
+MAGIC = b"LVMMJRNL"
+VERSION = 1
+DIGEST_LEN = 8
+_HEAD = struct.Struct("<IB")  # payload_len, frame type
+
+FRAME_HEADER = 1
+FRAME_EVENT = 2
+FRAME_CHECKPOINT = 3
+FRAME_END = 4
+
+_TYPE_NAMES = {FRAME_HEADER: "header", FRAME_EVENT: "event",
+               FRAME_CHECKPOINT: "checkpoint", FRAME_END: "end"}
+
+#: Maximum accepted payload size — a corrupted length prefix must not
+#: make the loader try to slurp gigabytes.
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+
+def _canonical(data: dict) -> bytes:
+    return json.dumps(data, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _frame_digest(frame_type: int, payload: bytes) -> bytes:
+    hasher = sha256(MAGIC)
+    hasher.update(struct.pack("<HB", VERSION, frame_type))
+    hasher.update(payload)
+    return hasher.digest()[:DIGEST_LEN]
+
+
+@dataclass
+class Frame:
+    """One journal frame: a structural type plus a JSON payload."""
+
+    type: int
+    data: Dict = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:
+        """The payload's event kind, or the structural type name."""
+        return self.data.get("kind", _TYPE_NAMES.get(self.type, "?"))
+
+    def encode(self) -> bytes:
+        payload = _canonical(self.data)
+        if len(payload) > MAX_PAYLOAD:
+            raise JournalError(
+                f"frame payload of {len(payload)} bytes exceeds "
+                f"the {MAX_PAYLOAD}-byte frame limit")
+        return (_HEAD.pack(len(payload), self.type) + payload
+                + _frame_digest(self.type, payload))
+
+
+@dataclass
+class Journal:
+    """A parsed journal: header + frames (+ loader verdicts)."""
+
+    header: Dict
+    frames: List[Frame] = field(default_factory=list)
+    #: True when the loader had to discard a damaged tail.
+    truncated: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """A FRAME_END was written: the recording finished cleanly."""
+        return bool(self.frames) and self.frames[-1].type == FRAME_END
+
+    @property
+    def end_frame(self) -> Optional[Frame]:
+        return self.frames[-1] if self.complete else None
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for frame in self.frames:
+            counts[frame.kind] = counts.get(frame.kind, 0) + 1
+        return counts
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(MAGIC)
+        out += struct.pack("<H", VERSION)
+        out += Frame(FRAME_HEADER, self.header).encode()
+        for frame in self.frames:
+            out += frame.encode()
+        return bytes(out)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.to_bytes())
+
+
+def loads_journal(data: bytes, strict: bool = False) -> Journal:
+    """Parse journal bytes.
+
+    With ``strict=False`` (the default, the crash-recovery mode) a
+    damaged tail — short frame, bad digest, bad JSON — ends the parse at
+    the last intact frame and sets ``truncated``.  With ``strict=True``
+    any damage raises :class:`JournalError`.
+    """
+    prefix = len(MAGIC) + 2
+    if len(data) < prefix or data[:len(MAGIC)] != MAGIC:
+        raise JournalError("not a journal: bad magic")
+    (version,) = struct.unpack_from("<H", data, len(MAGIC))
+    if version != VERSION:
+        raise JournalError(f"unsupported journal version {version}")
+
+    frames: List[Frame] = []
+    truncated = False
+    offset = prefix
+    while offset < len(data):
+        try:
+            frame, offset = _decode_frame(data, offset)
+        except JournalError:
+            if strict:
+                raise
+            truncated = True
+            break
+        frames.append(frame)
+
+    if not frames or frames[0].type != FRAME_HEADER:
+        raise JournalError("journal has no intact header frame")
+    header_frame = frames.pop(0)
+    return Journal(header=header_frame.data, frames=frames,
+                   truncated=truncated)
+
+
+def _decode_frame(data: bytes, offset: int):
+    if offset + _HEAD.size > len(data):
+        raise JournalError("truncated frame header")
+    payload_len, frame_type = _HEAD.unpack_from(data, offset)
+    if payload_len > MAX_PAYLOAD:
+        raise JournalError(f"frame payload length {payload_len} too large")
+    if frame_type not in _TYPE_NAMES:
+        raise JournalError(f"unknown frame type {frame_type}")
+    start = offset + _HEAD.size
+    end = start + payload_len + DIGEST_LEN
+    if end > len(data):
+        raise JournalError("truncated frame body")
+    payload = data[start:start + payload_len]
+    digest = data[start + payload_len:end]
+    if digest != _frame_digest(frame_type, payload):
+        raise JournalError("frame digest mismatch")
+    try:
+        decoded = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise JournalError(f"frame payload is not valid JSON: {exc}")
+    if not isinstance(decoded, dict):
+        raise JournalError("frame payload must be a JSON object")
+    return Frame(frame_type, decoded), end
+
+
+def save_journal(journal: Journal, path) -> None:
+    with open(path, "wb") as handle:
+        handle.write(journal.to_bytes())
+
+
+def load_journal(path, strict: bool = False) -> Journal:
+    with open(path, "rb") as handle:
+        return loads_journal(handle.read(), strict=strict)

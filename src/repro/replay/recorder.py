@@ -1,0 +1,282 @@
+"""The flight recorder: journal every nondeterministic input.
+
+The simulator itself is deterministic; nondeterminism enters only at
+the host boundary — which bytes the debugger sends, when the campaign
+injects a fault, and how the host interleaves ``monitor.run`` slices
+with ``service_debugger`` calls.  The recorder journals exactly that
+boundary:
+
+* **input frames** (replayed verbatim): ``uart-rx`` (host-to-target
+  bytes entering the serial link), ``wild-write`` and ``spurious-irq``
+  (campaign fault triggers);
+* **op frames** (the host interleaving): ``run`` and ``svc``, appended
+  when the operation *ends* so journal order is the interleaving — no
+  timestamps needed.  Each carries a micro-digest (instructions
+  retired, cycle, rolling target-to-host stream digest) that anchors
+  bisection;
+* **cross-check frames** (``xc-*``, evidence only): IRQ assertion
+  instants, RTC reads, device-completion scheduling, debug stops and
+  guest death.  Replay must regenerate them in order;
+* **rng frames** (provenance): fault-plan RNG draws.  Faults are
+  journaled post-decision, so draws are not replayed — they document
+  that the plan, not the workload, was random;
+* **checkpoint frames**: whole-machine state digests every
+  ``checkpoint_every`` completed run slices;
+* one **end frame**: final digest, the scenario's invariant verdict,
+  and re-evaluable failure checks for the minimizer.
+
+Overhead is counters plus one sha256 update per target byte; state
+digests cost a full-memory hash but only at checkpoint cadence (see
+``benchmarks/bench_replay_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.errors import MonitorError
+from repro.replay.digest import state_digest
+from repro.replay.journal import (FRAME_CHECKPOINT, FRAME_END, FRAME_EVENT,
+                                  Frame, Journal)
+
+#: Frame kinds that are replayed verbatim (the actual nondeterminism).
+INPUT_KINDS = ("uart-rx", "wild-write", "spurious-irq")
+#: Host-interleaving operations re-executed by the replayer.
+OP_KINDS = ("run", "svc")
+#: Evidence the replayer must regenerate, in order.
+XC_KINDS = ("xc-irq", "xc-rtc", "xc-sched", "xc-stop", "xc-death")
+
+
+class FlightRecorder:
+    """Attach to a machine + monitor and journal the run.
+
+    Construct it *before* booting the guest so boot-time device
+    scheduling is part of the record; the replayer mirrors that order.
+    """
+
+    def __init__(self, machine, monitor, program=None, plan=None,
+                 scenario: str = "", seed: Optional[int] = None,
+                 checkpoint_every: int = 4) -> None:
+        if not hasattr(monitor, "record_tap"):
+            raise MonitorError(
+                "flight recording needs a monitor with record_tap "
+                "(the lightweight VMM)")
+        if monitor.record_tap is not None:
+            raise MonitorError("a recorder is already attached")
+        self.machine = machine
+        self.monitor = monitor
+        self.plan = plan
+        self.checkpoint_every = checkpoint_every
+        config = machine.config
+        self.header: Dict = {
+            "scenario": scenario,
+            "seed": seed,
+            "monitor": "lvmm",
+            "checkpoint_every": checkpoint_every,
+            "config": {
+                "memory_size": config.memory_size,
+                "cpu_hz": config.cpu_hz,
+                "disks": [list(entry) for entry in config.disks],
+                "disk_rate_bytes_per_sec": config.disk_rate_bytes_per_sec,
+                "with_nic": config.with_nic,
+                "nic_mmio_base": config.nic_mmio_base,
+            },
+        }
+        if program is not None:
+            self.header["guest"] = {"origin": program.origin,
+                                    "image": program.image.hex()}
+        self.frames: List[Frame] = []
+        self.finished = False
+        self._rx_buffer = bytearray()
+        self._t2h = hashlib.sha256()
+        self._t2h_count = 0
+        self._run_depth = 0
+        self._pre_stopped = False
+        self._runs_completed = 0
+        self._journal_bytes = 0
+        self.counters = {"input_frames": 0, "op_frames": 0,
+                         "xc_frames": 0, "rng_frames": 0,
+                         "checkpoints": 0, "uart_rx_bytes": 0}
+        self._install_taps()
+        monitor.recorder = self
+
+    # -- tap plumbing --------------------------------------------------------
+
+    def _install_taps(self) -> None:
+        machine, monitor = self.machine, self.monitor
+        machine.serial_link.tap = self._on_link_byte
+        machine.pic.raise_tap = self._on_irq_raise
+        machine.rtc.read_tap = self._on_rtc_read
+        machine.queue.schedule_tap = self._on_schedule
+        monitor.record_tap = self._on_monitor_event
+        if self.plan is not None:
+            self.plan.draw_tap = self._on_rng_draw
+
+    def detach(self) -> None:
+        """Remove every tap (idempotent)."""
+        self.machine.serial_link.tap = None
+        self.machine.pic.raise_tap = None
+        self.machine.rtc.read_tap = None
+        self.machine.queue.schedule_tap = None
+        self.monitor.record_tap = None
+        if self.plan is not None:
+            self.plan.draw_tap = None
+
+    # -- frame assembly ------------------------------------------------------
+
+    def _append(self, frame: Frame) -> None:
+        if self.finished:
+            return
+        if frame.data.get("kind") != "uart-rx":
+            self._flush_rx()
+        self.frames.append(frame)
+        self._journal_bytes += len(frame.encode())
+
+    def _flush_rx(self) -> None:
+        if not self._rx_buffer:
+            return
+        data = bytes(self._rx_buffer)
+        self._rx_buffer.clear()
+        frame = Frame(FRAME_EVENT, {"kind": "uart-rx",
+                                    "data": data.hex()})
+        self.counters["input_frames"] += 1
+        self.counters["uart_rx_bytes"] += len(data)
+        self._append(frame)
+
+    def _t2h_evidence(self) -> List:
+        return [self._t2h_count, self._t2h.hexdigest()[:16]]
+
+    def _micro(self) -> Dict:
+        cpu = self.machine.cpu
+        return {"instret": cpu.instret, "cycle": cpu.cycle_count,
+                "t2h": self._t2h_evidence()}
+
+    # -- taps ----------------------------------------------------------------
+
+    def _on_link_byte(self, direction: str, byte: int) -> None:
+        if direction == "h2t":
+            self._rx_buffer.append(byte)
+        else:
+            self._t2h.update(bytes([byte]))
+            self._t2h_count += 1
+
+    def _on_irq_raise(self, line: int) -> None:
+        self.counters["xc_frames"] += 1
+        self._append(Frame(FRAME_EVENT, {
+            "kind": "xc-irq", "line": line,
+            "cycle": self.machine.cpu.cycle_count}))
+
+    def _on_rtc_read(self, register: int, value: int) -> None:
+        self.counters["xc_frames"] += 1
+        self._append(Frame(FRAME_EVENT, {
+            "kind": "xc-rtc", "reg": register, "value": value,
+            "cycle": self.machine.cpu.cycle_count}))
+
+    def _on_schedule(self, time: int, name: str) -> None:
+        self.counters["xc_frames"] += 1
+        self._append(Frame(FRAME_EVENT, {
+            "kind": "xc-sched", "name": name, "at": time,
+            "cycle": self.machine.cpu.cycle_count}))
+
+    def _on_rng_draw(self, purpose: str, value) -> None:
+        self.counters["rng_frames"] += 1
+        self._append(Frame(FRAME_EVENT, {
+            "kind": "rng", "purpose": purpose, "value": repr(value)}))
+
+    def _on_monitor_event(self, kind: str, payload: Dict) -> None:
+        if kind == "run-begin":
+            self._flush_rx()
+            if self._run_depth == 0:
+                self._pre_stopped = payload["pre_stopped"]
+            self._run_depth += 1
+            return
+        if kind == "run-end":
+            self._run_depth -= 1
+            if self._run_depth > 0:
+                return  # nested run (shouldn't happen, but be safe)
+            data = {"kind": "run", "max": payload["max"],
+                    "executed": payload["executed"],
+                    "pre_stopped": self._pre_stopped}
+            data.update(self._micro())
+            self.counters["op_frames"] += 1
+            self._append(Frame(FRAME_EVENT, data))
+            self._runs_completed += 1
+            if self.checkpoint_every \
+                    and self._runs_completed % self.checkpoint_every == 0:
+                self.checkpoint()
+            return
+        if kind == "svc":
+            if self._run_depth > 0:
+                return  # internal service (inside run): replay regenerates
+            data = {"kind": "svc"}
+            data.update(self._micro())
+            self.counters["op_frames"] += 1
+            self._append(Frame(FRAME_EVENT, data))
+            return
+        if kind in ("wild-write", "spurious-irq"):
+            data = {"kind": kind}
+            data.update(payload)
+            self.counters["input_frames"] += 1
+            self._append(Frame(FRAME_EVENT, data))
+            return
+        if kind in ("stop", "death"):
+            data = {"kind": "xc-" + kind,
+                    "cycle": self.machine.cpu.cycle_count}
+            data.update(payload)
+            self.counters["xc_frames"] += 1
+            self._append(Frame(FRAME_EVENT, data))
+            return
+
+    # -- checkpoints and completion ------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Append a whole-machine digest frame; returns the digest."""
+        self._flush_rx()
+        digest = state_digest(self.machine, self.monitor,
+                              extra={"t2h": self._t2h_evidence()})
+        data = {"kind": "checkpoint", "digest": digest}
+        data.update(self._micro())
+        self.counters["checkpoints"] += 1
+        self._append(Frame(FRAME_CHECKPOINT, data))
+        return digest
+
+    def finish(self, violations: Optional[List[str]] = None,
+               checks: Optional[List[Dict]] = None) -> Journal:
+        """Seal the journal with an end frame and detach all taps.
+
+        ``checks`` are re-evaluable failure predicates for the
+        replayer/minimizer (see :func:`repro.replay.evaluate_checks`).
+        When omitted, a ``guest-dead`` check is derived automatically if
+        the guest died.
+        """
+        if self.finished:
+            raise MonitorError("recorder already finished")
+        self._flush_rx()
+        if checks is None:
+            checks = []
+            if self.monitor.guest_dead:
+                checks.append({"check": "guest-dead"})
+        digest = state_digest(self.machine, self.monitor,
+                              extra={"t2h": self._t2h_evidence()})
+        data = {"kind": "end", "violations": list(violations or []),
+                "checks": checks, "digest": digest}
+        data.update(self._micro())
+        self._append(Frame(FRAME_END, data))
+        self.finished = True
+        self.detach()
+        self.journal = Journal(header=dict(self.header),
+                               frames=list(self.frames))
+        return self.journal
+
+    # -- accounting ----------------------------------------------------------
+
+    def stats(self) -> Dict:
+        """Recorder overhead counters (``repro.perf`` shape)."""
+        stats = dict(self.counters)
+        stats["frames"] = len(self.frames)
+        stats["journal_bytes"] = self._journal_bytes
+        stats["t2h_bytes"] = self._t2h_count
+        stats["checkpoint_every"] = self.checkpoint_every
+        stats["finished"] = self.finished
+        return stats

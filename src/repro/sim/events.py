@@ -32,11 +32,15 @@ class Event:
     unconditionally cancel a pending completion when reset).
     """
 
-    __slots__ = ("callback", "name", "_cancelled", "_fired")
+    __slots__ = ("callback", "name", "time", "_cancelled", "_fired")
 
     def __init__(self, callback: Callable[[], None], name: str = "") -> None:
         self.callback = callback
         self.name = name or getattr(callback, "__name__", "event")
+        #: Absolute due cycle, set by the queue at scheduling time.  Device
+        #: snapshot/restore uses it to re-arm timers with the remaining
+        #: delay (due - now) since simulated time never rewinds.
+        self.time = 0
         self._cancelled = False
         self._fired = False
 
@@ -64,6 +68,11 @@ class EventQueue:
         self._heap: List[_QueueEntry] = []
         self._counter = itertools.count()
         self.now: int = 0
+        #: Observation hook called as ``tap(time, name)`` for every
+        #: scheduled event.  The flight recorder uses it to journal
+        #: device-completion scheduling as cross-check evidence; it must
+        #: only observe (never schedule or mutate device state).
+        self.schedule_tap: Optional[Callable[[int, str], None]] = None
 
     def __len__(self) -> int:
         return sum(1 for entry in self._heap if not entry.event.cancelled)
@@ -76,7 +85,10 @@ class EventQueue:
                 f"cannot schedule event {name!r} at cycle {time}, "
                 f"already at cycle {self.now}")
         event = Event(callback, name)
+        event.time = time
         heapq.heappush(self._heap, _QueueEntry(time, next(self._counter), event))
+        if self.schedule_tap is not None:
+            self.schedule_tap(time, event.name)
         return event
 
     def schedule_in(self, delay: int, callback: Callable[[], None],

@@ -268,6 +268,15 @@ class LightweightVmm:
         self.degradation_level = DEGRADE_FULL
         #: Attached :class:`~repro.vmm.watchdog.MonitorWatchdog`, if any.
         self.watchdog = None
+        #: Observation hook called as ``tap(kind, payload)`` at the
+        #: nondeterminism boundary (run begin/end, debugger service,
+        #: fault triggers, stops, guest death).  Installed by
+        #: :class:`repro.replay.FlightRecorder`; must only observe.
+        self.record_tap = None
+        #: Attached FlightRecorder / replayer status (``monitor record``
+        #: and ``monitor replay`` qRcmds report these).
+        self.recorder = None
+        self.replay_status = None
         self.intercept = LvmmIntercept(
             self.shadow, machine.bus, machine.budget, self.cost,
             include_world_switch=False,
@@ -647,6 +656,8 @@ class LightweightVmm:
     def _guest_died(self, reason: str) -> None:
         self.guest_dead = True
         self.guest_dead_reason = reason
+        if self.record_tap is not None:
+            self.record_tap("death", {"reason": reason})
         self.trace.record(self.machine.cpu.cycle_count, KIND_DEATH,
                           reason, self.machine.cpu.pc)
         self.machine.cpu.halted = True
@@ -783,6 +794,8 @@ class LightweightVmm:
             if was_running and not self.stub.running:
                 # ^C from the debugger interrupted the guest.
                 self.stopped = True
+        if self.record_tap is not None:
+            self.record_tap("svc", {"drained": len(received)})
 
     def debug_stop(self, signal: int) -> None:
         self.stopped = True
@@ -791,6 +804,9 @@ class LightweightVmm:
         self.stats.debug_stops += 1
         self.trace.record(self.machine.cpu.cycle_count, KIND_DEBUG,
                           f"stop signal={signal}", self.machine.cpu.pc)
+        if self.record_tap is not None:
+            self.record_tap("stop", {"signal": signal,
+                                     "pc": self.machine.cpu.pc})
         self.stub.report_stop(signal)
 
     # ------------------------------------------------------------------
@@ -807,6 +823,9 @@ class LightweightVmm:
         letting its own code/data be corrupted.  Returns True when the
         write stayed entirely within guest memory.
         """
+        if self.record_tap is not None:
+            self.record_tap("wild-write", {"addr": addr,
+                                           "data": data.hex()})
         memory = self.machine.memory
         self.stats.wild_writes_injected += 1
         end = addr + len(data)
@@ -821,6 +840,8 @@ class LightweightVmm:
 
     def inject_spurious_interrupt(self, line: int) -> None:
         """Raise a hardware interrupt the guest never asked for."""
+        if self.record_tap is not None:
+            self.record_tap("spurious-irq", {"line": line})
         self.stats.spurious_interrupts_injected += 1
         self.machine.pic.raise_irq(line)
 
@@ -882,6 +903,37 @@ class LightweightVmm:
                     f"virtual pic: {shadow.virtual_pic.state()}")
         if command == "hang":
             return self._hang_report()
+        if command == "record":
+            if self.recorder is None:
+                return "recording: off (no flight recorder attached)"
+            if len(parts) > 1 and parts[1] == "checkpoint":
+                digest = self.recorder.checkpoint()
+                return f"checkpoint taken: digest {digest[:16]}..."
+            stats = self.recorder.stats()
+            return (f"recording: on\n"
+                    f"frames: {stats['frames']} "
+                    f"(~{stats['journal_bytes']} journal bytes)\n"
+                    f"inputs: {stats['input_frames']}, ops: "
+                    f"{stats['op_frames']}, cross-checks: "
+                    f"{stats['xc_frames']}\n"
+                    f"checkpoints: {stats['checkpoints']} "
+                    f"(every {stats['checkpoint_every']} run slices)\n"
+                    f"uart bytes recorded: h2t={stats['uart_rx_bytes']} "
+                    f"t2h={stats['t2h_bytes']}")
+        if command == "replay":
+            status = self.replay_status
+            if status is None:
+                return "replay: off (not driven by a replayer)"
+            lines = [f"replay: frame {status['frame']}/"
+                     f"{status['total']} ({status['mode']})"]
+            divergence = status.get("divergence")
+            if divergence:
+                lines.append(f"DIVERGED at frame "
+                             f"{divergence['frame_index']}: "
+                             f"{divergence['message']}")
+            else:
+                lines.append("no divergence so far")
+            return "\n".join(lines)
         if command == "watchdog":
             if self.watchdog is None:
                 return (f"level: {self.degradation_level}\n"
@@ -889,7 +941,7 @@ class LightweightVmm:
             return self.watchdog.report()
         if command == "help":
             return ("monitor commands: stats console trace [n] shadow "
-                    "hang watchdog help")
+                    "hang watchdog record [checkpoint] replay help")
         return f"unknown monitor command {command!r} (try 'help')"
 
     _hang_last_instret = 0
@@ -952,6 +1004,9 @@ class LightweightVmm:
         """
         executed = 0
         cpu = self.machine.cpu
+        if self.record_tap is not None:
+            self.record_tap("run-begin", {"max": max_instructions,
+                                          "pre_stopped": self.stopped})
         while executed < max_instructions:
             if self.stopped or self.guest_dead:
                 break
@@ -973,6 +1028,9 @@ class LightweightVmm:
                 self._guest_died(str(fault))
                 break
             executed += 1
+        if self.record_tap is not None:
+            self.record_tap("run-end", {"max": max_instructions,
+                                        "executed": executed})
         return executed
 
 

@@ -73,3 +73,32 @@ class TestJsonExport:
         path = export_figure_json(_fake_series(), tmp_path / "fig.json")
         document = json.loads(path.read_text())
         assert "headline_ratios" not in document
+
+
+class TestReplayStatsExport:
+    def test_collects_each_source(self, tmp_path):
+        from repro.core.snapshot import CheckpointStore
+        from repro.perf.export import export_replay_stats, replay_stats
+
+        class _FakeSnapshot:
+            size_bytes = 123
+
+        store = CheckpointStore(max_snapshots=4)
+        store.save("a", _FakeSnapshot())
+
+        class _FakeRecorder:
+            def stats(self):
+                return {"frames": 9, "journal_bytes": 400}
+
+        stats = replay_stats(recorder=_FakeRecorder(), store=store)
+        assert stats["recorder"]["frames"] == 9
+        assert stats["checkpoint_store"]["held_bytes"] == 123
+        assert "replay" not in stats
+
+        path = export_replay_stats(tmp_path / "replay.json",
+                                   recorder=_FakeRecorder(),
+                                   store=store, extra={"seed": 7})
+        document = json.loads(path.read_text())
+        assert document["experiment"] == "record-replay"
+        assert document["seed"] == 7
+        assert document["stats"]["checkpoint_store"]["snapshots"] == 1

@@ -1,0 +1,140 @@
+"""Unit tests for the replay journal container (format + durability)."""
+
+import pytest
+
+from repro.errors import JournalError
+from repro.replay.journal import (
+    FRAME_CHECKPOINT,
+    FRAME_END,
+    FRAME_EVENT,
+    MAGIC,
+    Frame,
+    Journal,
+    load_journal,
+    loads_journal,
+    save_journal,
+)
+
+
+def _journal(n_events=3, with_end=True):
+    frames = [Frame(FRAME_EVENT, {"kind": "run", "max": 500,
+                                  "executed": 100 + index})
+              for index in range(n_events)]
+    frames.append(Frame(FRAME_CHECKPOINT,
+                        {"kind": "checkpoint", "digest": "ab" * 32}))
+    if with_end:
+        frames.append(Frame(FRAME_END, {"kind": "end", "violations": [],
+                                        "checks": [], "digest": "cd" * 32}))
+    return Journal(header={"scenario": "test", "seed": 7,
+                           "monitor": "lvmm"}, frames=frames)
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self):
+        journal = _journal()
+        loaded = loads_journal(journal.to_bytes())
+        assert loaded.header == journal.header
+        assert len(loaded.frames) == len(journal.frames)
+        assert [f.data for f in loaded.frames] \
+            == [f.data for f in journal.frames]
+        assert not loaded.truncated
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "test.journal"
+        journal = _journal()
+        save_journal(journal, path)
+        loaded = load_journal(path)
+        assert loaded.header == journal.header
+        assert loaded.complete
+
+    def test_complete_and_end_frame(self):
+        assert _journal(with_end=True).complete
+        incomplete = _journal(with_end=False)
+        assert not incomplete.complete
+        assert incomplete.end_frame is None
+
+    def test_counts_by_kind(self):
+        counts = _journal().counts_by_kind()
+        assert counts["run"] == 3
+        assert counts["checkpoint"] == 1
+        assert counts["end"] == 1
+
+    def test_encoding_is_deterministic(self):
+        assert _journal().to_bytes() == _journal().to_bytes()
+
+
+class TestDurability:
+    """Crash-consistency: a damaged tail never loses the intact head."""
+
+    def test_truncated_tail_recovered(self):
+        blob = _journal().to_bytes()
+        # Cut mid-way through the final frame.
+        cut = loads_journal(blob[:len(blob) - 10])
+        assert cut.truncated
+        assert not cut.complete
+        assert len(cut.frames) == len(_journal().frames) - 1
+
+    def test_corrupt_digest_ends_parse(self):
+        blob = bytearray(_journal().to_bytes())
+        blob[-1] ^= 0xFF          # flip a bit in the last frame digest
+        loaded = loads_journal(bytes(blob))
+        assert loaded.truncated
+        assert not loaded.complete
+
+    def test_corrupt_payload_detected(self):
+        journal = _journal()
+        blob = bytearray(journal.to_bytes())
+        # Flip a payload byte of the final frame (not its digest).
+        end_len = len(journal.frames[-1].encode())
+        blob[len(blob) - end_len + 8] ^= 0xFF
+        loaded = loads_journal(bytes(blob))
+        assert loaded.truncated
+
+    def test_strict_mode_raises_on_damage(self):
+        blob = _journal().to_bytes()
+        with pytest.raises(JournalError):
+            loads_journal(blob[:len(blob) - 10], strict=True)
+
+    def test_every_prefix_loads_or_raises_cleanly(self):
+        """No prefix length can crash the loader or corrupt a frame."""
+        blob = _journal().to_bytes()
+        good = 0
+        for cut in range(len(blob)):
+            try:
+                loaded = loads_journal(blob[:cut])
+            except JournalError:
+                continue
+            good += 1
+            for frame in loaded.frames:
+                assert isinstance(frame.data, dict)
+        assert good > 0
+
+
+class TestValidation:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(JournalError):
+            loads_journal(b"NOTJRNL0" + b"\x01\x00")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(JournalError):
+            loads_journal(MAGIC + b"\xff\x00")
+
+    def test_missing_header_rejected(self):
+        # Valid magic but zero intact frames.
+        with pytest.raises(JournalError):
+            loads_journal(MAGIC + b"\x01\x00")
+
+    def test_insane_length_prefix_rejected(self):
+        blob = bytearray(_journal().to_bytes())
+        # Overwrite the header frame's length with a huge value; the
+        # loader must refuse rather than try to slurp it.
+        blob[10] = 0xFF
+        blob[11] = 0xFF
+        blob[12] = 0xFF
+        with pytest.raises(JournalError):
+            loads_journal(bytes(blob))
+
+    def test_unknown_frame_kind_names_structural_type(self):
+        frame = Frame(FRAME_EVENT, {"x": 1})
+        assert frame.kind == "event"
+        assert Frame(FRAME_END, {}).kind == "end"

@@ -79,3 +79,135 @@ class TestMicroWorkloads:
         # 3 disks x 40 MB/s for 0.2s less seek time: > 10 MB.
         assert result.bytes_moved > 10 * 1024 * 1024
         assert result.interrupts >= 3
+
+
+class TestSnapshotDeviceCompleteness:
+    """Snapshots round-trip the full device complement (PIT, RTC,
+    UART + serial link, NIC) — not just CPU and memory."""
+
+    def _booted_session(self):
+        session = DebugSession(monitor="lvmm")
+        session.load_and_boot(build_kernel(KernelConfig(ticks_to_run=8)))
+        session.attach()
+        return session
+
+    def _device_states(self, machine):
+        states = {
+            "pit": machine.pit.state(),
+            "rtc": machine.rtc.state(),
+            "uart": machine.uart.state(),
+            "serial": machine.serial_link.state(),
+        }
+        if machine.nic is not None:
+            states["nic"] = machine.nic.state()
+        return states
+
+    def test_capture_records_device_state(self):
+        from repro.core.snapshot import capture
+        session = self._booted_session()
+        session.run_guest(2_000)
+        snap = capture(session.machine, session.monitor)
+        for field in ("pit", "rtc", "uart", "serial"):
+            assert getattr(snap, field) is not None, field
+        assert snap.pit["channels"][0]["reload"] \
+            == session.machine.pit.state()["channels"][0]["reload"]
+
+    def test_device_state_round_trips(self):
+        from repro.core.snapshot import capture, restore
+        session = self._booted_session()
+        session.run_guest(2_000)
+        snap = capture(session.machine, session.monitor)
+        before = self._device_states(session.machine)
+        session.run_guest(5_000)          # perturb everything
+        assert self._device_states(session.machine) != before
+        restore(session.machine, snap, session.monitor)
+        assert self._device_states(session.machine) == before
+
+    def test_rerun_after_restore_is_deterministic(self):
+        """With timers restored, re-execution takes the same path —
+        the property record/replay checkpointing depends on.  Restore
+        never rewinds simulated time, so the comparison is over
+        clock-relative state (device state dicts store remaining
+        delays, not absolute due times)."""
+        import hashlib
+        from repro.core.snapshot import capture, restore
+
+        def relative_state(session):
+            cpu = session.machine.cpu
+            return {
+                "regs": list(cpu.regs), "pc": cpu.pc,
+                "flags": cpu.flags, "halted": cpu.halted,
+                "memory": hashlib.sha256(session.machine.memory.read(
+                    0, session.machine.memory.size)).hexdigest(),
+                "devices": self._device_states(session.machine),
+            }
+
+        session = self._booted_session()
+        session.run_guest(2_000)
+        snap = capture(session.machine, session.monitor)
+        session.run_guest(3_000)
+        first = relative_state(session)
+        restore(session.machine, snap, session.monitor)
+        session.run_guest(3_000)
+        assert relative_state(session) == first
+
+
+class TestCheckpointStoreBounds:
+    """The checkpoint store is bounded: LRU eviction by count and
+    held bytes, with eviction accounting."""
+
+    class _FakeSnapshot:
+        def __init__(self, size):
+            self.size_bytes = size
+
+    def test_count_cap_evicts_lru(self):
+        from repro.core.snapshot import CheckpointStore
+        store = CheckpointStore(max_snapshots=2)
+        store.save("a", self._FakeSnapshot(10))
+        store.save("b", self._FakeSnapshot(10))
+        store.get("a")                    # refresh 'a'
+        store.save("c", self._FakeSnapshot(10))
+        assert store.evictions == 1
+        store.get("a")                    # survived (recently used)
+        store.get("c")
+        with pytest.raises(MonitorError):
+            store.get("b")                # the LRU entry went
+
+    def test_byte_cap_evicts_until_under(self):
+        from repro.core.snapshot import CheckpointStore
+        store = CheckpointStore(max_snapshots=None, max_bytes=100)
+        for name in "abc":
+            store.save(name, self._FakeSnapshot(40))
+        assert store.held_bytes <= 100
+        assert store.evictions == 1
+        with pytest.raises(MonitorError):
+            store.get("a")
+
+    def test_never_evicts_only_entry(self):
+        from repro.core.snapshot import CheckpointStore
+        store = CheckpointStore(max_snapshots=1, max_bytes=10)
+        store.save("huge", self._FakeSnapshot(10_000))
+        assert store.get("huge") is not None
+        assert store.evictions == 0
+
+    def test_resave_same_name_not_an_eviction(self):
+        from repro.core.snapshot import CheckpointStore
+        store = CheckpointStore(max_snapshots=2)
+        store.save("a", self._FakeSnapshot(10))
+        store.save("a", self._FakeSnapshot(20))
+        assert store.evictions == 0
+        assert store.held_bytes == 20
+
+    def test_stats_shape(self):
+        from repro.core.snapshot import CheckpointStore
+        store = CheckpointStore(max_snapshots=4, max_bytes=1000)
+        store.save("a", self._FakeSnapshot(10))
+        stats = store.stats()
+        assert stats == {"snapshots": 1, "held_bytes": 10,
+                         "max_snapshots": 4, "max_bytes": 1000,
+                         "evictions": 0}
+
+    def test_invalid_capacity_rejected(self):
+        from repro.core.snapshot import CheckpointStore
+        with pytest.raises(MonitorError):
+            CheckpointStore(max_snapshots=0)
