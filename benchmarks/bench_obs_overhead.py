@@ -1,0 +1,176 @@
+"""Observability overhead: tracing on vs. off vs. never attached.
+
+The tracing layer's contract is *zero cost when disabled*: every hook
+is a guarded ``if taps:`` truthiness check, and the guest profiler
+costs exactly one integer compare per interpreted instruction (hoisted
+into the monitor run loop).  This benchmark runs the same guest loop
+under the LightweightVmm three ways —
+
+* **never**    — no tracer was ever created (the seed behaviour);
+* **detached** — a tracer attached and then detached before the run
+  (hooks exist, all empty);
+* **tracing**  — tracer + guest profiler live during the run.
+
+and asserts the PR's budgets: ``detached/never <= 1.02`` and
+``tracing/never <= 1.10``.  Each mode is repeated and the fastest run
+is kept (interpreter wall-clock is noisy; the *minimum* is the honest
+estimate of the code path's cost).  Writes ``BENCH_obs.json``.
+
+Run under pytest or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.asm import assemble
+from repro.core.session import DebugSession
+from repro.hw import firmware
+from repro.obs.bus import TraceBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import GuestProfiler
+from repro.obs.tracer import Tracer
+
+ARTIFACT = Path("BENCH_obs.json")
+
+DISABLED_BUDGET = 1.02
+TRACING_BUDGET = 1.10
+
+INSTRUCTIONS = 150_000
+SMOKE_INSTRUCTIONS = 25_000
+REPEATS = 5
+SMOKE_REPEATS = 3
+
+GUEST_LOOP = """
+    MOVI R0, 0
+loop:
+    ADDI R1, 3
+    XORI R2, 0x55
+    ADDI R0, 1
+    JMP  loop
+"""
+
+
+def _session() -> DebugSession:
+    sess = DebugSession(monitor="lvmm")
+    program = assemble(
+        f".org {firmware.GUEST_KERNEL_BASE}\n{GUEST_LOOP}\n")
+    sess.load_and_boot(program)
+    return sess
+
+
+def _run_mode(mode: str, instructions: int) -> float:
+    sess = _session()
+    monitor = sess.monitor
+    if mode == "detached":
+        tracer = Tracer(TraceBus(), MetricsRegistry())
+        tracer.attach(monitor=monitor)
+        tracer.detach()
+    elif mode == "tracing":
+        tracer = Tracer(TraceBus(), MetricsRegistry())
+        tracer.attach(monitor=monitor)
+        monitor.attach_profiler(GuestProfiler(stride=4096))
+    monitor.stopped = False
+    start = time.perf_counter()
+    executed = monitor.run(instructions)
+    elapsed = time.perf_counter() - start
+    assert executed == instructions, \
+        f"{mode}: ran {executed}/{instructions} instructions"
+    return elapsed
+
+
+def measure(instructions: int = INSTRUCTIONS,
+            repeats: int = REPEATS) -> dict:
+    """Best-of-N wall-clock per mode, interleaved to spread OS noise."""
+    best = {"never": float("inf"), "detached": float("inf"),
+            "tracing": float("inf")}
+    for _ in range(repeats):
+        for mode in best:
+            elapsed = _run_mode(mode, instructions)
+            if elapsed < best[mode]:
+                best[mode] = elapsed
+    results = {
+        mode: {
+            "seconds": round(elapsed, 6),
+            "insns_per_sec": round(instructions / elapsed, 1),
+        }
+        for mode, elapsed in best.items()
+    }
+    results["ratios"] = {
+        "detached_vs_never": round(
+            best["detached"] / best["never"], 4),
+        "tracing_vs_never": round(
+            best["tracing"] / best["never"], 4),
+        "disabled_budget": DISABLED_BUDGET,
+        "tracing_budget": TRACING_BUDGET,
+    }
+    return results
+
+
+def run_benchmark(smoke: bool = False, artifact: bool = True) -> dict:
+    instructions = SMOKE_INSTRUCTIONS if smoke else INSTRUCTIONS
+    repeats = SMOKE_REPEATS if smoke else REPEATS
+    results = measure(instructions, repeats)
+    document = {
+        "experiment": "obs-overhead",
+        "instructions": instructions,
+        "repeats": repeats,
+        "smoke": smoke,
+        "results": results,
+    }
+    if artifact:
+        ARTIFACT.write_text(json.dumps(document, indent=2) + "\n")
+    return document
+
+
+# -- pytest entry points -----------------------------------------------------
+
+def _smoke_requested() -> bool:
+    return os.environ.get("OBS_BENCH_SMOKE", "") not in ("", "0")
+
+
+class TestObsOverhead:
+    def test_overhead_budgets(self, capsys):
+        document = run_benchmark(smoke=_smoke_requested())
+        ratios = document["results"]["ratios"]
+        with capsys.disabled():
+            print("\nObservability overhead "
+                  f"({document['instructions']} guest instructions, "
+                  f"best of {document['repeats']})")
+            for mode in ("never", "detached", "tracing"):
+                row = document["results"][mode]
+                print(f"  {mode:9s} {row['insns_per_sec']:>12,.0f} "
+                      f"insns/s")
+            print(f"  detached/never {ratios['detached_vs_never']:.4f} "
+                  f"(budget {DISABLED_BUDGET})")
+            print(f"  tracing/never  {ratios['tracing_vs_never']:.4f} "
+                  f"(budget {TRACING_BUDGET})")
+        assert ratios["detached_vs_never"] <= DISABLED_BUDGET, \
+            "disabled observability must be free"
+        assert ratios["tracing_vs_never"] <= TRACING_BUDGET, \
+            "live tracing blew the overhead budget"
+
+
+def main() -> int:
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short run for CI")
+    parser.add_argument("--no-artifact", action="store_true")
+    args = parser.parse_args()
+    document = run_benchmark(smoke=args.smoke,
+                             artifact=not args.no_artifact)
+    print(json.dumps(document, indent=2))
+    ratios = document["results"]["ratios"]
+    ok = (ratios["detached_vs_never"] <= DISABLED_BUDGET
+          and ratios["tracing_vs_never"] <= TRACING_BUDGET)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

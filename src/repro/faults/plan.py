@@ -25,6 +25,7 @@ from fnmatch import fnmatchcase
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FaultPlanError
+from repro.obs.taps import TapPoint, tap_property
 
 
 @dataclass(frozen=True)
@@ -125,18 +126,25 @@ class FaultPlan:
         self._rng = random.Random(seed)
         self.trace = FaultTrace()
         self.armed = True
-        #: Observation hook called as ``tap(purpose, value)`` after every
-        #: RNG draw (``purpose`` is "decide", "range" or "byte").  The
-        #: flight recorder journals draws as provenance; the hook must
-        #: only observe and never consume RNG state itself, or the
-        #: determinism contract above breaks.
-        self.draw_tap = None
+        #: Multicast observation point notified as ``taps(purpose,
+        #: value)`` after every RNG draw (``purpose`` is "decide",
+        #: "range" or "byte").  The flight recorder journals draws as
+        #: provenance via the legacy :attr:`draw_tap` primary slot; the
+        #: tracer subscribes alongside.  Observers must only observe and
+        #: never consume RNG state themselves, or the determinism
+        #: contract above breaks.
+        self.draw_taps = TapPoint()
+        #: Multicast observation point notified as ``taps(event)`` with
+        #: the :class:`FaultEvent` for every fault that actually fires.
+        self.fire_taps = TapPoint()
         #: Opportunities seen per (site, kind) — fault or not.
         self.opportunities: Dict[Tuple[str, str], int] = {}
         #: Faults fired per (site, kind).
         self.injected: Dict[Tuple[str, str], int] = {}
         #: Recovery actions observed per (site, action).
         self.recoveries: Dict[Tuple[str, str], int] = {}
+
+    draw_tap = tap_property("draw_taps")
 
     # -- schedule ------------------------------------------------------------
 
@@ -175,8 +183,8 @@ class FaultPlan:
             hit = False
             if rule.probability > 0.0:
                 draw = self._rng.random()
-                if self.draw_tap is not None:
-                    self.draw_tap("decide", draw)
+                if self.draw_taps:
+                    self.draw_taps("decide", draw)
                 hit = draw < rule.probability
             if rule.at_count is not None and count == rule.at_count:
                 hit = True
@@ -190,7 +198,9 @@ class FaultPlan:
             return None
         fired.fires += 1
         self.injected[key] = self.injected.get(key, 0) + 1
-        self.trace.record(site, kind, count, detail)
+        event = self.trace.record(site, kind, count, detail)
+        if self.fire_taps:
+            self.fire_taps(event)
         return fired
 
     # -- deterministic parameter helpers -------------------------------------
@@ -200,14 +210,14 @@ class FaultPlan:
         if upper <= 0:
             return 0
         value = self._rng.randrange(upper)
-        if self.draw_tap is not None:
-            self.draw_tap("range", value)
+        if self.draw_taps:
+            self.draw_taps("range", value)
         return value
 
     def rand_byte(self) -> int:
         value = self._rng.randrange(256)
-        if self.draw_tap is not None:
-            self.draw_tap("byte", value)
+        if self.draw_taps:
+            self.draw_taps("byte", value)
         return value
 
     # -- recovery accounting -------------------------------------------------

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import BusError
+from repro.obs.taps import TapPoint
 
 
 class PortDevice:
@@ -100,6 +101,13 @@ class IoBus:
         #: latency for passthrough accesses here (intercepted accesses
         #: are monitor memory operations and charge via the intercept).
         self.access_charger: Optional[Callable[[bool], None]] = None
+        #: Multicast observation point notified as ``taps(kind, addr,
+        #: size, intercepted)`` for every *guest-visible* access
+        #: (``kind`` is "port-read", "port-write", "mmio-read" or
+        #: "mmio-write"; raw monitor-internal accesses are not
+        #: observed).  The tracer subscribes here; observers must only
+        #: observe.
+        self.access_taps = TapPoint()
 
     # -- registration ---------------------------------------------------------
 
@@ -159,6 +167,8 @@ class IoBus:
                        and self.intercept.intercepts_port(port))
         if self.access_charger is not None:
             self.access_charger(intercepted)
+        if self.access_taps:
+            self.access_taps("port-read", port, size, intercepted)
         if intercepted:
             self.intercepted_accesses += 1
             return self.intercept.emulate_port_read(port, size)
@@ -170,6 +180,8 @@ class IoBus:
                        and self.intercept.intercepts_port(port))
         if self.access_charger is not None:
             self.access_charger(intercepted)
+        if self.access_taps:
+            self.access_taps("port-write", port, size, intercepted)
         if intercepted:
             self.intercepted_accesses += 1
             self.intercept.emulate_port_write(port, value, size)
@@ -182,6 +194,8 @@ class IoBus:
                        and self.intercept.intercepts_mmio(addr))
         if self.access_charger is not None:
             self.access_charger(intercepted)
+        if self.access_taps:
+            self.access_taps("mmio-read", addr, size, intercepted)
         if intercepted:
             self.intercepted_accesses += 1
             return self.intercept.emulate_mmio_read(addr, size)
@@ -193,6 +207,8 @@ class IoBus:
                        and self.intercept.intercepts_mmio(addr))
         if self.access_charger is not None:
             self.access_charger(intercepted)
+        if self.access_taps:
+            self.access_taps("mmio-write", addr, size, intercepted)
         if intercepted:
             self.intercepted_accesses += 1
             self.intercept.emulate_mmio_write(addr, value, size)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.hw.bus import PortDevice
+from repro.obs.taps import TapPoint, tap_property
 
 MASTER_CMD, MASTER_DATA = 0x20, 0x21
 SLAVE_CMD, SLAVE_DATA = 0xA0, 0xA1
@@ -139,16 +140,20 @@ class PicPair(PortDevice):
         self.slave = _Pic8259("slave")
         #: Total interrupts delivered through :meth:`acknowledge` (stats).
         self.delivered = 0
-        #: Observation hook called as ``tap(irq)`` on every device-side
-        #: :meth:`raise_irq`.  The flight recorder journals IRQ assertion
-        #: instants as cross-check evidence; the hook must only observe.
-        self.raise_tap: Optional[Callable[[int], None]] = None
+        #: Multicast observation point notified as ``taps(irq)`` on
+        #: every device-side :meth:`raise_irq`.  The flight recorder
+        #: journals IRQ assertion instants as cross-check evidence via
+        #: the legacy :attr:`raise_tap` primary slot; the tracer
+        #: subscribes alongside.  Observers must only observe.
+        self.raise_taps = TapPoint()
+
+    raise_tap = tap_property("raise_taps")
 
     # -- IRQ line interface (device side) -----------------------------------
 
     def raise_irq(self, irq: int) -> None:
-        if self.raise_tap is not None:
-            self.raise_tap(irq)
+        if self.raise_taps:
+            self.raise_taps(irq)
         if irq < 8:
             self.master.raise_irq(irq)
         else:

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from repro.errors import DeviceError
 from repro.hw.bus import PortDevice
+from repro.obs.taps import TapPoint, tap_property
 from repro.sim.events import Event, EventQueue
 
 PORT_INDEX = 0x70
@@ -90,12 +91,16 @@ class Rtc(PortDevice):
         self.periodic_fired = 0
         self.alarms_fired = 0
         self._alarm_event: Optional[Event] = None
-        #: Observation hook called as ``tap(register, value)`` on every
-        #: data-port read.  RTC reads are a nondeterminism boundary in
-        #: general (wall time); here they derive from the cycle clock, so
-        #: the flight recorder journals them as cross-check evidence
-        #: rather than replayable input.  The hook must only observe.
-        self.read_tap: Optional[Callable[[int, int], None]] = None
+        #: Multicast observation point notified as ``taps(register,
+        #: value)`` on every data-port read.  RTC reads are a
+        #: nondeterminism boundary in general (wall time); here they
+        #: derive from the cycle clock, so the flight recorder journals
+        #: them as cross-check evidence (via the legacy
+        #: :attr:`read_tap` primary slot) rather than replayable input;
+        #: the tracer subscribes alongside.  Observers must only observe.
+        self.read_taps = TapPoint()
+
+    read_tap = tap_property("read_taps")
 
     # -- time ------------------------------------------------------------
 
@@ -148,8 +153,8 @@ class Rtc(PortDevice):
             return self._index
         register = self._index
         value = self._read_register(register)
-        if self.read_tap is not None:
-            self.read_tap(register, value)
+        if self.read_taps:
+            self.read_taps(register, value)
         return value
 
     def _read_register(self, register: int) -> int:

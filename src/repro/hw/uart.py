@@ -18,6 +18,7 @@ from collections import deque
 from typing import Callable, Deque, Optional
 
 from repro.hw.bus import PortDevice
+from repro.obs.taps import TapPoint, tap_property
 
 PORT_BASE_COM1 = 0x3F8
 IRQ_COM1 = 4
@@ -68,14 +69,18 @@ class SerialLink:
         #: modified) or None to drop it.  See repro.faults.UartInjector.
         self.fault_hook: Optional[Callable[[str, int],
                                            Optional[int]]] = None
-        #: Observation hook called as ``tap(direction, byte)`` for every
-        #: byte actually entering the link (after the fault hook, so
-        #: faulted traffic is seen as delivered).  The flight recorder
-        #: journals "h2t" bytes as replayable input and folds "t2h"
-        #: bytes into a rolling digest; the hook must only observe.
-        self.tap: Optional[Callable[[str, int], None]] = None
+        #: Multicast observation point notified as ``taps(direction,
+        #: byte)`` for every byte actually entering the link (after the
+        #: fault hook, so faulted traffic is seen as delivered).  The
+        #: flight recorder journals "h2t" bytes as replayable input and
+        #: folds "t2h" bytes into a rolling digest via the legacy
+        #: :attr:`tap` primary slot; the tracer subscribes alongside.
+        #: Observers must only observe.
+        self.taps = TapPoint()
         self.bytes_dropped = 0
         self.bytes_corrupted = 0
+
+    tap = tap_property("taps")
 
     def filter_byte(self, direction: str, byte: int) -> Optional[int]:
         """Run one byte through the fault hook, keeping line counters."""
@@ -215,8 +220,8 @@ class Uart16550(PortDevice):
             sent = self._link.filter_byte("t2h", value)
             if sent is not None:
                 self._link.a_to_b.append(sent)
-                if self._link.tap is not None:
-                    self._link.tap("t2h", sent)
+                if self._link.taps:
+                    self._link.taps("t2h", sent)
             self.tx_count += 1
             self._link._kick()
             self._update_irq()
@@ -277,8 +282,8 @@ class HostSerialPort:
             delivered = self._link.filter_byte("h2t", byte)
             if delivered is not None:
                 self._link.b_to_a.append(delivered)
-                if self._link.tap is not None:
-                    self._link.tap("h2t", delivered)
+                if self._link.taps:
+                    self._link.taps("h2t", delivered)
         self._link._kick()
 
     def recv(self, max_bytes: int = 4096) -> bytes:

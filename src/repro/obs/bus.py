@@ -1,0 +1,244 @@
+"""The structured trace bus.
+
+A bounded ring buffer of typed trace events.  Timestamps are the
+machine's own clocks — simulated **cycles** and retired
+**instructions** — never wall-clock, so two runs of a deterministic
+scenario produce byte-identical traces (the golden-file property every
+other subsystem in this tree already relies on).
+
+Two event shapes:
+
+* **instants** (:meth:`TraceBus.instant`) — a point event: an IRQ was
+  raised, a journal frame was appended, a fault fired;
+* **spans** (:meth:`TraceBus.begin` / :meth:`TraceBus.end`, or the
+  :meth:`TraceBus.span` context manager) — a nested duration: a trap
+  emulation, a monitor run slice, an RSP packet being serviced.  Spans
+  nest on an explicit stack; an unbalanced ``end`` is counted and
+  dropped rather than corrupting the nesting, and spans still open
+  when the ring is exported are closed virtually by the exporter.
+
+Events carry a *category* (``trap``, ``irq``, ``device``, ``rsp``,
+``fault``, ``watchdog``, ``replay``, ``monitor``, ``profile``) used by
+the exporters to group Perfetto tracks.
+
+The bus itself has no knowledge of the machine; the
+:class:`repro.obs.tracer.Tracer` is the glue that feeds it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional
+
+#: Event phases (mirroring the Chrome trace_event vocabulary).
+PH_INSTANT = "i"
+PH_BEGIN = "B"
+PH_END = "E"
+PH_COMPLETE = "X"
+
+#: Categories the instrumentation layer emits.
+CAT_TRAP = "trap"
+CAT_IRQ = "irq"
+CAT_DEVICE = "device"
+CAT_RSP = "rsp"
+CAT_FAULT = "fault"
+CAT_WATCHDOG = "watchdog"
+CAT_REPLAY = "replay"
+CAT_MONITOR = "monitor"
+CAT_PROFILE = "profile"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace-bus event.
+
+    ``dur`` is only meaningful for ``PH_COMPLETE`` events (a span whose
+    duration was known at emission time, e.g. a cost-model charge).
+    """
+
+    seq: int
+    phase: str
+    category: str
+    name: str
+    cycle: int
+    instret: int
+    pc: int = 0
+    ring: int = 0
+    dur: int = 0
+    args: Dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        extra = f" dur={self.dur}" if self.phase == PH_COMPLETE else ""
+        args = " ".join(f"{k}={v}" for k, v in sorted(self.args.items()))
+        return (f"[{self.seq:6d}] cyc={self.cycle:<12d} "
+                f"i={self.instret:<10d} {self.phase} "
+                f"{self.category}:{self.name}{extra}"
+                f"{' ' + args if args else ''}")
+
+
+class SpanHandle:
+    """Context manager closing one span (see :meth:`TraceBus.span`)."""
+
+    __slots__ = ("_bus", "_name")
+
+    def __init__(self, bus: "TraceBus", name: str) -> None:
+        self._bus = bus
+        self._name = name
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._bus.end(self._name)
+
+
+class TraceBus:
+    """Bounded ring of :class:`TraceRecord` with span nesting."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"trace bus capacity must be >= 1, "
+                             f"got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._sequence = 0
+        #: Recording gate: instant()/begin()/end() are no-ops when False.
+        self.enabled = False
+        #: (name, category, begin-sequence) of currently open spans.
+        self._span_stack: List[tuple] = []
+        #: ``end`` calls that matched no open span (observability of the
+        #: instrumentation itself — a nonzero count means a hook fired
+        #: out of order somewhere).
+        self.unbalanced_ends = 0
+
+    # -- emission ------------------------------------------------------------
+
+    def _emit(self, phase: str, category: str, name: str, cycle: int,
+              instret: int, pc: int, ring: int, dur: int,
+              args: Optional[Dict]) -> TraceRecord:
+        record = TraceRecord(self._sequence, phase, category, name,
+                             cycle, instret, pc, ring, dur, args or {})
+        self._events.append(record)
+        self._sequence += 1
+        return record
+
+    def instant(self, category: str, name: str, cycle: int,
+                instret: int = 0, pc: int = 0, ring: int = 0,
+                args: Optional[Dict] = None) -> None:
+        """A point event."""
+        if not self.enabled:
+            return
+        self._emit(PH_INSTANT, category, name, cycle, instret, pc,
+                   ring, 0, args)
+
+    def complete(self, category: str, name: str, cycle: int, dur: int,
+                 instret: int = 0, pc: int = 0, ring: int = 0,
+                 args: Optional[Dict] = None) -> None:
+        """A span whose duration is already known (cost-model charges)."""
+        if not self.enabled:
+            return
+        self._emit(PH_COMPLETE, category, name, cycle, instret, pc,
+                   ring, dur, args)
+
+    def begin(self, category: str, name: str, cycle: int,
+              instret: int = 0, pc: int = 0, ring: int = 0,
+              args: Optional[Dict] = None) -> None:
+        """Open a nested span (close with :meth:`end`)."""
+        if not self.enabled:
+            return
+        record = self._emit(PH_BEGIN, category, name, cycle, instret,
+                            pc, ring, 0, args)
+        self._span_stack.append((name, category, record.seq))
+
+    def end(self, name: str, cycle: Optional[int] = None,
+            instret: int = 0, args: Optional[Dict] = None) -> None:
+        """Close the innermost open span named ``name``.
+
+        Spans opened inside it that were never closed are closed
+        implicitly (their ``E`` events are emitted in stack order), the
+        way Chrome's trace machinery unwinds abandoned nesting.  An
+        ``end`` that matches no open span is counted in
+        :attr:`unbalanced_ends` and otherwise ignored.
+        """
+        if not self.enabled:
+            return
+        names = [entry[0] for entry in self._span_stack]
+        if name not in names:
+            self.unbalanced_ends += 1
+            return
+        index = len(names) - 1 - names[::-1].index(name)
+        cycle = self._last_cycle() if cycle is None else cycle
+        while len(self._span_stack) > index:
+            open_name, open_category, _seq = self._span_stack.pop()
+            self._emit(PH_END, open_category, open_name, cycle,
+                       instret, 0, 0, 0,
+                       args if open_name == name else
+                       {"implicit-close": 1})
+
+    def span(self, category: str, name: str, cycle: int,
+             instret: int = 0, pc: int = 0, ring: int = 0,
+             args: Optional[Dict] = None) -> SpanHandle:
+        """``with bus.span(...):`` convenience around begin/end."""
+        self.begin(category, name, cycle, instret, pc, ring, args)
+        return SpanHandle(self, name)
+
+    def _last_cycle(self) -> int:
+        return self._events[-1].cycle if self._events else 0
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._events)
+
+    @property
+    def total_recorded(self) -> int:
+        return self._sequence
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring by wraparound."""
+        return self._sequence - len(self._events)
+
+    @property
+    def open_spans(self) -> List[str]:
+        return [entry[0] for entry in self._span_stack]
+
+    def open_span_entries(self) -> List[tuple]:
+        """(name, category) of open spans, outermost first."""
+        return [(entry[0], entry[1]) for entry in self._span_stack]
+
+    def events(self) -> List[TraceRecord]:
+        """The retained window, oldest first."""
+        return list(self._events)
+
+    def tail(self, count: int = 32) -> List[TraceRecord]:
+        events = list(self._events)
+        return events[-count:]
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        return [e for e in self._events if e.category == category]
+
+    def counts_by_category(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._span_stack.clear()
+
+    def stats(self) -> Dict:
+        """Bus health counters (``repro.perf`` shape)."""
+        return {
+            "capacity": self.capacity,
+            "retained": len(self._events),
+            "recorded": self._sequence,
+            "dropped": self.dropped,
+            "open_spans": len(self._span_stack),
+            "unbalanced_ends": self.unbalanced_ends,
+        }

@@ -1,0 +1,227 @@
+"""Trace and metrics exporters.
+
+Three output formats, all dependency-free:
+
+* **Chrome trace_event JSON** (:func:`chrome_trace` /
+  :func:`write_chrome_trace`) — the object form with a ``traceEvents``
+  array, loadable in Perfetto (https://ui.perfetto.dev) and Chrome's
+  ``about:tracing``.  The ``ts`` field is the **simulated cycle**
+  count, not microseconds; since the modelled CPU is 1.26 GHz the
+  numbers read as "cycles" on the timeline and, critically, they are
+  deterministic — the golden-trace test depends on two runs producing
+  byte-identical files.  Each event category gets its own named thread
+  track.
+* **collapsed-stack text** (:func:`collapsed_stacks`) — one
+  ``frame;frame;frame count`` line per profiler sample site, the input
+  format of flamegraph.pl / speedscope / inferno.
+* **metrics JSON** (:func:`metrics_json`) — the registry snapshot.
+
+:func:`validate_chrome_trace` is the schema gate CI runs against
+recorded traces: structural checks only (required keys, known phases,
+balanced B/E nesting per track), no external schema library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.bus import (
+    PH_BEGIN,
+    PH_COMPLETE,
+    PH_END,
+    PH_INSTANT,
+    TraceBus,
+)
+
+#: Category -> thread id of its Perfetto track (stable ordering).
+TRACK_IDS = {
+    "trap": 1,
+    "irq": 2,
+    "device": 3,
+    "rsp": 4,
+    "monitor": 5,
+    "fault": 6,
+    "watchdog": 7,
+    "replay": 8,
+    "profile": 9,
+}
+_PID = 1
+_PHASES = (PH_BEGIN, PH_END, PH_INSTANT, PH_COMPLETE, "M")
+
+
+def _track_id(category: str) -> int:
+    return TRACK_IDS.get(category, 15)
+
+
+def chrome_trace(bus: TraceBus, profiler=None, symbols=None,
+                 registry=None, label: str = "repro") -> Dict:
+    """The full trace document (a plain dict, ready for json.dump).
+
+    Spans still open on the bus are closed virtually at the last
+    event's cycle so viewers never see dangling ``B`` events.  When a
+    profiler / registry is given, the symbolized profile and the
+    metrics snapshot ride along as extra top-level keys (the
+    trace_event object form permits them; viewers ignore them).
+    """
+    events: List[Dict] = []
+    events.append({"ph": "M", "pid": _PID, "tid": 0, "ts": 0,
+                   "name": "process_name",
+                   "args": {"name": label}})
+    for category, tid in sorted(TRACK_IDS.items(),
+                                key=lambda item: item[1]):
+        events.append({"ph": "M", "pid": _PID, "tid": tid, "ts": 0,
+                       "name": "thread_name",
+                       "args": {"name": category}})
+    last_cycle = 0
+    for record in bus:
+        event = {
+            "name": record.name,
+            "cat": record.category,
+            "ph": record.phase,
+            "ts": record.cycle,
+            "pid": _PID,
+            "tid": _track_id(record.category),
+        }
+        args = dict(record.args)
+        if record.pc:
+            args["pc"] = f"{record.pc:#010x}"
+            if symbols is not None:
+                near = symbols.nearest(record.pc)
+                if near is not None:
+                    name, offset = near
+                    args["sym"] = name if offset == 0 \
+                        else f"{name}+{offset:#x}"
+        args["instret"] = record.instret
+        event["args"] = args
+        if record.phase == PH_COMPLETE:
+            event["dur"] = record.dur
+        if record.phase == PH_INSTANT:
+            event["s"] = "t"  # thread-scoped instant
+        events.append(event)
+        if record.cycle > last_cycle:
+            last_cycle = record.cycle
+    for name, category in reversed(bus.open_span_entries()):
+        # Virtual close: the span was still open when we exported.
+        events.append({"name": name, "cat": category, "ph": PH_END,
+                       "ts": last_cycle, "pid": _PID,
+                       "tid": _track_id(category),
+                       "args": {"virtual-close": 1}})
+    document: Dict = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "clock": "simulated-cycles",
+            "events_recorded": bus.total_recorded,
+            "events_dropped": bus.dropped,
+            "unbalanced_ends": bus.unbalanced_ends,
+        },
+    }
+    if profiler is not None:
+        document["guestProfile"] = {
+            "stride": profiler.stride,
+            "total_samples": profiler.total_samples,
+            "cumulative": [
+                {"symbol": name, "samples": count}
+                for name, count in profiler.cumulative(symbols)],
+            "flat": [
+                {"pc": f"{pc:#010x}", "ring": ring, "reason": reason,
+                 "samples": count}
+                for pc, ring, reason, count in profiler.flat()],
+        }
+    if registry is not None:
+        document["metrics"] = registry.snapshot()
+    return document
+
+
+def write_chrome_trace(path, bus: TraceBus, profiler=None,
+                       symbols=None, registry=None,
+                       label: str = "repro") -> Path:
+    """Write the trace document; byte-stable for identical inputs."""
+    path = Path(path)
+    document = chrome_trace(bus, profiler=profiler, symbols=symbols,
+                            registry=registry, label=label)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def collapsed_stacks(profiler, symbols=None) -> str:
+    """Flamegraph collapsed-stack text (newline-terminated lines)."""
+    lines = profiler.collapsed_stacks(symbols)
+    return "".join(line + "\n" for line in lines)
+
+
+def write_collapsed(path, profiler, symbols=None) -> Path:
+    path = Path(path)
+    path.write_text(collapsed_stacks(profiler, symbols))
+    return path
+
+
+def metrics_json(registry) -> Dict:
+    """The registry snapshot wrapped with a format marker."""
+    return {"format": "repro-metrics-v1",
+            "metrics": registry.snapshot()}
+
+
+def write_metrics(path, registry) -> Path:
+    path = Path(path)
+    with open(path, "w") as handle:
+        json.dump(metrics_json(registry), handle, indent=1,
+                  sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def validate_chrome_trace(document) -> List[str]:
+    """Structural schema check; returns problems (empty = valid).
+
+    Checks the properties Perfetto's importer actually depends on:
+    ``traceEvents`` is a list; every event has name/ph/ts/pid/tid with
+    the right types; phases are known; ``X`` events carry a
+    non-negative ``dur``; ``B``/``E`` nest and balance per (pid, tid)
+    track.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document is {type(document).__name__}, not an object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    open_stacks: Dict[tuple, List[str]] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key, kinds in (("name", str), ("ph", str),
+                           ("ts", (int, float)), ("pid", int),
+                           ("tid", int)):
+            if not isinstance(event.get(key), kinds):
+                problems.append(f"{where}: bad or missing {key!r}")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if phase == PH_COMPLETE:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs dur >= 0")
+        track = (event.get("pid"), event.get("tid"))
+        if phase == PH_BEGIN:
+            open_stacks.setdefault(track, []).append(event.get("name"))
+        elif phase == PH_END:
+            stack = open_stacks.get(track)
+            if not stack:
+                problems.append(f"{where}: E without matching B "
+                                f"on track {track}")
+            else:
+                stack.pop()
+    for track, stack in sorted(open_stacks.items()):
+        if stack:
+            problems.append(
+                f"track {track}: {len(stack)} unclosed B event(s): "
+                f"{stack}")
+    return problems

@@ -1,0 +1,307 @@
+"""The metrics registry.
+
+Before this module every subsystem grew its own ad-hoc stats dict
+(``interp_stats``, ``analysis_stats``, ``fault_stats``,
+``replay_stats`` in :mod:`repro.perf.export`).  They still work — as
+thin adapters — but the counters now live behind one API:
+
+* :class:`Counter` — a monotonically increasing count;
+* :class:`Gauge` — a value that can go up and down;
+* :class:`Histogram` — observation counts over **fixed** bucket
+  boundaries (fixed so two runs of a deterministic scenario bucket
+  identically, which keeps metrics snapshots golden-file stable).
+
+:class:`MetricsRegistry` hands out metrics by dotted name with
+get-or-create semantics; :func:`global_registry` returns the process
+default the tracer and the adapters share.
+
+The ``collect_*`` functions are the bridge from the legacy world: each
+walks one subsystem's live counters into registry gauges (dotted
+names, e.g. ``interp.decode_cache.hits``) *and* returns the exact
+legacy dict shape, so :mod:`repro.perf.export` can delegate without
+changing any caller.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram buckets for cycle-cost style observations.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1000, 2000, 5000, 10000, 50000, 100000,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def snapshot(self) -> Dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can move in either direction."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> Dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Observation counts over fixed, sorted bucket boundaries.
+
+    ``bucket_counts[i]`` counts observations ``<= boundaries[i]``
+    (cumulative-upper-bound semantics, the Prometheus convention);
+    observations above the last boundary land in the overflow bucket.
+    Boundary membership is inclusive: ``observe(10)`` with a boundary
+    at 10 lands in the 10-bucket, not the next one.
+    """
+
+    __slots__ = ("name", "help", "boundaries", "bucket_counts",
+                 "overflow", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[Number] = DEFAULT_BUCKETS) -> None:
+        boundaries = tuple(buckets)
+        if not boundaries:
+            raise ValueError(f"histogram {name!r} needs >= 1 bucket")
+        if list(boundaries) != sorted(set(boundaries)):
+            raise ValueError(f"histogram {name!r} buckets must be "
+                             f"strictly increasing: {boundaries}")
+        self.name = name
+        self.help = help
+        self.boundaries = boundaries
+        self.bucket_counts = [0] * len(boundaries)
+        self.overflow = 0
+        self.count = 0
+        self.sum: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = bisect.bisect_left(self.boundaries, value)
+        if index == len(self.boundaries):
+            self.overflow += 1
+        else:
+            self.bucket_counts[index] += 1
+
+    def snapshot(self) -> Dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(boundary): count for boundary, count
+                        in zip(self.boundaries, self.bucket_counts)},
+            "overflow": self.overflow,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics.
+
+    Asking for an existing name returns the existing instance; asking
+    for it with a different type (or different histogram buckets)
+    raises, so two subsystems cannot silently shadow each other.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get_or_create(self, name: str, kind, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}")
+            buckets = kwargs.get("buckets")
+            if buckets is not None and \
+                    existing.boundaries != tuple(buckets):
+                raise ValueError(
+                    f"histogram {name!r} already registered with "
+                    f"buckets {existing.boundaries}")
+            return existing
+        metric = kind(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[Number] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(name, Histogram, help=help,
+                                   buckets=buckets)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self) -> Dict:
+        """All metrics as a plain sorted dict (JSON-ready)."""
+        return {name: metric.snapshot()
+                for name, metric in sorted(self._metrics.items())}
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-default registry the tracer and adapters share."""
+    return _GLOBAL
+
+
+def _publish(registry: MetricsRegistry, prefix: str, tree: Dict) -> None:
+    """Flatten a nested stats dict into dotted gauges.
+
+    Only numeric leaves become gauges (booleans count as 0/1); string
+    leaves are skipped — the legacy dicts keep them, the registry does
+    not pretend text is a metric.
+    """
+    for key, value in tree.items():
+        name = f"{prefix}.{key}"
+        if isinstance(value, dict):
+            _publish(registry, name, value)
+        elif isinstance(value, bool):
+            registry.gauge(name).set(int(value))
+        elif isinstance(value, (int, float)):
+            registry.gauge(name).set(value)
+
+
+def collect_interp(cpu, registry: Optional[MetricsRegistry] = None
+                   ) -> dict:
+    """Interpreter fast-path counters → registry + legacy dict.
+
+    The returned shape is exactly what ``repro.perf.export
+    .interp_stats`` always produced.
+    """
+    stats = {
+        "instret": cpu.instret,
+        "decode_cache": cpu.decode_cache_stats(),
+        "tlb": cpu.mmu.tlb.stats(),
+    }
+    _publish(registry if registry is not None else _GLOBAL, "interp", stats)
+    return stats
+
+
+def collect_analysis(report, registry: Optional[MetricsRegistry] = None
+                     ) -> dict:
+    """Static-analyzer counters → registry + legacy dict."""
+    stats = {
+        "image": {"origin": report.origin, "end": report.end,
+                  "entry_ring": report.entry_ring,
+                  "monitor_base": report.monitor_base},
+        "coverage": dict(report.stats),
+        "findings_by_severity": report.counts_by_severity(),
+        "findings_by_check": report.counts_by_check(),
+        "clean": report.clean,
+    }
+    _publish(registry if registry is not None else _GLOBAL, "analysis", stats)
+    return stats
+
+
+def collect_fault(plan, client=None, monitor=None,
+                  devices: Optional[dict] = None,
+                  registry: Optional[MetricsRegistry] = None) -> dict:
+    """Fault-injection and recovery counters → registry + legacy dict."""
+    stats = {"plan": plan.stats()}
+    if client is not None:
+        stats["client"] = {
+            "acks_seen": client.acks_seen,
+            "naks_seen": client.naks_seen,
+            "recoveries": dict(sorted(client.recoveries.items())),
+        }
+    if monitor is not None:
+        mon = {
+            "degradation_level": monitor.degradation_level,
+            "wild_writes_injected": monitor.stats.wild_writes_injected,
+            "spurious_interrupts_injected":
+                monitor.stats.spurious_interrupts_injected,
+            "resumes_refused": monitor.stats.resumes_refused,
+            "debug_stops": monitor.stats.debug_stops,
+            "guest_dead": monitor.guest_dead,
+        }
+        if monitor.watchdog is not None:
+            mon["watchdog"] = dict(monitor.watchdog.stats)
+        stats["monitor"] = mon
+    if devices:
+        counters = ("faults_injected", "frames_dropped",
+                    "bytes_dropped", "bytes_corrupted")
+        stats["devices"] = {
+            name: {counter: getattr(device, counter)
+                   for counter in counters if hasattr(device, counter)}
+            for name, device in sorted(devices.items())}
+    _publish(registry if registry is not None else _GLOBAL, "fault", stats)
+    return stats
+
+
+def collect_replay(recorder=None, result=None, minimize=None,
+                   store=None,
+                   registry: Optional[MetricsRegistry] = None) -> dict:
+    """Record/replay counters → registry + legacy dict."""
+    stats: dict = {}
+    if recorder is not None:
+        stats["recorder"] = recorder.stats()
+    if result is not None:
+        stats["replay"] = result.stats()
+    if minimize is not None:
+        stats["minimize"] = minimize.stats()
+    if store is not None:
+        stats["checkpoint_store"] = store.stats()
+    _publish(registry if registry is not None else _GLOBAL, "replay", stats)
+    return stats

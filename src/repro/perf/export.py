@@ -7,6 +7,11 @@ write CSV and JSON; no plotting dependency is required or assumed.
 ``interp_stats``/``export_interp_stats`` are the single collection
 point for the interpreter fast-path counters (decoded-instruction
 cache + TLB), used by the trap-census and throughput benchmarks.
+
+The ``*_stats`` collectors now live in :mod:`repro.obs.metrics`
+(``collect_interp`` & friends), which also publishes every numeric
+leaf into the global metrics registry.  The functions here remain as
+thin adapters so existing callers and golden shapes keep working.
 """
 
 from __future__ import annotations
@@ -89,12 +94,13 @@ def interp_stats(cpu) -> dict:
     Combines the decoded-instruction cache (``Cpu.decode_cache_stats``)
     and the TLB (``Tlb.stats``) so benchmarks and the monitor's
     ``stats`` command report them from a single source.
+
+    .. deprecated:: thin adapter over
+       :func:`repro.obs.metrics.collect_interp`, which also publishes
+       the counters as ``interp.*`` gauges in the global registry.
     """
-    return {
-        "instret": cpu.instret,
-        "decode_cache": cpu.decode_cache_stats(),
-        "tlb": cpu.mmu.tlb.stats(),
-    }
+    from repro.obs.metrics import collect_interp
+    return collect_interp(cpu)
 
 
 def export_interp_stats(cpu, path, extra: Optional[dict] = None) -> Path:
@@ -123,35 +129,13 @@ def fault_stats(plan, client=None, monitor=None,
     counters); ``devices`` an optional ``{name: device}`` mapping whose
     fault counters (``faults_injected``, ``frames_dropped``,
     ``bytes_dropped``, ``bytes_corrupted``) are collected when present.
+
+    .. deprecated:: thin adapter over
+       :func:`repro.obs.metrics.collect_fault` (``fault.*`` gauges).
     """
-    stats = {"plan": plan.stats()}
-    if client is not None:
-        stats["client"] = {
-            "acks_seen": client.acks_seen,
-            "naks_seen": client.naks_seen,
-            "recoveries": dict(sorted(client.recoveries.items())),
-        }
-    if monitor is not None:
-        mon = {
-            "degradation_level": monitor.degradation_level,
-            "wild_writes_injected": monitor.stats.wild_writes_injected,
-            "spurious_interrupts_injected":
-                monitor.stats.spurious_interrupts_injected,
-            "resumes_refused": monitor.stats.resumes_refused,
-            "debug_stops": monitor.stats.debug_stops,
-            "guest_dead": monitor.guest_dead,
-        }
-        if monitor.watchdog is not None:
-            mon["watchdog"] = dict(monitor.watchdog.stats)
-        stats["monitor"] = mon
-    if devices:
-        counters = ("faults_injected", "frames_dropped",
-                    "bytes_dropped", "bytes_corrupted")
-        stats["devices"] = {
-            name: {counter: getattr(device, counter)
-                   for counter in counters if hasattr(device, counter)}
-            for name, device in sorted(devices.items())}
-    return stats
+    from repro.obs.metrics import collect_fault
+    return collect_fault(plan, client=client, monitor=monitor,
+                         devices=devices)
 
 
 def export_fault_stats(plan, path, client=None, monitor=None,
@@ -184,17 +168,13 @@ def replay_stats(recorder=None, result=None, minimize=None,
     accounting (``store`` is a
     :class:`repro.core.snapshot.CheckpointStore` — snapshot count,
     held bytes, evictions).
+
+    .. deprecated:: thin adapter over
+       :func:`repro.obs.metrics.collect_replay` (``replay.*`` gauges).
     """
-    stats: dict = {}
-    if recorder is not None:
-        stats["recorder"] = recorder.stats()
-    if result is not None:
-        stats["replay"] = result.stats()
-    if minimize is not None:
-        stats["minimize"] = minimize.stats()
-    if store is not None:
-        stats["checkpoint_store"] = store.stats()
-    return stats
+    from repro.obs.metrics import collect_replay
+    return collect_replay(recorder=recorder, result=result,
+                          minimize=minimize, store=store)
 
 
 def export_replay_stats(path, recorder=None, result=None,
@@ -220,16 +200,13 @@ def analysis_stats(report) -> dict:
     ``report`` is a :class:`repro.analysis.Report`; the result combines
     its CFG/interpreter coverage stats with finding counts so benchmark
     and CI tooling collect analyzer health from a single source.
+
+    .. deprecated:: thin adapter over
+       :func:`repro.obs.metrics.collect_analysis`
+       (``analysis.*`` gauges).
     """
-    return {
-        "image": {"origin": report.origin, "end": report.end,
-                  "entry_ring": report.entry_ring,
-                  "monitor_base": report.monitor_base},
-        "coverage": dict(report.stats),
-        "findings_by_severity": report.counts_by_severity(),
-        "findings_by_check": report.counts_by_check(),
-        "clean": report.clean,
-    }
+    from repro.obs.metrics import collect_analysis
+    return collect_analysis(report)
 
 
 def export_analysis_json(report, path,

@@ -25,6 +25,7 @@ from typing import Callable, Dict
 
 from repro.fullvmm.monitor import FullVmmIntercept
 from repro.hw.machine import Machine
+from repro.obs.taps import TapPoint
 from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.sim.budget import (
     CAT_DRIVER,
@@ -171,6 +172,10 @@ class InterruptDispatcher:
         self.stack = stack
         self._handlers: Dict[int, Callable[[], None]] = {}
         self.dispatched = 0
+        #: Multicast observation point notified as ``taps(line,
+        #: vector)`` for every interrupt delivered to a guest ISR.  The
+        #: tracer subscribes here; observers must only observe.
+        self.deliver_taps = TapPoint()
 
     def register(self, line: int, handler: Callable[[], None]) -> None:
         self._handlers[line] = handler
@@ -180,6 +185,8 @@ class InterruptDispatcher:
         while pic.has_pending():
             vector = pic.acknowledge()
             line = vector - 32 if vector < 40 else vector - 40 + 8
+            if self.deliver_taps:
+                self.deliver_taps(line, vector)
             self.stack.on_interrupt_fielded(line)
             self.stack.guest_cycles(self.stack.cost.guest_interrupt_cycles)
             handler = self._handlers.get(line)

@@ -36,6 +36,7 @@ import hashlib
 from typing import Dict, List, Optional
 
 from repro.errors import MonitorError
+from repro.obs.taps import TapPoint
 from repro.replay.digest import state_digest
 from repro.replay.journal import (FRAME_CHECKPOINT, FRAME_END, FRAME_EVENT,
                                   Frame, Journal)
@@ -98,6 +99,10 @@ class FlightRecorder:
         self.counters = {"input_frames": 0, "op_frames": 0,
                          "xc_frames": 0, "rng_frames": 0,
                          "checkpoints": 0, "uart_rx_bytes": 0}
+        #: Multicast observation point notified as ``taps(frame)`` for
+        #: every journal frame appended.  The tracer subscribes here;
+        #: observers must only observe.
+        self.frame_taps = TapPoint()
         self._install_taps()
         monitor.recorder = self
 
@@ -132,6 +137,8 @@ class FlightRecorder:
             self._flush_rx()
         self.frames.append(frame)
         self._journal_bytes += len(frame.encode())
+        if self.frame_taps:
+            self.frame_taps(frame)
 
     def _flush_rx(self) -> None:
         if not self._rx_buffer:

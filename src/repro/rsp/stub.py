@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.errors import ProtocolError
+from repro.obs.taps import TapPoint
 from repro.rsp.packets import (
     PacketDecoder,
     frame,
@@ -50,6 +51,11 @@ class DebugStub:
         self.killed = False
         #: Thread selected by Hg (0 = any/current).
         self._g_thread = 0
+        #: Multicast observation point notified as ``taps(direction,
+        #: payload)`` with ``"in"`` for every dispatched packet and
+        #: ``"out"`` for every framed reply payload.  The tracer
+        #: subscribes here; observers must only observe.
+        self.packet_taps = TapPoint()
 
     # ------------------------------------------------------------------
 
@@ -74,6 +80,8 @@ class DebugStub:
     # ------------------------------------------------------------------
 
     def _reply(self, payload: bytes) -> None:
+        if self.packet_taps:
+            self.packet_taps("out", payload)
         self._send_bytes(frame(payload))
 
     def report_stop(self, signal: Optional[int] = None) -> None:
@@ -94,6 +102,8 @@ class DebugStub:
 
     def _dispatch(self, packet: bytes) -> None:
         self.packets_handled += 1
+        if self.packet_taps:
+            self.packet_taps("in", packet)
         try:
             text = packet.decode("latin-1")
         except UnicodeDecodeError:

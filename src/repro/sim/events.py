@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.taps import TapPoint, tap_property
 
 
 @dataclass(order=True)
@@ -68,11 +69,15 @@ class EventQueue:
         self._heap: List[_QueueEntry] = []
         self._counter = itertools.count()
         self.now: int = 0
-        #: Observation hook called as ``tap(time, name)`` for every
-        #: scheduled event.  The flight recorder uses it to journal
-        #: device-completion scheduling as cross-check evidence; it must
-        #: only observe (never schedule or mutate device state).
-        self.schedule_tap: Optional[Callable[[int, str], None]] = None
+        #: Multicast observation point notified as ``taps(time, name)``
+        #: for every scheduled event.  The flight recorder journals
+        #: device-completion scheduling as cross-check evidence (via the
+        #: legacy :attr:`schedule_tap` primary slot); the tracer
+        #: subscribes alongside it.  Observers must only observe (never
+        #: schedule or mutate device state).
+        self.schedule_taps = TapPoint()
+
+    schedule_tap = tap_property("schedule_taps")
 
     def __len__(self) -> int:
         return sum(1 for entry in self._heap if not entry.event.cancelled)
@@ -87,8 +92,8 @@ class EventQueue:
         event = Event(callback, name)
         event.time = time
         heapq.heappush(self._heap, _QueueEntry(time, next(self._counter), event))
-        if self.schedule_tap is not None:
-            self.schedule_tap(time, event.name)
+        if self.schedule_taps:
+            self.schedule_taps(time, event.name)
         return event
 
     def schedule_in(self, delay: int, callback: Callable[[], None],

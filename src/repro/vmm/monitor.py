@@ -57,6 +57,9 @@ from repro.hw.uart import (
     REG_DATA,
     REG_LSR,
 )
+from repro.obs.profiler import GuestProfiler
+from repro.obs.taps import TapPoint, tap_property
+from repro.obs.tracer import Tracer
 from repro.rsp.stub import DebugStub
 from repro.rsp.target import CpuTargetAdapter, SIGILL, SIGSEGV, SIGTRAP
 from repro.sim.budget import CAT_EMULATION, CAT_INTERRUPT, CAT_WORLD_SWITCH
@@ -268,21 +271,58 @@ class LightweightVmm:
         self.degradation_level = DEGRADE_FULL
         #: Attached :class:`~repro.vmm.watchdog.MonitorWatchdog`, if any.
         self.watchdog = None
-        #: Observation hook called as ``tap(kind, payload)`` at the
-        #: nondeterminism boundary (run begin/end, debugger service,
-        #: fault triggers, stops, guest death).  Installed by
-        #: :class:`repro.replay.FlightRecorder`; must only observe.
-        self.record_tap = None
+        #: Multicast observation point notified as ``taps(kind,
+        #: payload)`` at the nondeterminism boundary (run begin/end,
+        #: debugger service, fault triggers, stops, guest death).  The
+        #: :class:`repro.replay.FlightRecorder` installs itself in the
+        #: legacy :attr:`record_tap` primary slot; the structured tracer
+        #: subscribes alongside.  Observers must only observe.
+        self.record_taps = TapPoint()
         #: Attached FlightRecorder / replayer status (``monitor record``
         #: and ``monitor replay`` qRcmds report these).
         self.recorder = None
         self.replay_status = None
+        #: Attached :class:`repro.obs.profiler.GuestProfiler`, sampled
+        #: from :meth:`run` (see :meth:`attach_profiler`).
+        self.profiler = None
+        self._profiler_reason_cb = None
+        #: Live structured tracer started via ``monitor trace start``.
+        self.obs_tracer = None
         self.intercept = LvmmIntercept(
             self.shadow, machine.bus, machine.budget, self.cost,
             include_world_switch=False,
             on_virtual_eoi=self._after_virtual_eoi)
         self.adapter = LvmmTargetAdapter(self)
         self.stub = DebugStub(self.adapter, send_bytes=self._uart_send)
+
+    record_tap = tap_property("record_taps")
+
+    # ------------------------------------------------------------------
+    # Observability (profiler + structured trace)
+    # ------------------------------------------------------------------
+
+    def attach_profiler(self, profiler: GuestProfiler) -> GuestProfiler:
+        """Sample guest PCs from the run loop at the profiler's stride.
+
+        Also feeds the profiler's trap-reason channel from the monitor
+        trace buffer so samples carry "what last happened" context.
+        """
+        if self.profiler is not None:
+            raise MonitorError("a profiler is already attached")
+        self.profiler = profiler
+        self._profiler_reason_cb = self.trace.taps.subscribe(
+            lambda event: profiler.note_reason(event.kind))
+        profiler.start(self.machine.cpu.instret)
+        return profiler
+
+    def detach_profiler(self) -> None:
+        """Stop sampling (idempotent); keeps collected samples."""
+        if self.profiler is None:
+            return
+        self.profiler.stop()
+        self.trace.taps.unsubscribe(self._profiler_reason_cb)
+        self._profiler_reason_cb = None
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Installation / guest boot
@@ -656,8 +696,8 @@ class LightweightVmm:
     def _guest_died(self, reason: str) -> None:
         self.guest_dead = True
         self.guest_dead_reason = reason
-        if self.record_tap is not None:
-            self.record_tap("death", {"reason": reason})
+        if self.record_taps:
+            self.record_taps("death", {"reason": reason})
         self.trace.record(self.machine.cpu.cycle_count, KIND_DEATH,
                           reason, self.machine.cpu.pc)
         self.machine.cpu.halted = True
@@ -794,8 +834,8 @@ class LightweightVmm:
             if was_running and not self.stub.running:
                 # ^C from the debugger interrupted the guest.
                 self.stopped = True
-        if self.record_tap is not None:
-            self.record_tap("svc", {"drained": len(received)})
+        if self.record_taps:
+            self.record_taps("svc", {"drained": len(received)})
 
     def debug_stop(self, signal: int) -> None:
         self.stopped = True
@@ -804,9 +844,9 @@ class LightweightVmm:
         self.stats.debug_stops += 1
         self.trace.record(self.machine.cpu.cycle_count, KIND_DEBUG,
                           f"stop signal={signal}", self.machine.cpu.pc)
-        if self.record_tap is not None:
-            self.record_tap("stop", {"signal": signal,
-                                     "pc": self.machine.cpu.pc})
+        if self.record_taps:
+            self.record_taps("stop", {"signal": signal,
+                                      "pc": self.machine.cpu.pc})
         self.stub.report_stop(signal)
 
     # ------------------------------------------------------------------
@@ -823,9 +863,9 @@ class LightweightVmm:
         letting its own code/data be corrupted.  Returns True when the
         write stayed entirely within guest memory.
         """
-        if self.record_tap is not None:
-            self.record_tap("wild-write", {"addr": addr,
-                                           "data": data.hex()})
+        if self.record_taps:
+            self.record_taps("wild-write", {"addr": addr,
+                                            "data": data.hex()})
         memory = self.machine.memory
         self.stats.wild_writes_injected += 1
         end = addr + len(data)
@@ -840,8 +880,8 @@ class LightweightVmm:
 
     def inject_spurious_interrupt(self, line: int) -> None:
         """Raise a hardware interrupt the guest never asked for."""
-        if self.record_tap is not None:
-            self.record_tap("spurious-irq", {"line": line})
+        if self.record_taps:
+            self.record_taps("spurious-irq", {"line": line})
         self.stats.spurious_interrupts_injected += 1
         self.machine.pic.raise_irq(line)
 
@@ -892,6 +932,9 @@ class LightweightVmm:
             return self.console.decode("latin-1", errors="replace") \
                 or "(console empty)"
         if command == "trace":
+            if len(parts) > 1 and parts[1] in ("start", "stop",
+                                               "dump", "status"):
+                return self._trace_command(parts[1:])
             count = int(parts[1]) if len(parts) > 1 else 24
             return self.trace.format_tail(count)
         if command == "shadow":
@@ -941,8 +984,58 @@ class LightweightVmm:
             return self.watchdog.report()
         if command == "help":
             return ("monitor commands: stats console trace [n] shadow "
-                    "hang watchdog record [checkpoint] replay help")
+                    "hang watchdog record [checkpoint] replay help\n"
+                    "structured trace: trace start [stride] | stop | "
+                    "dump [n] | status")
         return f"unknown monitor command {command!r} (try 'help')"
+
+    def _trace_command(self, parts) -> str:
+        """``monitor trace start|stop|dump|status``: live structured
+        tracing of this debug session over RSP."""
+        action = parts[0]
+        if action == "start":
+            if self.obs_tracer is not None:
+                return "structured trace already running"
+            stride = int(parts[1]) if len(parts) > 1 else 4096
+            tracer = Tracer()
+            tracer.attach(monitor=self, recorder=self.recorder)
+            self.attach_profiler(GuestProfiler(stride=stride))
+            self.obs_tracer = tracer
+            return (f"structured trace started "
+                    f"(profiler stride {stride} instructions)")
+        tracer = self.obs_tracer
+        if tracer is None:
+            return "structured trace not running ('monitor trace start')"
+        if action == "dump":
+            count = int(parts[1]) if len(parts) > 1 else 24
+            events = tracer.bus.tail(count)
+            if not events:
+                return "(structured trace empty)"
+            return "\n".join(event.format() for event in events)
+        if action == "status":
+            stats = tracer.bus.stats()
+            profiler = self.profiler
+            lines = [f"structured trace: on "
+                     f"({stats['retained']} events retained, "
+                     f"{stats['recorded']} recorded, "
+                     f"{stats['dropped']} dropped)"]
+            counts = tracer.bus.counts_by_category()
+            if counts:
+                lines.append("by category: " + ", ".join(
+                    f"{cat}={n}" for cat, n in counts.items()))
+            if profiler is not None:
+                lines.append(f"profiler: {profiler.total_samples} "
+                             f"samples at stride {profiler.stride}")
+            return "\n".join(lines)
+        # action == "stop"
+        recorded = tracer.bus.total_recorded
+        samples = self.profiler.total_samples \
+            if self.profiler is not None else 0
+        tracer.detach()
+        self.detach_profiler()
+        self.obs_tracer = None
+        return (f"structured trace stopped "
+                f"({recorded} events, {samples} profile samples)")
 
     _hang_last_instret = 0
 
@@ -1004,9 +1097,16 @@ class LightweightVmm:
         """
         executed = 0
         cpu = self.machine.cpu
-        if self.record_tap is not None:
-            self.record_tap("run-begin", {"max": max_instructions,
-                                          "pre_stopped": self.stopped})
+        # Profiler threshold, hoisted so the steady-state cost of
+        # sampling support is ONE integer compare per instruction; with
+        # no profiler attached the threshold is +inf and the compare can
+        # never fire (see repro.obs.profiler).
+        profiler = self.profiler
+        next_sample = profiler.next_sample if profiler is not None \
+            else float("inf")
+        if self.record_taps:
+            self.record_taps("run-begin", {"max": max_instructions,
+                                           "pre_stopped": self.stopped})
         while executed < max_instructions:
             if self.stopped or self.guest_dead:
                 break
@@ -1028,9 +1128,11 @@ class LightweightVmm:
                 self._guest_died(str(fault))
                 break
             executed += 1
-        if self.record_tap is not None:
-            self.record_tap("run-end", {"max": max_instructions,
-                                        "executed": executed})
+            if cpu.instret >= next_sample:
+                next_sample = profiler.sample(cpu)
+        if self.record_taps:
+            self.record_taps("run-end", {"max": max_instructions,
+                                         "executed": executed})
         return executed
 
 

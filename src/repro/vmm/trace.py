@@ -13,6 +13,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Iterable, List, Optional
 
+from repro.obs.taps import TapPoint
+
 KIND_TRAP = "trap"
 KIND_INTERRUPT = "irq"
 KIND_REFLECT = "reflect"
@@ -45,14 +47,21 @@ class TraceBuffer:
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._sequence = 0
         self.enabled = True
+        #: Multicast observation point notified as ``taps(event)`` with
+        #: every recorded :class:`TraceEvent`.  The structured tracer
+        #: (:mod:`repro.obs.tracer`) and the guest profiler subscribe
+        #: here instead of adding branches to the monitor itself.
+        self.taps = TapPoint()
 
     def record(self, cycle: int, kind: str, detail: str,
                pc: int = 0) -> None:
         if not self.enabled:
             return
-        self._events.append(TraceEvent(self._sequence, cycle, kind,
-                                       detail, pc))
+        event = TraceEvent(self._sequence, cycle, kind, detail, pc)
+        self._events.append(event)
         self._sequence += 1
+        if self.taps:
+            self.taps(event)
 
     def __len__(self) -> int:
         return len(self._events)

@@ -40,6 +40,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.obs.taps import TapPoint
+
 DEGRADE_FULL = "full-service"
 DEGRADE_STUB_ONLY = "stub-only"
 DEGRADE_FROZEN = "frozen-snapshot"
@@ -60,6 +62,10 @@ class MonitorWatchdog:
         self._suspect_checks = 0
         #: (cycle, from-level, to-level, reason) history.
         self.transitions: List[Tuple[int, str, str, str]] = []
+        #: Multicast observation point notified as ``taps(cycle, src,
+        #: dst, reason)`` for every degradation-level transition.  The
+        #: tracer subscribes here; observers must only observe.
+        self.transition_taps = TapPoint()
         self.snapshot = None
         self.stats = {
             "checks": 0,
@@ -136,8 +142,10 @@ class MonitorWatchdog:
         if _LEVEL_ORDER[target] <= _LEVEL_ORDER[current]:
             return
         self.stats["degradations"] += 1
-        self.transitions.append(
-            (self.monitor.machine.cpu.cycle_count, current, target, reason))
+        cycle = self.monitor.machine.cpu.cycle_count
+        self.transitions.append((cycle, current, target, reason))
+        if self.transition_taps:
+            self.transition_taps(cycle, current, target, reason)
         self.monitor.degradation_level = target
         if target == DEGRADE_FROZEN and self.snapshot is None:
             from repro.core import snapshot as snap

@@ -1,0 +1,122 @@
+"""Property tests: profiler stride arithmetic, histogram bucketing and
+trace-ring invariants.
+
+Three contracts the observability layer rests on:
+
+* the profiler samples on *exact* stride boundaries of the retired
+  instruction counter, never twice per boundary, for any interleaving
+  of slice sizes — that is what makes profiles deterministic;
+* every histogram observation lands in exactly one bucket (or the
+  overflow), and the bucket chosen is the smallest boundary >= value;
+* the trace ring never exceeds its capacity and always keeps the
+  newest events, for any event stream.
+"""
+
+import bisect
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.bus import CAT_DEVICE, TraceBus
+from repro.obs.metrics import Histogram
+from repro.obs.profiler import GuestProfiler
+
+
+class FakeCpu:
+    def __init__(self, instret):
+        self.pc = 0x4000 + instret
+        self.cpl = 0
+        self.instret = instret
+
+
+class TestProfilerStrideProperties:
+    @given(stride=st.integers(min_value=1, max_value=10_000),
+           instret=st.integers(min_value=0, max_value=10**9))
+    def test_next_boundary_is_strictly_ahead_and_aligned(
+            self, stride, instret):
+        profiler = GuestProfiler(stride=stride)
+        boundary = profiler.next_boundary(instret)
+        assert boundary > instret
+        assert boundary % stride == 0
+        assert boundary - instret <= stride
+
+    @given(stride=st.integers(min_value=1, max_value=64),
+           slices=st.lists(st.integers(min_value=1, max_value=200),
+                           min_size=0, max_size=60))
+    def test_one_sample_per_crossed_boundary(self, stride, slices):
+        """Simulate the monitor run loop: arbitrary slice sizes, the
+        single hoisted compare, sample() on crossings.  The number of
+        samples must equal the number of stride boundaries crossed."""
+        profiler = GuestProfiler(stride=stride)
+        profiler.start(0)
+        instret = 0
+        next_sample = profiler.next_sample
+        for step in slices:
+            for _ in range(step):
+                instret += 1
+                if instret >= next_sample:
+                    next_sample = profiler.sample(FakeCpu(instret))
+        assert profiler.total_samples == instret // stride
+
+    @given(stride=st.integers(min_value=1, max_value=50),
+           start=st.integers(min_value=0, max_value=500))
+    def test_restart_from_any_instret_stays_aligned(self, stride,
+                                                    start):
+        profiler = GuestProfiler(stride=stride)
+        profiler.start(start)
+        threshold = profiler.sample(FakeCpu(profiler.next_sample))
+        assert threshold % stride == 0
+
+
+class TestHistogramProperties:
+    boundaries = st.lists(
+        st.integers(min_value=0, max_value=10**6),
+        min_size=1, max_size=12, unique=True).map(sorted)
+
+    @given(boundaries=boundaries,
+           values=st.lists(st.integers(min_value=-10**6,
+                                       max_value=2 * 10**6),
+                           max_size=100))
+    def test_every_observation_lands_exactly_once(self, boundaries,
+                                                  values):
+        hist = Histogram("h", buckets=boundaries)
+        for value in values:
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert sum(snap["buckets"].values()) + snap["overflow"] \
+            == len(values)
+        assert snap["count"] == len(values)
+        if values:
+            assert snap["min"] == min(values)
+            assert snap["max"] == max(values)
+            assert snap["sum"] == sum(values)
+
+    @given(boundaries=boundaries,
+           value=st.integers(min_value=-10**6, max_value=2 * 10**6))
+    def test_bucket_is_smallest_boundary_at_or_above(self, boundaries,
+                                                     value):
+        hist = Histogram("h", buckets=boundaries)
+        hist.observe(value)
+        snap = hist.snapshot()
+        index = bisect.bisect_left(boundaries, value)
+        if index == len(boundaries):
+            assert snap["overflow"] == 1
+        else:
+            assert snap["buckets"][str(boundaries[index])] == 1
+            assert boundaries[index] >= value
+
+
+class TestRingProperties:
+    @given(capacity=st.integers(min_value=1, max_value=32),
+           count=st.integers(min_value=0, max_value=200))
+    def test_ring_bounded_and_keeps_newest(self, capacity, count):
+        bus = TraceBus(capacity=capacity)
+        bus.enabled = True
+        for index in range(count):
+            bus.instant(CAT_DEVICE, f"e{index}", cycle=index)
+        assert len(bus) == min(capacity, count)
+        assert bus.total_recorded == count
+        assert bus.dropped == max(0, count - capacity)
+        events = bus.events()
+        assert [e.seq for e in events] == \
+            list(range(max(0, count - capacity), count))

@@ -1,0 +1,201 @@
+"""Unit tests: the structured trace bus and the multicast tap points."""
+
+import pytest
+
+from repro.obs.bus import (
+    CAT_DEVICE,
+    CAT_IRQ,
+    CAT_MONITOR,
+    CAT_TRAP,
+    PH_BEGIN,
+    PH_COMPLETE,
+    PH_END,
+    PH_INSTANT,
+    TraceBus,
+)
+from repro.obs.taps import TapPoint, tap_property
+
+
+class TestTapPoint:
+    def test_empty_tap_is_falsy_and_callable(self):
+        tap = TapPoint()
+        assert not tap
+        assert len(tap) == 0
+        tap(1, 2)  # no observers: a no-op, not an error
+
+    def test_primary_then_subscribers_in_order(self):
+        tap = TapPoint()
+        calls = []
+        tap.primary = lambda *a: calls.append(("primary", a))
+        tap.subscribe(lambda *a: calls.append(("sub1", a)))
+        tap.subscribe(lambda *a: calls.append(("sub2", a)))
+        assert tap and len(tap) == 3
+        tap(7)
+        assert calls == [("primary", (7,)), ("sub1", (7,)),
+                         ("sub2", (7,))]
+
+    def test_subscribe_returns_callback_for_unsubscribe(self):
+        tap = TapPoint()
+        seen = []
+        callback = tap.subscribe(seen.append)
+        tap(1)
+        tap.unsubscribe(callback)
+        tap(2)
+        assert seen == [1]
+        tap.unsubscribe(callback)  # second unsubscribe is a no-op
+
+    def test_clear_drops_everything(self):
+        tap = TapPoint()
+        tap.primary = lambda: None
+        tap.subscribe(lambda: None)
+        tap.clear()
+        assert not tap
+
+    def test_tap_property_exposes_primary_slot(self):
+        class Host:
+            def __init__(self):
+                self.taps = TapPoint()
+            tap = tap_property("taps")
+
+        host = Host()
+        assert host.tap is None
+        sink = []
+        callback = sink.append
+        host.tap = callback
+        assert host.tap is callback
+        host.taps(3)
+        assert sink == [3]
+        host.tap = None
+        assert host.tap is None and not host.taps
+
+
+class TestTraceBusRing:
+    def test_disabled_bus_records_nothing(self):
+        bus = TraceBus()
+        bus.instant(CAT_IRQ, "x", cycle=1)
+        bus.begin(CAT_MONITOR, "run", cycle=1)
+        bus.end("run")
+        assert len(bus) == 0
+        assert bus.total_recorded == 0
+        assert bus.unbalanced_ends == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceBus(capacity=0)
+
+    def test_ring_wraparound_keeps_newest(self):
+        bus = TraceBus(capacity=4)
+        bus.enabled = True
+        for index in range(10):
+            bus.instant(CAT_DEVICE, f"e{index}", cycle=index)
+        assert len(bus) == 4
+        assert bus.total_recorded == 10
+        assert bus.dropped == 6
+        assert [e.name for e in bus.events()] == \
+            ["e6", "e7", "e8", "e9"]
+        assert [e.seq for e in bus.events()] == [6, 7, 8, 9]
+
+    def test_tail_and_filters(self):
+        bus = TraceBus()
+        bus.enabled = True
+        bus.instant(CAT_IRQ, "a", cycle=1)
+        bus.instant(CAT_DEVICE, "b", cycle=2)
+        bus.instant(CAT_IRQ, "c", cycle=3)
+        assert [e.name for e in bus.tail(2)] == ["b", "c"]
+        assert [e.name for e in bus.by_category(CAT_IRQ)] == ["a", "c"]
+        assert bus.counts_by_category() == {"device": 1, "irq": 2}
+
+    def test_complete_carries_duration(self):
+        bus = TraceBus()
+        bus.enabled = True
+        bus.complete(CAT_TRAP, "trap", cycle=100, dur=11860)
+        (event,) = bus.events()
+        assert event.phase == PH_COMPLETE
+        assert event.dur == 11860
+        assert "dur=11860" in event.format()
+
+    def test_stats_shape(self):
+        bus = TraceBus(capacity=8)
+        bus.enabled = True
+        bus.instant(CAT_IRQ, "x", cycle=0)
+        assert bus.stats() == {
+            "capacity": 8, "retained": 1, "recorded": 1,
+            "dropped": 0, "open_spans": 0, "unbalanced_ends": 0,
+        }
+
+
+class TestSpanNesting:
+    def _bus(self):
+        bus = TraceBus()
+        bus.enabled = True
+        return bus
+
+    def test_begin_end_pairs_nest(self):
+        bus = self._bus()
+        bus.begin(CAT_MONITOR, "outer", cycle=1)
+        bus.begin(CAT_TRAP, "inner", cycle=2)
+        bus.end("inner", cycle=3)
+        bus.end("outer", cycle=4)
+        phases = [(e.phase, e.name) for e in bus.events()]
+        assert phases == [(PH_BEGIN, "outer"), (PH_BEGIN, "inner"),
+                          (PH_END, "inner"), (PH_END, "outer")]
+        assert bus.open_spans == []
+        assert bus.unbalanced_ends == 0
+
+    def test_end_of_outer_implicitly_closes_inner(self):
+        bus = self._bus()
+        bus.begin(CAT_MONITOR, "outer", cycle=1)
+        bus.begin(CAT_TRAP, "inner", cycle=2)
+        bus.end("outer", cycle=9)
+        events = bus.events()
+        assert [(e.phase, e.name) for e in events] == [
+            (PH_BEGIN, "outer"), (PH_BEGIN, "inner"),
+            (PH_END, "inner"), (PH_END, "outer")]
+        assert events[2].args == {"implicit-close": 1}
+        # the implicit close keeps the inner span's own category
+        assert events[2].category == CAT_TRAP
+        assert bus.open_spans == []
+
+    def test_unbalanced_end_is_counted_not_recorded(self):
+        bus = self._bus()
+        bus.end("never-opened", cycle=5)
+        assert bus.unbalanced_ends == 1
+        assert len(bus) == 0
+
+    def test_end_closes_innermost_matching_name(self):
+        bus = self._bus()
+        bus.begin(CAT_MONITOR, "run", cycle=1)
+        bus.begin(CAT_MONITOR, "run", cycle=2)
+        bus.end("run", cycle=3)
+        assert bus.open_spans == ["run"]
+        bus.end("run", cycle=4)
+        assert bus.open_spans == []
+
+    def test_span_context_manager(self):
+        bus = self._bus()
+        with bus.span(CAT_MONITOR, "slice", cycle=10):
+            bus.instant(CAT_IRQ, "mid", cycle=11)
+        assert [e.phase for e in bus.events()] == \
+            [PH_BEGIN, PH_INSTANT, PH_END]
+
+    def test_end_without_cycle_uses_last_event_cycle(self):
+        bus = self._bus()
+        bus.begin(CAT_MONITOR, "run", cycle=10)
+        bus.instant(CAT_IRQ, "x", cycle=42)
+        bus.end("run")
+        assert bus.events()[-1].cycle == 42
+
+    def test_open_span_entries_report_name_and_category(self):
+        bus = self._bus()
+        bus.begin(CAT_MONITOR, "outer", cycle=1)
+        bus.begin(CAT_TRAP, "inner", cycle=2)
+        assert bus.open_span_entries() == [
+            ("outer", CAT_MONITOR), ("inner", CAT_TRAP)]
+
+    def test_clear_resets_window_and_stack(self):
+        bus = self._bus()
+        bus.begin(CAT_MONITOR, "run", cycle=1)
+        bus.clear()
+        assert len(bus) == 0 and bus.open_spans == []
+        # sequence numbering (and thus dropped accounting) survives
+        assert bus.total_recorded == 1

@@ -1,0 +1,149 @@
+"""Unit tests: Chrome trace / collapsed-stack / metrics exporters."""
+
+import json
+
+from repro.debugger.symbols import SymbolTable
+from repro.obs.bus import CAT_IRQ, CAT_MONITOR, CAT_TRAP, TraceBus
+from repro.obs.exporters import (
+    TRACK_IDS,
+    chrome_trace,
+    collapsed_stacks,
+    metrics_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import GuestProfiler
+
+
+def _bus_with_events():
+    bus = TraceBus()
+    bus.enabled = True
+    bus.begin(CAT_MONITOR, "run", cycle=10)
+    bus.instant(CAT_IRQ, "irq-raise", cycle=20, args={"line": 4})
+    bus.complete(CAT_TRAP, "trap", cycle=30, dur=11860, pc=0x4000)
+    bus.end("run", cycle=40)
+    return bus
+
+
+class TestChromeTrace:
+    def test_document_structure_validates(self):
+        document = chrome_trace(_bus_with_events())
+        assert validate_chrome_trace(document) == []
+        events = document["traceEvents"]
+        # metadata names every track
+        names = [e["args"]["name"] for e in events if e["ph"] == "M"]
+        assert "repro" in names
+        for category in TRACK_IDS:
+            assert category in names
+
+    def test_category_maps_to_stable_track(self):
+        document = chrome_trace(_bus_with_events())
+        irq = [e for e in document["traceEvents"]
+               if e.get("name") == "irq-raise"]
+        assert irq[0]["tid"] == TRACK_IDS["irq"]
+        assert irq[0]["s"] == "t"
+
+    def test_complete_event_has_duration_and_symbol(self):
+        symbols = SymbolTable()
+        symbols.add("start", 0x4000)
+        document = chrome_trace(_bus_with_events(), symbols=symbols)
+        trap = [e for e in document["traceEvents"]
+                if e.get("name") == "trap"][0]
+        assert trap["ph"] == "X" and trap["dur"] == 11860
+        assert trap["args"]["pc"] == "0x00004000"
+        assert trap["args"]["sym"] == "start"
+
+    def test_open_spans_are_virtually_closed(self):
+        bus = TraceBus()
+        bus.enabled = True
+        bus.begin(CAT_MONITOR, "run", cycle=10)
+        bus.begin(CAT_TRAP, "nested", cycle=20)
+        document = chrome_trace(bus)
+        assert validate_chrome_trace(document) == []
+        closes = [e for e in document["traceEvents"]
+                  if e["ph"] == "E"]
+        assert [e["name"] for e in closes] == ["nested", "run"]
+        assert all(e["args"]["virtual-close"] == 1 for e in closes)
+        # each close lands on its own span's track
+        assert closes[0]["tid"] == TRACK_IDS["trap"]
+        assert closes[1]["tid"] == TRACK_IDS["monitor"]
+
+    def test_profile_and_metrics_ride_along(self):
+        profiler = GuestProfiler(stride=4)
+        profiler.start(0)
+
+        class FakeCpu:
+            pc, cpl, instret = 0x4000, 0, 4
+        profiler.sample(FakeCpu())
+        registry = MetricsRegistry()
+        registry.counter("trace.irq.raised").inc(3)
+        document = chrome_trace(_bus_with_events(), profiler=profiler,
+                                registry=registry)
+        assert document["guestProfile"]["total_samples"] == 1
+        assert document["guestProfile"]["flat"][0]["pc"] == "0x00004000"
+        assert document["metrics"]["trace.irq.raised"]["value"] == 3
+
+    def test_write_is_byte_stable(self, tmp_path):
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        write_chrome_trace(path_a, _bus_with_events())
+        write_chrome_trace(path_b, _bus_with_events())
+        assert path_a.read_bytes() == path_b.read_bytes()
+        assert json.loads(path_a.read_text())["otherData"]["clock"] \
+            == "simulated-cycles"
+
+
+class TestOtherExporters:
+    def test_collapsed_stacks_text(self):
+        profiler = GuestProfiler(stride=4)
+        profiler.start(0)
+
+        class FakeCpu:
+            pc, cpl, instret = 0x204, 3, 4
+        profiler.sample(FakeCpu())
+        symbols = SymbolTable()
+        symbols.add("loop", 0x200)
+        assert collapsed_stacks(profiler, symbols) == \
+            "ring3;run;loop+0x4 1\n"
+
+    def test_metrics_json_wrapper(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.gauge("x").set(2)
+        document = metrics_json(registry)
+        assert document["format"] == "repro-metrics-v1"
+        path = write_metrics(tmp_path / "m.json", registry)
+        assert json.loads(path.read_text())["metrics"]["x"]["value"] == 2
+
+
+class TestValidator:
+    def test_rejects_non_object_document(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"noTraceEvents": 1}) != []
+
+    def test_rejects_missing_fields_and_unknown_phase(self):
+        document = {"traceEvents": [
+            {"name": "x", "ph": "i", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "y", "ph": "Z", "ts": 0, "pid": 1, "tid": 1},
+            {"ph": "i", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        problems = validate_chrome_trace(document)
+        assert any("unknown phase 'Z'" in p for p in problems)
+        assert any("missing 'name'" in p for p in problems)
+
+    def test_rejects_x_without_dur(self):
+        document = {"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1}]}
+        assert any("dur" in p
+                   for p in validate_chrome_trace(document))
+
+    def test_rejects_unbalanced_begin_end(self):
+        document = {"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1}]}
+        assert any("unclosed" in p
+                   for p in validate_chrome_trace(document))
+        document = {"traceEvents": [
+            {"name": "a", "ph": "E", "ts": 0, "pid": 1, "tid": 1}]}
+        assert any("E without matching B" in p
+                   for p in validate_chrome_trace(document))

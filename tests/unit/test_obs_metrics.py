@@ -1,0 +1,144 @@
+"""Unit tests: counters, gauges, histograms and the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.snapshot() == {"type": "counter", "value": 5}
+
+    def test_counter_rejects_negative(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+        assert gauge.snapshot() == {"type": "gauge", "value": 12}
+
+
+class TestHistogramBuckets:
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_buckets_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1, 1, 2))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2, 1))
+
+    def test_boundary_membership_is_inclusive(self):
+        hist = Histogram("h", buckets=(10, 20, 30))
+        hist.observe(10)   # exactly on a boundary -> that bucket
+        hist.observe(11)   # just above -> next bucket
+        hist.observe(20)
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"10": 1, "20": 2, "30": 0}
+        assert snap["overflow"] == 0
+
+    def test_overflow_bucket(self):
+        hist = Histogram("h", buckets=(1, 2))
+        hist.observe(3)
+        hist.observe(1000)
+        snap = hist.snapshot()
+        assert snap["overflow"] == 2
+        assert snap["count"] == 2
+
+    def test_min_max_sum_count(self):
+        hist = Histogram("h", buckets=(100,))
+        for value in (5, 50, 20):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["min"] == 5 and snap["max"] == 50
+        assert snap["sum"] == 75 and snap["count"] == 3
+
+    def test_smallest_bucket_catches_floor(self):
+        hist = Histogram("h", buckets=(1, 10))
+        hist.observe(0)
+        hist.observe(1)
+        assert hist.snapshot()["buckets"] == {"1": 2, "10": 0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("traps")
+        assert registry.counter("traps") is counter
+        assert "traps" in registry and len(registry) == 1
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_histogram_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1, 2, 3))
+        registry.histogram("h", buckets=(1, 2, 3))  # same: fine
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1, 2))
+
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc()
+        registry.gauge("a.value").set(3)
+        snap = registry.snapshot()
+        assert list(snap) == ["a.value", "b.count"]
+        assert snap["a.value"] == {"type": "gauge", "value": 3}
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()
+
+
+class TestCollectors:
+    """The legacy-shape bridge: see tests/unit/test_export.py for the
+    full shape contracts; here we check the registry side-effects."""
+
+    def test_collect_interp_publishes_gauges(self):
+        from repro.asm import assemble
+        from repro.hw import Cpu, IoBus, PhysicalMemory, firmware
+        from repro.obs.metrics import collect_interp
+
+        memory = PhysicalMemory(1 << 20)
+        cpu = Cpu(memory, IoBus())
+        firmware.install_flat_firmware(cpu)
+        assemble("MOVI R0, 1\nHLT\n", origin=0x4000).load_into(memory)
+        cpu.pc = 0x4000
+        cpu.run(10)
+
+        registry = MetricsRegistry()
+        stats = collect_interp(cpu, registry=registry)
+        assert stats["instret"] == cpu.instret
+        assert registry.get("interp.instret").value == cpu.instret
+        assert "interp.decode_cache.hits" in registry
+        assert "interp.tlb.hits" in registry
+
+    def test_publish_skips_text_and_casts_bools(self):
+        from repro.obs.metrics import _publish
+
+        registry = MetricsRegistry()
+        _publish(registry, "t", {"flag": True, "name": "hello",
+                                 "nested": {"n": 2.5}})
+        assert registry.get("t.flag").value == 1
+        assert registry.get("t.name") is None
+        assert registry.get("t.nested.n").value == 2.5

@@ -1,0 +1,138 @@
+"""Unit tests: the sampling guest-PC profiler."""
+
+import pytest
+
+from repro.debugger.symbols import SymbolTable
+from repro.obs.profiler import NEVER, GuestProfiler
+
+
+class FakeCpu:
+    def __init__(self, pc=0x4000, cpl=0, instret=0):
+        self.pc = pc
+        self.cpl = cpl
+        self.instret = instret
+
+
+class TestStrideBoundaries:
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GuestProfiler(stride=0)
+
+    def test_disabled_threshold_never_fires(self):
+        profiler = GuestProfiler(stride=16)
+        assert profiler.next_sample == NEVER
+        assert not (10**18 >= profiler.next_sample)
+
+    def test_first_boundary_is_strictly_after_start(self):
+        profiler = GuestProfiler(stride=100)
+        profiler.start(instret=0)
+        assert profiler.next_sample == 100
+        profiler.start(instret=100)   # exactly on a boundary
+        assert profiler.next_sample == 200
+        profiler.start(instret=101)
+        assert profiler.next_sample == 200
+
+    def test_sample_rearms_past_current_instret(self):
+        profiler = GuestProfiler(stride=10)
+        profiler.start(0)
+        # run loop overshoots the boundary (multi-instruction slice)
+        threshold = profiler.sample(FakeCpu(instret=27))
+        assert threshold == 30
+        assert profiler.total_samples == 1
+
+    def test_stop_disarms(self):
+        profiler = GuestProfiler(stride=10)
+        profiler.start(0)
+        profiler.stop()
+        assert profiler.next_sample == NEVER
+        assert not profiler.enabled
+
+
+class TestSampleFolding:
+    def test_samples_key_on_pc_ring_reason(self):
+        profiler = GuestProfiler(stride=1)
+        profiler.start(0)
+        profiler.sample(FakeCpu(pc=0x10, cpl=0, instret=1))
+        profiler.note_reason("trap")
+        profiler.sample(FakeCpu(pc=0x10, cpl=0, instret=2))
+        profiler.sample(FakeCpu(pc=0x10, cpl=3, instret=3))
+        flat = profiler.flat()
+        assert (0x10, 0, "run", 1) in flat
+        assert (0x10, 0, "trap", 1) in flat
+        assert (0x10, 3, "run", 1) in flat
+
+    def test_reason_resets_to_run_after_sample(self):
+        profiler = GuestProfiler(stride=1)
+        profiler.start(0)
+        profiler.note_reason("irq")
+        profiler.sample(FakeCpu(instret=1))
+        profiler.sample(FakeCpu(instret=2))
+        assert profiler.samples[(0x4000, 0, "irq")] == 1
+        assert profiler.samples[(0x4000, 0, "run")] == 1
+
+    def test_flat_sorts_hottest_first_deterministically(self):
+        profiler = GuestProfiler(stride=1)
+        profiler.start(0)
+        for _ in range(3):
+            profiler.sample(FakeCpu(pc=0x20, instret=1))
+        profiler.sample(FakeCpu(pc=0x10, instret=2))
+        profiler.sample(FakeCpu(pc=0x30, instret=3))
+        flat = profiler.flat()
+        assert flat[0][0] == 0x20 and flat[0][3] == 3
+        assert [row[0] for row in flat[1:]] == [0x10, 0x30]  # pc ties
+
+    def test_cumulative_folds_by_symbol(self):
+        symbols = SymbolTable()
+        symbols.add("start", 0x100)
+        symbols.add("loop", 0x200)
+        profiler = GuestProfiler(stride=1)
+        profiler.start(0)
+        profiler.sample(FakeCpu(pc=0x204, instret=1))
+        profiler.sample(FakeCpu(pc=0x210, instret=2))
+        profiler.sample(FakeCpu(pc=0x100, instret=3))
+        assert profiler.cumulative(symbols) == [
+            ("loop", 2), ("start", 1)]
+
+    def test_cumulative_without_symbols_uses_hex_buckets(self):
+        profiler = GuestProfiler(stride=1)
+        profiler.start(0)
+        profiler.sample(FakeCpu(pc=0x42, instret=1))
+        assert profiler.cumulative() == [("0x00000042", 1)]
+
+    def test_unsymbolized_low_pc_folds_to_hex(self):
+        symbols = SymbolTable()
+        symbols.add("high", 0x1000)
+        profiler = GuestProfiler(stride=1)
+        profiler.start(0)
+        profiler.sample(FakeCpu(pc=0x10, instret=1))
+        assert profiler.cumulative(symbols) == [("0x00000010", 1)]
+
+    def test_collapsed_stacks_lines(self):
+        symbols = SymbolTable()
+        symbols.add("loop", 0x200)
+        profiler = GuestProfiler(stride=1)
+        profiler.start(0)
+        profiler.note_reason("trap")
+        profiler.sample(FakeCpu(pc=0x204, cpl=3, instret=1))
+        assert profiler.collapsed_stacks(symbols) == \
+            ["ring3;trap;loop+0x4 1"]
+
+    def test_report_and_stats(self):
+        profiler = GuestProfiler(stride=8)
+        assert profiler.report() == "(no samples)"
+        profiler.start(0)
+        profiler.sample(FakeCpu(instret=8))
+        text = profiler.report()
+        assert "1 samples" in text and "stride 8" in text
+        assert profiler.stats() == {
+            "stride": 8, "enabled": True,
+            "total_samples": 1, "unique_sites": 1,
+        }
+
+    def test_reset_clears_samples_keeps_arming(self):
+        profiler = GuestProfiler(stride=8)
+        profiler.start(0)
+        profiler.sample(FakeCpu(instret=8))
+        profiler.reset()
+        assert profiler.total_samples == 0 and not profiler.samples
+        assert profiler.enabled
