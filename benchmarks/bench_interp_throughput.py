@@ -1,11 +1,19 @@
-"""Interpreter throughput: decoded-instruction cache on vs. off.
+"""Interpreter throughput across the three execution tiers.
 
-A tight guest loop (ALU + conditional branch, the shape of every hot
-kernel path) is run twice on a bare CPU — once with the decode cache
-enabled, once with the ablation flag clearing it — and the
-instructions/second ratio is the deliverable.  The run also emits a
-``BENCH_interp.json`` artifact so future PRs have a perf trajectory to
-compare against.
+Two guest workloads — the tight ALU+branch loop from PR 1 and a
+streaming loop (loads + stores walking a buffer, the shape of a memcpy
+or checksum kernel) — are each run on a bare CPU at every tier:
+
+* ``interp``      — full fetch/decode every step (both caches off),
+* ``decode``      — the decoded-instruction cache (PR 1 fast path),
+* ``superblock``  — hot traces compiled to Python callables (PR 6).
+
+The instructions/second table is the deliverable, with two enforced
+budgets: the decode cache must stay >= 2x over the raw interpreter on
+the tight loop (the PR 1 bar), and superblock translation must be
+>= 2x over the decode cache on the streaming workload (the PR 6 bar).
+The run emits ``BENCH_interp.json`` so future PRs have a perf
+trajectory to compare against.
 """
 
 import json
@@ -31,36 +39,79 @@ loop:
     JNZ  loop
     HLT
 """
+TIGHT_INSNS = LOOP_ITERATIONS * 4 + 2
+
+# Streaming workload: read-modify-write marching through a 16 KiB
+# buffer at 0x8000 (wrapped with ANDI), accumulating a checksum — the
+# ISSUE 6 acceptance workload.  9 instructions per iteration, 4 of
+# them memory operations.
+STREAM_ITERATIONS = 40_000
+STREAMING_LOOP = f"""
+    MOVI R0, {STREAM_ITERATIONS}
+    MOVI R2, 0x8000
+loop:
+    LD   R1, [R2+0]
+    ADDI R1, 0x9E3779B9
+    ST   [R2+0], R1
+    ADD  R3, R1
+    ADDI R2, 4
+    ANDI R2, 0xBFFC
+    ORI  R2, 0x8000
+    SUBI R0, 1
+    JNZ  loop
+    HLT
+"""
+STREAM_INSNS = STREAM_ITERATIONS * 9 + 3
+
+TIERS = ("interp", "decode", "superblock")
+WORKLOADS = {
+    "tight": (TIGHT_LOOP, TIGHT_INSNS),
+    "streaming": (STREAMING_LOOP, STREAM_INSNS),
+}
 
 
-def run_tight_loop(decode_cache):
+def run_workload(source, budget, tier):
     memory = PhysicalMemory(1 << 20)
-    cpu = Cpu(memory, IoBus(), decode_cache=decode_cache)
+    cpu = Cpu(memory, IoBus(),
+              decode_cache=tier != "interp",
+              translate=tier == "superblock")
     firmware.install_flat_firmware(cpu)
-    program = assemble(TIGHT_LOOP, origin=0x4000)
+    program = assemble(source, origin=0x4000)
     program.load_into(memory)
     cpu.pc = 0x4000
     start = time.perf_counter()
-    executed = cpu.run(LOOP_ITERATIONS * 4 + 16)
+    executed = cpu.run(budget + 16)
     elapsed = time.perf_counter() - start
     assert cpu.halted, "benchmark guest must run to completion"
+    assert executed == budget, (tier, executed, budget)
     return cpu, executed, elapsed
 
 
 @pytest.fixture(scope="module")
 def throughput():
     results = {}
-    for enabled in (True, False):
-        cpu, executed, elapsed = run_tight_loop(enabled)
-        results["cache_on" if enabled else "cache_off"] = {
-            "instructions": executed,
-            "seconds": round(elapsed, 6),
-            "insns_per_sec": round(executed / elapsed, 1),
-            "interp": interp_stats(cpu),
+    for name, (source, budget) in WORKLOADS.items():
+        rows = {}
+        for tier in TIERS:
+            cpu, executed, elapsed = run_workload(source, budget, tier)
+            rows[tier] = {
+                "instructions": executed,
+                "seconds": round(elapsed, 6),
+                "insns_per_sec": round(executed / elapsed, 1),
+                "interp": interp_stats(cpu),
+            }
+        rows["speedups"] = {
+            "decode_over_interp": round(
+                rows["decode"]["insns_per_sec"]
+                / rows["interp"]["insns_per_sec"], 3),
+            "superblock_over_decode": round(
+                rows["superblock"]["insns_per_sec"]
+                / rows["decode"]["insns_per_sec"], 3),
+            "superblock_over_interp": round(
+                rows["superblock"]["insns_per_sec"]
+                / rows["interp"]["insns_per_sec"], 3),
         }
-    results["speedup"] = round(
-        results["cache_on"]["insns_per_sec"]
-        / results["cache_off"]["insns_per_sec"], 3)
+        results[name] = rows
     ARTIFACT.write_text(json.dumps(
         {"experiment": "interp-throughput", "results": results}, indent=2))
     return results
@@ -69,15 +120,22 @@ def throughput():
 class TestInterpThroughput:
     def test_throughput_table(self, throughput, benchmark, capsys):
         def render():
-            lines = ["Interpreter throughput (tight ALU+branch loop)"]
-            for key in ("cache_on", "cache_off"):
-                row = throughput[key]
-                decode = row["interp"]["decode_cache"]
+            lines = ["Interpreter throughput by tier"]
+            for name in WORKLOADS:
+                rows = throughput[name]
+                lines.append(f"[{name}]")
+                for tier in TIERS:
+                    row = rows[tier]
+                    lines.append(
+                        f"  {tier:10s} {row['insns_per_sec']:>12,.0f} "
+                        f"insns/s ({row['instructions']} insns)")
+                speedups = rows["speedups"]
                 lines.append(
-                    f"{key:10s} {row['insns_per_sec']:>12,.0f} insns/s "
-                    f"({row['instructions']} insns, "
-                    f"hit-rate {decode['hit_rate']:.4f})")
-            lines.append(f"speedup    {throughput['speedup']:.2f}x")
+                    f"  decode/interp {speedups['decode_over_interp']:.2f}x"
+                    f"  superblock/decode "
+                    f"{speedups['superblock_over_decode']:.2f}x"
+                    f"  superblock/interp "
+                    f"{speedups['superblock_over_interp']:.2f}x")
             return "\n".join(lines)
 
         text = benchmark.pedantic(render, rounds=1, iterations=1)
@@ -86,18 +144,48 @@ class TestInterpThroughput:
             print(text)
 
     def test_cache_doubles_throughput(self, throughput, benchmark):
-        """The acceptance bar: >= 2x instructions/sec with the cache."""
+        """The PR 1 bar: >= 2x instructions/sec with the decode cache."""
         def check():
-            assert throughput["speedup"] >= 2.0, throughput["speedup"]
+            speedup = throughput["tight"]["speedups"]["decode_over_interp"]
+            assert speedup >= 2.0, speedup
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_superblocks_double_streaming_throughput(self, throughput,
+                                                     benchmark):
+        """The PR 6 bar: >= 2x over the decode-cache fast path on the
+        streaming (load/store-heavy) workload."""
+        def check():
+            speedup = throughput["streaming"]["speedups"][
+                "superblock_over_decode"]
+            assert speedup >= 2.0, speedup
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_superblocks_beat_decode_cache_everywhere(self, throughput,
+                                                      benchmark):
+        """CI smoke: translation must win on every workload, not just
+        the headline one."""
+        def check():
+            for name in WORKLOADS:
+                speedup = throughput[name]["speedups"][
+                    "superblock_over_decode"]
+                assert speedup > 1.0, (name, speedup)
             return True
 
         assert benchmark.pedantic(check, rounds=1, iterations=1)
 
     def test_hot_loop_hit_rate_near_unity(self, throughput, benchmark):
         def check():
-            decode = throughput["cache_on"]["interp"]["decode_cache"]
+            decode = throughput["tight"]["decode"]["interp"]["decode_cache"]
             assert decode["hit_rate"] > 0.999
             assert decode["entries"] <= 8
+            blocks = throughput["tight"]["superblock"]["interp"][
+                "block_cache"]
+            assert blocks["hit_rate"] > 0.99
+            assert blocks["guard_failures"] == 0
             return True
 
         assert benchmark.pedantic(check, rounds=1, iterations=1)
@@ -106,7 +194,8 @@ class TestInterpThroughput:
         def check():
             document = json.loads(ARTIFACT.read_text())
             assert document["experiment"] == "interp-throughput"
-            assert document["results"]["speedup"] == throughput["speedup"]
+            assert document["results"]["streaming"]["speedups"] \
+                == throughput["streaming"]["speedups"]
             return True
 
         assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -163,13 +163,33 @@ class Cpu:
     #: than evicted entry-by-entry when it grows past this bound.
     DECODE_CACHE_CAPACITY = 1 << 16
 
+    #: Default for the ``translate`` constructor argument — whether hot
+    #: traces are compiled into superblocks (requires the decode cache).
+    #: Class-level so determinism regressions can ablate it globally.
+    TRANSLATE_DEFAULT = True
+
     def __init__(self, memory, bus, budget: Optional[CycleBudget] = None,
-                 decode_cache: bool = True) -> None:
+                 decode_cache: bool = True,
+                 translate: Optional[bool] = None) -> None:
         self.memory = memory
         self.bus = bus
         self.budget = budget or CycleBudget()
         self.mmu = Mmu(memory)
         self.gdt = GdtView(memory)
+
+        # -- superblock translation state (created last, but the fields
+        #    must exist before anything can call invalidate_decode_cache).
+        self._sb_engine = None
+        self._sb_blocks: Dict[int, tuple] = {}
+        #: Run-loop pacing: a block may only execute while it provably
+        #: stays at or below both limits (instret cap / profiler stride,
+        #: and the next device-event due time).  Both are 0 outside a
+        #: run loop, so bare ``step()`` never enters a block.
+        self.block_instret_limit = 0
+        self.block_cycle_limit = 0
+        #: Instructions retired by the last dispatch beyond the usual
+        #: one; run loops add it to ``executed`` and reset it.
+        self.block_extra_steps = 0
 
         self.regs: List[int] = [0] * NUM_GPRS
         self.pc = 0
@@ -235,6 +255,15 @@ class Cpu:
         #: pass high-throughput devices straight through to the guest).
         #: None means "no bitmap" — IN/OUT strictly gated by IOPL.
         self.io_allowed_ports: Optional[Set[int]] = None
+
+        if translate is None:
+            translate = self.TRANSLATE_DEFAULT
+        if translate and decode_cache:
+            # Imported here: repro.interp.translate imports CpuFault
+            # from this module at its top level.
+            from repro.interp.translate import SuperblockEngine
+            self._sb_engine = SuperblockEngine(self)
+            self._sb_blocks = self._sb_engine.blocks
 
     # ------------------------------------------------------------------
     # Convenience state accessors
@@ -559,10 +588,15 @@ class Cpu:
     # -- decoded-instruction cache ------------------------------------
 
     def invalidate_decode_cache(self) -> None:
-        """Drop every cached decode (breakpoint/PG-toggle safety)."""
+        """Drop every cached decode (breakpoint/PG-toggle safety).
+
+        Compiled superblocks ride the exact same triggers: whatever
+        invalidates a decoded instruction invalidates every block."""
         if self._decode_cache:
             self._decode_cache.clear()
             self.decode_cache_invalidations += 1
+        if self._sb_engine is not None:
+            self._sb_engine.invalidate()
 
     def _fill_decode_cache(self, linear_pc: int, descriptor, spec,
                            handler, operands) -> None:
@@ -601,6 +635,21 @@ class Cpu:
             "invalidations": self.decode_cache_invalidations,
             "hit_rate": (self.decode_cache_hits / total) if total else 0.0,
         }
+
+    def block_cache_stats(self) -> dict:
+        """Superblock counter snapshot (zeros when translation is off)."""
+        if self._sb_engine is None:
+            return {
+                "enabled": False,
+                "entries": 0,
+                "blocks_compiled": 0,
+                "hits": 0,
+                "guard_failures": 0,
+                "invalidations": 0,
+                "insns_translated": 0,
+                "hit_rate": 0.0,
+            }
+        return self._sb_engine.stats()
 
     def step(self) -> None:
         """Execute one instruction (or accept one interrupt)."""
@@ -645,8 +694,38 @@ class Cpu:
                 if tlb_gen != self._decode_tlb_gen:
                     self._decode_tlb_gen = tlb_gen
                     self.invalidate_decode_cache()
-                entry = self._decode_cache.get(
-                    (descriptor.base + saved_pc) & 0xFFFFFFFF)
+                linear_pc = (descriptor.base + saved_pc) & 0xFFFFFFFF
+                blocks = self._sb_blocks
+                if blocks and not take_tf and not self.watchpoints:
+                    # Superblock dispatch.  Static guards mirror the
+                    # decode cache (descriptor, paging state, code-page
+                    # generation); a static miss evicts the stale block
+                    # so the hot counter can rebuild it.  The limit
+                    # check is pacing, not staleness: the block runs
+                    # only while it provably cannot overshoot the run
+                    # cap, the next profiler stride or the next device
+                    # event, so per-instruction observables stay
+                    # byte-identical to the interpreter.
+                    block = blocks.get(linear_pc)
+                    if block is not None:
+                        if (block[3] is descriptor
+                                or block[3] == descriptor) \
+                                and block[4] == self.paging_enabled \
+                                and self.memory.page_gens[block[5]] \
+                                == block[6]:
+                            if self.instret + block[1] \
+                                    <= self.block_instret_limit \
+                                    and self.cycle_count + block[2] \
+                                    <= self.block_cycle_limit:
+                                engine = self._sb_engine
+                                engine.hits += 1
+                                block[0](self)
+                                engine.insns_translated += \
+                                    self.block_extra_steps + 1
+                                return
+                        else:
+                            self._sb_engine.evict(linear_pc)
+                entry = self._decode_cache.get(linear_pc)
             if entry is not None \
                     and (entry[5] is descriptor or entry[5] == descriptor) \
                     and entry[8] == self.paging_enabled:
@@ -696,6 +775,10 @@ class Cpu:
             self.instret += 1
             self.budget.charge(cycles, CAT_GUEST)
             self.cycle_count += cycles
+            if self.pc < saved_pc and self._sb_engine is not None:
+                # Taken backward transfer: the classic hot-loop signal.
+                self._sb_engine.note_backward(
+                    self.pc, self.segments[SEG_CS].descriptor)
         except CpuFault as fault:
             self._handle_fault(fault, saved_pc)
             return
@@ -709,38 +792,63 @@ class Cpu:
     def run(self, max_instructions: int = 1_000_000) -> int:
         """Step until HLT-with-no-wakeup or the instruction cap."""
         executed = 0
-        if self.irq_source is None:
-            # Fast inner loop: with no interrupt source attached the
-            # per-step interrupt poll can never accept anything, so it
-            # is hoisted out (``_step_insn`` still clears the STI
-            # shadow); the halted checks collapse to one branch.
-            step_insn = self._step_insn
-            while executed < max_instructions:
-                if self.halted:
-                    if self.exception_hook is None:
-                        break
+        translate = self._sb_engine is not None
+        if translate:
+            # Bare runs have no event queue, so blocks are paced by the
+            # instruction cap alone.
+            self.block_cycle_limit = float("inf")
+        try:
+            if self.irq_source is None:
+                # Fast inner loop: with no interrupt source attached the
+                # per-step interrupt poll can never accept anything, so
+                # it is hoisted out (``_step_insn`` still clears the STI
+                # shadow); the halted checks collapse to one branch.
+                step_insn = self._step_insn
+                while executed < max_instructions:
+                    if self.halted:
+                        if self.exception_hook is None:
+                            break
+                        before = self.instret
+                        self.step()  # halted bookkeeping (tick / death)
+                        if self.instret == before and self.halted:
+                            break
+                        executed += 1
+                        continue
+                    if translate:
+                        self.block_instret_limit = self.instret \
+                            + (max_instructions - executed)
                     before = self.instret
-                    self.step()  # halted bookkeeping (cycle tick / death)
-                    if self.instret == before and self.halted:
+                    step_insn()
+                    extra = self.block_extra_steps
+                    self.block_extra_steps = 0
+                    # "Last micro-step made no progress and halted" —
+                    # for a block, instructions retired before an
+                    # in-block fault (== extra) don't count as progress
+                    # of the faulting step itself.
+                    if self.halted and self.instret - before == extra:
+                        executed += extra
                         break
-                    executed += 1
-                    continue
-                before = self.instret
-                step_insn()
-                if self.instret == before and self.halted:
+                    executed += 1 + extra
+                return executed
+            while executed < max_instructions:
+                if self.halted and self.irq_source is None \
+                        and self.exception_hook is None:
                     break
-                executed += 1
+                if translate:
+                    self.block_instret_limit = self.instret \
+                        + (max_instructions - executed)
+                before = self.instret
+                self.step()
+                extra = self.block_extra_steps
+                self.block_extra_steps = 0
+                if self.halted and self.instret - before == extra:
+                    executed += extra
+                    break
+                executed += 1 + extra
             return executed
-        while executed < max_instructions:
-            if self.halted and self.irq_source is None \
-                    and self.exception_hook is None:
-                break
-            before = self.instret
-            self.step()
-            if self.instret == before and self.halted:
-                break
-            executed += 1
-        return executed
+        finally:
+            self.block_instret_limit = 0
+            self.block_cycle_limit = 0
 
     def _maybe_take_interrupt(self) -> bool:
         if self._interrupt_shadow:

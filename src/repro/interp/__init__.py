@@ -1,0 +1,11 @@
+"""Superblock translation for the HX32 interpreter.
+
+:mod:`repro.interp.translate` holds the tracing translator that stitches
+hot linear instruction sequences into single compiled Python callables —
+the raw-speed tier above the decoded-instruction cache.  See
+``docs/INTERNALS.md`` §12 for the design.
+"""
+
+from repro.interp.translate import SuperblockEngine
+
+__all__ = ["SuperblockEngine"]

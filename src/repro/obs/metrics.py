@@ -233,6 +233,7 @@ def collect_interp(cpu, registry: Optional[MetricsRegistry] = None
     stats = {
         "instret": cpu.instret,
         "decode_cache": cpu.decode_cache_stats(),
+        "block_cache": cpu.block_cache_stats(),
         "tlb": cpu.mmu.tlb.stats(),
     }
     _publish(registry if registry is not None else _GLOBAL, "interp", stats)

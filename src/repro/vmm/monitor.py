@@ -911,6 +911,7 @@ class LightweightVmm:
                               sorted(stats.traps_by_mnemonic.items()))
             cpu = self.machine.cpu
             decode = cpu.decode_cache_stats()
+            blocks = cpu.block_cache_stats()
             tlb = cpu.mmu.tlb.stats()
             return (f"traps emulated: {stats.traps_emulated} "
                     f"({traps or 'none'})\n"
@@ -924,6 +925,10 @@ class LightweightVmm:
                     f"misses={decode['misses']} "
                     f"hit-rate={decode['hit_rate']:.3f} "
                     f"invalidations={decode['invalidations']}\n"
+                    f"block cache: blocks={blocks['entries']} "
+                    f"hits={blocks['hits']} "
+                    f"guard-fails={blocks['guard_failures']} "
+                    f"hit-rate={blocks['hit_rate']:.3f}\n"
                     f"tlb: hits={tlb['hits']} misses={tlb['misses']} "
                     f"hit-rate={tlb['hit_rate']:.3f}\n"
                     f"guest dead: {self.guest_dead} "
@@ -982,12 +987,47 @@ class LightweightVmm:
                 return (f"level: {self.degradation_level}\n"
                         "(no watchdog attached)")
             return self.watchdog.report()
+        if command == "jit":
+            return self._jit_command(parts[1:])
         if command == "help":
             return ("monitor commands: stats console trace [n] shadow "
-                    "hang watchdog record [checkpoint] replay help\n"
+                    "hang watchdog record [checkpoint] replay jit help\n"
                     "structured trace: trace start [stride] | stop | "
-                    "dump [n] | status")
+                    "dump [n] | status\n"
+                    "superblocks: jit [on|off|flush]")
         return f"unknown monitor command {command!r} (try 'help')"
+
+    def _jit_command(self, parts) -> str:
+        """``monitor jit [on|off|flush]``: superblock translator control
+        and status (see docs/PROTOCOL.md and docs/INTERNALS.md §12)."""
+        cpu = self.machine.cpu
+        engine = cpu._sb_engine
+        if engine is None:
+            return ("superblock translation unavailable "
+                    "(CPU built with translate=False)")
+        if parts:
+            action = parts[0]
+            if action == "on":
+                engine.enabled = True
+                return "superblock translation enabled"
+            if action == "off":
+                engine.enabled = False
+                engine.invalidate()
+                return "superblock translation disabled (blocks flushed)"
+            if action == "flush":
+                engine.invalidate()
+                return "superblock cache flushed"
+            return f"unknown jit subcommand {action!r} (try 'help')"
+        stats = engine.stats()
+        return (f"superblock translation: "
+                f"{'on' if stats['enabled'] else 'off'}\n"
+                f"blocks: {stats['entries']} live, "
+                f"{stats['blocks_compiled']} compiled, "
+                f"{stats['invalidations']} invalidations\n"
+                f"dispatch: {stats['hits']} block entries, "
+                f"{stats['guard_failures']} guard failures\n"
+                f"translated: {stats['insns_translated']} instructions "
+                f"(hit-rate {stats['hit_rate']:.3f})")
 
     def _trace_command(self, parts) -> str:
         """``monitor trace start|stop|dump|status``: live structured
@@ -1104,32 +1144,59 @@ class LightweightVmm:
         profiler = self.profiler
         next_sample = profiler.next_sample if profiler is not None \
             else float("inf")
+        # Superblock pacing: before each step, cap the translated-block
+        # budget at whichever boundary comes first — the run cap, the
+        # next profiler stride, or the next device-event due time — so
+        # every per-instruction observable (samples, timer IRQs, replay
+        # frames) lands on exactly the same instruction as under the
+        # pure interpreter.  ``until`` predicates inspect state between
+        # single instructions, so translation is disabled for them.
+        engine = cpu._sb_engine
+        translate = engine is not None and until is None
+        inf = float("inf")
         if self.record_taps:
             self.record_taps("run-begin", {"max": max_instructions,
                                            "pre_stopped": self.stopped})
-        while executed < max_instructions:
-            if self.stopped or self.guest_dead:
-                break
-            if until is not None and until():
-                break
-            if self._pending_sti_window:
-                self._pending_sti_window = False
-                self._reflect_pending_interrupt()
-            self.machine.sync_events()
-            if cpu.halted and not self.machine.pic.has_pending():
-                next_time = self.machine.queue.peek_time()
-                if next_time is None:
+        try:
+            while executed < max_instructions:
+                if self.stopped or self.guest_dead:
                     break
-                cpu.cycle_count = next_time
-                continue
-            try:
-                cpu.step()
-            except TripleFault as fault:
-                self._guest_died(str(fault))
-                break
-            executed += 1
-            if cpu.instret >= next_sample:
-                next_sample = profiler.sample(cpu)
+                if until is not None and until():
+                    break
+                if self._pending_sti_window:
+                    self._pending_sti_window = False
+                    self._reflect_pending_interrupt()
+                self.machine.sync_events()
+                if cpu.halted and not self.machine.pic.has_pending():
+                    next_time = self.machine.queue.peek_time()
+                    if next_time is None:
+                        break
+                    cpu.cycle_count = next_time
+                    continue
+                if translate:
+                    limit = cpu.instret + (max_instructions - executed)
+                    if next_sample < limit:
+                        limit = next_sample
+                    cpu.block_instret_limit = limit
+                    next_time = self.machine.queue.peek_time()
+                    cpu.block_cycle_limit = \
+                        inf if next_time is None else next_time
+                try:
+                    cpu.step()
+                except TripleFault as fault:
+                    executed += cpu.block_extra_steps
+                    cpu.block_extra_steps = 0
+                    self._guest_died(str(fault))
+                    break
+                executed += 1 + cpu.block_extra_steps
+                cpu.block_extra_steps = 0
+                if cpu.instret >= next_sample:
+                    next_sample = profiler.sample(cpu)
+                    if engine is not None:
+                        engine.note_sample(cpu)
+        finally:
+            cpu.block_instret_limit = 0
+            cpu.block_cycle_limit = 0
         if self.record_taps:
             self.record_taps("run-end", {"max": max_instructions,
                                          "executed": executed})

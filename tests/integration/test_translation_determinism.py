@@ -1,0 +1,180 @@
+"""Superblock translation must be invisible to every determinism
+surface the repo has: replay journals, the golden streaming trace,
+profiler sample placement, and the monitor's executed/cycle ledgers.
+
+The ablation handle is ``Cpu.TRANSLATE_DEFAULT`` — every machine built
+while it is False runs pure decode-cache interpretation, so each test
+here records the same workload under both settings and demands
+byte-identical artifacts."""
+
+import os
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.session import DebugSession
+from repro.faults.campaign import run_scenario
+from repro.hw import firmware
+from repro.hw.cpu import Cpu
+from repro.obs.cli import main as trace_main
+from repro.obs.profiler import GuestProfiler
+
+SEED = 1234
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+GOLDEN_JOURNAL = os.path.join(GOLDEN_DIR,
+                              "replay_wild-writes_seed1234.journal")
+GOLDEN_TRACE = os.path.join(GOLDEN_DIR, "trace_streaming_seed1234.json")
+
+GUEST_LOOP = """
+loop:
+    NOP
+    ADDI R1, 1
+    ADDI R2, 3
+    XORI R3, 0x5A
+    JMP  loop
+"""
+
+
+@pytest.fixture
+def translation_off(monkeypatch):
+    monkeypatch.setattr(Cpu, "TRANSLATE_DEFAULT", False)
+
+
+def _wild_writes_journal(tmp_path, tag) -> bytes:
+    journal_dir = tmp_path / tag
+    journal_dir.mkdir()
+    result = run_scenario("wild-writes", SEED, strict_guest=True,
+                          journal_dir=str(journal_dir))
+    assert not result["ok"] and "journal" in result
+    with open(result["journal"], "rb") as handle:
+        return handle.read()
+
+
+class TestReplayJournals:
+    def test_wild_writes_journal_is_translation_invariant(
+            self, tmp_path, monkeypatch):
+        with_translation = _wild_writes_journal(tmp_path, "on")
+        monkeypatch.setattr(Cpu, "TRANSLATE_DEFAULT", False)
+        without = _wild_writes_journal(tmp_path, "off")
+        assert with_translation == without
+
+    def test_wild_writes_journal_matches_golden(self, tmp_path):
+        """Translation is ON by default: the pre-translation golden
+        journal must still be reproduced bit-for-bit."""
+        recorded = _wild_writes_journal(tmp_path, "golden-check")
+        with open(GOLDEN_JOURNAL, "rb") as handle:
+            golden = handle.read()
+        assert recorded == golden, \
+            "superblock translation perturbed the replay journal"
+
+
+class TestGoldenTrace:
+    def test_streaming_trace_is_translation_invariant(
+            self, tmp_path, monkeypatch):
+        on = tmp_path / "on.json"
+        assert trace_main(["record", "--scenario", "streaming",
+                           "--seed", str(SEED), "--out", str(on)]) == 0
+        monkeypatch.setattr(Cpu, "TRANSLATE_DEFAULT", False)
+        off = tmp_path / "off.json"
+        assert trace_main(["record", "--scenario", "streaming",
+                           "--seed", str(SEED), "--out", str(off)]) == 0
+        assert on.read_bytes() == off.read_bytes()
+        with open(GOLDEN_TRACE, "rb") as handle:
+            assert on.read_bytes() == handle.read()
+
+
+def _profiled_run(instructions=5_000, stride=64):
+    sess = DebugSession(monitor="lvmm")
+    program = assemble(
+        f".org {firmware.GUEST_KERNEL_BASE}\n{GUEST_LOOP}\n")
+    sess.load_and_boot(program)
+    profiler = sess.monitor.attach_profiler(GuestProfiler(stride=stride))
+    executed = sess.run_guest(instructions)
+    sess.monitor.detach_profiler()
+    cpu = sess.machine.cpu
+    return {
+        "executed": executed,
+        "instret": cpu.instret,
+        "cycles": cpu.cycle_count,
+        "regs": cpu.regs[:],
+        "samples": list(profiler.samples),
+        "total_samples": profiler.total_samples,
+    }
+
+
+class TestMonitorRun:
+    def test_profiler_samples_and_ledgers_are_invariant(
+            self, monkeypatch):
+        with_translation = _profiled_run()
+        monkeypatch.setattr(Cpu, "TRANSLATE_DEFAULT", False)
+        without = _profiled_run()
+        assert with_translation == without
+        assert with_translation["total_samples"] == 5_000 // 64
+
+    def test_translation_actually_engaged(self):
+        """Guard against this whole file passing vacuously."""
+        sess = DebugSession(monitor="lvmm")
+        program = assemble(
+            f".org {firmware.GUEST_KERNEL_BASE}\n{GUEST_LOOP}\n")
+        sess.load_and_boot(program)
+        sess.run_guest(5_000)
+        stats = sess.machine.cpu.block_cache_stats()
+        assert stats["enabled"]
+        assert stats["blocks_compiled"] >= 1
+        assert stats["insns_translated"] > 0
+
+
+class TestMonitorJitCommand:
+    def _session(self):
+        sess = DebugSession(monitor="lvmm")
+        program = assemble(
+            f".org {firmware.GUEST_KERNEL_BASE}\n{GUEST_LOOP}\n")
+        sess.load_and_boot(program)
+        return sess
+
+    def test_status_stats_and_toggle(self):
+        sess = self._session()
+        monitor = sess.monitor
+        sess.run_guest(5_000)
+        status = monitor.monitor_command("jit")
+        assert "superblock translation: on" in status
+        assert "compiled" in status
+        stats = monitor.monitor_command("stats")
+        assert "block cache:" in stats
+
+        reply = monitor.monitor_command("jit off")
+        assert "disabled" in reply
+        assert sess.machine.cpu.block_cache_stats()["entries"] == 0
+        sess.run_guest(5_000)
+        status = monitor.monitor_command("jit")
+        assert "superblock translation: off" in status
+
+        assert "enabled" in monitor.monitor_command("jit on")
+        sess.run_guest(5_000)
+        assert sess.machine.cpu.block_cache_stats()["entries"] >= 1
+        assert "flushed" in monitor.monitor_command("jit flush")
+        assert sess.machine.cpu.block_cache_stats()["entries"] == 0
+
+    def test_jit_off_matches_jit_on_architecturally(self):
+        ledgers = []
+        for disable in (False, True):
+            sess = self._session()
+            if disable:
+                sess.monitor.monitor_command("jit off")
+            sess.run_guest(20_000)
+            cpu = sess.machine.cpu
+            ledgers.append((cpu.instret, cpu.cycle_count, cpu.regs[:],
+                            cpu.pc, cpu.flags))
+        assert ledgers[0] == ledgers[1]
+
+    def test_unknown_subcommand_and_help(self):
+        sess = self._session()
+        assert "unknown jit subcommand" in \
+            sess.monitor.monitor_command("jit bogus")
+        assert "jit" in sess.monitor.monitor_command("help")
+
+    def test_qrcmd_roundtrip_over_rsp(self):
+        sess = self._session()
+        sess.attach()
+        reply = sess.client.monitor_command("jit")
+        assert "superblock translation" in reply
