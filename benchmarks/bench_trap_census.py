@@ -10,7 +10,7 @@ path.
 
 import pytest
 
-from repro.perf.export import interp_stats
+from repro.obs.metrics import collect_interp
 from repro.guest.asmio import NIC_MMIO_HOLE, build_io_demo, read_flags
 from repro.guest.asmkernel import KernelConfig, build_kernel, read_state
 from repro.guest.asmthreads import build_threaded_kernel
@@ -126,7 +126,7 @@ class TestTrapCensus:
         def render():
             lines = ["Interpreter fast path per guest"]
             for name, (machine, _) in census.items():
-                stats = interp_stats(machine.cpu)
+                stats = collect_interp(machine.cpu)
                 decode = stats["decode_cache"]
                 tlb = stats["tlb"]
                 lines.append(

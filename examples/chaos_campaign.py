@@ -23,7 +23,7 @@ from repro.guest.os import HiTactix
 from repro.hw import firmware
 from repro.hw.machine import Machine, MachineConfig
 from repro.perf.costmodel import DEFAULT_COST_MODEL
-from repro.perf.export import fault_stats
+from repro.obs.metrics import collect_fault
 from repro.perf.stacks import InterruptDispatcher, make_stack
 from repro.sim.events import cycles_for_seconds
 from repro.vmm.watchdog import DEGRADE_FULL, MonitorWatchdog
@@ -80,7 +80,7 @@ def act_two_disk_errors() -> None:
         machine.queue.step()
         dispatcher.dispatch_pending()
 
-    stats = fault_stats(plan, devices={"hba": machine.hba})
+    stats = collect_fault(plan, devices={"hba": machine.hba})
     print(f"   faults injected: {stats['plan']['injected']}")
     print(f"   driver: {guest.read_errors} errors seen, "
           f"{guest.read_retries} retries, "

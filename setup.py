@@ -15,6 +15,7 @@ setup(
             "repro-asm=repro.asm.cli:main",
             "repro-gdbserver=repro.debugger.gdbserver:main",
             "repro-chaos=repro.faults.campaign:main",
+            "repro-tv=repro.analysis.tv.cli:main",
         ]
     },
 )

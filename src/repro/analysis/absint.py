@@ -30,8 +30,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
 
+if TYPE_CHECKING:
+    from repro.analysis.interproc import FunctionSummary
+
+from repro.analysis import sema
 from repro.analysis.cfg import (
     EDGE_CALL,
     EDGE_DYN,
@@ -44,35 +48,14 @@ from repro.asm.disasm import DecodedInsn
 from repro.hw import isa
 from repro.hw.isa import REG_SP
 
-#: Store widths by mnemonic.
-_STORE_WIDTH = {"ST": 4, "ST16": 2, "ST8": 1}
-_LOAD_WIDTH = {"LD": 4, "LD16": 2, "LD8": 1}
-_WIDTH_MASK = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
-
-_ALU_RR = {
-    "ADD": lambda a, b: a + b,
-    "SUB": lambda a, b: a - b,
-    "AND": lambda a, b: a & b,
-    "OR": lambda a, b: a | b,
-    "XOR": lambda a, b: a ^ b,
-    "SHL": lambda a, b: a << (b & 31),
-    "SHR": lambda a, b: a >> (b & 31),
-    "MUL": lambda a, b: a * b,
-}
-_ALU_RI = {
-    "ADDI": lambda a, b: a + b,
-    "SUBI": lambda a, b: a - b,
-    "ANDI": lambda a, b: a & b,
-    "ORI": lambda a, b: a | b,
-    "XORI": lambda a, b: a ^ b,
-    "SHLI": lambda a, b: a << (b & 31),
-    "SHRI": lambda a, b: a >> (b & 31),
-    "MULI": lambda a, b: a * b,
-}
-
-#: Instructions that leave every register except SP unknown afterwards
-#: (control leaves the image or enters a handler we analyze separately).
-_HAVOC_MNEMONICS = frozenset({"INT", "VMCALL"})
+# HX32 semantics tables live in repro.analysis.sema (shared with the
+# CFG, the checkers and the translation validator).
+_STORE_WIDTH = sema.STORE_WIDTH
+_LOAD_WIDTH = sema.LOAD_WIDTH
+_WIDTH_MASK = sema.WIDTH_MASK
+_ALU_RR = sema.ALU_RR
+_ALU_RI = sema.ALU_RI
+_HAVOC_MNEMONICS = sema.HAVOC_MNEMONICS
 
 
 @dataclass
@@ -109,9 +92,11 @@ class Interpreter:
 
     def __init__(self, cfg: Cfg, entry_rings: Dict[int, int],
                  store_log: Optional[Dict[Tuple[int, int], ValueSet]] = None,
+                 summaries: Optional[Dict[int, "FunctionSummary"]] = None,
                  ) -> None:
         self.cfg = cfg
         self.entry_rings = entry_rings
+        self.summaries = summaries or {}
         self.result = AbsResult()
         if store_log:
             self.result.store_log = dict(store_log)
@@ -174,6 +159,27 @@ class Interpreter:
         top = ValueSet.top()
         state.regs = tuple(
             state.regs[i] if i == REG_SP else top
+            for i in range(len(state.regs)))
+
+    def _havoc_call_return(self, state: AbsState,
+                           callees: List[int]) -> None:
+        """Clobber the caller's state across a call, as precisely as
+        the interprocedural summaries allow.
+
+        With a summary for every callee (and none of them re-pointing
+        SP), only the transitively-clobbered registers go to TOP —
+        context-insensitive value-set propagation across the call.
+        Otherwise fall back to the classic havoc-everything-but-SP.
+        """
+        summaries = [self.summaries.get(c) for c in callees]
+        if not summaries or any(s is None or s.resets_sp
+                                or s.clobbers_all for s in summaries):
+            self._havoc_regs(state)
+            return
+        clobbered = frozenset().union(*(s.clobbered for s in summaries))
+        top = ValueSet.top()
+        state.regs = tuple(
+            top if i in clobbered and i != REG_SP else state.regs[i]
             for i in range(len(state.regs)))
 
     # -- per-instruction transfer ----------------------------------------
@@ -352,7 +358,8 @@ class Interpreter:
                 out.append((target, callee))
             elif kind == EDGE_FALL and name in ("CALL", "CALLR"):
                 fall = state.copy()
-                self._havoc_regs(fall)
+                callees = [t for t, k in block.succs if k == EDGE_CALL]
+                self._havoc_call_return(fall, callees)
                 out.append((target, fall))
             elif kind == EDGE_DYN and name == "IRET":
                 if iret is not None and target in iret.targets:
@@ -399,18 +406,25 @@ class Interpreter:
 
 
 def interpret(cfg: Cfg, entry_rings: Dict[int, int],
-              max_rounds: int = 6) -> AbsResult:
+              max_rounds: int = 6,
+              summaries: Optional[Dict[int, "FunctionSummary"]] = None,
+              ) -> AbsResult:
     """Iterate interpretation until the global store log stabilises.
 
     The store log is flow-insensitive: a state computed before a later
     store was recorded can be stale (e.g. ``LD SP, [tcb+4]`` reading a
     frame fabricated further down the boot path).  Re-running with the
     accumulated log converges in two or three rounds.
+
+    ``summaries`` (from :mod:`repro.analysis.interproc`) sharpen the
+    post-call states: only registers a callee may actually clobber are
+    forgotten across its calls.
     """
     log: Dict[Tuple[int, int], ValueSet] = {}
     result = AbsResult()
     for round_number in range(1, max_rounds + 1):
-        interp = Interpreter(cfg, entry_rings, store_log=log)
+        interp = Interpreter(cfg, entry_rings, store_log=log,
+                             summaries=summaries)
         result = interp.run()
         result.rounds = round_number
         if result.store_log == log:

@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Iterable, Optional, Set
 from repro.analysis.absint import AbsResult, interpret
 from repro.analysis.cfg import recover_cfg
 from repro.analysis.checks import ALL_CHECKS, Analysis, run_checks
+from repro.analysis.interproc import compute_summaries
 from repro.analysis.report import Report
 from repro.asm.assembler import Program
 from repro.hw import firmware
@@ -72,8 +73,14 @@ def analyze_image(image: bytes, origin: int, *,
                   monitor_base: Optional[int] = None,
                   entry_ring: int = 0,
                   extra_entries: Iterable[int] = (),
-                  max_iterations: int = 8) -> Report:
-    """Analyze a flat HX32 image loaded at ``origin``."""
+                  max_iterations: int = 8,
+                  tv_audit: bool = True) -> Report:
+    """Analyze a flat HX32 image loaded at ``origin``.
+
+    ``tv_audit`` additionally compiles every statically-visible
+    superblock candidate and runs the translation validator over the
+    result (check AN011); pass False to skip the scratch-CPU pass.
+    """
     if monitor_base is None:
         monitor_base = firmware.monitor_base(DEFAULT_MEMORY_SIZE)
     end = origin + len(image)
@@ -109,11 +116,25 @@ def analyze_image(image: bytes, origin: int, *,
         cfg = recover_cfg(image, origin, entries, dyn_edges)
         absres = interpret(cfg, entry_rings)
 
+    # Interprocedural pass: summarize every discovered function, then
+    # re-interpret with the summaries so value sets survive calls to
+    # callees that provably do not clobber them.
+    call_graph, summaries = compute_summaries(cfg)
+    if summaries:
+        absres = interpret(cfg, entry_rings, summaries=summaries)
+
+    tv_results = []
+    if tv_audit:
+        from repro.analysis.tv.offline import validate_image as tv_validate
+        tv_results = list(tv_validate(image, origin).results)
+
     analysis = Analysis(
         image=image, origin=origin, end=end,
         monitor_base=monitor_base, entry_ring=entry_ring,
         cfg=cfg, absres=absres, handlers=handlers,
-        idt_base=idt_base, iterations=iterations)
+        idt_base=idt_base, iterations=iterations,
+        call_graph=call_graph, summaries=summaries,
+        tv_results=tv_results)
     findings = run_checks(analysis)
 
     report = Report(origin=origin, end=end, entry_ring=entry_ring,
@@ -131,6 +152,11 @@ def analyze_image(image: bytes, origin: int, *,
         "interp_rounds": absres.rounds,
         "iterations": iterations,
         "checks_run": len(ALL_CHECKS),
+        "functions": len(call_graph.entries),
+        "call_sites": len(call_graph.sites),
+        "balanced_functions": sum(
+            1 for s in summaries.values() if s.balanced),
+        "tv_blocks_checked": len(tv_results),
     }
     return report
 
@@ -138,9 +164,11 @@ def analyze_image(image: bytes, origin: int, *,
 def analyze_program(program: Program, *,
                     monitor_base: Optional[int] = None,
                     entry_ring: int = 0,
-                    extra_entries: Iterable[int] = ()) -> Report:
+                    extra_entries: Iterable[int] = (),
+                    tv_audit: bool = True) -> Report:
     """Analyze an assembled :class:`repro.asm.Program` image."""
     return analyze_image(program.image, program.origin,
                          monitor_base=monitor_base,
                          entry_ring=entry_ring,
-                         extra_entries=extra_entries)
+                         extra_entries=extra_entries,
+                         tv_audit=tv_audit)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.analysis import sema
 from repro.asm.disasm import DecodedInsn, _pseudo_byte, decode_one, decode_range
 from repro.errors import DisassemblerError
 from repro.hw import isa
@@ -31,14 +32,12 @@ EDGE_BRANCH = "branch"  # conditional Jcc target
 EDGE_CALL = "call"      # CALL/CALLR callee entry
 EDGE_DYN = "dyn"        # resolved indirect edge (JMPR/IRET frame)
 
-#: Mnemonics that end a block with *no* sequential successor.
-_NO_FALL = frozenset({"JMP", "RET", "IRET", "JMPR"})
-#: Conditional branches (target + fall-through).
-_CONDITIONALS = frozenset({"JZ", "JNZ", "JC", "JNC", "JG", "JGE",
-                           "JL", "JLE", "JS", "JNS"})
-#: Anything that transfers control (ends a basic block).
-CONTROL_MNEMONICS = _NO_FALL | _CONDITIONALS | frozenset(
-    {"CALL", "CALLR"})
+# Instruction classification lives in repro.analysis.sema — the single
+# source of HX32 semantics the CFG, the abstract interpreter and the
+# translation validator all share.
+_NO_FALL = sema.NO_FALL
+_CONDITIONALS = sema.CONDITIONAL_BRANCHES
+CONTROL_MNEMONICS = sema.CONTROL_MNEMONICS
 
 
 @dataclass

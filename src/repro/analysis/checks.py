@@ -10,11 +10,13 @@ the shared :class:`Analysis` context.  Adding a check means subclassing
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple, Type
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Set, \
+    Tuple, Type
 
+from repro.analysis import sema
 from repro.analysis.absint import AbsResult
 from repro.analysis.cfg import EDGE_CALL, BasicBlock, Cfg
-from repro.asm.disasm import DecodedInsn
+from repro.analysis.interproc import CallGraph, FunctionSummary
 from repro.analysis.report import (
     SEV_ERROR,
     SEV_INFO,
@@ -39,6 +41,12 @@ class Analysis:
     handlers: Dict[int, FrozenSet[int]] = field(default_factory=dict)
     idt_base: int = -1
     iterations: int = 0
+    #: Interprocedural facts (repro.analysis.interproc).
+    call_graph: Optional[CallGraph] = None
+    summaries: Dict[int, FunctionSummary] = field(default_factory=dict)
+    #: Translation-validation results over the image's superblock
+    #: candidates (repro.analysis.tv), empty when the audit was off.
+    tv_results: List[Any] = field(default_factory=list)
 
 
 class Check:
@@ -125,6 +133,8 @@ class OutOfImageTargetCheck(Check):
                 continue
             seen.add((source, target))
             insn = analysis.cfg.insn_at.get(source)
+            if insn is not None and insn.mnemonic == "CALLR":
+                continue  # indirect calls are AN013's business
             if insn is not None and insn.mnemonic == "IRET":
                 # IRET leaving the image is how a kernel launches code
                 # in another image (e.g. the ring-3 task): legitimate,
@@ -262,48 +272,31 @@ class StackGrowthLoopCheck(Check):
     severity = SEV_ERROR
     title = "unbounded stack growth in a loop"
 
-    _PUSHES = {"PUSH": 4, "PUSHI": 4, "PUSHF": 4}
-    _POPS = {"POP": -4, "POPF": -4}
-
     def _block_effect(self, block: BasicBlock) -> Tuple[int, bool]:
-        """(net stack delta in bytes, block re-points SP directly)."""
+        """(net stack delta in bytes, block re-points SP directly).
+
+        Stack semantics are delegated to :mod:`repro.analysis.sema`
+        (shared with the interprocedural summaries).  ``RET`` keeps its
+        legacy weight of 0 here: this check walks call edges with an
+        explicit +4, so the callee's return-address pop must not be
+        double-counted.
+        """
         delta = 0
         resets = False
         for insn in block.insns:
             name = insn.mnemonic
             if insn.is_pseudo:
                 continue
-            if name in self._PUSHES:
-                delta += self._PUSHES[name]
-            elif name in self._POPS:
-                delta += self._POPS[name]
-            elif name in ("ADDI", "SUBI"):
-                spec = isa.SPECS[insn.opcode]
-                ra, imm = isa.decode_operands(spec.fmt, insn.raw[1:])
-                if ra == isa.REG_SP:
-                    delta += imm if name == "SUBI" else -imm
-            elif self._writes_sp(insn):
+            spec = isa.SPECS[insn.opcode]
+            ops = isa.decode_operands(spec.fmt, insn.raw[1:])
+            if name == "RET":
+                continue
+            step = sema.stack_delta(name, ops)
+            if step is None:
                 resets = True
+            else:
+                delta += step
         return delta, resets
-
-    @staticmethod
-    def _writes_sp(insn: DecodedInsn) -> bool:
-        spec = isa.SPECS[insn.opcode]
-        name = insn.mnemonic
-        ops = isa.decode_operands(spec.fmt, insn.raw[1:])
-        if name in ("MOVI", "ADDI", "SUBI", "ANDI", "ORI", "XORI",
-                    "SHLI", "SHRI", "MULI", "DIVI"):
-            return ops[0] == isa.REG_SP
-        if name in ("MOV", "ADD", "SUB", "AND", "OR", "XOR", "SHL",
-                    "SHR", "MUL", "DIV", "NEG", "NOT"):
-            return ops[0] == isa.REG_SP
-        if name == "XCHG":
-            return isa.REG_SP in ops
-        if name in ("LD", "LD16", "LD8", "LEA"):
-            return ops[0] == isa.REG_SP
-        if name in ("NOT", "NEG", "POP"):
-            return ops == isa.REG_SP
-        return False
 
     def run(self, analysis: Analysis) -> Iterator[Finding]:
         blocks = analysis.cfg.blocks
@@ -396,6 +389,86 @@ class ReachableInvalidCheck(Check):
                     f"{insn.raw[0]:#04x} (#UD at runtime)")
 
 
+class TranslatedBlockGuardCheck(Check):
+    """Superblocks the translation validator could not prove correct.
+
+    The analyzer's ``tv_audit`` pass compiles every statically-visible
+    hot-loop candidate with the real superblock engine and runs the
+    symbolic equivalence prover over the result (repro.analysis.tv).
+    Any failure — wrong effect, missing commit barrier, insufficient
+    guard set, lost IRQ/SMC exit — lands here.
+    """
+
+    id = "AN011"
+    severity = SEV_ERROR
+    title = "translated block fails validation"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        for result in analysis.tv_results:
+            if result.ok:
+                continue
+            detail = result.failures[0] if result.failures \
+                else "unknown failure"
+            more = len(result.failures) - 1
+            suffix = f" (+{more} more)" if more > 0 else ""
+            yield self.finding(
+                result.entry_pc,
+                f"superblock at {result.entry_pc:#x} fails translation "
+                f"validation: {detail}{suffix}")
+
+
+class CallStackImbalanceCheck(Check):
+    """Functions whose RET pops a word that is not the return address.
+
+    Uses the interprocedural summaries: a function is flagged when some
+    RET path has a provably nonzero net stack delta (pushes minus pops,
+    callees included).  Such a RET jumps to whatever the imbalance left
+    on top of the stack.
+    """
+
+    id = "AN012"
+    severity = SEV_ERROR
+    title = "cross-function stack imbalance"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        for entry in sorted(analysis.summaries):
+            summary = analysis.summaries[entry]
+            if summary.balanced or summary.clobbers_all \
+                    or summary.resets_sp:
+                continue
+            bad = sorted(d for d in summary.ret_deltas if d != 0)
+            if not bad:
+                continue
+            yield self.finding(
+                entry,
+                f"function at {entry:#x} returns with a net stack "
+                f"delta of {bad[0]} byte(s) — RET pops a non-return-"
+                f"address word")
+
+
+class IndirectCallEscapeCheck(Check):
+    """Resolved CALLR whose target set escapes the image."""
+
+    id = "AN013"
+    severity = SEV_ERROR
+    title = "indirect call target outside the image"
+
+    def run(self, analysis: Analysis) -> Iterator[Finding]:
+        seen: Set[Tuple[int, int]] = set()
+        for source, target in analysis.absres.resolved_out:
+            insn = analysis.cfg.insn_at.get(source)
+            if insn is None or insn.mnemonic != "CALLR":
+                continue
+            if (source, target) in seen:
+                continue
+            seen.add((source, target))
+            yield self.finding(
+                source,
+                f"CALLR target {target:#x} is outside the image "
+                f"({analysis.origin:#x}..{analysis.end:#x}) — the "
+                f"callee cannot return into analyzed code")
+
+
 #: The shipped catalogue, in id order.
 ALL_CHECKS: List[Type[Check]] = [
     WildWriteCheck,
@@ -408,6 +481,9 @@ ALL_CHECKS: List[Type[Check]] = [
     StackGrowthLoopCheck,
     UnknownIndirectCheck,
     ReachableInvalidCheck,
+    TranslatedBlockGuardCheck,
+    CallStackImbalanceCheck,
+    IndirectCallEscapeCheck,
 ]
 
 

@@ -4,8 +4,14 @@
     python -m repro.analysis.cli --builtin kernel --json
     repro-analyze image.bin --monitor-base 0xF00000
 
-Exit status is 0 when no error-severity finding was produced, 1
-otherwise — which is what lets CI gate on the built-in guest corpus.
+Exit-code contract (what CI gates on):
+
+* 0 — the image analyzed cleanly at the requested ``--fail-on``
+  threshold (default: no error-severity findings).
+* 1 — at least one finding at or above the threshold.  ``--fail-on
+  warning`` also fails on warnings; ``--fail-on info`` fails on any
+  finding at all; ``--fail-on none`` always exits 0 when analysis ran.
+* 2 — the analysis itself could not run (bad image, usage error).
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
 from repro.analysis.analyzer import DEFAULT_MEMORY_SIZE, analyze_image
+from repro.analysis.report import Report
 from repro.errors import ReproError
 from repro.hw import firmware
 
@@ -24,7 +31,7 @@ BUILTIN_IMAGES = ("kernel", "kernel-user", "kernel-paging", "user",
                   "threads", "threads-preemptive")
 
 
-def _build_builtin(name: str) -> Tuple[bytes, int, int]:
+def build_builtin(name: str) -> Tuple[bytes, int, int]:
     """(image, origin, entry ring) for a built-in guest."""
     from repro.asm.assembler import assemble
     from repro.guest import asmkernel, asmthreads
@@ -55,6 +62,18 @@ def _number(text: str) -> int:
     return int(text, 0)
 
 
+def exceeds_threshold(report: Report, fail_on: str) -> bool:
+    """True when the report has findings at or above ``fail_on``."""
+    if fail_on == "none":
+        return False
+    counts = report.counts_by_severity()
+    if fail_on == "info":
+        return bool(report.findings)
+    if fail_on == "warning":
+        return bool(counts["error"] or counts["warning"])
+    return bool(counts["error"])
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = ArgumentParser(prog="repro-analyze", description=__doc__)
     parser.add_argument("image", nargs="?",
@@ -73,6 +92,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default=DEFAULT_MEMORY_SIZE,
                         help="installed RAM used to derive the monitor "
                              "base when --monitor-base is absent")
+    parser.add_argument("--fail-on", choices=("none", "info", "warning",
+                                              "error"),
+                        default="error",
+                        help="lowest finding severity that makes the "
+                             "exit status nonzero (default: error)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON on stdout")
     parser.add_argument("--out", metavar="PATH",
@@ -88,7 +112,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         if args.builtin:
-            image, origin, default_ring = _build_builtin(args.builtin)
+            image, origin, default_ring = build_builtin(args.builtin)
             if args.org is not None:
                 origin = args.org
         else:
@@ -109,7 +133,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.perf.export import export_analysis_json
         export_analysis_json(report, args.out)
     print(report.to_json() if args.json else report.format_text())
-    return 0 if report.clean else 1
+    return 1 if exceeds_threshold(report, args.fail_on) else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,235 @@
+"""Interprocedural analysis: call graph and function summaries.
+
+Function entries are the targets of ``CALL`` edges (plus resolved
+``CALLR`` targets the abstract interpreter fed back into the CFG).
+For each function we walk its intra-procedural region — every block
+reachable from the entry without crossing a callee edge — and compute
+a :class:`FunctionSummary`:
+
+* ``clobbered`` — general registers the function (or anything it
+  transitively calls) may write;
+* ``ret_deltas`` — the net stack delta in bytes observed at each
+  ``RET``, *excluding* the return-address pop itself.  A balanced
+  function reports ``{0}``; anything else means the ``RET`` pops a
+  word that is not the caller's return address (AN012);
+* ``resets_sp`` / ``clobbers_all`` — conservative escape hatches: the
+  function re-points SP directly, or contains an instruction whose
+  effect we cannot bound (``INT``/``VMCALL``/unresolved ``CALLR``),
+  so callers must fall back to havoc-everything.
+
+Summaries are computed as a fixpoint over the call graph (recursion
+converges because ``clobbered`` only grows and deltas saturate), then
+fed to :func:`repro.analysis.absint.interpret` which uses them for
+context-insensitive value-set propagation across calls — registers a
+callee provably never touches survive the call in the caller's state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis import sema
+from repro.analysis.cfg import EDGE_CALL, Cfg
+from repro.asm.disasm import DecodedInsn
+from repro.hw import isa
+
+#: Cap on distinct RET deltas per function before saturating to
+#: "unknown" — keeps the fixpoint finite on pathological graphs.
+_MAX_DELTAS = 8
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What a call to this function can do to the caller's state."""
+
+    entry: int
+    clobbered: FrozenSet[int] = frozenset()
+    #: Net stack delta (bytes, excluding the return-address pop) at
+    #: each RET path.  Empty = never returns (or not yet computed).
+    ret_deltas: FrozenSet[int] = frozenset()
+    resets_sp: bool = False
+    #: Contains INT/VMCALL/unresolved indirect flow: assume anything.
+    clobbers_all: bool = False
+    calls: FrozenSet[int] = frozenset()
+
+    @property
+    def balanced(self) -> bool:
+        return self.ret_deltas <= {0}
+
+
+@dataclass
+class CallGraph:
+    """Function entries and who calls whom."""
+
+    entries: List[int] = field(default_factory=list)
+    #: function entry -> callee entries (static CALL + resolved CALLR).
+    callees: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    #: call-site address -> callee entries.
+    sites: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    #: function entry -> its intra-procedural block starts.
+    regions: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+
+
+def _function_entries(cfg: Cfg) -> List[int]:
+    entries: Set[int] = set()
+    for block in cfg.blocks.values():
+        for target, kind in block.succs:
+            if kind == EDGE_CALL and target in cfg.blocks:
+                entries.add(target)
+    return sorted(entries)
+
+
+def _region_of(cfg: Cfg, entry: int) -> FrozenSet[int]:
+    """Blocks reachable from ``entry`` without taking a callee edge.
+
+    ``RET`` blocks have no successors, so the walk naturally stops at
+    function exits; fall-through after CALL stays inside the region.
+    """
+    seen = {entry}
+    stack = [entry]
+    while stack:
+        block = cfg.blocks[stack.pop()]
+        for target, kind in block.succs:
+            if kind == EDGE_CALL or target not in cfg.blocks:
+                continue
+            if target not in seen:
+                seen.add(target)
+                stack.append(target)
+    return frozenset(seen)
+
+
+def build_call_graph(cfg: Cfg) -> CallGraph:
+    """Recover the call graph from CALL edges (incl. resolved CALLR)."""
+    graph = CallGraph(entries=_function_entries(cfg))
+    entry_set = set(graph.entries)
+    for start in sorted(cfg.blocks):
+        block = cfg.blocks[start]
+        callees = frozenset(t for t, kind in block.succs
+                            if kind == EDGE_CALL and t in entry_set)
+        if callees:
+            graph.sites[block.last.address] = callees
+    for entry in graph.entries:
+        region = _region_of(cfg, entry)
+        graph.regions[entry] = region
+        called: Set[int] = set()
+        for start in region:
+            for target, kind in cfg.blocks[start].succs:
+                if kind == EDGE_CALL and target in entry_set:
+                    called.add(target)
+        graph.callees[entry] = frozenset(called)
+    return graph
+
+
+def _insn_operands(insn: DecodedInsn) -> object:
+    spec = isa.SPECS[insn.opcode]
+    return isa.decode_operands(spec.fmt, insn.raw[1:])
+
+
+def _summarize_once(cfg: Cfg, graph: CallGraph, entry: int,
+                    current: Dict[int, FunctionSummary]
+                    ) -> FunctionSummary:
+    """One summary evaluation with the current callee approximations."""
+    clobbered: Set[int] = set()
+    resets_sp = False
+    clobbers_all = False
+    ret_deltas: Set[int] = set()
+
+    # Depth-first over the region tracking the net stack delta along
+    # each path (None once unknown).  Joins that disagree widen to
+    # None rather than iterating to a numeric fixpoint.
+    depth_at: Dict[int, Optional[int]] = {entry: 0}
+    visited: Set[int] = set()
+    stack: List[int] = [entry]
+    while stack:
+        start = stack.pop()
+        if start in visited:
+            continue
+        visited.add(start)
+        block = cfg.blocks[start]
+        depth: Optional[int] = depth_at.get(start, None)
+        for insn in block.insns:
+            if insn.is_pseudo:
+                clobbers_all = True
+                continue
+            name = insn.mnemonic
+            ops = _insn_operands(insn)
+            clobbered.update(sema.regs_written(name, ops))
+            if name in sema.HAVOC_MNEMONICS or name == "IRET":
+                clobbers_all = True
+            if sema.writes_sp(name, ops):
+                resets_sp = True
+            if name == "RET":
+                if depth is not None:
+                    ret_deltas.add(depth)
+                else:
+                    clobbers_all = True
+                continue
+            if name in ("CALL", "CALLR"):
+                callees = graph.sites.get(insn.address, frozenset())
+                if not callees:
+                    # Unresolved CALLR (or callee outside the CFG).
+                    clobbers_all = True
+                    depth = None
+                    continue
+                for callee in callees:
+                    summary = current.get(callee)
+                    if summary is None:
+                        continue
+                    clobbered.update(summary.clobbered)
+                    if summary.resets_sp:
+                        resets_sp = True
+                    if summary.clobbers_all:
+                        clobbers_all = True
+                    if depth is not None:
+                        if summary.ret_deltas == frozenset({0}):
+                            pass  # balanced callee: depth unchanged
+                        elif len(summary.ret_deltas) == 1:
+                            depth += next(iter(summary.ret_deltas))
+                        elif summary.ret_deltas:
+                            depth = None
+                continue
+            delta = sema.stack_delta(name, ops)
+            if depth is not None:
+                depth = None if delta is None else depth + delta
+        for target, kind in block.succs:
+            if kind == EDGE_CALL or target not in graph.regions.get(
+                    entry, frozenset()):
+                continue
+            if target not in depth_at:
+                depth_at[target] = depth
+            elif depth_at[target] != depth:
+                # Paths disagree: widen straight to unknown.
+                depth_at[target] = None
+                visited.discard(target)
+            stack.append(target)
+
+    if len(ret_deltas) > _MAX_DELTAS:
+        clobbers_all = True
+        ret_deltas = set()
+    return FunctionSummary(
+        entry=entry,
+        clobbered=frozenset(clobbered),
+        ret_deltas=frozenset(ret_deltas),
+        resets_sp=resets_sp,
+        clobbers_all=clobbers_all,
+        calls=graph.callees.get(entry, frozenset()))
+
+
+def compute_summaries(cfg: Cfg, graph: Optional[CallGraph] = None,
+                      max_rounds: int = 16
+                      ) -> Tuple[CallGraph, Dict[int, FunctionSummary]]:
+    """Fixpoint function summaries over the call graph."""
+    if graph is None:
+        graph = build_call_graph(cfg)
+    summaries: Dict[int, FunctionSummary] = {}
+    for _ in range(max_rounds):
+        changed = False
+        for entry in graph.entries:
+            new = _summarize_once(cfg, graph, entry, summaries)
+            if summaries.get(entry) != new:
+                summaries[entry] = new
+                changed = True
+        if not changed:
+            break
+    return graph, summaries

@@ -1,0 +1,21 @@
+"""Translation validation for the superblock JIT.
+
+Proves each compiled superblock observably equivalent to its decoded
+HX32 instruction sequence instead of trusting the translator:
+
+* :mod:`repro.analysis.tv.lift_py` lifts the generated Python source
+  (via ``ast``) into a symbolic event trace;
+* :mod:`repro.analysis.tv.lift_guest` composes the reference semantics
+  from :mod:`repro.analysis.sema` over the decoded instructions into
+  the same trace shape;
+* :mod:`repro.analysis.tv.validator` compares the two traces and
+  audits the structural invariants (commit barriers, guard set,
+  IRQ/SMC exit edges, instret/cycle pacing);
+* :mod:`repro.analysis.tv.offline` validates every block compiled from
+  a guest image (the ``repro-tv`` CLI and the AN011 analyzer check);
+* :mod:`repro.analysis.tv.mutate` is the mutation-kill harness.
+"""
+
+from repro.analysis.tv.validator import TvResult, validate_block
+
+__all__ = ["TvResult", "validate_block"]

@@ -1,0 +1,119 @@
+"""Command-line front end for the translation validator.
+
+    repro-tv --all-builtins
+    repro-tv --builtin kernel
+    repro-tv image.bin --org 0x200000
+    repro-tv --random 200
+    repro-tv --mutations
+
+Validates every statically-visible superblock candidate of the given
+images (see :mod:`repro.analysis.tv.offline`), or — with
+``--mutations`` — runs the seeded miscompile harness and requires
+every mutation to be killed.
+
+Exit-code contract: 0 when everything validated (and, for
+``--mutations``, every mutation was killed), 1 on any validation
+failure or missed mutation, 2 when the run itself failed (bad image,
+usage error).
+"""
+
+from __future__ import annotations
+
+import sys
+from argparse import ArgumentParser
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.tv import offline
+from repro.errors import ReproError
+
+
+def _number(text: str) -> int:
+    return int(text, 0)
+
+
+def _gather_images(args) -> List[Tuple[str, bytes, int]]:
+    """(label, image, origin) for every requested target."""
+    from repro.analysis.cli import BUILTIN_IMAGES, build_builtin
+    from repro.hw import firmware
+
+    images: List[Tuple[str, bytes, int]] = []
+    names: Sequence[str] = ()
+    if args.all_builtins:
+        names = BUILTIN_IMAGES
+    elif args.builtin:
+        names = (args.builtin,)
+    for name in names:
+        image, origin, _ring = build_builtin(name)
+        images.append((name, image, origin))
+    if args.image:
+        image = Path(args.image).read_bytes()
+        origin = args.org if args.org is not None \
+            else firmware.GUEST_KERNEL_BASE
+        images.append((args.image, image, origin))
+    return images
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.analysis.cli import BUILTIN_IMAGES
+
+    parser = ArgumentParser(prog="repro-tv", description=__doc__)
+    parser.add_argument("image", nargs="?",
+                        help="flat HX32 image file to validate")
+    parser.add_argument("--builtin", choices=BUILTIN_IMAGES,
+                        help="validate a built-in guest image")
+    parser.add_argument("--all-builtins", action="store_true",
+                        help="validate every built-in guest image")
+    parser.add_argument("--org", type=_number, default=None,
+                        help="load address of the image "
+                             "(default: guest kernel base)")
+    parser.add_argument("--random", type=int, default=0, metavar="N",
+                        help="also validate N seeded random programs")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed for --random (default 0)")
+    parser.add_argument("--mutations", action="store_true",
+                        help="run the mutation-kill harness instead")
+    args = parser.parse_args(argv)
+
+    if args.mutations:
+        from repro.analysis.tv.mutate import main as mutate_main
+        return mutate_main()
+
+    if not (args.image or args.builtin or args.all_builtins
+            or args.random):
+        parser.error("give an IMAGE, --builtin, --all-builtins, "
+                     "--random N, or --mutations")
+
+    failures = 0
+    blocks = 0
+    try:
+        for label, image, origin in _gather_images(args):
+            report = offline.validate_image(image, origin)
+            blocks += len(report.results)
+            failures += len(report.failed)
+            print(f"== {label} @ {origin:#x}")
+            print(report.format_text())
+        if args.random:
+            reports = offline.validate_random(
+                args.random, seed_base=args.seed_base)
+            random_blocks = sum(len(r.results) for r in reports)
+            random_failed = [r for r in reports if not r.ok]
+            blocks += random_blocks
+            failures += sum(len(r.failed) for r in random_failed)
+            print(f"== {args.random} random program(s) "
+                  f"(seeds {args.seed_base}.."
+                  f"{args.seed_base + args.random - 1})")
+            for report in random_failed:
+                print(report.format_text())
+            print(f"{random_blocks} block(s) validated, "
+                  f"{sum(len(r.failed) for r in reports)} failed")
+    except (ReproError, OSError) as exc:
+        print(f"repro-tv: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"total: {blocks} block(s) validated, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

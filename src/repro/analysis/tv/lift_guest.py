@@ -1,0 +1,162 @@
+"""Lift a decoded HX32 instruction sequence into the symbolic trace.
+
+This is the *reference* side of the translation validator: it walks the
+decoded instructions a superblock was compiled from and composes
+:mod:`repro.analysis.sema` effects into the same event-trace shape
+:mod:`.lift_py` produces from the generated source.  The derivations
+(terminator split, fall-through/taken PCs, loop detection, accounting
+offsets, barrier placement, IRQ/SMC exit points) follow the translation
+contract documented in :mod:`repro.interp.translate`; the *formulas*
+come from :mod:`repro.analysis.sema`, which is differentially tested
+against the interpreter — so agreement between the two lifted traces
+means the generated code agrees with the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.analysis import sema
+from repro.analysis.tv.events import (
+    Barrier,
+    CondExit,
+    CondTerm,
+    Event,
+    Exit,
+    HandlerCall,
+    IrqExit,
+    LoopEdge,
+    Pacing,
+    SmcExit,
+    State,
+)
+
+#: (pc, spec, operands) — the decoded-trace element the engine records.
+Insn = Tuple[int, Any, Any]
+
+_MASK = 0xFFFFFFFF
+
+
+@dataclass
+class GuestBlock:
+    """Reference trace plus the facts the generated code must reflect."""
+
+    events: List[Event]
+    handlers: List[Tuple[str, Any]]
+    total_insns: int
+    total_cycles: int
+    has_mem: bool
+    has_store: bool
+    loop: bool
+    fall_through: int
+    total_bytes: int
+
+
+def reference_events(insns: List[Insn], entry_pc: int, page: int,
+                     generation: int) -> GuestBlock:
+    """Build the reference event trace for one decoded trace."""
+    if not insns:
+        raise ValueError("empty instruction trace")
+
+    last_pc, last_spec, last_ops = insns[-1]
+    terminator = last_spec.mnemonic \
+        if last_spec.mnemonic in sema.TERMINATORS else None
+    body = insns[:-1] if terminator else insns
+    fall_through = (last_pc + last_spec.length) & _MASK
+    taken = (fall_through + last_ops) & _MASK if terminator else None
+    loop = terminator is not None and taken == entry_pc
+
+    total_insns = len(insns)
+    total_cycles = sum(spec.cycles for _pc, spec, _o in insns)
+    total_bytes = sum(spec.length for _pc, spec, _o in insns)
+    has_mem = any(spec.mnemonic in sema.MEMORY for _pc, spec, _o in body)
+    has_store = any(spec.mnemonic in sema.STORE for _pc, spec, _o in body)
+
+    regs: List[Any] = [sema.reg(i) for i in range(8)]
+    f = sema.FLAGS
+    ir = 0
+    cy = 0
+    charged = 0
+    handler_index = 0
+    handlers: List[Tuple[str, Any]] = []
+    events: List[Event] = []
+
+    if loop:
+        events.append(Pacing(insns=total_insns, cycles=total_cycles,
+                             exit_pc=entry_pc))
+
+    for pc, spec, operands in body:
+        mnemonic = spec.mnemonic
+        if mnemonic in sema.INLINE:
+            effect = sema.inline_effect(mnemonic, operands,
+                                        tuple(regs), f)
+            if effect.regs:
+                updated = list(regs)
+                for index, value in effect.regs.items():
+                    updated[index] = value
+                regs = updated
+            if effect.flags is not None:
+                f = effect.flags
+            ir += 1
+            cy += spec.cycles
+            continue
+        # Handler-executed instruction: the commit barrier observes the
+        # state *before* it; the exit checks observe the state after.
+        next_pc = (pc + spec.length) & _MASK
+        handlers.append(("_op_" + mnemonic.lower(), operands))
+        events.append(Barrier(flags=f, ir=ir, cy=cy, chg=cy - charged,
+                              saved=pc, next_pc=next_pc,
+                              regs=tuple(regs)))
+        charged = cy
+        events.append(HandlerCall(index=handler_index))
+        for written in sema.handler_written_regs(mnemonic, operands):
+            regs[written] = sema.havoc_reg(handler_index, written)
+        if mnemonic in sema.HANDLER_WRITES_FLAGS:
+            f = sema.havoc_flags(handler_index)
+        ir += 1
+        cy += spec.cycles
+        state = State(regs=tuple(regs), flags=f, ir=ir, cy=cy,
+                      chg=cy - charged)
+        if mnemonic in sema.MEMORY:
+            events.append(IrqExit(pc=next_pc, state=state))
+        if mnemonic in sema.STORE:
+            events.append(SmcExit(page=page, generation=generation,
+                                  pc=next_pc, state=state))
+        handler_index += 1
+
+    terminated = False
+    if terminator:
+        ir += 1
+        cy += last_spec.cycles
+        state = State(regs=tuple(regs), flags=f, ir=ir, cy=cy,
+                      chg=cy - charged)
+        assert taken is not None
+        if terminator == "JMP":
+            if not loop:
+                events.append(Exit(pc=taken, state=state))
+                terminated = True
+        elif loop:
+            _taken_cond, not_taken = sema.branch_conditions(terminator, f)
+            events.append(CondExit(cond=not_taken, pc=fall_through,
+                                   state=state))
+        else:
+            taken_cond, _not_taken = sema.branch_conditions(terminator, f)
+            events.append(CondTerm(cond=taken_cond, taken=taken,
+                                   fall=fall_through, state=state))
+            terminated = True
+    else:
+        state = State(regs=tuple(regs), flags=f, ir=ir, cy=cy,
+                      chg=cy - charged)
+        events.append(Exit(pc=fall_through, state=state))
+        terminated = True
+
+    if not terminated:
+        events.append(LoopEdge(state=State(regs=tuple(regs), flags=f,
+                                           ir=ir, cy=cy,
+                                           chg=cy - charged)))
+
+    return GuestBlock(events=events, handlers=handlers,
+                      total_insns=total_insns, total_cycles=total_cycles,
+                      has_mem=has_mem, has_store=has_store, loop=loop,
+                      fall_through=fall_through, total_bytes=total_bytes)

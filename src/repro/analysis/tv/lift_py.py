@@ -1,0 +1,611 @@
+"""Lift generated superblock Python source into the symbolic trace.
+
+The translator emits blocks in a rigid idiom: a ``_factory`` binding
+the fault class, budget category and the per-instruction handlers, a
+``_block(cpu)`` whose preamble binds the register file and counters to
+locals, a ``try``/``while True`` body, and a commit epilogue.  This
+module re-parses that source with :mod:`ast` and symbolically executes
+the loop body, producing the event trace of :mod:`.events`:
+
+* the fixed skeleton (preamble, except clause, epilogue) is matched
+  statement-for-statement against templates — any deviation is a
+  :class:`TvStructureError`;
+* the body is interpreted: local assignments build symbolic
+  expressions, commit statements update the tracked committed state,
+  handler calls emit :class:`~repro.analysis.tv.events.Barrier` +
+  :class:`~repro.analysis.tv.events.HandlerCall` (with the handler's
+  register havoc applied from the *binding table*, which the validator
+  separately checks against the decoded instructions), and the
+  IRQ/SMC/pacing/terminator conditionals emit their exit events.
+
+The lifter never consults the decoded instruction list — everything it
+produces comes from the emitted source plus the handler binding table,
+so comparing its trace against :mod:`.lift_guest` is a genuine
+two-sided check.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis import sema
+from repro.analysis.tv.events import (
+    Barrier,
+    CondExit,
+    CondTerm,
+    Event,
+    Exit,
+    HandlerCall,
+    IrqExit,
+    LoopEdge,
+    Pacing,
+    SmcExit,
+    State,
+)
+
+Expr = Tuple[Any, ...]
+
+
+class TvStructureError(Exception):
+    """The source does not follow the translator's structural contract."""
+
+
+@dataclass
+class LiftedBlock:
+    """The symbolic trace plus the structural facts the lifter saw."""
+
+    events: List[Event]
+    binds_irq: bool
+    binds_gens: bool
+    binds_limits: bool
+    handler_count: int
+
+
+# -- template matching -------------------------------------------------------
+
+_TEMPLATES: Dict[str, str] = {}
+
+
+def _template(source: str) -> str:
+    dump = _TEMPLATES.get(source)
+    if dump is None:
+        dump = ast.dump(ast.parse(source).body[0])
+        _TEMPLATES[source] = dump
+    return dump
+
+
+def _matches(stmt: ast.stmt, source: str) -> bool:
+    return ast.dump(stmt) == _template(source)
+
+
+def _require(stmt: ast.stmt, source: str, where: str) -> None:
+    if not _matches(stmt, source):
+        raise TvStructureError(
+            f"{where}: expected `{source.splitlines()[0]}`, found "
+            f"`{ast.dump(stmt)[:120]}`")
+
+
+_PREAMBLE = (
+    "regs = cpu.regs",
+    "f = cpu.flags",
+    "ir = cpu.instret",
+    "ir0 = ir",
+    "cy = cpu.cycle_count",
+    "chg = 0",
+    "saved = 0",
+    "charge = cpu.budget.charge",
+)
+
+_EXCEPT_BODY = (
+    "cpu.block_extra_steps = ir - ir0",
+    "cpu._handle_fault(fault, saved)",
+    "return",
+)
+
+_EPILOGUE = (
+    "cpu.flags = f",
+    "cpu.instret = ir",
+    "cpu.cycle_count = cy",
+    "if chg:\n    charge(chg, GUEST)",
+    "cpu.block_extra_steps = ir - ir0 - 1",
+)
+
+_CHARGE_FLUSH = "if chg:\n    charge(chg, GUEST)\n    chg = 0"
+_IRQ_CHECK = "if irq is not None and irq.has_pending():\n    break"
+
+
+# -- AST helpers -------------------------------------------------------------
+
+
+def _int_const(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _int_const(node.operand)
+        if inner is not None:
+            return -inner
+    return None
+
+
+def _is_name(node: ast.expr, name: str) -> bool:
+    return isinstance(node, ast.Name) and node.id == name
+
+
+def _is_cpu_attr(node: ast.expr, attr: str) -> bool:
+    return (isinstance(node, ast.Attribute) and node.attr == attr
+            and _is_name(node.value, "cpu"))
+
+
+def _reg_index(node: ast.expr) -> Optional[int]:
+    """``regs[i]`` -> i."""
+    if not isinstance(node, ast.Subscript) \
+            or not _is_name(node.value, "regs"):
+        return None
+    index = node.slice
+    if isinstance(index, ast.Index):  # Python < 3.9 compatibility
+        index = index.value  # type: ignore[attr-defined]
+    return _int_const(index)
+
+
+_BINOPS: Dict[type, str] = {
+    ast.Add: "add", ast.Sub: "sub", ast.BitAnd: "and", ast.BitOr: "or",
+    ast.BitXor: "xor", ast.LShift: "shl", ast.RShift: "shr",
+    ast.Mult: "mul", ast.FloorDiv: "floordiv",
+}
+
+
+class _Lifter:
+    """Symbolic executor over one ``_block`` loop body."""
+
+    def __init__(self, handlers: List[Tuple[str, Any]],
+                 entry_pc: int) -> None:
+        self.handlers = handlers
+        self.regs: List[Expr] = [sema.reg(i) for i in range(8)]
+        self.f: Expr = sema.FLAGS
+        self.locals: Dict[str, Expr] = {}
+        self.ir = 0
+        self.cy = 0
+        self.chg = 0
+        #: Current value of ``cpu.flags`` (committed or handler-written).
+        self.cpu_flags: Expr = sema.FLAGS
+        self.committed_ir = 0
+        self.committed_cy = 0
+        self.committed_pc = entry_pc
+        self.saved = -1
+        self.pending_flush: Optional[int] = None
+        self.handler_index = 0
+        self.events: List[Event] = []
+        self.terminated = False
+
+    # -- expression lifting ------------------------------------------------
+
+    def lift_expr(self, node: ast.expr) -> Expr:
+        value = _int_const(node)
+        if value is not None:
+            return sema.const(value)
+        if isinstance(node, ast.Name):
+            if node.id == "f":
+                return self.f
+            if node.id in self.locals:
+                return self.locals[node.id]
+            raise TvStructureError(f"unbound local `{node.id}`")
+        index = _reg_index(node)
+        if index is not None:
+            if not 0 <= index < 8:
+                raise TvStructureError(f"register index {index} out of range")
+            return self.regs[index]
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise TvStructureError(
+                    f"unsupported operator {type(node.op).__name__}")
+            return (op, self.lift_expr(node.left),
+                    self.lift_expr(node.right))
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Invert):
+            return ("invert", self.lift_expr(node.operand))
+        if isinstance(node, ast.IfExp):
+            return ("cond", self.lift_bool(node.test),
+                    self.lift_expr(node.body),
+                    self.lift_expr(node.orelse))
+        raise TvStructureError(
+            f"unsupported expression `{ast.dump(node)[:80]}`")
+
+    def lift_bool(self, node: ast.expr) -> Expr:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            return ("not", self.lift_bool(node.operand))
+        if isinstance(node, ast.BoolOp):
+            kind = "or-b" if isinstance(node.op, ast.Or) else "and-b"
+            out = self.lift_bool(node.values[0])
+            for value in node.values[1:]:
+                out = (kind, out, self.lift_bool(value))
+            return out
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            op = node.ops[0]
+            left, right = node.left, node.comparators[0]
+            if isinstance(op, ast.Eq) and _int_const(right) == 0:
+                return ("eq0", self.lift_expr(left))
+            if isinstance(op, ast.Lt):
+                return ("lt", self.lift_expr(left), self.lift_expr(right))
+            raise TvStructureError(
+                f"unsupported comparison `{ast.dump(node)[:80]}`")
+        return ("truthy", self.lift_expr(node))
+
+    # -- state -------------------------------------------------------------
+
+    def state(self) -> State:
+        return State(regs=tuple(self.regs), flags=self.f,
+                     ir=self.ir, cy=self.cy, chg=self.chg)
+
+    # -- statement dispatch ------------------------------------------------
+
+    def run(self, stmts: List[ast.stmt]) -> None:
+        i = 0
+        while i < len(stmts):
+            if self.terminated:
+                raise TvStructureError(
+                    "statements after the block's terminal exit")
+            i = self._step(stmts, i)
+        if not self.terminated:
+            self.events.append(LoopEdge(state=self.state()))
+
+    def _step(self, stmts: List[ast.stmt], i: int) -> int:
+        stmt = stmts[i]
+        if isinstance(stmt, ast.If):
+            return self._if_stmt(stmts, i)
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmts, i, stmt)
+            # `cpu.pc = C` directly followed by `break` is an exit.
+            if len(stmt.targets) == 1 \
+                    and _is_cpu_attr(stmt.targets[0], "pc") \
+                    and i + 1 < len(stmts) \
+                    and isinstance(stmts[i + 1], ast.Break):
+                self.events.append(Exit(pc=self.committed_pc,
+                                        state=self.state()))
+                self.terminated = True
+                return i + 2
+            return i + 1
+        if isinstance(stmt, ast.AugAssign):
+            self._aug_assign(stmt)
+            return i + 1
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            self._handler_call(stmt.value)
+            return i + 1
+        raise TvStructureError(
+            f"unsupported statement `{ast.dump(stmt)[:80]}`")
+
+    # -- conditionals ------------------------------------------------------
+
+    def _if_stmt(self, stmts: List[ast.stmt], i: int) -> int:
+        stmt = stmts[i]
+        assert isinstance(stmt, ast.If)
+        if _matches(stmt, _CHARGE_FLUSH):
+            self.pending_flush = self.chg
+            self.chg = 0
+            return i + 1
+        if _matches(stmt, _IRQ_CHECK):
+            self.events.append(IrqExit(pc=self.committed_pc,
+                                       state=self.state()))
+            return i + 1
+        smc = self._match_smc(stmt)
+        if smc is not None:
+            page, generation = smc
+            self.events.append(SmcExit(page=page, generation=generation,
+                                       pc=self.committed_pc,
+                                       state=self.state()))
+            return i + 1
+        pacing = self._match_pacing(stmt)
+        if pacing is not None:
+            if i != 0 or self.ir != 0:
+                raise TvStructureError("pacing check not at the loop top")
+            self.events.append(pacing)
+            return i + 1
+        # Conditional exits / terminators.
+        if not stmt.orelse:
+            if len(stmt.body) == 2 \
+                    and isinstance(stmt.body[0], ast.Assign) \
+                    and isinstance(stmt.body[1], ast.Break):
+                target = self._exit_pc(stmt.body[0])
+                self.events.append(CondExit(
+                    cond=self.lift_bool(stmt.test), pc=target,
+                    state=self.state()))
+                return i + 1
+            raise TvStructureError(
+                f"unrecognised conditional `{ast.dump(stmt)[:100]}`")
+        if len(stmt.body) == 1 and len(stmt.orelse) == 1 \
+                and isinstance(stmt.body[0], ast.Assign) \
+                and isinstance(stmt.orelse[0], ast.Assign) \
+                and i + 1 < len(stmts) \
+                and isinstance(stmts[i + 1], ast.Break):
+            taken = self._exit_pc(stmt.body[0])
+            fall = self._exit_pc(stmt.orelse[0])
+            self.events.append(CondTerm(
+                cond=self.lift_bool(stmt.test), taken=taken, fall=fall,
+                state=self.state()))
+            self.terminated = True
+            return i + 2
+        raise TvStructureError(
+            f"unrecognised conditional `{ast.dump(stmt)[:100]}`")
+
+    @staticmethod
+    def _exit_pc(stmt: ast.stmt) -> int:
+        assert isinstance(stmt, ast.Assign)
+        if len(stmt.targets) != 1 \
+                or not _is_cpu_attr(stmt.targets[0], "pc"):
+            raise TvStructureError("exit edge does not assign cpu.pc")
+        value = _int_const(stmt.value)
+        if value is None:
+            raise TvStructureError("exit PC is not a constant")
+        return value
+
+    def _match_smc(self, stmt: ast.If) -> Optional[Tuple[int, int]]:
+        test = stmt.test
+        if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.NotEq)):
+            return None
+        left = test.left
+        if not (isinstance(left, ast.Subscript)
+                and _is_name(left.value, "gens")):
+            return None
+        index = left.slice
+        if isinstance(index, ast.Index):  # Python < 3.9 compatibility
+            index = index.value  # type: ignore[attr-defined]
+        page = _int_const(index)
+        generation = _int_const(test.comparators[0])
+        if page is None or generation is None:
+            return None
+        if len(stmt.body) != 1 or not isinstance(stmt.body[0], ast.Break) \
+                or stmt.orelse:
+            raise TvStructureError("malformed SMC generation check")
+        return page, generation
+
+    def _match_pacing(self, stmt: ast.If) -> Optional[Pacing]:
+        test = stmt.test
+        if not (isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or)
+                and len(test.values) == 2):
+            return None
+
+        def limit(node: ast.expr, counter: str,
+                  bound: str) -> Optional[int]:
+            if not (isinstance(node, ast.Compare) and len(node.ops) == 1
+                    and isinstance(node.ops[0], ast.Gt)
+                    and _is_name(node.comparators[0], bound)
+                    and isinstance(node.left, ast.BinOp)
+                    and isinstance(node.left.op, ast.Add)
+                    and _is_name(node.left.left, counter)):
+                return None
+            return _int_const(node.left.right)
+
+        insns = limit(test.values[0], "ir", "li")
+        cycles = limit(test.values[1], "cy", "lc")
+        if insns is None or cycles is None:
+            return None
+        if len(stmt.body) != 2 or not isinstance(stmt.body[1], ast.Break) \
+                or stmt.orelse:
+            raise TvStructureError("malformed pacing check")
+        return Pacing(insns=insns, cycles=cycles,
+                      exit_pc=self._exit_pc(stmt.body[0]))
+
+    # -- assignments -------------------------------------------------------
+
+    def _assign(self, stmts: List[ast.stmt], i: int,
+                stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            raise TvStructureError("multi-target assignment")
+        target = stmt.targets[0]
+        if isinstance(target, ast.Tuple):
+            self._tuple_assign(target, stmt.value)
+            return
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name == "f":
+                if _is_cpu_attr(stmt.value, "flags"):
+                    self.f = self.cpu_flags
+                else:
+                    self.f = self.lift_expr(stmt.value)
+                return
+            if name == "saved":
+                value = _int_const(stmt.value)
+                if value is None:
+                    raise TvStructureError("saved PC is not a constant")
+                self.saved = value
+                return
+            if name in ("a", "b", "t", "m"):
+                self.locals[name] = self.lift_expr(stmt.value)
+                return
+            raise TvStructureError(f"assignment to unexpected `{name}`")
+        index = _reg_index(target)
+        if index is not None:
+            if not 0 <= index < 8:
+                raise TvStructureError(f"register index {index} out of range")
+            self.regs[index] = self.lift_expr(stmt.value)
+            return
+        if _is_cpu_attr(target, "flags"):
+            if not _is_name(stmt.value, "f"):
+                raise TvStructureError("cpu.flags committed from non-`f`")
+            self.cpu_flags = self.f
+            return
+        if _is_cpu_attr(target, "instret"):
+            if not _is_name(stmt.value, "ir"):
+                raise TvStructureError("cpu.instret committed from non-`ir`")
+            self.committed_ir = self.ir
+            return
+        if _is_cpu_attr(target, "cycle_count"):
+            if not _is_name(stmt.value, "cy"):
+                raise TvStructureError(
+                    "cpu.cycle_count committed from non-`cy`")
+            self.committed_cy = self.cy
+            return
+        if _is_cpu_attr(target, "pc"):
+            value = _int_const(stmt.value)
+            if value is None:
+                raise TvStructureError("cpu.pc set to a non-constant")
+            self.committed_pc = value
+            return
+        raise TvStructureError(
+            f"unsupported assignment target `{ast.dump(target)[:80]}`")
+
+    def _tuple_assign(self, target: ast.Tuple, value: ast.expr) -> None:
+        if not isinstance(value, ast.Tuple) \
+                or len(target.elts) != len(value.elts):
+            raise TvStructureError("malformed tuple assignment")
+        indices: List[int] = []
+        for element in target.elts:
+            index = _reg_index(element)
+            if index is None or not 0 <= index < 8:
+                raise TvStructureError("tuple assignment to non-register")
+            indices.append(index)
+        new = [self.lift_expr(element) for element in value.elts]
+        for index, expr in zip(indices, new):
+            self.regs[index] = expr
+
+    def _aug_assign(self, stmt: ast.AugAssign) -> None:
+        if not isinstance(stmt.op, ast.Add) \
+                or not isinstance(stmt.target, ast.Name):
+            raise TvStructureError("unsupported augmented assignment")
+        amount = _int_const(stmt.value)
+        if amount is None:
+            raise TvStructureError("counter increment is not a constant")
+        name = stmt.target.id
+        if name == "ir":
+            self.ir += amount
+        elif name == "cy":
+            self.cy += amount
+        elif name == "chg":
+            self.chg += amount
+        else:
+            raise TvStructureError(f"augmented assignment to `{name}`")
+
+    # -- handler dispatch --------------------------------------------------
+
+    def _handler_call(self, call: ast.Call) -> None:
+        func = call.func
+        if not isinstance(func, ast.Name) or not func.id.startswith("h"):
+            raise TvStructureError(
+                f"unexpected call `{ast.dump(call)[:80]}`")
+        try:
+            index = int(func.id[1:])
+        except ValueError:
+            raise TvStructureError(f"unexpected call to `{func.id}`") \
+                from None
+        if index != self.handler_index:
+            raise TvStructureError(
+                f"handler h{index} called out of order "
+                f"(expected h{self.handler_index})")
+        if index >= len(self.handlers):
+            raise TvStructureError(f"handler h{index} has no binding")
+        if len(call.args) != 1 or call.keywords \
+                or not _is_name(call.args[0], f"o{index}"):
+            raise TvStructureError(
+                f"handler h{index} not called with o{index}")
+        if self.pending_flush is None:
+            raise TvStructureError(
+                f"no budget flush before handler h{index}")
+        self.events.append(Barrier(
+            flags=self.cpu_flags, ir=self.committed_ir,
+            cy=self.committed_cy, chg=self.pending_flush,
+            saved=self.saved, next_pc=self.committed_pc,
+            regs=tuple(self.regs)))
+        self.pending_flush = None
+        self.events.append(HandlerCall(index=index))
+        name, operands = self.handlers[index]
+        mnemonic = name[4:].upper()
+        for written in sema.handler_written_regs(mnemonic, operands):
+            self.regs[written] = sema.havoc_reg(index, written)
+        if mnemonic in sema.HANDLER_WRITES_FLAGS:
+            self.cpu_flags = sema.havoc_flags(index)
+        self.handler_index += 1
+
+
+# -- skeleton ----------------------------------------------------------------
+
+
+def _parse_factory(source: str,
+                   handler_count: int) -> ast.FunctionDef:
+    tree = ast.parse(source)
+    if len(tree.body) != 1 or not isinstance(tree.body[0], ast.FunctionDef):
+        raise TvStructureError("source is not a single factory function")
+    factory = tree.body[0]
+    if factory.name != "_factory":
+        raise TvStructureError(f"factory named `{factory.name}`")
+    expected = ["Fault", "GUEST"]
+    for index in range(handler_count):
+        expected += [f"h{index}", f"o{index}"]
+    actual = [arg.arg for arg in factory.args.args]
+    if actual != expected:
+        raise TvStructureError(
+            f"factory parameters {actual} != expected {expected}")
+    return factory
+
+
+def lift_python_block(source: str, handlers: List[Tuple[str, Any]],
+                      entry_pc: int) -> LiftedBlock:
+    """Lift one generated block; raises :class:`TvStructureError`."""
+    factory = _parse_factory(source, len(handlers))
+    if len(factory.body) != 2 \
+            or not isinstance(factory.body[0], ast.FunctionDef) \
+            or not isinstance(factory.body[1], ast.Return) \
+            or not _is_name(factory.body[1].value or ast.Name(id=""),
+                            "_block"):
+        raise TvStructureError("factory body is not `_block` + return")
+    block = factory.body[0]
+    if block.name != "_block" \
+            or [arg.arg for arg in block.args.args] != ["cpu"]:
+        raise TvStructureError("inner function is not `_block(cpu)`")
+
+    stmts = list(block.body)
+    for line in _PREAMBLE:
+        if not stmts:
+            raise TvStructureError("preamble truncated")
+        _require(stmts.pop(0), line, "preamble")
+    binds_irq = bool(stmts) and _matches(stmts[0], "irq = cpu.irq_source")
+    if binds_irq:
+        stmts.pop(0)
+    binds_gens = bool(stmts) \
+        and _matches(stmts[0], "gens = cpu.memory.page_gens")
+    if binds_gens:
+        stmts.pop(0)
+    binds_limits = bool(stmts) \
+        and _matches(stmts[0], "li = cpu.block_instret_limit")
+    if binds_limits:
+        stmts.pop(0)
+        if not stmts:
+            raise TvStructureError("preamble truncated")
+        _require(stmts.pop(0), "lc = cpu.block_cycle_limit", "preamble")
+
+    if not stmts or not isinstance(stmts[0], ast.Try):
+        raise TvStructureError("missing try block")
+    try_stmt = stmts.pop(0)
+    if len(try_stmt.body) != 1 \
+            or not isinstance(try_stmt.body[0], ast.While) \
+            or try_stmt.orelse or try_stmt.finalbody:
+        raise TvStructureError("try body is not a single while loop")
+    loop = try_stmt.body[0]
+    test = loop.test
+    if not (isinstance(test, ast.Constant) and test.value is True) \
+            or loop.orelse:
+        raise TvStructureError("loop is not `while True`")
+    if len(try_stmt.handlers) != 1:
+        raise TvStructureError("expected exactly one except clause")
+    handler = try_stmt.handlers[0]
+    if handler.type is None or not _is_name(handler.type, "Fault") \
+            or handler.name != "fault" \
+            or len(handler.body) != len(_EXCEPT_BODY):
+        raise TvStructureError("malformed fault handler")
+    for stmt, line in zip(handler.body, _EXCEPT_BODY):
+        _require(stmt, line, "fault handler")
+
+    if len(stmts) != len(_EPILOGUE):
+        raise TvStructureError(
+            f"epilogue has {len(stmts)} statements, expected "
+            f"{len(_EPILOGUE)}")
+    for stmt, line in zip(stmts, _EPILOGUE):
+        _require(stmt, line, "epilogue")
+
+    lifter = _Lifter(handlers, entry_pc)
+    lifter.run(list(loop.body))
+    return LiftedBlock(events=lifter.events, binds_irq=binds_irq,
+                       binds_gens=binds_gens, binds_limits=binds_limits,
+                       handler_count=lifter.handler_index)

@@ -1,0 +1,187 @@
+"""Offline translation validation of whole guest images.
+
+Finds every statically-visible hot-loop candidate in a flat HX32 image
+(targets of backward JMP/Jcc/CALL transfers — the same signal the
+live engine's ``note_backward`` counter uses), compiles each one with
+a real :class:`repro.interp.translate.SuperblockEngine` on a scratch
+CPU, and runs :func:`repro.analysis.tv.validator.validate_block` over
+everything that compiled.  This is what the ``repro-tv`` CLI, the CI
+``tv`` job and the analyzer's AN011 check drive.
+
+Dynamically-discovered entries (indirect branches, profiler samples)
+can be added via ``extra_entries``; candidates the engine *refuses*
+(trace too short, unmapped entry) are reported separately — a refusal
+is not a validation failure, it just means no block was installed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from repro.analysis import sema
+from repro.analysis.tv.validator import TvResult, validate_block
+from repro.asm.disasm import decode_range
+from repro.hw import Cpu, IoBus, PhysicalMemory, firmware, isa
+
+#: Matches the analyzer's canonical 16 MiB test machine.
+DEFAULT_MEMORY_SIZE = 16 << 20
+
+#: Statically-resolvable control transfers (FMT_REL) whose backward
+#: targets the live engine would warm towards compilation.
+_REL_CONTROL = sema.CONDITIONAL_BRANCHES | frozenset({"JMP", "CALL"})
+
+
+def backward_targets(image: bytes, origin: int) -> List[int]:
+    """Distinct backward-transfer targets, in image order."""
+    seen = set()
+    targets: List[int] = []
+    end = origin + len(image)
+    for insn in decode_range(bytes(image), origin):
+        if insn.mnemonic not in _REL_CONTROL:
+            continue
+        rel = isa.signed32(int.from_bytes(insn.raw[1:5], "little"))
+        target = isa.mask32(insn.address + insn.length + rel)
+        if target < insn.address and origin <= target < end \
+                and target not in seen:
+            seen.add(target)
+            targets.append(target)
+    return targets
+
+
+@dataclass
+class OfflineReport:
+    """Validation results for every compiled candidate of one image."""
+
+    origin: int
+    candidates: List[int]
+    #: Candidates the engine declined to compile (no block to check).
+    refused: List[int]
+    results: List[TvResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failed(self) -> List[TvResult]:
+        return [result for result in self.results if not result.ok]
+
+    def format_text(self) -> str:
+        lines = [result.summary() for result in self.results]
+        for result in self.failed:
+            for message in result.failures:
+                lines.append(f"    {message}")
+        lines.append(
+            f"{len(self.results)} block(s) validated, "
+            f"{len(self.failed)} failed, {len(self.refused)} candidate(s) "
+            f"refused by the engine")
+        return "\n".join(lines)
+
+
+def validate_image(image: bytes, origin: int, *,
+                   memory_size: int = DEFAULT_MEMORY_SIZE,
+                   extra_entries: Iterable[int] = ()) -> OfflineReport:
+    """Compile and validate every superblock candidate of an image."""
+    memory = PhysicalMemory(memory_size)
+    cpu = Cpu(memory, IoBus(), translate=True)
+    firmware.install_flat_firmware(cpu)
+    memory.write(origin, bytes(image))
+
+    engine = cpu._sb_engine
+    assert engine is not None
+    descriptor = cpu.segments[0].descriptor
+
+    candidates = backward_targets(image, origin)
+    for entry in extra_entries:
+        if entry not in candidates:
+            candidates.append(entry)
+
+    refused: List[int] = []
+    report = OfflineReport(origin=origin, candidates=candidates,
+                           refused=refused)
+    for target in candidates:
+        linear = (descriptor.base + target) & 0xFFFFFFFF
+        if linear not in engine.blocks:
+            engine._compile(target, linear, descriptor)
+        if linear not in engine.blocks:
+            refused.append(target)
+            continue
+        report.results.append(
+            validate_block(engine.block_meta[linear],
+                           block=engine.blocks[linear],
+                           page_gens=memory.page_gens))
+    return report
+
+
+def validate_program(program, **kwargs) -> OfflineReport:
+    """Validate an assembled :class:`repro.asm.assembler.Program`."""
+    return validate_image(program.image, program.origin, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Seeded random programs — the validator's false-positive fuzzer.
+
+_FUZZ_ORIGIN = 0x4000
+_FUZZ_SCRATCH = 0x9000
+_FUZZ_REGS = (1, 2, 3, 4, 5)
+_FUZZ_ALU_RI = ("ADDI", "SUBI", "ANDI", "ORI", "XORI")
+_FUZZ_ALU_RR = ("ADD", "SUB", "AND", "OR", "XOR", "MOV")
+_FUZZ_JCC = ("JZ", "JNZ", "JC", "JNC", "JS", "JNS")
+
+
+def _fuzz_body(rng: random.Random, index: int) -> List[str]:
+    """One random loop-body fragment (same mix the JIT tests use)."""
+    kind = rng.randrange(8)
+    reg = rng.choice(_FUZZ_REGS)
+    other = rng.choice(_FUZZ_REGS)
+    if kind == 0:
+        return [f"    {rng.choice(_FUZZ_ALU_RI)} R{reg}, "
+                f"{rng.randrange(1, 0xFFFF)}"]
+    if kind == 1:
+        return [f"    {rng.choice(_FUZZ_ALU_RR)} R{reg}, R{other}"]
+    if kind == 2:
+        op = rng.choice(("SHLI", "SHRI"))
+        return [f"    {op} R{reg}, {rng.randrange(1, 12)}"]
+    if kind == 3:
+        return [f"    LD R{reg}, [R6+{4 * rng.randrange(0, 8)}]"]
+    if kind == 4:
+        return [f"    ST [R6+{4 * rng.randrange(0, 8)}], R{reg}"]
+    if kind == 5:
+        op = rng.choice(("CMP", "TEST"))
+        return [f"    {op} R{reg}, R{other}"]
+    if kind == 6:
+        jcc = rng.choice(_FUZZ_JCC)
+        return [f"    {jcc} fuzz_skip_{index}",
+                f"    {rng.choice(_FUZZ_ALU_RI)} R{reg}, "
+                f"{rng.randrange(1, 255)}",
+                f"fuzz_skip_{index}:"]
+    return [f"    {rng.choice(('NOT', 'NEG'))} R{reg}"]
+
+
+def random_source(seed: int) -> str:
+    """A deterministic random counted-loop program for seed ``seed``."""
+    rng = random.Random(seed)
+    lines = [
+        f"    MOVI R0, {rng.randrange(40, 200)}",
+        f"    MOVI R6, {_FUZZ_SCRATCH:#x}",
+    ]
+    for reg in _FUZZ_REGS:
+        lines.append(f"    MOVI R{reg}, {rng.randrange(0, 1 << 16)}")
+    lines.append("loop:")
+    for index in range(rng.randrange(3, 13)):
+        lines.extend(_fuzz_body(rng, index))
+    lines.extend(["    SUBI R0, 1", "    JNZ loop", "    HLT"])
+    return "\n".join(lines) + "\n"
+
+
+def validate_random(count: int, *, seed_base: int = 0) -> List[OfflineReport]:
+    """Compile and validate ``count`` seeded random programs."""
+    from repro.asm import assemble
+
+    reports = []
+    for seed in range(seed_base, seed_base + count):
+        program = assemble(random_source(seed), origin=_FUZZ_ORIGIN)
+        reports.append(validate_program(program))
+    return reports

@@ -57,7 +57,7 @@ from repro.hw.uart import (
     REG_LSR,
 )
 from repro.perf.costmodel import DEFAULT_COST_MODEL
-from repro.perf.export import fault_stats
+from repro.obs.metrics import collect_fault
 from repro.replay import FlightRecorder, save_journal
 from repro.perf.stacks import InterruptDispatcher, make_stack
 from repro.rsp.client import RetryPolicy, RspClient
@@ -505,7 +505,7 @@ def run_scenario(name: str, seed: int, record: bool = True,
         "seed": seed,
         "ok": not violations,
         "violations": violations,
-        "fault_stats": fault_stats(plan, **collected),
+        "fault_stats": collect_fault(plan, **collected),
         "trace": plan.trace.format(),
         "trace_digest": plan.trace.digest(),
     }

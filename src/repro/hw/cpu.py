@@ -168,9 +168,16 @@ class Cpu:
     #: Class-level so determinism regressions can ablate it globally.
     TRANSLATE_DEFAULT = True
 
+    #: Default for the ``verify_translations`` constructor argument —
+    #: whether every compiled superblock must pass the translation
+    #: validator before it is installed (repro.analysis.tv).
+    #: Class-level so determinism tests can force it globally.
+    VERIFY_DEFAULT = False
+
     def __init__(self, memory, bus, budget: Optional[CycleBudget] = None,
                  decode_cache: bool = True,
-                 translate: Optional[bool] = None) -> None:
+                 translate: Optional[bool] = None,
+                 verify_translations: Optional[bool] = None) -> None:
         self.memory = memory
         self.bus = bus
         self.budget = budget or CycleBudget()
@@ -258,11 +265,14 @@ class Cpu:
 
         if translate is None:
             translate = self.TRANSLATE_DEFAULT
+        if verify_translations is None:
+            verify_translations = self.VERIFY_DEFAULT
         if translate and decode_cache:
             # Imported here: repro.interp.translate imports CpuFault
             # from this module at its top level.
             from repro.interp.translate import SuperblockEngine
             self._sb_engine = SuperblockEngine(self)
+            self._sb_engine.verify = verify_translations
             self._sb_blocks = self._sb_engine.blocks
 
     # ------------------------------------------------------------------

@@ -52,6 +52,10 @@ class MachineConfig:
         (262144, 1), (262144, 2), (262144, 3)])  # 128 MiB each
     disk_rate_bytes_per_sec: float = 40e6
     with_nic: bool = True
+    #: Run the translation validator on every compiled superblock and
+    #: refuse blocks it cannot prove equivalent (see
+    #: :mod:`repro.analysis.tv`).  None defers to ``Cpu.VERIFY_DEFAULT``.
+    verify_translations: Optional[bool] = None
     #: Where the NIC's register window lives.  The default sits in
     #: PCI-hole territory above RAM; functional guests that must reach
     #: it through segmentation (whose limits stop below the monitor)
@@ -68,7 +72,8 @@ class Machine:
         self.budget = CycleBudget(self.config.cpu_hz)
         self.memory = PhysicalMemory(self.config.memory_size)
         self.bus = IoBus()
-        self.cpu = Cpu(self.memory, self.bus, self.budget)
+        self.cpu = Cpu(self.memory, self.bus, self.budget,
+                       verify_translations=self.config.verify_translations)
 
         # Interrupt controller pair.
         self.pic = PicPair()

@@ -48,41 +48,25 @@ breakpointed PCs all fall back to the interpreter, exactly as before.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+# The instruction classification (what inlines, what needs a handler,
+# what touches memory/stores) is shared with the static-analysis stack
+# so HX32 semantics live in one module.  The *formula strings* below
+# stay local on purpose: they are the independent encoding the
+# translation validator (repro.analysis.tv) checks against
+# repro.analysis.sema's reference semantics.
+from repro.analysis.sema import (
+    HANDLER as _HANDLER,
+    INLINE as _INLINE,
+    MEMORY as _MEMORY,
+    STORE as _STORE,
+)
 from repro.hw import isa
 from repro.hw.cpu import CpuFault
 from repro.hw.paging import PAGE_SHIFT
 from repro.sim.budget import CAT_GUEST
-
-#: Mnemonics whose semantics are inlined as generated Python (pure
-#: register/flag transforms: cannot fault, cannot touch memory or
-#: devices, cannot change privilege or control state).
-_INLINE = frozenset({
-    "NOP", "MOVI", "MOV", "LEA", "XCHG",
-    "ADD", "ADDI", "SUB", "SUBI", "AND", "ANDI", "OR", "ORI",
-    "XOR", "XORI", "SHL", "SHLI", "SHR", "SHRI", "MUL", "MULI",
-    "DIVI",  # immediate != 0 only; DIVI #0 ends the trace instead
-    "CMP", "CMPI", "TEST", "NOT", "NEG",
-})
-
-#: Mnemonics executed through their bound interpreter handler (they can
-#: fault or touch memory/MMIO, so the translator commits per-instruction
-#: state around the call instead of inlining).
-_HANDLER = frozenset({
-    "LD", "LD8", "LD16", "ST", "ST8", "ST16",
-    "PUSH", "PUSHI", "POP", "DIV",
-})
-
-#: Handler instructions that access memory (an MMIO side effect may
-#: raise an interrupt; acceptance must happen at the next boundary).
-_MEMORY = frozenset({
-    "LD", "LD8", "LD16", "ST", "ST8", "ST16", "PUSH", "PUSHI", "POP",
-})
-
-#: Handler instructions that can write memory (self-modifying-code
-#: hazard for the remainder of the block).
-_STORE = frozenset({"ST", "ST8", "ST16", "PUSH", "PUSHI"})
 
 #: Conditional terminators: (taken-expr, not-taken-expr) over the local
 #: flag word ``f`` (CF=1, ZF=64, SF=128, OF=2048; ``(f >> 4) ^ f``
@@ -106,6 +90,29 @@ _TERMINATORS = frozenset(_COND) | {"JMP"}
 
 _MASK = 4294967295  # 0xFFFFFFFF
 #: ``f & -2242`` clears CF|ZF|SF|OF (~0x8C1) and preserves TF/IF/IOPL.
+
+
+@dataclass
+class BlockMeta:
+    """Translation-time record of one compiled superblock.
+
+    Everything the translation validator needs to re-derive and check
+    the block: the decoded trace it was compiled from, the generated
+    source, the handler binding table and the static guard values the
+    block tuple bakes in.  Kept per cached block (dropped on evict /
+    invalidate) so blocks can also be validated offline after the fact.
+    """
+
+    entry_pc: int
+    entry_lin: int
+    phys_entry: int
+    page: int
+    generation: int
+    paging: bool
+    descriptor: object
+    source: str
+    insns: List[Tuple[int, isa.InsnSpec, object]]
+    handlers: List[Tuple[str, object]]
 
 
 def _add_lines(dest: Optional[str], a: str, b: str) -> List[str]:
@@ -251,6 +258,8 @@ class SuperblockEngine:
         self.enabled = True
         #: linear entry PC -> block tuple; shared with the CPU.
         self.blocks: Dict[int, tuple] = {}
+        #: linear entry PC -> BlockMeta for every cached block.
+        self.block_meta: Dict[int, BlockMeta] = {}
         self._hot: Dict[int, int] = {}
         self._refused: Set[int] = set()
         self.blocks_compiled = 0
@@ -258,6 +267,13 @@ class SuperblockEngine:
         self.guard_failures = 0
         self.invalidations = 0
         self.insns_translated = 0
+        #: Verify-on-compile: run the translation validator on every
+        #: block at translation time; rejected blocks are never
+        #: installed (execution falls back to the decode cache).
+        self.verify = False
+        self.tv_validated = 0
+        self.tv_rejected = 0
+        self.tv_failures: List[str] = []
 
     # ------------------------------------------------------------------
     # Hot-spot detection
@@ -295,12 +311,14 @@ class SuperblockEngine:
         if self.blocks:
             self.blocks.clear()
             self.invalidations += 1
+        self.block_meta.clear()
         self._hot.clear()
         self._refused.clear()
 
     def evict(self, linear: int) -> None:
         """Drop one stale block (failed static guard) for recompilation."""
         self.blocks.pop(linear, None)
+        self.block_meta.pop(linear, None)
         self.guard_failures += 1
 
     def stats(self) -> dict:
@@ -316,6 +334,15 @@ class SuperblockEngine:
             "insns_translated": self.insns_translated,
             "hit_rate": (self.insns_translated / instret)
             if instret else 0.0,
+        }
+
+    def tv_stats(self) -> dict:
+        """Verify-on-compile counters (``analysis.tv.*`` metrics)."""
+        return {
+            "enabled": self.verify,
+            "validated": self.tv_validated,
+            "rejected": self.tv_rejected,
+            "failures": list(self.tv_failures),
         }
 
     # ------------------------------------------------------------------
@@ -525,6 +552,27 @@ class SuperblockEngine:
         emit("    return _block")
         source = "\n".join(src) + "\n"
 
+        meta = BlockMeta(entry_pc=entry_pc, entry_lin=entry_lin,
+                         phys_entry=phys_entry, page=page,
+                         generation=generation,
+                         paging=cpu.paging_enabled,
+                         descriptor=descriptor, source=source,
+                         insns=insns, handlers=handlers)
+        if self.verify:
+            # Imported lazily: the validator pulls in the analysis
+            # stack, which most Cpu users never need.
+            from repro.analysis.tv.validator import validate_block
+            result = validate_block(meta)
+            self.tv_validated += 1
+            if not result.ok:
+                self.tv_rejected += 1
+                if len(self.tv_failures) < 64:
+                    self.tv_failures.extend(
+                        f"block@{entry_lin:#x}: {message}"
+                        for message in result.failures[:4])
+                self._refused.add(entry_lin)
+                return
+
         namespace: dict = {}
         exec(compile(source, f"<superblock@{entry_lin:#x}>", "exec"),
              namespace)
@@ -539,4 +587,5 @@ class SuperblockEngine:
         self.blocks[entry_lin] = (fn, total_insns, total_cycles,
                                   descriptor, cpu.paging_enabled,
                                   page, generation)
+        self.block_meta[entry_lin] = meta
         self.blocks_compiled += 1

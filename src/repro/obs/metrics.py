@@ -240,6 +240,25 @@ def collect_interp(cpu, registry: Optional[MetricsRegistry] = None
     return stats
 
 
+def collect_tv(cpu, registry: Optional[MetricsRegistry] = None) -> dict:
+    """Translation-validator counters → ``analysis.tv.*`` gauges.
+
+    Publishes the numeric fields of the superblock engine's
+    ``tv_stats()`` (enabled as 0/1, blocks validated, blocks rejected);
+    the failure-message list stays in the returned dict only.
+    """
+    engine = getattr(cpu, "_sb_engine", None)
+    if engine is None:
+        stats = {"enabled": False, "validated": 0, "rejected": 0,
+                 "failures": []}
+    else:
+        stats = engine.tv_stats()
+    _publish(registry if registry is not None else _GLOBAL, "analysis.tv",
+             {key: value for key, value in stats.items()
+              if key != "failures"})
+    return stats
+
+
 def collect_analysis(report, registry: Optional[MetricsRegistry] = None
                      ) -> dict:
     """Static-analyzer counters → registry + legacy dict."""

@@ -18,10 +18,18 @@ from __future__ import annotations
 
 import csv
 import json
+import warnings
 from pathlib import Path
 from typing import Dict, Optional
 
 from repro.perf.sweep import FigureSeries, HeadlineRatios, LEGEND
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.perf.export.{old} is deprecated; use "
+        f"repro.obs.metrics.{new} instead",
+        DeprecationWarning, stacklevel=3)
 
 
 def figure_rows(series: Dict[str, FigureSeries]) -> list:
@@ -100,15 +108,17 @@ def interp_stats(cpu) -> dict:
        the counters as ``interp.*`` gauges in the global registry.
     """
     from repro.obs.metrics import collect_interp
+    _deprecated("interp_stats", "collect_interp")
     return collect_interp(cpu)
 
 
 def export_interp_stats(cpu, path, extra: Optional[dict] = None) -> Path:
     """Write the interpreter fast-path counters as a JSON document."""
+    from repro.obs.metrics import collect_interp
     path = Path(path)
     document = {
         "experiment": "interp-fast-path",
-        "stats": interp_stats(cpu),
+        "stats": collect_interp(cpu),
     }
     if extra:
         document.update(extra)
@@ -134,6 +144,7 @@ def fault_stats(plan, client=None, monitor=None,
        :func:`repro.obs.metrics.collect_fault` (``fault.*`` gauges).
     """
     from repro.obs.metrics import collect_fault
+    _deprecated("fault_stats", "collect_fault")
     return collect_fault(plan, client=client, monitor=monitor,
                          devices=devices)
 
@@ -142,11 +153,12 @@ def export_fault_stats(plan, path, client=None, monitor=None,
                        devices: Optional[dict] = None,
                        extra: Optional[dict] = None) -> Path:
     """Write the fault-injection counters as a JSON document."""
+    from repro.obs.metrics import collect_fault
     path = Path(path)
     document = {
         "experiment": "fault-injection",
-        "stats": fault_stats(plan, client=client, monitor=monitor,
-                             devices=devices),
+        "stats": collect_fault(plan, client=client, monitor=monitor,
+                               devices=devices),
     }
     if extra:
         document.update(extra)
@@ -173,6 +185,7 @@ def replay_stats(recorder=None, result=None, minimize=None,
        :func:`repro.obs.metrics.collect_replay` (``replay.*`` gauges).
     """
     from repro.obs.metrics import collect_replay
+    _deprecated("replay_stats", "collect_replay")
     return collect_replay(recorder=recorder, result=result,
                           minimize=minimize, store=store)
 
@@ -181,11 +194,12 @@ def export_replay_stats(path, recorder=None, result=None,
                         minimize=None, store=None,
                         extra: Optional[dict] = None) -> Path:
     """Write the record/replay counters as a JSON document."""
+    from repro.obs.metrics import collect_replay
     path = Path(path)
     document = {
         "experiment": "record-replay",
-        "stats": replay_stats(recorder=recorder, result=result,
-                              minimize=minimize, store=store),
+        "stats": collect_replay(recorder=recorder, result=result,
+                                minimize=minimize, store=store),
     }
     if extra:
         document.update(extra)
@@ -206,16 +220,18 @@ def analysis_stats(report) -> dict:
        (``analysis.*`` gauges).
     """
     from repro.obs.metrics import collect_analysis
+    _deprecated("analysis_stats", "collect_analysis")
     return collect_analysis(report)
 
 
 def export_analysis_json(report, path,
                          extra: Optional[dict] = None) -> Path:
     """Write a static-analysis report (stats + findings) as JSON."""
+    from repro.obs.metrics import collect_analysis
     path = Path(path)
     document = {
         "experiment": "static-analysis",
-        "stats": analysis_stats(report),
+        "stats": collect_analysis(report),
         "report": report.to_dict(),
     }
     if extra:

@@ -989,12 +989,16 @@ class LightweightVmm:
             return self.watchdog.report()
         if command == "jit":
             return self._jit_command(parts[1:])
+        if command == "tv":
+            return self._tv_command(parts[1:])
         if command == "help":
             return ("monitor commands: stats console trace [n] shadow "
-                    "hang watchdog record [checkpoint] replay jit help\n"
+                    "hang watchdog record [checkpoint] replay jit tv "
+                    "help\n"
                     "structured trace: trace start [stride] | stop | "
                     "dump [n] | status\n"
-                    "superblocks: jit [on|off|flush]")
+                    "superblocks: jit [on|off|flush]\n"
+                    "translation validation: tv [on|off]")
         return f"unknown monitor command {command!r} (try 'help')"
 
     def _jit_command(self, parts) -> str:
@@ -1028,6 +1032,36 @@ class LightweightVmm:
                 f"{stats['guard_failures']} guard failures\n"
                 f"translated: {stats['insns_translated']} instructions "
                 f"(hit-rate {stats['hit_rate']:.3f})")
+
+    def _tv_command(self, parts) -> str:
+        """``monitor tv [on|off]``: verify-on-compile translation
+        validation control and status (see docs/INTERNALS.md §13)."""
+        cpu = self.machine.cpu
+        engine = cpu._sb_engine
+        if engine is None:
+            return ("translation validation unavailable "
+                    "(CPU built with translate=False)")
+        if parts:
+            action = parts[0]
+            if action == "on":
+                engine.verify = True
+                # Already-installed blocks were compiled unverified;
+                # flush so every live block has been through the prover.
+                engine.invalidate()
+                return ("translation validation enabled "
+                        "(block cache flushed)")
+            if action == "off":
+                engine.verify = False
+                return "translation validation disabled"
+            return f"unknown tv subcommand {action!r} (try 'help')"
+        stats = engine.tv_stats()
+        lines = [f"translation validation: "
+                 f"{'on' if stats['enabled'] else 'off'}\n"
+                 f"blocks validated: {stats['validated']}, "
+                 f"rejected: {stats['rejected']}"]
+        for message in stats["failures"][:8]:
+            lines.append(f"  {message}")
+        return "\n".join(lines)
 
     def _trace_command(self, parts) -> str:
         """``monitor trace start|stop|dump|status``: live structured

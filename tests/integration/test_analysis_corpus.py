@@ -63,6 +63,21 @@ class TestShippedImagesClean:
         # timer, syscall, #GP, #PF, vmcall-noop
         assert report.stats["handler_vectors"] == 5
 
+    def test_tv_audit_validates_shipped_superblocks(self):
+        """The embedded translation-validation audit must actually
+        compile and certify the kernel's hot-loop candidates — and
+        find nothing (AN011 clean on shipped images)."""
+        report = analyze_program(build_kernel(),
+                                 monitor_base=MONITOR_BASE)
+        assert report.stats["tv_blocks_checked"] >= 1
+        assert "AN011" not in error_checks(report)
+
+    def test_interprocedural_stats_on_shipped_kernel(self):
+        report = analyze_program(build_kernel(),
+                                 monitor_base=MONITOR_BASE)
+        assert report.stats["functions"] \
+            == report.stats["balanced_functions"]
+
 
 # ---------------------------------------------------------------------------
 # Seeded-bug variants are flagged
@@ -101,6 +116,49 @@ class TestSeededBugs:
         report = analyze_program(program, monitor_base=MONITOR_BASE,
                                  entry_ring=3)
         assert "AN002" in error_checks(report), report.format_text()
+
+    def test_cross_function_stack_imbalance_flagged(self):
+        # A helper that pushes a word it never pops: its RET returns
+        # to the pushed value, not the caller (AN012).
+        program = seeded_kernel(
+            "start:\n",
+            "    JMP  an012_entry\n"
+            "an012_helper:\n"
+            "    PUSH R1\n"
+            "    RET\n"
+            "an012_entry:\n"
+            "    CALL an012_helper\n"
+            "start:\n")
+        report = analyze_program(program, monitor_base=MONITOR_BASE)
+        assert "AN012" in error_checks(report), report.format_text()
+
+    def test_indirect_call_escape_flagged(self):
+        # CALLR through a pointer that resolves outside the image.
+        program = seeded_kernel(
+            "start:\n",
+            "start:\n"
+            f"    MOVI R5, {MONITOR_BASE + 0x100:#x}\n"
+            "    CALLR R5\n")
+        report = analyze_program(program, monitor_base=MONITOR_BASE)
+        assert "AN013" in error_checks(report), report.format_text()
+
+    def test_miscompiled_translator_flagged_by_an011(self, monkeypatch):
+        """Seed a realistic translator bug (ZF computed into the wrong
+        bit) and demand the embedded tv audit catches it: a pristine
+        translator never produces an invalid block, so AN011's trigger
+        has to be a broken emitter, not a broken kernel."""
+        from repro.interp import translate as translate_module
+        original = translate_module._sub_lines
+
+        def buggy(dest, a, b):
+            return [line.replace("(64 if m == 0 else 0)",
+                                 "(32 if m == 0 else 0)")
+                    for line in original(dest, a, b)]
+
+        monkeypatch.setattr(translate_module, "_sub_lines", buggy)
+        report = analyze_program(build_kernel(),
+                                 monitor_base=MONITOR_BASE)
+        assert "AN011" in error_checks(report), report.format_text()
 
 
 # ---------------------------------------------------------------------------

@@ -124,6 +124,87 @@ class TestMonitorRun:
         assert stats["insns_translated"] > 0
 
 
+class TestVerifyOnCompileDeterminism:
+    """The translation validator's verify-on-compile mode must be as
+    invisible as translation itself: with ``Cpu.VERIFY_DEFAULT`` forced
+    on, both golden artifacts must still come out byte-identical."""
+
+    def test_wild_writes_journal_matches_golden_with_verify_on(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setattr(Cpu, "VERIFY_DEFAULT", True)
+        recorded = _wild_writes_journal(tmp_path, "verify-on")
+        with open(GOLDEN_JOURNAL, "rb") as handle:
+            assert recorded == handle.read(), \
+                "verify-on-compile perturbed the replay journal"
+
+    def test_streaming_trace_matches_golden_with_verify_on(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setattr(Cpu, "VERIFY_DEFAULT", True)
+        out = tmp_path / "verify.json"
+        assert trace_main(["record", "--scenario", "streaming",
+                           "--seed", str(SEED), "--out",
+                           str(out)]) == 0
+        with open(GOLDEN_TRACE, "rb") as handle:
+            assert out.read_bytes() == handle.read()
+
+    def test_verification_actually_engaged(self, monkeypatch):
+        """Guard against the golden checks passing vacuously."""
+        monkeypatch.setattr(Cpu, "VERIFY_DEFAULT", True)
+        sess = DebugSession(monitor="lvmm")
+        program = assemble(
+            f".org {firmware.GUEST_KERNEL_BASE}\n{GUEST_LOOP}\n")
+        sess.load_and_boot(program)
+        sess.run_guest(5_000)
+        stats = sess.machine.cpu._sb_engine.tv_stats()
+        assert stats["enabled"]
+        assert stats["validated"] >= 1
+        assert stats["rejected"] == 0
+        assert sess.machine.cpu.block_cache_stats()["entries"] >= 1
+
+
+class TestMonitorTvCommand:
+    def _session(self):
+        sess = DebugSession(monitor="lvmm")
+        program = assemble(
+            f".org {firmware.GUEST_KERNEL_BASE}\n{GUEST_LOOP}\n")
+        sess.load_and_boot(program)
+        return sess
+
+    def test_status_toggle_and_counts(self):
+        sess = self._session()
+        monitor = sess.monitor
+        assert "translation validation: off" in \
+            monitor.monitor_command("tv")
+        assert "enabled" in monitor.monitor_command("tv on")
+        sess.run_guest(5_000)
+        status = monitor.monitor_command("tv")
+        assert "translation validation: on" in status
+        assert "blocks validated" in status
+        assert sess.machine.cpu._sb_engine.tv_validated >= 1
+        assert "disabled" in monitor.monitor_command("tv off")
+        assert "unknown tv subcommand" in \
+            monitor.monitor_command("tv bogus")
+        assert "tv" in monitor.monitor_command("help")
+
+    def test_tv_on_matches_tv_off_architecturally(self):
+        ledgers = []
+        for enable in (False, True):
+            sess = self._session()
+            if enable:
+                sess.monitor.monitor_command("tv on")
+            sess.run_guest(20_000)
+            cpu = sess.machine.cpu
+            ledgers.append((cpu.instret, cpu.cycle_count, cpu.regs[:],
+                            cpu.pc, cpu.flags))
+        assert ledgers[0] == ledgers[1]
+
+    def test_qrcmd_roundtrip_over_rsp(self):
+        sess = self._session()
+        sess.attach()
+        reply = sess.client.monitor_command("tv")
+        assert "translation validation" in reply
+
+
 class TestMonitorJitCommand:
     def _session(self):
         sess = DebugSession(monitor="lvmm")

@@ -1,0 +1,113 @@
+"""The repro-analyze and repro-tv command-line front ends, and the
+exit-code contract CI gates on."""
+
+import pytest
+
+from repro.analysis.cli import exceeds_threshold, main as analyze_main
+from repro.analysis.tv.cli import main as tv_main
+from repro.asm import assemble
+from repro.hw import firmware
+
+
+def _write_image(tmp_path, source):
+    program = assemble(source, origin=firmware.GUEST_KERNEL_BASE)
+    path = tmp_path / "guest.bin"
+    path.write_bytes(program.image)
+    return path
+
+
+CLEAN_GUEST = """
+    MOVI R7, 0x8000
+    MOVI R0, 10
+loop:
+    ADDI R1, 1
+    SUBI R0, 1
+    JNZ  loop
+    HLT
+hang:
+    JMP  hang
+"""
+
+# Stores through a pointer into the monitor region: AN001 at error
+# severity, plus the usual info-level findings.
+DIRTY_GUEST = """
+    MOVI R7, 0x8000
+    MOVI R6, 0xF00040
+    ST   [R6+0], R0
+    HLT
+"""
+
+
+class TestFailOnContract:
+    def test_clean_image_exits_zero(self, tmp_path, capsys):
+        path = _write_image(tmp_path, CLEAN_GUEST)
+        assert analyze_main([str(path),
+                             "--monitor-base", "0xF00000"]) == 0
+        capsys.readouterr()
+
+    def test_error_findings_exit_one_by_default(self, tmp_path, capsys):
+        path = _write_image(tmp_path, DIRTY_GUEST)
+        assert analyze_main([str(path),
+                             "--monitor-base", "0xF00000"]) == 1
+        assert "AN001" in capsys.readouterr().out
+
+    def test_fail_on_none_always_exits_zero(self, tmp_path, capsys):
+        path = _write_image(tmp_path, DIRTY_GUEST)
+        assert analyze_main([str(path), "--monitor-base", "0xF00000",
+                             "--fail-on", "none"]) == 0
+        capsys.readouterr()
+
+    def test_fail_on_info_fails_on_any_finding(self, tmp_path, capsys):
+        # Even the clean guest has info-level coverage findings
+        # (e.g. the unresolved HLT fall-through note is info).
+        path = _write_image(tmp_path, DIRTY_GUEST)
+        assert analyze_main([str(path), "--monitor-base", "0xF00000",
+                             "--fail-on", "info"]) == 1
+        capsys.readouterr()
+
+    def test_unreadable_image_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.bin"
+        assert analyze_main([str(missing)]) == 2
+        capsys.readouterr()
+
+    def test_exceeds_threshold_ordering(self, tmp_path):
+        program = assemble(DIRTY_GUEST,
+                           origin=firmware.GUEST_KERNEL_BASE)
+        from repro.analysis import analyze_program
+        report = analyze_program(program, monitor_base=0xF0_0000)
+        assert exceeds_threshold(report, "error")
+        assert exceeds_threshold(report, "warning")
+        assert exceeds_threshold(report, "info")
+        assert not exceeds_threshold(report, "none")
+
+
+class TestBuiltinCorpusGate:
+    def test_builtin_kernel_passes_fail_on_error(self, capsys):
+        assert analyze_main(["--builtin", "kernel",
+                             "--fail-on", "error"]) == 0
+        capsys.readouterr()
+
+
+class TestTvCli:
+    def test_builtin_image_validates(self, capsys):
+        assert tv_main(["--builtin", "kernel"]) == 0
+        out = capsys.readouterr().out
+        assert "block(s) validated" in out
+        assert "0 failed" in out
+
+    def test_random_fuzz_run(self, capsys):
+        assert tv_main(["--random", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+
+    def test_image_file_target(self, tmp_path, capsys):
+        path = _write_image(tmp_path, CLEAN_GUEST)
+        assert tv_main([str(path), "--org",
+                        hex(firmware.GUEST_KERNEL_BASE)]) == 0
+        capsys.readouterr()
+
+    def test_no_target_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            tv_main([])
+        assert excinfo.value.code == 2
+        capsys.readouterr()

@@ -78,7 +78,8 @@ class TestJsonExport:
 class TestReplayStatsExport:
     def test_collects_each_source(self, tmp_path):
         from repro.core.snapshot import CheckpointStore
-        from repro.perf.export import export_replay_stats, replay_stats
+        from repro.obs.metrics import collect_replay
+        from repro.perf.export import export_replay_stats
 
         class _FakeSnapshot:
             size_bytes = 123
@@ -90,7 +91,7 @@ class TestReplayStatsExport:
             def stats(self):
                 return {"frames": 9, "journal_bytes": 400}
 
-        stats = replay_stats(recorder=_FakeRecorder(), store=store)
+        stats = collect_replay(recorder=_FakeRecorder(), store=store)
         assert stats["recorder"]["frames"] == 9
         assert stats["checkpoint_store"]["held_bytes"] == 123
         assert "replay" not in stats
@@ -102,3 +103,14 @@ class TestReplayStatsExport:
         assert document["experiment"] == "record-replay"
         assert document["seed"] == 7
         assert document["stats"]["checkpoint_store"]["snapshots"] == 1
+
+    def test_legacy_adapter_warns_and_delegates(self):
+        from repro.perf.export import replay_stats
+
+        class _FakeRecorder:
+            def stats(self):
+                return {"frames": 2}
+
+        with pytest.warns(DeprecationWarning, match="collect_replay"):
+            stats = replay_stats(recorder=_FakeRecorder())
+        assert stats["recorder"]["frames"] == 2

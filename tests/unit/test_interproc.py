@@ -1,0 +1,197 @@
+"""Interprocedural analysis: call graph, function summaries, the
+cross-call value-set sharpening they enable, and checks AN012/AN013."""
+
+from repro.analysis import SEV_ERROR, analyze_program
+from repro.analysis.cfg import recover_cfg
+from repro.analysis.interproc import build_call_graph, compute_summaries
+from repro.asm import assemble
+from repro.hw import firmware, isa
+
+ORG = firmware.GUEST_KERNEL_BASE
+MONITOR_BASE = 0xF0_0000
+
+
+def run_analysis(source, entry_ring=0):
+    program = assemble(source, origin=ORG)
+    return analyze_program(program, monitor_base=MONITOR_BASE,
+                           entry_ring=entry_ring)
+
+
+def check_ids(report, severity=None):
+    return {f.check for f in report.findings
+            if severity is None or f.severity == severity}
+
+
+def graph_and_summaries(source):
+    program = assemble(source, origin=ORG)
+    cfg = recover_cfg(program.image, ORG, {ORG}, {})
+    graph, summaries = compute_summaries(cfg)
+    return program, graph, summaries
+
+
+TWO_FUNCTIONS = """
+    MOVI R7, 0x8000
+    CALL outer
+    HLT
+outer:
+    PUSH R1
+    CALL inner
+    POP  R1
+    RET
+inner:
+    ADDI R2, 1
+    RET
+"""
+
+
+class TestCallGraph:
+    def test_entries_and_edges(self):
+        program, graph, _ = graph_and_summaries(TWO_FUNCTIONS)
+        outer = program.symbol("outer")
+        inner = program.symbol("inner")
+        assert graph.entries == sorted([outer, inner])
+        assert graph.callees[outer] == frozenset({inner})
+        assert graph.callees[inner] == frozenset()
+
+    def test_sites_map_call_addresses_to_callees(self):
+        program, graph, _ = graph_and_summaries(TWO_FUNCTIONS)
+        inner = program.symbol("inner")
+        assert frozenset({inner}) in graph.sites.values()
+
+    def test_regions_stop_at_callee_edges(self):
+        program, graph, _ = graph_and_summaries(TWO_FUNCTIONS)
+        outer = program.symbol("outer")
+        inner = program.symbol("inner")
+        assert inner not in graph.regions[outer]
+
+
+class TestFunctionSummaries:
+    def test_balanced_function(self):
+        program, _, summaries = graph_and_summaries(TWO_FUNCTIONS)
+        for label in ("outer", "inner"):
+            summary = summaries[program.symbol(label)]
+            assert summary.balanced, label
+            assert summary.ret_deltas == frozenset({0})
+            assert not summary.resets_sp
+            assert not summary.clobbers_all
+
+    def test_clobbered_includes_transitive_callees(self):
+        program, _, summaries = graph_and_summaries(TWO_FUNCTIONS)
+        outer = summaries[program.symbol("outer")]
+        assert 2 in outer.clobbered, \
+            "inner's R2 write must show through outer's summary"
+
+    def test_imbalanced_function_reports_delta(self):
+        program, _, summaries = graph_and_summaries("""
+            CALL leaky
+            HLT
+        leaky:
+            PUSH R1
+            RET
+        """)
+        summary = summaries[program.symbol("leaky")]
+        assert not summary.balanced
+        assert summary.ret_deltas == frozenset({4})
+
+    def test_sp_repoint_sets_escape_hatch(self):
+        program, _, summaries = graph_and_summaries("""
+            CALL pivot
+            HLT
+        pivot:
+            MOVI R7, 0x9000
+            RET
+        """)
+        assert summaries[program.symbol("pivot")].resets_sp
+
+    def test_int_sets_clobbers_all(self):
+        program, _, summaries = graph_and_summaries("""
+            CALL trapper
+            HLT
+        trapper:
+            INT  3
+            RET
+        """)
+        summary = summaries[program.symbol("trapper")]
+        assert summary.clobbers_all
+        assert summary.clobbered >= \
+            frozenset(range(isa.NUM_GPRS)) - {isa.REG_SP}
+
+
+class TestCrossCallSharpening:
+    def test_register_untouched_by_callee_survives_the_call(self):
+        """Without summaries the CALL fall-through havocs everything
+        and the JMPR is unresolvable (AN009); with them R3 survives."""
+        report = run_analysis("""
+            MOVI R7, 0x8000
+            MOVI R3, done
+            CALL helper
+            JMPR R3
+        helper:
+            ADDI R1, 1
+            RET
+        done:
+            HLT
+        """)
+        assert "AN009" not in check_ids(report)
+        assert report.stats["functions"] == 1
+        assert report.stats["balanced_functions"] == 1
+        assert report.stats["call_sites"] >= 1
+
+    def test_clobbered_register_does_not_survive(self):
+        report = run_analysis("""
+            MOVI R7, 0x8000
+            MOVI R3, done
+            CALL helper
+            JMPR R3
+        helper:
+            MOVI R3, 0
+            RET
+        done:
+            HLT
+        """)
+        assert "AN009" in check_ids(report)
+
+
+class TestStackImbalanceCheck:
+    def test_an012_fires_on_leaky_ret(self):
+        report = run_analysis("""
+            MOVI R7, 0x8000
+            JMP  start
+        helper:
+            PUSH R1
+            RET
+        start:
+            CALL helper
+        hang:
+            JMP  hang
+        """)
+        assert "AN012" in check_ids(report, SEV_ERROR)
+        finding = next(f for f in report.findings if f.check == "AN012")
+        assert "net stack delta" in finding.message
+
+    def test_an012_clean_on_balanced_function(self):
+        report = run_analysis(TWO_FUNCTIONS)
+        assert "AN012" not in check_ids(report)
+
+
+class TestIndirectCallEscapeCheck:
+    def test_an013_fires_when_target_escapes_the_image(self):
+        report = run_analysis("""
+            MOVI R7, 0x8000
+            MOVI R5, 0xF00100
+            CALLR R5
+            HLT
+        """)
+        assert "AN013" in check_ids(report, SEV_ERROR)
+
+    def test_an013_clean_for_in_image_targets(self):
+        report = run_analysis("""
+            MOVI R7, 0x8000
+            MOVI R5, helper
+            CALLR R5
+            HLT
+        helper:
+            ADDI R1, 1
+            RET
+        """)
+        assert "AN013" not in check_ids(report)

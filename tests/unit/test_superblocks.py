@@ -317,6 +317,80 @@ class TestInvalidation:
                             cpu.cycle_count))
         assert results[0] == results[1]
 
+    SMC_FINAL = """
+        MOVI R0, 200
+        MOVI R6, final
+    loop:
+        ADDI R1, 1
+        LD   R2, [R6+0]
+        ST   [R6+0], R2
+        SUBI R0, 1
+    final:
+        JNZ  loop
+        HLT
+    """
+    # The store rewrites the block's *final* instruction (the JNZ)
+    # with its own bytes: architecturally a no-op, but the write bumps
+    # the code page's generation, so the in-block SMC re-check must
+    # exit, tear the block down and re-translate — the guard boundary
+    # sits exactly on the last instruction of the trace.
+
+    def test_smc_on_final_instruction_of_block(self):
+        pair = run_pair(self.SMC_FINAL)
+        assert_architecturally_equal(*pair)
+        (fast, _), _ = pair
+        assert fast.regs[1] == 200
+        stats = fast.block_cache_stats()
+        assert stats["blocks_compiled"] >= 2, \
+            "SMC on the final instruction must force re-translation"
+        assert stats["guard_failures"] >= 1 \
+            or stats["invalidations"] >= 1
+
+    def test_breakpoint_removal_retranslates(self):
+        """After a #DB inside a formerly-cached block, removing the
+        breakpoint must let the loop re-translate and finish with the
+        exact interpreter-tier state."""
+        source = """
+            MOVI R0, 400
+        loop:
+            ADDI R1, 1
+            XORI R2, 9
+            SUBI R0, 1
+            JNZ  loop
+            HLT
+        """
+        bp_pc = ORIGIN + 6 + 6  # the XORI
+        results = []
+        for translate in (True, False):
+            cpu = make_cpu(translate=translate)
+            load(cpu, source)
+            cpu.run(600)
+            assert not cpu.halted
+            hits = []
+
+            def hook(c, vector, error, hits=hits):
+                hits.append((vector, c.pc))
+                c.halted = True
+                return True
+
+            cpu.exception_hook = hook
+            cpu.code_breakpoints.add(bp_pc)
+            cpu.run(10_000)
+            assert hits and hits[0] == (VEC_DB, bp_pc)
+            compiled_at_bp = cpu.block_cache_stats()["blocks_compiled"]
+            cpu.code_breakpoints.discard(bp_pc)
+            cpu.exception_hook = None
+            cpu.halted = False
+            cpu.run(100_000)
+            assert cpu.halted, "loop must run to HLT after bp removal"
+            if translate:
+                assert cpu.block_cache_stats()["blocks_compiled"] \
+                    > compiled_at_bp, \
+                    "hot loop must re-translate once the bp is gone"
+            results.append((cpu.regs[:], cpu.flags, cpu.pc,
+                            cpu.instret, cpu.cycle_count))
+        assert results[0] == results[1]
+
     def test_jit_disabled_cpu_has_no_engine(self):
         cpu = make_cpu(translate=False)
         load(cpu, HOT_LOOP)

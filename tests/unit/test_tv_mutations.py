@@ -1,0 +1,30 @@
+"""The mutation-kill harness: a validator that accepts everything is
+worse than none, so CI requires every seeded miscompile to be caught."""
+
+from repro.analysis.tv.mutate import (
+    SOURCE_MUTATIONS,
+    main as mutate_main,
+    run_harness,
+)
+
+
+class TestMutationKill:
+    def test_all_fifteen_mutations_are_killed(self):
+        baseline, outcomes = run_harness()
+        assert baseline is not None and baseline.ok, \
+            "fixture block must validate before mutation"
+        assert len(outcomes) == 15
+        missed = [o.name for o in outcomes if not o.killed]
+        assert not missed, f"validator missed mutations: {missed}"
+
+    def test_mutation_set_covers_the_advertised_bug_classes(self):
+        names = {name for name, _desc, _fn in SOURCE_MUTATIONS}
+        for family in ("drop-flags-commit", "zf-wrong-bit",
+                       "instret-off-by-one", "drop-smc-check",
+                       "drop-irq-check", "negate-branch"):
+            assert family in names
+
+    def test_cli_entry_point_exits_zero(self, capsys):
+        assert mutate_main([]) == 0
+        out = capsys.readouterr().out
+        assert "15/15 mutations killed" in out

@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Run the translation-validator mutation-kill harness.
+
+Thin wrapper so CI and developers can invoke the harness without
+remembering the module path:
+
+    PYTHONPATH=src python tools/tv_mutate.py
+
+Exits 0 only when the pristine fixture validates AND all seeded
+miscompile mutations are killed (see repro.analysis.tv.mutate).
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.analysis.tv.mutate import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
