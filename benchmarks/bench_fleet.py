@@ -1,0 +1,160 @@
+"""Fleet scaling: aggregate debugging throughput vs worker count.
+
+Two series, because a fleet hosts two kinds of load:
+
+* **sessions** — the fleet's design load: interactive debugging
+  campaigns that alternate short simulated bursts with client think
+  time (``think_ms``).  Think time releases the GIL and overlaps
+  across worker processes, so aggregate machines x slices/sec scales
+  with worker count even on a small host — this is the series the
+  acceptance gate reads (>= 3x aggregate at 4 workers vs 1).
+* **batch** — pure CPU-bound simulation with zero think time.  On an
+  N-core host this tops out near N x; reported for transparency, not
+  gated, because CI hosts pin it to their core count.
+
+``REPRO_FLEET_BENCH_SIZES`` overrides the swept worker counts (e.g.
+``1,2`` for a CI smoke).  Emits ``BENCH_fleet.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.jobs import Job
+from repro.fleet.supervisor import Fleet, FleetConfig
+
+ARTIFACT = Path("BENCH_fleet.json")
+
+SIZES = tuple(int(part) for part in os.environ.get(
+    "REPRO_FLEET_BENCH_SIZES", "1,2,4,8").split(","))
+
+#: Per-campaign workload.  ``sessions`` paces each slice with think
+#: time; ``batch`` runs flat out.
+SESSIONS = {"slices": 6, "slice_insns": 300, "think_ms": 250,
+            "record": False}
+BATCH = {"slices": 6, "slice_insns": 2_000, "think_ms": 0,
+         "record": False}
+
+
+def _run_campaigns(workers, params):
+    """One fleet of ``workers``, one campaign per worker; returns the
+    wall-clock of the campaign phase (spawn time excluded)."""
+    fleet = Fleet(FleetConfig(workers=workers,
+                              heartbeat_interval=0.2,
+                              hang_timeout=60.0)).start()
+    try:
+        assert fleet.wait_ready(timeout=120.0), "fleet not ready"
+        start = time.perf_counter()
+        records = [
+            fleet.submit(Job(kind="exec-slices", params=dict(params),
+                             priority=9, timeout_s=300.0))
+            for _ in range(workers)]
+        # A coarse supervisor poll keeps the (single-core) host's CPU
+        # for the workers instead of burning it on idle bookkeeping.
+        assert fleet.run_until_idle(timeout=300.0,
+                                    poll_interval=0.02), \
+            "campaigns hung"
+        elapsed = time.perf_counter() - start
+        assert all(record.status == "done" for record in records), \
+            [record.error for record in records]
+        return elapsed
+    finally:
+        fleet.shutdown()
+
+
+def _sweep(params):
+    series = []
+    for workers in SIZES:
+        elapsed = _run_campaigns(workers, params)
+        slices_total = workers * params["slices"]
+        series.append({
+            "workers": workers,
+            "wall_seconds": round(elapsed, 4),
+            "campaigns": workers,
+            "slices_total": slices_total,
+            "machine_slices_per_sec": round(slices_total / elapsed, 2),
+            "machine_insns_per_sec": round(
+                slices_total * params["slice_insns"] / elapsed, 1),
+        })
+    base = series[0]["machine_slices_per_sec"]
+    for point in series:
+        point["speedup_vs_1"] = round(
+            point["machine_slices_per_sec"] / base, 3)
+    return series
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    results = {
+        "host_cpus": os.cpu_count(),
+        "sizes": list(SIZES),
+        "sessions": {"params": SESSIONS, "series": _sweep(SESSIONS)},
+        "batch": {"params": BATCH, "series": _sweep(BATCH)},
+    }
+    ARTIFACT.write_text(json.dumps(
+        {"experiment": "fleet-scaling", "results": results}, indent=2))
+    return results
+
+
+def _point(results, series, workers):
+    for point in results[series]["series"]:
+        if point["workers"] == workers:
+            return point
+    return None
+
+
+class TestFleetScaling:
+    def test_scaling_table(self, scaling, benchmark, capsys):
+        def render():
+            lines = [f"Fleet scaling ({scaling['host_cpus']} host "
+                     f"cpu(s))"]
+            for name in ("sessions", "batch"):
+                for point in scaling[name]["series"]:
+                    lines.append(
+                        f"{name:<9} {point['workers']}w  "
+                        f"{point['wall_seconds']:>7.3f}s  "
+                        f"{point['machine_insns_per_sec']:>12,.0f} "
+                        f"machine-insns/s  "
+                        f"({point['speedup_vs_1']:.2f}x)")
+            return "\n".join(lines)
+
+        text = benchmark.pedantic(render, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(text)
+
+    def test_sessions_scale_with_workers(self, scaling, benchmark):
+        """The acceptance gate: interactive-session throughput at 4
+        workers is >= 3x a single worker's."""
+        def check():
+            point = _point(scaling, "sessions", 4)
+            if point is None:
+                pytest.skip("4-worker size not in this sweep")
+            assert point["speedup_vs_1"] >= 3.0, point
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_two_workers_beat_one(self, scaling, benchmark):
+        def check():
+            point = _point(scaling, "sessions", 2)
+            if point is None:
+                pytest.skip("2-worker size not in this sweep")
+            assert point["speedup_vs_1"] >= 1.5, point
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_artifact_round_trips(self, scaling, benchmark):
+        def check():
+            document = json.loads(ARTIFACT.read_text())
+            assert document["experiment"] == "fleet-scaling"
+            assert document["results"]["sizes"] == list(SIZES)
+            assert len(document["results"]["sessions"]["series"]) \
+                == len(SIZES)
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)

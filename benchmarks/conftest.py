@@ -7,6 +7,7 @@ that times them and the assertions that check the paper's shape.
 import pytest
 
 from repro.perf.sweep import headline_ratios, sweep_figure_3_1
+from repro.testing.timeout import pytest_runtest_call  # noqa: F401
 
 #: A reduced x-axis that keeps the full-figure benchmark under a minute
 #: while covering the paper's 0-700 Mbps range.

@@ -57,20 +57,32 @@ class GdbServer:
 
     def serve_client(self, poll_seconds: float = 0.005,
                      max_idle_polls: Optional[int] = None) -> None:
-        """Accept one client and bridge until it disconnects."""
+        """Accept one client and bridge until it disconnects.
+
+        Any client-side failure — a clean FIN, an RST mid-session, a
+        broken pipe on send — ends *this session* and returns to the
+        caller's accept loop; it never propagates and takes the server
+        (and the simulated machine behind it) down with it.
+        """
         connection, _ = self._listener.accept()
         connection.setblocking(False)
         idle = 0
         try:
             while not self.shutdown_requested:
-                readable, _, _ = select.select([connection], [], [],
-                                               poll_seconds)
+                try:
+                    readable, _, _ = select.select([connection], [], [],
+                                                   poll_seconds)
+                except (ValueError, OSError):
+                    break  # socket already torn down under us
                 moved = False
                 if readable:
                     try:
                         data = connection.recv(4096)
                     except BlockingIOError:
                         data = None
+                    except (ConnectionResetError, ConnectionAbortedError,
+                            OSError):
+                        break  # client died mid-session
                     if data == b"":
                         break  # client hung up
                     if data:
@@ -83,7 +95,11 @@ class GdbServer:
                 out = self._port.recv()
                 if out:
                     self.bytes_out += len(out)
-                    connection.sendall(out)
+                    try:
+                        connection.sendall(out)
+                    except (BrokenPipeError, ConnectionResetError,
+                            OSError):
+                        break  # client gone before we could reply
                     moved = True
 
                 if moved:
@@ -94,7 +110,10 @@ class GdbServer:
                             and idle >= max_idle_polls:
                         break
         finally:
-            connection.close()
+            try:
+                connection.close()
+            except OSError:
+                pass
 
     def _drive_target(self) -> None:
         """One scheduling quantum for the simulated machine."""

@@ -1,0 +1,41 @@
+"""Supervised debugging fleet: crash-isolated workers, self-healing
+control plane, journal-based recovery.
+
+The per-machine survivability primitives (deterministic virtual time,
+sha256-framed replay journals, the watchdog degradation ladder, the
+RSP retry policy) compose here into a multi-process pool: each
+:mod:`worker <repro.fleet.worker>` runs one machine behind a command
+pipe; the :mod:`supervisor <repro.fleet.supervisor>` tracks health via
+heartbeats, restarts crashed workers by replaying their journal
+spools, schedules :mod:`jobs <repro.fleet.jobs>` with retry/backoff
+and a dead-letter list, and degrades gracefully under sustained loss.
+:mod:`mux <repro.fleet.mux>` fans many RSP debug sessions through one
+TCP listener; :mod:`control <repro.fleet.control>` + :mod:`cli
+<repro.fleet.cli>` drive it all; :mod:`dashboard
+<repro.fleet.dashboard>` aggregates per-worker metrics snapshots.
+"""
+
+from repro.fleet.jobs import (Job, JobQueue, JobRecord, RetrySchedule,
+                              STATUS_DEAD_LETTER, STATUS_DONE,
+                              STATUS_PENDING, STATUS_RUNNING,
+                              STATUS_SHED)
+from repro.fleet.supervisor import (FLEET_DEGRADED, FLEET_FROZEN,
+                                    FLEET_FULL, Fleet, FleetConfig,
+                                    WorkerSlot)
+from repro.fleet.mux import FleetMux
+from repro.fleet.control import (ControlServer, control_request,
+                                 job_from_spec)
+from repro.fleet.dashboard import (build_dashboard, export_dashboard,
+                                   format_status)
+from repro.fleet.worker import ExecSlices, run_exec_slices
+
+__all__ = [
+    "Job", "JobQueue", "JobRecord", "RetrySchedule",
+    "STATUS_DEAD_LETTER", "STATUS_DONE", "STATUS_PENDING",
+    "STATUS_RUNNING", "STATUS_SHED",
+    "FLEET_DEGRADED", "FLEET_FROZEN", "FLEET_FULL",
+    "Fleet", "FleetConfig", "WorkerSlot", "FleetMux",
+    "ControlServer", "control_request", "job_from_spec",
+    "build_dashboard", "export_dashboard", "format_status",
+    "ExecSlices", "run_exec_slices",
+]

@@ -1,0 +1,197 @@
+"""``repro-fleet``: drive a supervised debugging fleet.
+
+    repro-fleet up --workers 4 --listen 127.0.0.1:3333 \\
+        --control 127.0.0.1:8700 --spool-dir /tmp/fleet \\
+        --jobs jobs.json --dashboard fleet.json --duration 30
+
+    repro-fleet status --control 127.0.0.1:8700
+    repro-fleet submit --control 127.0.0.1:8700 \\
+        --kind chaos --param scenario=wild-writes --priority 7
+    repro-fleet drain  --control 127.0.0.1:8700
+    repro-fleet kill   --control 127.0.0.1:8700 --worker 2
+
+``up`` runs the control plane in the foreground (the supervisor is a
+cooperative poll loop, not a daemon); the other verbs are one-shot
+clients of its control port.  ``--jobs`` takes a JSON list of job
+specs in the wire shape (see :mod:`repro.fleet.control`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.fleet.control import (ControlServer, control_request,
+                                 job_from_spec)
+from repro.fleet.dashboard import export_dashboard, format_status
+from repro.fleet.mux import FleetMux
+from repro.fleet.supervisor import Fleet, FleetConfig
+
+
+def _parse_address(text: str):
+    host, _, port = text.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+def _cmd_up(args) -> int:
+    config = FleetConfig(
+        workers=args.workers,
+        guest=args.guest,
+        spool_dir=args.spool_dir,
+        heartbeat_interval=args.heartbeat_interval,
+        hang_timeout=args.hang_timeout,
+        restart=not args.no_restart,
+        max_restarts=args.max_restarts,
+        shed_below_priority=args.shed_below)
+    fleet = Fleet(config).start()
+    mux = control = None
+    if args.listen:
+        mux = FleetMux(fleet, *_parse_address(args.listen))
+        print(f"repro-fleet: RSP mux on "
+              f"{mux.address[0]}:{mux.address[1]}")
+    if args.control:
+        control = ControlServer(fleet, *_parse_address(args.control))
+        print(f"repro-fleet: control on "
+              f"{control.address[0]}:{control.address[1]}")
+    if args.jobs:
+        with open(args.jobs) as handle:
+            for spec in json.load(handle):
+                record = fleet.submit(job_from_spec(spec))
+                print(f"repro-fleet: submitted {record.id} "
+                      f"({record.job.kind})")
+    fleet.wait_ready()
+    print(f"repro-fleet: {config.workers} workers up "
+          f"(guest {config.guest!r})")
+    deadline = time.monotonic() + args.duration \
+        if args.duration else None
+    try:
+        while True:
+            fleet.poll()
+            if control is not None:
+                control.poll()
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if fleet.draining and fleet.queue.idle:
+                break
+            time.sleep(args.poll_interval)
+    except KeyboardInterrupt:
+        print("\nrepro-fleet: interrupted")
+    finally:
+        print(format_status(fleet))
+        if args.dashboard:
+            export_dashboard(fleet, args.dashboard)
+            print(f"repro-fleet: dashboard written to "
+                  f"{args.dashboard}")
+        if control is not None:
+            control.close()
+        fleet.shutdown()
+    return 0
+
+
+def _cmd_status(args) -> int:
+    reply = control_request(_parse_address(args.control),
+                            {"op": "status"})
+    if not reply.get("ok"):
+        print(f"error: {reply.get('error')}", file=sys.stderr)
+        return 1
+    status = reply["status"]
+    print(f"ladder: {status['level']}")
+    print(json.dumps(status, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(reply["dashboard"], handle, indent=2,
+                      sort_keys=True)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    params = {}
+    for item in args.param or []:
+        key, _, value = item.partition("=")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    reply = control_request(_parse_address(args.control), {
+        "op": "submit",
+        "job": {"kind": args.kind, "params": params,
+                "priority": args.priority,
+                "timeout_s": args.timeout}})
+    if not reply.get("ok"):
+        print(f"error: {reply.get('error')}", file=sys.stderr)
+        return 1
+    print(reply["id"])
+    return 0
+
+
+def _cmd_drain(args) -> int:
+    reply = control_request(_parse_address(args.control),
+                            {"op": "drain"})
+    print(json.dumps(reply))
+    return 0 if reply.get("ok") else 1
+
+
+def _cmd_kill(args) -> int:
+    reply = control_request(_parse_address(args.control),
+                            {"op": "kill", "worker": args.worker})
+    print(json.dumps(reply))
+    return 0 if reply.get("ok") else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Supervised fleet of simulated debugging targets.")
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    up = sub.add_parser("up", help="run a fleet in the foreground")
+    up.add_argument("--workers", type=int, default=4)
+    up.add_argument("--guest", default="kernel",
+                    choices=("kernel", "threads", "io"))
+    up.add_argument("--spool-dir", default=None,
+                    help="journal spool directory (enables recovery)")
+    up.add_argument("--listen", default=None, metavar="HOST:PORT",
+                    help="RSP mux listener for debugger clients")
+    up.add_argument("--control", default=None, metavar="HOST:PORT",
+                    help="control port for the other verbs")
+    up.add_argument("--jobs", default=None, metavar="PATH",
+                    help="JSON list of job specs to submit at start")
+    up.add_argument("--dashboard", default=None, metavar="PATH",
+                    help="write the dashboard JSON on exit")
+    up.add_argument("--duration", type=float, default=None,
+                    help="exit after this many seconds")
+    up.add_argument("--heartbeat-interval", type=float, default=0.1)
+    up.add_argument("--hang-timeout", type=float, default=10.0)
+    up.add_argument("--no-restart", action="store_true")
+    up.add_argument("--max-restarts", type=int, default=3)
+    up.add_argument("--shed-below", type=int, default=5)
+    up.add_argument("--poll-interval", type=float, default=0.005)
+    up.set_defaults(func=_cmd_up)
+
+    for verb, func in (("status", _cmd_status), ("drain", _cmd_drain),
+                       ("kill", _cmd_kill), ("submit", _cmd_submit)):
+        cmd = sub.add_parser(verb)
+        cmd.add_argument("--control", required=True,
+                         metavar="HOST:PORT")
+        cmd.set_defaults(func=func)
+        if verb == "status":
+            cmd.add_argument("--json", default=None, metavar="PATH",
+                             help="also write the dashboard JSON")
+        if verb == "kill":
+            cmd.add_argument("--worker", type=int, required=True)
+        if verb == "submit":
+            cmd.add_argument("--kind", required=True)
+            cmd.add_argument("--param", action="append",
+                             metavar="KEY=VALUE")
+            cmd.add_argument("--priority", type=int, default=5)
+            cmd.add_argument("--timeout", type=float, default=60.0)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Fleet dashboard: aggregate per-worker metrics into one export.
+
+Every heartbeat carries the worker's whole
+:func:`~repro.obs.metrics.global_registry` snapshot, so the supervisor
+holds a recent metrics view of every worker without any extra RPC.
+:func:`build_dashboard` merges those with the supervisor's own
+``fleet.*`` gauges into one JSON document; :func:`format_status`
+renders the human view the ``repro-fleet status`` verb prints —
+including the degradation-ladder state, which is part of the fleet's
+operational contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.obs.metrics import global_registry
+
+
+def aggregate_worker_metrics(fleet) -> Dict:
+    """Sum counter/gauge values of the same name across workers."""
+    totals: Dict[str, float] = {}
+    for slot in fleet.slots:
+        for name, snap in slot.metrics.items():
+            if snap.get("type") in ("counter", "gauge"):
+                totals[name] = totals.get(name, 0) + snap["value"]
+    return dict(sorted(totals.items()))
+
+
+def build_dashboard(fleet) -> Dict:
+    """The whole control plane as one JSON-ready document."""
+    return {
+        "level": fleet.level,
+        "workers": {
+            str(slot.index): {
+                "status": slot.status,
+                "pid": slot.pid,
+                "restarts": slot.restarts,
+                "job": slot.job.id if slot.job else None,
+                "progress": slot.progress,
+                "heartbeats": slot.heartbeat_seq,
+                "metrics": slot.metrics,
+            } for slot in fleet.slots
+        },
+        "jobs": fleet.queue.counts(),
+        "dead_letter": [record.id
+                        for record in fleet.queue.dead_letter],
+        "shed": [record.id for record in fleet.queue.shed],
+        "transitions": [{"from": src, "to": dst, "reason": reason}
+                        for _, src, dst, reason in fleet.transitions],
+        "aggregated": aggregate_worker_metrics(fleet),
+        "supervisor_metrics": {
+            name: metric for name, metric
+            in global_registry().snapshot().items()
+            if name.startswith("fleet.")},
+    }
+
+
+def export_dashboard(fleet, path) -> Dict:
+    dashboard = build_dashboard(fleet)
+    with open(path, "w") as handle:
+        json.dump(dashboard, handle, indent=2, sort_keys=True)
+    return dashboard
+
+
+def format_status(fleet) -> str:
+    """Human-readable control-plane state (``repro-fleet status``)."""
+    counts = fleet.queue.counts()
+    lines = [f"ladder: {fleet.level}",
+             f"workers: {fleet.healthy_workers()}/{len(fleet.slots)} "
+             f"healthy"]
+    for slot in fleet.slots:
+        job = slot.job.id if slot.job else "-"
+        lines.append(f"  worker {slot.index}: {slot.status:<9} "
+                     f"pid={slot.pid} restarts={slot.restarts} "
+                     f"job={job} progress={slot.progress}")
+    lines.append("jobs: " + " ".join(f"{status}={count}"
+                                     for status, count
+                                     in sorted(counts.items())))
+    if fleet.queue.dead_letter:
+        lines.append("dead-letter: " + ", ".join(
+            record.id for record in fleet.queue.dead_letter))
+    if fleet.queue.shed:
+        lines.append("shed: " + ", ".join(
+            record.id for record in fleet.queue.shed))
+    for _, src, dst, reason in fleet.transitions:
+        lines.append(f"  transition: {src} -> {dst} ({reason})")
+    return "\n".join(lines)

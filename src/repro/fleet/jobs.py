@@ -1,0 +1,226 @@
+"""Fleet job model: priority queue, bounded retry, dead-letter list.
+
+A *job* is one unit of fleet work — a chaos scenario, a replay/bisect
+run, a streaming window, or a deterministic execution campaign
+(``exec-slices``, the recoverable kind).  The supervisor owns a
+:class:`JobQueue`; workers never see the queue, only the single job
+dispatched to them over the command pipe.
+
+Failure policy mirrors the RSP client's :class:`~repro.rsp.client
+.RetryPolicy`, lifted from pump quanta to supervisor seconds: a failed
+attempt is retried after an exponentially growing, capped backoff until
+``max_attempts`` is exhausted, at which point the job lands on the
+dead-letter list (kept, inspectable, never silently dropped).  Under
+fleet-level degradation the queue can *shed* pending low-priority jobs
+— an explicit terminal status, also never a silent drop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Job kinds the worker knows how to run.
+JOB_KINDS = ("exec-slices", "chaos", "replay", "stream", "noop")
+
+#: Priorities span 0 (first to shed) through 9 (last to shed).
+PRIORITY_MIN, PRIORITY_MAX, PRIORITY_DEFAULT = 0, 9, 5
+
+STATUS_PENDING = "pending"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_DEAD_LETTER = "dead-letter"
+STATUS_SHED = "shed"
+
+
+@dataclass(frozen=True)
+class RetrySchedule:
+    """Bounded exponential backoff, in supervisor wall-clock seconds.
+
+    Attempt ``n`` (1-based) that fails is retried after
+    ``min(backoff_base_s * multiplier**(n-1), backoff_max_s)`` — the
+    same shape as ``RetryPolicy.backoff_pumps`` on the RSP transport.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.2
+    multiplier: float = 2.0
+    backoff_max_s: float = 5.0
+
+    def backoff_s(self, attempt: int) -> float:
+        if attempt < 1:
+            raise ValueError(f"attempts are 1-based (got {attempt})")
+        delay = self.backoff_base_s * (self.multiplier ** (attempt - 1))
+        return min(delay, self.backoff_max_s)
+
+
+@dataclass
+class Job:
+    """What to run; immutable once submitted (state lives in the record)."""
+
+    kind: str
+    params: Dict = field(default_factory=dict)
+    priority: int = PRIORITY_DEFAULT
+    timeout_s: float = 60.0
+    retry: RetrySchedule = field(default_factory=RetrySchedule)
+    #: Crash-recovery budget: how many times a killed worker's journal
+    #: may be replayed to resume this job (``exec-slices`` only —
+    #: other kinds restart from scratch via the retry schedule).
+    max_resumes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; "
+                             f"pick from {JOB_KINDS}")
+        if not PRIORITY_MIN <= self.priority <= PRIORITY_MAX:
+            raise ValueError(f"priority {self.priority} outside "
+                             f"[{PRIORITY_MIN}, {PRIORITY_MAX}]")
+
+
+@dataclass
+class JobRecord:
+    """One job's mutable lifecycle state, owned by the queue."""
+
+    id: str
+    job: Job
+    status: str = STATUS_PENDING
+    attempts: int = 0
+    resumes: int = 0
+    worker: Optional[int] = None
+    #: Earliest dispatch time (monotonic seconds); backoff sets it.
+    not_before: float = 0.0
+    dispatched_at: Optional[float] = None
+    #: Journal spool of the current attempt (``exec-slices``).
+    spool: Optional[str] = None
+    #: Continuation spools, one per resume.
+    continuations: List[str] = field(default_factory=list)
+    result: Optional[Dict] = None
+    error: Optional[str] = None
+    #: Append-only audit trail of lifecycle events.
+    history: List[str] = field(default_factory=list)
+
+    def note(self, event: str) -> None:
+        self.history.append(event)
+
+
+class JobQueue:
+    """Priority queue + retry ledger + dead-letter list.
+
+    Higher priority pops first; equal priorities pop in submission
+    order.  The heap may hold stale entries for records that already
+    left ``pending`` (requeue pushes a fresh entry); ``pop_eligible``
+    skips them, so every state change goes through the record, never
+    the heap.
+    """
+
+    def __init__(self) -> None:
+        self.records: Dict[str, JobRecord] = {}
+        self._heap: List = []
+        self._seq = itertools.count()
+        self.dead_letter: List[JobRecord] = []
+        self.shed: List[JobRecord] = []
+
+    # -- intake --------------------------------------------------------------
+
+    def submit(self, job: Job) -> JobRecord:
+        job_id = f"job-{next(self._seq):04d}"
+        record = JobRecord(id=job_id, job=job)
+        record.note(f"submitted kind={job.kind} priority={job.priority}")
+        self.records[job_id] = record
+        self._push(record)
+        return record
+
+    def _push(self, record: JobRecord) -> None:
+        heapq.heappush(self._heap,
+                       (-record.job.priority, next(self._seq), record.id))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def pop_eligible(self, now: float) -> Optional[JobRecord]:
+        """Highest-priority pending record whose backoff has elapsed."""
+        deferred = []
+        popped = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            record = self.records.get(entry[2])
+            if record is None or record.status != STATUS_PENDING:
+                continue   # stale heap entry
+            if record.not_before > now:
+                deferred.append(entry)
+                continue
+            popped = record
+            break
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+        return popped
+
+    def mark_running(self, record: JobRecord, worker: int,
+                     now: float) -> None:
+        record.status = STATUS_RUNNING
+        record.worker = worker
+        record.attempts += 1
+        record.dispatched_at = now
+        record.note(f"attempt {record.attempts} on worker {worker}")
+
+    # -- outcomes ------------------------------------------------------------
+
+    def mark_done(self, record: JobRecord, result: Optional[Dict]) -> None:
+        record.status = STATUS_DONE
+        record.result = result
+        record.worker = None
+        record.dispatched_at = None
+        record.note("done")
+
+    def fail_attempt(self, record: JobRecord, error: str,
+                     now: float) -> str:
+        """Retry with backoff, or dead-letter when attempts are spent.
+
+        Returns the record's new status.
+        """
+        record.error = error
+        record.worker = None
+        record.dispatched_at = None
+        retry = record.job.retry
+        if record.attempts >= retry.max_attempts:
+            record.status = STATUS_DEAD_LETTER
+            record.note(f"dead-letter after {record.attempts} "
+                        f"attempts: {error}")
+            self.dead_letter.append(record)
+            return record.status
+        delay = retry.backoff_s(record.attempts)
+        record.status = STATUS_PENDING
+        record.not_before = now + delay
+        record.note(f"attempt {record.attempts} failed ({error}); "
+                    f"retry in {delay:.3f}s")
+        self._push(record)
+        return record.status
+
+    def shed_below(self, priority: int) -> List[JobRecord]:
+        """Shed every *pending* job below ``priority`` (degradation)."""
+        dropped = []
+        for record in self.records.values():
+            if record.status == STATUS_PENDING \
+                    and record.job.priority < priority:
+                record.status = STATUS_SHED
+                record.note(f"shed (priority {record.job.priority} "
+                            f"< {priority})")
+                self.shed.append(record)
+                dropped.append(record)
+        return dropped
+
+    # -- accounting ----------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        counts = {STATUS_PENDING: 0, STATUS_RUNNING: 0, STATUS_DONE: 0,
+                  STATUS_DEAD_LETTER: 0, STATUS_SHED: 0}
+        for record in self.records.values():
+            counts[record.status] += 1
+        return counts
+
+    @property
+    def idle(self) -> bool:
+        counts = self.counts()
+        return counts[STATUS_PENDING] == 0 \
+            and counts[STATUS_RUNNING] == 0

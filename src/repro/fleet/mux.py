@@ -1,0 +1,127 @@
+"""FleetMux: many RSP debug sessions through one TCP listener.
+
+Each accepted client is pinned to one healthy worker's resident debug
+session; socket bytes travel the worker's command pipe as ``rsp``
+messages and replies come back the same way.  This is the fleet's
+outward face for debuggers: one address, many machines — the
+single-client :class:`~repro.debugger.gdbserver.GdbServer` scaled
+sideways.
+
+The mux is polled from :meth:`Fleet.poll` (no threads).  A client
+disconnect detaches the worker's session; a worker death closes the
+client's socket — the debugger sees a dropped connection, reconnects,
+and lands on a healthy worker.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Optional
+
+from repro.fleet.supervisor import SLOT_BUSY, SLOT_IDLE
+
+
+class FleetMux:
+    """Non-blocking TCP fan-in onto per-worker debug stubs."""
+
+    def __init__(self, fleet, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.fleet = fleet
+        self._listener = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(8)
+        self._listener.setblocking(False)
+        self.address = self._listener.getsockname()
+        #: worker index -> client socket (one session per worker).
+        self._sessions: Dict[int, socket.socket] = {}
+        self.accepted = 0
+        self.refused = 0
+        fleet.mux = self
+
+    # -- assignment ----------------------------------------------------------
+
+    def _pick_worker(self) -> Optional[int]:
+        for slot in self.fleet.slots:
+            if slot.index in self._sessions:
+                continue
+            if slot.status in (SLOT_IDLE, SLOT_BUSY) and slot.alive:
+                return slot.index
+        return None
+
+    # -- polling -------------------------------------------------------------
+
+    def poll(self) -> None:
+        self._accept_new()
+        for index, conn in list(self._sessions.items()):
+            try:
+                data = conn.recv(4096)
+            except BlockingIOError:
+                continue
+            except OSError:
+                self._drop(index)
+                continue
+            if data == b"":
+                self._drop(index)
+                continue
+            if not self.fleet.send_rsp(index, data):
+                self._drop(index)
+
+    def _accept_new(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            index = self._pick_worker()
+            if index is None:
+                # Every worker is dead or already serving a debugger:
+                # refuse loudly rather than queue silently.
+                self.refused += 1
+                conn.close()
+                continue
+            conn.setblocking(False)
+            self._sessions[index] = conn
+            self.accepted += 1
+
+    # -- fleet-side callbacks ------------------------------------------------
+
+    def deliver(self, index: int, data: bytes) -> None:
+        """Target bytes from worker ``index`` for its client."""
+        conn = self._sessions.get(index)
+        if conn is None:
+            return
+        try:
+            conn.sendall(data)
+        except (BlockingIOError, BrokenPipeError,
+                ConnectionResetError, OSError):
+            self._drop(index)
+
+    def worker_died(self, index: int) -> None:
+        """The supervisor lost this worker; hang up on its client."""
+        conn = self._sessions.pop(index, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- teardown ------------------------------------------------------------
+
+    def _drop(self, index: int) -> None:
+        conn = self._sessions.pop(index, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.fleet.detach_rsp(index)
+
+    def close(self) -> None:
+        for index in list(self._sessions):
+            self._drop(index)
+        self._listener.close()

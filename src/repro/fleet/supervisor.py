@@ -1,0 +1,535 @@
+"""The fleet control plane: spawn, watch, restart, dispatch, degrade.
+
+The supervisor composes the per-machine survivability primitives into
+a self-healing pool:
+
+* **health** — every worker heartbeats over its pipe (carrying its
+  metrics snapshot); a missed-heartbeat window, a dead process, or a
+  closed pipe is a *death event*;
+* **recovery** — a dead worker is respawned (bounded by
+  ``max_restarts``); if it died holding a recoverable ``exec-slices``
+  job, the replacement receives the job's journal spool and resumes it
+  by replay (see :mod:`repro.fleet.worker`) instead of losing it;
+* **scheduling** — jobs flow through :class:`~repro.fleet.jobs
+  .JobQueue` with per-job timeouts, bounded exponential-backoff retry
+  and a dead-letter list;
+* **degradation** — a fleet-level ladder mirroring
+  :class:`~repro.vmm.watchdog.MonitorWatchdog`::
+
+      full-service -> degraded -> frozen
+
+  ``degraded``: some workers are gone and cannot be restored; pending
+  jobs below ``shed_below_priority`` are shed so the survivors' time
+  goes to high-priority work (RSP sessions keep being served).
+  ``frozen``: no workers remain and none can be restored; dispatch
+  stops entirely.  Unlike the monitor's ladder this one self-heals
+  downward when workers return, because the supervisor — not the
+  failed component — owns the verdict.
+
+Everything is driven by cooperative :meth:`Fleet.poll` calls from the
+owning thread; there are no supervisor-side threads or locks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fleet.jobs import (Job, JobQueue, JobRecord, RetrySchedule,
+                              STATUS_RUNNING)
+from repro.obs.metrics import global_registry
+from repro.obs.taps import TapPoint
+
+FLEET_FULL = "full-service"
+FLEET_DEGRADED = "degraded"
+FLEET_FROZEN = "frozen"
+
+_LEVEL_ORDER = {FLEET_FULL: 0, FLEET_DEGRADED: 1, FLEET_FROZEN: 2}
+
+#: Slot lifecycle states.
+SLOT_SPAWNING = "spawning"
+SLOT_IDLE = "idle"
+SLOT_BUSY = "busy"
+SLOT_DEAD = "dead"
+SLOT_STOPPED = "stopped"
+
+_HEALTHY = (SLOT_SPAWNING, SLOT_IDLE, SLOT_BUSY)
+
+
+@dataclass
+class FleetConfig:
+    workers: int = 4
+    #: Guest image for resident RSP sessions (gdbserver's choices).
+    guest: str = "kernel"
+    #: Where exec-slices journals spool; None disables recovery.
+    spool_dir: Optional[str] = None
+    heartbeat_interval: float = 0.1
+    #: Heartbeat silence that counts as a hang.
+    hang_timeout: float = 10.0
+    #: Master switch: without it dead workers stay dead (the
+    #: degradation tests run this way).
+    restart: bool = True
+    max_restarts: int = 3
+    #: Default retry schedule for submitted jobs.
+    retry: RetrySchedule = field(default_factory=RetrySchedule)
+    #: While degraded, pending jobs below this priority are shed.
+    shed_below_priority: int = 5
+    spool_fsync: bool = True
+
+
+@dataclass
+class WorkerSlot:
+    """Supervisor-side view of one worker process."""
+
+    index: int
+    process: Optional[object] = None
+    conn: Optional[object] = None
+    status: str = SLOT_SPAWNING
+    pid: Optional[int] = None
+    spawned_at: float = 0.0
+    last_heartbeat: float = 0.0
+    heartbeat_seq: int = 0
+    restarts: int = 0
+    #: JobRecord currently dispatched here.
+    job: Optional[JobRecord] = None
+    #: Resume spec to send as soon as the replacement says hello.
+    pending_resume: Optional[Tuple[JobRecord, Dict]] = None
+    #: Latest metrics snapshot carried on a heartbeat.
+    metrics: Dict = field(default_factory=dict)
+    progress: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class Fleet:
+    """A supervised pool of crash-isolated debugging workers."""
+
+    def __init__(self, config: Optional[FleetConfig] = None) -> None:
+        self.config = config or FleetConfig()
+        self.queue = JobQueue()
+        self.slots = [WorkerSlot(index=i)
+                      for i in range(self.config.workers)]
+        self.level = FLEET_FULL
+        #: (time, from-level, to-level, reason) ladder history.
+        self.transitions: List[Tuple[float, str, str, str]] = []
+        #: Notified as ``taps(src, dst, reason)`` on ladder moves.
+        self.transition_taps = TapPoint()
+        self.mux = None
+        self.draining = False
+        self.started = False
+        self._ctx = multiprocessing.get_context("spawn")
+        registry = global_registry()
+        self._gauge_level = registry.gauge(
+            "fleet.ladder.level",
+            help="fleet ladder ordinal (0=full-service, 1=degraded, "
+                 "2=frozen)")
+        self._gauge_healthy = registry.gauge("fleet.workers.healthy")
+        self._gauge_total = registry.gauge("fleet.workers.total")
+        self._counter_restarts = registry.counter("fleet.restarts")
+        self._counter_crashes = registry.counter("fleet.crashes")
+        self._counter_hangs = registry.counter("fleet.hangs")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "Fleet":
+        for slot in self.slots:
+            self._spawn(slot)
+        self.started = True
+        self._update_gauges()
+        return self
+
+    def _spawn(self, slot: WorkerSlot) -> None:
+        from repro.fleet.worker import worker_main
+        parent, child = self._ctx.Pipe()
+        cfg = {
+            "guest": self.config.guest,
+            "heartbeat_interval": self.config.heartbeat_interval,
+            "spool_fsync": self.config.spool_fsync,
+            "sys_path": [entry for entry in sys.path if entry],
+        }
+        process = self._ctx.Process(
+            target=worker_main, args=(child, slot.index, cfg),
+            name=f"fleet-worker-{slot.index}", daemon=True)
+        process.start()
+        child.close()
+        now = time.monotonic()
+        slot.process = process
+        slot.conn = parent
+        slot.status = SLOT_SPAWNING
+        slot.pid = process.pid
+        slot.spawned_at = now
+        slot.last_heartbeat = now
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Graceful stop, then SIGKILL stragglers."""
+        if self.mux is not None:
+            self.mux.close()
+        for slot in self.slots:
+            if slot.conn is not None and slot.alive:
+                try:
+                    slot.conn.send({"op": "stop"})
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.monotonic() + timeout
+        for slot in self.slots:
+            if slot.process is None:
+                continue
+            slot.process.join(max(0.0, deadline - time.monotonic()))
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join(1.0)
+            if slot.conn is not None:
+                slot.conn.close()
+                slot.conn = None
+            slot.status = SLOT_STOPPED
+        self.started = False
+
+    # -- job intake ----------------------------------------------------------
+
+    def submit(self, job: Job) -> JobRecord:
+        record = self.queue.submit(job)
+        if self.level != FLEET_FULL \
+                and job.priority < self.config.shed_below_priority:
+            self.queue.shed_below(self.config.shed_below_priority)
+        return record
+
+    def drain(self) -> None:
+        """Stop accepting progress on new work after the queue empties
+        (the CLI's drain verb; pending jobs still run)."""
+        self.draining = True
+
+    def kill_worker(self, index: int,
+                    sig: int = signal.SIGKILL) -> None:
+        """Chaos/test hook: kill a worker out from under the fleet."""
+        slot = self.slots[index]
+        if slot.pid is not None and slot.alive:
+            os.kill(slot.pid, sig)
+
+    # -- the supervision loop ------------------------------------------------
+
+    def poll(self) -> None:
+        """One supervision quantum: drain pipes, judge health, enforce
+        timeouts, restart, dispatch, update the ladder."""
+        now = time.monotonic()
+        for slot in self.slots:
+            self._drain_conn(slot, now)
+        for slot in self.slots:
+            self._check_health(slot, now)
+        for slot in self.slots:
+            self._check_job_timeout(slot, now)
+        for slot in self.slots:
+            self._maybe_restart(slot)
+        self._update_ladder()
+        if self.level != FLEET_FROZEN:
+            self._dispatch(now)
+        if self.mux is not None:
+            self.mux.poll()
+        self._update_gauges()
+
+    def wait_ready(self, timeout: float = 30.0,
+                   poll_interval: float = 0.005) -> bool:
+        """Poll until every worker left ``spawning`` (said hello or
+        died).  Returns True when at least one worker is healthy —
+        the earliest moment the mux will accept a debugger."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            self.poll()
+            if all(slot.status != SLOT_SPAWNING
+                   for slot in self.slots):
+                return self.healthy_workers() > 0
+            time.sleep(poll_interval)
+        return False
+
+    def run_until_idle(self, timeout: float = 60.0,
+                       poll_interval: float = 0.005) -> bool:
+        """Poll until every job reached a terminal state (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            self.poll()
+            if self.queue.idle:
+                return True
+            time.sleep(poll_interval)
+        return self.queue.idle
+
+    # -- pipe events ---------------------------------------------------------
+
+    def _drain_conn(self, slot: WorkerSlot, now: float) -> None:
+        conn = slot.conn
+        if conn is None or slot.status in (SLOT_DEAD, SLOT_STOPPED):
+            return
+        try:
+            while conn.poll(0):
+                self._on_event(slot, conn.recv(), now)
+        except (EOFError, OSError):
+            self._counter_crashes.inc()
+            self._on_death(slot, "pipe closed", now)
+
+    def _on_event(self, slot: WorkerSlot, event: Dict,
+                  now: float) -> None:
+        name = event.get("ev")
+        if name == "hello":
+            slot.status = SLOT_IDLE
+            slot.pid = event.get("pid", slot.pid)
+            slot.last_heartbeat = now
+            if slot.pending_resume is not None:
+                record, resume = slot.pending_resume
+                slot.pending_resume = None
+                self._send_job(slot, record, now, resume=resume)
+        elif name == "heartbeat":
+            slot.last_heartbeat = now
+            slot.heartbeat_seq = event.get("seq", 0)
+            slot.metrics = event.get("metrics", {})
+            slot.progress = event.get("progress", 0)
+        elif name == "result":
+            self._on_result(slot, event, now)
+        elif name == "rsp":
+            if self.mux is not None:
+                self.mux.deliver(slot.index,
+                                 bytes.fromhex(event["data"]))
+        elif name == "bye":
+            slot.status = SLOT_STOPPED
+        # "pong" and unknown events only refresh the heartbeat clock.
+        if name in ("pong",):
+            slot.last_heartbeat = now
+
+    def _on_result(self, slot: WorkerSlot, event: Dict,
+                   now: float) -> None:
+        record = slot.job
+        slot.job = None
+        if slot.status == SLOT_BUSY:
+            slot.status = SLOT_IDLE
+        if record is None or record.id != event.get("id"):
+            return   # stale result from a pre-restart incarnation
+        if event.get("ok"):
+            self.queue.mark_done(record, event.get("value"))
+        else:
+            self.queue.fail_attempt(record,
+                                    event.get("error", "worker error"),
+                                    now)
+
+    # -- health & recovery ---------------------------------------------------
+
+    def _check_health(self, slot: WorkerSlot, now: float) -> None:
+        if slot.status in (SLOT_DEAD, SLOT_STOPPED):
+            return
+        if not slot.alive:
+            code = slot.process.exitcode if slot.process else None
+            self._counter_crashes.inc()
+            self._on_death(slot, f"process exited (code {code})", now)
+            return
+        if now - slot.last_heartbeat > self.config.hang_timeout:
+            self._counter_hangs.inc()
+            slot.process.kill()
+            self._on_death(
+                slot,
+                f"hang: no heartbeat for "
+                f"{now - slot.last_heartbeat:.1f}s", now)
+
+    def _on_death(self, slot: WorkerSlot, reason: str,
+                  now: float) -> None:
+        slot.status = SLOT_DEAD
+        if slot.conn is not None:
+            slot.conn.close()
+            slot.conn = None
+        if self.mux is not None:
+            self.mux.worker_died(slot.index)
+        record = slot.job
+        slot.job = None
+        if record is None:
+            return
+        resume = self._resume_spec(record)
+        if resume is not None and self._can_restart(slot):
+            # The *worker* died, not the job: no attempt is charged and
+            # the record never re-enters the dispatch heap — it stays
+            # "running", pinned to this slot's replacement, which picks
+            # it up (with the journals) as soon as it says hello.
+            record.resumes += 1
+            record.worker = None
+            record.dispatched_at = None
+            record.note(f"worker {slot.index} died ({reason}); "
+                        f"resume {record.resumes} from journal")
+            slot.pending_resume = (record, resume)
+        else:
+            self.queue.fail_attempt(
+                record, f"worker {slot.index} died: {reason}", now)
+
+    def _resume_spec(self, record: JobRecord) -> Optional[Dict]:
+        """Journal-based recovery plan, if this job supports one."""
+        job = record.job
+        if job.kind != "exec-slices" or record.spool is None \
+                or not os.path.exists(record.spool) \
+                or record.resumes >= job.max_resumes:
+            return None
+        cont = f"{record.spool}.cont{record.resumes + 1}"
+        return {"journal": record.spool,
+                "continuations": list(record.continuations),
+                "spool": cont}
+
+    def _can_restart(self, slot: WorkerSlot) -> bool:
+        return self.config.restart \
+            and slot.restarts < self.config.max_restarts
+
+    def _maybe_restart(self, slot: WorkerSlot) -> None:
+        if slot.status != SLOT_DEAD or not self._can_restart(slot):
+            return
+        slot.restarts += 1
+        self._counter_restarts.inc()
+        self._spawn(slot)
+
+    def _check_job_timeout(self, slot: WorkerSlot, now: float) -> None:
+        record = slot.job
+        if record is None or record.dispatched_at is None:
+            return
+        if now - record.dispatched_at <= record.job.timeout_s:
+            return
+        # The job wedged its worker: kill the process (its machine is
+        # unsalvageable mid-job) and charge the attempt to the job,
+        # not the worker — no journal resume for a timeout.
+        record.note(f"timeout after {record.job.timeout_s}s "
+                    f"on worker {slot.index}")
+        slot.job = None
+        self.queue.fail_attempt(record, "job timeout", now)
+        if slot.alive:
+            slot.process.kill()
+        self._on_death(slot, "killed after job timeout", now)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(self, now: float) -> None:
+        for slot in self.slots:
+            if slot.status != SLOT_IDLE or slot.job is not None:
+                continue
+            record = self.queue.pop_eligible(now)
+            if record is None:
+                return
+            self._send_job(slot, record, now)
+
+    def _send_job(self, slot: WorkerSlot, record: JobRecord,
+                  now: float, resume: Optional[Dict] = None) -> None:
+        job = record.job
+        message = {"op": "job", "id": record.id, "kind": job.kind,
+                   "params": job.params}
+        if resume is not None:
+            message["resume"] = resume
+            record.continuations.append(resume["spool"])
+            # Migration, not a retry: keep the attempt count.
+            record.status = STATUS_RUNNING
+            record.worker = slot.index
+            record.dispatched_at = now
+            record.note(f"resume {record.resumes} on worker "
+                        f"{slot.index}")
+        else:
+            if job.kind == "exec-slices" \
+                    and self.config.spool_dir is not None \
+                    and job.params.get("record", True):
+                os.makedirs(self.config.spool_dir, exist_ok=True)
+                record.spool = os.path.join(self.config.spool_dir,
+                                            f"{record.id}.journal")
+                message["spool"] = record.spool
+            self.queue.mark_running(record, slot.index, now)
+        message["attempt"] = record.attempts
+        try:
+            slot.conn.send(message)
+        except (BrokenPipeError, OSError):
+            self._on_death(slot, "pipe broke on dispatch", now)
+            return
+        slot.job = record
+        slot.status = SLOT_BUSY
+
+    # -- RSP plumbing (used by the mux) --------------------------------------
+
+    def send_rsp(self, index: int, data: bytes) -> bool:
+        slot = self.slots[index]
+        if slot.conn is None or slot.status not in (SLOT_IDLE,
+                                                    SLOT_BUSY):
+            return False
+        try:
+            slot.conn.send({"op": "rsp", "data": data.hex()})
+        except (BrokenPipeError, OSError):
+            return False
+        return True
+
+    def detach_rsp(self, index: int) -> None:
+        slot = self.slots[index]
+        if slot.conn is not None and slot.status in (SLOT_IDLE,
+                                                     SLOT_BUSY):
+            try:
+                slot.conn.send({"op": "rsp-detach"})
+            except (BrokenPipeError, OSError):
+                pass
+
+    # -- the ladder ----------------------------------------------------------
+
+    def healthy_workers(self) -> int:
+        return sum(1 for slot in self.slots
+                   if slot.status in _HEALTHY and slot.alive)
+
+    def _restorable(self) -> bool:
+        return any(self._can_restart(slot) for slot in self.slots
+                   if slot.status == SLOT_DEAD)
+
+    def _update_ladder(self) -> None:
+        if not self.started:
+            return
+        healthy = self.healthy_workers()
+        if healthy == 0:
+            target = FLEET_FROZEN if not self._restorable() \
+                else FLEET_DEGRADED
+        elif healthy < len(self.slots) and not self._restorable():
+            target = FLEET_DEGRADED
+        else:
+            target = FLEET_FULL
+        if target == self.level:
+            return
+        src, self.level = self.level, target
+        reason = f"{healthy}/{len(self.slots)} workers healthy"
+        self.transitions.append((time.monotonic(), src, target, reason))
+        if self.transition_taps:
+            self.transition_taps(src, target, reason)
+        if _LEVEL_ORDER[target] > _LEVEL_ORDER[src]:
+            shed = self.queue.shed_below(self.config.shed_below_priority)
+            if shed:
+                self.transitions[-1] = (
+                    self.transitions[-1][0], src, target,
+                    reason + f"; shed {len(shed)} low-priority jobs")
+
+    # -- reporting -----------------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        registry = global_registry()
+        self._gauge_level.set(_LEVEL_ORDER[self.level])
+        self._gauge_healthy.set(self.healthy_workers())
+        self._gauge_total.set(len(self.slots))
+        for status, count in self.queue.counts().items():
+            registry.gauge(
+                f"fleet.jobs.{status.replace('-', '_')}").set(count)
+
+    def status(self) -> Dict:
+        """JSON-ready control-plane state (the ``status`` verb)."""
+        return {
+            "level": self.level,
+            "draining": self.draining,
+            "workers": [{
+                "index": slot.index,
+                "status": slot.status,
+                "pid": slot.pid,
+                "restarts": slot.restarts,
+                "job": slot.job.id if slot.job else None,
+                "progress": slot.progress,
+                "heartbeats": slot.heartbeat_seq,
+            } for slot in self.slots],
+            "jobs": self.queue.counts(),
+            "dead_letter": [record.id
+                            for record in self.queue.dead_letter],
+            "shed": [record.id for record in self.queue.shed],
+            "transitions": [
+                {"from": src, "to": dst, "reason": reason}
+                for _, src, dst, reason in self.transitions],
+        }

@@ -135,6 +135,10 @@ class Tracer:
         self._sub(plan.fire_taps, self._on_fault_fire)
         self._sub(plan.draw_taps, self._on_fault_draw)
 
+    def add_watchdog(self, watchdog) -> None:
+        """Trace a watchdog created after :meth:`attach`."""
+        self._sub(watchdog.transition_taps, self._on_watchdog)
+
     # -- clocks --------------------------------------------------------------
 
     def _now(self) -> Tuple[int, int]:

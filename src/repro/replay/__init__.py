@@ -13,7 +13,8 @@ delta-debugs the journal down to a minimal repro.
 """
 
 from repro.replay.journal import (FRAME_CHECKPOINT, FRAME_END, FRAME_EVENT,
-                                  FRAME_HEADER, Frame, Journal, load_journal,
+                                  FRAME_HEADER, Frame, Journal,
+                                  JournalWriter, load_journal,
                                   loads_journal, save_journal)
 from repro.replay.digest import state_digest
 from repro.replay.recorder import FlightRecorder

@@ -26,6 +26,8 @@ Frame types give tooling a structural skeleton without parsing JSON:
 from __future__ import annotations
 
 import json
+import os
+import signal
 import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -181,6 +183,81 @@ def _decode_frame(data: bytes, offset: int):
     if not isinstance(decoded, dict):
         raise JournalError("frame payload must be a JSON object")
     return Frame(frame_type, decoded), end
+
+
+class JournalWriter:
+    """Incremental, kill-safe journal spooling.
+
+    The in-memory :class:`~repro.replay.recorder.FlightRecorder` only
+    materialises its journal at :meth:`finish` — useless if the
+    recording *process* is the thing that dies (a fleet worker hit by
+    ``SIGKILL``).  The writer streams the identical byte format to disk
+    as frames are appended, flushing and (by default) ``fsync``-ing at
+    every frame boundary, so the on-disk journal is always either
+    frame-complete or torn only in its final frame — exactly the damage
+    :func:`loads_journal`'s truncated-tail recovery absorbs.
+
+    ``close`` is idempotent and safe to call from a signal handler;
+    :meth:`install_sigterm_close` arms a ``SIGTERM`` handler that
+    closes the spool (flush + fsync) before the process exits with the
+    conventional 143, so a politely-terminated worker never leaves a
+    torn tail at all.
+    """
+
+    def __init__(self, path, header: Dict, fsync: bool = True) -> None:
+        self.path = str(path)
+        self.fsync = fsync
+        self.frames_written = 0
+        self.bytes_written = 0
+        self._closed = False
+        self._handle = open(self.path, "wb")
+        self._write(MAGIC + struct.pack("<H", VERSION)
+                    + Frame(FRAME_HEADER, header).encode())
+
+    def _write(self, blob: bytes) -> None:
+        self._handle.write(blob)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.bytes_written += len(blob)
+
+    def append(self, frame: Frame) -> None:
+        """Durably append one frame (flush + fsync at the boundary)."""
+        if self._closed:
+            raise JournalError(
+                f"journal writer for {self.path!r} is closed")
+        self._write(frame.encode())
+        self.frames_written += 1
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush, fsync and close the spool file (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        finally:
+            self._handle.close()
+
+    def install_sigterm_close(self) -> None:
+        """Arm a SIGTERM handler that seals the spool before exiting.
+
+        Every append is already fsync'd, so the handler only has to
+        close the file; it then exits with status 143 (the shell
+        convention for death-by-SIGTERM) instead of unwinding through
+        arbitrary interpreter state.
+        """
+        def _handler(_signum, _frame) -> None:
+            self.close()
+            os._exit(143)
+
+        signal.signal(signal.SIGTERM, _handler)
 
 
 def save_journal(journal: Journal, path) -> None:

@@ -58,7 +58,8 @@ class FlightRecorder:
 
     def __init__(self, machine, monitor, program=None, plan=None,
                  scenario: str = "", seed: Optional[int] = None,
-                 checkpoint_every: int = 4) -> None:
+                 checkpoint_every: int = 4, spool=None,
+                 spool_fsync: bool = True) -> None:
         if not hasattr(monitor, "record_tap"):
             raise MonitorError(
                 "flight recording needs a monitor with record_tap "
@@ -87,6 +88,16 @@ class FlightRecorder:
         if program is not None:
             self.header["guest"] = {"origin": program.origin,
                                     "image": program.image.hex()}
+        #: Optional kill-safe spool: every appended frame is also
+        #: streamed to disk with flush+fsync at the frame boundary (see
+        #: :class:`repro.replay.journal.JournalWriter`), so a recording
+        #: killed mid-run leaves a journal recoverable via the loader's
+        #: truncated-tail logic.
+        self.writer = None
+        if spool is not None:
+            from repro.replay.journal import JournalWriter
+            self.writer = JournalWriter(spool, dict(self.header),
+                                        fsync=spool_fsync)
         self.frames: List[Frame] = []
         self.finished = False
         self._rx_buffer = bytearray()
@@ -137,6 +148,8 @@ class FlightRecorder:
             self._flush_rx()
         self.frames.append(frame)
         self._journal_bytes += len(frame.encode())
+        if self.writer is not None:
+            self.writer.append(frame)
         if self.frame_taps:
             self.frame_taps(frame)
 
@@ -235,6 +248,20 @@ class FlightRecorder:
             self._append(Frame(FRAME_EVENT, data))
             return
 
+    # -- resume support ------------------------------------------------------
+
+    def seed_t2h(self, count: int, hasher) -> None:
+        """Adopt a rolling target-to-host digest from a prior epoch.
+
+        A recorder attached to a machine rebuilt by journal replay must
+        continue the *recorded* t2h stream digest, not start a fresh
+        one, or its micro-digests and checkpoints would never line up
+        with an uninterrupted run.  ``hasher`` is a live sha256 object
+        (the replayer's); it is copied, never shared.
+        """
+        self._t2h = hasher.copy()
+        self._t2h_count = count
+
     # -- checkpoints and completion ------------------------------------------
 
     def checkpoint(self) -> str:
@@ -271,6 +298,8 @@ class FlightRecorder:
         data.update(self._micro())
         self._append(Frame(FRAME_END, data))
         self.finished = True
+        if self.writer is not None:
+            self.writer.close()
         self.detach()
         self.journal = Journal(header=dict(self.header),
                                frames=list(self.frames))
@@ -286,4 +315,7 @@ class FlightRecorder:
         stats["t2h_bytes"] = self._t2h_count
         stats["checkpoint_every"] = self.checkpoint_every
         stats["finished"] = self.finished
+        if self.writer is not None:
+            stats["spooled_frames"] = self.writer.frames_written
+            stats["spooled_bytes"] = self.writer.bytes_written
         return stats

@@ -182,6 +182,21 @@ class Replayer:
             self.machine.queue.schedule_tap = self._on_schedule
         self.monitor.record_tap = self._on_monitor_event
 
+    def detach(self) -> None:
+        """Remove every replay tap from the rebuilt machine (idempotent).
+
+        After a relaxed replay the machine/monitor pair is a faithful
+        reconstruction of the recorded state; detaching frees the
+        primary tap slots so a new :class:`FlightRecorder` (or any
+        other observer) can take over — the fleet's journal-based
+        worker recovery resumes sessions this way.
+        """
+        self.machine.serial_link.tap = None
+        self.machine.pic.raise_tap = None
+        self.machine.rtc.read_tap = None
+        self.machine.queue.schedule_tap = None
+        self.monitor.record_tap = None
+
     # -- expectation matching ------------------------------------------------
 
     def _observe(self, payload: Dict) -> None:

@@ -1,0 +1,1 @@
+"""Test-support utilities shared by the tests and benchmark suites."""

@@ -1,0 +1,66 @@
+"""Global per-test timeout, without any pytest plugin dependency.
+
+A supervisor bug that stops the fleet poll loop from converging would
+otherwise stall CI until the job-level timeout; this hook makes the
+*test* fail fast with a stack-trace-bearing error instead.  SIGALRM
+fires only on the main thread and only on platforms that have it
+(POSIX); elsewhere the hook is a no-op.
+
+Wire-up: a ``conftest.py`` re-exports the hook::
+
+    from repro.testing.timeout import pytest_runtest_call  # noqa: F401
+
+Override the default with ``REPRO_TEST_TIMEOUT`` (seconds; ``0``
+disables).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+DEFAULT_TIMEOUT_S = 300
+
+
+def _timeout_seconds() -> int:
+    raw = os.environ.get("REPRO_TEST_TIMEOUT", "")
+    if raw:
+        try:
+            return max(0, int(float(raw)))
+        except ValueError:
+            pass
+    return DEFAULT_TIMEOUT_S
+
+
+def pytest_runtest_call(item):
+    """pytest hook: arm SIGALRM around the test body."""
+    seconds = _timeout_seconds()
+    if seconds <= 0 or not hasattr(signal, "SIGALRM") \
+            or threading.current_thread() \
+            is not threading.main_thread():
+        yield
+        return
+
+    def _expired(_signum, _frame):
+        raise TimeoutError(
+            f"test exceeded the global {seconds}s timeout "
+            f"(REPRO_TEST_TIMEOUT overrides)")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# pytest>=7 treats the hook as a plain function unless marked; wrap it
+# explicitly so `yield` runs the test body.
+try:
+    import pytest
+    pytest_runtest_call = pytest.hookimpl(hookwrapper=True)(
+        pytest_runtest_call)
+except ImportError:   # pragma: no cover — pytest always present in CI
+    pass

@@ -987,14 +987,22 @@ class LightweightVmm:
                 return (f"level: {self.degradation_level}\n"
                         "(no watchdog attached)")
             return self.watchdog.report()
+        if command == "fleet":
+            # Populated by a fleet worker (repro.fleet.worker); a
+            # standalone monitor has no fleet context.
+            info = getattr(self, "fleet_info", None)
+            if not info:
+                return "fleet: not a fleet worker"
+            return "\n".join(f"{key}: {info[key]}"
+                             for key in sorted(info))
         if command == "jit":
             return self._jit_command(parts[1:])
         if command == "tv":
             return self._tv_command(parts[1:])
         if command == "help":
             return ("monitor commands: stats console trace [n] shadow "
-                    "hang watchdog record [checkpoint] replay jit tv "
-                    "help\n"
+                    "hang watchdog fleet record [checkpoint] replay "
+                    "jit tv help\n"
                     "structured trace: trace start [stride] | stop | "
                     "dump [n] | status\n"
                     "superblocks: jit [on|off|flush]\n"

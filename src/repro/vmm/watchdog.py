@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.obs.metrics import global_registry
 from repro.obs.taps import TapPoint
 
 DEGRADE_FULL = "full-service"
@@ -66,6 +67,18 @@ class MonitorWatchdog:
         #: dst, reason)`` for every degradation-level transition.  The
         #: tracer subscribes here; observers must only observe.
         self.transition_taps = TapPoint()
+        #: Ladder state as a metric, so the fleet supervisor and any
+        #: dashboard export see degradations without a qRcmd round trip.
+        #: The gauge carries the :data:`_LEVEL_ORDER` ordinal (0 = full
+        #: service, 2 = frozen-snapshot).
+        self._level_gauge = global_registry().gauge(
+            "monitor.watchdog.level",
+            help="watchdog degradation ladder ordinal "
+                 "(0=full-service, 1=stub-only, 2=frozen-snapshot)")
+        self._level_gauge.set(_LEVEL_ORDER[monitor.degradation_level])
+        self._degrade_counter = global_registry().counter(
+            "monitor.watchdog.degradations",
+            help="degradation-ladder upward transitions")
         self.snapshot = None
         self.stats = {
             "checks": 0,
@@ -142,11 +155,13 @@ class MonitorWatchdog:
         if _LEVEL_ORDER[target] <= _LEVEL_ORDER[current]:
             return
         self.stats["degradations"] += 1
+        self._degrade_counter.inc()
         cycle = self.monitor.machine.cpu.cycle_count
         self.transitions.append((cycle, current, target, reason))
         if self.transition_taps:
             self.transition_taps(cycle, current, target, reason)
         self.monitor.degradation_level = target
+        self._level_gauge.set(_LEVEL_ORDER[target])
         if target == DEGRADE_FROZEN and self.snapshot is None:
             from repro.core import snapshot as snap
             self.snapshot = snap.capture(self.monitor.machine, self.monitor,
@@ -156,6 +171,7 @@ class MonitorWatchdog:
         """Operator action: return to full service (does not revive a
         dead guest — the next check re-degrades in that case)."""
         self.monitor.degradation_level = DEGRADE_FULL
+        self._level_gauge.set(_LEVEL_ORDER[DEGRADE_FULL])
         self._suspect_checks = 0
 
     # ------------------------------------------------------------------

@@ -1,0 +1,4 @@
+"""Suite-wide wiring: every test runs under the global timeout so a
+wedged supervisor loop fails fast instead of stalling CI."""
+
+from repro.testing.timeout import pytest_runtest_call  # noqa: F401

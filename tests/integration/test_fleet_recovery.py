@@ -1,0 +1,146 @@
+"""Journal-based fleet recovery: kill a worker mid-campaign and prove
+the resumed run is byte-for-byte identical to an uninterrupted one.
+
+This is the fleet's determinism contract: the journal spool (fsync'd at
+every frame boundary) plus relaxed replay reconstruct the *exact*
+machine state the dead worker held, so the continuation produces the
+same checkpoint digests an undisturbed run would have produced.
+"""
+
+import signal
+
+import pytest
+
+from repro.fleet.jobs import Job, STATUS_DONE
+from repro.fleet.supervisor import FLEET_FULL, Fleet, FleetConfig
+from repro.fleet.worker import ExecSlices, run_exec_slices
+from repro.replay.journal import load_journal
+
+from tests.integration.test_fleet import poll_until
+
+#: The campaign under test: long enough to be killed mid-flight,
+#: short enough for CI.  ``think_ms`` paces the victim so the kill
+#: lands while slices remain.
+PARAMS = {"slices": 12, "slice_insns": 1_500, "seed": 42,
+          "think_ms": 50}
+
+
+def _reference_digests():
+    """The uninterrupted run's digests (no think time needed)."""
+    return run_exec_slices(dict(PARAMS, think_ms=0))
+
+
+class TestInProcessResume:
+    """The resume protocol itself, without multiprocessing."""
+
+    def test_abandoned_spool_resumes_to_identical_digests(self,
+                                                          tmp_path):
+        spool = str(tmp_path / "abandoned.journal")
+        victim = ExecSlices(dict(PARAMS, think_ms=0), spool=spool)
+        for _ in range(5):
+            victim.step()
+        # Simulate SIGKILL: drop the campaign without finish(); only
+        # the fsync'd spool survives.
+        victim.recorder.writer.close()
+        partial = list(victim.digests)
+        del victim
+
+        resumed = ExecSlices(
+            dict(PARAMS, think_ms=0),
+            resume={"journal": spool, "continuations": [],
+                    "spool": str(tmp_path / "cont.journal")})
+        assert resumed.done == 5
+        assert resumed.digests == partial
+        while not resumed.finished:
+            resumed.step()
+        result = resumed.result()
+        assert result["resumed"]
+        assert result["digests"] == _reference_digests()["digests"]
+
+    def test_double_kill_chains_continuation_journals(self, tmp_path):
+        """Killed, resumed, killed again: the second resume replays the
+        original journal *plus* the first continuation."""
+        spool = str(tmp_path / "first.journal")
+        cont1 = str(tmp_path / "first.cont1")
+        cont2 = str(tmp_path / "first.cont2")
+        first = ExecSlices(dict(PARAMS, think_ms=0), spool=spool)
+        for _ in range(4):
+            first.step()
+        first.recorder.writer.close()
+        del first
+
+        second = ExecSlices(
+            dict(PARAMS, think_ms=0),
+            resume={"journal": spool, "continuations": [],
+                    "spool": cont1})
+        for _ in range(4):
+            second.step()
+        second.recorder.writer.close()
+        assert second.done == 8
+        del second
+
+        third = ExecSlices(
+            dict(PARAMS, think_ms=0),
+            resume={"journal": spool, "continuations": [cont1],
+                    "spool": cont2})
+        assert third.done == 8
+        while not third.finished:
+            third.step()
+        assert third.result()["digests"] \
+            == _reference_digests()["digests"]
+
+
+@pytest.mark.parametrize("kill_signal", [signal.SIGKILL,
+                                         signal.SIGTERM])
+class TestFleetRecovery:
+    def test_killed_worker_resumes_with_identical_digests(
+            self, tmp_path, kill_signal):
+        """The acceptance test: SIGKILL a worker mid-campaign; the
+        supervisor restarts it, replays the spool, and the finished
+        job's digests match the straight-through run byte for byte."""
+        fleet = Fleet(FleetConfig(
+            workers=2, spool_dir=str(tmp_path),
+            heartbeat_interval=0.05, hang_timeout=30.0,
+            restart=True, max_restarts=3)).start()
+        try:
+            assert fleet.wait_ready(timeout=60.0)
+            record = fleet.submit(Job(kind="exec-slices",
+                                      params=dict(PARAMS),
+                                      priority=9, timeout_s=300.0))
+
+            # Wait until the campaign is demonstrably mid-flight.
+            def mid_flight():
+                return record.worker is not None \
+                    and fleet.slots[record.worker].progress >= 4
+            assert poll_until(fleet, mid_flight, timeout=60.0)
+            victim = record.worker
+            fleet.kill_worker(victim, sig=kill_signal)
+
+            assert fleet.run_until_idle(timeout=120.0)
+            assert record.status == STATUS_DONE
+            assert record.resumes == 1
+            assert record.result["resumed"]
+            # Byte-for-byte: the interrupted-and-resumed campaign is
+            # indistinguishable from an uninterrupted one.
+            reference = _reference_digests()
+            assert record.result["digests"] == reference["digests"]
+            assert len(record.result["digests"]) == PARAMS["slices"]
+            assert record.result["instret"] == reference["instret"]
+            # The worker death cost a resume, not a retry attempt.
+            assert record.attempts == 1
+            assert fleet.slots[victim].restarts == 1
+            assert fleet.level == FLEET_FULL
+
+            # The paper trail: original spool + one continuation, both
+            # loadable; the continuation carries the remaining slices.
+            assert record.spool is not None
+            assert len(record.continuations) == 1
+            original = load_journal(record.spool, strict=False)
+            continuation = load_journal(record.continuations[0],
+                                        strict=False)
+            runs = original.counts_by_kind().get("run", 0) \
+                + continuation.counts_by_kind().get("run", 0)
+            assert runs == PARAMS["slices"]
+            assert any("died" in note for note in record.history)
+        finally:
+            fleet.shutdown()

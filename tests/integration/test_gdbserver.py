@@ -79,3 +79,90 @@ class TestGdbServerBridge:
         reply = client.exchange(
             b"qXfer:features:read:target.xml:0,1024")
         assert reply.startswith(b"l<?xml")
+
+
+class TestAbruptDisconnect:
+    """Regression: a client dying mid-session (RST, not FIN) must end
+    that session cleanly and leave the server able to serve the next
+    client — never unwind with an exception or wedge the loop."""
+
+    def _bridge(self):
+        session = DebugSession(monitor="lvmm")
+        kernel = build_kernel(KernelConfig(ticks_to_run=10_000))
+        session.load_and_boot(kernel)
+        return GdbServer(session, host="127.0.0.1", port=0)
+
+    def _serve_once(self, bridge):
+        done = threading.Event()
+
+        def serve():
+            bridge.serve_client(max_idle_polls=4000)
+            done.set()
+
+        threading.Thread(target=serve, daemon=True).start()
+        return done
+
+    def _connect(self, bridge):
+        sock = socket.create_connection(bridge.address, timeout=5)
+        sock.setblocking(False)
+
+        def send(data: bytes) -> None:
+            if data:
+                sock.sendall(data)
+
+        def recv() -> bytes:
+            try:
+                return sock.recv(4096)
+            except BlockingIOError:
+                return b""
+
+        client = RspClient(send=send, recv=recv,
+                           pump=lambda: time.sleep(0.002),
+                           max_pumps=2000)
+        return client, sock
+
+    @staticmethod
+    def _abort(sock):
+        """Close with SO_LINGER zero: an RST, the rudest goodbye."""
+        import struct
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0))
+        sock.close()
+
+    def test_rst_mid_session_then_second_client_served(self):
+        bridge = self._bridge()
+        try:
+            done = self._serve_once(bridge)
+            client, sock = self._connect(bridge)
+            assert client.query_halt_reason() == 5
+            self._abort(sock)
+            assert done.wait(10), \
+                "serve_client did not return after an RST"
+
+            # The machine behind the server is intact: a second
+            # client attaches and debugs as if nothing happened.
+            done = self._serve_once(bridge)
+            client2, sock2 = self._connect(bridge)
+            assert client2.query_halt_reason() == 5
+            assert len(client2.read_registers()) == 10
+            sock2.close()
+            assert done.wait(10)
+        finally:
+            bridge.shutdown_requested = True
+            bridge.close()
+
+    def test_rst_with_a_half_sent_packet(self):
+        """Die in the middle of a packet: the server must not block
+        waiting for the rest of it."""
+        bridge = self._bridge()
+        try:
+            done = self._serve_once(bridge)
+            client, sock = self._connect(bridge)
+            assert client.query_halt_reason() == 5
+            sock.sendall(b"$qSupported")   # no '#xx' terminator
+            self._abort(sock)
+            assert done.wait(10), \
+                "serve_client wedged on a torn packet"
+        finally:
+            bridge.shutdown_requested = True
+            bridge.close()

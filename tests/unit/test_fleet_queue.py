@@ -1,0 +1,156 @@
+"""Unit tests for the fleet job model: priority queue, bounded retry
+with exponential backoff, dead-letter list, and shedding."""
+
+import pytest
+
+from repro.fleet.jobs import (
+    Job,
+    JobQueue,
+    RetrySchedule,
+    STATUS_DEAD_LETTER,
+    STATUS_DONE,
+    STATUS_PENDING,
+    STATUS_RUNNING,
+    STATUS_SHED,
+)
+
+
+class TestRetrySchedule:
+    def test_backoff_grows_exponentially_then_caps(self):
+        retry = RetrySchedule(max_attempts=8, backoff_base_s=0.2,
+                              multiplier=2.0, backoff_max_s=5.0)
+        delays = [retry.backoff_s(n) for n in range(1, 9)]
+        assert delays == [0.2, 0.4, 0.8, 1.6, 3.2, 5.0, 5.0, 5.0]
+
+    def test_backoff_is_deterministic(self):
+        a = RetrySchedule(max_attempts=5, backoff_base_s=0.1)
+        b = RetrySchedule(max_attempts=5, backoff_base_s=0.1)
+        assert [a.backoff_s(n) for n in range(1, 6)] \
+            == [b.backoff_s(n) for n in range(1, 6)]
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError):
+            RetrySchedule().backoff_s(0)
+
+
+class TestJobValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Job(kind="mystery")
+
+    def test_priority_range_enforced(self):
+        with pytest.raises(ValueError):
+            Job(kind="noop", priority=10)
+        with pytest.raises(ValueError):
+            Job(kind="noop", priority=-1)
+        Job(kind="noop", priority=0)
+        Job(kind="noop", priority=9)
+
+
+class TestQueueOrdering:
+    def test_higher_priority_pops_first(self):
+        queue = JobQueue()
+        low = queue.submit(Job(kind="noop", priority=3))
+        high = queue.submit(Job(kind="noop", priority=9))
+        mid = queue.submit(Job(kind="noop", priority=5))
+        assert queue.pop_eligible(0.0) is high
+        assert queue.pop_eligible(0.0) is mid
+        assert queue.pop_eligible(0.0) is low
+        assert queue.pop_eligible(0.0) is None
+
+    def test_equal_priority_is_fifo(self):
+        queue = JobQueue()
+        first = queue.submit(Job(kind="noop", priority=5))
+        second = queue.submit(Job(kind="noop", priority=5))
+        assert queue.pop_eligible(0.0) is first
+        assert queue.pop_eligible(0.0) is second
+
+    def test_backoff_defers_dispatch(self):
+        queue = JobQueue()
+        record = queue.submit(Job(
+            kind="noop",
+            retry=RetrySchedule(max_attempts=3, backoff_base_s=1.0)))
+        queue.mark_running(record, worker=0, now=10.0)
+        assert queue.fail_attempt(record, "boom", now=10.0) \
+            == STATUS_PENDING
+        # Backed off for 1s: invisible until not_before elapses.
+        assert queue.pop_eligible(10.5) is None
+        assert queue.pop_eligible(11.5) is record
+
+    def test_deferred_record_does_not_block_others(self):
+        queue = JobQueue()
+        backed_off = queue.submit(Job(
+            kind="noop", priority=9,
+            retry=RetrySchedule(max_attempts=3, backoff_base_s=100.0)))
+        ready = queue.submit(Job(kind="noop", priority=1))
+        queue.mark_running(backed_off, worker=0, now=0.0)
+        queue.fail_attempt(backed_off, "boom", now=0.0)
+        # The high-priority record is waiting out its backoff; the
+        # low-priority one must still dispatch.
+        assert queue.pop_eligible(1.0) is ready
+
+
+class TestRetryLedger:
+    def test_dead_letter_after_max_attempts(self):
+        queue = JobQueue()
+        record = queue.submit(Job(
+            kind="noop",
+            retry=RetrySchedule(max_attempts=2, backoff_base_s=0.0)))
+        for attempt in range(1, 3):
+            queue.mark_running(record, worker=0, now=float(attempt))
+            status = queue.fail_attempt(record, f"fail {attempt}",
+                                        now=float(attempt))
+        assert status == STATUS_DEAD_LETTER
+        assert record in queue.dead_letter
+        assert record.attempts == 2
+        assert record.error == "fail 2"
+        assert queue.pop_eligible(100.0) is None
+        assert queue.idle
+
+    def test_history_records_every_transition(self):
+        queue = JobQueue()
+        record = queue.submit(Job(kind="noop"))
+        queue.mark_running(record, worker=1, now=0.0)
+        queue.fail_attempt(record, "boom", now=0.0)
+        queue.mark_running(record, worker=2, now=1.0)
+        queue.mark_done(record, {"value": 42})
+        assert record.status == STATUS_DONE
+        assert any("submitted" in note for note in record.history)
+        assert any("attempt 1 on worker 1" in note
+                   for note in record.history)
+        assert any("retry in" in note for note in record.history)
+        assert any("done" in note for note in record.history)
+
+
+class TestShedding:
+    def test_shed_below_drops_only_pending_low_priority(self):
+        queue = JobQueue()
+        low = queue.submit(Job(kind="noop", priority=1))
+        high = queue.submit(Job(kind="noop", priority=9))
+        running_low = queue.submit(Job(kind="noop", priority=1))
+        queue.mark_running(running_low, worker=0, now=0.0)
+        dropped = queue.shed_below(5)
+        assert dropped == [low]
+        assert low.status == STATUS_SHED
+        assert low in queue.shed
+        assert high.status == STATUS_PENDING
+        # Already-running work is never shed, whatever its priority.
+        assert running_low.status == STATUS_RUNNING
+        assert queue.pop_eligible(0.0) is high
+
+    def test_counts_track_every_status(self):
+        queue = JobQueue()
+        done = queue.submit(Job(kind="noop"))
+        queue.mark_running(done, worker=0, now=0.0)
+        queue.mark_done(done, None)
+        queue.submit(Job(kind="noop", priority=1))
+        queue.shed_below(5)
+        pending = queue.submit(Job(kind="noop", priority=9))
+        counts = queue.counts()
+        assert counts[STATUS_DONE] == 1
+        assert counts[STATUS_SHED] == 1
+        assert counts[STATUS_PENDING] == 1
+        assert not queue.idle
+        queue.mark_running(pending, worker=0, now=0.0)
+        queue.mark_done(pending, None)
+        assert queue.idle

@@ -7,6 +7,7 @@ from repro.replay.journal import (
     FRAME_CHECKPOINT,
     FRAME_END,
     FRAME_EVENT,
+    FRAME_HEADER,
     MAGIC,
     Frame,
     Journal,
@@ -138,3 +139,121 @@ class TestValidation:
         frame = Frame(FRAME_EVENT, {"x": 1})
         assert frame.kind == "event"
         assert Frame(FRAME_END, {}).kind == "end"
+
+
+# ----------------------------------------------------------------------
+# JournalWriter: incremental, kill-safe spooling
+# ----------------------------------------------------------------------
+
+import os
+import signal
+import subprocess
+import sys
+
+from repro.replay.journal import JournalWriter, load_journal
+
+
+class TestJournalWriter:
+    def test_spooled_bytes_identical_to_in_memory_encoding(self, tmp_path):
+        journal = _journal()
+        path = tmp_path / "spool.journal"
+        writer = JournalWriter(path, journal.header)
+        for frame in journal.frames:
+            writer.append(frame)
+        writer.close()
+        assert path.read_bytes() == journal.to_bytes()
+        assert writer.frames_written == len(journal.frames)
+        assert writer.bytes_written == len(journal.to_bytes())
+
+    def test_close_is_idempotent_and_seals_appends(self, tmp_path):
+        writer = JournalWriter(tmp_path / "x.journal", {"scenario": "t"})
+        writer.append(Frame(FRAME_EVENT, {"kind": "run", "max": 1}))
+        writer.close()
+        writer.close()
+        assert writer.closed
+        with pytest.raises(JournalError):
+            writer.append(Frame(FRAME_EVENT, {"kind": "run", "max": 2}))
+
+    def test_fsync_optional(self, tmp_path):
+        path = tmp_path / "nofsync.journal"
+        writer = JournalWriter(path, {"scenario": "t"}, fsync=False)
+        writer.append(Frame(FRAME_EVENT, {"kind": "run", "max": 1}))
+        writer.close()
+        loaded = load_journal(path)
+        assert len(loaded.frames) == 1
+
+
+_SPOOL_CHILD = """\
+import sys
+sys.path[:0] = {sys_path!r}
+from repro.replay.journal import FRAME_EVENT, Frame, JournalWriter
+
+writer = JournalWriter({path!r}, {{"scenario": "kill-test"}})
+{arm_sigterm}
+for index in range(100_000):
+    writer.append(Frame(FRAME_EVENT,
+                        {{"kind": "run", "max": 500, "executed": index}}))
+    if index == 20:
+        print("ready", flush=True)
+"""
+
+
+def _spawn_spooler(path, arm_sigterm=False):
+    """Run a child that spools frames forever, wait until it has
+    written at least 20 of them."""
+    code = _SPOOL_CHILD.format(
+        sys_path=[entry for entry in sys.path if entry],
+        path=str(path),
+        arm_sigterm="writer.install_sigterm_close()"
+                    if arm_sigterm else "")
+    child = subprocess.Popen([sys.executable, "-c", code],
+                             stdout=subprocess.PIPE)
+    assert child.stdout.readline().strip() == b"ready"
+    return child
+
+
+class TestJournalWriterKillSafety:
+    def test_sigkill_mid_write_leaves_a_recoverable_journal(
+            self, tmp_path):
+        """kill -9 while spooling: everything up to the last frame
+        boundary survives; the loader absorbs any torn tail."""
+        path = tmp_path / "killed.journal"
+        child = _spawn_spooler(path)
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=10)
+        assert child.returncode == -signal.SIGKILL
+        journal = load_journal(path, strict=False)
+        assert not journal.complete          # no END frame, by design
+        assert len(journal.frames) >= 20
+        # Every recovered frame is intact and in order.
+        for index, frame in enumerate(journal.frames):
+            assert frame.data["executed"] == index
+
+    def test_sigterm_seals_the_spool_and_exits_143(self, tmp_path):
+        """A politely-terminated writer closes the spool from its
+        SIGTERM handler: no torn tail at all."""
+        path = tmp_path / "terminated.journal"
+        child = _spawn_spooler(path, arm_sigterm=True)
+        os.kill(child.pid, signal.SIGTERM)
+        child.wait(timeout=10)
+        assert child.returncode == 143
+        journal = load_journal(path, strict=False)
+        assert not journal.truncated
+        assert len(journal.frames) >= 20
+
+    def test_every_sigkill_prefix_is_loadable(self, tmp_path):
+        """Brute-force the crash window: whatever byte the writer died
+        on, the spool loads without raising."""
+        path = tmp_path / "prefix.journal"
+        writer = JournalWriter(path, {"scenario": "t"})
+        for index in range(5):
+            writer.append(Frame(FRAME_EVENT,
+                                {"kind": "run", "executed": index}))
+        writer.close()
+        blob = path.read_bytes()
+        header_len = len(MAGIC) + 2 \
+            + len(Frame(FRAME_HEADER, {"scenario": "t"}).encode())
+        for cut in range(header_len, len(blob)):
+            journal = loads_journal(blob[:cut])
+            for frame in journal.frames:
+                assert frame.data["kind"] == "run"

@@ -1,0 +1,121 @@
+"""Retry determinism across both transports.
+
+The RSP client backs off in *pump quanta* (simulated time) and the
+fleet supervisor backs off in seconds, but both are the same bounded
+exponential shape — and both must be exactly reproducible: a flaky
+retry schedule would make recorded debugging sessions diverge on
+replay.
+"""
+
+from repro.fleet.jobs import RetrySchedule
+from repro.rsp.client import RetryPolicy, RspClient
+from repro.rsp.packets import frame
+
+
+class TestBackoffSchedule:
+    def test_pump_schedule_is_bounded_exponential(self):
+        policy = RetryPolicy(max_attempts=8, backoff_base_pumps=2,
+                             backoff_multiplier=2.0,
+                             backoff_max_pumps=32)
+        pumps = [policy.backoff_pumps(attempt) for attempt in range(8)]
+        assert pumps == [0, 2, 4, 8, 16, 32, 32, 32]
+
+    def test_no_base_means_no_backoff(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert [policy.backoff_pumps(n) for n in range(5)] == [0] * 5
+
+    def test_rsp_and_fleet_schedules_share_one_shape(self):
+        """The fleet schedule is the RSP policy lifted to seconds:
+        same base, same multiplier, same cap semantics."""
+        pumps = RetryPolicy(max_attempts=6, backoff_base_pumps=1,
+                            backoff_multiplier=2.0,
+                            backoff_max_pumps=8)
+        seconds = RetrySchedule(max_attempts=6, backoff_base_s=1.0,
+                                multiplier=2.0, backoff_max_s=8.0)
+        # RetryPolicy indexes backoff by the *upcoming* transmission
+        # (0-based, first has none); RetrySchedule by the *failed*
+        # attempt (1-based).  Same curve, shifted by one.
+        assert [pumps.backoff_pumps(n) for n in range(1, 6)] \
+            == [seconds.backoff_s(n) for n in range(1, 6)]
+
+
+class _LossyTransport:
+    """A scripted transport that swallows the first N transmissions,
+    then answers.  Everything is counted so two runs can be compared
+    event-for-event."""
+
+    def __init__(self, drop_first: int, reply: bytes) -> None:
+        self.drop_first = drop_first
+        self.reply = reply
+        self.transmissions = 0
+        self.pumps = 0
+        self.pump_log = []
+        self._pending = b""
+
+    def send(self, data: bytes) -> None:
+        if not data or data == b"+":
+            return
+        self.transmissions += 1
+        if self.transmissions > self.drop_first:
+            self._pending = b"+" + frame(self.reply)
+
+    def recv(self) -> bytes:
+        data, self._pending = self._pending, b""
+        return data
+
+    def pump(self) -> None:
+        self.pumps += 1
+        self.pump_log.append(self.transmissions)
+
+
+def _lossy_exchange(drop_first: int):
+    transport = _LossyTransport(drop_first, b"OK")
+    client = RspClient(send=transport.send, recv=transport.recv,
+                       pump=transport.pump,
+                       retry_policy=RetryPolicy(
+                           max_attempts=8, pumps_per_attempt=16,
+                           backoff_base_pumps=2,
+                           backoff_max_pumps=32))
+    reply = client.exchange(b"?")
+    return reply, transport, client
+
+
+class TestRetryDeterminism:
+    def test_lossy_exchange_recovers(self):
+        reply, transport, client = _lossy_exchange(drop_first=2)
+        assert reply == b"OK"
+        assert transport.transmissions == 3
+        assert client.recoveries["retransmit"] == 2
+        assert client.recoveries["backoff"] == 2
+
+    def test_identical_runs_pump_identically(self):
+        """Same loss pattern, same policy -> the exact same sequence
+        of pumps, transmissions and recovery actions, run after run."""
+        runs = [_lossy_exchange(drop_first=3) for _ in range(2)]
+        (_, t_a, c_a), (_, t_b, c_b) = runs
+        assert t_a.pumps == t_b.pumps
+        assert t_a.pump_log == t_b.pump_log
+        assert t_a.transmissions == t_b.transmissions
+        assert c_a.recoveries == c_b.recoveries
+
+    def test_backoff_consumes_simulated_time_before_retransmit(self):
+        _, transport, _ = _lossy_exchange(drop_first=1)
+        # The first retransmission happens only after the scheduled
+        # backoff quanta: pump_log records the transmission count at
+        # each pump, so the prefix pumped while only one transmission
+        # was out must cover timeout + backoff.
+        first_retransmit_at = transport.pump_log.index(2)
+        assert first_retransmit_at \
+            >= 16 + 2  # pumps_per_attempt + backoff_pumps(1)
+
+    def test_exhausted_policy_raises_not_fabricates(self):
+        import pytest
+        from repro.errors import RspTransportError
+        transport = _LossyTransport(drop_first=10 ** 9, reply=b"OK")
+        client = RspClient(send=transport.send, recv=transport.recv,
+                           pump=transport.pump,
+                           retry_policy=RetryPolicy(
+                               max_attempts=3, pumps_per_attempt=4))
+        with pytest.raises(RspTransportError):
+            client.exchange(b"?")
+        assert transport.transmissions == 3

@@ -1,0 +1,91 @@
+"""The watchdog ladder is observable: a metrics gauge tracks the level
+and degradations flow onto the structured trace bus."""
+
+from repro.asm import assemble
+from repro.core import DebugSession
+from repro.hw import firmware
+from repro.obs.bus import CAT_WATCHDOG, TraceBus
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.tracer import Tracer
+from repro.vmm.watchdog import (
+    DEGRADE_FROZEN,
+    DEGRADE_FULL,
+    DEGRADE_STUB_ONLY,
+    MonitorWatchdog,
+)
+
+
+def make_session(body):
+    sess = DebugSession(monitor="lvmm")
+    program = assemble(f".org {firmware.GUEST_KERNEL_BASE}\n{body}\n")
+    sess.load_and_boot(program)
+    sess.attach()
+    return sess
+
+
+class TestWatchdogMetrics:
+    def test_gauge_starts_at_full_service(self):
+        sess = make_session("loop:\n    NOP\n    JMP loop")
+        MonitorWatchdog(sess.monitor)
+        assert global_registry().gauge("monitor.watchdog.level") \
+            .value == 0
+
+    def test_degradation_moves_gauge_and_counter(self):
+        sess = make_session("    INT 0x21\n    HLT")
+        watchdog = MonitorWatchdog(sess.monitor)
+        counter = global_registry().counter(
+            "monitor.watchdog.degradations")
+        before = counter.value
+        sess.run_guest(1_000)
+        assert sess.monitor.guest_dead
+        assert watchdog.check() == DEGRADE_FROZEN
+        assert global_registry().gauge("monitor.watchdog.level") \
+            .value == 2
+        assert counter.value == before + 1
+        # Frozen is terminal: further checks move nothing.
+        watchdog.check()
+        assert counter.value == before + 1
+
+    def test_reset_returns_gauge_to_zero(self):
+        sess = make_session("loop:\n    NOP\n    JMP loop")
+        watchdog = MonitorWatchdog(sess.monitor)
+        sess.monitor.degradation_level = DEGRADE_STUB_ONLY
+        watchdog._level_gauge.set(1)
+        watchdog.reset()
+        assert sess.monitor.degradation_level == DEGRADE_FULL
+        assert global_registry().gauge("monitor.watchdog.level") \
+            .value == 0
+
+
+class TestWatchdogTracing:
+    def test_degradation_lands_on_the_trace_bus(self):
+        sess = make_session("    INT 0x21\n    HLT")
+        tracer = Tracer(TraceBus(), MetricsRegistry())
+        tracer.attach(monitor=sess.monitor)
+        watchdog = MonitorWatchdog(sess.monitor)
+        # The watchdog was created after attach: wire it explicitly.
+        tracer.add_watchdog(watchdog)
+        sess.run_guest(1_000)
+        watchdog.check()
+        tracer.detach()
+        events = [record for record in tracer.bus.events()
+                  if record.category == CAT_WATCHDOG]
+        assert len(events) == 1
+        assert events[0].name == "degrade"
+        assert events[0].args["from"] == DEGRADE_FULL
+        assert events[0].args["to"] == DEGRADE_FROZEN
+        assert "guest dead" in events[0].args["reason"]
+        assert tracer.registry.counter(
+            "trace.watchdog.degradations").value == 1
+
+    def test_attach_picks_up_existing_watchdog(self):
+        sess = make_session("    INT 0x21\n    HLT")
+        watchdog = MonitorWatchdog(sess.monitor)
+        tracer = Tracer(TraceBus(), MetricsRegistry())
+        # Attach after the watchdog exists: no add_watchdog needed.
+        tracer.attach(monitor=sess.monitor)
+        sess.run_guest(1_000)
+        watchdog.check()
+        tracer.detach()
+        counts = tracer.bus.counts_by_category()
+        assert counts.get(CAT_WATCHDOG, 0) == 1
