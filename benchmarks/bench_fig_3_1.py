@@ -5,12 +5,36 @@ deliverable; the benchmark times one representative load measurement
 per stack, and the assertions pin the curve *shape* the paper shows:
 real hardware lowest, LVMM in the middle, the full VMM saturating
 almost immediately.
+
+The TCP companion (PR 9) reruns the comparison on the multi-client
+TCP streaming workload: one deterministic simulation per aggregate
+rate, priced per stack by :mod:`repro.perf.netmodel`, emitted as
+``BENCH_net.json``.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.perf.load import measure_load
+from repro.perf.netmodel import net_document, render_net_figure, sweep_net
 from repro.perf.sweep import render_figure
+
+NET_ARTIFACT = Path("BENCH_net.json")
+NET_RATES = (25, 50, 100, 200, 300, 400)
+NET_SUBSCRIBERS = 32
+NET_SIM_SECONDS = 0.05
+
+
+@pytest.fixture(scope="module")
+def net_curves():
+    curves = sweep_net(rates_mbps=NET_RATES,
+                       subscribers=NET_SUBSCRIBERS,
+                       sim_seconds=NET_SIM_SECONDS)
+    NET_ARTIFACT.write_text(json.dumps(net_document(
+        curves, NET_SUBSCRIBERS, NET_SIM_SECONDS), indent=2) + "\n")
+    return curves
 
 
 class TestFigure31:
@@ -68,3 +92,55 @@ class TestFigure31:
 
         value = benchmark.pedantic(knee, rounds=1, iterations=1)
         assert 100 <= value <= 250
+
+
+class TestNetFigure:
+    """The TCP edition of Fig. 3.1 (PR 9)."""
+
+    def test_render_net_figure(self, net_curves, benchmark, capsys):
+        text = benchmark.pedantic(render_net_figure, args=(net_curves,),
+                                  rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(text)
+
+    def test_passthrough_curve_monotone(self, net_curves, benchmark):
+        """More aggregate rate never costs less CPU on passthrough."""
+        def check():
+            loads = [s.load for s in net_curves["bare"]]
+            assert all(a < b for a, b in zip(loads, loads[1:])), loads
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_net_curve_ordering_everywhere(self, net_curves, benchmark):
+        def check():
+            for index in range(len(NET_RATES)):
+                bare = net_curves["bare"][index].load
+                lvmm = net_curves["lvmm"][index].load
+                full = net_curves["fullvmm"][index].load
+                assert bare < lvmm < full
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_fullvmm_never_sustains_tcp_streaming(self, net_curves,
+                                                  benchmark):
+        def check():
+            assert not any(s.sustainable
+                           for s in net_curves["fullvmm"])
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    def test_net_artifact_round_trips(self, net_curves, benchmark):
+        def check():
+            document = json.loads(NET_ARTIFACT.read_text())
+            assert document["experiment"] == "net-tcp-load"
+            assert document["rates_mbps"] == list(NET_RATES)
+            bare = document["curves"]["bare"]
+            assert [point["target_mbps"] for point in bare] \
+                == list(NET_RATES)
+            return True
+
+        assert benchmark.pedantic(check, rounds=1, iterations=1)

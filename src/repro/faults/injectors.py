@@ -23,6 +23,11 @@ nic.tx    corrupt      one frame byte flipped
 nic.tx    duplicate    frame sent twice
 nic.tx    delay        params["delay_cycles"] extra wire time
 nic.tx    stall        DD write-back late by params["delay_cycles"]
+nic.rx    drop         inbound frame lost before the RX ring
+nic.rx    corrupt      one inbound frame byte flipped
+nic.rx    duplicate    inbound frame written to the ring twice
+nic.rx    delay        ring write-back late by params["delay_cycles"]
+nic.rx    reorder      frame held and delivered after the next one
 uart.h2t  drop/noise   host->target debug-channel byte lost/flipped
 uart.t2h  drop/noise   target->host debug-channel byte lost/flipped
 rsp.h2t   drop/corrupt/duplicate/reorder   client->stub writes
@@ -80,30 +85,47 @@ class DiskInjector:
 
 
 class NicInjector:
-    """Frame drop/corrupt/duplicate/delay and ring stalls on one NIC."""
+    """Frame drop/corrupt/duplicate/delay faults on one NIC.
+
+    Registers on both directions: ``nic.tx`` (plus ring ``stall``) for
+    frames the guest transmits, ``nic.rx`` (plus ``reorder``) for
+    frames arriving from the wire.  Rules on a site the plan never
+    names simply never fire, so existing tx-only plans are unchanged.
+    """
 
     SITE = "nic.tx"
+    RX_SITE = "nic.rx"
+    TX_KINDS = ("drop", "corrupt", "duplicate", "delay", "stall")
+    RX_KINDS = ("drop", "corrupt", "duplicate", "delay", "reorder")
 
     def __init__(self, plan: FaultPlan, nic: Nic) -> None:
         self.plan = plan
         self.nic = nic
         nic.fault_hook = self._on_frame
+        nic.rx_fault_hook = self._on_rx_frame
 
-    def _on_frame(self, frame: bytes) -> Optional[NicFault]:
+    def _decide(self, site: str, kinds, frame: bytes
+                ) -> Optional[NicFault]:
         detail = f"len={len(frame)}"
-        for kind in ("drop", "corrupt", "duplicate", "delay", "stall"):
-            rule = self.plan.decide(self.SITE, kind, detail=detail)
+        for kind in kinds:
+            rule = self.plan.decide(site, kind, detail=detail)
             if rule is None:
                 continue
             if kind == "corrupt":
                 return NicFault(kind=kind,
                                 corrupt_offset=self.plan.rand_range(
                                     max(len(frame), 1)))
-            if kind in ("delay", "stall"):
+            if kind in ("delay", "stall", "reorder"):
                 return NicFault(kind=kind, delay_cycles=rule.params.get(
                     "delay_cycles", DEFAULT_STALL_CYCLES))
             return NicFault(kind=kind)
         return None
+
+    def _on_frame(self, frame: bytes) -> Optional[NicFault]:
+        return self._decide(self.SITE, self.TX_KINDS, frame)
+
+    def _on_rx_frame(self, frame: bytes) -> Optional[NicFault]:
+        return self._decide(self.RX_SITE, self.RX_KINDS, frame)
 
 
 class UartInjector:

@@ -76,18 +76,30 @@ WIRE_OVERHEAD_BYTES = 24
 
 @dataclass
 class NicFault:
-    """What a fault hook asks the NIC to do to one TX frame.
+    """What a fault hook asks the NIC to do to one frame.
 
-    ``kind``: ``"drop"`` (lost on the wire), ``"corrupt"`` (one byte
-    flipped at ``corrupt_offset``), ``"duplicate"`` (sent twice),
-    ``"delay"`` (extra ``delay_cycles`` of wire time) or ``"stall"``
-    (descriptor write-back — and therefore ring reclaim — postponed by
-    ``delay_cycles``).  Policy lives in :mod:`repro.faults`.
+    On the TX path, ``kind``: ``"drop"`` (lost on the wire),
+    ``"corrupt"`` (one byte flipped at ``corrupt_offset``),
+    ``"duplicate"`` (sent twice), ``"delay"`` (extra ``delay_cycles``
+    of wire time) or ``"stall"`` (descriptor write-back — and therefore
+    ring reclaim — postponed by ``delay_cycles``).
+
+    On the RX path (``rx_fault_hook``), ``kind``: ``"drop"``,
+    ``"corrupt"``, ``"duplicate"``, ``"delay"`` (ring write-back
+    postponed by ``delay_cycles``) or ``"reorder"`` (the frame is held
+    and delivered *after* the next arrival; a failsafe flush after
+    ``delay_cycles`` — or a line-rate default — bounds the hold when
+    the wire goes quiet).  Policy lives in :mod:`repro.faults`.
     """
 
     kind: str
     delay_cycles: int = 0
     corrupt_offset: int = 0
+
+
+#: Failsafe hold for an RX-reordered frame with no delay given: the
+#: frame flushes after this many cycles even if no successor arrives.
+RX_REORDER_FLUSH_CYCLES = 200_000
 
 
 class Nic(MmioDevice):
@@ -128,6 +140,12 @@ class Nic(MmioDevice):
         self.fault_hook: Optional[Callable[[bytes],
                                            Optional[NicFault]]] = None
         self.faults_injected = 0
+        #: Fault hook consulted once per inbound frame, before the RX
+        #: ring sees it (site ``nic.rx`` in repro.faults.NicInjector).
+        self.rx_fault_hook: Optional[Callable[[bytes],
+                                              Optional[NicFault]]] = None
+        self.rx_faults_injected = 0
+        self._rx_held: List[bytes] = []
 
     # -- MMIO interface ------------------------------------------------------
 
@@ -320,9 +338,49 @@ class Nic(MmioDevice):
     def receive_frame(self, frame: bytes) -> bool:
         """Deliver a frame from the wire into the RX ring.
 
-        Returns False (and counts a drop) when the ring is full or
-        receive is not set up — the NIC has nowhere to put the frame.
+        Consults ``rx_fault_hook`` first (drop / corrupt / duplicate /
+        delay / reorder — see :class:`NicFault`), then writes the frame
+        into the ring.  Returns False (and counts a drop) when the
+        frame was lost — to a fault, a full ring, or missing RX setup;
+        delayed and reordered frames return True optimistically (their
+        ring write-back happens later).
         """
+        fault = self.rx_fault_hook(frame) if self.rx_fault_hook else None
+        if fault is not None:
+            self.rx_faults_injected += 1
+            if fault.kind == "drop":
+                self.frames_dropped += 1
+                return False
+            if fault.kind == "corrupt":
+                mangled = bytearray(frame)
+                mangled[fault.corrupt_offset % max(len(frame), 1)] ^= 0xFF
+                frame = bytes(mangled)
+            elif fault.kind == "duplicate":
+                first = self._ring_receive(frame)
+                second = self._ring_receive(frame)
+                self._flush_rx_held()
+                return first and second
+            elif fault.kind == "delay":
+                self._queue.schedule_in(
+                    max(0, fault.delay_cycles),
+                    lambda f=frame: self._ring_receive(f),
+                    name="nic-rx-delay")
+                return True
+            elif fault.kind == "reorder":
+                self._rx_held.append(frame)
+                flush_in = fault.delay_cycles or RX_REORDER_FLUSH_CYCLES
+                self._queue.schedule_in(flush_in, self._flush_rx_held,
+                                        name="nic-rx-reorder")
+                return True
+        result = self._ring_receive(frame)
+        self._flush_rx_held()
+        return result
+
+    def _flush_rx_held(self) -> None:
+        while self._rx_held:
+            self._ring_receive(self._rx_held.pop(0))
+
+    def _ring_receive(self, frame: bytes) -> bool:
         if self.rdlen == 0:
             self.frames_dropped += 1
             return False

@@ -1,4 +1,4 @@
-"""Ethernet / ARP / IPv4 / UDP protocol stack."""
+"""Ethernet / ARP / IPv4 / UDP / TCP protocol stack."""
 
 from repro.net.arp import ArpCache, ArpPacket, make_reply, make_request
 from repro.net.checksum import internet_checksum, verify_checksum
@@ -17,6 +17,13 @@ from repro.net.ipv4 import (
     parse_ipv4,
 )
 from repro.net.stack import ReceivedDatagram, UdpReceiver, UdpStack
+from repro.net.tcp import (
+    TcpConnection,
+    TcpEndpoint,
+    TcpListener,
+    TcpSegment,
+    TcpStats,
+)
 from repro.net.udp import UdpDatagram
 
 __all__ = [
@@ -40,4 +47,9 @@ __all__ = [
     "UdpStack",
     "UdpReceiver",
     "ReceivedDatagram",
+    "TcpSegment",
+    "TcpConnection",
+    "TcpEndpoint",
+    "TcpListener",
+    "TcpStats",
 ]

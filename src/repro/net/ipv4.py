@@ -9,8 +9,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ProtocolError
 from repro.net.checksum import internet_checksum, verify_checksum
 
+PROTO_TCP = 6
 PROTO_UDP = 17
 HEADER_LEN = 20
+#: Reassembly guard: an IPv4 datagram can never exceed 65535 bytes, so
+#: any fragment whose end would land past that is malformed.
+MAX_DATAGRAM = 0xFFFF
 FLAG_DF = 0x2
 FLAG_MF = 0x1
 
@@ -81,6 +85,9 @@ class Ipv4Packet:
         if total_length > len(raw):
             raise ProtocolError(
                 f"total length {total_length} exceeds frame {len(raw)}")
+        if total_length < ihl:
+            raise ProtocolError(
+                f"total length {total_length} shorter than header {ihl}")
         return cls(src=src, dst=dst, protocol=protocol,
                    payload=raw[ihl:total_length],
                    identification=identification, ttl=ttl,
@@ -126,18 +133,51 @@ class Reassembler:
                           _ReassemblyState] = {}
 
     def push(self, packet: Ipv4Packet) -> Optional[Ipv4Packet]:
-        """Feed one fragment; returns the whole packet when complete."""
+        """Feed one fragment; returns the whole packet when complete.
+
+        Malformed flows raise :class:`ProtocolError` (and drop all state
+        for the flow so one poisoned fragment cannot wedge the
+        identification slot): fragments extending past the 65535-byte
+        datagram limit, overlapping fragments that disagree on content,
+        and trailing data past a shorter final fragment.  An exact
+        duplicate of an already-held fragment is silently ignored (the
+        chaos wire duplicates frames on purpose).
+        """
         if packet.fragment_offset == 0 and not packet.flags & FLAG_MF:
             return packet  # unfragmented
         key = (packet.src, packet.dst, packet.protocol,
                packet.identification)
         state = self._flows.setdefault(key, _ReassemblyState())
         byte_offset = packet.fragment_offset * 8
+        end = byte_offset + len(packet.payload)
+        if end > MAX_DATAGRAM:
+            del self._flows[key]
+            raise ProtocolError(
+                f"fragment at {byte_offset}+{len(packet.payload)} exceeds "
+                f"the {MAX_DATAGRAM}-byte datagram limit")
+        for offset, chunk in state.chunks.items():
+            if byte_offset < offset + len(chunk) and offset < end:
+                same = (offset == byte_offset
+                        and chunk == packet.payload)
+                if not same:
+                    del self._flows[key]
+                    raise ProtocolError(
+                        f"overlapping fragment at {byte_offset} "
+                        f"(held {offset}+{len(chunk)})")
         state.chunks[byte_offset] = packet.payload
         if not packet.flags & FLAG_MF:
-            state.total_length = byte_offset + len(packet.payload)
+            if state.total_length is not None \
+                    and state.total_length != end:
+                del self._flows[key]
+                raise ProtocolError("conflicting final fragments")
+            state.total_length = end
         if state.total_length is None:
             return None
+        if any(offset + len(chunk) > state.total_length
+               for offset, chunk in state.chunks.items()):
+            del self._flows[key]
+            raise ProtocolError(
+                f"fragment past total length {state.total_length}")
         have = sum(len(c) for c in state.chunks.values())
         if have < state.total_length:
             return None
@@ -146,7 +186,7 @@ class Reassembler:
         for offset in sorted(state.chunks):
             chunk = state.chunks[offset]
             if offset != cursor:
-                return None  # hole or overlap: keep waiting
+                return None  # hole: keep waiting
             payload[offset:offset + len(chunk)] = chunk
             cursor = offset + len(chunk)
         del self._flows[key]

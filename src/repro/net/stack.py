@@ -26,6 +26,7 @@ from repro.net.ipv4 import (
     fragment,
 )
 from repro.net.udp import UdpDatagram
+from repro.obs.metrics import global_registry
 
 
 @dataclass
@@ -75,7 +76,15 @@ class ReceivedDatagram:
 
 
 class UdpReceiver:
-    """Host-side sink: frames in, validated UDP datagrams out."""
+    """Host-side sink: frames in, validated UDP datagrams out.
+
+    Robustness contract: :meth:`receive_frame` never raises, no matter
+    how malformed the input — truncated Ethernet/IPv4 headers, bad
+    total-length fields, checksum mismatches, and overlapping or
+    oversized fragments are all dropped and counted (``malformed``,
+    mirrored to the ``net.rx.malformed`` registry counter; ``errors``
+    keeps its legacy meaning as an alias of the same count).
+    """
 
     def __init__(self, ip: Optional[bytes] = None) -> None:
         self.ip = ip
@@ -84,8 +93,16 @@ class UdpReceiver:
         self.bytes_received = 0
         self.frames_seen = 0
         self.errors = 0
+        self.malformed = 0
         #: Optional callback per delivered datagram.
         self.on_datagram: Optional[Callable[[ReceivedDatagram], None]] = None
+
+    def _drop_malformed(self) -> None:
+        self.errors += 1
+        self.malformed += 1
+        global_registry().counter(
+            "net.rx.malformed",
+            help="frames dropped for malformed headers/fragments").inc()
 
     def receive_frame(self, raw: bytes) -> Optional[ReceivedDatagram]:
         self.frames_seen += 1
@@ -95,18 +112,22 @@ class UdpReceiver:
                 return None
             packet = Ipv4Packet.unpack(frame.payload)
         except ProtocolError:
-            self.errors += 1
+            self._drop_malformed()
             return None
         if self.ip is not None and packet.dst != self.ip:
             return None
-        whole = self._reassembler.push(packet)
+        try:
+            whole = self._reassembler.push(packet)
+        except ProtocolError:
+            self._drop_malformed()
+            return None
         if whole is None or whole.protocol != PROTO_UDP:
             return None
         try:
             datagram = UdpDatagram.unpack(whole.payload, whole.src,
                                           whole.dst)
         except ProtocolError:
-            self.errors += 1
+            self._drop_malformed()
             return None
         received = ReceivedDatagram(whole.src, whole.dst, datagram)
         self.datagrams.append(received)

@@ -1,0 +1,1015 @@
+"""TCP (RFC 793 core + the loss-recovery machinery of RFC 5681/6298).
+
+The paper's evaluation streams one UDP flow over a lossless link — the
+one case where "robust transport" means nothing.  This module is the
+transport that makes loss, reordering and overload first-class: a real
+TCP state machine layered on the existing :mod:`repro.net.ethernet` /
+:mod:`repro.net.ipv4` / :mod:`repro.net.checksum` modules.
+
+What is implemented (and tested):
+
+* three-way handshake (active ``connect`` and passive ``listen``),
+  FIN teardown through every close state (FIN_WAIT_1/2, CLOSING,
+  TIME_WAIT with a 2·MSL timer, CLOSE_WAIT, LAST_ACK) and RST abort;
+* full sequence/ack tracking with 32-bit wraparound arithmetic,
+  a retransmission queue, and partial-ACK trimming;
+* retransmission timeout per RFC 6298 (SRTT/RTTVAR, exponential
+  backoff, bounded by ``rto_min``/``rto_max``) with **Karn's rule**:
+  retransmitted segments never contribute RTT samples, and backoff is
+  kept until an unambiguous sample arrives;
+* fast retransmit on the third duplicate ACK;
+* a congestion window: slow start to ``ssthresh``, then AIMD; timeout
+  collapses cwnd to one MSS, fast retransmit halves it;
+* receive-window flow control: the advertised window tracks the unread
+  receive buffer, a zero window stops the sender (with a 1-byte window
+  probe under the RTO machinery) and reopening the window sends an
+  explicit window update;
+* out-of-order reassembly on the receive side (bounded stash) —
+  every arriving segment is acknowledged, which is what generates the
+  duplicate ACKs the sender's fast-retransmit path needs.
+
+Determinism contract: **all** timers are driven by guest cycles on a
+:class:`repro.sim.events.EventQueue` — there is no wall clock anywhere,
+so a seeded chaos run produces byte-identical traces and identical
+counters run-over-run (the same golden-file property as the rest of
+the tree).  The only randomness a connection ever sees is whatever the
+fault plan does to its frames.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.net.checksum import internet_checksum, ones_complement_sum
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.net.ipv4 import PROTO_TCP, Ipv4Packet, Reassembler, fragment
+
+HEADER_LEN = 20
+SEQ_MASK = 0xFFFFFFFF
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+#: Connection states (RFC 793 names).
+CLOSED = "CLOSED"
+LISTEN = "LISTEN"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+FIN_WAIT_1 = "FIN_WAIT_1"
+FIN_WAIT_2 = "FIN_WAIT_2"
+CLOSE_WAIT = "CLOSE_WAIT"
+CLOSING = "CLOSING"
+LAST_ACK = "LAST_ACK"
+TIME_WAIT = "TIME_WAIT"
+
+#: States where data transfer is allowed to proceed.
+SYNCHRONIZED = (ESTABLISHED, FIN_WAIT_1, FIN_WAIT_2, CLOSE_WAIT,
+                CLOSING, LAST_ACK, TIME_WAIT)
+
+DEFAULT_MSS = 1460
+DEFAULT_RCV_BUF = 65535
+
+#: RTO bounds in *seconds of simulated machine time*; deliberately much
+#: tighter than RFC 6298's wall-clock defaults so loss recovery fits in
+#: sub-second simulation windows.  All are constructor knobs.
+RTO_INITIAL_S = 0.02
+RTO_MIN_S = 0.005
+RTO_MAX_S = 0.5
+MSL_S = 0.02
+
+#: Bound on the out-of-order stash (segments), against reorder floods.
+MAX_OOO_SEGMENTS = 64
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """``a < b`` in 32-bit sequence space."""
+    return ((a - b) & SEQ_MASK) > 0x7FFFFFFF
+
+
+def seq_le(a: int, b: int) -> bool:
+    return a == b or seq_lt(a, b)
+
+
+def seq_add(a: int, n: int) -> int:
+    return (a + n) & SEQ_MASK
+
+
+def seq_sub(a: int, b: int) -> int:
+    """``a - b`` in sequence space (callers only use small windows)."""
+    return (a - b) & SEQ_MASK
+
+
+def _pseudo_header(src_ip: bytes, dst_ip: bytes, tcp_length: int) -> bytes:
+    return src_ip + dst_ip + struct.pack(">BBH", 0, PROTO_TCP, tcp_length)
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """One TCP segment (fixed 20-byte header, no options)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    window: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ProtocolError(f"bad port {port}")
+        if not 0 <= self.window <= 0xFFFF:
+            raise ProtocolError(f"bad window {self.window}")
+
+    @property
+    def seq_len(self) -> int:
+        """Sequence space this segment occupies (SYN/FIN count 1)."""
+        length = len(self.payload)
+        if self.flags & FLAG_SYN:
+            length += 1
+        if self.flags & FLAG_FIN:
+            length += 1
+        return length
+
+    def describe(self) -> str:
+        names = [(FLAG_SYN, "SYN"), (FLAG_ACK, "ACK"), (FLAG_FIN, "FIN"),
+                 (FLAG_RST, "RST"), (FLAG_PSH, "PSH")]
+        text = "|".join(label for bit, label in names if self.flags & bit)
+        return (f"{text or 'none'} seq={self.seq} ack={self.ack} "
+                f"wnd={self.window} len={len(self.payload)}")
+
+    def pack(self, src_ip: bytes, dst_ip: bytes) -> bytes:
+        offset_flags = (5 << 12) | (self.flags & 0x3F)
+        header = struct.pack(">HHIIHHHH", self.src_port, self.dst_port,
+                             self.seq & SEQ_MASK, self.ack & SEQ_MASK,
+                             offset_flags, self.window, 0, 0)
+        checksum = internet_checksum(
+            _pseudo_header(src_ip, dst_ip, HEADER_LEN + len(self.payload))
+            + header + self.payload)
+        return header[:16] + struct.pack(">H", checksum) + header[18:] \
+            + self.payload
+
+    @classmethod
+    def unpack(cls, raw: bytes, src_ip: Optional[bytes] = None,
+               dst_ip: Optional[bytes] = None) -> "TcpSegment":
+        """Parse; verifies the checksum when the IPs are supplied."""
+        if len(raw) < HEADER_LEN:
+            raise ProtocolError(f"TCP segment of {len(raw)} bytes too short")
+        (src_port, dst_port, seq, ack, offset_flags, window, _checksum,
+         _urgent) = struct.unpack(">HHIIHHHH", raw[:HEADER_LEN])
+        data_offset = (offset_flags >> 12) * 4
+        if data_offset < HEADER_LEN or data_offset > len(raw):
+            raise ProtocolError(f"bad TCP data offset {data_offset}")
+        if src_ip is not None and dst_ip is not None:
+            total = ones_complement_sum(
+                _pseudo_header(src_ip, dst_ip, len(raw)) + raw)
+            if total != 0xFFFF:
+                raise ProtocolError("TCP checksum mismatch")
+        return cls(src_port=src_port, dst_port=dst_port, seq=seq, ack=ack,
+                   flags=offset_flags & 0x3F, window=window,
+                   payload=raw[data_offset:])
+
+
+@dataclass
+class TcpStats:
+    """Per-connection counters (aggregated by ``collect_net``)."""
+
+    segments_sent: int = 0
+    segments_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    acks_received: int = 0
+    retransmits: int = 0
+    rto_expirations: int = 0
+    fast_retransmits: int = 0
+    dupacks: int = 0
+    out_of_order: int = 0
+    window_probes: int = 0
+    zero_window_stalls: int = 0
+    resets_received: int = 0
+    resets_sent: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+    def add(self, other: "TcpStats") -> None:
+        for key, value in other.__dict__.items():
+            self.__dict__[key] += value
+
+
+@dataclass
+class _FlightEntry:
+    """One unacknowledged segment on the retransmission queue."""
+
+    seq: int
+    flags: int
+    payload: bytes
+    sent_at: int
+    retransmitted: bool = False
+
+    @property
+    def end(self) -> int:
+        length = len(self.payload)
+        if self.flags & FLAG_SYN:
+            length += 1
+        if self.flags & FLAG_FIN:
+            length += 1
+        return seq_add(self.seq, length)
+
+
+class TcpConnection:
+    """One endpoint of one TCP connection.
+
+    ``send_segment`` is the wire: a callable taking a
+    :class:`TcpSegment` (the :class:`TcpEndpoint` wraps it into
+    Ethernet/IPv4 frames; unit tests wire two connections directly).
+    All timing comes from ``queue`` (cycles) and ``cpu_hz``.
+    """
+
+    def __init__(self, queue, cpu_hz: float, local_port: int,
+                 remote_port: int,
+                 send_segment: Callable[[TcpSegment], None],
+                 iss: int = 0, mss: int = DEFAULT_MSS,
+                 rcv_buf: int = DEFAULT_RCV_BUF,
+                 rto_initial_s: float = RTO_INITIAL_S,
+                 rto_min_s: float = RTO_MIN_S,
+                 rto_max_s: float = RTO_MAX_S,
+                 msl_s: float = MSL_S,
+                 name: str = "", bus=None,
+                 cwnd_histogram=None) -> None:
+        self.queue = queue
+        self.cpu_hz = cpu_hz
+        self.local_port = local_port
+        self.remote_port = remote_port
+        self._send_segment = send_segment
+        self.name = name or f"{local_port}>{remote_port}"
+        self.bus = bus
+        self._cwnd_histogram = cwnd_histogram
+
+        self.state = CLOSED
+        self.mss = mss
+        self.stats = TcpStats()
+
+        # -- send side -------------------------------------------------------
+        self.iss = iss & SEQ_MASK
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss
+        self.snd_wnd = mss          # until the peer advertises
+        self.cwnd = 2 * mss
+        self.ssthresh = 64 * 1024
+        self._sndbuf = bytearray()
+        self._flight: List[_FlightEntry] = []
+        self._dupacks = 0
+        self._fin_pending = False
+        self._fin_sent = False
+
+        # -- receive side ----------------------------------------------------
+        self.rcv_buf = rcv_buf
+        self.irs: Optional[int] = None
+        self.rcv_nxt: Optional[int] = None
+        self._rcvbuf = bytearray()
+        self._ooo: Dict[int, bytes] = {}
+        self._fin_received = False
+        self._last_advertised_wnd = min(rcv_buf, 0xFFFF)
+
+        # -- timers ----------------------------------------------------------
+        self.rto_min = max(1, int(rto_min_s * cpu_hz))
+        self.rto_max = max(self.rto_min, int(rto_max_s * cpu_hz))
+        self.rto = min(max(int(rto_initial_s * cpu_hz), self.rto_min),
+                       self.rto_max)
+        self.msl_cycles = max(1, int(msl_s * cpu_hz))
+        self.srtt: Optional[int] = None
+        self.rttvar = 0
+        self._rto_event = None
+        self._time_wait_event = None
+
+        # -- callbacks -------------------------------------------------------
+        #: Called once on entering ESTABLISHED.
+        self.on_established: Optional[Callable[["TcpConnection"], None]] = None
+        #: Called when new in-order data is available (``take`` drains).
+        self.on_readable: Optional[Callable[["TcpConnection"], None]] = None
+        #: Called once on entering CLOSED, with a reason string.
+        self.on_closed: Optional[Callable[["TcpConnection", str], None]] = None
+        self._open_cycle: Optional[int] = None
+        self._closed_reason: Optional[str] = None
+
+    # -- tiny helpers --------------------------------------------------------
+
+    @property
+    def rcv_wnd(self) -> int:
+        return max(0, min(self.rcv_buf - len(self._rcvbuf), 0xFFFF))
+
+    @property
+    def available(self) -> int:
+        """In-order bytes received and not yet taken by the app."""
+        return len(self._rcvbuf)
+
+    @property
+    def flight_bytes(self) -> int:
+        return seq_sub(self.snd_nxt, self.snd_una)
+
+    @property
+    def sndbuf_bytes(self) -> int:
+        return len(self._sndbuf)
+
+    def _set_cwnd(self, value: int) -> None:
+        self.cwnd = max(self.mss, value)
+        if self._cwnd_histogram is not None:
+            self._cwnd_histogram.observe(self.cwnd)
+
+    # -- opening -------------------------------------------------------------
+
+    def connect(self) -> None:
+        """Active open: send SYN."""
+        if self.state != CLOSED:
+            raise ProtocolError(f"connect() in state {self.state}")
+        self.state = SYN_SENT
+        self._transmit(FLAG_SYN, self.snd_nxt, b"", track=True)
+        self.snd_nxt = seq_add(self.snd_nxt, 1)
+        self._arm_rto()
+
+    def accept_syn(self, segment: TcpSegment) -> None:
+        """Passive open: consume the peer's SYN, answer SYN|ACK."""
+        if self.state != CLOSED:
+            raise ProtocolError(f"accept_syn() in state {self.state}")
+        self.irs = segment.seq
+        self.rcv_nxt = seq_add(segment.seq, 1)
+        self.snd_wnd = segment.window
+        self.state = SYN_RCVD
+        self.stats.segments_received += 1
+        self._transmit(FLAG_SYN | FLAG_ACK, self.snd_nxt, b"", track=True)
+        self.snd_nxt = seq_add(self.snd_nxt, 1)
+        self._arm_rto()
+
+    def _enter_established(self) -> None:
+        self.state = ESTABLISHED
+        self._open_cycle = self.queue.now
+        if self.bus is not None:
+            self.bus.instant("net", "tcp-open", self.queue.now,
+                             args={"conn": self.name})
+        if self.on_established is not None:
+            self.on_established(self)
+
+    # -- application interface -----------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Queue application data for transmission."""
+        if self.state not in (ESTABLISHED, CLOSE_WAIT):
+            raise ProtocolError(f"send() in state {self.state}")
+        if self._fin_pending or self._fin_sent:
+            raise ProtocolError("send() after close()")
+        self._sndbuf += data
+        self._push()
+
+    def take(self, limit: Optional[int] = None) -> bytes:
+        """Drain up to ``limit`` in-order received bytes (the app read).
+
+        Reopening a closed (or nearly closed) window sends an explicit
+        window update so a zero-window-stalled sender wakes up.
+        """
+        was = self.rcv_wnd
+        if limit is None or limit >= len(self._rcvbuf):
+            data = bytes(self._rcvbuf)
+            del self._rcvbuf[:]
+        else:
+            data = bytes(self._rcvbuf[:limit])
+            del self._rcvbuf[:limit]
+        if data and was < self.mss and self.rcv_wnd >= self.mss \
+                and self.state in SYNCHRONIZED and self.rcv_nxt is not None:
+            self._transmit(FLAG_ACK, self.snd_nxt, b"")   # window update
+        return data
+
+    def close(self) -> None:
+        """Graceful close: FIN after everything queued has been sent."""
+        if self.state in (CLOSED, LISTEN):
+            self._enter_closed("closed-local")
+            return
+        if self.state == SYN_SENT:
+            self._cancel_timers()
+            self._enter_closed("closed-local")
+            return
+        if self._fin_pending or self._fin_sent:
+            return
+        self._fin_pending = True
+        self._push()
+
+    def abort(self) -> None:
+        """Hard close: RST to the peer, drop all state."""
+        if self.state in SYNCHRONIZED or self.state == SYN_RCVD:
+            self.stats.resets_sent += 1
+            self._emit(TcpSegment(self.local_port, self.remote_port,
+                                  self.snd_nxt,
+                                  self.rcv_nxt or 0, FLAG_RST | FLAG_ACK,
+                                  0))
+        self._cancel_timers()
+        self._enter_closed("reset-local")
+
+    # -- segment transmission ------------------------------------------------
+
+    def _emit(self, segment: TcpSegment) -> None:
+        self.stats.segments_sent += 1
+        self.stats.bytes_sent += len(segment.payload)
+        self._send_segment(segment)
+
+    def _transmit(self, flags: int, seq: int, payload: bytes,
+                  track: bool = False) -> None:
+        if self.rcv_nxt is not None:
+            flags |= FLAG_ACK
+        window = self.rcv_wnd
+        self._last_advertised_wnd = window
+        self._emit(TcpSegment(self.local_port, self.remote_port, seq,
+                              self.rcv_nxt or 0, flags, window, payload))
+        if track:
+            self._flight.append(_FlightEntry(seq, flags, payload,
+                                             self.queue.now))
+
+    def _retransmit_head(self) -> None:
+        entry = self._flight[0]
+        entry.retransmitted = True
+        entry.sent_at = self.queue.now
+        self.stats.retransmits += 1
+        window = self.rcv_wnd
+        self._last_advertised_wnd = window
+        flags = entry.flags
+        if self.rcv_nxt is not None:
+            flags |= FLAG_ACK
+        self._emit(TcpSegment(self.local_port, self.remote_port, entry.seq,
+                              self.rcv_nxt or 0, flags, window,
+                              entry.payload))
+
+    def _push(self) -> None:
+        """Send whatever the congestion and peer windows allow."""
+        if self.state not in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT_1,
+                              CLOSING, LAST_ACK):
+            return
+        window = min(self.snd_wnd, self.cwnd)
+        while self._sndbuf and not self._fin_sent:
+            in_flight = self.flight_bytes
+            room = window - in_flight
+            if room <= 0:
+                if self.snd_wnd == 0 and not self._flight:
+                    self._window_probe()
+                break
+            size = min(len(self._sndbuf), self.mss, room)
+            payload = bytes(self._sndbuf[:size])
+            del self._sndbuf[:size]
+            self._transmit(FLAG_PSH | FLAG_ACK, self.snd_nxt, payload,
+                           track=True)
+            self.snd_nxt = seq_add(self.snd_nxt, size)
+        if self._fin_pending and not self._fin_sent and not self._sndbuf:
+            self._transmit(FLAG_FIN | FLAG_ACK, self.snd_nxt, b"",
+                           track=True)
+            self.snd_nxt = seq_add(self.snd_nxt, 1)
+            self._fin_sent = True
+            if self.state == ESTABLISHED:
+                self.state = FIN_WAIT_1
+            elif self.state == CLOSE_WAIT:
+                self.state = LAST_ACK
+        if self._flight:
+            self._ensure_rto()
+
+    def _window_probe(self) -> None:
+        """Zero-window probe: force one byte past the closed window.
+
+        The probe rides the normal retransmission queue, so the RTO
+        machinery (with backoff) keeps probing until the window reopens.
+        """
+        if not self._sndbuf or self._fin_sent:
+            return
+        self.stats.window_probes += 1
+        self.stats.zero_window_stalls += 1
+        payload = bytes(self._sndbuf[:1])
+        del self._sndbuf[:1]
+        self._transmit(FLAG_PSH | FLAG_ACK, self.snd_nxt, payload,
+                       track=True)
+        self.snd_nxt = seq_add(self.snd_nxt, 1)
+        self._ensure_rto()
+
+    # -- timers --------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        self._rto_event = self.queue.schedule_in(self.rto, self._on_rto,
+                                                 name="tcp-rto")
+
+    def _ensure_rto(self) -> None:
+        if self._rto_event is None or self._rto_event.fired \
+                or self._rto_event.cancelled:
+            self._arm_rto()
+
+    def _cancel_timers(self) -> None:
+        for event in (self._rto_event, self._time_wait_event):
+            if event is not None:
+                event.cancel()
+        self._rto_event = None
+        self._time_wait_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if not self._flight or self.state == CLOSED:
+            return
+        self.stats.rto_expirations += 1
+        # Collapse to one MSS and halve ssthresh (RFC 5681 timeout).
+        self.ssthresh = max(self.flight_bytes // 2, 2 * self.mss)
+        self._set_cwnd(self.mss)
+        # Karn part 2: back the timer off; only a fresh (unambiguous)
+        # sample will restore it.
+        self.rto = min(self.rto * 2, self.rto_max)
+        self._dupacks = 0
+        self._retransmit_head()
+        self._arm_rto()
+
+    def _on_time_wait(self) -> None:
+        self._time_wait_event = None
+        if self.state == TIME_WAIT:
+            self._enter_closed("time-wait-expired")
+
+    def _enter_time_wait(self) -> None:
+        self.state = TIME_WAIT
+        if self._time_wait_event is not None:
+            self._time_wait_event.cancel()
+        self._time_wait_event = self.queue.schedule_in(
+            2 * self.msl_cycles, self._on_time_wait, name="tcp-timewait")
+
+    def _enter_closed(self, reason: str) -> None:
+        already = self.state == CLOSED and self._closed_reason is not None
+        self._cancel_timers()
+        self.state = CLOSED
+        if already:
+            return
+        self._closed_reason = reason
+        if self.bus is not None and self._open_cycle is not None:
+            self.bus.complete("net", "tcp-conn", self._open_cycle,
+                              max(0, self.queue.now - self._open_cycle),
+                              args={"conn": self.name, "reason": reason,
+                                    "bytes_sent": self.stats.bytes_sent,
+                                    "bytes_received":
+                                        self.stats.bytes_received,
+                                    "retransmits": self.stats.retransmits})
+        if self.on_closed is not None:
+            self.on_closed(self, reason)
+
+    # -- inbound segment processing ------------------------------------------
+
+    def on_segment(self, segment: TcpSegment) -> None:
+        """Process one inbound segment (already checksum-verified)."""
+        if self.state == CLOSED:
+            return
+        self.stats.segments_received += 1
+
+        if segment.flags & FLAG_RST:
+            if self._rst_acceptable(segment):
+                self.stats.resets_received += 1
+                self._enter_closed("reset-by-peer")
+            return
+
+        if self.state == SYN_SENT:
+            self._segment_in_syn_sent(segment)
+            return
+
+        if segment.flags & FLAG_SYN:
+            if self.state == SYN_RCVD and self.irs == segment.seq:
+                # Retransmitted SYN (our SYN|ACK was lost): answer again.
+                if self._flight:
+                    self._retransmit_head()
+            elif self.state in SYNCHRONIZED and segment.seq == self.irs:
+                # Retransmitted SYN|ACK — our handshake ACK was lost and
+                # the peer is stuck in SYN_RCVD.  Re-ACK so it can move.
+                self._transmit(FLAG_ACK, self.snd_nxt, b"")
+            return
+
+        if segment.flags & FLAG_ACK:
+            self._handle_ack(segment)
+            if self.state == CLOSED:
+                return
+
+        if segment.payload or segment.flags & FLAG_FIN:
+            self._handle_data(segment)
+
+    def _rst_acceptable(self, segment: TcpSegment) -> bool:
+        if self.state == SYN_SENT:
+            return segment.flags & FLAG_ACK != 0 \
+                and segment.ack == seq_add(self.iss, 1)
+        if self.rcv_nxt is None:
+            return True
+        # In-window check, loose: the chaos wire never spoofs.
+        return seq_le(self.rcv_nxt, segment.seq) \
+            or seq_sub(self.rcv_nxt, segment.seq) <= self.rcv_buf
+
+    def _segment_in_syn_sent(self, segment: TcpSegment) -> None:
+        if not segment.flags & FLAG_SYN:
+            return
+        if segment.flags & FLAG_ACK \
+                and segment.ack != seq_add(self.iss, 1):
+            self.stats.resets_sent += 1
+            self._emit(TcpSegment(self.local_port, self.remote_port,
+                                  segment.ack, 0, FLAG_RST, 0))
+            return
+        self.irs = segment.seq
+        self.rcv_nxt = seq_add(segment.seq, 1)
+        self.snd_wnd = segment.window
+        if segment.flags & FLAG_ACK:
+            self.snd_una = segment.ack
+            self._take_rtt_sample_for_flight(segment.ack)
+            self._flight = [entry for entry in self._flight
+                            if seq_lt(segment.ack, entry.end)]
+            if self._rto_event is not None:
+                self._rto_event.cancel()
+                self._rto_event = None
+            self._enter_established()
+            self._transmit(FLAG_ACK, self.snd_nxt, b"")
+            self._push()
+        else:
+            # Simultaneous open: answer SYN|ACK, stay half-open.
+            self.state = SYN_RCVD
+            self._transmit(FLAG_SYN | FLAG_ACK, self.iss, b"", track=False)
+
+    # -- ACK processing ------------------------------------------------------
+
+    def _take_rtt_sample_for_flight(self, ack: int) -> None:
+        """RTT from the newest fully-acked, never-retransmitted entry
+        (Karn's rule: ambiguous samples are discarded)."""
+        sample: Optional[int] = None
+        for entry in self._flight:
+            if seq_le(entry.end, ack) and not entry.retransmitted:
+                sample = self.queue.now - entry.sent_at
+        if sample is None:
+            return
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample // 2
+        else:
+            delta = abs(self.srtt - sample)
+            self.rttvar = (3 * self.rttvar + delta) // 4
+            self.srtt = (7 * self.srtt + sample) // 8
+        self.rto = min(max(self.srtt + max(1, 4 * self.rttvar),
+                           self.rto_min), self.rto_max)
+
+    def _handle_ack(self, segment: TcpSegment) -> None:
+        ack = segment.ack
+        prev_wnd = self.snd_wnd
+        if seq_lt(self.snd_nxt, ack):
+            return  # acks data we never sent; ignore
+        if seq_lt(self.snd_una, ack):
+            self.stats.acks_received += 1
+            newly = seq_sub(ack, self.snd_una)
+            self._take_rtt_sample_for_flight(ack)
+            self._reclaim_flight(ack)
+            self.snd_una = ack
+            self._dupacks = 0
+            self.snd_wnd = segment.window
+            # Congestion window growth (RFC 5681).
+            if self.cwnd < self.ssthresh:
+                self._set_cwnd(self.cwnd + min(newly, self.mss))
+            else:
+                self._set_cwnd(self.cwnd
+                               + max(1, self.mss * self.mss // self.cwnd))
+            if self._flight:
+                self._arm_rto()
+            elif self._rto_event is not None:
+                self._rto_event.cancel()
+                self._rto_event = None
+            self._after_ack_state_transitions(ack)
+            self._push()
+        else:
+            # ack == snd_una (or older): duplicate or window update.
+            self.snd_wnd = segment.window
+            is_dup = (ack == self.snd_una and self._flight
+                      and not segment.payload
+                      and not segment.flags & (FLAG_SYN | FLAG_FIN)
+                      and segment.window == prev_wnd)
+            if is_dup:
+                self._dupacks += 1
+                self.stats.dupacks += 1
+                if self._dupacks == 3:
+                    self.stats.fast_retransmits += 1
+                    self.ssthresh = max(self.flight_bytes // 2,
+                                        2 * self.mss)
+                    self._set_cwnd(self.ssthresh)
+                    self._retransmit_head()
+                    self._arm_rto()
+            elif prev_wnd == 0 and self.snd_wnd > 0 and self._flight:
+                # Window reopened: the stalled head (usually the probe)
+                # goes out immediately instead of waiting for the RTO.
+                self._retransmit_head()
+                self._arm_rto()
+                self._push()
+            else:
+                self._push()
+
+    def _reclaim_flight(self, ack: int) -> None:
+        kept: List[_FlightEntry] = []
+        for entry in self._flight:
+            if seq_le(entry.end, ack):
+                continue               # fully acknowledged
+            if seq_lt(entry.seq, ack) and entry.payload:
+                # Partial ack (receiver clamped to its window): trim.
+                drop = seq_sub(ack, entry.seq)
+                entry.payload = entry.payload[drop:]
+                entry.seq = ack
+            kept.append(entry)
+        self._flight = kept
+
+    def _after_ack_state_transitions(self, ack: int) -> None:
+        fin_acked = self._fin_sent and not any(
+            entry.flags & FLAG_FIN for entry in self._flight)
+        if self.state == SYN_RCVD and seq_le(seq_add(self.iss, 1), ack):
+            self._enter_established()
+            self._push()
+            return
+        if self.state == FIN_WAIT_1 and fin_acked:
+            self.state = FIN_WAIT_2
+        elif self.state == CLOSING and fin_acked:
+            self._enter_time_wait()
+        elif self.state == LAST_ACK and fin_acked:
+            self._enter_closed("closed")
+
+    # -- data receive --------------------------------------------------------
+
+    def _handle_data(self, segment: TcpSegment) -> None:
+        if self.state not in SYNCHRONIZED or self.rcv_nxt is None:
+            return
+        seq = segment.seq
+        payload = segment.payload
+        fin = bool(segment.flags & FLAG_FIN)
+
+        # Trim history (retransmission overlap with already-received data).
+        if payload and seq_lt(seq, self.rcv_nxt):
+            behind = seq_sub(self.rcv_nxt, seq)
+            if behind >= len(payload):
+                payload = b""
+                if fin and seq_add(seq, len(segment.payload)) \
+                        == self.rcv_nxt and not self._fin_received:
+                    pass      # FIN exactly next: handled below
+                seq = self.rcv_nxt
+            else:
+                payload = payload[behind:]
+                seq = self.rcv_nxt
+
+        advanced = False
+        if payload and seq == self.rcv_nxt:
+            space = self.rcv_wnd
+            accepted = payload[:space]
+            if accepted:
+                self._rcvbuf += accepted
+                self.rcv_nxt = seq_add(self.rcv_nxt, len(accepted))
+                self.stats.bytes_received += len(accepted)
+                advanced = True
+                if len(accepted) < len(payload):
+                    fin = False     # window-clamped: FIN not yet in order
+                self._drain_ooo()
+        elif payload and seq_lt(self.rcv_nxt, seq):
+            # Out of order: stash (bounded) and dup-ack below.
+            self.stats.out_of_order += 1
+            if len(self._ooo) < MAX_OOO_SEGMENTS \
+                    and seq_sub(seq, self.rcv_nxt) <= self.rcv_buf:
+                held = self._ooo.get(seq)
+                if held is None or len(held) < len(payload):
+                    self._ooo[seq] = payload
+            fin = False             # FIN cannot be processed out of order
+
+        fin_next = seq_add(segment.seq, len(segment.payload)) \
+            if segment.payload else segment.seq
+        if fin and not self._fin_received and fin_next == self.rcv_nxt:
+            self._fin_received = True
+            self.rcv_nxt = seq_add(self.rcv_nxt, 1)
+            advanced = True
+            if self.state == ESTABLISHED:
+                self.state = CLOSE_WAIT
+            elif self.state == FIN_WAIT_1:
+                self.state = CLOSING
+            elif self.state == FIN_WAIT_2:
+                self._enter_time_wait()
+
+        # Always acknowledge: in-order data advances rcv_nxt, stale or
+        # out-of-order segments regenerate the duplicate ACK the peer's
+        # fast-retransmit machinery counts.
+        self._transmit(FLAG_ACK, self.snd_nxt, b"")
+        if advanced and self._rcvbuf and self.on_readable is not None:
+            self.on_readable(self)
+
+    def _drain_ooo(self) -> None:
+        while self._ooo:
+            payload = self._ooo.pop(self.rcv_nxt, None)
+            if payload is None:
+                # Also fold stashes that start *behind* rcv_nxt now.
+                stale = [seq for seq in self._ooo
+                         if seq_le(seq, self.rcv_nxt)]
+                folded = False
+                for seq in stale:
+                    chunk = self._ooo.pop(seq)
+                    behind = seq_sub(self.rcv_nxt, seq)
+                    if behind < len(chunk):
+                        payload = chunk[behind:]
+                        folded = True
+                        break
+                if not folded:
+                    return
+            space = self.rcv_wnd
+            accepted = payload[:space]
+            if not accepted:
+                return
+            self._rcvbuf += accepted
+            self.rcv_nxt = seq_add(self.rcv_nxt, len(accepted))
+            self.stats.bytes_received += len(accepted)
+            if len(accepted) < len(payload):
+                return
+
+
+class TcpListener:
+    """A passive port: creates a server connection per inbound SYN."""
+
+    def __init__(self, endpoint: "TcpEndpoint", port: int,
+                 on_accept: Callable[[TcpConnection], None],
+                 conn_kwargs: Optional[dict] = None) -> None:
+        self.endpoint = endpoint
+        self.port = port
+        self.on_accept = on_accept
+        self.conn_kwargs = conn_kwargs or {}
+        self.accepted = 0
+
+
+def mac_for_ip(ip: bytes) -> bytes:
+    """The lab network's static addressing: MAC derived from the IP."""
+    return b"\x02\x00" + ip
+
+
+class TcpEndpoint:
+    """One host: owns connections, frames segments, demuxes arrivals.
+
+    ``send_frame`` is the NIC: a callable taking packed Ethernet bytes.
+    Inbound frames come through :meth:`receive_frame`; anything
+    malformed (truncated headers, bad checksums, bad lengths) is
+    dropped and counted in :attr:`malformed` — never raised — so a
+    chaos wire cannot crash an endpoint.
+    """
+
+    def __init__(self, queue, cpu_hz: float, ip: bytes,
+                 send_frame: Callable[[bytes], None],
+                 mac: Optional[bytes] = None, mtu: int = 1500,
+                 name: str = "", bus=None,
+                 cwnd_histogram=None) -> None:
+        self.queue = queue
+        self.cpu_hz = cpu_hz
+        self.ip = ip
+        self.mac = mac or mac_for_ip(ip)
+        self.send_frame = send_frame
+        self.mtu = mtu
+        self.name = name or "host"
+        self.bus = bus
+        self._cwnd_histogram = cwnd_histogram
+        self._reassembler = Reassembler()
+        self.connections: Dict[Tuple[bytes, int, int], TcpConnection] = {}
+        self.listeners: Dict[int, TcpListener] = {}
+        self._next_id = 0
+        self._next_iss = 0x1000
+        self._next_port = 0xC000
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.malformed = 0
+        self.rst_sent = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def _next_identification(self) -> int:
+        value = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFF
+        return value
+
+    def _allocate_iss(self) -> int:
+        value = self._next_iss
+        self._next_iss = (self._next_iss + 0x10000) & SEQ_MASK
+        return value
+
+    def _allocate_port(self) -> int:
+        value = self._next_port
+        self._next_port += 1
+        if self._next_port > 0xFFFF:
+            self._next_port = 0xC000
+        return value
+
+    def _segment_sender(self, remote_ip: bytes
+                        ) -> Callable[[TcpSegment], None]:
+        dst_mac = mac_for_ip(remote_ip)
+
+        def send(segment: TcpSegment) -> None:
+            packet = Ipv4Packet(src=self.ip, dst=remote_ip,
+                                protocol=PROTO_TCP,
+                                payload=segment.pack(self.ip, remote_ip),
+                                identification=self._next_identification())
+            for piece in fragment(packet, self.mtu):
+                self.frames_sent += 1
+                self.send_frame(EthernetFrame(
+                    dst=dst_mac, src=self.mac, ethertype=ETHERTYPE_IPV4,
+                    payload=piece.pack()).pack())
+        return send
+
+    # -- opening -------------------------------------------------------------
+
+    def listen(self, port: int, on_accept: Callable[[TcpConnection], None],
+               **conn_kwargs) -> TcpListener:
+        listener = TcpListener(self, port, on_accept, conn_kwargs)
+        self.listeners[port] = listener
+        return listener
+
+    def connect(self, remote_ip: bytes, remote_port: int,
+                local_port: Optional[int] = None,
+                **conn_kwargs) -> TcpConnection:
+        port = local_port if local_port is not None \
+            else self._allocate_port()
+        conn = TcpConnection(
+            self.queue, self.cpu_hz, port, remote_port,
+            self._segment_sender(remote_ip), iss=self._allocate_iss(),
+            name=f"{self.name}:{port}", bus=self.bus,
+            cwnd_histogram=self._cwnd_histogram, **conn_kwargs)
+        self.connections[(remote_ip, remote_port, port)] = conn
+        conn.connect()
+        return conn
+
+    # -- inbound -------------------------------------------------------------
+
+    def receive_frame(self, raw: bytes) -> None:
+        self.frames_received += 1
+        try:
+            frame = EthernetFrame.unpack(raw)
+            if frame.ethertype != ETHERTYPE_IPV4:
+                return
+            packet = Ipv4Packet.unpack(frame.payload)
+        except ProtocolError:
+            self.malformed += 1
+            return
+        if packet.dst != self.ip:
+            return
+        whole = self._reassembler.push(packet)
+        if whole is None or whole.protocol != PROTO_TCP:
+            return
+        try:
+            segment = TcpSegment.unpack(whole.payload, whole.src,
+                                        whole.dst)
+        except ProtocolError:
+            self.malformed += 1
+            return
+        self._demux(whole.src, segment)
+
+    def _demux(self, src_ip: bytes, segment: TcpSegment) -> None:
+        key = (src_ip, segment.src_port, segment.dst_port)
+        conn = self.connections.get(key)
+        if conn is not None and conn.state != CLOSED:
+            conn.on_segment(segment)
+            return
+        listener = self.listeners.get(segment.dst_port)
+        if listener is not None and segment.flags & FLAG_SYN \
+                and not segment.flags & FLAG_ACK:
+            conn = TcpConnection(
+                self.queue, self.cpu_hz, segment.dst_port,
+                segment.src_port, self._segment_sender(src_ip),
+                iss=self._allocate_iss(),
+                name=f"{self.name}:{segment.dst_port}"
+                     f"<{segment.src_port}",
+                bus=self.bus, cwnd_histogram=self._cwnd_histogram,
+                **listener.conn_kwargs)
+            self.connections[key] = conn
+            listener.accepted += 1
+            listener.on_accept(conn)
+            conn.accept_syn(segment)
+            return
+        if not segment.flags & FLAG_RST:
+            # Closed port (or dead connection): RFC 793 reset.
+            self.rst_sent += 1
+            if segment.flags & FLAG_ACK:
+                reply = TcpSegment(segment.dst_port, segment.src_port,
+                                   segment.ack, 0, FLAG_RST, 0)
+            else:
+                reply = TcpSegment(
+                    segment.dst_port, segment.src_port, 0,
+                    seq_add(segment.seq, segment.seq_len),
+                    FLAG_RST | FLAG_ACK, 0)
+            self._segment_sender(src_ip)(reply)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def aggregate_stats(self) -> TcpStats:
+        total = TcpStats()
+        for conn in self.connections.values():
+            total.add(conn.stats)
+        return total
+
+    def stats(self) -> dict:
+        aggregate = self.aggregate_stats()
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "malformed": self.malformed,
+            "rst_sent": self.rst_sent,
+            "connections": len(self.connections),
+            **aggregate.as_dict(),
+        }

@@ -47,6 +47,7 @@ CAT_WATCHDOG = "watchdog"
 CAT_REPLAY = "replay"
 CAT_MONITOR = "monitor"
 CAT_PROFILE = "profile"
+CAT_NET = "net"
 
 
 @dataclass(frozen=True)

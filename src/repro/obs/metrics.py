@@ -300,13 +300,44 @@ def collect_fault(plan, client=None, monitor=None,
             mon["watchdog"] = dict(monitor.watchdog.stats)
         stats["monitor"] = mon
     if devices:
-        counters = ("faults_injected", "frames_dropped",
-                    "bytes_dropped", "bytes_corrupted")
+        counters = ("faults_injected", "rx_faults_injected",
+                    "frames_dropped", "bytes_dropped", "bytes_corrupted")
         stats["devices"] = {
             name: {counter: getattr(device, counter)
                    for counter in counters if hasattr(device, counter)}
             for name, device in sorted(devices.items())}
     _publish(registry if registry is not None else _GLOBAL, "fault", stats)
+    return stats
+
+
+def collect_net(endpoint=None, result=None,
+                registry: Optional[MetricsRegistry] = None) -> dict:
+    """TCP endpoint / streaming-run counters → ``net.*`` gauges.
+
+    ``endpoint`` is a :class:`repro.net.tcp.TcpEndpoint`; ``result`` a
+    :class:`repro.workloads.streaming.TcpStreamResult`.  Either (or
+    both) may be given; the server endpoint's aggregate TCP counters
+    land under ``net.tcp.*`` (retransmits, rto_expirations, dupacks,
+    ...), the streaming-ladder outcome under ``net.stream.*``.  The
+    ``net.tcp.cwnd`` histogram and the ``net.rx.malformed`` counter
+    are maintained live by their owners and are not touched here.
+    """
+    stats: dict = {}
+    if endpoint is not None:
+        stats["tcp"] = endpoint.stats()
+    if result is not None:
+        if "tcp" not in stats:
+            stats["tcp"] = dict(result.server_stats)
+        stats["stream"] = {
+            "sessions": len(result.sessions),
+            "sessions_shed": result.sessions_shed,
+            "level": result.level,
+            "counts": result.counts(),
+            "aggregate_rate_bps": result.aggregate_rate_bps,
+            "downlink": dict(result.downlink),
+            "uplink": dict(result.uplink),
+        }
+    _publish(registry if registry is not None else _GLOBAL, "net", stats)
     return stats
 
 

@@ -93,6 +93,15 @@ class CostModel:
     #: extra host round trips to deliver one interrupt to the guest.
     interrupt_host_trips: int = 2
 
+    # -- TCP data path (the PR 9 streaming workload) -----------------------------
+    #: per-TCP-segment protocol work (header build/parse, seq/ack and
+    #: window bookkeeping, retransmit-timer maintenance) on top of the
+    #: per-byte checksum pass.
+    tcp_segment_cycles: int = 1800
+    #: one three-way handshake: control-block setup, ISS selection,
+    #: timer arming on both SYN legs.
+    tcp_handshake_cycles: int = 24000
+
     # -- debugging traffic -------------------------------------------------------
     #: servicing one debugger request inside the monitor (drain the
     #: UART, parse the RSP packet, gather state, frame the reply).

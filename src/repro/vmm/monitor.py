@@ -999,15 +999,52 @@ class LightweightVmm:
             return self._jit_command(parts[1:])
         if command == "tv":
             return self._tv_command(parts[1:])
+        if command == "net":
+            return self._net_command(parts[1:])
         if command == "help":
             return ("monitor commands: stats console trace [n] shadow "
                     "hang watchdog fleet record [checkpoint] replay "
-                    "jit tv help\n"
+                    "jit tv net help\n"
                     "structured trace: trace start [stride] | stop | "
                     "dump [n] | status\n"
                     "superblocks: jit [on|off|flush]\n"
-                    "translation validation: tv [on|off]")
+                    "translation validation: tv [on|off]\n"
+                    "network: net [tcp|rx|all]")
         return f"unknown monitor command {command!r} (try 'help')"
+
+    def _net_command(self, parts) -> str:
+        """``monitor net [tcp|rx|all]``: the process-wide ``net.*``
+        metrics snapshot (see docs/PROTOCOL.md and INTERNALS.md §15).
+
+        The TCP stack and the streaming workload publish their
+        counters into the shared registry (``repro.obs.metrics``);
+        this command is the debugger-side window onto them —
+        retransmits, RTO expirations, dup-acks, the cwnd histogram,
+        malformed-frame drops.
+        """
+        from repro.obs.metrics import global_registry
+        scope = parts[0] if parts else "all"
+        prefixes = {"tcp": ("net.tcp.",), "rx": ("net.rx.",),
+                    "all": ("net.",)}.get(scope)
+        if prefixes is None:
+            return f"unknown net subcommand {scope!r} (try 'help')"
+        registry = global_registry()
+        lines = []
+        for name in registry.names():
+            if not name.startswith(prefixes):
+                continue
+            snap = registry.get(name).snapshot()
+            if snap["type"] == "histogram":
+                buckets = " ".join(
+                    f"<={bound}:{count}" for bound, count
+                    in snap["buckets"].items() if count)
+                lines.append(f"{name}: count={snap['count']} "
+                             f"min={snap['min']} max={snap['max']} "
+                             f"{buckets or '(empty)'}")
+            else:
+                lines.append(f"{name}: {snap['value']}")
+        return "\n".join(lines) if lines else \
+            "net: no net.* metrics recorded yet"
 
     def _jit_command(self, parts) -> str:
         """``monitor jit [on|off|flush]``: superblock translator control

@@ -1,0 +1,158 @@
+"""Integration: multi-client TCP streaming under chaos (PR 9).
+
+The acceptance bar from the issue: a 200-subscriber mixed-rate run
+with 1% seeded frame loss on *both* directions must deliver every
+accepted session's stream intact (sha256 of received bytes equals
+sha256 of sent bytes) while actually exercising loss recovery
+(``net.tcp.retransmits`` > 0) — and the whole thing must be
+deterministic, because the chaos campaign pins it with golden traces.
+"""
+
+from pathlib import Path
+
+from repro.faults.campaign import DEFAULT_SEED, run_campaign
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.obs.bus import CAT_NET, TraceBus
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.streaming import (
+    S_CHURNED,
+    S_COMPLETED,
+    S_SHED,
+    mixed_rate_specs,
+    run_tcp_streaming,
+)
+
+TCP_SCENARIOS = ("tcp-retransmit", "tcp-churn", "tcp-slow-consumer")
+GOLDEN_TCP = Path(__file__).resolve().parent.parent / "golden" \
+    / "chaos_tcp_seed1234.trace"
+
+
+def _lossy_plan(seed=99, probability=0.01):
+    return FaultPlan(seed, rules=[
+        FaultRule("nic.tx", "drop", probability=probability),
+        FaultRule("nic.rx", "drop", probability=probability),
+    ])
+
+
+class TestAcceptance:
+    def test_200_subscribers_intact_under_one_percent_loss(self):
+        specs = mixed_rate_specs(200, bytes_total=30_000)
+        result = run_tcp_streaming(specs, plan=_lossy_plan(),
+                                   sim_seconds=0.5, grace_seconds=2.0)
+        assert result.counts() == {S_COMPLETED: 200}
+        assert result.intact          # sha256(sent) == sha256(received)
+        assert result.server_stats["retransmits"] > 0
+        assert result.downlink["frames_dropped"] > 0
+        assert result.uplink["frames_dropped"] > 0
+
+    def test_clean_network_needs_no_recovery(self):
+        specs = mixed_rate_specs(24, bytes_total=16_000)
+        result = run_tcp_streaming(specs, sim_seconds=0.3,
+                                   grace_seconds=0.5)
+        assert result.counts() == {S_COMPLETED: 24}
+        assert result.intact
+        assert result.server_stats["retransmits"] == 0
+
+
+class TestDeterminism:
+    def _run(self):
+        plan = FaultPlan(1234, rules=[
+            FaultRule("nic.tx", "drop", probability=0.02, max_fires=30),
+            FaultRule("nic.rx", "reorder", probability=0.02,
+                      max_fires=20, params={"delay_cycles": 60_000}),
+        ])
+        specs = mixed_rate_specs(64, bytes_total=20_000,
+                                 slow_every=8, churn_every=16)
+        return run_tcp_streaming(specs, plan=plan, sim_seconds=0.4,
+                                 grace_seconds=2.0)
+
+    def test_identical_seeds_identical_outcomes(self):
+        first, second = self._run(), self._run()
+        assert first.server_stats == second.server_stats
+        assert first.counts() == second.counts()
+        assert first.downlink == second.downlink
+        assert first.uplink == second.uplink
+        assert [(s.index, s.status, s.bytes_received)
+                for s in first.sessions] \
+            == [(s.index, s.status, s.bytes_received)
+                for s in second.sessions]
+
+
+class TestDegradationLadder:
+    def test_overload_sheds_lowest_rate_first(self):
+        # 40 subscribers wanting ~105 Mbps aggregate against a 40 Mbps
+        # pipe: the ladder must shed, lowest-rate subscribers first.
+        specs = mixed_rate_specs(40, bytes_total=60_000,
+                                 base_rate_bps=6e6)
+        result = run_tcp_streaming(specs, sim_seconds=0.5,
+                                   grace_seconds=1.0,
+                                   capacity_bps=40e6)
+        shed = [s for s in result.sessions if s.status == S_SHED]
+        kept = [s for s in result.sessions if s.status != S_SHED]
+        assert shed, "overload never shed anybody"
+        assert result.level_transitions, "ladder never changed level"
+        if kept:
+            assert max(s.spec.rate_bps for s in shed) \
+                <= min(s.spec.rate_bps for s in kept)
+
+    def test_churned_subscribers_counted(self):
+        specs = mixed_rate_specs(36, bytes_total=20_000, churn_every=6)
+        result = run_tcp_streaming(specs, sim_seconds=0.4,
+                                   grace_seconds=1.0)
+        counts = result.counts()
+        assert counts.get(S_CHURNED, 0) > 0
+        assert counts.get(S_CHURNED, 0) + counts.get(S_COMPLETED, 0) \
+            == len(result.sessions)
+
+    def test_slow_consumers_exercise_flow_control(self):
+        specs = mixed_rate_specs(16, bytes_total=24_000, slow_every=2)
+        result = run_tcp_streaming(specs, sim_seconds=0.4,
+                                   grace_seconds=3.0)
+        assert result.counts() == {S_COMPLETED: 16}
+        assert result.intact
+        stats = result.server_stats
+        assert stats["zero_window_stalls"] + stats["window_probes"] > 0
+
+
+class TestGoldenTcpChaos:
+    def test_tcp_chaos_matrix_upholds_invariants(self):
+        campaign = run_campaign(seed=DEFAULT_SEED,
+                                scenarios=list(TCP_SCENARIOS))
+        violations = {result["scenario"]: result["violations"]
+                      for result in campaign["results"]
+                      if result["violations"]}
+        assert campaign["ok"], violations
+
+    def test_tcp_golden_trace_matches(self):
+        campaign = run_campaign(seed=DEFAULT_SEED,
+                                scenarios=list(TCP_SCENARIOS))
+        assert campaign["trace"] == GOLDEN_TCP.read_text()
+
+
+class TestObservability:
+    def test_metrics_published_under_net_prefix(self):
+        registry = MetricsRegistry()
+        specs = mixed_rate_specs(8, bytes_total=8_000)
+        run_tcp_streaming(specs, plan=_lossy_plan(7, 0.02),
+                          sim_seconds=0.2, grace_seconds=1.0,
+                          registry=registry)
+        names = set(registry.names())
+        assert "net.tcp.segments_sent" in names
+        assert "net.tcp.retransmits" in names
+        assert "net.stream.sessions" in names
+        assert "net.tcp.cwnd" in names          # histogram
+        assert registry.get("net.stream.sessions").value == 8
+
+    def test_trace_bus_carries_connection_lifecycle(self):
+        bus = TraceBus()
+        bus.enabled = True
+        specs = mixed_rate_specs(4, bytes_total=4_000)
+        run_tcp_streaming(specs, sim_seconds=0.2, grace_seconds=0.5,
+                          bus=bus)
+        records = bus.by_category(CAT_NET)
+        opens = [r for r in records if r.name == "tcp-open"]
+        closes = [r for r in records if r.name == "tcp-conn"]
+        # Client and server side of each of the four connections.
+        assert len(opens) == 8
+        assert len(closes) == 8
+        assert all(r.args.get("reason") for r in closes)

@@ -1,0 +1,191 @@
+"""Property-based tests for TCP (PR 9).
+
+The contracts under test:
+
+* packing is lossless (pack → unpack identity);
+* the checksum rejects every single-byte corruption;
+* a receiver presented with any in-window reordering and duplication
+  of a segment stream reconstructs the byte-identical stream;
+* IPv4 reassembly survives fragment reordering and duplication;
+* no hostile frame makes the endpoint raise.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.net import EthernetFrame, ETHERTYPE_IPV4, Ipv4Packet, \
+    Reassembler, fragment
+from repro.net.tcp import (
+    ESTABLISHED,
+    FLAG_ACK,
+    FLAG_SYN,
+    TcpConnection,
+    TcpEndpoint,
+    TcpSegment,
+)
+from repro.sim.events import EventQueue
+
+CPU_HZ = 1.26e9
+IP_A = b"\x0a\x00\x00\x01"
+IP_B = b"\x0a\x00\x00\x02"
+
+_ports = st.integers(min_value=1, max_value=0xFFFF)
+_seq32 = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+_flags = st.integers(min_value=0, max_value=0x1F)
+_window = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestSegmentProperties:
+    @given(src=_ports, dst=_ports, seq=_seq32, ack=_seq32,
+           flags=_flags, window=_window,
+           payload=st.binary(min_size=0, max_size=2048))
+    @settings(max_examples=150, deadline=None)
+    def test_pack_unpack_identity(self, src, dst, seq, ack, flags,
+                                  window, payload):
+        segment = TcpSegment(src, dst, seq, ack, flags, window, payload)
+        parsed = TcpSegment.unpack(segment.pack(IP_A, IP_B), IP_A, IP_B)
+        assert parsed == segment
+
+    @given(payload=st.binary(min_size=0, max_size=512),
+           offset=st.integers(min_value=0), flip=st.integers(1, 255))
+    @settings(max_examples=200, deadline=None)
+    def test_any_single_byte_corruption_rejected(self, payload, offset,
+                                                 flip):
+        """A one's-complement sum cannot miss a single-byte change, so
+        every corrupted segment must fail to unpack."""
+        raw = bytearray(TcpSegment(100, 200, 1, 2, FLAG_ACK, 512,
+                                   payload).pack(IP_A, IP_B))
+        raw[offset % len(raw)] ^= flip
+        try:
+            TcpSegment.unpack(bytes(raw), IP_A, IP_B)
+        except ProtocolError:
+            return
+        raise AssertionError("corrupted segment was accepted")
+
+
+def _established_receiver():
+    """A server-side connection mid-handshake-complete, fed directly."""
+    queue = EventQueue()
+    outbox = []
+    conn = TcpConnection(queue, CPU_HZ, 80, 1234, outbox.append,
+                         iss=1000)
+    conn.accept_syn(TcpSegment(1234, 80, seq=5000, ack=0,
+                               flags=FLAG_SYN, window=65535))
+    conn.on_segment(TcpSegment(1234, 80, seq=5001, ack=1001,
+                               flags=FLAG_ACK, window=65535))
+    assert conn.state == ESTABLISHED
+    return conn
+
+
+def _chunked_segments(payload, chunk):
+    segments = []
+    seq = 5001
+    for start in range(0, len(payload), chunk):
+        piece = payload[start:start + chunk]
+        segments.append(TcpSegment(1234, 80, seq=seq, ack=1001,
+                                   flags=FLAG_ACK, window=65535,
+                                   payload=piece))
+        seq += len(piece)
+    return segments
+
+
+class TestReceiverProperties:
+    @given(data=st.data(),
+           payload=st.binary(min_size=1, max_size=8192),
+           chunk=st.integers(min_value=256, max_value=1460))
+    @settings(max_examples=100, deadline=None)
+    def test_reorder_and_duplicate_delivery_byte_identical(
+            self, data, payload, chunk):
+        """Any permutation of the segment stream, with any subset
+        duplicated, reconstructs the exact byte stream."""
+        segments = _chunked_segments(payload, chunk)
+        order = data.draw(st.permutations(range(len(segments))))
+        dupes = data.draw(st.lists(
+            st.integers(min_value=0, max_value=len(segments) - 1),
+            max_size=4))
+        conn = _established_receiver()
+        for index in order:
+            conn.on_segment(segments[index])
+        for index in dupes:
+            conn.on_segment(segments[index])
+        assert conn.take() == payload
+
+    @given(payload=st.binary(min_size=1, max_size=4096),
+           chunk=st.integers(min_value=256, max_value=1460),
+           offset=st.integers(min_value=0), flip=st.integers(1, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_corrupting_one_segment_never_corrupts_the_stream(
+            self, payload, chunk, offset, flip):
+        """A corrupted copy (rejected at unpack) plus the good copies
+        still yields the identical stream."""
+        segments = _chunked_segments(payload, chunk)
+        victim = segments[offset % len(segments)]
+        raw = bytearray(victim.pack(IP_B, IP_A))
+        raw[offset % len(raw)] ^= flip
+        conn = _established_receiver()
+        try:
+            mangled = TcpSegment.unpack(bytes(raw), IP_B, IP_A)
+        except ProtocolError:
+            mangled = None          # checksum did its job
+        if mangled is not None:
+            raise AssertionError("corrupted segment was accepted")
+        for segment in segments:
+            conn.on_segment(segment)
+        assert conn.take() == payload
+
+
+class TestReassemblyProperties:
+    @given(data=st.data(),
+           payload=st.binary(min_size=1, max_size=12_000),
+           mtu=st.integers(min_value=96, max_value=1500))
+    @settings(max_examples=100, deadline=None)
+    def test_fragment_reorder_duplicate_reassembles(self, data, payload,
+                                                    mtu):
+        packet = Ipv4Packet(IP_A, IP_B, 6, payload, identification=7)
+        pieces = fragment(packet, mtu)
+        order = data.draw(st.permutations(range(len(pieces))))
+        reassembler = Reassembler()
+        whole = None
+        for index in order:
+            result = reassembler.push(pieces[index])
+            if result is not None:
+                assert whole is None, "reassembled twice"
+                whole = result
+            # Duplicate some pushes mid-stream; exact copies must be
+            # silently ignored while the flow is still open.
+            if whole is None and data.draw(st.booleans()):
+                assert reassembler.push(pieces[index]) is None
+        assert whole is not None
+        assert whole.payload == payload
+
+
+class TestEndpointRobustness:
+    @given(junk=st.binary(min_size=0, max_size=256))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_junk_never_raises(self, junk):
+        endpoint = TcpEndpoint(EventQueue(), CPU_HZ, IP_A,
+                               lambda raw: None, name="fuzz")
+        endpoint.receive_frame(junk)     # must not raise
+
+    @given(cut=st.integers(min_value=0), offset=st.integers(min_value=0),
+           flip=st.integers(1, 255))
+    @settings(max_examples=150, deadline=None)
+    def test_truncated_or_flipped_valid_frame_never_raises(self, cut,
+                                                           offset, flip):
+        outbox = []
+        endpoint = TcpEndpoint(EventQueue(), CPU_HZ, IP_A, outbox.append,
+                               name="tgt")
+        endpoint.listen(80, lambda conn: None)
+        segment = TcpSegment(1234, 80, seq=1, ack=0, flags=FLAG_SYN,
+                             window=512)
+        packet = Ipv4Packet(IP_B, IP_A, 6, segment.pack(IP_B, IP_A),
+                            identification=9)
+        frame = EthernetFrame(dst=b"\x02\x00" + IP_A,
+                              src=b"\x02\x00" + IP_B,
+                              ethertype=ETHERTYPE_IPV4,
+                              payload=packet.pack()).pack()
+        mangled = bytearray(frame[:cut % (len(frame) + 1)])
+        if mangled:
+            mangled[offset % len(mangled)] ^= flip
+        endpoint.receive_frame(bytes(mangled))   # must not raise

@@ -416,3 +416,66 @@ class TestWatchdog:
         for _ in range(5):
             assert watchdog.check() == DEGRADE_FULL
         assert watchdog.stats["hangs_detected"] == 0
+
+
+class TestNicInjectorRx:
+    """FaultRule("nic.rx", ...) wired through NicInjector to the NIC's
+    receive path (the tx side has long-standing coverage via the chaos
+    campaign; rx landed with the TCP work)."""
+
+    def _nic(self):
+        from repro.hw.mem import PhysicalMemory
+        from repro.hw.nic import (DESCRIPTOR_SIZE, REG_RDBA, REG_RDLEN,
+                                  REG_RDT, Nic, make_rx_descriptor)
+        from repro.sim.events import EventQueue
+        queue = EventQueue()
+        memory = PhysicalMemory(1 << 20)
+        nic = Nic(queue, memory, 1.26e9,
+                  raise_irq=lambda: None, lower_irq=lambda: None)
+        nic.mmio_write(REG_RDBA, 0x2000, 4)
+        nic.mmio_write(REG_RDLEN, 8, 4)
+        for i in range(8):
+            memory.write(0x2000 + i * DESCRIPTOR_SIZE,
+                         make_rx_descriptor(0x20000 + i * 2048, 2048))
+        nic.mmio_write(REG_RDT, 7, 4)
+        return queue, nic
+
+    def test_rx_drop_rule_fires_and_is_traced(self):
+        from repro.faults.injectors import NicInjector
+        queue, nic = self._nic()
+        plan = FaultPlan(5, rules=[FaultRule("nic.rx", "drop",
+                                             at_count=2)])
+        NicInjector(plan, nic)
+        assert nic.receive_frame(bytes(64))          # opportunity 1
+        assert not nic.receive_frame(bytes(64))      # opportunity 2: drop
+        queue.run()
+        assert nic.rx_faults_injected == 1
+        assert nic.frames_received == 1
+        stats = plan.stats()
+        assert stats["injected"] == {"nic.rx.drop": 1}
+        assert stats["opportunities"]["nic.rx.drop"] == 2
+        assert "nic.rx drop" in plan.trace.format()
+
+    def test_rx_and_tx_sites_are_independent(self):
+        from repro.faults.injectors import NicInjector
+        queue, nic = self._nic()
+        plan = FaultPlan(5, rules=[FaultRule("nic.tx", "drop",
+                                             at_count=1)])
+        NicInjector(plan, nic)
+        assert nic.receive_frame(bytes(64))          # tx rule can't fire
+        queue.run()
+        assert nic.rx_faults_injected == 0
+        assert plan.stats()["injected"] == {}
+
+    def test_rx_reorder_rule_honours_delay_param(self):
+        from repro.faults.injectors import NicInjector
+        queue, nic = self._nic()
+        plan = FaultPlan(5, rules=[
+            FaultRule("nic.rx", "reorder", at_count=1,
+                      params={"delay_cycles": 10_000})])
+        NicInjector(plan, nic)
+        assert nic.receive_frame(bytes(64))          # held
+        assert nic.frames_received == 0
+        queue.run()                                  # failsafe flush
+        assert nic.frames_received == 1
+        assert nic.rx_faults_injected == 1

@@ -182,3 +182,28 @@ class TestHangDiagnosis:
         import re
         delta = int(re.search(r"\(\+(\d+) since", second).group(1))
         assert delta > 400  # the spin definitely made progress
+
+
+class TestNetMonitorCommand:
+    def test_net_lists_tcp_metrics_after_a_streaming_run(self, session):
+        from repro.obs.metrics import collect_net
+        from repro.workloads.streaming import (mixed_rate_specs,
+                                               run_tcp_streaming)
+        sess, _ = session
+        result = run_tcp_streaming(mixed_rate_specs(2, bytes_total=2_000),
+                                   sim_seconds=0.05, grace_seconds=0.3)
+        collect_net(result=result)          # publish to global registry
+        output = sess.client.monitor_command("net tcp")
+        assert "net.tcp.segments_sent" in output
+        assert "net.tcp.retransmits" in output
+        # Scope filter: the rx view never shows tcp metrics.
+        assert "net.tcp." not in sess.client.monitor_command("net rx")
+
+    def test_net_rejects_unknown_subcommand(self, session):
+        sess, _ = session
+        output = sess.client.monitor_command("net bogus")
+        assert "unknown net subcommand" in output
+
+    def test_net_in_help(self, session):
+        sess, _ = session
+        assert "net" in sess.client.monitor_command("help")

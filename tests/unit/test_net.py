@@ -228,3 +228,120 @@ class TestUdpStack:
         first = stack.next_identification()
         second = stack.next_identification()
         assert second == (first + 1) & 0xFFFF
+
+
+def _eth_ipv4(payload):
+    return EthernetFrame(MAC_A, MAC_B, ETHERTYPE_IPV4, payload).pack()
+
+
+class TestReceiverHardening:
+    """receive_frame never raises; every malformed shape is counted
+    (and mirrored to the ``net.rx.malformed`` registry counter)."""
+
+    def test_truncated_ipv4_header_dropped(self):
+        receiver = UdpReceiver()
+        receiver.receive_frame(_eth_ipv4(b"\x45\x00\x00"))
+        assert receiver.malformed == 1
+        assert not receiver.datagrams
+
+    def test_bad_total_length_dropped(self):
+        stack = UdpStack(mac=MAC_A, ip=IP_A)
+        raw = bytearray(stack.build_udp_frames(b"x" * 64, 1, MAC_B,
+                                               IP_B, 2)[0])
+        # Claim more bytes than the frame carries; re-seal the header
+        # checksum so only the length lie is wrong.
+        raw[16:18] = (4000).to_bytes(2, "big")
+        raw[24:26] = b"\x00\x00"
+        raw[24:26] = internet_checksum(raw[14:34]).to_bytes(2, "big")
+        receiver = UdpReceiver()
+        receiver.receive_frame(bytes(raw))
+        assert receiver.malformed == 1
+
+    def test_overlapping_fragments_dropped_then_flow_recovers(self):
+        receiver = UdpReceiver()
+        first = Ipv4Packet(IP_A, IP_B, 17, b"A" * 64,
+                           identification=9, flags=0x1)  # MF
+        clash = Ipv4Packet(IP_A, IP_B, 17, b"B" * 64,
+                           identification=9, flags=0x1,
+                           fragment_offset=4)  # overlaps bytes 32..96
+        receiver.receive_frame(_eth_ipv4(first.pack()))
+        receiver.receive_frame(_eth_ipv4(clash.pack()))
+        assert receiver.malformed == 1
+        # The poisoned flow was torn down: a clean datagram with the
+        # same identification still gets through afterwards.
+        stack = UdpStack(mac=MAC_A, ip=IP_A)
+        payload = bytes(range(256)) * 16
+        for raw in stack.build_udp_frames(payload, 1, MAC_B, IP_B, 2):
+            receiver.receive_frame(raw)
+        assert receiver.datagrams[-1].datagram.payload == payload
+
+    def test_oversized_fragment_dropped(self):
+        receiver = UdpReceiver()
+        huge = Ipv4Packet(IP_A, IP_B, 17, b"x" * 100,
+                          identification=3, flags=0x1,
+                          fragment_offset=8189)  # ends past 65535
+        receiver.receive_frame(_eth_ipv4(huge.pack()))
+        assert receiver.malformed == 1
+
+    def test_malformed_mirrored_to_global_counter(self):
+        from repro.obs.metrics import global_registry
+        counter = global_registry().counter("net.rx.malformed")
+        before = counter.value
+        receiver = UdpReceiver()
+        receiver.receive_frame(_eth_ipv4(b"\x00" * 46))
+        assert receiver.malformed == 1
+        assert counter.value == before + 1
+
+    def test_errors_stays_an_alias_of_malformed(self):
+        receiver = UdpReceiver()
+        receiver.receive_frame(_eth_ipv4(b"garbage garbage garbage "
+                                         b"garbage garbage garba"))
+        assert receiver.errors == receiver.malformed == 1
+
+
+class TestReassemblerHardening:
+    def _frag(self, payload, offset_units, more, ident=7):
+        return Ipv4Packet(IP_A, IP_B, 17, payload, identification=ident,
+                          flags=0x1 if more else 0,
+                          fragment_offset=offset_units)
+
+    def test_exact_duplicate_ignored(self):
+        reassembler = Reassembler()
+        assert reassembler.push(self._frag(b"a" * 64, 0, True)) is None
+        assert reassembler.push(self._frag(b"a" * 64, 0, True)) is None
+        whole = reassembler.push(self._frag(b"b" * 8, 8, False))
+        assert whole is not None
+        assert whole.payload == b"a" * 64 + b"b" * 8
+
+    def test_conflicting_overlap_raises(self):
+        reassembler = Reassembler()
+        reassembler.push(self._frag(b"a" * 64, 0, True))
+        with pytest.raises(ProtocolError, match="overlap"):
+            reassembler.push(self._frag(b"z" * 64, 4, True))
+
+    def test_conflicting_final_fragments_raise(self):
+        reassembler = Reassembler()
+        reassembler.push(self._frag(b"a" * 8, 2, False))
+        with pytest.raises(ProtocolError, match="final"):
+            reassembler.push(self._frag(b"b" * 16, 4, False))
+
+    def test_fragment_past_total_length_raises(self):
+        reassembler = Reassembler()
+        reassembler.push(self._frag(b"c" * 64, 8, True))
+        with pytest.raises(ProtocolError, match="total length"):
+            reassembler.push(self._frag(b"end", 2, False))
+
+    def test_oversized_flow_raises(self):
+        reassembler = Reassembler()
+        with pytest.raises(ProtocolError, match="datagram limit"):
+            reassembler.push(self._frag(b"x" * 100, 8189, True))
+
+    def test_poisoned_flow_state_is_dropped(self):
+        reassembler = Reassembler()
+        reassembler.push(self._frag(b"a" * 64, 0, True))
+        with pytest.raises(ProtocolError):
+            reassembler.push(self._frag(b"z" * 64, 4, True))
+        # Same identification reassembles cleanly from scratch.
+        assert reassembler.push(self._frag(b"c" * 64, 0, True)) is None
+        whole = reassembler.push(self._frag(b"d" * 8, 8, False))
+        assert whole is not None and whole.payload == b"c" * 64 + b"d" * 8

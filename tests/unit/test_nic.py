@@ -25,6 +25,7 @@ from repro.hw.nic import (
     REG_TDT,
     WIRE_OVERHEAD_BYTES,
     Nic,
+    NicFault,
     make_rx_descriptor,
     make_tx_descriptor,
 )
@@ -203,3 +204,69 @@ class TestReceive:
         fix.memory.write(rx_base, make_rx_descriptor(0x20000, 100))
         fix.nic.mmio_write(REG_RDT, 1, 4)
         assert not fix.nic.receive_frame(bytes(500))
+
+
+class TestReceiveFaults:
+    """rx_fault_hook semantics, driven by a scripted hook (the policy
+    layer — repro.faults.NicInjector — is tested in test_faults.py)."""
+
+    def _fix(self, script):
+        fix = NicFixture()
+        faults = iter(script)
+        fix.nic.rx_fault_hook = lambda frame: next(faults, None)
+        return fix
+
+    def test_rx_drop_counted(self):
+        fix = self._fix([NicFault(kind="drop")])
+        TestReceive()._rx_setup(fix)
+        assert not fix.nic.receive_frame(bytes(64))
+        assert fix.nic.rx_faults_injected == 1
+        assert fix.nic.frames_dropped == 1
+        assert fix.nic.frames_received == 0
+
+    def test_rx_corrupt_flips_one_byte(self):
+        fix = self._fix([NicFault(kind="corrupt", corrupt_offset=3)])
+        TestReceive()._rx_setup(fix)
+        assert fix.nic.receive_frame(b"\x00" * 64)
+        delivered = fix.memory.read(0x20000, 64)
+        assert delivered[3] == 0xFF
+        assert delivered.count(0) == 63
+
+    def test_rx_duplicate_delivers_twice(self):
+        fix = self._fix([NicFault(kind="duplicate")])
+        TestReceive()._rx_setup(fix)
+        assert fix.nic.receive_frame(bytes(64))
+        assert fix.nic.frames_received == 2
+
+    def test_rx_delay_defers_ring_writeback(self):
+        fix = self._fix([NicFault(kind="delay", delay_cycles=50_000)])
+        TestReceive()._rx_setup(fix)
+        assert fix.nic.receive_frame(bytes(64))  # optimistic
+        assert fix.nic.frames_received == 0      # not in the ring yet
+        fix.queue.run()
+        assert fix.nic.frames_received == 1
+
+    def test_rx_reorder_held_until_next_arrival(self):
+        fix = self._fix([NicFault(kind="reorder")])
+        rx_base = TestReceive()._rx_setup(fix)
+        assert fix.nic.receive_frame(b"A" + bytes(63))  # held
+        assert fix.nic.frames_received == 0
+        assert fix.nic.receive_frame(b"B" + bytes(63))  # flushes the hold
+        assert fix.nic.frames_received == 2
+        # Descriptor 0 got B, descriptor 1 got the held A.
+        assert fix.memory.read(0x20000, 1) == b"B"
+        assert fix.memory.read(0x20000 + 2048, 1) == b"A"
+
+    def test_rx_reorder_failsafe_flush_when_wire_goes_quiet(self):
+        fix = self._fix([NicFault(kind="reorder", delay_cycles=10_000)])
+        TestReceive()._rx_setup(fix)
+        assert fix.nic.receive_frame(bytes(64))
+        assert fix.nic.frames_received == 0
+        fix.queue.run()                          # failsafe timer fires
+        assert fix.nic.frames_received == 1
+
+    def test_clean_frames_bypass_the_hook_counter(self):
+        fix = self._fix([])
+        TestReceive()._rx_setup(fix)
+        assert fix.nic.receive_frame(bytes(64))
+        assert fix.nic.rx_faults_injected == 0

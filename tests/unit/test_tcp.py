@@ -1,0 +1,296 @@
+"""Unit tests for the TCP state machine and endpoint (PR 9)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.tcp import (
+    CLOSE_WAIT,
+    CLOSED,
+    DEFAULT_MSS,
+    ESTABLISHED,
+    FLAG_ACK,
+    FLAG_RST,
+    FLAG_SYN,
+    SYN_RCVD,
+    TIME_WAIT,
+    TcpConnection,
+    TcpEndpoint,
+    TcpSegment,
+    seq_add,
+    seq_lt,
+    seq_sub,
+)
+from repro.sim.events import EventQueue, cycles_for_seconds
+
+CPU_HZ = 1.26e9
+IP_SERVER = b"\x0a\x00\x00\x01"
+IP_CLIENT = b"\x0a\x00\x00\x02"
+PORT = 8080
+
+
+class Wire:
+    """One direction of a loopback link with scripted frame drops."""
+
+    def __init__(self, queue, latency=1_000):
+        self.queue = queue
+        self.latency = latency
+        self.deliver = None
+        self.sent = 0
+        self.drop_next = 0          # drop this many upcoming frames
+        self.drop_frames = set()    # drop by 1-based frame number
+
+    def send(self, raw):
+        self.sent += 1
+        if self.drop_next > 0 or self.sent in self.drop_frames:
+            self.drop_next = max(0, self.drop_next - 1)
+            return
+        self.queue.schedule_in(self.latency,
+                               lambda raw=raw: self.deliver(raw))
+
+
+class Loopback:
+    """Two endpoints joined by a pair of scriptable wires."""
+
+    def __init__(self, **listen_kwargs):
+        self.queue = EventQueue()
+        self.c2s = Wire(self.queue)
+        self.s2c = Wire(self.queue)
+        self.server = TcpEndpoint(self.queue, CPU_HZ, IP_SERVER,
+                                  self.s2c.send, name="srv")
+        self.client = TcpEndpoint(self.queue, CPU_HZ, IP_CLIENT,
+                                  self.c2s.send, name="cli")
+        self.c2s.deliver = self.server.receive_frame
+        self.s2c.deliver = self.client.receive_frame
+        self.accepted = []
+        self.server.listen(PORT, self.accepted.append, **listen_kwargs)
+
+    def connect(self, **kwargs):
+        return self.client.connect(IP_SERVER, PORT, **kwargs)
+
+    def run(self, seconds=0.1):
+        self.queue.run_until(self.queue.now
+                             + cycles_for_seconds(seconds, CPU_HZ))
+
+    def handshake(self, **kwargs):
+        conn = self.connect(**kwargs)
+        self.run(0.01)
+        assert conn.state == ESTABLISHED
+        assert self.accepted and self.accepted[0].state == ESTABLISHED
+        return conn, self.accepted[0]
+
+
+class TestSeqArithmetic:
+    def test_wraparound_compare(self):
+        assert seq_lt(0xFFFF_FFF0, 0x10)
+        assert not seq_lt(0x10, 0xFFFF_FFF0)
+        assert seq_add(0xFFFF_FFFF, 2) == 1
+        assert seq_sub(1, 0xFFFF_FFFF) == 2
+
+
+class TestTcpSegment:
+    def test_pack_unpack_round_trip(self):
+        segment = TcpSegment(1234, 80, seq=0xDEAD, ack=0xBEEF,
+                             flags=FLAG_ACK, window=4096,
+                             payload=b"hello tcp")
+        raw = segment.pack(IP_CLIENT, IP_SERVER)
+        parsed = TcpSegment.unpack(raw, IP_CLIENT, IP_SERVER)
+        assert parsed == segment
+
+    def test_checksum_rejects_corruption(self):
+        raw = bytearray(TcpSegment(1, 2, 3, 4, FLAG_ACK, 10,
+                                   b"payload").pack(IP_CLIENT, IP_SERVER))
+        raw[-1] ^= 0x40
+        with pytest.raises(ProtocolError):
+            TcpSegment.unpack(bytes(raw), IP_CLIENT, IP_SERVER)
+
+    def test_short_segment_rejected(self):
+        with pytest.raises(ProtocolError):
+            TcpSegment.unpack(b"\x00" * 10)
+
+    def test_syn_and_fin_occupy_sequence_space(self):
+        assert TcpSegment(1, 2, 0, 0, FLAG_SYN, 0).seq_len == 1
+        assert TcpSegment(1, 2, 0, 0, FLAG_ACK, 0, b"abc").seq_len == 3
+
+
+class TestHandshakeAndTransfer:
+    def test_three_way_handshake(self):
+        loop = Loopback()
+        conn, server_conn = loop.handshake()
+        assert conn.stats.segments_sent >= 2      # SYN + ACK
+        assert server_conn.stats.segments_sent >= 1
+
+    def test_clean_transfer_and_teardown(self):
+        loop = Loopback()
+        conn, server_conn = loop.handshake()
+        payload = bytes(range(256)) * 40          # ~10 KB
+        conn.send(payload)
+        conn.close()
+        loop.run(0.1)
+        assert server_conn.take() == payload
+        # Server saw FIN -> CLOSE_WAIT; close back and drain TIME_WAIT.
+        server_conn.close()
+        loop.run(0.2)
+        assert conn.state == CLOSED
+        assert server_conn.state == CLOSED
+
+    def test_time_wait_holds_then_expires(self):
+        loop = Loopback()
+        conn, server_conn = loop.handshake()
+        conn.close()
+        loop.run(0.01)
+        server_conn.close()
+        loop.run(0.005)
+        assert conn.state == TIME_WAIT           # active closer lingers
+        loop.run(0.2)                            # > 2 * MSL
+        assert conn.state == CLOSED
+
+    def test_abort_sends_rst(self):
+        loop = Loopback()
+        conn, server_conn = loop.handshake()
+        conn.abort()
+        loop.run(0.01)
+        assert conn.state == CLOSED
+        assert server_conn.state == CLOSED
+        assert server_conn.stats.resets_received == 1
+
+    def test_send_before_established_rejected(self):
+        loop = Loopback()
+        conn = loop.connect()
+        with pytest.raises(ProtocolError):
+            conn.send(b"too early")
+
+
+class TestLossRecovery:
+    def test_rto_retransmits_lost_segment(self):
+        loop = Loopback()
+        conn, server_conn = loop.handshake()
+        loop.c2s.drop_next = 1
+        conn.send(b"once more unto the breach")
+        loop.run(0.2)
+        assert server_conn.take() == b"once more unto the breach"
+        assert conn.stats.retransmits >= 1
+        assert conn.stats.rto_expirations >= 1
+
+    def test_rto_backs_off_exponentially(self):
+        loop = Loopback()
+        conn, server_conn = loop.handshake()
+        loop.c2s.drop_next = 3                   # eat three attempts
+        conn.send(b"persistence")
+        loop.run(0.5)
+        assert server_conn.take() == b"persistence"
+        assert conn.stats.rto_expirations >= 3
+
+    def test_fast_retransmit_on_triple_dupack(self):
+        loop = Loopback()
+        conn, server_conn = loop.handshake()
+        # Grow cwnd past 6 segments so the burst actually flies.
+        conn.send(bytes(4 * DEFAULT_MSS))
+        loop.run(0.05)
+        server_conn.take()
+        loop.c2s.drop_next = 1                   # lose the next data frame
+        conn.send(bytes(6 * DEFAULT_MSS))
+        loop.run(0.01)                           # well inside the RTO
+        assert conn.stats.fast_retransmits == 1
+        assert conn.stats.dupacks >= 3
+        assert len(server_conn.take()) == 6 * DEFAULT_MSS
+        assert server_conn.stats.out_of_order >= 1
+
+    def test_lost_handshake_ack_recovers_via_dup_synack(self):
+        """Regression: an ESTABLISHED client must re-ACK a retransmitted
+        SYN|ACK so a server stuck in SYN_RCVD can complete."""
+        loop = Loopback()
+        loop.c2s.drop_frames = {2}               # SYN passes, ACK dies
+        conn = loop.connect()
+        loop.run(0.005)
+        assert conn.state == ESTABLISHED
+        assert loop.accepted[0].state == SYN_RCVD
+        loop.run(0.3)                            # SYN|ACK retransmit cycle
+        assert loop.accepted[0].state == ESTABLISHED
+        assert loop.accepted[0].stats.retransmits >= 1
+        # The repaired connection must still carry data both ways.
+        conn.send(b"late but intact")
+        loop.run(0.05)
+        assert loop.accepted[0].take() == b"late but intact"
+
+
+class TestFlowControl:
+    def test_zero_window_stalls_then_probes(self):
+        loop = Loopback(rcv_buf=2048)
+        conn, server_conn = loop.handshake()
+        payload = bytes(8 * 1024)
+        conn.send(payload)
+        loop.run(0.3)
+        assert conn.stats.zero_window_stalls >= 1
+        assert conn.stats.window_probes >= 1
+        # Receiver drains; window reopens; the rest flows.
+        received = bytearray()
+        for _ in range(40):
+            received += server_conn.take()
+            loop.run(0.05)
+            if len(received) == len(payload):
+                break
+        assert bytes(received) == payload
+
+    def test_advertised_window_tracks_buffer(self):
+        loop = Loopback(rcv_buf=4096)
+        conn, server_conn = loop.handshake()
+        conn.send(bytes(3000))
+        loop.run(0.05)
+        assert server_conn.rcv_wnd == 4096 - 3000
+        server_conn.take()
+        assert server_conn.rcv_wnd == 4096
+
+
+class TestCongestionControl:
+    def test_slow_start_growth(self):
+        loop = Loopback()
+        conn, server_conn = loop.handshake()
+        assert conn.cwnd == 2 * DEFAULT_MSS
+        conn.send(bytes(8 * DEFAULT_MSS))
+        loop.run(0.1)
+        server_conn.take()
+        assert conn.cwnd > 2 * DEFAULT_MSS
+
+    def test_timeout_collapses_cwnd(self):
+        loop = Loopback()
+        conn, server_conn = loop.handshake()
+        conn.send(bytes(6 * DEFAULT_MSS))
+        loop.run(0.05)
+        grown = conn.cwnd
+        loop.c2s.drop_next = 2
+        conn.send(bytes(2 * DEFAULT_MSS))
+        loop.run(0.3)
+        assert conn.stats.rto_expirations >= 1
+        assert conn.cwnd < grown                 # Tahoe: back to one MSS
+
+
+class TestEndpoint:
+    def test_unknown_port_gets_rst(self):
+        loop = Loopback()
+        conn = loop.client.connect(IP_SERVER, PORT + 1)
+        loop.run(0.05)
+        assert conn.state == CLOSED
+        assert loop.server.rst_sent == 1
+        assert conn.stats.resets_received == 1
+
+    def test_malformed_frame_counted_not_raised(self):
+        loop = Loopback()
+        loop.server.receive_frame(b"\x00" * 10)
+        assert loop.server.malformed == 1
+
+    def test_ephemeral_ports_deterministic(self):
+        first = Loopback()
+        second = Loopback()
+        a = first.connect()
+        b = second.connect()
+        assert a.local_port == b.local_port
+
+    def test_stats_aggregate_connections(self):
+        loop = Loopback()
+        conn, server_conn = loop.handshake()
+        conn.send(b"x" * 100)
+        loop.run(0.05)
+        stats = loop.server.stats()
+        assert stats["bytes_received"] == 100
+        assert stats["connections"] == 1
+        assert stats["frames_received"] > 0
