@@ -14,7 +14,14 @@ under the LightweightVmm three ways —
 and asserts the PR's budgets: ``detached/never <= 1.02`` and
 ``tracing/never <= 1.10``.  Each mode is repeated and the fastest run
 is kept (interpreter wall-clock is noisy; the *minimum* is the honest
-estimate of the code path's cost).  Writes ``BENCH_obs.json``.
+estimate of the code path's cost).
+
+A second, *fleet* tier measures distributed-tracing overhead: the
+same exec-slices job batch through a real multi-process fleet with
+``FleetConfig.trace`` off and on (span recording, pipe shipping,
+supervisor-side collection), gated at ``traced/untraced <= 1.10``.
+Spawn cost is amortized — each fleet is started once and timed over
+repeated batches.  Writes ``BENCH_obs.json``.
 
 Run under pytest or standalone::
 
@@ -40,11 +47,22 @@ ARTIFACT = Path("BENCH_obs.json")
 
 DISABLED_BUDGET = 1.02
 TRACING_BUDGET = 1.10
+FLEET_TRACING_BUDGET = 1.10
 
 INSTRUCTIONS = 150_000
 SMOKE_INSTRUCTIONS = 25_000
 REPEATS = 5
 SMOKE_REPEATS = 3
+
+FLEET_WORKERS = 4
+FLEET_JOBS = 8
+FLEET_SLICES = 8
+FLEET_SLICE_INSNS = 5_000
+FLEET_REPEATS = 3
+SMOKE_FLEET_JOBS = 4
+SMOKE_FLEET_SLICES = 4
+SMOKE_FLEET_SLICE_INSNS = 1_500
+SMOKE_FLEET_REPEATS = 2
 
 GUEST_LOOP = """
     MOVI R0, 0
@@ -112,16 +130,82 @@ def measure(instructions: int = INSTRUCTIONS,
     return results
 
 
+def _fleet_batch_seconds(fleet, jobs: int, slices: int,
+                         slice_insns: int) -> float:
+    from repro.fleet.jobs import Job
+
+    start = time.perf_counter()
+    for index in range(jobs):
+        fleet.submit(Job(kind="exec-slices",
+                         params={"slices": slices,
+                                 "slice_insns": slice_insns,
+                                 "seed": index}))
+    assert fleet.run_until_idle(timeout=300.0), \
+        "fleet batch did not finish"
+    return time.perf_counter() - start
+
+
+def measure_fleet(jobs: int = FLEET_JOBS, slices: int = FLEET_SLICES,
+                  slice_insns: int = FLEET_SLICE_INSNS,
+                  repeats: int = FLEET_REPEATS) -> dict:
+    """Best-of-N batch wall-clock, untraced vs. traced fleet."""
+    from repro.fleet.supervisor import Fleet, FleetConfig, SLOT_IDLE
+
+    best = {}
+    for mode, traced in (("untraced", False), ("traced", True)):
+        fleet = Fleet(FleetConfig(workers=FLEET_WORKERS,
+                                  trace=traced)).start()
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                fleet.poll()
+                if all(slot.status == SLOT_IDLE
+                       for slot in fleet.slots):
+                    break
+                time.sleep(0.005)
+            else:
+                raise RuntimeError("fleet workers did not come up")
+            best[mode] = min(
+                _fleet_batch_seconds(fleet, jobs, slices, slice_insns)
+                for _ in range(repeats))
+        finally:
+            fleet.shutdown()
+    total_insns = jobs * slices * slice_insns
+    results = {
+        mode: {
+            "seconds": round(elapsed, 6),
+            "insns_per_sec": round(total_insns / elapsed, 1),
+        }
+        for mode, elapsed in best.items()
+    }
+    results["ratios"] = {
+        "traced_vs_untraced": round(
+            best["traced"] / best["untraced"], 4),
+        "fleet_tracing_budget": FLEET_TRACING_BUDGET,
+    }
+    return results
+
+
 def run_benchmark(smoke: bool = False, artifact: bool = True) -> dict:
     instructions = SMOKE_INSTRUCTIONS if smoke else INSTRUCTIONS
     repeats = SMOKE_REPEATS if smoke else REPEATS
     results = measure(instructions, repeats)
+    fleet_results = measure_fleet(
+        jobs=SMOKE_FLEET_JOBS if smoke else FLEET_JOBS,
+        slices=SMOKE_FLEET_SLICES if smoke else FLEET_SLICES,
+        slice_insns=(SMOKE_FLEET_SLICE_INSNS if smoke
+                     else FLEET_SLICE_INSNS),
+        repeats=SMOKE_FLEET_REPEATS if smoke else FLEET_REPEATS)
     document = {
         "experiment": "obs-overhead",
         "instructions": instructions,
         "repeats": repeats,
         "smoke": smoke,
         "results": results,
+        "fleet": {
+            "workers": FLEET_WORKERS,
+            "results": fleet_results,
+        },
     }
     if artifact:
         ARTIFACT.write_text(json.dumps(document, indent=2) + "\n")
@@ -150,10 +234,22 @@ class TestObsOverhead:
                   f"(budget {DISABLED_BUDGET})")
             print(f"  tracing/never  {ratios['tracing_vs_never']:.4f} "
                   f"(budget {TRACING_BUDGET})")
+            fleet = document["fleet"]["results"]
+            for mode in ("untraced", "traced"):
+                row = fleet[mode]
+                print(f"  fleet-{mode:9s} "
+                      f"{row['insns_per_sec']:>12,.0f} insns/s")
+            print(f"  traced/untraced "
+                  f"{fleet['ratios']['traced_vs_untraced']:.4f} "
+                  f"(budget {FLEET_TRACING_BUDGET})")
         assert ratios["detached_vs_never"] <= DISABLED_BUDGET, \
             "disabled observability must be free"
         assert ratios["tracing_vs_never"] <= TRACING_BUDGET, \
             "live tracing blew the overhead budget"
+        fleet_ratios = document["fleet"]["results"]["ratios"]
+        assert fleet_ratios["traced_vs_untraced"] \
+            <= FLEET_TRACING_BUDGET, \
+            "fleet tracing blew the overhead budget"
 
 
 def main() -> int:
@@ -167,8 +263,11 @@ def main() -> int:
                              artifact=not args.no_artifact)
     print(json.dumps(document, indent=2))
     ratios = document["results"]["ratios"]
+    fleet_ratios = document["fleet"]["results"]["ratios"]
     ok = (ratios["detached_vs_never"] <= DISABLED_BUDGET
-          and ratios["tracing_vs_never"] <= TRACING_BUDGET)
+          and ratios["tracing_vs_never"] <= TRACING_BUDGET
+          and fleet_ratios["traced_vs_untraced"]
+          <= FLEET_TRACING_BUDGET)
     return 0 if ok else 1
 
 

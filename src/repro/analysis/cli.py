@@ -130,8 +130,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     if args.out:
-        from repro.perf.export import export_analysis_json
-        export_analysis_json(report, args.out)
+        from repro.obs.exporters import export_stats_json
+        from repro.obs.metrics import collect_analysis
+        export_stats_json(args.out, "static-analysis",
+                          collect_analysis(report),
+                          extra={"report": report.to_dict()})
     print(report.to_json() if args.json else report.format_text())
     return 1 if exceeds_threshold(report, args.fail_on) else 0
 

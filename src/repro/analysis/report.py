@@ -3,7 +3,7 @@
 Every checker emits :class:`Finding` objects; the driver bundles them
 with coverage counters into a :class:`Report` that is consumable three
 ways: formatted text (the CLI), JSON (``--json`` / CI artifacts, via
-:func:`repro.perf.export.export_analysis_json`), and programmatically
+:func:`repro.obs.exporters.export_stats_json`), and programmatically
 (the monitor's load-time gate inspects :attr:`Report.errors`).
 """
 
@@ -54,7 +54,7 @@ class Report:
     monitor_base: int
     findings: List[Finding] = field(default_factory=list)
     #: Coverage / work counters (blocks, edges, instructions, handlers,
-    #: driver iterations, checks run ...), exported via repro.perf.export.
+    #: driver iterations, checks run ...), collected by repro.obs.metrics.
     stats: Dict[str, int] = field(default_factory=dict)
 
     # -- severity views --------------------------------------------------

@@ -20,8 +20,8 @@ measurable subsystem:
   fault schedules and asserts the survivability invariants after each.
 
 Counters for every injected fault and recovery action are exported via
-:func:`repro.perf.export.fault_stats`, next to ``interp_stats`` and
-``analysis_stats``.
+:func:`repro.obs.metrics.collect_fault`, next to ``collect_interp``
+and ``collect_analysis``.
 """
 
 from repro.faults.plan import FaultEvent, FaultPlan, FaultRule, FaultTrace

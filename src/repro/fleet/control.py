@@ -10,6 +10,7 @@ one JSON reply until EOF:
                              "priority": 7, "timeout_s": 120}}
     {"op": "drain"}
     {"op": "kill", "worker": 2}
+    {"op": "slo"}
 
 Replies always carry ``"ok"``; errors carry ``"error"`` instead of
 crashing the control plane.  The server is polled from the fleet's
@@ -95,6 +96,12 @@ class ControlServer:
         if op == "drain":
             self.fleet.drain()
             return {"ok": True, "jobs": self.fleet.queue.counts()}
+        if op == "slo":
+            import time
+            return {"ok": True,
+                    "slo": self.fleet.obs.slo_status(time.monotonic()),
+                    "percentiles": self.fleet.obs.percentile_summary(),
+                    "fleet_metrics": self.fleet.obs.fleet_metrics()}
         if op == "kill":
             self.fleet.kill_worker(int(request["worker"]))
             return {"ok": True}

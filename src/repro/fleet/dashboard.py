@@ -13,6 +13,7 @@ operational contract.
 from __future__ import annotations
 
 import json
+import time
 from typing import Dict
 
 from repro.obs.metrics import global_registry
@@ -50,6 +51,9 @@ def build_dashboard(fleet) -> Dict:
         "transitions": [{"from": src, "to": dst, "reason": reason}
                         for _, src, dst, reason in fleet.transitions],
         "aggregated": aggregate_worker_metrics(fleet),
+        "fleet_metrics": fleet.obs.fleet_metrics(),
+        "percentiles": fleet.obs.percentile_summary(),
+        "slo": fleet.obs.slo_status(time.monotonic()),
         "supervisor_metrics": {
             name: metric for name, metric
             in global_registry().snapshot().items()
@@ -86,4 +90,8 @@ def format_status(fleet) -> str:
             record.id for record in fleet.queue.shed))
     for _, src, dst, reason in fleet.transitions:
         lines.append(f"  transition: {src} -> {dst} ({reason})")
+    firing = sorted(name for name, on
+                    in fleet.obs.evaluator.firing.items() if on)
+    if firing:
+        lines.append("slo firing: " + ", ".join(firing))
     return "\n".join(lines)

@@ -22,6 +22,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.distributed.context import (TraceContext, mint_trace_id,
+                                           trace_root)
+
 #: Job kinds the worker knows how to run.
 JOB_KINDS = ("exec-slices", "chaos", "replay", "stream", "noop")
 
@@ -100,6 +103,8 @@ class JobRecord:
     error: Optional[str] = None
     #: Append-only audit trail of lifecycle events.
     history: List[str] = field(default_factory=list)
+    #: Root trace context minted at submission (distributed tracing).
+    trace: Optional[TraceContext] = None
 
     def note(self, event: str) -> None:
         self.history.append(event)
@@ -127,6 +132,11 @@ class JobQueue:
     def submit(self, job: Job) -> JobRecord:
         job_id = f"job-{next(self._seq):04d}"
         record = JobRecord(id=job_id, job=job)
+        # The trace root is minted here, unconditionally: sha256 of the
+        # job id, so two identical seeded runs mint identical ids with
+        # no shared state (and no registry/golden impact when tracing
+        # stays off — a context is just three ints on the record).
+        record.trace = trace_root(mint_trace_id(job_id))
         record.note(f"submitted kind={job.kind} priority={job.priority}")
         self.records[job_id] = record
         self._push(record)

@@ -37,6 +37,9 @@ class FleetMux:
         self.address = self._listener.getsockname()
         #: worker index -> client socket (one session per worker).
         self._sessions: Dict[int, socket.socket] = {}
+        #: worker index -> encoded trace context of its client (only
+        #: populated when the fleet traces).
+        self._traces: Dict[int, str] = {}
         self.accepted = 0
         self.refused = 0
         fleet.mux = self
@@ -66,7 +69,8 @@ class FleetMux:
             if data == b"":
                 self._drop(index)
                 continue
-            if not self.fleet.send_rsp(index, data):
+            if not self.fleet.send_rsp(index, data,
+                                       trace=self._traces.get(index)):
                 self._drop(index)
 
     def _accept_new(self) -> None:
@@ -87,6 +91,9 @@ class FleetMux:
             conn.setblocking(False)
             self._sessions[index] = conn
             self.accepted += 1
+            encoded = self.fleet.obs.on_rsp_attach(index, self.accepted)
+            if encoded is not None:
+                self._traces[index] = encoded
 
     # -- fleet-side callbacks ------------------------------------------------
 
@@ -103,6 +110,7 @@ class FleetMux:
 
     def worker_died(self, index: int) -> None:
         """The supervisor lost this worker; hang up on its client."""
+        self._traces.pop(index, None)
         conn = self._sessions.pop(index, None)
         if conn is not None:
             try:
@@ -113,6 +121,7 @@ class FleetMux:
     # -- teardown ------------------------------------------------------------
 
     def _drop(self, index: int) -> None:
+        self._traces.pop(index, None)
         conn = self._sessions.pop(index, None)
         if conn is not None:
             try:

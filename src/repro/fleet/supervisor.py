@@ -42,6 +42,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.fleet.jobs import (Job, JobQueue, JobRecord, RetrySchedule,
                               STATUS_RUNNING)
+from repro.obs.distributed.service import FleetObservability
+from repro.obs.distributed.slo import SloSpec
 from repro.obs.metrics import global_registry
 from repro.obs.taps import TapPoint
 
@@ -80,6 +82,23 @@ class FleetConfig:
     #: While degraded, pending jobs below this priority are shed.
     shed_below_priority: int = 5
     spool_fsync: bool = True
+    #: Distributed tracing: workers record + ship spans, the
+    #: supervisor collects them.  Off by default — a traced fleet must
+    #: be asked for, and an untraced one is byte-identical to before.
+    trace: bool = False
+    #: SLO specs; None uses :func:`~repro.obs.distributed.slo
+    #: .default_slos`.  Evaluation always runs (it is observe-only).
+    slos: Optional[List[SloSpec]] = None
+    #: Opt-in: let a firing SLO hold the ladder at ``degraded`` even
+    #: while every worker is healthy.  Default observe-only.
+    slo_advisory: bool = False
+    #: Seconds between SLO burn-rate evaluations.
+    slo_interval: float = 0.25
+    #: Slice-latency SLO target (simulated cycles per exec slice).
+    slice_target_cycles: int = 200_000
+    #: A worker heartbeat older than this many heartbeat intervals
+    #: counts as stale for the heartbeat-freshness SLO.
+    heartbeat_fresh_intervals: float = 3.0
 
 
 @dataclass
@@ -113,6 +132,11 @@ class Fleet:
 
     def __init__(self, config: Optional[FleetConfig] = None) -> None:
         self.config = config or FleetConfig()
+        self.obs = FleetObservability(
+            trace=self.config.trace,
+            slos=self.config.slos,
+            slice_target_cycles=self.config.slice_target_cycles,
+            slo_interval=self.config.slo_interval)
         self.queue = JobQueue()
         self.slots = [WorkerSlot(index=i)
                       for i in range(self.config.workers)]
@@ -152,6 +176,7 @@ class Fleet:
             "guest": self.config.guest,
             "heartbeat_interval": self.config.heartbeat_interval,
             "spool_fsync": self.config.spool_fsync,
+            "trace": self.config.trace,
             "sys_path": [entry for entry in sys.path if entry],
         }
         process = self._ctx.Process(
@@ -195,6 +220,7 @@ class Fleet:
 
     def submit(self, job: Job) -> JobRecord:
         record = self.queue.submit(job)
+        self.obs.on_enqueue(record)
         if self.level != FLEET_FULL \
                 and job.priority < self.config.shed_below_priority:
             self.queue.shed_below(self.config.shed_below_priority)
@@ -231,6 +257,7 @@ class Fleet:
             self._dispatch(now)
         if self.mux is not None:
             self.mux.poll()
+        self.obs.poll(now)
         self._update_gauges()
 
     def wait_ready(self, timeout: float = 30.0,
@@ -287,6 +314,9 @@ class Fleet:
             slot.heartbeat_seq = event.get("seq", 0)
             slot.metrics = event.get("metrics", {})
             slot.progress = event.get("progress", 0)
+            self.obs.update_metrics(slot.index, slot.metrics)
+            self.obs.ingest_spans(slot.index, event.get("spans", []),
+                                  now)
         elif name == "result":
             self._on_result(slot, event, now)
         elif name == "rsp":
@@ -301,6 +331,12 @@ class Fleet:
 
     def _on_result(self, slot: WorkerSlot, event: Dict,
                    now: float) -> None:
+        # A traced result carries the final span flush and the
+        # worker's closing metrics snapshot.
+        self.obs.ingest_spans(slot.index, event.get("spans", []), now)
+        if "metrics" in event:
+            slot.metrics = event["metrics"]
+            self.obs.update_metrics(slot.index, slot.metrics)
         record = slot.job
         slot.job = None
         if slot.status == SLOT_BUSY:
@@ -309,10 +345,11 @@ class Fleet:
             return   # stale result from a pre-restart incarnation
         if event.get("ok"):
             self.queue.mark_done(record, event.get("value"))
+            self.obs.on_complete(record, now)
         else:
-            self.queue.fail_attempt(record,
-                                    event.get("error", "worker error"),
-                                    now)
+            error = event.get("error", "worker error")
+            status = self.queue.fail_attempt(record, error, now)
+            self.obs.on_failure(record, error, status, now)
 
     # -- health & recovery ---------------------------------------------------
 
@@ -324,6 +361,11 @@ class Fleet:
             self._counter_crashes.inc()
             self._on_death(slot, f"process exited (code {code})", now)
             return
+        if slot.status != SLOT_SPAWNING:
+            fresh_by = self.config.heartbeat_interval \
+                * self.config.heartbeat_fresh_intervals
+            self.obs.heartbeat_check(
+                slot.index, now - slot.last_heartbeat <= fresh_by, now)
         if now - slot.last_heartbeat > self.config.hang_timeout:
             self._counter_hangs.inc()
             slot.process.kill()
@@ -340,6 +382,7 @@ class Fleet:
             slot.conn = None
         if self.mux is not None:
             self.mux.worker_died(slot.index)
+        self.obs.on_worker_death(slot.index, reason)
         record = slot.job
         slot.job = None
         if record is None:
@@ -356,9 +399,11 @@ class Fleet:
             record.note(f"worker {slot.index} died ({reason}); "
                         f"resume {record.resumes} from journal")
             slot.pending_resume = (record, resume)
+            self.obs.on_resume_planned(record, slot.index, reason)
         else:
-            self.queue.fail_attempt(
-                record, f"worker {slot.index} died: {reason}", now)
+            error = f"worker {slot.index} died: {reason}"
+            status = self.queue.fail_attempt(record, error, now)
+            self.obs.on_failure(record, error, status, now)
 
     def _resume_spec(self, record: JobRecord) -> Optional[Dict]:
         """Journal-based recovery plan, if this job supports one."""
@@ -381,6 +426,7 @@ class Fleet:
             return
         slot.restarts += 1
         self._counter_restarts.inc()
+        self.obs.on_restart(slot.index, slot.restarts)
         self._spawn(slot)
 
     def _check_job_timeout(self, slot: WorkerSlot, now: float) -> None:
@@ -395,7 +441,8 @@ class Fleet:
         record.note(f"timeout after {record.job.timeout_s}s "
                     f"on worker {slot.index}")
         slot.job = None
-        self.queue.fail_attempt(record, "job timeout", now)
+        status = self.queue.fail_attempt(record, "job timeout", now)
+        self.obs.on_failure(record, "job timeout", status, now)
         if slot.alive:
             slot.process.kill()
         self._on_death(slot, "killed after job timeout", now)
@@ -435,6 +482,10 @@ class Fleet:
                 message["spool"] = record.spool
             self.queue.mark_running(record, slot.index, now)
         message["attempt"] = record.attempts
+        encoded = self.obs.on_dispatch(record, slot.index,
+                                       resume=resume is not None)
+        if encoded is not None:
+            message["trace"] = encoded
         try:
             slot.conn.send(message)
         except (BrokenPipeError, OSError):
@@ -445,13 +496,17 @@ class Fleet:
 
     # -- RSP plumbing (used by the mux) --------------------------------------
 
-    def send_rsp(self, index: int, data: bytes) -> bool:
+    def send_rsp(self, index: int, data: bytes,
+                 trace: Optional[str] = None) -> bool:
         slot = self.slots[index]
         if slot.conn is None or slot.status not in (SLOT_IDLE,
                                                     SLOT_BUSY):
             return False
+        message = {"op": "rsp", "data": data.hex()}
+        if trace is not None:
+            message["trace"] = trace
         try:
-            slot.conn.send({"op": "rsp", "data": data.hex()})
+            slot.conn.send(message)
         except (BrokenPipeError, OSError):
             return False
         return True
@@ -486,11 +541,18 @@ class Fleet:
             target = FLEET_DEGRADED
         else:
             target = FLEET_FULL
+        reason = f"{healthy}/{len(self.slots)} workers healthy"
+        if target == FLEET_FULL and self.config.slo_advisory \
+                and self.obs.advisory_degrade():
+            # Opt-in advisory input: a burning SLO holds the ladder at
+            # degraded even with every worker healthy.
+            target = FLEET_DEGRADED
+            reason = "slo burn-rate advisory"
         if target == self.level:
             return
         src, self.level = self.level, target
-        reason = f"{healthy}/{len(self.slots)} workers healthy"
         self.transitions.append((time.monotonic(), src, target, reason))
+        self.obs.on_transition(src, target, reason)
         if self.transition_taps:
             self.transition_taps(src, target, reason)
         if _LEVEL_ORDER[target] > _LEVEL_ORDER[src]:
@@ -532,4 +594,10 @@ class Fleet:
             "transitions": [
                 {"from": src, "to": dst, "reason": reason}
                 for _, src, dst, reason in self.transitions],
+            "slo": self.obs.slo_status(time.monotonic()),
+            "percentiles": self.obs.percentile_summary(),
+            "tracing": {
+                "enabled": self.config.trace,
+                **self.obs.collector.stats(),
+            },
         }

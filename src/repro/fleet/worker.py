@@ -282,6 +282,14 @@ class FleetWorker:
         self._stop = False
         from repro.obs.metrics import global_registry
         registry = global_registry()
+        #: Distributed tracing (supervisor opted in via cfg["trace"]):
+        #: spans land on a local bus and ship with heartbeats/results.
+        self.spans = None
+        self._rsp_parent: Optional[str] = None
+        if cfg.get("trace"):
+            from repro.obs.distributed.spans import WorkerSpanRecorder
+            self.spans = WorkerSpanRecorder(worker_id,
+                                            registry=registry)
         self._jobs_done = registry.counter("worker.jobs.completed")
         self._jobs_failed = registry.counter("worker.jobs.failed")
         self._slices = registry.counter("worker.slices.executed")
@@ -314,10 +322,15 @@ class FleetWorker:
             return
         from repro.obs.metrics import global_registry
         self.heartbeats += 1
-        self._send({"ev": "heartbeat", "seq": self.heartbeats,
-                    "job": self.job_id,
-                    "progress": self.job.done if self.job else 0,
-                    "metrics": global_registry().snapshot()})
+        event = {"ev": "heartbeat", "seq": self.heartbeats,
+                 "job": self.job_id,
+                 "progress": self.job.done if self.job else 0,
+                 "metrics": global_registry().snapshot()}
+        if self.spans is not None:
+            batch = self.spans.drain()
+            if batch:
+                event["spans"] = batch
+        self._send(event)
 
     # -- the resident debug session ------------------------------------------
 
@@ -347,6 +360,9 @@ class FleetWorker:
         out = sess._host_port.recv()
         if out:
             self._rsp_out.inc(len(out))
+            if self.spans is not None and self.spans.rsp_ctx is not None:
+                self.spans.note_rsp("out", len(out),
+                                    sess.monitor.machine)
             self._send({"ev": "rsp", "data": out.hex()})
 
     # -- command dispatch ----------------------------------------------------
@@ -356,13 +372,21 @@ class FleetWorker:
         kind = message["kind"]
         params = message.get("params", {})
         attempt = int(message.get("attempt", 1))
+        trace = message.get("trace") if self.spans is not None else None
         try:
             if kind == "exec-slices":
                 self.job = ExecSlices(params,
                                       spool=message.get("spool"),
                                       resume=message.get("resume"),
                                       spool_fsync=self.spool_fsync)
+                if trace:
+                    self.spans.start_job(trace, self.job_id,
+                                         machine=self.job.machine)
                 return   # stepped from the main loop
+            if trace:
+                # Synchronous kinds have no job machine of their own;
+                # the span anchors the trace at clock 0.
+                self.spans.start_job(trace, self.job_id)
             if kind == "chaos":
                 value = _run_chaos(params)
             elif kind == "replay":
@@ -388,6 +412,16 @@ class FleetWorker:
         else:
             event["error"] = error
             self._jobs_failed.inc()
+        # The result is the flush point: the closing metrics snapshot
+        # (and, when tracing, the remaining spans) travel with the
+        # outcome, so the supervisor's fleet view of a finished job is
+        # complete (and deterministic) without waiting for a heartbeat.
+        from repro.obs.metrics import global_registry
+        if self.spans is not None:
+            machine = getattr(self.job, "machine", None)
+            self.spans.finish_job(ok, machine=machine)
+            event["spans"] = self.spans.drain()
+        event["metrics"] = global_registry().snapshot()
         self.job = None
         self.job_id = None
         self._send(event)
@@ -406,8 +440,19 @@ class FleetWorker:
             self._rsp_in.inc(len(data))
             self._ensure_session()._host_port.send(data)
             self.rsp_credit = RSP_PUMP_CREDIT
+            if self.spans is not None:
+                encoded = message.get("trace")
+                if encoded and encoded != self._rsp_parent:
+                    self._rsp_parent = encoded
+                    self.spans.bind_rsp(encoded)
+                if self.spans.rsp_ctx is not None:
+                    self.spans.note_rsp(
+                        "in", len(data), self.session.monitor.machine)
         elif op == "rsp-detach":
             self.rsp_credit = 0
+            self._rsp_parent = None
+            if self.spans is not None:
+                self.spans.rsp_ctx = None
         elif op == "ping":
             self._send({"ev": "pong"})
         elif op == "stop":
@@ -417,6 +462,24 @@ class FleetWorker:
             self._mute_heartbeats = True
         elif op == "crash":
             os._exit(3)
+
+    def _step_job(self) -> None:
+        """One job slice, wrapped in a traced span when tracing is on."""
+        job = self.job
+        spans = self.spans
+        traced = spans is not None and spans.job_ctx is not None
+        if traced:
+            machine = job.machine
+            start_cycle = spans.clock(machine)
+            start_instret = machine.cpu.instret
+        job.step()
+        if traced:
+            spans.note_slice(job.done - 1, start_cycle,
+                             spans.clock(machine),
+                             machine.cpu.instret - start_instret)
+        self._slices.inc()
+        if job.finished:
+            self._finish_job(ok=True, value=job.result())
 
     # -- main loop -----------------------------------------------------------
 
@@ -438,11 +501,7 @@ class FleetWorker:
                 break   # supervisor went away
             if self.job is not None:
                 try:
-                    self.job.step()
-                    self._slices.inc()
-                    if self.job.finished:
-                        self._finish_job(ok=True,
-                                         value=self.job.result())
+                    self._step_job()
                 except Exception as exc:   # noqa: BLE001
                     self._finish_job(
                         ok=False,

@@ -48,6 +48,8 @@ CAT_REPLAY = "replay"
 CAT_MONITOR = "monitor"
 CAT_PROFILE = "profile"
 CAT_NET = "net"
+CAT_FLEET = "fleet"
+CAT_SLO = "slo"
 
 
 @dataclass(frozen=True)
@@ -112,6 +114,19 @@ class TraceBus:
         #: instrumentation itself — a nonzero count means a hook fired
         #: out of order somewhere).
         self.unbalanced_ends = 0
+        #: Registry the ``obs.bus.dropped`` counter is created in when
+        #: the ring first wraps (see :meth:`bind_metrics`).
+        self._registry = None
+        self._dropped_counter = None
+
+    def bind_metrics(self, registry) -> None:
+        """Surface ring wraparound as the ``obs.bus.dropped`` counter.
+
+        The counter is created lazily on the first actual drop, so a
+        bus that never wraps leaves the registry untouched (golden
+        metrics snapshots stay byte-identical).
+        """
+        self._registry = registry
 
     # -- emission ------------------------------------------------------------
 
@@ -120,6 +135,15 @@ class TraceBus:
               args: Optional[Dict]) -> TraceRecord:
         record = TraceRecord(self._sequence, phase, category, name,
                              cycle, instret, pc, ring, dur, args or {})
+        if len(self._events) == self.capacity \
+                and self._registry is not None:
+            # The append below evicts the oldest record: make the loss
+            # observable (counter created on first wrap only).
+            if self._dropped_counter is None:
+                self._dropped_counter = self._registry.counter(
+                    "obs.bus.dropped",
+                    help="trace events evicted by ring wraparound")
+            self._dropped_counter.inc()
         self._events.append(record)
         self._sequence += 1
         return record

@@ -1,6 +1,6 @@
 """``repro-trace`` — record, inspect and export structured traces.
 
-Four subcommands:
+Four single-process subcommands, plus a ``fleet`` group:
 
 * ``record`` — run a built-in scenario with a :class:`Tracer` (and,
   under a monitor, a :class:`GuestProfiler`) attached and write the
@@ -12,6 +12,14 @@ Four subcommands:
   recorded trace as collapsed-stack text or metrics JSON.
 * ``top`` — print the symbolized guest PC profile of a recorded trace
   (or record the ``guest`` scenario on the fly).
+
+The ``fleet`` group drives the distributed pipeline
+(:mod:`repro.obs.distributed`): ``fleet record`` runs a traced
+multi-process fleet and writes the merged multi-process trace;
+``fleet report`` summarizes it (per-process events, aggregated fleet
+metrics, merged-histogram percentiles); ``fleet export`` re-exports
+the embedded fleet metrics; ``fleet top`` ranks the slowest exec
+slices fleet-wide, each with its trace id for drill-down.
 
 Scenarios:
 
@@ -210,6 +218,47 @@ def _print_profile(document: dict, limit: int) -> int:
     return 0
 
 
+def _process_counts(document: dict) -> dict:
+    """pid -> event count (metadata excluded)."""
+    counts: dict = {}
+    for event in document.get("traceEvents", []):
+        if event.get("ph") == "M":
+            continue
+        pid = event.get("pid", "?")
+        counts[pid] = counts.get(pid, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _fleet_slices(document: dict) -> list:
+    """Every slice span, slowest first (stable tie-break)."""
+    slices = [event for event in document.get("traceEvents", [])
+              if event.get("ph") == "X"
+              and event.get("name") == "slice"]
+    return sorted(slices,
+                  key=lambda e: (-e.get("dur", 0), e.get("pid", 0),
+                                 e.get("ts", 0)))
+
+
+def _print_fleet_metrics(metrics: dict) -> None:
+    from repro.obs.distributed.aggregate import histogram_percentile
+
+    print(f"fleet metrics ({len(metrics)}):")
+    for name in sorted(metrics):
+        snap = metrics[name]
+        if snap.get("type") == "histogram":
+            parts = []
+            for q in (50, 95, 99):
+                value = histogram_percentile(snap, q)
+                if value is not None:
+                    parts.append(f"p{q}={value:g}")
+            print(f"  {name}: count={snap['count']} "
+                  f"{' '.join(parts)}")
+        else:
+            workers = snap.get("workers")
+            suffix = f" (over {workers} workers)" if workers else ""
+            print(f"  {name} = {snap.get('value')}{suffix}")
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -307,6 +356,88 @@ def _cmd_top(args) -> int:
     return _print_profile(document, args.limit)
 
 
+def _cmd_fleet_record(args) -> int:
+    from repro.obs.distributed.scenario import record_fleet
+
+    document = record_fleet(seed=args.seed, workers=args.workers,
+                            slices=args.slices,
+                            slice_insns=args.slice_insns)
+    problems = validate_chrome_trace(document)
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        return 1
+    _dump(document, args.out)
+    stats = document["otherData"]["collector"]
+    print(f"fleet: {args.workers} workers, "
+          f"{stats['supervisor_events']} supervisor events, "
+          f"{stats['ingested']} worker spans, "
+          f"{stats['traces']} traces -> {args.out}")
+    print(f"  open in https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_fleet_report(args) -> int:
+    document = _load(args.trace)
+    problems = validate_chrome_trace(document)
+    other = document.get("otherData", {})
+    print(f"fleet trace: {args.trace}")
+    for key in sorted(other):
+        print(f"  {key}: {other[key]}")
+    print("events by process:")
+    for pid, count in _process_counts(document).items():
+        role = "supervisor" if pid == 1 else f"worker-{pid - 10}"
+        print(f"  pid {pid:<3} ({role:<10}) {count}")
+    metrics = document.get("fleetMetrics", {})
+    if metrics:
+        _print_fleet_metrics(metrics)
+    slo = document.get("slo")
+    if slo:
+        print(f"slo panel ({len(slo)}):")
+        for name in sorted(slo):
+            panel = slo[name]
+            state = "FIRING" if panel.get("firing") else "ok"
+            print(f"  {name:<16} {state:<7} "
+                  f"short={panel.get('burn_short')} "
+                  f"long={panel.get('burn_long')}")
+    if problems:
+        print(f"schema problems ({len(problems)}):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("schema: ok")
+    return 0
+
+
+def _cmd_fleet_export(args) -> int:
+    document = _load(args.trace)
+    metrics = document.get("fleetMetrics")
+    if metrics is None:
+        print("no fleetMetrics section to export", file=sys.stderr)
+        return 1
+    _dump({"format": "repro-fleet-metrics-v1", "metrics": metrics},
+          args.metrics)
+    print(f"wrote {args.metrics}")
+    return 0
+
+
+def _cmd_fleet_top(args) -> int:
+    document = _load(args.trace)
+    slices = _fleet_slices(document)
+    if not slices:
+        print("no slice spans in this trace", file=sys.stderr)
+        return 1
+    print(f"slowest slices ({len(slices)} total):")
+    print(f"{'cycles':>10} {'instret':>8} {'worker':>7}  trace")
+    for event in slices[:args.limit]:
+        span_args = event.get("args", {})
+        print(f"{event.get('dur', 0):>10} "
+              f"{span_args.get('instret', 0):>8} "
+              f"{event.get('pid', 0) - 10:>7}  "
+              f"{span_args.get('trace', '?')}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 
 def _add_record_args(sub) -> None:
@@ -362,9 +493,48 @@ def main(argv: Optional[List[str]] = None) -> int:
                      default=DEFAULT_GUEST_INSTRUCTIONS)
     top.add_argument("--limit", type=int, default=20)
 
+    fleet = subs.add_parser(
+        "fleet", help="distributed tracing over a supervised fleet")
+    fleet_subs = fleet.add_subparsers(dest="fleet_command",
+                                      required=True)
+
+    fleet_record = fleet_subs.add_parser(
+        "record", help="run a traced fleet and write the merged trace")
+    fleet_record.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    fleet_record.add_argument("--workers", type=int, default=4)
+    fleet_record.add_argument("--slices", type=int, default=4,
+                              help="exec slices per job")
+    fleet_record.add_argument("--slice-insns", type=int, default=500,
+                              help="instructions per slice")
+    fleet_record.add_argument("-o", "--out", default="fleet_trace.json",
+                              help="output trace path")
+
+    fleet_report = fleet_subs.add_parser(
+        "report", help="summarize a recorded fleet trace")
+    fleet_report.add_argument("trace", help="fleet trace JSON file")
+
+    fleet_export = fleet_subs.add_parser(
+        "export", help="re-export the embedded fleet metrics")
+    fleet_export.add_argument("trace", help="fleet trace JSON file")
+    fleet_export.add_argument("--metrics", metavar="PATH",
+                              required=True,
+                              help="write aggregated fleet metrics "
+                                   "as JSON")
+
+    fleet_top = fleet_subs.add_parser(
+        "top", help="slowest exec slices fleet-wide")
+    fleet_top.add_argument("trace", help="fleet trace JSON file")
+    fleet_top.add_argument("--limit", type=int, default=10)
+
     args = parser.parse_args(argv)
-    handler = {"record": _cmd_record, "report": _cmd_report,
-               "export": _cmd_export, "top": _cmd_top}[args.command]
+    if args.command == "fleet":
+        handler = {"record": _cmd_fleet_record,
+                   "report": _cmd_fleet_report,
+                   "export": _cmd_fleet_export,
+                   "top": _cmd_fleet_top}[args.fleet_command]
+    else:
+        handler = {"record": _cmd_record, "report": _cmd_report,
+                   "export": _cmd_export, "top": _cmd_top}[args.command]
     return handler(args)
 
 

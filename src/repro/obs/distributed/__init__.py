@@ -1,0 +1,63 @@
+"""Fleet-wide distributed observability.
+
+Three pillars over the multi-process fleet (see
+:mod:`repro.fleet.supervisor`):
+
+* **distributed tracing** — :mod:`~repro.obs.distributed.context`
+  mints causal identity at job submission; :mod:`~repro.obs
+  .distributed.spans` records worker-side spans against it;
+  :mod:`~repro.obs.distributed.collector` merges everything on the
+  supervisor into one Perfetto-loadable multi-process timeline;
+* **metric aggregation** — :mod:`~repro.obs.distributed.aggregate`
+  merges per-worker registry snapshots (bucket-wise histogram merge,
+  fleet percentiles, exemplars);
+* **SLO burn-rate alerting** — :mod:`~repro.obs.distributed.slo`
+  evaluates declarative objectives over sliding windows with
+  multi-window burn-rate confirmation, observe-only by default.
+
+:class:`~repro.obs.distributed.service.FleetObservability` is the
+facade the supervisor drives.
+"""
+
+from repro.obs.distributed.aggregate import (MetricsAggregator,
+                                             histogram_percentile,
+                                             merge_histograms)
+from repro.obs.distributed.collector import SpanCollector
+from repro.obs.distributed.context import (ROOT_SPAN_ID, SUPERVISOR_SITE,
+                                           SpanAllocator, TraceContext,
+                                           mint_trace_id, trace_root,
+                                           worker_site)
+from repro.obs.distributed.scenario import record_fleet
+from repro.obs.distributed.service import FleetObservability
+from repro.obs.distributed.slo import (SloAlert, SloEvaluator, SloSpec,
+                                       default_slos)
+from repro.obs.distributed.spans import (JOB_LATENCY_METRIC,
+                                         LATENCY_BUCKETS,
+                                         SLICE_LATENCY_METRIC,
+                                         WorkerSpanRecorder,
+                                         record_to_wire)
+
+__all__ = [
+    "FleetObservability",
+    "JOB_LATENCY_METRIC",
+    "LATENCY_BUCKETS",
+    "MetricsAggregator",
+    "ROOT_SPAN_ID",
+    "SLICE_LATENCY_METRIC",
+    "SUPERVISOR_SITE",
+    "SloAlert",
+    "SloEvaluator",
+    "SloSpec",
+    "SpanAllocator",
+    "SpanCollector",
+    "TraceContext",
+    "WorkerSpanRecorder",
+    "default_slos",
+    "histogram_percentile",
+    "merge_histograms",
+    "mint_trace_id",
+    "record_fleet",
+    "record_to_wire",
+    "trace_root",
+    "worker_site",
+]

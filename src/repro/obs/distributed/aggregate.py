@@ -1,0 +1,172 @@
+"""Cross-worker metric aggregation.
+
+Each fleet worker ships its whole registry snapshot on every heartbeat
+(and a final one with the job result).  The
+:class:`MetricsAggregator` keeps the latest snapshot per worker and
+merges them into one *fleet view*:
+
+* **counters and gauges** of the same name are summed across workers;
+* **histograms** are merged *bucket-wise*: same fixed boundaries (the
+  registry enforces fixed buckets precisely so this is sound), counts
+  added per bucket, ``count``/``sum``/``overflow`` added, ``min`` /
+  ``max`` folded.  Exemplars merge by taking, per bucket, the
+  lexicographically smallest exemplar across workers — a deterministic
+  choice no matter what order snapshots arrived in.
+
+Percentiles are derived from merged buckets the Prometheus way:
+:meth:`MetricsAggregator.percentile` walks the cumulative counts and
+reports the upper bound of the bucket where the target rank lands (the
+conservative answer — the true value is ≤ the reported bound).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+Number = float
+
+
+def merge_histograms(snaps: List[Dict]) -> Dict:
+    """Bucket-wise merge of histogram snapshots (same boundaries).
+
+    Raises ``ValueError`` when the bucket sets disagree — merging
+    mismatched boundaries would silently misreport percentiles.
+    """
+    if not snaps:
+        raise ValueError("nothing to merge")
+    keys = list(snaps[0]["buckets"])
+    merged = {
+        "type": "histogram",
+        "count": 0,
+        "sum": 0,
+        "min": None,
+        "max": None,
+        "buckets": {key: 0 for key in keys},
+        "overflow": 0,
+    }
+    exemplars: Dict[str, str] = {}
+    for snap in snaps:
+        if list(snap["buckets"]) != keys:
+            raise ValueError(
+                f"histogram bucket mismatch: {keys} vs "
+                f"{list(snap['buckets'])}")
+        merged["count"] += snap["count"]
+        merged["sum"] += snap["sum"]
+        merged["overflow"] += snap["overflow"]
+        for key in keys:
+            merged["buckets"][key] += snap["buckets"][key]
+        if snap["min"] is not None:
+            merged["min"] = snap["min"] if merged["min"] is None \
+                else min(merged["min"], snap["min"])
+        if snap["max"] is not None:
+            merged["max"] = snap["max"] if merged["max"] is None \
+                else max(merged["max"], snap["max"])
+        for key, exemplar in snap.get("exemplars", {}).items():
+            held = exemplars.get(key)
+            if held is None or exemplar < held:
+                exemplars[key] = exemplar
+    if exemplars:
+        merged["exemplars"] = dict(sorted(exemplars.items()))
+    return merged
+
+
+def histogram_percentile(snap: Dict, q: Number) -> Optional[Number]:
+    """The q-th percentile (0..100) from a merged histogram snapshot.
+
+    Returns the upper bound of the bucket holding the target rank;
+    ranks landing in the overflow bucket report the observed ``max``.
+    ``None`` when the histogram is empty.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    total = snap["count"]
+    if total == 0:
+        return None
+    target = q / 100.0 * total
+    cumulative = 0
+    for boundary, count in snap["buckets"].items():
+        cumulative += count
+        if cumulative >= target:
+            return float(boundary)
+    return snap["max"]
+
+
+class MetricsAggregator:
+    """Latest-snapshot-per-worker store with fleet-level merging."""
+
+    def __init__(self) -> None:
+        #: worker index -> its most recent registry snapshot.
+        self._snapshots: Dict[int, Dict] = {}
+
+    def update(self, worker_index: int, snapshot: Dict) -> None:
+        """Adopt a worker's newest registry snapshot (replaces prior)."""
+        if isinstance(snapshot, dict):
+            self._snapshots[worker_index] = snapshot
+
+    def forget(self, worker_index: int) -> None:
+        """Drop a worker's snapshot (it left the fleet for good)."""
+        self._snapshots.pop(worker_index, None)
+
+    def workers(self) -> List[int]:
+        return sorted(self._snapshots)
+
+    # -- merging -------------------------------------------------------------
+
+    def fleet(self) -> Dict:
+        """Every metric name merged across workers, sorted by name."""
+        by_name: Dict[str, List[Dict]] = {}
+        for worker_index in sorted(self._snapshots):
+            for name, snap in self._snapshots[worker_index].items():
+                if isinstance(snap, dict) and "type" in snap:
+                    by_name.setdefault(name, []).append(snap)
+        merged: Dict[str, Dict] = {}
+        for name, snaps in sorted(by_name.items()):
+            kinds = {snap["type"] for snap in snaps}
+            if len(kinds) != 1:
+                # Same name, different types across workers: skip it
+                # rather than fabricate a number.
+                continue
+            kind = kinds.pop()
+            if kind in ("counter", "gauge"):
+                merged[name] = {
+                    "type": kind,
+                    "value": sum(snap["value"] for snap in snaps),
+                    "workers": len(snaps),
+                }
+            elif kind == "histogram":
+                try:
+                    entry = merge_histograms(snaps)
+                except ValueError:
+                    continue
+                entry["workers"] = len(snaps)
+                merged[name] = entry
+        return merged
+
+    def histogram(self, name: str) -> Optional[Dict]:
+        """The merged histogram of ``name``, or None."""
+        entry = self.fleet().get(name)
+        if entry is None or entry.get("type") != "histogram":
+            return None
+        return entry
+
+    def percentile(self, name: str, q: Number) -> Optional[Number]:
+        """Fleet-wide percentile of histogram ``name`` (None if absent)."""
+        entry = self.histogram(name)
+        if entry is None:
+            return None
+        return histogram_percentile(entry, q)
+
+    def percentiles(self, name: str,
+                    qs: Iterable[Number] = (50, 95, 99)
+                    ) -> Dict[str, Optional[Number]]:
+        entry = self.histogram(name)
+        if entry is None:
+            return {f"p{q:g}": None for q in qs}
+        return {f"p{q:g}": histogram_percentile(entry, q) for q in qs}
+
+    def value(self, name: str) -> Optional[Number]:
+        """Fleet-summed value of a counter/gauge ``name``."""
+        entry = self.fleet().get(name)
+        if entry is None or entry.get("type") == "histogram":
+            return None
+        return entry["value"]

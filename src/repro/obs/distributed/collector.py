@@ -1,0 +1,204 @@
+"""Supervisor-side span collection and fleet timeline alignment.
+
+The :class:`SpanCollector` is the single sink for every span in a
+fleet run:
+
+* **supervisor events** (enqueue, dispatch, retry, restart, resume,
+  ladder transitions) are recorded directly via
+  :meth:`SpanCollector.supervisor_event`.  The supervisor has no
+  simulated machine clock of its own, so its events are timestamped
+  with a *per-trace logical tick* — a counter that orders the
+  supervisor's actions on one job without pretending to share the
+  workers' cycle clocks;
+* **worker span batches** (the wire dicts of
+  :mod:`repro.obs.distributed.spans`) arrive via
+  :meth:`SpanCollector.ingest` — shipped on heartbeats, flushed with
+  results, and salvaged from the final drain when a worker dies.
+
+Worker timestamps are each *job machine's* cycle count, which restarts
+from zero on every new job.  :meth:`SpanCollector.worker_events`
+aligns them onto one monotonic per-worker timeline by detecting clock
+restarts (a raw timestamp lower than its predecessor) and shifting
+every later span past the furthest point already reached — so a
+worker's track in the merged export reads as one continuous lane of
+back-to-back jobs, byte-identical across identical seeded runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.distributed.context import TraceContext
+
+#: Wire phases a collector accepts from workers.
+_WORKER_PHASES = ("X", "i")
+
+
+class SpanCollector:
+    """Merge supervisor and worker spans into one causal record."""
+
+    def __init__(self) -> None:
+        #: Supervisor wire dicts, in emission order.
+        self.supervisor: List[Dict] = []
+        #: worker index -> raw wire dicts, in ingestion order.
+        self.workers: Dict[int, List[Dict]] = {}
+        #: trace_id -> logical tick counter for supervisor events.
+        self._ticks: Dict[int, int] = {}
+        #: trace_id -> first-seen ordinal (supervisor track layout).
+        self.trace_order: Dict[int, int] = {}
+        #: trace_id -> human label (the job id, when known).
+        self.trace_labels: Dict[int, str] = {}
+        self.ingested = 0
+        self.rejected = 0
+
+    # -- supervisor side -----------------------------------------------------
+
+    def supervisor_event(self, ctx: TraceContext, name: str,
+                         args: Optional[Dict] = None,
+                         cat: str = "fleet") -> Dict:
+        """One supervisor action on the trace ``ctx`` belongs to."""
+        trace_id = ctx.trace_id
+        if trace_id not in self.trace_order:
+            self.trace_order[trace_id] = len(self.trace_order)
+        tick = self._ticks.get(trace_id, 0)
+        self._ticks[trace_id] = tick + 1
+        event = {"trace": ctx.encode(), "name": name, "cat": cat,
+                 "ph": "i", "ts": tick, "instret": 0}
+        if args:
+            event["args"] = dict(args)
+            label = args.get("job")
+            if label is not None and trace_id not in self.trace_labels:
+                self.trace_labels[trace_id] = str(label)
+        self.supervisor.append(event)
+        return event
+
+    def label(self, trace_id: int) -> str:
+        """Display label of a trace (job id, else the trace hex)."""
+        return self.trace_labels.get(trace_id, f"{trace_id:016x}")
+
+    def drop_trace(self, trace_id: int) -> int:
+        """Remove one trace and its lane; returns events removed.
+
+        Used by the deterministic golden scenario to excise the
+        fleet-level trace, whose events (SLO transitions, worker
+        deaths, ladder moves) are keyed to wall-clock health and so
+        cannot be byte-stable.  Remaining lanes are re-numbered in
+        first-seen order; :attr:`ingested` stays a lifetime counter.
+        """
+        removed = len(self.supervisor)
+        self.supervisor = [
+            event for event in self.supervisor
+            if TraceContext.decode(event["trace"]).trace_id != trace_id]
+        removed -= len(self.supervisor)
+        for index, spans in self.workers.items():
+            kept = [span for span in spans
+                    if TraceContext.decode(span["trace"]).trace_id
+                    != trace_id]
+            removed += len(spans) - len(kept)
+            self.workers[index] = kept
+        if trace_id in self.trace_order:
+            del self.trace_order[trace_id]
+            survivors = sorted(self.trace_order,
+                               key=self.trace_order.get)
+            self.trace_order = {tid: ordinal for ordinal, tid
+                                in enumerate(survivors)}
+        self.trace_labels.pop(trace_id, None)
+        self._ticks.pop(trace_id, None)
+        return removed
+
+    # -- worker side ---------------------------------------------------------
+
+    def ingest(self, worker_index: int, batch: List[Dict]) -> int:
+        """Accept one shipped span batch; returns spans kept.
+
+        Malformed entries (not a dict, unknown phase, missing trace or
+        timestamp) are counted in :attr:`rejected` and skipped — a
+        corrupt batch from a dying worker must not poison the export.
+        """
+        kept = 0
+        spans = self.workers.setdefault(worker_index, [])
+        for span in batch:
+            if (not isinstance(span, dict)
+                    or span.get("ph") not in _WORKER_PHASES
+                    or not isinstance(span.get("trace"), str)
+                    or not isinstance(span.get("ts"), int)
+                    or not isinstance(span.get("name"), str)):
+                self.rejected += 1
+                continue
+            try:
+                ctx = TraceContext.decode(span["trace"])
+            except ValueError:
+                self.rejected += 1
+                continue
+            if ctx.trace_id not in self.trace_order:
+                self.trace_order[ctx.trace_id] = len(self.trace_order)
+            spans.append(span)
+            kept += 1
+        self.ingested += kept
+        return kept
+
+    # -- timeline alignment --------------------------------------------------
+
+    @staticmethod
+    def _aligned(spans: List[Dict]) -> List[Dict]:
+        """Shift per-job clocks onto one monotonic worker timeline."""
+        offset = 0
+        frontier = 0
+        last_raw: Optional[int] = None
+        out: List[Dict] = []
+        for span in spans:
+            raw = span["ts"]
+            if last_raw is not None and raw < last_raw:
+                # The job machine's clock restarted: this span starts
+                # a new job, which begins where the previous one ended.
+                offset = frontier
+            last_raw = raw
+            aligned = dict(span)
+            aligned["ts"] = offset + raw
+            end = aligned["ts"] + aligned.get("dur", 0)
+            if end > frontier:
+                frontier = end
+            out.append(aligned)
+        return out
+
+    def worker_events(self, worker_index: int) -> List[Dict]:
+        """One worker's spans on its aligned monotonic timeline."""
+        return self._aligned(self.workers.get(worker_index, []))
+
+    def worker_indices(self) -> List[int]:
+        return sorted(self.workers)
+
+    # -- queries -------------------------------------------------------------
+
+    def spans_by_trace(self) -> Dict[int, List[Dict]]:
+        """trace_id -> every span of that trace (supervisor first,
+        then workers in index order, aligned timestamps)."""
+        grouped: Dict[int, List[Dict]] = {
+            trace_id: [] for trace_id in self.trace_order}
+        for event in self.supervisor:
+            ctx = TraceContext.decode(event["trace"])
+            grouped[ctx.trace_id].append(event)
+        for worker_index in self.worker_indices():
+            for span in self.worker_events(worker_index):
+                ctx = TraceContext.decode(span["trace"])
+                grouped.setdefault(ctx.trace_id, []).append(span)
+        return grouped
+
+    def span_tree(self, trace_id: int) -> Dict[int, List[int]]:
+        """parent span_id -> child span_ids (0 = roots) for one trace."""
+        tree: Dict[int, List[int]] = {}
+        for span in self.spans_by_trace().get(trace_id, []):
+            ctx = TraceContext.decode(span["trace"])
+            tree.setdefault(ctx.parent_id, []).append(ctx.span_id)
+        return {parent: sorted(children)
+                for parent, children in sorted(tree.items())}
+
+    def stats(self) -> Dict:
+        return {
+            "supervisor_events": len(self.supervisor),
+            "worker_spans": {str(index): len(spans) for index, spans
+                             in sorted(self.workers.items())},
+            "traces": len(self.trace_order),
+            "ingested": self.ingested,
+            "rejected": self.rejected,
+        }

@@ -1,0 +1,148 @@
+"""Trace-context identity: the causal thread through the fleet.
+
+A :class:`TraceContext` is the W3C-traceparent idea shrunk to this
+tree's determinism rules: three integers —
+
+* ``trace_id`` (64-bit, nonzero) names one causal tree.  It is minted
+  at :meth:`repro.fleet.jobs.JobQueue.submit` by hashing the job id
+  (:func:`mint_trace_id`), so two identical seeded fleet runs mint
+  identical trace ids without sharing any state;
+* ``span_id`` (64-bit, nonzero) names one span inside that tree;
+* ``parent_id`` (64-bit, 0 = root) links the span to its parent.
+
+Span ids are allocated by :class:`SpanAllocator` — a per-*site*
+counter where the site (supervisor = 0, worker *w* = *w* + 1) occupies
+the high bits.  Two sites can therefore mint span ids concurrently
+with no coordination and no collision, and the ids are still pure
+functions of (site, local order), which is what keeps the exported
+span tree byte-identical across runs.
+
+The wire form (:meth:`TraceContext.encode`) is three fixed-width hex
+fields joined by dashes; :meth:`TraceContext.decode` is its exact
+inverse (the hypothesis round-trip property in
+``tests/property/test_trace_context.py`` holds over the whole id
+space).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+#: Inclusive upper bounds of the id spaces.
+TRACE_ID_MAX = (1 << 64) - 1
+SPAN_ID_MAX = (1 << 64) - 1
+
+#: Site numbers partitioning the span-id space.
+SUPERVISOR_SITE = 0
+#: Bits reserved for the per-site counter (site lives above them).
+_SITE_SHIFT = 48
+
+#: Span id of every trace's supervisor-side root span.  Span ids need
+#: only be unique *within* one trace, so giving every trace the same
+#: root id keeps roots (and the per-trace children counted up from
+#: them) deterministic with no allocator state shared across traces —
+#: the order results arrive in cannot perturb another trace's ids.
+ROOT_SPAN_ID = 1
+
+
+def trace_root(trace_id: int) -> "TraceContext":
+    """The supervisor-side root span of a trace."""
+    return TraceContext(trace_id, ROOT_SPAN_ID, 0)
+
+
+def worker_site(worker_index: int) -> int:
+    """The span-allocator site of worker ``worker_index``."""
+    if worker_index < 0:
+        raise ValueError(f"worker index must be >= 0, got {worker_index}")
+    return worker_index + 1
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """(trace_id, span_id, parent_id) — one span's causal coordinates."""
+
+    trace_id: int
+    span_id: int
+    parent_id: int = 0
+
+    def __post_init__(self) -> None:
+        for name, value, top in (("trace_id", self.trace_id, TRACE_ID_MAX),
+                                 ("span_id", self.span_id, SPAN_ID_MAX),
+                                 ("parent_id", self.parent_id, SPAN_ID_MAX)):
+            if not 0 <= value <= top:
+                raise ValueError(
+                    f"{name} {value:#x} outside [0, {top:#x}]")
+        if self.trace_id == 0:
+            raise ValueError("trace_id 0 is reserved (no trace)")
+        if self.span_id == 0:
+            raise ValueError("span_id 0 is reserved (no span)")
+
+    # -- codec ---------------------------------------------------------------
+
+    def encode(self) -> str:
+        """Fixed-width wire form: ``tttttttttttttttt-ssssssssssssssss-pppppppppppppppp``."""
+        return (f"{self.trace_id:016x}-{self.span_id:016x}-"
+                f"{self.parent_id:016x}")
+
+    @classmethod
+    def decode(cls, text: str) -> "TraceContext":
+        parts = text.split("-")
+        if len(parts) != 3 or not all(len(part) == 16 for part in parts):
+            raise ValueError(f"malformed trace context {text!r}")
+        try:
+            trace_id, span_id, parent_id = (int(part, 16)
+                                            for part in parts)
+        except ValueError:
+            raise ValueError(f"malformed trace context {text!r}") from None
+        return cls(trace_id, span_id, parent_id)
+
+    # -- derivation ----------------------------------------------------------
+
+    def child(self, span_id: int) -> "TraceContext":
+        """A new span in the same trace, parented to this one."""
+        return TraceContext(self.trace_id, span_id, self.span_id)
+
+    @property
+    def trace_hex(self) -> str:
+        return f"{self.trace_id:016x}"
+
+
+def mint_trace_id(material: str) -> int:
+    """Deterministic nonzero 64-bit trace id from arbitrary material.
+
+    sha256 keeps unrelated materials (job ids, mux client ordinals,
+    fleet roots) from colliding; the +1-fold keeps 0 reserved.
+    """
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    value = int.from_bytes(digest[:8], "big")
+    return (value % TRACE_ID_MAX) + 1
+
+
+class SpanAllocator:
+    """Collision-free deterministic span ids for one site.
+
+    ``site`` occupies the bits above :data:`_SITE_SHIFT`; the low bits
+    count allocations (1-based so span id 0 stays reserved).
+    """
+
+    def __init__(self, site: int) -> None:
+        if not 0 <= site < (1 << (64 - _SITE_SHIFT)):
+            raise ValueError(f"site {site} outside the id partition")
+        self.site = site
+        self._next = 0
+
+    def next_id(self) -> int:
+        self._next += 1
+        if self._next >= (1 << _SITE_SHIFT):
+            raise OverflowError(
+                f"site {self.site} exhausted its span-id space")
+        return (self.site << _SITE_SHIFT) | self._next
+
+    def root(self, trace_id: int) -> TraceContext:
+        """A fresh root span of ``trace_id``."""
+        return TraceContext(trace_id, self.next_id(), 0)
+
+    def child(self, parent: TraceContext) -> TraceContext:
+        """A fresh child span under ``parent``."""
+        return parent.child(self.next_id())

@@ -1,0 +1,82 @@
+"""The deterministic traced-fleet scenario (golden / CLI / bench).
+
+Spawns a real multi-process fleet with tracing on, runs one
+``exec-slices`` job per worker, and exports the merged multi-process
+trace document.  The document is a pure function of
+``(seed, workers, slices, slice_insns)``:
+
+* trace ids are sha256 of the job ids; supervisor span ids are
+  per-trace sequences; worker span ids are site-partitioned — none
+  depend on scheduling;
+* jobs are submitted only after *every* worker has said hello, and
+  there are exactly as many jobs as workers, so one dispatch pass
+  assigns ``job-i`` to ``worker-i`` regardless of spawn timing;
+* every timestamp is a simulated-cycle count (workers) or a per-trace
+  logical tick (supervisor); the exporter sorts events on stable keys.
+
+The golden-file test records this scenario twice and compares bytes;
+CI compares one run against ``tests/golden/fleet_trace_seed1234.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.obs.exporters import fleet_chrome_trace
+
+DEFAULT_SEED = 1234
+DEFAULT_WORKERS = 4
+DEFAULT_SLICES = 4
+DEFAULT_SLICE_INSNS = 500
+
+
+def record_fleet(seed: int = DEFAULT_SEED,
+                 workers: int = DEFAULT_WORKERS,
+                 slices: int = DEFAULT_SLICES,
+                 slice_insns: int = DEFAULT_SLICE_INSNS,
+                 timeout: float = 120.0) -> Dict:
+    """One traced fleet run; returns the merged trace document."""
+    from repro.fleet.jobs import Job
+    from repro.fleet.supervisor import Fleet, FleetConfig, SLOT_IDLE
+
+    fleet = Fleet(FleetConfig(workers=workers, trace=True))
+    fleet.start()
+    try:
+        # Wait for every worker, not just the first healthy one: with
+        # all slots idle before submission, the single dispatch pass
+        # that follows assigns job-i to worker-i deterministically.
+        import time
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            fleet.poll()
+            if all(slot.status == SLOT_IDLE for slot in fleet.slots):
+                break
+            time.sleep(0.005)
+        else:
+            raise RuntimeError("fleet workers did not all come up")
+        for _ in range(workers):
+            fleet.submit(Job(kind="exec-slices",
+                             params={"slices": slices,
+                                     "slice_insns": slice_insns,
+                                     "seed": seed,
+                                     "record": True}))
+        if not fleet.run_until_idle(timeout=timeout):
+            raise RuntimeError("fleet did not finish its jobs")
+        # The fleet-level trace carries wall-clock-keyed events (SLO
+        # transitions, worker deaths, ladder moves) — real signals,
+        # but not functions of the seed.  The golden artifact keeps
+        # only the causal job traces, which are.
+        fleet.obs.collector.drop_trace(fleet.obs.fleet_trace_id)
+        document = fleet_chrome_trace(
+            fleet.obs.collector,
+            aggregated=fleet.obs.fleet_metrics(),
+            label=f"fleet seed={seed}")
+    finally:
+        fleet.shutdown()
+    other = document["otherData"]
+    other["scenario"] = "fleet"
+    other["seed"] = seed
+    other["workers"] = workers
+    other["slices"] = slices
+    other["slice_insns"] = slice_insns
+    return document

@@ -1,0 +1,228 @@
+"""FleetObservability: the supervisor's one observability object.
+
+Composes the three distributed-observability pillars behind a single
+facade the fleet control plane calls into:
+
+* the :class:`~repro.obs.distributed.collector.SpanCollector`
+  (distributed tracing) — fed by the ``on_*`` lifecycle hooks on the
+  supervisor side and :meth:`ingest_spans` on the worker side.  Span
+  collection is gated by the ``trace`` flag (default off): a fleet
+  with tracing disabled makes *zero* collector calls, so every
+  pre-existing golden artifact is byte-identical;
+* the :class:`~repro.obs.distributed.aggregate.MetricsAggregator`
+  (cross-worker aggregation) — always on; it only stores snapshots the
+  workers already ship on heartbeats;
+* the :class:`~repro.obs.distributed.slo.SloEvaluator` (burn-rate
+  alerting) — always evaluating (throttled to ``slo_interval``),
+  never acting: the supervisor consults :meth:`advisory_degrade`
+  only when ``FleetConfig.slo_advisory`` opts in.
+
+Supervisor span ids are minted *per trace* (root id
+:data:`~repro.obs.distributed.context.ROOT_SPAN_ID`, children counted
+up from it): span ids only need to be unique within one trace, and a
+per-trace sequence means the order results arrive in can never
+perturb another trace's span tree — which is what keeps the golden
+fleet export byte-identical across runs.  Worker span ids live in
+their own high-bit site partitions, disjoint by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.distributed.aggregate import MetricsAggregator
+from repro.obs.distributed.collector import SpanCollector
+from repro.obs.distributed.context import (ROOT_SPAN_ID, TraceContext,
+                                           mint_trace_id, trace_root)
+from repro.obs.distributed.slo import (DEFAULT_SLICE_TARGET_CYCLES,
+                                       SloAlert, SloEvaluator, SloSpec,
+                                       default_slos)
+from repro.obs.distributed.spans import (JOB_LATENCY_METRIC,
+                                         SLICE_LATENCY_METRIC)
+from repro.obs.metrics import global_registry
+
+
+class FleetObservability:
+    """Tracing + aggregation + SLOs for one supervised fleet."""
+
+    def __init__(self, trace: bool = False,
+                 slos: Optional[List[SloSpec]] = None,
+                 registry=None,
+                 slice_target_cycles: int = DEFAULT_SLICE_TARGET_CYCLES,
+                 slo_interval: float = 0.25) -> None:
+        self.trace = bool(trace)
+        self.registry = registry if registry is not None \
+            else global_registry()
+        self.collector = SpanCollector()
+        self.aggregator = MetricsAggregator()
+        specs = slos if slos is not None \
+            else default_slos(slice_target_cycles)
+        self.evaluator = SloEvaluator(specs, registry=self.registry,
+                                      emit=self._on_alert)
+        self.slice_target_cycles = slice_target_cycles
+        self.slo_interval = slo_interval
+        self._last_eval: Optional[float] = None
+        #: Per-trace supervisor span-id counters.  Span ids only need
+        #: to be unique within their trace, so counting per trace keeps
+        #: one trace's ids independent of event order on every other —
+        #: result-arrival order cannot perturb a golden span tree.
+        self._trace_seq: Dict[int, int] = {}
+        #: Root context of fleet-level (not per-job) events.
+        self._fleet_root = trace_root(mint_trace_id("fleet-root"))
+
+    @property
+    def fleet_trace_id(self) -> int:
+        """Trace id of fleet-level (not per-job) supervisor events."""
+        return self._fleet_root.trace_id
+
+    # -- span plumbing -------------------------------------------------------
+
+    def _child(self, parent: TraceContext) -> TraceContext:
+        """Next supervisor span of ``parent``'s trace (site-0 ids,
+        disjoint from the workers' high-bit site partitions)."""
+        seq = self._trace_seq.get(parent.trace_id, ROOT_SPAN_ID) + 1
+        self._trace_seq[parent.trace_id] = seq
+        return parent.child(seq)
+
+    def _event(self, ctx: Optional[TraceContext], name: str,
+               args: Optional[Dict] = None, cat: str = "fleet") -> None:
+        if not self.trace or ctx is None:
+            return
+        self.collector.supervisor_event(ctx, name, args, cat=cat)
+
+    def _fleet_ctx(self) -> Optional[TraceContext]:
+        """A fresh child of the fleet-level root trace."""
+        if not self.trace:
+            return None
+        return self._child(self._fleet_root)
+
+    # -- supervisor lifecycle hooks ------------------------------------------
+
+    def on_enqueue(self, record) -> None:
+        self._event(record.trace, "enqueue",
+                    {"job": record.id, "kind": record.job.kind,
+                     "priority": record.job.priority})
+
+    def on_dispatch(self, record, worker: int,
+                    resume: bool = False) -> Optional[str]:
+        """Returns the encoded dispatch context the worker parents its
+        job span under (None when tracing is off)."""
+        if not self.trace or record.trace is None:
+            return None
+        ctx = self._child(record.trace)
+        self._event(ctx, "resume-dispatch" if resume else "dispatch",
+                    {"job": record.id, "worker": worker,
+                     "attempt": record.attempts,
+                     "resume": record.resumes})
+        return ctx.encode()
+
+    def on_complete(self, record, now: float) -> None:
+        if record.trace is not None:
+            self._event(self._child(record.trace), "done",
+                        {"job": record.id})
+        self.evaluator.record("job-success", good=1, t=now)
+        if record.resumes > 0:
+            self.evaluator.record("resume-success", good=1, t=now)
+
+    def on_failure(self, record, error: str, status: str,
+                   now: float) -> None:
+        """One failed attempt (retry scheduled or dead-lettered)."""
+        if record.trace is not None:
+            self._event(self._child(record.trace),
+                        "dead-letter" if status == "dead-letter"
+                        else "retry",
+                        {"job": record.id, "error": error,
+                         "attempt": record.attempts})
+        self.evaluator.record("job-success", bad=1, t=now)
+        if status == "dead-letter" and record.resumes > 0:
+            self.evaluator.record("resume-success", bad=1, t=now)
+
+    def on_resume_planned(self, record, worker: int,
+                          reason: str) -> None:
+        if record.trace is not None:
+            self._event(self._child(record.trace), "resume-plan",
+                        {"job": record.id, "worker": worker,
+                         "resume": record.resumes, "reason": reason})
+
+    def on_rsp_attach(self, worker: int,
+                      client_ordinal: int) -> Optional[str]:
+        """A mux client landed on ``worker``; mint its trace root and
+        return the encoded context its RSP service spans parent under
+        (None when tracing is off)."""
+        if not self.trace:
+            return None
+        ctx = trace_root(
+            mint_trace_id(f"rsp-client-{client_ordinal}"))
+        self._event(ctx, "rsp-attach",
+                    {"worker": worker, "client": client_ordinal})
+        return ctx.encode()
+
+    def on_worker_death(self, worker: int, reason: str) -> None:
+        self._event(self._fleet_ctx(), "worker-death",
+                    {"worker": worker, "reason": reason})
+
+    def on_restart(self, worker: int, restarts: int) -> None:
+        self._event(self._fleet_ctx(), "worker-restart",
+                    {"worker": worker, "restarts": restarts})
+
+    def on_transition(self, src: str, dst: str, reason: str) -> None:
+        self._event(self._fleet_ctx(), "ladder",
+                    {"from": src, "to": dst, "reason": reason})
+
+    # -- worker-side intake --------------------------------------------------
+
+    def ingest_spans(self, worker: int, batch: List[Dict],
+                     now: float = 0.0) -> None:
+        """Span batch off a heartbeat/result; also feeds the
+        slice-latency SLO (a slice is good iff within the target)."""
+        if not self.trace or not batch:
+            return
+        self.collector.ingest(worker, batch)
+        for span in batch:
+            if isinstance(span, dict) and span.get("name") == "slice" \
+                    and isinstance(span.get("dur"), int):
+                good = span["dur"] <= self.slice_target_cycles
+                self.evaluator.record("slice-latency", good=int(good),
+                                      bad=int(not good), t=now)
+
+    def update_metrics(self, worker: int, snapshot: Dict) -> None:
+        self.aggregator.update(worker, snapshot)
+
+    def heartbeat_check(self, worker: int, fresh: bool,
+                        now: float) -> None:
+        self.evaluator.record("heartbeat-fresh", good=int(fresh),
+                              bad=int(not fresh), t=now)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def poll(self, now: float) -> List[SloAlert]:
+        """Throttled SLO evaluation; returns transitions made now."""
+        if self._last_eval is not None \
+                and now - self._last_eval < self.slo_interval:
+            return []
+        self._last_eval = now
+        return self.evaluator.evaluate(now)
+
+    def advisory_degrade(self) -> bool:
+        return self.evaluator.advisory_degrade()
+
+    def _on_alert(self, name: str, args: Dict) -> None:
+        """SLO transition -> a span on the fleet-level trace."""
+        self._event(self._fleet_ctx(), name, args, cat="slo")
+
+    # -- reporting -----------------------------------------------------------
+
+    def slo_status(self, now: float) -> Dict:
+        return self.evaluator.status(now)
+
+    def fleet_metrics(self) -> Dict:
+        return self.aggregator.fleet()
+
+    def percentile_summary(self) -> Dict:
+        """The dashboard's latency panel (merged-histogram derived)."""
+        return {
+            SLICE_LATENCY_METRIC:
+                self.aggregator.percentiles(SLICE_LATENCY_METRIC),
+            JOB_LATENCY_METRIC:
+                self.aggregator.percentiles(JOB_LATENCY_METRIC),
+        }

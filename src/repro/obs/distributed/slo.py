@@ -1,0 +1,258 @@
+"""Fleet SLOs with multi-window burn-rate alerting.
+
+An :class:`SloSpec` states an objective over a stream of good/bad
+events — "99% of slices complete within the latency target", "95% of
+jobs succeed".  Every fleet signal reduces to such a stream:
+
+=====================  ==================================================
+SLO                    good / bad event
+=====================  ==================================================
+``job-success``        a job completing ok / failing (retry or dead)
+``slice-latency``      an exec slice within / over the cycle target
+``heartbeat-fresh``    a live worker seen fresh / stale at a poll
+``resume-success``     a journal resume that worked / was abandoned
+=====================  ==================================================
+
+Alerting follows the multi-window burn-rate recipe: with error budget
+``1 - objective``, the *burn rate* is the observed error ratio divided
+by the budget (1.0 = exactly spending the budget).  An alert fires
+only when **both** the long window and the short window burn above the
+threshold — the long window gives significance, the short window
+confirms the problem is still happening — and resolves when the short
+window recovers.  State transitions are delivered to an ``emit``
+callback (the fleet wires it to the span collector and the trace bus)
+and mirrored as ``fleet.slo.*`` metrics.
+
+The evaluator never acts on the fleet by itself: it is advisory.  The
+supervisor may consult :meth:`SloEvaluator.advisory_degrade` behind an
+opt-in flag; the default fleet configuration only observes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+#: Default slice-latency target (simulated cycles) for default_slos().
+DEFAULT_SLICE_TARGET_CYCLES = 200_000
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One objective over a good/bad event stream."""
+
+    name: str
+    objective: float
+    short_window: float
+    long_window: float
+    burn_threshold: float = 4.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"slo {self.name!r}: objective must be in (0, 1), "
+                f"got {self.objective}")
+        if self.short_window <= 0 or self.long_window <= 0:
+            raise ValueError(f"slo {self.name!r}: windows must be > 0")
+        if self.short_window > self.long_window:
+            raise ValueError(
+                f"slo {self.name!r}: short window {self.short_window} "
+                f"exceeds long window {self.long_window}")
+        if self.burn_threshold <= 0:
+            raise ValueError(f"slo {self.name!r}: burn threshold "
+                             f"must be > 0")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: tolerable bad fraction."""
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class SloAlert:
+    """One alert state transition ("firing" or "resolved")."""
+
+    slo: str
+    state: str
+    t: float
+    short_burn: float
+    long_burn: float
+
+
+@dataclass
+class _Window:
+    """Timestamped good/bad samples, pruned to the long window."""
+
+    samples: Deque[Tuple[float, int, int]] = field(default_factory=deque)
+
+    def record(self, t: float, good: int, bad: int) -> None:
+        self.samples.append((t, good, bad))
+
+    def prune(self, horizon: float) -> None:
+        while self.samples and self.samples[0][0] < horizon:
+            self.samples.popleft()
+
+    def ratio(self, now: float, window: float) -> Optional[float]:
+        """Bad fraction over [now - window, now]; None with no data."""
+        cutoff = now - window
+        good = bad = 0
+        for t, g, b in reversed(self.samples):
+            if t < cutoff:
+                break
+            good += g
+            bad += b
+        total = good + bad
+        if total == 0:
+            return None
+        return bad / total
+
+
+def default_slos(slice_target_cycles: int = DEFAULT_SLICE_TARGET_CYCLES,
+                 short_window: float = 2.0,
+                 long_window: float = 10.0) -> List[SloSpec]:
+    """The fleet's stock objectives (windows in supervisor seconds)."""
+    return [
+        SloSpec("job-success", objective=0.90,
+                short_window=short_window, long_window=long_window,
+                burn_threshold=2.0,
+                description="jobs complete without retry or dead-letter"),
+        SloSpec("slice-latency", objective=0.95,
+                short_window=short_window, long_window=long_window,
+                burn_threshold=4.0,
+                description=f"exec slices within "
+                            f"{slice_target_cycles} cycles"),
+        SloSpec("heartbeat-fresh", objective=0.95,
+                short_window=short_window, long_window=long_window,
+                burn_threshold=4.0,
+                description="live workers heartbeat within the deadline"),
+        SloSpec("resume-success", objective=0.80,
+                short_window=short_window, long_window=long_window,
+                burn_threshold=2.0,
+                description="journal resumes reconstruct the job"),
+    ]
+
+
+class SloEvaluator:
+    """Sliding-window burn-rate evaluation over named SLOs."""
+
+    def __init__(self, specs: List[SloSpec],
+                 registry=None,
+                 emit: Optional[Callable[[str, Dict], None]] = None
+                 ) -> None:
+        names = [spec.name for spec in specs]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate slo names in {names}")
+        self.specs: Dict[str, SloSpec] = {spec.name: spec
+                                          for spec in specs}
+        self._windows: Dict[str, _Window] = {name: _Window()
+                                             for name in self.specs}
+        self.firing: Dict[str, bool] = {name: False
+                                        for name in self.specs}
+        self.alerts: List[SloAlert] = []
+        self._registry = registry
+        self._emit = emit
+        self._fired_counter = None
+
+    # -- ingestion -----------------------------------------------------------
+
+    def record(self, name: str, good: int = 0, bad: int = 0,
+               t: float = 0.0) -> None:
+        """Feed good/bad events into one SLO's window (unknown names
+        are ignored so call sites need no spec knowledge)."""
+        window = self._windows.get(name)
+        if window is None or (good == 0 and bad == 0):
+            return
+        window.record(t, good, bad)
+        window.prune(t - self.specs[name].long_window)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def burn_rates(self, name: str, now: float
+                   ) -> Tuple[Optional[float], Optional[float]]:
+        """(short, long) burn rates of one SLO at ``now``."""
+        spec = self.specs[name]
+        window = self._windows[name]
+        rates = []
+        for span in (spec.short_window, spec.long_window):
+            ratio = window.ratio(now, span)
+            rates.append(None if ratio is None else ratio / spec.budget)
+        return rates[0], rates[1]
+
+    def evaluate(self, now: float) -> List[SloAlert]:
+        """Advance alert state; returns the transitions made *now*."""
+        transitions: List[SloAlert] = []
+        for name, spec in self.specs.items():
+            short, long_ = self.burn_rates(name, now)
+            should_fire = (short is not None and long_ is not None
+                           and short >= spec.burn_threshold
+                           and long_ >= spec.burn_threshold)
+            should_resolve = self.firing[name] and (
+                short is None or short < spec.burn_threshold)
+            if should_fire and not self.firing[name]:
+                self.firing[name] = True
+                transitions.append(SloAlert(
+                    name, "firing", now, short, long_))
+            elif should_resolve:
+                self.firing[name] = False
+                transitions.append(SloAlert(
+                    name, "resolved", now,
+                    0.0 if short is None else short,
+                    0.0 if long_ is None else long_))
+            self._publish_gauges(name, short, long_)
+        for alert in transitions:
+            self._announce(alert)
+        self.alerts.extend(transitions)
+        return transitions
+
+    def advisory_degrade(self) -> bool:
+        """True when any SLO is currently burning (advisory only)."""
+        return any(self.firing.values())
+
+    # -- reporting -----------------------------------------------------------
+
+    def status(self, now: float) -> Dict:
+        """JSON-ready SLO panel for the dashboard / control port."""
+        panel = {}
+        for name, spec in sorted(self.specs.items()):
+            short, long_ = self.burn_rates(name, now)
+            panel[name] = {
+                "objective": spec.objective,
+                "description": spec.description,
+                "burn_short": short,
+                "burn_long": long_,
+                "threshold": spec.burn_threshold,
+                "firing": self.firing[name],
+            }
+        return panel
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _publish_gauges(self, name: str, short: Optional[float],
+                        long_: Optional[float]) -> None:
+        if self._registry is None:
+            return
+        prefix = f"fleet.slo.{name}"
+        if short is not None:
+            self._registry.gauge(f"{prefix}.burn_short").set(
+                round(short, 6))
+        if long_ is not None:
+            self._registry.gauge(f"{prefix}.burn_long").set(
+                round(long_, 6))
+        self._registry.gauge(f"{prefix}.firing").set(
+            int(self.firing[name]))
+
+    def _announce(self, alert: SloAlert) -> None:
+        if self._registry is not None and alert.state == "firing":
+            if self._fired_counter is None:
+                self._fired_counter = self._registry.counter(
+                    "fleet.slo.alerts_fired",
+                    help="slo alert firing transitions")
+            self._fired_counter.inc()
+        if self._emit is not None:
+            self._emit(f"slo-{alert.state}", {
+                "slo": alert.slo,
+                "burn_short": round(alert.short_burn, 6),
+                "burn_long": round(alert.long_burn, 6),
+            })

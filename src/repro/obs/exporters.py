@@ -75,14 +75,32 @@ def chrome_trace(bus: TraceBus, profiler=None, symbols=None,
                        "name": "thread_name",
                        "args": {"name": category}})
     last_cycle = 0
+    #: Per-track stacks of B names seen in the *retained* window, so a
+    #: wrapped ring (whose oldest B events were evicted) never emits an
+    #: E without its B — Perfetto rejects such traces.
+    retained_open: Dict[int, List[str]] = {}
+    orphan_ends = 0
     for record in bus:
+        tid = _track_id(record.category)
+        if record.phase == PH_BEGIN:
+            retained_open.setdefault(tid, []).append(record.name)
+        elif record.phase == PH_END:
+            stack = retained_open.get(tid)
+            if not stack or record.name not in stack:
+                # Its B fell out of the ring: drop the E rather than
+                # exporting an unbalanced track.
+                orphan_ends += 1
+                continue
+            stack.reverse()
+            stack.remove(record.name)
+            stack.reverse()
         event = {
             "name": record.name,
             "cat": record.category,
             "ph": record.phase,
             "ts": record.cycle,
             "pid": _PID,
-            "tid": _track_id(record.category),
+            "tid": tid,
         }
         args = dict(record.args)
         if record.pc:
@@ -104,9 +122,19 @@ def chrome_trace(bus: TraceBus, profiler=None, symbols=None,
             last_cycle = record.cycle
     for name, category in reversed(bus.open_span_entries()):
         # Virtual close: the span was still open when we exported.
+        # Skip spans whose B was evicted by wraparound — closing them
+        # would orphan the E the same way.
+        tid = _track_id(category)
+        stack = retained_open.get(tid)
+        if not stack or name not in stack:
+            orphan_ends += 1
+            continue
+        stack.reverse()
+        stack.remove(name)
+        stack.reverse()
         events.append({"name": name, "cat": category, "ph": PH_END,
                        "ts": last_cycle, "pid": _PID,
-                       "tid": _track_id(category),
+                       "tid": tid,
                        "args": {"virtual-close": 1}})
     document: Dict = {
         "traceEvents": events,
@@ -118,6 +146,10 @@ def chrome_trace(bus: TraceBus, profiler=None, symbols=None,
             "unbalanced_ends": bus.unbalanced_ends,
         },
     }
+    if orphan_ends:
+        # Key present only when the ring actually wrapped mid-span, so
+        # golden traces recorded without wraparound stay byte-stable.
+        document["otherData"]["orphan_ends"] = orphan_ends
     if profiler is not None:
         document["guestProfile"] = {
             "stride": profiler.stride,
@@ -148,6 +180,103 @@ def write_chrome_trace(path, bus: TraceBus, profiler=None,
     return path
 
 
+#: Fleet export pid layout: the supervisor is process 1 (one thread
+#: lane per trace); worker ``w`` is process ``10 + w``.
+FLEET_SUPERVISOR_PID = 1
+FLEET_WORKER_PID_BASE = 10
+
+
+def fleet_chrome_trace(collector, aggregated=None, slo=None,
+                       label: str = "fleet") -> Dict:
+    """Multi-process trace document for one fleet run.
+
+    ``collector`` is a :class:`~repro.obs.distributed.collector
+    .SpanCollector`; the supervisor's per-trace logical-tick events
+    land on process 1 with one named thread lane per trace (labelled
+    by job id), and each worker's clock-aligned spans land on their
+    own process.  One JSON file opens in Perfetto as the whole fleet.
+
+    Events are emitted sorted by ``(pid, tid, ts, name, trace)`` so
+    the document is byte-stable no matter what order heartbeats
+    arrived in.  ``aggregated`` (the merged fleet metrics) and ``slo``
+    (the SLO panel) ride along as extra top-level keys when given.
+    """
+    from repro.obs.distributed.context import TraceContext
+
+    events: List[Dict] = []
+    events.append({"ph": "M", "pid": FLEET_SUPERVISOR_PID, "tid": 0,
+                   "ts": 0, "name": "process_name",
+                   "args": {"name": f"{label}-supervisor"}})
+    for trace_id, ordinal in sorted(collector.trace_order.items(),
+                                    key=lambda item: item[1]):
+        events.append({"ph": "M", "pid": FLEET_SUPERVISOR_PID,
+                       "tid": ordinal + 1, "ts": 0,
+                       "name": "thread_name",
+                       "args": {"name": collector.label(trace_id)}})
+    for worker_index in collector.worker_indices():
+        pid = FLEET_WORKER_PID_BASE + worker_index
+        events.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+                       "name": "process_name",
+                       "args": {"name": f"{label}-worker-"
+                                        f"{worker_index}"}})
+        events.append({"ph": "M", "pid": pid, "tid": 1, "ts": 0,
+                       "name": "thread_name",
+                       "args": {"name": "timeline"}})
+
+    def _wire_to_event(wire: Dict, pid: int, tid: int) -> Dict:
+        event = {"name": wire["name"], "cat": wire["cat"],
+                 "ph": wire["ph"], "ts": wire["ts"], "pid": pid,
+                 "tid": tid}
+        args = dict(wire.get("args", {}))
+        args["trace"] = wire["trace"]
+        args["instret"] = wire.get("instret", 0)
+        event["args"] = args
+        if wire["ph"] == PH_COMPLETE:
+            event["dur"] = wire.get("dur", 0)
+        if wire["ph"] == PH_INSTANT:
+            event["s"] = "t"
+        return event
+
+    body: List[Dict] = []
+    for wire in collector.supervisor:
+        ctx = TraceContext.decode(wire["trace"])
+        tid = collector.trace_order[ctx.trace_id] + 1
+        body.append(_wire_to_event(wire, FLEET_SUPERVISOR_PID, tid))
+    for worker_index in collector.worker_indices():
+        pid = FLEET_WORKER_PID_BASE + worker_index
+        for wire in collector.worker_events(worker_index):
+            body.append(_wire_to_event(wire, pid, 1))
+    body.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], e["name"],
+                             e["args"]["trace"]))
+    events.extend(body)
+
+    document: Dict = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "clock": "simulated-cycles (per-worker aligned)",
+            "collector": collector.stats(),
+        },
+    }
+    if aggregated is not None:
+        document["fleetMetrics"] = aggregated
+    if slo is not None:
+        document["slo"] = slo
+    return document
+
+
+def write_fleet_trace(path, collector, aggregated=None, slo=None,
+                      label: str = "fleet") -> Path:
+    """Write the fleet trace document; byte-stable for equal inputs."""
+    path = Path(path)
+    document = fleet_chrome_trace(collector, aggregated=aggregated,
+                                  slo=slo, label=label)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def collapsed_stacks(profiler, symbols=None) -> str:
     """Flamegraph collapsed-stack text (newline-terminated lines)."""
     lines = profiler.collapsed_stacks(symbols)
@@ -157,6 +286,25 @@ def collapsed_stacks(profiler, symbols=None) -> str:
 def write_collapsed(path, profiler, symbols=None) -> Path:
     path = Path(path)
     path.write_text(collapsed_stacks(profiler, symbols))
+    return path
+
+
+def export_stats_json(path, experiment: str, stats: Dict,
+                      extra: Optional[Dict] = None) -> Path:
+    """Write one collected stats dict as an experiment JSON document.
+
+    The canonical writer behind the deprecated ``repro.perf.export``
+    ``export_*`` adapters: pair it with a ``collect_*`` function from
+    :mod:`repro.obs.metrics` (``export_stats_json(path, "interp-fast-
+    path", collect_interp(cpu))``).  ``extra`` keys merge into the
+    top-level document, preserving the legacy shapes.
+    """
+    path = Path(path)
+    document: Dict = {"experiment": experiment, "stats": stats}
+    if extra:
+        document.update(extra)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
     return path
 
 

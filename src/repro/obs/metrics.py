@@ -87,10 +87,17 @@ class Histogram:
     observations above the last boundary land in the overflow bucket.
     Boundary membership is inclusive: ``observe(10)`` with a boundary
     at 10 lands in the 10-bucket, not the next one.
+
+    ``observe(value, exemplar=...)`` attaches an *exemplar* — an
+    opaque string (in the fleet: an encoded trace context) remembered
+    per bucket, linking a percentile straight back to one contributing
+    causal trace.  Exemplars appear in :meth:`snapshot` only when at
+    least one was recorded, so exemplar-free snapshots keep their
+    exact legacy shape (golden files depend on it).
     """
 
     __slots__ = ("name", "help", "boundaries", "bucket_counts",
-                 "overflow", "count", "sum", "min", "max")
+                 "overflow", "count", "sum", "min", "max", "exemplars")
 
     def __init__(self, name: str, help: str = "",
                  buckets: Sequence[Number] = DEFAULT_BUCKETS) -> None:
@@ -109,8 +116,11 @@ class Histogram:
         self.sum: Number = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
+        #: bucket key ("10" / "overflow") -> last exemplar string.
+        self.exemplars: Dict[str, str] = {}
 
-    def observe(self, value: Number) -> None:
+    def observe(self, value: Number,
+                exemplar: Optional[str] = None) -> None:
         self.count += 1
         self.sum += value
         if self.min is None or value < self.min:
@@ -120,11 +130,15 @@ class Histogram:
         index = bisect.bisect_left(self.boundaries, value)
         if index == len(self.boundaries):
             self.overflow += 1
+            key = "overflow"
         else:
             self.bucket_counts[index] += 1
+            key = str(self.boundaries[index])
+        if exemplar is not None:
+            self.exemplars[key] = exemplar
 
     def snapshot(self) -> Dict:
-        return {
+        snap = {
             "type": "histogram",
             "count": self.count,
             "sum": self.sum,
@@ -134,6 +148,11 @@ class Histogram:
                         in zip(self.boundaries, self.bucket_counts)},
             "overflow": self.overflow,
         }
+        if self.exemplars:
+            # Key present only when an exemplar was attached, so
+            # exemplar-free snapshots keep their legacy golden shape.
+            snap["exemplars"] = dict(sorted(self.exemplars.items()))
+        return snap
 
 
 class MetricsRegistry:

@@ -60,6 +60,9 @@ class Tracer:
         self.bus = bus if bus is not None else TraceBus()
         self.registry = registry if registry is not None \
             else global_registry()
+        # Ring wraparound shows up as obs.bus.dropped (lazily created
+        # on the first drop, so drop-free runs stay golden-stable).
+        self.bus.bind_metrics(self.registry)
         self._subscriptions: List[Tuple[object, object]] = []
         self._machine = None
         self._monitor = None

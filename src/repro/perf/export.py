@@ -10,8 +10,12 @@ cache + TLB), used by the trap-census and throughput benchmarks.
 
 The ``*_stats`` collectors now live in :mod:`repro.obs.metrics`
 (``collect_interp`` & friends), which also publishes every numeric
-leaf into the global metrics registry.  The functions here remain as
-thin adapters so existing callers and golden shapes keep working.
+leaf into the global metrics registry, and the ``export_*`` stats
+writers in :func:`repro.obs.exporters.export_stats_json`.  Everything
+below except the figure exporters is a pure warn-and-forward shim —
+no repo-internal module imports these names any more (a test enforces
+that), and out-of-repo callers get a :class:`DeprecationWarning`
+pointing at the replacement.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from repro.perf.sweep import FigureSeries, HeadlineRatios, LEGEND
 def _deprecated(old: str, new: str) -> None:
     warnings.warn(
         f"repro.perf.export.{old} is deprecated; use "
-        f"repro.obs.metrics.{new} instead",
+        f"repro.obs.{new} instead",
         DeprecationWarning, stacklevel=3)
 
 
@@ -108,23 +112,22 @@ def interp_stats(cpu) -> dict:
        the counters as ``interp.*`` gauges in the global registry.
     """
     from repro.obs.metrics import collect_interp
-    _deprecated("interp_stats", "collect_interp")
+    _deprecated("interp_stats", "metrics.collect_interp")
     return collect_interp(cpu)
 
 
 def export_interp_stats(cpu, path, extra: Optional[dict] = None) -> Path:
-    """Write the interpreter fast-path counters as a JSON document."""
+    """Write the interpreter fast-path counters as a JSON document.
+
+    .. deprecated:: thin adapter over
+       :func:`repro.obs.exporters.export_stats_json` fed by
+       :func:`repro.obs.metrics.collect_interp`.
+    """
+    from repro.obs.exporters import export_stats_json
     from repro.obs.metrics import collect_interp
-    path = Path(path)
-    document = {
-        "experiment": "interp-fast-path",
-        "stats": collect_interp(cpu),
-    }
-    if extra:
-        document.update(extra)
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=2)
-    return path
+    _deprecated("export_interp_stats", "exporters.export_stats_json")
+    return export_stats_json(path, "interp-fast-path",
+                             collect_interp(cpu), extra=extra)
 
 
 def fault_stats(plan, client=None, monitor=None,
@@ -144,7 +147,7 @@ def fault_stats(plan, client=None, monitor=None,
        :func:`repro.obs.metrics.collect_fault` (``fault.*`` gauges).
     """
     from repro.obs.metrics import collect_fault
-    _deprecated("fault_stats", "collect_fault")
+    _deprecated("fault_stats", "metrics.collect_fault")
     return collect_fault(plan, client=client, monitor=monitor,
                          devices=devices)
 
@@ -152,19 +155,20 @@ def fault_stats(plan, client=None, monitor=None,
 def export_fault_stats(plan, path, client=None, monitor=None,
                        devices: Optional[dict] = None,
                        extra: Optional[dict] = None) -> Path:
-    """Write the fault-injection counters as a JSON document."""
+    """Write the fault-injection counters as a JSON document.
+
+    .. deprecated:: thin adapter over
+       :func:`repro.obs.exporters.export_stats_json` fed by
+       :func:`repro.obs.metrics.collect_fault`.
+    """
+    from repro.obs.exporters import export_stats_json
     from repro.obs.metrics import collect_fault
-    path = Path(path)
-    document = {
-        "experiment": "fault-injection",
-        "stats": collect_fault(plan, client=client, monitor=monitor,
-                               devices=devices),
-    }
-    if extra:
-        document.update(extra)
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=2)
-    return path
+    _deprecated("export_fault_stats", "exporters.export_stats_json")
+    return export_stats_json(
+        path, "fault-injection",
+        collect_fault(plan, client=client, monitor=monitor,
+                      devices=devices),
+        extra=extra)
 
 
 def replay_stats(recorder=None, result=None, minimize=None,
@@ -185,7 +189,7 @@ def replay_stats(recorder=None, result=None, minimize=None,
        :func:`repro.obs.metrics.collect_replay` (``replay.*`` gauges).
     """
     from repro.obs.metrics import collect_replay
-    _deprecated("replay_stats", "collect_replay")
+    _deprecated("replay_stats", "metrics.collect_replay")
     return collect_replay(recorder=recorder, result=result,
                           minimize=minimize, store=store)
 
@@ -193,19 +197,20 @@ def replay_stats(recorder=None, result=None, minimize=None,
 def export_replay_stats(path, recorder=None, result=None,
                         minimize=None, store=None,
                         extra: Optional[dict] = None) -> Path:
-    """Write the record/replay counters as a JSON document."""
+    """Write the record/replay counters as a JSON document.
+
+    .. deprecated:: thin adapter over
+       :func:`repro.obs.exporters.export_stats_json` fed by
+       :func:`repro.obs.metrics.collect_replay`.
+    """
+    from repro.obs.exporters import export_stats_json
     from repro.obs.metrics import collect_replay
-    path = Path(path)
-    document = {
-        "experiment": "record-replay",
-        "stats": collect_replay(recorder=recorder, result=result,
-                                minimize=minimize, store=store),
-    }
-    if extra:
-        document.update(extra)
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=2)
-    return path
+    _deprecated("export_replay_stats", "exporters.export_stats_json")
+    return export_stats_json(
+        path, "record-replay",
+        collect_replay(recorder=recorder, result=result,
+                       minimize=minimize, store=store),
+        extra=extra)
 
 
 def analysis_stats(report) -> dict:
@@ -220,22 +225,23 @@ def analysis_stats(report) -> dict:
        (``analysis.*`` gauges).
     """
     from repro.obs.metrics import collect_analysis
-    _deprecated("analysis_stats", "collect_analysis")
+    _deprecated("analysis_stats", "metrics.collect_analysis")
     return collect_analysis(report)
 
 
 def export_analysis_json(report, path,
                          extra: Optional[dict] = None) -> Path:
-    """Write a static-analysis report (stats + findings) as JSON."""
+    """Write a static-analysis report (stats + findings) as JSON.
+
+    .. deprecated:: thin adapter over
+       :func:`repro.obs.exporters.export_stats_json` fed by
+       :func:`repro.obs.metrics.collect_analysis`.
+    """
+    from repro.obs.exporters import export_stats_json
     from repro.obs.metrics import collect_analysis
-    path = Path(path)
-    document = {
-        "experiment": "static-analysis",
-        "stats": collect_analysis(report),
-        "report": report.to_dict(),
-    }
+    _deprecated("export_analysis_json", "exporters.export_stats_json")
+    merged = {"report": report.to_dict()}
     if extra:
-        document.update(extra)
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=2)
-    return path
+        merged.update(extra)
+    return export_stats_json(path, "static-analysis",
+                             collect_analysis(report), extra=merged)

@@ -1,0 +1,158 @@
+"""Integration: fleet-wide distributed tracing end to end.
+
+One real 4-worker traced fleet run (spawn context, real pipes) is
+recorded once per module and inspected from several angles:
+
+* the export byte-matches ``tests/golden/fleet_trace_seed1234.json``;
+* a second identical run is byte-identical (the determinism
+  regression the per-trace span-id scheme exists for);
+* every submitted job forms one *connected* trace from supervisor
+  enqueue through worker slice execution;
+* fleet-level p95 slice latency is derivable from the merged
+  histograms, and an exemplar resolves to a span in its trace;
+* with tracing off (the default), the collector sees nothing and the
+  pipe protocol carries no span fields — which is what keeps every
+  pre-existing golden artifact byte-identical.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.cli import main as trace_main
+from repro.obs.distributed.aggregate import histogram_percentile
+from repro.obs.distributed.context import TraceContext
+from repro.obs.distributed.scenario import record_fleet
+from repro.obs.exporters import validate_chrome_trace
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "..", "golden",
+                      "fleet_trace_seed1234.json")
+
+
+def _dump_bytes(document) -> bytes:
+    return (json.dumps(document, indent=1, sort_keys=True)
+            + "\n").encode()
+
+
+@pytest.fixture(scope="module")
+def fleet_doc():
+    return record_fleet()
+
+
+class TestGoldenFleetTrace:
+    def test_schema_valid(self, fleet_doc):
+        assert validate_chrome_trace(fleet_doc) == []
+
+    def test_matches_golden_file(self, fleet_doc):
+        with open(GOLDEN, "rb") as handle:
+            golden = handle.read()
+        assert _dump_bytes(fleet_doc) == golden, \
+            "fleet trace diverged from the golden file; if the " \
+            "change is intentional, regenerate with: PYTHONPATH=src " \
+            "python -m repro.obs.cli fleet record -o " \
+            "tests/golden/fleet_trace_seed1234.json"
+
+    def test_two_runs_are_byte_identical(self, fleet_doc):
+        assert _dump_bytes(record_fleet()) == _dump_bytes(fleet_doc)
+
+
+class TestConnectedTraces:
+    def _jobs(self, fleet_doc):
+        """trace hex -> list of events, for the four job traces."""
+        traces = {}
+        for event in fleet_doc["traceEvents"]:
+            if event.get("ph") == "M":
+                continue
+            trace = event["args"]["trace"]
+            traces.setdefault(trace[:16], []).append(event)
+        return traces
+
+    def test_every_job_trace_spans_supervisor_and_worker(
+            self, fleet_doc):
+        traces = self._jobs(fleet_doc)
+        assert len(traces) == 4
+        for events in traces.values():
+            names = {e["name"] for e in events}
+            assert {"enqueue", "dispatch", "done",
+                    "job-start", "job-run", "slice"} <= names
+            pids = {e["pid"] for e in events}
+            assert 1 in pids                      # supervisor
+            assert any(pid >= 10 for pid in pids)  # a worker
+
+    def test_parent_links_form_one_tree_per_trace(self, fleet_doc):
+        for events in self._jobs(fleet_doc).values():
+            spans = {}
+            for event in events:
+                ctx = TraceContext.decode(event["args"]["trace"])
+                spans[ctx.span_id] = ctx
+            roots = [ctx for ctx in spans.values()
+                     if ctx.parent_id == 0]
+            assert len(roots) == 1
+            for ctx in spans.values():
+                if ctx.parent_id:
+                    assert ctx.parent_id in spans, \
+                        f"span {ctx.span_id:#x} has dangling parent"
+
+    def test_exemplar_resolves_into_its_trace(self, fleet_doc):
+        hist = fleet_doc["fleetMetrics"]["fleet.slice.cycles"]
+        assert histogram_percentile(hist, 95) is not None
+        assert hist["exemplars"]
+        encoded = next(iter(hist["exemplars"].values()))
+        exemplar = TraceContext.decode(encoded)
+        slice_traces = {
+            TraceContext.decode(e["args"]["trace"])
+            for e in fleet_doc["traceEvents"]
+            if e.get("name") == "slice"}
+        assert exemplar in slice_traces
+
+    def test_worker_timelines_are_monotonic(self, fleet_doc):
+        by_pid = {}
+        for event in fleet_doc["traceEvents"]:
+            if event.get("ph") == "X" and event["pid"] >= 10:
+                by_pid.setdefault(event["pid"], []).append(event)
+        assert len(by_pid) == 4
+        for events in by_pid.values():
+            stamps = [e["ts"] for e in events]
+            assert stamps == sorted(stamps)
+
+
+class TestFleetCli:
+    def test_report_and_top_read_the_golden(self, capsys):
+        assert trace_main(["fleet", "report", GOLDEN]) == 0
+        out = capsys.readouterr().out
+        assert "schema: ok" in out
+        assert "fleet.slice.cycles" in out
+        assert trace_main(["fleet", "top", GOLDEN, "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest slices" in out
+
+    def test_export_fleet_metrics(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert trace_main(["fleet", "export", GOLDEN,
+                           "--metrics", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["format"] == "repro-fleet-metrics-v1"
+        assert "fleet.slice.cycles" in document["metrics"]
+
+
+class TestTracingOffIsInert:
+    def test_untraced_fleet_collects_nothing(self):
+        from repro.fleet.jobs import Job
+        from repro.fleet.supervisor import Fleet, FleetConfig
+
+        fleet = Fleet(FleetConfig(workers=1,
+                                  heartbeat_interval=0.05)).start()
+        try:
+            assert fleet.wait_ready(timeout=60.0)
+            fleet.submit(Job(kind="noop"))
+            assert fleet.run_until_idle(timeout=60.0)
+            stats = fleet.obs.collector.stats()
+            assert stats["supervisor_events"] == 0
+            assert stats["ingested"] == 0
+            status = fleet.status()
+            assert status["tracing"]["enabled"] is False
+            # Aggregation still works without tracing.
+            assert fleet.obs.fleet_metrics()
+        finally:
+            fleet.shutdown()

@@ -1,0 +1,112 @@
+"""Property tests for the distributed trace-context codec.
+
+The fleet ships trace contexts as strings over the worker pipe
+protocol and the RSP mux; everything downstream (span collection,
+exemplar resolution, the golden fleet export) assumes the codec is a
+bijection over the whole id space and rejects anything else.  Also
+pinned here: trace-id minting determinism and the span-allocator
+partition invariants the multi-site id scheme rests on.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.distributed.context import (
+    ROOT_SPAN_ID,
+    SPAN_ID_MAX,
+    SUPERVISOR_SITE,
+    SpanAllocator,
+    TraceContext,
+    mint_trace_id,
+    trace_root,
+    worker_site,
+)
+
+nonzero_ids = st.integers(min_value=1, max_value=SPAN_ID_MAX)
+parent_ids = st.integers(min_value=0, max_value=SPAN_ID_MAX)
+
+
+class TestCodecRoundTrip:
+    @given(trace=nonzero_ids, span=nonzero_ids, parent=parent_ids)
+    def test_encode_decode_identity(self, trace, span, parent):
+        ctx = TraceContext(trace, span, parent)
+        assert TraceContext.decode(ctx.encode()) == ctx
+
+    @given(trace=nonzero_ids, span=nonzero_ids, parent=parent_ids)
+    def test_wire_form_is_fixed_width(self, trace, span, parent):
+        wire = TraceContext(trace, span, parent).encode()
+        fields = wire.split("-")
+        assert len(wire) == 50
+        assert len(fields) == 3
+        assert all(len(field) == 16 for field in fields)
+        assert wire == wire.lower()
+
+    @given(trace=nonzero_ids, span=nonzero_ids, parent=parent_ids)
+    def test_distinct_contexts_encode_distinctly(self, trace, span,
+                                                 parent):
+        ctx = TraceContext(trace, span, parent)
+        sibling = TraceContext(trace, span,
+                               (parent + 1) % (SPAN_ID_MAX + 1))
+        assert ctx.encode() != sibling.encode()
+
+
+class TestCodecRejection:
+    @pytest.mark.parametrize("text", [
+        "",
+        "not-a-context",
+        "0123456789abcdef-0123456789abcdef",            # two fields
+        "0123456789abcdef" * 3,                          # no dashes
+        "0123456789abcde-0123456789abcdef-0123456789abcdef",   # short
+        "0123456789abcdefX-0123456789abcdef-0123456789abcdef",  # long
+        "0123456789abcdeg-0123456789abcdef-0123456789abcdef",  # non-hex
+        "0000000000000000-0000000000000001-0000000000000000",  # trace 0
+        "0000000000000001-0000000000000000-0000000000000000",  # span 0
+    ])
+    def test_malformed_wire_raises(self, text):
+        with pytest.raises(ValueError):
+            TraceContext.decode(text)
+
+    @given(junk=st.text(max_size=60))
+    def test_arbitrary_text_never_crashes_differently(self, junk):
+        try:
+            ctx = TraceContext.decode(junk)
+        except ValueError:
+            return
+        # Anything accepted must re-encode to canonical form.
+        assert TraceContext.decode(ctx.encode()) == ctx
+
+
+class TestMinting:
+    @given(material=st.text(max_size=100))
+    def test_minting_is_deterministic_and_nonzero(self, material):
+        first = mint_trace_id(material)
+        assert first == mint_trace_id(material)
+        assert 1 <= first <= SPAN_ID_MAX
+
+    def test_distinct_materials_mint_distinct_ids(self):
+        ids = {mint_trace_id(f"job-{n:04d}") for n in range(1000)}
+        assert len(ids) == 1000
+
+
+class TestSpanAllocatorPartitions:
+    @given(workers=st.integers(min_value=1, max_value=8),
+           spans=st.integers(min_value=1, max_value=50))
+    def test_sites_never_collide(self, workers, spans):
+        allocators = [SpanAllocator(SUPERVISOR_SITE)] + [
+            SpanAllocator(worker_site(index)) for index in range(workers)]
+        minted = [alloc.next_id() for alloc in allocators
+                  for _ in range(spans)]
+        assert len(minted) == len(set(minted))
+
+    def test_root_span_id_constant_for_every_trace(self):
+        ctx = trace_root(mint_trace_id("job-0000"))
+        assert ctx.span_id == ROOT_SPAN_ID
+        assert ctx.parent_id == 0
+
+    def test_exhaustion_raises(self):
+        alloc = SpanAllocator(1)
+        alloc._next = (1 << 48) - 2
+        alloc.next_id()
+        with pytest.raises(OverflowError):
+            alloc.next_id()

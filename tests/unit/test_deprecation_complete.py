@@ -1,0 +1,168 @@
+"""The ``repro.perf.export`` deprecation is complete.
+
+Two guarantees, both enforced here so they cannot silently regress:
+
+* no repo-internal module imports or references the deprecated
+  adapter names any more (a source scan over ``src/``) — every caller
+  was migrated to the :mod:`repro.obs.metrics` collectors and
+  :func:`repro.obs.exporters.export_stats_json`;
+* the adapters that remain for out-of-repo callers are *pure
+  warn-and-forward shims*: each one raises a
+  :class:`DeprecationWarning` naming its replacement and still
+  produces the legacy result/document shape.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Every deprecated name the shims keep alive for external callers.
+DEPRECATED = (
+    "interp_stats",
+    "export_interp_stats",
+    "fault_stats",
+    "export_fault_stats",
+    "replay_stats",
+    "export_replay_stats",
+    "analysis_stats",
+    "export_analysis_json",
+)
+
+
+class TestNoInternalCallers:
+    @staticmethod
+    def _deprecated_imports(tree):
+        """(line, name) pairs importing a deprecated adapter.
+
+        Walks the AST, so lazy function-local imports count and
+        docstrings / dict keys that merely *mention* a name do not.
+        Both ``from repro.perf.export import X`` and attribute access
+        ``repro.perf.export.X`` are caught; importing the module
+        wholesale is flagged too, since the only non-deprecated names
+        are the figure exporters, which have ``from``-style callers.
+        """
+        hits = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) \
+                    and node.module == "repro.perf.export":
+                for alias in node.names:
+                    if alias.name in DEPRECATED or alias.name == "*":
+                        hits.append((node.lineno, alias.name))
+            elif isinstance(node, ast.Attribute) \
+                    and node.attr in DEPRECATED:
+                dotted = ast.unparse(node)
+                if dotted.endswith(f"perf.export.{node.attr}"):
+                    hits.append((node.lineno, node.attr))
+        return hits
+
+    def test_no_repo_module_imports_deprecated_names(self):
+        """``src/`` imports no deprecated adapter any more."""
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            if path == SRC / "perf" / "export.py":
+                continue
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for line, name in self._deprecated_imports(tree):
+                offenders.append(
+                    f"{path.relative_to(SRC.parent)}:{line}: {name}")
+        assert not offenders, (
+            "deprecated repro.perf.export names imported inside "
+            "the repo:\n" + "\n".join(offenders))
+
+    def test_shim_module_still_exports_every_name(self):
+        import repro.perf.export as export
+
+        for name in DEPRECATED:
+            assert callable(getattr(export, name))
+
+
+class _FakeRecorder:
+    def stats(self):
+        return {"frames": 3, "journal_bytes": 120}
+
+
+class _FakeReport:
+    origin = 0x1000
+    end = 0x2000
+    entry_ring = 0
+    monitor_base = 0xF000
+    stats = {"blocks": 2}
+
+    clean = True
+
+    def counts_by_severity(self):
+        return {"error": 0}
+
+    def counts_by_check(self):
+        return {}
+
+    def to_dict(self):
+        return {"findings": []}
+
+
+class TestShimsWarnAndForward:
+    def test_replay_writer_warns_and_forwards(self, tmp_path):
+        from repro.perf.export import export_replay_stats
+
+        with pytest.warns(DeprecationWarning,
+                          match="repro.obs.exporters.export_stats_json"):
+            path = export_replay_stats(tmp_path / "replay.json",
+                                       recorder=_FakeRecorder(),
+                                       extra={"seed": 9})
+        document = json.loads(path.read_text())
+        assert document["experiment"] == "record-replay"
+        assert document["seed"] == 9
+        assert document["stats"]["recorder"]["frames"] == 3
+
+    def test_analysis_writer_warns_and_keeps_shape(self, tmp_path):
+        from repro.perf.export import export_analysis_json
+
+        with pytest.warns(DeprecationWarning,
+                          match="export_stats_json"):
+            path = export_analysis_json(_FakeReport(),
+                                        tmp_path / "analysis.json",
+                                        extra={"image": "demo"})
+        document = json.loads(path.read_text())
+        assert document["experiment"] == "static-analysis"
+        assert document["report"] == {"findings": []}
+        assert document["image"] == "demo"
+        assert document["stats"]["coverage"] == {"blocks": 2}
+
+    def test_fault_collector_warns_and_delegates(self):
+        from repro.faults.plan import FaultPlan
+        from repro.perf.export import fault_stats
+
+        with pytest.warns(DeprecationWarning,
+                          match="repro.obs.metrics.collect_fault"):
+            stats = fault_stats(FaultPlan(seed=1))
+        assert stats["plan"]["seed"] == 1
+
+    def test_fault_writer_warns(self, tmp_path):
+        from repro.faults.plan import FaultPlan
+        from repro.perf.export import export_fault_stats
+
+        with pytest.warns(DeprecationWarning,
+                          match="export_stats_json"):
+            path = export_fault_stats(FaultPlan(seed=1),
+                                      tmp_path / "faults.json")
+        document = json.loads(path.read_text())
+        assert document["experiment"] == "fault-injection"
+
+    def test_interp_shims_warn(self, tmp_path):
+        from repro.hw import Cpu, IoBus, PhysicalMemory
+        from repro.perf.export import export_interp_stats, interp_stats
+
+        cpu = Cpu(PhysicalMemory(64 * 1024), IoBus())
+        with pytest.warns(DeprecationWarning,
+                          match="repro.obs.metrics.collect_interp"):
+            stats = interp_stats(cpu)
+        assert stats["instret"] == 0
+        with pytest.warns(DeprecationWarning,
+                          match="export_stats_json"):
+            path = export_interp_stats(cpu, tmp_path / "interp.json")
+        assert json.loads(path.read_text())["experiment"] \
+            == "interp-fast-path"

@@ -96,9 +96,10 @@ class TestReplayStatsExport:
         assert stats["checkpoint_store"]["held_bytes"] == 123
         assert "replay" not in stats
 
-        path = export_replay_stats(tmp_path / "replay.json",
-                                   recorder=_FakeRecorder(),
-                                   store=store, extra={"seed": 7})
+        with pytest.warns(DeprecationWarning, match="export_stats_json"):
+            path = export_replay_stats(tmp_path / "replay.json",
+                                       recorder=_FakeRecorder(),
+                                       store=store, extra={"seed": 7})
         document = json.loads(path.read_text())
         assert document["experiment"] == "record-replay"
         assert document["seed"] == 7

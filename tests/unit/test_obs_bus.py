@@ -199,3 +199,72 @@ class TestSpanNesting:
         assert len(bus) == 0 and bus.open_spans == []
         # sequence numbering (and thus dropped accounting) survives
         assert bus.total_recorded == 1
+
+
+class TestRingHardening:
+    """Satellite hardening: exact capacity boundaries and observable
+    span loss (the ``obs.bus.dropped`` counter)."""
+
+    def test_exact_capacity_boundary_drops_nothing(self):
+        bus = TraceBus(capacity=4)
+        bus.enabled = True
+        for index in range(4):
+            bus.instant(CAT_DEVICE, f"e{index}", cycle=index)
+        assert len(bus) == 4
+        assert bus.dropped == 0
+        assert bus.stats()["dropped"] == 0
+
+    def test_one_past_capacity_drops_exactly_one(self):
+        bus = TraceBus(capacity=4)
+        bus.enabled = True
+        for index in range(5):
+            bus.instant(CAT_DEVICE, f"e{index}", cycle=index)
+        assert len(bus) == 4
+        assert bus.dropped == 1
+        assert [e.name for e in bus.events()] == \
+            ["e1", "e2", "e3", "e4"]
+
+    def test_capacity_one_ring(self):
+        bus = TraceBus(capacity=1)
+        bus.enabled = True
+        bus.instant(CAT_IRQ, "first", cycle=0)
+        bus.instant(CAT_IRQ, "second", cycle=1)
+        assert [e.name for e in bus.events()] == ["second"]
+        assert bus.dropped == 1
+
+    def test_end_with_no_begin_never_emits(self):
+        bus = TraceBus()
+        bus.enabled = True
+        bus.end("phantom")
+        bus.end("phantom")
+        assert len(bus) == 0
+        assert bus.unbalanced_ends == 2
+        # The bus stays usable: a real span still records cleanly.
+        bus.begin(CAT_MONITOR, "real", cycle=1)
+        bus.end("real", cycle=2)
+        assert [e.phase for e in bus.events()] == [PH_BEGIN, PH_END]
+        assert bus.unbalanced_ends == 2
+
+    def test_dropped_metric_created_lazily_on_first_wrap(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        bus = TraceBus(capacity=2)
+        bus.bind_metrics(registry)
+        bus.enabled = True
+        bus.instant(CAT_IRQ, "a", cycle=0)
+        bus.instant(CAT_IRQ, "b", cycle=1)
+        # At exact capacity: no wrap yet, registry untouched (golden
+        # metrics snapshots depend on this).
+        assert "obs.bus.dropped" not in registry.snapshot()
+        bus.instant(CAT_IRQ, "c", cycle=2)
+        bus.instant(CAT_IRQ, "d", cycle=3)
+        assert registry.counter("obs.bus.dropped").value == 2
+        assert bus.dropped == 2
+
+    def test_unbound_bus_wraps_without_metrics(self):
+        bus = TraceBus(capacity=1)
+        bus.enabled = True
+        bus.instant(CAT_IRQ, "a", cycle=0)
+        bus.instant(CAT_IRQ, "b", cycle=1)
+        assert bus.dropped == 1   # no registry bound: count-only

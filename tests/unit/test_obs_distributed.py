@@ -1,0 +1,347 @@
+"""Unit tests for the fleet observability pillars in isolation:
+span collection and clock alignment, cross-worker metric aggregation
+(bucket-wise histogram merge, percentiles, exemplars), and SLO
+burn-rate alerting."""
+
+import pytest
+
+from repro.obs.distributed.aggregate import (
+    MetricsAggregator,
+    histogram_percentile,
+    merge_histograms,
+)
+from repro.obs.distributed.collector import SpanCollector
+from repro.obs.distributed.context import (
+    SpanAllocator,
+    TraceContext,
+    mint_trace_id,
+    trace_root,
+    worker_site,
+)
+from repro.obs.distributed.service import FleetObservability
+from repro.obs.distributed.slo import SloEvaluator, SloSpec
+from repro.obs.distributed.spans import WorkerSpanRecorder
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def _wire(ctx, name="slice", ts=0, dur=None, ph=None):
+    span = {"trace": ctx.encode(), "name": name,
+            "cat": "fleet", "ph": "X" if dur is not None else "i",
+            "ts": ts, "instret": 0}
+    if dur is not None:
+        span["dur"] = dur
+    if ph is not None:
+        span["ph"] = ph
+    return span
+
+
+class TestSpanCollector:
+    def test_supervisor_ticks_count_per_trace(self):
+        collector = SpanCollector()
+        a = trace_root(mint_trace_id("job-a"))
+        b = trace_root(mint_trace_id("job-b"))
+        collector.supervisor_event(a, "enqueue", {"job": "job-a"})
+        collector.supervisor_event(b, "enqueue", {"job": "job-b"})
+        collector.supervisor_event(a, "dispatch")
+        ticks = [e["ts"] for e in collector.supervisor]
+        assert ticks == [0, 0, 1]   # each trace has its own clock
+        assert collector.label(a.trace_id) == "job-a"
+
+    def test_ingest_rejects_malformed_spans(self):
+        collector = SpanCollector()
+        ctx = trace_root(mint_trace_id("job-a"))
+        good = _wire(ctx, dur=5)
+        batch = [
+            good,
+            "not-a-dict",
+            {**good, "ph": "B"},              # worker phase unknown
+            {**good, "trace": "garbage"},     # undecodable context
+            {**good, "ts": "soon"},           # non-integer timestamp
+            {k: v for k, v in good.items() if k != "name"},
+        ]
+        assert collector.ingest(0, batch) == 1
+        assert collector.stats()["ingested"] == 1
+        assert collector.stats()["rejected"] == 5
+
+    def test_alignment_shifts_clock_restarts_past_frontier(self):
+        collector = SpanCollector()
+        ctx = trace_root(mint_trace_id("job-a"))
+        # Job 1 runs cycles 0..100; job 2's machine restarts at 0.
+        collector.ingest(0, [_wire(ctx, ts=0, dur=60),
+                             _wire(ctx, ts=60, dur=40),
+                             _wire(ctx, ts=0, dur=30)])
+        aligned = collector.worker_events(0)
+        assert [e["ts"] for e in aligned] == [0, 60, 100]
+        assert aligned[2]["ts"] + aligned[2]["dur"] == 130
+
+    def test_alignment_leaves_monotonic_stream_alone(self):
+        collector = SpanCollector()
+        ctx = trace_root(mint_trace_id("job-a"))
+        collector.ingest(0, [_wire(ctx, ts=5, dur=1),
+                             _wire(ctx, ts=9, dur=2)])
+        assert [e["ts"] for e in collector.worker_events(0)] == [5, 9]
+
+    def test_span_tree_links_supervisor_to_worker_spans(self):
+        collector = SpanCollector()
+        root = trace_root(mint_trace_id("job-a"))
+        dispatch = root.child(2)
+        collector.supervisor_event(root, "enqueue", {"job": "job-a"})
+        collector.supervisor_event(dispatch, "dispatch")
+        alloc = SpanAllocator(worker_site(0))
+        job = alloc.child(dispatch)
+        collector.ingest(0, [_wire(job, name="job-start"),
+                             _wire(alloc.child(job), dur=10)])
+        tree = collector.span_tree(root.trace_id)
+        assert tree[0] == [root.span_id]            # the root
+        assert tree[root.span_id] == [dispatch.span_id]
+        assert tree[dispatch.span_id] == [job.span_id]
+        assert tree[job.span_id]                    # the slice span
+
+    def test_drop_trace_removes_lane_and_renumbers(self):
+        collector = SpanCollector()
+        fleet = trace_root(mint_trace_id("fleet-root"))
+        job = trace_root(mint_trace_id("job-a"))
+        collector.supervisor_event(fleet, "slo-firing", cat="slo")
+        collector.supervisor_event(job, "enqueue", {"job": "job-a"})
+        assert collector.trace_order[job.trace_id] == 1
+        removed = collector.drop_trace(fleet.trace_id)
+        assert removed == 1
+        assert collector.trace_order == {job.trace_id: 0}
+        assert [e["name"] for e in collector.supervisor] == ["enqueue"]
+
+
+class TestHistogramMerge:
+    def _hist(self, values, exemplar=None):
+        hist = Histogram("h", buckets=(10, 100, 1000))
+        for value in values:
+            hist.observe(value, exemplar=exemplar)
+        return hist.snapshot()
+
+    def test_bucketwise_merge_sums_counts(self):
+        merged = merge_histograms([self._hist([5, 50]),
+                                   self._hist([50, 5000])])
+        assert merged["count"] == 4
+        assert merged["buckets"] == {"10": 1, "100": 2, "1000": 0}
+        assert merged["overflow"] == 1
+        assert merged["min"] == 5
+        assert merged["max"] == 5000
+
+    def test_boundary_mismatch_rejected(self):
+        other = Histogram("h", buckets=(1, 2)).snapshot()
+        with pytest.raises(ValueError):
+            merge_histograms([self._hist([5]), other])
+
+    def test_exemplar_merge_picks_lexicographically_smallest(self):
+        first = self._hist([5], exemplar="bbbb-01")
+        second = self._hist([5], exemplar="aaaa-02")
+        merged = merge_histograms([first, second])
+        assert merged["exemplars"]["10"] == "aaaa-02"
+
+    def test_percentiles_walk_cumulative_buckets(self):
+        snap = self._hist([5, 5, 50, 50, 50, 500])
+        assert histogram_percentile(snap, 50) == 100.0
+        assert histogram_percentile(snap, 99) == 1000.0
+
+    def test_percentile_overflow_reports_max(self):
+        snap = self._hist([5, 5000])
+        assert histogram_percentile(snap, 99) == 5000
+
+    def test_percentile_of_empty_is_none(self):
+        assert histogram_percentile(self._hist([]), 50) is None
+
+
+class TestMetricsAggregator:
+    def test_counters_summed_across_workers(self):
+        agg = MetricsAggregator()
+        agg.update(0, {"jobs": {"type": "counter", "value": 3}})
+        agg.update(1, {"jobs": {"type": "counter", "value": 4}})
+        fleet = agg.fleet()
+        assert fleet["jobs"]["value"] == 7
+        assert fleet["jobs"]["workers"] == 2
+
+    def test_update_replaces_and_forget_removes(self):
+        agg = MetricsAggregator()
+        agg.update(0, {"jobs": {"type": "counter", "value": 3}})
+        agg.update(0, {"jobs": {"type": "counter", "value": 5}})
+        assert agg.fleet()["jobs"]["value"] == 5
+        agg.forget(0)
+        assert agg.fleet() == {}
+
+    def test_mixed_types_are_skipped_not_crashed(self):
+        agg = MetricsAggregator()
+        agg.update(0, {"x": {"type": "counter", "value": 1}})
+        agg.update(1, {"x": {"type": "histogram", "count": 1,
+                             "sum": 1, "min": 1, "max": 1,
+                             "buckets": {"10": 1}, "overflow": 0}})
+        assert "x" not in agg.fleet()
+
+    def test_histograms_merge_and_expose_percentiles(self):
+        def snap(values):
+            hist = Histogram("h", buckets=(10, 100))
+            for value in values:
+                hist.observe(value)
+            return {"lat": hist.snapshot()}
+
+        agg = MetricsAggregator()
+        agg.update(0, snap([5, 5, 5]))
+        agg.update(1, snap([50]))
+        assert agg.fleet()["lat"]["count"] == 4
+        assert agg.percentile("lat", 50) == 10.0
+        assert agg.percentiles("lat") == {
+            "p50": 10.0, "p95": 100.0, "p99": 100.0}
+
+
+def _spec(**overrides):
+    spec = {"name": "latency", "objective": 0.9,
+            "short_window": 10.0, "long_window": 100.0,
+            "burn_threshold": 2.0}
+    spec.update(overrides)
+    return SloSpec(**spec)
+
+
+class TestSloEvaluator:
+    def test_fires_only_when_both_windows_burn(self):
+        ev = SloEvaluator([_spec()])
+        # Old badness: long window burns, short window has recovered.
+        for t in range(20):
+            ev.record("latency", bad=1, t=float(t))
+        for t in range(90, 100):
+            ev.record("latency", good=1, t=float(t))
+        assert ev.evaluate(100.0) == []
+        assert not ev.firing["latency"]
+
+    def test_fire_then_resolve_on_short_recovery(self):
+        ev = SloEvaluator([_spec()])
+        for t in range(10):
+            ev.record("latency", bad=1, t=float(t))
+        (alert,) = ev.evaluate(10.0)
+        assert alert.state == "firing"
+        assert ev.advisory_degrade()
+        # Fresh goods crowd the short window; long is still burning.
+        for t in range(10, 20):
+            ev.record("latency", good=1, t=float(t))
+        (resolved,) = ev.evaluate(20.0)
+        assert resolved.state == "resolved"
+        assert not ev.advisory_degrade()
+
+    def test_no_data_means_no_alert(self):
+        ev = SloEvaluator([_spec()])
+        assert ev.evaluate(50.0) == []
+
+    def test_unknown_slo_name_ignored(self):
+        ev = SloEvaluator([_spec()])
+        ev.record("nonexistent", bad=1, t=0.0)
+        assert ev.evaluate(1.0) == []
+
+    def test_duplicate_spec_names_rejected(self):
+        with pytest.raises(ValueError):
+            SloEvaluator([_spec(), _spec()])
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            _spec(objective=1.0)
+        with pytest.raises(ValueError):
+            _spec(short_window=200.0)   # exceeds long window
+        with pytest.raises(ValueError):
+            _spec(burn_threshold=0.0)
+
+    def test_gauges_and_fired_counter_published(self):
+        registry = MetricsRegistry()
+        ev = SloEvaluator([_spec()], registry=registry)
+        ev.record("latency", good=1, t=0.0)
+        ev.evaluate(1.0)
+        # Healthy: burn gauges exist, the alert counter does not (it
+        # is created lazily on the first firing only).
+        snapshot = registry.snapshot()
+        assert snapshot["fleet.slo.latency.burn_short"]["value"] == 0
+        assert "fleet.slo.alerts_fired" not in snapshot
+        for t in range(2, 12):
+            ev.record("latency", bad=1, t=float(t))
+        ev.evaluate(12.0)
+        snapshot = registry.snapshot()
+        assert snapshot["fleet.slo.latency.firing"]["value"] == 1
+        assert snapshot["fleet.slo.alerts_fired"]["value"] == 1
+
+    def test_status_panel_shape(self):
+        ev = SloEvaluator([_spec()])
+        ev.record("latency", good=3, bad=1, t=0.0)
+        panel = ev.status(1.0)["latency"]
+        assert panel["objective"] == 0.9
+        assert panel["burn_short"] == pytest.approx(2.5)
+        assert panel["firing"] is False
+
+
+class TestFleetObservability:
+    class _Record:
+        def __init__(self, job_id="job-0000"):
+            from repro.fleet.jobs import Job
+
+            self.id = job_id
+            self.job = Job(kind="noop")
+            self.trace = trace_root(mint_trace_id(job_id))
+            self.attempts = 1
+            self.resumes = 0
+
+    def test_tracing_off_touches_nothing(self):
+        obs = FleetObservability(trace=False,
+                                 registry=MetricsRegistry())
+        record = self._Record()
+        obs.on_enqueue(record)
+        assert obs.on_dispatch(record, worker=0) is None
+        obs.on_complete(record, now=0.0)
+        obs.ingest_spans(0, [{"ph": "X"}], now=0.0)
+        assert obs.on_rsp_attach(0, 1) is None
+        assert obs.collector.stats()["supervisor_events"] == 0
+        assert obs.collector.stats()["ingested"] == 0
+
+    def test_dispatch_context_decodes_and_parents_under_root(self):
+        obs = FleetObservability(trace=True,
+                                 registry=MetricsRegistry())
+        record = self._Record()
+        obs.on_enqueue(record)
+        encoded = obs.on_dispatch(record, worker=2)
+        ctx = TraceContext.decode(encoded)
+        assert ctx.trace_id == record.trace.trace_id
+        assert ctx.parent_id == record.trace.span_id
+
+    def test_per_trace_span_ids_independent_of_interleaving(self):
+        """Completing job B between job A's events must not shift job
+        A's span ids — the determinism property the golden rests on."""
+        def run(interleaved):
+            obs = FleetObservability(trace=True,
+                                     registry=MetricsRegistry())
+            a, b = self._Record("job-a"), self._Record("job-b")
+            obs.on_enqueue(a)
+            obs.on_dispatch(a, worker=0)
+            if interleaved:
+                obs.on_enqueue(b)
+                obs.on_dispatch(b, worker=1)
+                obs.on_complete(b, now=0.0)
+            obs.on_complete(a, now=0.0)
+            return [e["trace"] for e in obs.collector.supervisor
+                    if e["trace"].startswith(a.trace.trace_hex)]
+
+        assert run(interleaved=False) == run(interleaved=True)
+
+    def test_slice_spans_feed_latency_slo(self):
+        obs = FleetObservability(trace=True, registry=MetricsRegistry(),
+                                 slice_target_cycles=100)
+        ctx = trace_root(mint_trace_id("job-a"))
+        obs.ingest_spans(0, [_wire(ctx, dur=50),
+                             _wire(ctx, dur=500)], now=1.0)
+        short, _ = obs.evaluator.burn_rates("slice-latency", 1.0)
+        assert short == pytest.approx(0.5 / 0.05)
+
+    def test_worker_spans_flow_to_collector_and_aggregator(self):
+        obs = FleetObservability(trace=True,
+                                 registry=MetricsRegistry())
+        recorder = WorkerSpanRecorder(0, registry=MetricsRegistry())
+        record = self._Record()
+        encoded = obs.on_dispatch(record, worker=0)
+        recorder.start_job(encoded, record.id)
+        recorder.note_slice(0, 0, 40, 40)
+        recorder.finish_job(ok=True)
+        obs.ingest_spans(0, recorder.drain(), now=0.0)
+        assert obs.collector.stats()["ingested"] == 3
+        tree = obs.collector.span_tree(record.trace.trace_id)
+        assert tree   # connected: dispatch -> job -> slice
